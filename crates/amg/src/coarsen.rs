@@ -1,0 +1,184 @@
+//! PMIS coarsening (parallel modified independent set), Hypre's default
+//! family of coarseners.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparse::Csr;
+
+/// Coarse/fine marker of each point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CfMarker {
+    Coarse,
+    Fine,
+}
+
+/// PMIS coarsening on the strength matrix `s`.
+///
+/// Each point gets weight `|Sᵀ_i| + rand[0,1)` (the number of points it
+/// strongly influences plus a random tiebreaker). Rounds of independent-set
+/// selection follow: an undecided point whose weight beats all undecided
+/// strength-graph neighbors becomes Coarse; undecided points strongly
+/// influenced by a new Coarse point become Fine.
+///
+/// Points with no strong connections at all become Fine (they interpolate
+/// from nothing and smooth out by relaxation alone — matching Hypre, which
+/// drops isolated points from coarse grids).
+///
+/// Deterministic for a given `seed`.
+pub fn pmis(s: &Csr, seed: u64) -> Vec<CfMarker> {
+    let n = s.n_rows();
+    let st = s.transpose();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Undirected neighborhood = S ∪ Sᵀ (needed for the independent set).
+    let weight: Vec<f64> =
+        (0..n).map(|i| st.row_nnz(i) as f64 + rng.gen_range(0.0..1.0)).collect();
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Undecided,
+        Coarse,
+        Fine,
+    }
+    let mut state = vec![State::Undecided; n];
+
+    // Isolated points (no strong connections either way) are Fine.
+    for (i, st_i) in state.iter_mut().enumerate() {
+        if s.row_nnz(i) == 0 && st.row_nnz(i) == 0 {
+            *st_i = State::Fine;
+        }
+    }
+
+    let mut undecided: Vec<usize> =
+        (0..n).filter(|&i| state[i] == State::Undecided).collect();
+
+    while !undecided.is_empty() {
+        // Select: weight strictly greater than every undecided neighbor
+        // (strict inequality is safe: random tiebreakers are a.s. unique).
+        let mut new_coarse = Vec::new();
+        for &i in &undecided {
+            let mut is_max = true;
+            for &j in s.row(i).0.iter().chain(st.row(i).0) {
+                if state[j] == State::Undecided && weight[j] >= weight[i] && j != i {
+                    is_max = false;
+                    break;
+                }
+            }
+            if is_max {
+                new_coarse.push(i);
+            }
+        }
+        assert!(
+            !new_coarse.is_empty(),
+            "PMIS stalled with {} undecided points",
+            undecided.len()
+        );
+        for &c in &new_coarse {
+            state[c] = State::Coarse;
+        }
+        // Undecided strength-graph neighbors of a new C point become F.
+        // Marking over S ∪ Sᵀ (not just Sᵀ) keeps the C set independent in
+        // the symmetrized strength graph even when per-row thresholds make
+        // S non-symmetric — otherwise a point an existing C point depends
+        // on could itself become C in a later round.
+        for &c in &new_coarse {
+            for &i in st.row(c).0.iter().chain(s.row(c).0) {
+                if state[i] == State::Undecided {
+                    state[i] = State::Fine;
+                }
+            }
+        }
+        undecided.retain(|&i| state[i] == State::Undecided);
+    }
+
+    state
+        .into_iter()
+        .map(|s| match s {
+            State::Coarse => CfMarker::Coarse,
+            State::Fine => CfMarker::Fine,
+            State::Undecided => unreachable!("all points decided"),
+        })
+        .collect()
+}
+
+/// Number of coarse points in a marker vector.
+pub fn count_coarse(cf: &[CfMarker]) -> usize {
+    cf.iter().filter(|&&m| m == CfMarker::Coarse).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strength::strength_matrix;
+    use sparse::gen::{diffusion_2d_7pt, laplace_2d_5pt};
+
+    /// Every F point with strong connections has a strong C neighbor
+    /// (in S or Sᵀ) — the property interpolation relies on.
+    fn check_f_points_covered(s: &Csr, cf: &[CfMarker]) {
+        let st = s.transpose();
+        for i in 0..s.n_rows() {
+            if cf[i] == CfMarker::Fine && s.row_nnz(i) > 0 {
+                let covered = s
+                    .row(i)
+                    .0
+                    .iter()
+                    .chain(st.row(i).0)
+                    .any(|&j| cf[j] == CfMarker::Coarse);
+                assert!(covered, "F point {i} has no strong C neighbor");
+            }
+        }
+    }
+
+    /// No two C points are strength-graph neighbors (independent set).
+    fn check_independent(s: &Csr, cf: &[CfMarker]) {
+        for i in 0..s.n_rows() {
+            if cf[i] != CfMarker::Coarse {
+                continue;
+            }
+            for &j in s.row(i).0 {
+                assert!(
+                    cf[j] != CfMarker::Coarse,
+                    "C points {i} and {j} are strongly connected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn laplacian_coarsening_valid() {
+        let a = laplace_2d_5pt(12, 12);
+        let s = strength_matrix(&a, 0.25);
+        let cf = pmis(&s, 1);
+        check_independent(&s, &cf);
+        check_f_points_covered(&s, &cf);
+        let nc = count_coarse(&cf);
+        // 5-point Laplacian PMIS coarsens by roughly 2-4x
+        assert!(nc > 144 / 8 && nc < 144 / 2, "coarse count {nc}");
+    }
+
+    #[test]
+    fn anisotropic_coarsening_valid() {
+        let a = diffusion_2d_7pt(16, 16, 0.001, std::f64::consts::FRAC_PI_4);
+        let s = strength_matrix(&a, 0.25);
+        let cf = pmis(&s, 7);
+        check_independent(&s, &cf);
+        check_f_points_covered(&s, &cf);
+        // strong coupling is 1-D (along the diagonal) → ~2x coarsening
+        let nc = count_coarse(&cf);
+        assert!(nc >= 256 / 4, "semicoarsening expected, got {nc}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = laplace_2d_5pt(10, 10);
+        let s = strength_matrix(&a, 0.25);
+        assert_eq!(pmis(&s, 3), pmis(&s, 3));
+    }
+
+    #[test]
+    fn isolated_points_become_fine() {
+        let s = Csr::zero(5, 5);
+        let cf = pmis(&s, 0);
+        assert!(cf.iter().all(|&m| m == CfMarker::Fine));
+    }
+}

@@ -1,0 +1,242 @@
+//! V-cycles and the iterative solve.
+
+use crate::hierarchy::Hierarchy;
+use crate::smoother::{smooth, Smoother};
+use sparse::vector::norm2;
+
+/// Multigrid cycling strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CycleType {
+    /// One coarse-grid visit per level.
+    V,
+    /// Two coarse-grid visits per level (stronger, costlier).
+    W,
+    /// Full-multigrid style: an F recursion followed by a V recursion.
+    F,
+}
+
+/// Solve options for [`solve`].
+#[derive(Debug, Clone, Copy)]
+pub struct SolveOptions {
+    pub max_iters: usize,
+    /// Stop when ‖r‖ / ‖b‖ falls below this.
+    pub rel_tol: f64,
+    pub pre_sweeps: usize,
+    pub post_sweeps: usize,
+    pub smoother: Smoother,
+    pub cycle: CycleType,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        Self {
+            max_iters: 100,
+            rel_tol: 1e-8,
+            pre_sweeps: 1,
+            post_sweeps: 1,
+            smoother: Smoother::GaussSeidel,
+            cycle: CycleType::V,
+        }
+    }
+}
+
+/// Outcome of an AMG solve.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    pub x: Vec<f64>,
+    /// ‖r‖₂ after each V-cycle (index 0 = initial residual).
+    pub residual_history: Vec<f64>,
+    pub converged: bool,
+}
+
+impl SolveResult {
+    /// Geometric-mean residual reduction per cycle.
+    pub fn avg_convergence_factor(&self) -> f64 {
+        let h = &self.residual_history;
+        if h.len() < 2 || h[0] == 0.0 {
+            return 0.0;
+        }
+        let last = *h.last().unwrap();
+        (last / h[0]).powf(1.0 / (h.len() - 1) as f64)
+    }
+}
+
+/// One V-cycle on level `lvl`, improving `x` for `A_lvl x = b`.
+pub fn vcycle(h: &Hierarchy, lvl: usize, b: &[f64], x: &mut [f64], opts: &SolveOptions) {
+    cycle(h, lvl, b, x, opts, CycleType::V);
+}
+
+/// One multigrid cycle of the given type on level `lvl`.
+pub fn cycle(
+    h: &Hierarchy,
+    lvl: usize,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &SolveOptions,
+    kind: CycleType,
+) {
+    let level = &h.levels[lvl];
+    let a = &level.a;
+    if level.p.is_none() {
+        // coarsest level: direct solve
+        let sol = h.coarse_solver.solve(b);
+        x.copy_from_slice(&sol);
+        return;
+    }
+    let p = level.p.as_ref().unwrap();
+    let mut work = Vec::new();
+
+    for _ in 0..opts.pre_sweeps {
+        smooth(a, b, x, opts.smoother, &mut work);
+    }
+
+    // residual r = b - A x
+    let ax = a.spmv(x);
+    let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+
+    // restrict: rc = Pᵀ r (without forming Pᵀ)
+    let rc = p.spmv_transpose(&r);
+
+    let mut ec = vec![0.0f64; p.n_cols()];
+    match kind {
+        CycleType::V => cycle(h, lvl + 1, &rc, &mut ec, opts, CycleType::V),
+        CycleType::W => {
+            cycle(h, lvl + 1, &rc, &mut ec, opts, CycleType::W);
+            cycle(h, lvl + 1, &rc, &mut ec, opts, CycleType::W);
+        }
+        CycleType::F => {
+            cycle(h, lvl + 1, &rc, &mut ec, opts, CycleType::F);
+            cycle(h, lvl + 1, &rc, &mut ec, opts, CycleType::V);
+        }
+    }
+
+    // prolong and correct: x += P ec
+    for (row, xr) in x.iter_mut().enumerate() {
+        let (cols, vals) = p.row(row);
+        let mut acc = 0.0;
+        for (&c, &v) in cols.iter().zip(vals) {
+            acc += v * ec[c];
+        }
+        *xr += acc;
+    }
+
+    for _ in 0..opts.post_sweeps {
+        smooth(a, b, x, opts.smoother, &mut work);
+    }
+}
+
+/// Iterative AMG solve of `A x = b` (A is `h.levels[0].a`).
+pub fn solve(h: &Hierarchy, b: &[f64], opts: &SolveOptions) -> SolveResult {
+    let a = &h.levels[0].a;
+    assert_eq!(b.len(), a.n_rows());
+    let mut x = vec![0.0f64; b.len()];
+    let b_norm = norm2(b).max(f64::MIN_POSITIVE);
+    let mut history = vec![norm2(b)];
+    let mut converged = false;
+    for _ in 0..opts.max_iters {
+        cycle(h, 0, b, &mut x, opts, opts.cycle);
+        let ax = a.spmv(&x);
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+        let rn = norm2(&r);
+        history.push(rn);
+        if rn / b_norm < opts.rel_tol {
+            converged = true;
+            break;
+        }
+    }
+    SolveResult { x, residual_history: history, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::HierarchyOptions;
+    use sparse::gen::{diffusion_2d_7pt, laplace_2d_5pt};
+    use sparse::vector::random_vec;
+
+    #[test]
+    fn laplacian_converges_fast() {
+        let a = laplace_2d_5pt(32, 32);
+        let h = Hierarchy::setup(a.clone(), HierarchyOptions::default());
+        let x_true = random_vec(a.n_rows(), 4);
+        let b = a.spmv(&x_true);
+        let res = solve(&h, &b, &SolveOptions::default());
+        assert!(res.converged, "history: {:?}", res.residual_history);
+        assert!(
+            res.avg_convergence_factor() < 0.5,
+            "slow convergence: {}",
+            res.avg_convergence_factor()
+        );
+    }
+
+    #[test]
+    fn rotated_anisotropic_converges() {
+        let a = diffusion_2d_7pt(32, 32, 0.001, std::f64::consts::FRAC_PI_4);
+        let h = Hierarchy::setup(a.clone(), HierarchyOptions::default());
+        let x_true = random_vec(a.n_rows(), 5);
+        let b = a.spmv(&x_true);
+        let opts = SolveOptions { max_iters: 200, ..Default::default() };
+        let res = solve(&h, &b, &opts);
+        assert!(res.converged, "history tail: {:?}", &res.residual_history[res.residual_history.len().saturating_sub(3)..]);
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero_solution() {
+        let a = laplace_2d_5pt(8, 8);
+        let h = Hierarchy::setup(a, HierarchyOptions::default());
+        let res = solve(&h, &vec![0.0; 64], &SolveOptions::default());
+        assert!(res.converged);
+        assert!(res.x.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn w_cycle_converges_at_least_as_fast_as_v() {
+        let a = diffusion_2d_7pt(24, 24, 0.001, std::f64::consts::FRAC_PI_4);
+        let h = Hierarchy::setup(a.clone(), HierarchyOptions::default());
+        let b = a.spmv(&random_vec(a.n_rows(), 7));
+        let v = solve(&h, &b, &SolveOptions { cycle: CycleType::V, ..Default::default() });
+        let w = solve(&h, &b, &SolveOptions { cycle: CycleType::W, ..Default::default() });
+        assert!(w.converged);
+        assert!(
+            w.residual_history.len() <= v.residual_history.len(),
+            "W ({}) should need no more cycles than V ({})",
+            w.residual_history.len(),
+            v.residual_history.len()
+        );
+    }
+
+    #[test]
+    fn f_cycle_converges() {
+        let a = laplace_2d_5pt(20, 20);
+        let h = Hierarchy::setup(a.clone(), HierarchyOptions::default());
+        let b = a.spmv(&random_vec(400, 8));
+        let f = solve(&h, &b, &SolveOptions { cycle: CycleType::F, ..Default::default() });
+        assert!(f.converged);
+        assert!(f.avg_convergence_factor() < 0.5);
+    }
+
+    #[test]
+    fn symmetric_smoother_in_cycle_converges() {
+        use crate::smoother::Smoother;
+        let a = laplace_2d_5pt(16, 16);
+        let h = Hierarchy::setup(a.clone(), HierarchyOptions::default());
+        let b = a.spmv(&random_vec(256, 9));
+        let res = solve(
+            &h,
+            &b,
+            &SolveOptions { smoother: Smoother::SymGaussSeidel, ..Default::default() },
+        );
+        assert!(res.converged);
+    }
+
+    #[test]
+    fn residual_history_monotone_for_spd() {
+        let a = laplace_2d_5pt(16, 16);
+        let h = Hierarchy::setup(a.clone(), HierarchyOptions::default());
+        let b = random_vec(256, 6);
+        let res = solve(&h, &b, &SolveOptions::default());
+        for w in res.residual_history.windows(2) {
+            assert!(w[1] <= w[0] * 1.001, "history not decreasing: {w:?}");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Small dense direct solver for the coarsest grid.
+
+use sparse::Csr;
+
+/// LU factorization with partial pivoting of a small dense matrix.
+pub struct DenseLu {
+    n: usize,
+    /// Row-major combined L\U factors.
+    lu: Vec<f64>,
+    /// Row permutation.
+    piv: Vec<usize>,
+    /// Rows that are exactly zero (singular systems from zero-row-sum
+    /// operators); their solution components are pinned to zero.
+    null_rows: Vec<bool>,
+}
+
+// The textbook triple-indexed LU formulation is clearer than iterator chains.
+#[allow(clippy::needless_range_loop)]
+impl DenseLu {
+    /// Factor the (small) sparse matrix densely. Tolerates singular
+    /// matrices by pinning fully-dependent rows to zero — adequate for the
+    /// coarsest AMG level, where the residual lies in the operator's range.
+    pub fn factor(a: &Csr) -> Self {
+        let n = a.n_rows();
+        assert_eq!(n, a.n_cols());
+        let mut lu = vec![0.0f64; n * n];
+        for r in 0..n {
+            let (cols, vals) = a.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                lu[r * n + c] = v;
+            }
+        }
+        let mut piv: Vec<usize> = (0..n).collect();
+        let mut null_rows = vec![false; n];
+        for k in 0..n {
+            // partial pivot
+            let (mut best, mut best_abs) = (k, lu[piv[k] * n + k].abs());
+            for r in k + 1..n {
+                let v = lu[piv[r] * n + k].abs();
+                if v > best_abs {
+                    best = r;
+                    best_abs = v;
+                }
+            }
+            piv.swap(k, best);
+            let pk = piv[k];
+            let pivot = lu[pk * n + k];
+            if pivot.abs() < 1e-13 {
+                null_rows[k] = true;
+                continue;
+            }
+            for r in k + 1..n {
+                let pr = piv[r];
+                let f = lu[pr * n + k] / pivot;
+                lu[pr * n + k] = f;
+                for c in k + 1..n {
+                    lu[pr * n + c] -= f * lu[pk * n + c];
+                }
+            }
+        }
+        Self { n, lu, piv, null_rows }
+    }
+
+    /// Solve `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n);
+        let n = self.n;
+        // forward
+        let mut y = vec![0.0f64; n];
+        for k in 0..n {
+            let pk = self.piv[k];
+            let mut acc = b[pk];
+            for c in 0..k {
+                acc -= self.lu[pk * n + c] * y[c];
+            }
+            y[k] = acc;
+        }
+        // backward
+        let mut x = vec![0.0f64; n];
+        for k in (0..n).rev() {
+            if self.null_rows[k] {
+                x[k] = 0.0;
+                continue;
+            }
+            let pk = self.piv[k];
+            let mut acc = y[k];
+            for c in k + 1..n {
+                acc -= self.lu[pk * n + c] * x[c];
+            }
+            x[k] = acc / self.lu[pk * n + k];
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::gen::laplace_2d_5pt;
+    use sparse::vector::{norm2, random_vec};
+    use sparse::Coo;
+
+    #[test]
+    fn solves_spd_system() {
+        let a = laplace_2d_5pt(5, 5);
+        let lu = DenseLu::factor(&a);
+        let x_true = random_vec(25, 11);
+        let b = a.spmv(&x_true);
+        let x = lu.solve(&b);
+        let diff: Vec<f64> = x.iter().zip(&x_true).map(|(a, b)| a - b).collect();
+        assert!(norm2(&diff) < 1e-10);
+    }
+
+    #[test]
+    fn permutation_handles_zero_leading_pivot() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        let a = sparse::Csr::from_coo(&coo);
+        let lu = DenseLu::factor(&a);
+        let x = lu.solve(&[3.0, 4.0]);
+        assert!((x[0] - 4.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_pins_null_component() {
+        // all-zero 1x1 matrix: solution pinned to 0 rather than NaN
+        let a = sparse::Csr::zero(1, 1);
+        let lu = DenseLu::factor(&a);
+        assert_eq!(lu.solve(&[0.0]), vec![0.0]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Direct (classical) interpolation.
+
+use crate::coarsen::CfMarker;
+use sparse::{Coo, Csr};
+
+/// Direct interpolation from the C points of `cf`.
+///
+/// C points inject; an F point `i` interpolates from its strong C
+/// neighbors `C_i` with weights
+///
+/// ```text
+/// w_ij = -(a_ij / a_ii) · (Σ_{k≠i} a_ik) / (Σ_{k∈C_i} a_ik)
+/// ```
+///
+/// which preserves row sums of the constant vector for M-matrices. F points
+/// with strong connections but no strong C neighbor are not interpolated
+/// (zero row — they are handled by relaxation); isolated F points likewise.
+///
+/// Returns `(P, coarse_index)` where `coarse_index[i]` is the coarse-grid
+/// column of point `i` if it is a C point.
+pub fn direct_interpolation(a: &Csr, s: &Csr, cf: &[CfMarker]) -> (Csr, Vec<Option<usize>>) {
+    let n = a.n_rows();
+    assert_eq!(cf.len(), n);
+    assert_eq!(s.n_rows(), n);
+
+    // Coarse-grid numbering.
+    let mut coarse_index = vec![None; n];
+    let mut nc = 0usize;
+    for i in 0..n {
+        if cf[i] == CfMarker::Coarse {
+            coarse_index[i] = Some(nc);
+            nc += 1;
+        }
+    }
+
+    let mut coo = Coo::new(n, nc);
+    for i in 0..n {
+        match cf[i] {
+            CfMarker::Coarse => {
+                coo.push(i, coarse_index[i].unwrap(), 1.0);
+            }
+            CfMarker::Fine => {
+                let (s_cols, _) = s.row(i);
+                let (a_cols, a_vals) = a.row(i);
+                let a_ii = a.get(i, i);
+                if a_ii == 0.0 {
+                    continue;
+                }
+                // strong C neighbors of i
+                let strong_c: Vec<usize> = s_cols
+                    .iter()
+                    .copied()
+                    .filter(|&j| cf[j] == CfMarker::Coarse)
+                    .collect();
+                if strong_c.is_empty() {
+                    continue;
+                }
+                let mut sum_all = 0.0; // Σ_{k≠i} a_ik
+                let mut sum_c = 0.0; // Σ_{k∈C_i} a_ik
+                for (&k, &v) in a_cols.iter().zip(a_vals) {
+                    if k == i {
+                        continue;
+                    }
+                    sum_all += v;
+                    if strong_c.binary_search(&k).is_ok() {
+                        sum_c += v;
+                    }
+                }
+                if sum_c == 0.0 {
+                    continue;
+                }
+                let alpha = sum_all / sum_c;
+                for &j in &strong_c {
+                    let w = -alpha * a.get(i, j) / a_ii;
+                    coo.push(i, coarse_index[j].unwrap(), w);
+                }
+            }
+        }
+    }
+    (Csr::from_coo(&coo), coarse_index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarsen::pmis;
+    use crate::strength::strength_matrix;
+    use sparse::gen::laplace_2d_5pt;
+
+    #[test]
+    fn c_points_inject() {
+        let a = laplace_2d_5pt(8, 8);
+        let s = strength_matrix(&a, 0.25);
+        let cf = pmis(&s, 2);
+        let (p, cidx) = direct_interpolation(&a, &s, &cf);
+        for (i, &m) in cf.iter().enumerate() {
+            if m == CfMarker::Coarse {
+                let (cols, vals) = p.row(i);
+                assert_eq!(cols, &[cidx[i].unwrap()]);
+                assert_eq!(vals, &[1.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_sum_to_one_for_mmatrix_interior() {
+        // For a zero-row-sum M-matrix row, direct interpolation preserves
+        // constants: row sums of P are 1 for F rows with strong C nbrs.
+        let a = laplace_2d_5pt(10, 10);
+        let s = strength_matrix(&a, 0.25);
+        let cf = pmis(&s, 5);
+        let (p, _) = direct_interpolation(&a, &s, &cf);
+        for i in 0..p.n_rows() {
+            let (_, vals) = p.row(i);
+            if vals.is_empty() {
+                continue;
+            }
+            let rs: f64 = vals.iter().sum();
+            // Boundary rows of the Dirichlet Laplacian have nonzero row
+            // sums in A, so P row sums deviate below 1 there; interior F
+            // rows must hit 1 exactly.
+            assert!(rs <= 1.0 + 1e-12, "row {i} sums to {rs}");
+            assert!(rs > 0.0, "row {i} sums to {rs}");
+        }
+    }
+
+    #[test]
+    fn shapes_consistent() {
+        let a = laplace_2d_5pt(6, 6);
+        let s = strength_matrix(&a, 0.25);
+        let cf = pmis(&s, 9);
+        let (p, cidx) = direct_interpolation(&a, &s, &cf);
+        let nc = cidx.iter().flatten().count();
+        assert_eq!(p.n_rows(), 36);
+        assert_eq!(p.n_cols(), nc);
+        // coarse indices are a bijection 0..nc
+        let mut seen: Vec<usize> = cidx.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..nc).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,31 @@
+//! BoomerAMG-style algebraic multigrid.
+//!
+//! The paper evaluates its neighborhood collectives inside the sparse
+//! matrix-vector multiplies of the *solve phase* of Hypre BoomerAMG. This
+//! crate builds the same kind of hierarchy — classical strength of
+//! connection, PMIS coarsening, direct (classical) interpolation, Galerkin
+//! `PᵀAP` coarse operators — and provides the V-cycle solver plus
+//! per-level distributed views ([`distributed`]) whose communication
+//! patterns drive every figure in the evaluation.
+
+pub mod coarsen;
+pub mod cycle;
+pub mod dense;
+pub mod distributed;
+pub mod hierarchy;
+pub mod interp;
+pub mod pcg;
+pub mod smoother;
+pub mod strength;
+
+pub use pcg::{pcg, PcgResult};
+
+#[cfg(test)]
+mod proptests;
+
+pub use coarsen::{pmis, CfMarker};
+pub use cycle::{solve, SolveOptions, SolveResult};
+pub use distributed::{DistLevel, DistributedHierarchy};
+pub use hierarchy::{Hierarchy, HierarchyOptions, Level};
+pub use interp::direct_interpolation;
+pub use strength::strength_matrix;

@@ -1,0 +1,91 @@
+//! Property-based tests of the AMG construction invariants.
+
+use crate::coarsen::{count_coarse, pmis, CfMarker};
+use crate::hierarchy::{Hierarchy, HierarchyOptions};
+use crate::interp::direct_interpolation;
+use crate::strength::strength_matrix;
+use proptest::prelude::*;
+use sparse::gen::random_spd;
+use sparse::vector::random_vec;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// PMIS on random strength graphs always yields a valid C/F splitting:
+    /// independent C set, and every connected F point sees a strong C
+    /// neighbor.
+    #[test]
+    fn pmis_splitting_valid(n in 10usize..120, nnz in 2usize..10, seed in 0u64..500) {
+        let a = random_spd(n, nnz, seed);
+        let s = strength_matrix(&a, 0.25);
+        let cf = pmis(&s, seed);
+        let st = s.transpose();
+        for i in 0..n {
+            match cf[i] {
+                CfMarker::Coarse => {
+                    for &j in s.row(i).0 {
+                        prop_assert!(cf[j] != CfMarker::Coarse, "C-C strong edge {i}-{j}");
+                    }
+                }
+                CfMarker::Fine => {
+                    if s.row_nnz(i) > 0 {
+                        let covered = s
+                            .row(i)
+                            .0
+                            .iter()
+                            .chain(st.row(i).0)
+                            .any(|&j| cf[j] == CfMarker::Coarse);
+                        prop_assert!(covered, "F point {i} uncovered");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Interpolation columns are exactly the C points, weights are finite,
+    /// and C rows inject.
+    #[test]
+    fn interpolation_structurally_sound(n in 10usize..100, seed in 0u64..300) {
+        let a = random_spd(n, 6, seed);
+        let s = strength_matrix(&a, 0.25);
+        let cf = pmis(&s, seed);
+        let (p, cidx) = direct_interpolation(&a, &s, &cf);
+        prop_assert_eq!(p.n_cols(), count_coarse(&cf));
+        for i in 0..n {
+            let (cols, vals) = p.row(i);
+            prop_assert!(vals.iter().all(|v| v.is_finite()));
+            if cf[i] == CfMarker::Coarse {
+                prop_assert_eq!(cols, &[cidx[i].unwrap()][..]);
+                prop_assert_eq!(vals, &[1.0][..]);
+            }
+        }
+    }
+
+    /// Hierarchies on random SPD matrices terminate, strictly shrink, and
+    /// the V-cycle solver reduces the residual.
+    #[test]
+    fn hierarchy_solves_random_spd(n in 30usize..150, seed in 0u64..200) {
+        let a = random_spd(n, 5, seed);
+        let h = Hierarchy::setup(a.clone(), HierarchyOptions { max_coarse: 12, ..Default::default() });
+        let sizes = h.level_sizes();
+        for w in sizes.windows(2) {
+            prop_assert!(w[1] < w[0], "levels must shrink: {sizes:?}");
+        }
+        let x_true = random_vec(n, seed);
+        let b = a.spmv(&x_true);
+        let res = crate::cycle::solve(
+            &a_hierarchy(h),
+            &b,
+            &crate::cycle::SolveOptions { max_iters: 60, rel_tol: 1e-6, ..Default::default() },
+        );
+        let h0 = res.residual_history[0];
+        let hl = *res.residual_history.last().unwrap();
+        // diagonally dominant systems must at least contract substantially
+        prop_assert!(hl < h0 * 1e-3 || h0 == 0.0, "no progress: {h0} -> {hl}");
+    }
+}
+
+/// identity helper so the closure above reads naturally
+fn a_hierarchy(h: Hierarchy) -> Hierarchy {
+    h
+}

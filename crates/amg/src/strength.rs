@@ -1,0 +1,87 @@
+//! Classical strength of connection.
+
+use sparse::Csr;
+
+/// Classical (Ruge-Stüben) strength matrix: `j` strongly influences `i`
+/// when `-a_ij ≥ θ · max_{k≠i}(-a_ik)`. Positive off-diagonals are weak.
+///
+/// Returns a pattern matrix (values 1.0) with no diagonal. Rows with no
+/// negative off-diagonal entries have no strong connections.
+pub fn strength_matrix(a: &Csr, theta: f64) -> Csr {
+    assert!((0.0..=1.0).contains(&theta), "theta must be in [0, 1]");
+    assert_eq!(a.n_rows(), a.n_cols(), "strength needs a square matrix");
+    let n = a.n_rows();
+    let mut rowptr = Vec::with_capacity(n + 1);
+    rowptr.push(0usize);
+    let mut colind = Vec::new();
+    let mut vals = Vec::new();
+    for i in 0..n {
+        let (cols, avals) = a.row(i);
+        let mut max_neg = 0.0f64;
+        for (&j, &v) in cols.iter().zip(avals) {
+            if j != i && -v > max_neg {
+                max_neg = -v;
+            }
+        }
+        if max_neg > 0.0 {
+            let threshold = theta * max_neg;
+            for (&j, &v) in cols.iter().zip(avals) {
+                if j != i && -v >= threshold && -v > 0.0 {
+                    colind.push(j);
+                    vals.push(1.0);
+                }
+            }
+        }
+        rowptr.push(colind.len());
+    }
+    Csr::new(n, n, rowptr, colind, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::gen::{diffusion_2d_7pt, laplace_2d_5pt};
+
+    #[test]
+    fn laplacian_all_neighbors_strong() {
+        let a = laplace_2d_5pt(4, 4);
+        let s = strength_matrix(&a, 0.25);
+        // every off-diagonal is -1 → all strong; interior row has 4
+        assert_eq!(s.row_nnz(5), 4);
+        // no diagonal in S
+        assert_eq!(s.get(5, 5), 0.0);
+    }
+
+    #[test]
+    fn anisotropy_keeps_only_strong_direction() {
+        let a = diffusion_2d_7pt(8, 8, 0.001, std::f64::consts::FRAC_PI_4);
+        let s = strength_matrix(&a, 0.25);
+        // interior point: strong only along the NE/SW diagonal (2 entries)
+        let idx = 3 * 8 + 3;
+        assert_eq!(s.row_nnz(idx), 2);
+        let (cols, _) = s.row(idx);
+        assert_eq!(cols, &[idx - 9, idx + 9]); // SW and NE neighbors
+    }
+
+    #[test]
+    fn theta_one_keeps_only_max() {
+        let a = diffusion_2d_7pt(6, 6, 0.1, 0.3);
+        let s = strength_matrix(&a, 1.0);
+        for i in 0..a.n_rows() {
+            // with θ=1 only entries equal to the row max survive
+            assert!(s.row_nnz(i) >= 1 || a.row_nnz(i) <= 1);
+        }
+    }
+
+    #[test]
+    fn row_with_no_negative_offdiag_has_no_strong() {
+        use sparse::Coo;
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, 0.5); // positive off-diagonal
+        coo.push(1, 1, 1.0);
+        let a = Csr::from_coo(&coo);
+        let s = strength_matrix(&a, 0.25);
+        assert_eq!(s.nnz(), 0);
+    }
+}

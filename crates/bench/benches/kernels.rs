@@ -1,0 +1,42 @@
+//! Substrate kernel benches: SpMV, SpGEMM, AMG setup, PMIS coarsening.
+
+use amg::{Hierarchy, HierarchyOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparse::gen::diffusion::paper_problem;
+use sparse::spgemm::rap;
+use sparse::vector::random_vec;
+
+fn bench_spmv(c: &mut Criterion) {
+    let a = paper_problem(256, 128);
+    let x = random_vec(a.n_cols(), 1);
+    let mut y = vec![0.0; a.n_rows()];
+    c.bench_function("spmv_32k_rows", |b| b.iter(|| a.spmv_into(&x, &mut y)));
+}
+
+fn bench_rap(c: &mut Criterion) {
+    let a = paper_problem(128, 64);
+    let s = amg::strength_matrix(&a, 0.25);
+    let cf = amg::pmis(&s, 0);
+    let (p, _) = amg::direct_interpolation(&a, &s, &cf);
+    c.bench_function("galerkin_rap_8k_rows", |b| b.iter(|| rap(&a, &p).nnz()));
+}
+
+fn bench_pmis(c: &mut Criterion) {
+    let a = paper_problem(128, 64);
+    let s = amg::strength_matrix(&a, 0.25);
+    c.bench_function("pmis_8k_rows", |b| b.iter(|| amg::pmis(&s, 0).len()));
+}
+
+fn bench_hierarchy_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("amg_setup");
+    group.sample_size(10);
+    group.bench_function("setup_8k_rows", |b| {
+        b.iter(|| {
+            Hierarchy::setup(paper_problem(128, 64), HierarchyOptions::default()).n_levels()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv, bench_rap, bench_pmis, bench_hierarchy_setup);
+criterion_main!(benches);

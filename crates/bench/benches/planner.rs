@@ -1,0 +1,66 @@
+//! Planner benches: plan construction cost for each protocol, plus the
+//! round-robin vs load-balanced leader-assignment ablation called out in
+//! DESIGN.md.
+
+use bench_suite::workload::{level_patterns, paper_hierarchy, paper_topology};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpi_advance::agg::{AssignStrategy, Plan};
+use mpi_advance::{CommPattern, Protocol};
+
+fn busiest_pattern(ranks: usize) -> CommPattern {
+    let h = paper_hierarchy(256, 128);
+    level_patterns(&h, ranks)
+        .into_iter()
+        .max_by_key(|lp| lp.pattern.total_msgs())
+        .unwrap()
+        .pattern
+}
+
+fn bench_plan_build(c: &mut Criterion) {
+    let ranks = 256;
+    let pattern = busiest_pattern(ranks);
+    let topo = paper_topology(ranks);
+    let mut group = c.benchmark_group("plan_build_256ranks");
+    for protocol in Protocol::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol.label().replace(' ', "_")),
+            &protocol,
+            |b, &p| b.iter(|| p.plan(&pattern, &topo).global_msgs()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_assign_ablation(c: &mut Criterion) {
+    let ranks = 256;
+    let pattern = busiest_pattern(ranks);
+    let topo = paper_topology(ranks);
+    let mut group = c.benchmark_group("leader_assignment_ablation");
+    for (name, strategy) in [
+        ("round_robin", AssignStrategy::RoundRobin),
+        ("load_balanced", AssignStrategy::LoadBalanced),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| Plan::aggregated(&pattern, &topo, true, strategy).global_values())
+        });
+    }
+    group.finish();
+
+    // report the balance quality difference once (not timed)
+    let max_vol = |s: AssignStrategy| {
+        let plan = Plan::aggregated(&pattern, &topo, true, s);
+        let mut v = vec![0usize; ranks];
+        for m in &plan.g_step {
+            v[m.src] += m.n_values();
+        }
+        v.into_iter().max().unwrap_or(0)
+    };
+    eprintln!(
+        "# ablation: max per-rank inter-region volume — round-robin {}, load-balanced {}",
+        max_vol(AssignStrategy::RoundRobin),
+        max_vol(AssignStrategy::LoadBalanced)
+    );
+}
+
+criterion_group!(benches, bench_plan_build, bench_assign_ablation);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Wall-clock criterion benches: real execution of the four protocols on
+//! the thread-backed simulator at small scale (32 ranks, 4 per region).
+//!
+//! These measure actual data movement through the full persistent
+//! start/wait path — complementary to the modeled paper-scale figures.
+
+use bench_suite::workload::{level_patterns, paper_hierarchy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use locality::Topology;
+use mpi_advance::{CommPattern, PersistentNeighbor, Protocol};
+use mpisim::World;
+
+const RANKS: usize = 32;
+const ITERS_PER_SAMPLE: usize = 20;
+
+fn mid_level_pattern() -> CommPattern {
+    let h = paper_hierarchy(128, 64);
+    let levels = level_patterns(&h, RANKS);
+    // pick the level with the most messages — the communication-dominated
+    // middle of the hierarchy
+    levels
+        .into_iter()
+        .max_by_key(|lp| lp.pattern.total_msgs())
+        .expect("hierarchy has levels")
+        .pattern
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let pattern = mid_level_pattern();
+    let topo = Topology::block_nodes(RANKS, 4);
+    let mut group = c.benchmark_group("start_wait_32ranks");
+    group.sample_size(10);
+
+    for protocol in Protocol::ALL {
+        let plan = protocol.plan(&pattern, &topo);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol.label().replace(' ', "_")),
+            &plan,
+            |b, plan| {
+                b.iter(|| {
+                    World::run(RANKS, |ctx| {
+                        let comm = ctx.comm_world();
+                        let mut nb =
+                            PersistentNeighbor::init(&pattern, plan, ctx, &comm, 100);
+                        let input: Vec<f64> =
+                            nb.input_index().iter().map(|&i| i as f64).collect();
+                        let mut output = vec![0.0; nb.output_index().len()];
+                        for _ in 0..ITERS_PER_SAMPLE {
+                            nb.start(ctx, &input);
+                            nb.wait(ctx, &mut output);
+                        }
+                        output.first().copied().unwrap_or(0.0)
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_init(c: &mut Criterion) {
+    let pattern = mid_level_pattern();
+    let topo = Topology::block_nodes(RANKS, 4);
+    let mut group = c.benchmark_group("neighbor_init_32ranks");
+    group.sample_size(10);
+
+    for protocol in Protocol::ALL {
+        let plan = protocol.plan(&pattern, &topo);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol.label().replace(' ', "_")),
+            &plan,
+            |b, plan| {
+                b.iter(|| {
+                    World::run(RANKS, |ctx| {
+                        let comm = ctx.comm_world();
+                        let nb = PersistentNeighbor::init(&pattern, plan, ctx, &comm, 100);
+                        nb.input_index().len()
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols, bench_init);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation: round-robin vs load-balanced leader assignment (§3.2's
+//! "load balancing while determining which intra-region process
+//! communicates with each region").
+//!
+//! Reports, per AMG level at paper scale, the max per-rank inter-region
+//! volume under both strategies and the modeled iteration time — showing
+//! what the amortized load-balancing work inside
+//! `MPI_Neighbor_alltoallv_init` buys.
+
+use bench_suite::figures::paper_model;
+use bench_suite::workload::{level_patterns, paper_hierarchy, paper_topology, PAPER_NX, PAPER_NY};
+use mpi_advance::agg::{AssignStrategy, Plan};
+use mpi_advance::analytic::iteration_time;
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let (nx, ny, p) = if small { (128, 64, 64) } else { (PAPER_NX, PAPER_NY, 2048) };
+
+    eprintln!("# building hierarchy for {}x{}...", nx, ny);
+    let h = paper_hierarchy(nx, ny);
+    let levels = level_patterns(&h, p);
+    let topo = paper_topology(p);
+    let model = paper_model();
+
+    let max_vol = |plan: &Plan| {
+        let mut v = vec![0usize; p];
+        for m in &plan.g_step {
+            v[m.src] += m.n_values();
+        }
+        v.into_iter().max().unwrap_or(0)
+    };
+
+    println!("ablation,level,rr_max_vol,lb_max_vol,rr_time_s,lb_time_s");
+    let mut rr_total = 0.0;
+    let mut lb_total = 0.0;
+    for lp in &levels {
+        if lp.pattern.total_msgs() == 0 {
+            continue;
+        }
+        let rr = Plan::aggregated(&lp.pattern, &topo, true, AssignStrategy::RoundRobin);
+        let lb = Plan::aggregated(&lp.pattern, &topo, true, AssignStrategy::LoadBalanced);
+        let t_rr = iteration_time(&rr, &topo, &model, true).total;
+        let t_lb = iteration_time(&lb, &topo, &model, true).total;
+        rr_total += t_rr;
+        lb_total += t_lb;
+        println!(
+            "assign,{},{},{},{:.7},{:.7}",
+            lp.level,
+            max_vol(&rr),
+            max_vol(&lb),
+            t_rr,
+            t_lb
+        );
+    }
+    println!(
+        "# totals: round-robin {rr_total:.6}s, load-balanced {lb_total:.6}s ({:.1}% better)",
+        100.0 * (rr_total - lb_total) / rr_total
+    );
+    assert!(lb_total <= rr_total * 1.001, "load balancing must not lose");
+}

@@ -1,0 +1,49 @@
+//! Ablation: plain vs partitioned locality-aware aggregation (§5's
+//! "partitioning locality-aware messages").
+//!
+//! Compares, per AMG level at paper scale, the modeled iteration time of
+//! the fully optimized collective against its partitioned variant, where
+//! inter-region injection overlaps the intra-region staging step.
+
+use bench_suite::figures::paper_model;
+use bench_suite::workload::{level_patterns, paper_hierarchy, paper_topology, PAPER_NX, PAPER_NY};
+use mpi_advance::analytic::{iteration_time, iteration_time_partitioned};
+use mpi_advance::Protocol;
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let (nx, ny, p) = if small { (128, 64, 64) } else { (PAPER_NX, PAPER_NY, 2048) };
+
+    eprintln!("# building hierarchy for {}x{}...", nx, ny);
+    let h = paper_hierarchy(nx, ny);
+    let levels = level_patterns(&h, p);
+    let topo = paper_topology(p);
+    let model = paper_model();
+
+    println!("ablation,level,full_s,partitioned_s,gain_pct");
+    let mut totals = (0.0f64, 0.0f64);
+    for lp in &levels {
+        if lp.pattern.total_msgs() == 0 {
+            continue;
+        }
+        let plan = Protocol::FullNeighbor.plan(&lp.pattern, &topo);
+        let plain = iteration_time(&plan, &topo, &model, true).total;
+        let parted = iteration_time_partitioned(&plan, &topo, &model).total;
+        totals.0 += plain;
+        totals.1 += parted;
+        println!(
+            "partitioned,{},{:.7},{:.7},{:.1}",
+            lp.level,
+            plain,
+            parted,
+            100.0 * (plain - parted) / plain
+        );
+    }
+    println!(
+        "# totals: plain {:.6}s, partitioned {:.6}s ({:.1}% of the s-step hidden)",
+        totals.0,
+        totals.1,
+        100.0 * (totals.0 - totals.1) / totals.0
+    );
+    assert!(totals.1 <= totals.0 + 1e-12, "overlap cannot make the model slower");
+}

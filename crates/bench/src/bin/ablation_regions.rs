@@ -1,0 +1,55 @@
+//! Ablation: region granularity — node-level vs socket-level aggregation.
+//!
+//! The paper uses nodes as regions (16 ranks on one CPU per node). On
+//! machines where both sockets of a node are populated, aggregation could
+//! also be done per socket (more regions, smaller leaders' fan-in). This
+//! ablation compares the two on the Figure 1 SMP machine (2 sockets × 16
+//! cores per node).
+
+use bench_suite::figures::paper_model;
+use bench_suite::workload::{level_patterns, paper_hierarchy};
+use locality::{MachineSpec, RankMap, RegionScheme, Topology};
+use mpi_advance::analytic::iteration_time;
+use mpi_advance::{PlanStats, Protocol};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let (nx, ny, p) = if small { (128, 64, 64) } else { (512, 256, 1024) };
+
+    eprintln!("# building hierarchy for {}x{}...", nx, ny);
+    let h = paper_hierarchy(nx, ny);
+    let levels = level_patterns(&h, p);
+    let machine = MachineSpec::figure1_smp(p.div_ceil(32));
+    let map = RankMap::block(machine, p);
+    let node_topo = Topology::new(map.clone(), RegionScheme::Node);
+    let socket_topo = Topology::new(map, RegionScheme::Socket);
+    let model = paper_model();
+
+    println!("ablation,level,node_global_msgs,socket_global_msgs,node_time_s,socket_time_s");
+    let mut totals = (0.0f64, 0.0f64);
+    for lp in &levels {
+        if lp.pattern.total_msgs() == 0 {
+            continue;
+        }
+        let plan_node = Protocol::FullNeighbor.plan(&lp.pattern, &node_topo);
+        let plan_socket = Protocol::FullNeighbor.plan(&lp.pattern, &socket_topo);
+        let t_node = iteration_time(&plan_node, &node_topo, &model, true).total;
+        let t_socket = iteration_time(&plan_socket, &socket_topo, &model, true).total;
+        totals.0 += t_node;
+        totals.1 += t_socket;
+        println!(
+            "regions,{},{},{},{:.7},{:.7}",
+            lp.level,
+            PlanStats::of(&plan_node).max_global_msgs,
+            PlanStats::of(&plan_socket).max_global_msgs,
+            t_node,
+            t_socket
+        );
+    }
+    println!(
+        "# totals: node regions {:.6}s, socket regions {:.6}s",
+        totals.0, totals.1
+    );
+    println!("# socket regions double the region count: more inter-region messages,");
+    println!("# but each leader funnels half as much intra-region traffic.");
+}

@@ -1,0 +1,14 @@
+//! Figure-regeneration harness.
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4); this
+//! library holds the shared workload construction and evaluation helpers.
+//! All binaries print CSV-style rows plus a comparison against the paper's
+//! reported numbers, and are collected in EXPERIMENTS.md.
+
+pub mod figures;
+pub mod workload;
+
+pub use workload::{
+    level_patterns, paper_hierarchy, paper_topology, LevelPattern, PAPER_NX, PAPER_NY,
+    PAPER_PPN, PAPER_ROWS,
+};

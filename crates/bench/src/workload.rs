@@ -1,0 +1,101 @@
+//! The paper's evaluation workload.
+//!
+//! All experiments run on a 7-point rotated anisotropic diffusion system
+//! (θ = 45°, ε = 0.001) with 524 288 rows (1024 × 512 grid), solved by
+//! BoomerAMG, on a Lassen-like machine using 16 ranks per node (§4).
+
+use amg::{DistributedHierarchy, Hierarchy, HierarchyOptions};
+use locality::Topology;
+use mpi_advance::CommPattern;
+
+/// Grid dimensions of the 524 288-row paper problem.
+pub const PAPER_NX: usize = 1024;
+pub const PAPER_NY: usize = 512;
+/// Total rows of the strong-scaled problem.
+pub const PAPER_ROWS: usize = PAPER_NX * PAPER_NY;
+/// Ranks per node in all paper experiments.
+pub const PAPER_PPN: usize = 16;
+
+/// Build the AMG hierarchy for an `nx × ny` rotated anisotropic diffusion
+/// problem with the paper's parameters.
+pub fn paper_hierarchy(nx: usize, ny: usize) -> Hierarchy {
+    let a = sparse::gen::diffusion::paper_problem(nx, ny);
+    Hierarchy::setup(a, HierarchyOptions::default())
+}
+
+/// The paper's machine topology for `n_ranks` ranks (16 per node, node
+/// regions).
+pub fn paper_topology(n_ranks: usize) -> Topology {
+    Topology::block_nodes(n_ranks, PAPER_PPN.min(n_ranks))
+}
+
+/// One level's communication workload.
+pub struct LevelPattern {
+    pub level: usize,
+    pub n_rows: usize,
+    pub pattern: CommPattern,
+}
+
+/// The SpMV halo-exchange pattern of every level of `h` when partitioned
+/// over `n_ranks` ranks.
+pub fn level_patterns(h: &Hierarchy, n_ranks: usize) -> Vec<LevelPattern> {
+    let dist = DistributedHierarchy::build(h, n_ranks);
+    dist.levels
+        .iter()
+        .map(|lvl| LevelPattern {
+            level: lvl.level,
+            n_rows: lvl.n_rows,
+            pattern: CommPattern::from_comm_pkgs(&lvl.pkgs),
+        })
+        .collect()
+}
+
+/// Rows per process in the weak-scaling study: the smallest strong-scaling
+/// configuration (524 288 rows on 64 processes) held constant per process,
+/// which reproduces Figure 13's magnitudes (its communication times are
+/// ~4× the strong-scaled ones at 2048 processes).
+pub const WEAK_ROWS_PER_PROC: usize = 8192;
+
+/// Grid sizes for the weak-scaling study (Figure 13).
+pub fn weak_scaling_grid(n_ranks: usize) -> (usize, usize) {
+    let rows = WEAK_ROWS_PER_PROC * n_ranks;
+    // keep the 2:1 aspect ratio of the strong-scaled problem, rounding to
+    // a grid that covers the requested rows exactly
+    let ny = ((rows / 2) as f64).sqrt().round() as usize;
+    let ny = ny.max(2);
+    let nx = rows / ny;
+    (nx, ny)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_workload_builds() {
+        let h = paper_hierarchy(64, 32);
+        assert!(h.n_levels() >= 4);
+        let lp = level_patterns(&h, 8);
+        assert_eq!(lp.len(), h.n_levels());
+        assert!(lp[0].pattern.total_msgs() > 0);
+        assert_eq!(lp[0].n_rows, 2048);
+    }
+
+    #[test]
+    fn weak_scaling_sizes() {
+        // 64 procs × 8192 rows/proc = the strong-scaled 524 288-row system
+        let (nx, ny) = weak_scaling_grid(64);
+        assert_eq!(nx * ny, PAPER_ROWS);
+        let (nx, ny) = weak_scaling_grid(32);
+        assert!((nx * ny).abs_diff(WEAK_ROWS_PER_PROC * 32) < 1024);
+    }
+
+    #[test]
+    fn topology_matches_paper_config() {
+        let t = paper_topology(2048);
+        assert_eq!(t.n_regions(), 128);
+        assert_eq!(t.region_members(0).len(), 16);
+        // small runs use one node
+        assert_eq!(paper_topology(2).n_regions(), 1);
+    }
+}

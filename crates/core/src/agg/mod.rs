@@ -1,0 +1,371 @@
+//! The locality-aware aggregation planner (paper §3.2–3.3).
+//!
+//! A [`Plan`] describes one persistent neighborhood collective as four step
+//! message lists (paper Algorithm 4):
+//!
+//! * `ℓ` (`local`) — fully local messages: source and destination share a
+//!   region; sent directly.
+//! * `s` (`s_step`) — initial intra-region redistribution: each rank ships
+//!   the data bound for remote region *B* to the region's sending leader
+//!   for *B*.
+//! * `g` (`g_step`) — inter-region communication: exactly one message per
+//!   (source region, destination region) pair with traffic.
+//! * `r` (`r_step`) — final intra-region redistribution from the receiving
+//!   leader to the final destinations.
+//!
+//! [`Plan::standard`] puts every pattern message directly in `ℓ`/`g` with
+//! empty `s`/`r` — the §3.1 standard implementation — so all protocols
+//! share one statistics/execution/cost machinery.
+//!
+//! With `dedup = true` (the §3.3 API extension) a value crosses a region
+//! pair **once** regardless of how many final destinations need it; the
+//! receiving leader expands it locally.
+
+pub mod assign;
+pub mod verify;
+
+pub use assign::{AssignStrategy, LeaderAssignment};
+
+use crate::pattern::CommPattern;
+use locality::Topology;
+use std::collections::BTreeMap;
+
+/// One inter-region demand: (origin rank, value index, final destination).
+type Demand = (usize, usize, usize);
+
+/// One value slot inside a step message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Slot {
+    /// Global index of the value (the §3.3 extension's `send_idx`).
+    pub index: usize,
+    /// Rank owning the value.
+    pub origin: usize,
+    /// Final destination ranks served by this slot. Exactly one for
+    /// `ℓ`/`s`/`r` slots and for non-dedup `g` slots; possibly several for
+    /// dedup `g` slots (the receiving leader fans the value out).
+    pub final_dsts: Vec<usize>,
+}
+
+impl Slot {
+    /// Deterministic ordering key shared by sender and receiver.
+    fn sort_key(&self) -> (usize, usize, usize) {
+        (self.index, self.origin, self.final_dsts[0])
+    }
+}
+
+/// One planned message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanMsg {
+    pub src: usize,
+    pub dst: usize,
+    pub slots: Vec<Slot>,
+}
+
+impl PlanMsg {
+    /// Number of values in the payload (message size in values; bytes are
+    /// `8×` this for `f64` data).
+    pub fn n_values(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// A complete communication plan for one pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    pub n_ranks: usize,
+    /// True when built by [`Plan::aggregated`].
+    pub aggregated: bool,
+    /// True when duplicate values are removed from inter-region messages.
+    pub dedup: bool,
+    pub local: Vec<PlanMsg>,
+    pub s_step: Vec<PlanMsg>,
+    pub g_step: Vec<PlanMsg>,
+    pub r_step: Vec<PlanMsg>,
+}
+
+impl Plan {
+    /// The §3.1 standard implementation: every pattern message goes
+    /// directly to its destination. Same-region messages land in `local`,
+    /// the rest in `g_step`; `s`/`r` stay empty.
+    pub fn standard(pattern: &CommPattern, topo: &Topology) -> Self {
+        assert_eq!(pattern.n_ranks, topo.n_ranks());
+        let mut local = Vec::new();
+        let mut g_step = Vec::new();
+        for (src, list) in pattern.sends.iter().enumerate() {
+            for (dst, indices) in list {
+                let slots = indices
+                    .iter()
+                    .map(|&i| Slot { index: i, origin: src, final_dsts: vec![*dst] })
+                    .collect();
+                let msg = PlanMsg { src, dst: *dst, slots };
+                if topo.same_region(src, *dst) {
+                    local.push(msg);
+                } else {
+                    g_step.push(msg);
+                }
+            }
+        }
+        Self {
+            n_ranks: pattern.n_ranks,
+            aggregated: false,
+            dedup: false,
+            local,
+            s_step: Vec::new(),
+            g_step,
+            r_step: Vec::new(),
+        }
+    }
+
+    /// Three-step locality-aware aggregation (§3.2), optionally with
+    /// duplicate removal (§3.3).
+    pub fn aggregated(
+        pattern: &CommPattern,
+        topo: &Topology,
+        dedup: bool,
+        strategy: AssignStrategy,
+    ) -> Self {
+        assert_eq!(pattern.n_ranks, topo.n_ranks());
+        let mut local = Vec::new();
+
+        // Collect inter-region demands per ordered region pair.
+        let mut pair_demands: BTreeMap<(usize, usize), Vec<Demand>> = BTreeMap::new();
+        for (src, list) in pattern.sends.iter().enumerate() {
+            for (dst, indices) in list {
+                if topo.same_region(src, *dst) {
+                    let slots = indices
+                        .iter()
+                        .map(|&i| Slot { index: i, origin: src, final_dsts: vec![*dst] })
+                        .collect();
+                    local.push(PlanMsg { src, dst: *dst, slots });
+                } else {
+                    let pair = (topo.region_of(src), topo.region_of(*dst));
+                    let d = pair_demands.entry(pair).or_default();
+                    d.extend(indices.iter().map(|&i| (src, i, *dst)));
+                }
+            }
+        }
+
+        // Inter-region volumes (in values) drive load balancing.
+        let volumes: BTreeMap<(usize, usize), usize> = pair_demands
+            .iter()
+            .map(|(&pair, demands)| {
+                let v = if dedup {
+                    let mut idx: Vec<usize> = demands.iter().map(|d| d.1).collect();
+                    idx.sort_unstable();
+                    idx.dedup();
+                    idx.len()
+                } else {
+                    demands.len()
+                };
+                (pair, v)
+            })
+            .collect();
+        let leaders = assign::assign_leaders(&volumes, topo, strategy);
+
+        let mut s_step = Vec::new();
+        let mut g_step = Vec::new();
+        let mut r_step = Vec::new();
+
+        for (&pair, demands) in &pair_demands {
+            let (lead_send, lead_recv) = leaders.get(pair);
+
+            // Build the g slots for this pair.
+            let mut g_slots: Vec<Slot> = if dedup {
+                // one slot per unique value index, fanning out to all its
+                // final destinations in the pair's destination region
+                let mut by_index: BTreeMap<usize, (usize, Vec<usize>)> = BTreeMap::new();
+                for &(origin, index, fd) in demands {
+                    let e = by_index.entry(index).or_insert_with(|| (origin, Vec::new()));
+                    debug_assert_eq!(e.0, origin, "one owner per value index");
+                    e.1.push(fd);
+                }
+                by_index
+                    .into_iter()
+                    .map(|(index, (origin, mut fds))| {
+                        fds.sort_unstable();
+                        fds.dedup();
+                        Slot { index, origin, final_dsts: fds }
+                    })
+                    .collect()
+            } else {
+                demands
+                    .iter()
+                    .map(|&(origin, index, fd)| Slot { index, origin, final_dsts: vec![fd] })
+                    .collect()
+            };
+            g_slots.sort_by_key(Slot::sort_key);
+
+            // s step: origins that are not the sending leader forward their
+            // slots to it (one message per origin per region pair).
+            let mut by_origin: BTreeMap<usize, Vec<Slot>> = BTreeMap::new();
+            for slot in &g_slots {
+                if slot.origin != lead_send {
+                    by_origin.entry(slot.origin).or_default().push(slot.clone());
+                }
+            }
+            for (origin, slots) in by_origin {
+                s_step.push(PlanMsg { src: origin, dst: lead_send, slots });
+            }
+
+            // r step: the receiving leader forwards each delivered value to
+            // every final destination other than itself (one message per
+            // destination per region pair).
+            let mut by_fd: BTreeMap<usize, Vec<Slot>> = BTreeMap::new();
+            for slot in &g_slots {
+                for &fd in &slot.final_dsts {
+                    if fd != lead_recv {
+                        by_fd.entry(fd).or_default().push(Slot {
+                            index: slot.index,
+                            origin: slot.origin,
+                            final_dsts: vec![fd],
+                        });
+                    }
+                }
+            }
+            for (fd, slots) in by_fd {
+                r_step.push(PlanMsg { src: lead_recv, dst: fd, slots });
+            }
+
+            g_step.push(PlanMsg { src: lead_send, dst: lead_recv, slots: g_slots });
+        }
+
+        local.sort_by_key(|m| (m.src, m.dst));
+        s_step.sort_by_key(|m| (m.src, m.dst));
+        g_step.sort_by_key(|m| (m.src, m.dst));
+        r_step.sort_by_key(|m| (m.src, m.dst));
+
+        Self { n_ranks: pattern.n_ranks, aggregated: true, dedup, local, s_step, g_step, r_step }
+    }
+
+    /// All four step lists with their names, in execution order.
+    pub fn steps(&self) -> [(&'static str, &[PlanMsg]); 4] {
+        [
+            ("local", self.local.as_slice()),
+            ("s", self.s_step.as_slice()),
+            ("g", self.g_step.as_slice()),
+            ("r", self.r_step.as_slice()),
+        ]
+    }
+
+    /// Total inter-region values moved per iteration.
+    pub fn global_values(&self) -> usize {
+        self.g_step.iter().map(PlanMsg::n_values).sum()
+    }
+
+    /// Total inter-region messages per iteration.
+    pub fn global_msgs(&self) -> usize {
+        self.g_step.len()
+    }
+
+    /// Total intra-region messages per iteration (ℓ + s + r).
+    pub fn local_msgs(&self) -> usize {
+        self.local.len() + self.s_step.len() + self.r_step.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::verify::verify_plan;
+    use crate::pattern::CommPattern;
+
+    fn example() -> (CommPattern, Topology) {
+        (CommPattern::example_2_1(), Topology::block_nodes(8, 4))
+    }
+
+    #[test]
+    fn standard_matches_figure_3() {
+        let (pattern, topo) = example();
+        let plan = Plan::standard(&pattern, &topo);
+        // Figure 3: 15 inter-region messages, no local ones in the example
+        assert_eq!(plan.global_msgs(), 15);
+        assert!(plan.local.is_empty());
+        assert_eq!(plan.global_values(), 17);
+        verify_plan(&pattern, &plan, &topo);
+    }
+
+    #[test]
+    fn partial_aggregation_matches_figure_4() {
+        let (pattern, topo) = example();
+        let plan = Plan::aggregated(&pattern, &topo, false, AssignStrategy::RoundRobin);
+        // One region pair with traffic ⇒ exactly one inter-region message.
+        assert_eq!(plan.global_msgs(), 1);
+        // Duplicates still cross: 17 value slots.
+        assert_eq!(plan.global_values(), 17);
+        verify_plan(&pattern, &plan, &topo);
+    }
+
+    #[test]
+    fn full_aggregation_matches_figure_5() {
+        let (pattern, topo) = example();
+        let plan = Plan::aggregated(&pattern, &topo, true, AssignStrategy::RoundRobin);
+        assert_eq!(plan.global_msgs(), 1);
+        // Each of the 8 values crosses the region pair exactly once.
+        assert_eq!(plan.global_values(), 8);
+        verify_plan(&pattern, &plan, &topo);
+    }
+
+    #[test]
+    fn s_step_skips_the_leader_itself() {
+        let (pattern, topo) = example();
+        let plan = Plan::aggregated(&pattern, &topo, false, AssignStrategy::RoundRobin);
+        let leader = plan.g_step[0].src;
+        assert!(plan.s_step.iter().all(|m| m.src != leader && m.dst == leader));
+        // three non-leader origins send s messages
+        assert_eq!(plan.s_step.len(), 3);
+    }
+
+    #[test]
+    fn r_step_covers_non_leader_destinations() {
+        let (pattern, topo) = example();
+        let plan = Plan::aggregated(&pattern, &topo, true, AssignStrategy::RoundRobin);
+        let recv_leader = plan.g_step[0].dst;
+        assert!(plan.r_step.iter().all(|m| m.src == recv_leader && m.dst != recv_leader));
+        // all four region-1 processes need data; leader keeps its own
+        assert_eq!(plan.r_step.len(), 3);
+    }
+
+    #[test]
+    fn dedup_never_increases_global_volume() {
+        let (pattern, topo) = example();
+        let partial = Plan::aggregated(&pattern, &topo, false, AssignStrategy::RoundRobin);
+        let full = Plan::aggregated(&pattern, &topo, true, AssignStrategy::RoundRobin);
+        assert!(full.global_values() <= partial.global_values());
+        // and the s step shrinks identically
+        let s_partial: usize = partial.s_step.iter().map(PlanMsg::n_values).sum();
+        let s_full: usize = full.s_step.iter().map(PlanMsg::n_values).sum();
+        assert!(s_full <= s_partial);
+    }
+
+    #[test]
+    fn single_region_pattern_is_all_local() {
+        let pattern = CommPattern::new(
+            4,
+            vec![
+                vec![(1, vec![0]), (2, vec![1])],
+                vec![(3, vec![2])],
+                vec![],
+                vec![(0, vec![3])],
+            ],
+        );
+        let topo = Topology::block_nodes(4, 4); // one region
+        let plan = Plan::aggregated(&pattern, &topo, true, AssignStrategy::RoundRobin);
+        assert_eq!(plan.global_msgs(), 0);
+        assert!(plan.s_step.is_empty() && plan.r_step.is_empty());
+        assert_eq!(plan.local.len(), 4);
+        verify_plan(&pattern, &plan, &topo);
+    }
+
+    #[test]
+    fn empty_pattern_empty_plan() {
+        let pattern = CommPattern::empty(8);
+        let topo = Topology::block_nodes(8, 4);
+        for plan in [
+            Plan::standard(&pattern, &topo),
+            Plan::aggregated(&pattern, &topo, true, AssignStrategy::LoadBalanced),
+        ] {
+            assert_eq!(plan.global_msgs() + plan.local_msgs(), 0);
+            verify_plan(&pattern, &plan, &topo);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Plan verification: routing soundness.
+//!
+//! Independently of execution, a plan can be checked symbolically: chasing
+//! every slot through ℓ/s/g/r must deliver **each (value, destination)
+//! demand of the pattern exactly once**, and every staged hop must be
+//! consistent (s slots must reappear in g; g fan-outs must be covered by r
+//! or terminate at the receiving leader).
+
+use super::{Plan, PlanMsg};
+use crate::pattern::CommPattern;
+use locality::Topology;
+use std::collections::HashMap;
+
+/// Panics with a diagnostic if `plan` does not deliver `pattern` exactly.
+pub fn verify_plan(pattern: &CommPattern, plan: &Plan, topo: &Topology) {
+    let mut delivered: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut deliver = |index: usize, dst: usize| {
+        *delivered.entry((index, dst)).or_default() += 1;
+    };
+
+    // ℓ messages deliver directly.
+    for m in &plan.local {
+        assert!(topo.same_region(m.src, m.dst), "ℓ message {}→{} crosses regions", m.src, m.dst);
+        for s in &m.slots {
+            assert_eq!(s.final_dsts.as_slice(), &[m.dst], "ℓ slot must target the receiver");
+            assert_eq!(s.origin, m.src, "ℓ slot origin must be the sender");
+            deliver(s.index, m.dst);
+        }
+    }
+
+    // s slots must be matched by identical g slots from the same leader.
+    // Build a multiset of (origin, index, first_fd) per leader from g.
+    let mut g_expect: HashMap<(usize, usize, usize, usize), usize> = HashMap::new();
+    for m in &plan.g_step {
+        assert!(!topo.same_region(m.src, m.dst), "g message {}→{} stays local", m.src, m.dst);
+        for s in &m.slots {
+            assert!(!s.final_dsts.is_empty());
+            if s.origin != m.src {
+                *g_expect.entry((m.src, s.origin, s.index, s.final_dsts[0])).or_default() += 1;
+            }
+            if !plan.dedup {
+                assert_eq!(s.final_dsts.len(), 1, "non-dedup g slot fans out");
+            }
+        }
+    }
+    for m in &plan.s_step {
+        assert!(topo.same_region(m.src, m.dst), "s message {}→{} crosses regions", m.src, m.dst);
+        for s in &m.slots {
+            assert_eq!(s.origin, m.src, "s slot origin must be the sender");
+            let key = (m.dst, s.origin, s.index, s.final_dsts[0]);
+            let c = g_expect.get_mut(&key).unwrap_or_else(|| {
+                panic!("s slot {key:?} has no matching g slot at leader {}", m.dst)
+            });
+            assert!(*c > 0, "s slot {key:?} over-supplied");
+            *c -= 1;
+        }
+    }
+    assert!(
+        g_expect.values().all(|&c| c == 0),
+        "g slots not covered by s: {:?}",
+        g_expect.iter().filter(|(_, &c)| c > 0).take(5).collect::<Vec<_>>()
+    );
+
+    // g fan-outs: terminate at the receiving leader or get forwarded by r.
+    let mut r_expect: HashMap<(usize, usize, usize), usize> = HashMap::new();
+    for m in &plan.g_step {
+        for s in &m.slots {
+            for &fd in &s.final_dsts {
+                assert_eq!(
+                    topo.region_of(fd),
+                    topo.region_of(m.dst),
+                    "g slot final dst {fd} outside receiver region"
+                );
+                if fd == m.dst {
+                    deliver(s.index, fd);
+                } else {
+                    *r_expect.entry((m.dst, fd, s.index)).or_default() += 1;
+                }
+            }
+        }
+    }
+    for m in &plan.r_step {
+        assert!(topo.same_region(m.src, m.dst), "r message {}→{} crosses regions", m.src, m.dst);
+        for s in &m.slots {
+            assert_eq!(s.final_dsts.as_slice(), &[m.dst], "r slot must target the receiver");
+            let key = (m.src, m.dst, s.index);
+            let c = r_expect
+                .get_mut(&key)
+                .unwrap_or_else(|| panic!("r slot {key:?} was never handed to this leader"));
+            assert!(*c > 0, "r slot {key:?} duplicated");
+            *c -= 1;
+            deliver(s.index, m.dst);
+        }
+    }
+    assert!(
+        r_expect.values().all(|&c| c == 0),
+        "g fan-outs not forwarded by r: {:?}",
+        r_expect.iter().filter(|(_, &c)| c > 0).take(5).collect::<Vec<_>>()
+    );
+
+    // Deliveries must match the pattern demands exactly once each.
+    let mut demands: HashMap<(usize, usize), usize> = HashMap::new();
+    for list in pattern.sends.iter() {
+        for (dst, indices) in list {
+            for &i in indices {
+                *demands.entry((i, *dst)).or_default() += 1;
+            }
+        }
+    }
+    for (key, &count) in &demands {
+        let got = delivered.get(key).copied().unwrap_or(0);
+        assert_eq!(got, count, "demand {key:?} delivered {got} times, expected {count}");
+    }
+    for (key, &count) in &delivered {
+        assert!(
+            demands.contains_key(key),
+            "spurious delivery {key:?} ({count} times) not demanded by the pattern"
+        );
+    }
+}
+
+/// Count messages sent by each rank across the given step lists.
+pub fn sends_per_rank(steps: &[&[PlanMsg]], n_ranks: usize) -> Vec<usize> {
+    let mut out = vec![0usize; n_ranks];
+    for step in steps {
+        for m in *step {
+            out[m.src] += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::{AssignStrategy, Plan};
+
+    #[test]
+    fn verify_accepts_all_protocols_on_example() {
+        let pattern = CommPattern::example_2_1();
+        let topo = Topology::block_nodes(8, 4);
+        verify_plan(&pattern, &Plan::standard(&pattern, &topo), &topo);
+        for dedup in [false, true] {
+            for strategy in [AssignStrategy::RoundRobin, AssignStrategy::LoadBalanced] {
+                verify_plan(&pattern, &Plan::aggregated(&pattern, &topo, dedup, strategy), &topo);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delivered 0 times")]
+    fn verify_rejects_dropped_message() {
+        let pattern = CommPattern::example_2_1();
+        let topo = Topology::block_nodes(8, 4);
+        let mut plan = Plan::standard(&pattern, &topo);
+        plan.g_step.pop();
+        verify_plan(&pattern, &plan, &topo);
+    }
+
+    #[test]
+    #[should_panic(expected = "spurious delivery")]
+    fn verify_rejects_extra_delivery() {
+        let pattern = CommPattern::example_2_1();
+        let topo = Topology::block_nodes(8, 4);
+        let mut plan = Plan::standard(&pattern, &topo);
+        let extra = plan.g_step[0].clone();
+        let mut dup = extra.clone();
+        dup.slots[0].index = 9999;
+        dup.slots.truncate(1);
+        plan.g_step.push(dup);
+        verify_plan(&pattern, &plan, &topo);
+    }
+
+    #[test]
+    fn sends_per_rank_counts() {
+        let pattern = CommPattern::example_2_1();
+        let topo = Topology::block_nodes(8, 4);
+        let plan = Plan::standard(&pattern, &topo);
+        let counts = sends_per_rank(&[&plan.g_step], 8);
+        assert_eq!(counts[..4].iter().sum::<usize>(), 15);
+        assert_eq!(counts[4..].iter().sum::<usize>(), 0);
+    }
+}

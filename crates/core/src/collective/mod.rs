@@ -1,0 +1,115 @@
+//! The four communication protocols of the paper's evaluation (§4) and the
+//! model-driven dynamic selection the paper proposes as future work (§5).
+
+pub mod select;
+
+pub use select::choose_protocol;
+
+use crate::agg::{AssignStrategy, Plan};
+use crate::pattern::CommPattern;
+use locality::Topology;
+use serde::{Deserialize, Serialize};
+
+/// The four protocols compared throughout §4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Persistent point-to-point as implemented in Hypre 2.28.
+    StandardHypre,
+    /// The same messages wrapped in a persistent neighborhood collective
+    /// (§3.1) — "unoptimized neighbor".
+    StandardNeighbor,
+    /// Locality-aware three-step aggregation (§3.2) — "partially optimized".
+    PartialNeighbor,
+    /// Aggregation plus duplicate removal (§3.3) — "fully optimized".
+    FullNeighbor,
+}
+
+impl Protocol {
+    /// All four, in the paper's presentation order.
+    pub const ALL: [Protocol; 4] = [
+        Protocol::StandardHypre,
+        Protocol::StandardNeighbor,
+        Protocol::PartialNeighbor,
+        Protocol::FullNeighbor,
+    ];
+
+    /// The label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Protocol::StandardHypre => "Standard Hypre",
+            Protocol::StandardNeighbor => "Unoptimized Neighbor",
+            Protocol::PartialNeighbor => "Partially Optimized Neighbor",
+            Protocol::FullNeighbor => "Fully Optimized Neighbor",
+        }
+    }
+
+    /// Build this protocol's communication plan for `pattern`.
+    pub fn plan(&self, pattern: &CommPattern, topo: &Topology) -> Plan {
+        self.plan_with(pattern, topo, AssignStrategy::LoadBalanced)
+    }
+
+    /// Build the plan with an explicit leader-assignment strategy
+    /// (aggregating protocols only; ignored otherwise).
+    pub fn plan_with(
+        &self,
+        pattern: &CommPattern,
+        topo: &Topology,
+        strategy: AssignStrategy,
+    ) -> Plan {
+        match self {
+            Protocol::StandardHypre | Protocol::StandardNeighbor => {
+                Plan::standard(pattern, topo)
+            }
+            Protocol::PartialNeighbor => Plan::aggregated(pattern, topo, false, strategy),
+            Protocol::FullNeighbor => Plan::aggregated(pattern, topo, true, strategy),
+        }
+    }
+
+    /// Whether Start/Wait run through the neighborhood-collective wrapper.
+    pub fn is_wrapped(&self) -> bool {
+        !matches!(self, Protocol::StandardHypre)
+    }
+
+    /// Whether this protocol needs the indices extension of §3.3.
+    pub fn needs_indices(&self) -> bool {
+        matches!(self, Protocol::FullNeighbor)
+    }
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::verify::verify_plan;
+
+    #[test]
+    fn all_protocols_produce_valid_plans() {
+        let pattern = CommPattern::example_2_1();
+        let topo = Topology::block_nodes(8, 4);
+        for p in Protocol::ALL {
+            let plan = p.plan(&pattern, &topo);
+            verify_plan(&pattern, &plan, &topo);
+            assert_eq!(plan.aggregated, matches!(p, Protocol::PartialNeighbor | Protocol::FullNeighbor));
+            assert_eq!(plan.dedup, p.needs_indices());
+        }
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Protocol::StandardHypre.label(), "Standard Hypre");
+        assert_eq!(Protocol::FullNeighbor.to_string(), "Fully Optimized Neighbor");
+    }
+
+    #[test]
+    fn wrapping_flags() {
+        assert!(!Protocol::StandardHypre.is_wrapped());
+        assert!(Protocol::StandardNeighbor.is_wrapped());
+        assert!(Protocol::FullNeighbor.needs_indices());
+        assert!(!Protocol::PartialNeighbor.needs_indices());
+    }
+}

@@ -1,0 +1,117 @@
+//! Model-driven dynamic protocol selection.
+//!
+//! Paper §5: "a simple performance measure is needed within the
+//! neighborhood collective to dynamically select the optimal communication
+//! strategy" — and §4.2's scaling figures already assume it ("summing up
+//! the least expensive of standard communication and the given optimized
+//! neighbor collective at each step"). This module implements that
+//! selection: evaluate each candidate's plan under the performance model at
+//! init time and keep the cheapest.
+
+use crate::analytic::iteration_time;
+use crate::collective::Protocol;
+use crate::pattern::CommPattern;
+use locality::Topology;
+use perfmodel::CostModel;
+
+/// Pick the protocol with the lowest modeled per-iteration time for
+/// `pattern`, among `candidates`. Returns the winner and its modeled time.
+pub fn choose_among(
+    candidates: &[Protocol],
+    pattern: &CommPattern,
+    topo: &Topology,
+    model: &dyn CostModel,
+) -> (Protocol, f64) {
+    assert!(!candidates.is_empty());
+    candidates
+        .iter()
+        .map(|&p| {
+            let plan = p.plan(pattern, topo);
+            let t = iteration_time(&plan, topo, model, p.is_wrapped()).total;
+            (p, t)
+        })
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty candidates")
+}
+
+/// Pick among all four protocols.
+pub fn choose_protocol(
+    pattern: &CommPattern,
+    topo: &Topology,
+    model: &dyn CostModel,
+) -> (Protocol, f64) {
+    choose_among(&Protocol::ALL, pattern, topo, model)
+}
+
+/// Per-level best-of time used by the paper's scaling studies: the minimum
+/// of the standard protocol and `optimized` on this pattern.
+pub fn best_of_with_standard(
+    optimized: Protocol,
+    pattern: &CommPattern,
+    topo: &Topology,
+    model: &dyn CostModel,
+) -> f64 {
+    choose_among(&[Protocol::StandardHypre, optimized], pattern, topo, model).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfmodel::LocalityModel;
+
+    #[test]
+    fn dense_irregular_pattern_selects_aggregation() {
+        // Many small inter-region messages per rank → aggregation wins.
+        let topo = Topology::block_nodes(32, 4);
+        let pattern = CommPattern::all_to_all_regions(&topo);
+        let model = LocalityModel::lassen();
+        let (winner, _) = choose_protocol(&pattern, &topo, &model);
+        assert!(
+            matches!(winner, Protocol::PartialNeighbor | Protocol::FullNeighbor),
+            "got {winner}"
+        );
+    }
+
+    #[test]
+    fn sparse_neighbor_pattern_keeps_standard() {
+        // One tiny message to the next node: aggregation adds pure overhead,
+        // so the selector must keep a standard protocol (paper §5: optimized
+        // collectives can *increase* costs for light patterns).
+        let pattern = CommPattern::new(
+            8,
+            vec![
+                vec![(4, vec![0])],
+                vec![],
+                vec![],
+                vec![],
+                vec![(0, vec![100])],
+                vec![],
+                vec![],
+                vec![],
+            ],
+        );
+        let topo = Topology::block_nodes(8, 4);
+        let model = LocalityModel::lassen();
+        let (winner, _) = choose_protocol(&pattern, &topo, &model);
+        assert!(
+            matches!(winner, Protocol::StandardHypre | Protocol::StandardNeighbor),
+            "got {winner}"
+        );
+    }
+
+    #[test]
+    fn best_of_never_worse_than_standard() {
+        let pattern = CommPattern::example_2_1();
+        let topo = Topology::block_nodes(8, 4);
+        let model = LocalityModel::lassen();
+        let std_t = iteration_time(
+            &Protocol::StandardHypre.plan(&pattern, &topo),
+            &topo,
+            &model,
+            false,
+        )
+        .total;
+        let best = best_of_with_standard(Protocol::FullNeighbor, &pattern, &topo, &model);
+        assert!(best <= std_t + 1e-15);
+    }
+}

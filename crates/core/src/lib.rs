@@ -1,0 +1,40 @@
+//! `mpi-advance` — persistent neighborhood collectives with locality-aware
+//! aggregation (the paper's contribution).
+//!
+//! The library mirrors the role of the MPI Advance repository: it sits *on
+//! top of* an MPI layer (here the `mpisim` runtime) and provides optimized
+//! implementations of the persistent `MPI_Neighbor_alltoallv`:
+//!
+//! * [`Protocol::StandardNeighbor`] — wraps persistent point-to-point
+//!   messages (paper §3.1, Algorithms 1–3);
+//! * [`Protocol::PartialNeighbor`] — three-step locality-aware aggregation:
+//!   intra-region redistribution, one message per region pair, final
+//!   intra-region redistribution (paper §3.2, Algorithms 4–6);
+//! * [`Protocol::FullNeighbor`] — aggregation plus removal of duplicate
+//!   values between region pairs, enabled by the per-value-indices API
+//!   extension (paper §3.3);
+//! * [`Protocol::StandardHypre`] — the baseline: persistent point-to-point
+//!   as Hypre 2.28 implements it (no topology communicator).
+//!
+//! Two consumers share the planner: [`exec`] posts real persistent messages
+//! on `mpisim` (correctness, wall-clock benches), and [`analytic`] evaluates
+//! modeled cost and message statistics at paper scale (2048 ranks).
+
+pub mod agg;
+pub mod analytic;
+pub mod collective;
+pub mod exec;
+pub mod exec_partitioned;
+pub mod pattern;
+pub mod stats;
+
+pub use agg::{AssignStrategy, Plan, PlanMsg, Slot};
+pub use analytic::{init_time, iteration_time, IterationCost};
+pub use collective::{choose_protocol, Protocol};
+pub use exec::PersistentNeighbor;
+pub use exec_partitioned::PartitionedNeighbor;
+pub use pattern::CommPattern;
+pub use stats::PlanStats;
+
+#[cfg(test)]
+mod proptests;

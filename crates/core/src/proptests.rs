@@ -1,0 +1,104 @@
+//! Property-based tests over random communication patterns.
+
+use crate::agg::verify::verify_plan;
+use crate::agg::{AssignStrategy, Plan};
+use crate::analytic::iteration_time;
+use crate::pattern::CommPattern;
+use crate::stats::PlanStats;
+use locality::Topology;
+use perfmodel::LocalityModel;
+use proptest::prelude::*;
+
+/// Random pattern over `n` ranks: each rank sends to a few random peers a
+/// few indices drawn from its own index space (indices globally unique by
+/// construction: rank r owns [r·K, (r+1)·K)).
+fn arb_pattern(n: usize) -> impl Strategy<Value = CommPattern> {
+    const K: usize = 32;
+    prop::collection::vec(
+        prop::collection::vec((0usize..n, prop::collection::vec(0usize..K, 1..6)), 0..5),
+        n..=n,
+    )
+    .prop_map(move |raw| {
+        let mut sends: Vec<Vec<(usize, Vec<usize>)>> = vec![Vec::new(); n];
+        for (src, list) in raw.into_iter().enumerate() {
+            let mut per_dst: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+            for (dst, idx) in list {
+                if dst == src {
+                    continue;
+                }
+                per_dst.entry(dst).or_default().extend(idx.iter().map(|&i| src * K + i));
+            }
+            for (dst, mut idx) in per_dst {
+                idx.sort_unstable();
+                idx.dedup();
+                sends[src].push((dst, idx));
+            }
+        }
+        CommPattern::new(n, sends)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every protocol's plan delivers every (value, destination) demand
+    /// exactly once, for random patterns, region sizes, and strategies.
+    #[test]
+    fn plans_route_exactly(
+        pattern in arb_pattern(12),
+        ppn in 1usize..7,
+        dedup in any::<bool>(),
+        lb in any::<bool>(),
+    ) {
+        let topo = Topology::block_nodes(12, ppn);
+        let strategy = if lb { AssignStrategy::LoadBalanced } else { AssignStrategy::RoundRobin };
+        verify_plan(&pattern, &Plan::standard(&pattern, &topo), &topo);
+        verify_plan(&pattern, &Plan::aggregated(&pattern, &topo, dedup, strategy), &topo);
+    }
+
+    /// Aggregation never sends more inter-region messages than standard,
+    /// and dedup never moves more inter-region bytes than partial.
+    #[test]
+    fn aggregation_reduces_global_traffic(pattern in arb_pattern(16), ppn in 2usize..6) {
+        let topo = Topology::block_nodes(16, ppn);
+        let st = PlanStats::of(&Plan::standard(&pattern, &topo));
+        let partial = PlanStats::of(&Plan::aggregated(&pattern, &topo, false, AssignStrategy::LoadBalanced));
+        let full = PlanStats::of(&Plan::aggregated(&pattern, &topo, true, AssignStrategy::LoadBalanced));
+        prop_assert!(partial.total_global_msgs <= st.total_global_msgs);
+        prop_assert!(full.total_global_msgs == partial.total_global_msgs);
+        prop_assert!(full.total_global_bytes <= partial.total_global_bytes);
+        // partial moves exactly the standard inter-region volume
+        prop_assert_eq!(partial.total_global_bytes, st.total_global_bytes);
+    }
+
+    /// The modeled iteration time of the dynamic selector is the minimum of
+    /// the candidates (sanity of `choose_protocol`).
+    #[test]
+    fn selector_picks_minimum(pattern in arb_pattern(8), ppn in 1usize..5) {
+        let topo = Topology::block_nodes(8, ppn);
+        let model = LocalityModel::lassen();
+        let (winner, t) = crate::collective::choose_protocol(&pattern, &topo, &model);
+        for p in crate::collective::Protocol::ALL {
+            let plan = p.plan(&pattern, &topo);
+            let tp = iteration_time(&plan, &topo, &model, p.is_wrapped()).total;
+            prop_assert!(t <= tp + 1e-15, "{winner} ({t}) beaten by {p} ({tp})");
+        }
+    }
+
+    /// Load-balanced leader assignment never has a worse max send volume
+    /// than round-robin.
+    #[test]
+    fn load_balance_no_worse(pattern in arb_pattern(16), ppn in 2usize..6) {
+        let topo = Topology::block_nodes(16, ppn);
+        let rr = Plan::aggregated(&pattern, &topo, true, AssignStrategy::RoundRobin);
+        let lb = Plan::aggregated(&pattern, &topo, true, AssignStrategy::LoadBalanced);
+        let max_vol = |plan: &Plan| {
+            let mut v = vec![0usize; 16];
+            for m in &plan.g_step {
+                v[m.src] += m.n_values();
+            }
+            v.into_iter().max().unwrap_or(0)
+        };
+        prop_assert!(max_vol(&lb) <= max_vol(&rr));
+    }
+}

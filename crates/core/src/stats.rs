@@ -1,0 +1,98 @@
+//! Per-rank message statistics of a plan — the quantities plotted in the
+//! paper's Figures 8, 9 and 10.
+
+use crate::agg::Plan;
+use serde::{Deserialize, Serialize};
+
+/// Bytes per value slot (the experiments move `f64` vector entries).
+pub const VALUE_BYTES: usize = 8;
+
+/// Message statistics of one plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanStats {
+    /// Max over ranks of intra-region messages sent (ℓ + s + r) — Figure 8.
+    pub max_local_msgs: usize,
+    /// Max over ranks of inter-region messages sent (g) — Figure 9.
+    pub max_global_msgs: usize,
+    /// Max over ranks of inter-region bytes sent — Figure 10.
+    pub max_global_bytes: usize,
+    /// Totals across all ranks (for aggregate comparisons).
+    pub total_local_msgs: usize,
+    pub total_global_msgs: usize,
+    pub total_global_bytes: usize,
+}
+
+impl PlanStats {
+    /// Compute the statistics of `plan`.
+    pub fn of(plan: &Plan) -> Self {
+        let n = plan.n_ranks;
+        let mut local_sends = vec![0usize; n];
+        let mut global_sends = vec![0usize; n];
+        let mut global_bytes = vec![0usize; n];
+
+        for m in plan.local.iter().chain(&plan.s_step).chain(&plan.r_step) {
+            local_sends[m.src] += 1;
+        }
+        for m in &plan.g_step {
+            global_sends[m.src] += 1;
+            global_bytes[m.src] += m.n_values() * VALUE_BYTES;
+        }
+
+        Self {
+            max_local_msgs: local_sends.iter().copied().max().unwrap_or(0),
+            max_global_msgs: global_sends.iter().copied().max().unwrap_or(0),
+            max_global_bytes: global_bytes.iter().copied().max().unwrap_or(0),
+            total_local_msgs: local_sends.iter().sum(),
+            total_global_msgs: global_sends.iter().sum(),
+            total_global_bytes: global_bytes.iter().sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::{AssignStrategy, Plan};
+    use crate::pattern::CommPattern;
+    use locality::Topology;
+
+    #[test]
+    fn example_standard_vs_aggregated_counts() {
+        let pattern = CommPattern::example_2_1();
+        let topo = Topology::block_nodes(8, 4);
+        let std_stats = PlanStats::of(&Plan::standard(&pattern, &topo));
+        let agg = Plan::aggregated(&pattern, &topo, false, AssignStrategy::RoundRobin);
+        let agg_stats = PlanStats::of(&agg);
+
+        // Figures 8/9 in miniature: aggregation trades inter-region
+        // messages for intra-region ones.
+        assert_eq!(std_stats.total_global_msgs, 15);
+        assert_eq!(std_stats.total_local_msgs, 0);
+        assert_eq!(agg_stats.total_global_msgs, 1);
+        assert!(agg_stats.total_local_msgs > 0);
+        assert!(agg_stats.max_global_msgs < std_stats.max_global_msgs);
+        assert!(agg_stats.max_local_msgs > std_stats.max_local_msgs);
+    }
+
+    #[test]
+    fn figure_10_dedup_shrinks_bytes() {
+        let pattern = CommPattern::example_2_1();
+        let topo = Topology::block_nodes(8, 4);
+        let partial =
+            PlanStats::of(&Plan::aggregated(&pattern, &topo, false, AssignStrategy::RoundRobin));
+        let full =
+            PlanStats::of(&Plan::aggregated(&pattern, &topo, true, AssignStrategy::RoundRobin));
+        assert_eq!(partial.max_global_bytes, 17 * VALUE_BYTES);
+        assert_eq!(full.max_global_bytes, 8 * VALUE_BYTES);
+        // ≈ the paper's "up to 35%" reduction scale — here 53%
+        assert!(full.max_global_bytes < partial.max_global_bytes);
+    }
+
+    #[test]
+    fn empty_plan_zero_stats() {
+        let pattern = CommPattern::empty(4);
+        let topo = Topology::block_nodes(4, 2);
+        let s = PlanStats::of(&Plan::standard(&pattern, &topo));
+        assert_eq!(s.max_local_msgs + s.max_global_msgs + s.max_global_bytes, 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Locality classification of rank pairs.
+
+use serde::{Deserialize, Serialize};
+
+/// Where a message between two ranks travels (paper §1/§2: intra-CPU,
+/// inter-CPU-intra-node, and inter-node paths have notably different costs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LocalityClass {
+    /// Source and destination are the same rank (a local copy).
+    SelfRank,
+    /// Same node, same socket: transferred through shared cache.
+    IntraSocket,
+    /// Same node, different socket: transferred through main memory.
+    InterSocket,
+    /// Different nodes: injected into the network.
+    InterNode,
+}
+
+impl LocalityClass {
+    /// All classes, ordered from most to least local.
+    pub const ALL: [LocalityClass; 4] = [
+        LocalityClass::SelfRank,
+        LocalityClass::IntraSocket,
+        LocalityClass::InterSocket,
+        LocalityClass::InterNode,
+    ];
+
+    /// True when the message stays within one node.
+    pub fn is_intra_node(self) -> bool {
+        !matches!(self, LocalityClass::InterNode)
+    }
+}
+
+impl std::fmt::Display for LocalityClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            LocalityClass::SelfRank => "self",
+            LocalityClass::IntraSocket => "intra-socket",
+            LocalityClass::InterSocket => "inter-socket",
+            LocalityClass::InterNode => "inter-node",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_most_local_first() {
+        assert!(LocalityClass::SelfRank < LocalityClass::IntraSocket);
+        assert!(LocalityClass::IntraSocket < LocalityClass::InterSocket);
+        assert!(LocalityClass::InterSocket < LocalityClass::InterNode);
+    }
+
+    #[test]
+    fn intra_node_predicate() {
+        assert!(LocalityClass::IntraSocket.is_intra_node());
+        assert!(LocalityClass::InterSocket.is_intra_node());
+        assert!(!LocalityClass::InterNode.is_intra_node());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(LocalityClass::InterNode.to_string(), "inter-node");
+    }
+}

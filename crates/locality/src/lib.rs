@@ -1,0 +1,28 @@
+//! Machine topology model for locality-aware communication.
+//!
+//! Modern supercomputers contain a hierarchy of regions (paper §1, Figure 1):
+//! nodes connected by a network, each node containing one or more sockets
+//! (CPUs / NUMA regions), each socket containing cores. Communication cost
+//! depends on where the two endpoints sit in this hierarchy.
+//!
+//! This crate provides:
+//! * [`MachineSpec`] — a description of the machine (nodes × sockets × cores);
+//! * [`RankMap`] — the assignment of MPI-style ranks to cores;
+//! * [`RegionScheme`] / [`Topology`] — the grouping of ranks into *regions of
+//!   locality* (typically a node or a socket) used by the aggregation
+//!   algorithms in the `mpi-advance` crate;
+//! * [`LocalityClass`] — the classification of a (source, destination) rank
+//!   pair, consumed by the `perfmodel` crate.
+
+pub mod class;
+pub mod machine;
+pub mod rank_map;
+pub mod region;
+
+pub use class::LocalityClass;
+pub use machine::{CoreLocation, MachineSpec};
+pub use rank_map::{RankMap, RankMapKind};
+pub use region::{RegionScheme, Topology};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,144 @@
+//! Static machine descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// Physical location of a core inside the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoreLocation {
+    /// Node index within the machine.
+    pub node: usize,
+    /// Socket (CPU / NUMA region) index within the node.
+    pub socket: usize,
+    /// Core index within the socket.
+    pub core: usize,
+}
+
+/// A homogeneous machine: `nodes` × `sockets_per_node` × `cores_per_socket`.
+///
+/// This mirrors the SMP node of the paper's Figure 1 (two NUMA regions of 16
+/// cores each) and the Lassen nodes used in the evaluation (two 22-core
+/// CPUs, of which the paper uses 16 cores on a single CPU).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    pub nodes: usize,
+    pub sockets_per_node: usize,
+    pub cores_per_socket: usize,
+}
+
+impl MachineSpec {
+    /// A new machine description. All dimensions must be non-zero.
+    pub fn new(nodes: usize, sockets_per_node: usize, cores_per_socket: usize) -> Self {
+        assert!(nodes > 0, "machine must have at least one node");
+        assert!(sockets_per_node > 0, "node must have at least one socket");
+        assert!(cores_per_socket > 0, "socket must have at least one core");
+        Self { nodes, sockets_per_node, cores_per_socket }
+    }
+
+    /// Lassen-like node: 2 sockets × 22 cores (Power9). The paper's
+    /// experiments pin 16 ranks on a single socket per node; use
+    /// [`MachineSpec::lassen_16ppn`] for that configuration.
+    pub fn lassen(nodes: usize) -> Self {
+        Self::new(nodes, 2, 22)
+    }
+
+    /// The configuration actually benchmarked in the paper: only 16 cores of
+    /// a single CPU per node are used, avoiding inter-CPU traffic (§4).
+    pub fn lassen_16ppn(nodes: usize) -> Self {
+        Self::new(nodes, 1, 16)
+    }
+
+    /// The example SMP node of Figure 1: 2 NUMA regions × 16 cores.
+    pub fn figure1_smp(nodes: usize) -> Self {
+        Self::new(nodes, 2, 16)
+    }
+
+    /// Number of cores in one node.
+    pub fn cores_per_node(&self) -> usize {
+        self.sockets_per_node * self.cores_per_socket
+    }
+
+    /// Total number of cores in the machine.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node()
+    }
+
+    /// The location of a core given its global (machine-wide) index, laid
+    /// out node-major then socket-major.
+    pub fn location_of(&self, global_core: usize) -> CoreLocation {
+        assert!(
+            global_core < self.total_cores(),
+            "core {global_core} out of range (machine has {} cores)",
+            self.total_cores()
+        );
+        let per_node = self.cores_per_node();
+        let node = global_core / per_node;
+        let within = global_core % per_node;
+        CoreLocation {
+            node,
+            socket: within / self.cores_per_socket,
+            core: within % self.cores_per_socket,
+        }
+    }
+
+    /// Inverse of [`MachineSpec::location_of`].
+    pub fn core_index(&self, loc: CoreLocation) -> usize {
+        assert!(loc.node < self.nodes && loc.socket < self.sockets_per_node);
+        assert!(loc.core < self.cores_per_socket);
+        loc.node * self.cores_per_node() + loc.socket * self.cores_per_socket + loc.core
+    }
+
+    /// The smallest machine of this node shape that can host `ranks` ranks
+    /// with `ppn` ranks per node.
+    pub fn sized_for(ranks: usize, ppn: usize, sockets_per_node: usize) -> Self {
+        assert!(ppn > 0 && ranks > 0);
+        assert!(ppn.is_multiple_of(sockets_per_node), "ppn must divide evenly across sockets");
+        let nodes = ranks.div_ceil(ppn);
+        Self::new(nodes, sockets_per_node, ppn / sockets_per_node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn location_roundtrip() {
+        let m = MachineSpec::figure1_smp(3);
+        for c in 0..m.total_cores() {
+            let loc = m.location_of(c);
+            assert_eq!(m.core_index(loc), c);
+        }
+    }
+
+    #[test]
+    fn figure1_shape() {
+        let m = MachineSpec::figure1_smp(1);
+        assert_eq!(m.cores_per_node(), 32);
+        let loc = m.location_of(17);
+        assert_eq!(loc, CoreLocation { node: 0, socket: 1, core: 1 });
+    }
+
+    #[test]
+    fn lassen_shape() {
+        let m = MachineSpec::lassen(128);
+        assert_eq!(m.total_cores(), 128 * 44);
+        let m16 = MachineSpec::lassen_16ppn(128);
+        assert_eq!(m16.total_cores(), 2048);
+    }
+
+    #[test]
+    fn sized_for_paper_scale() {
+        let m = MachineSpec::sized_for(2048, 16, 1);
+        assert_eq!(m.nodes, 128);
+        assert_eq!(m.cores_per_node(), 16);
+        // Non-multiple rank counts round the node count up.
+        let m = MachineSpec::sized_for(40, 16, 1);
+        assert_eq!(m.nodes, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn location_out_of_range_panics() {
+        MachineSpec::figure1_smp(1).location_of(32);
+    }
+}

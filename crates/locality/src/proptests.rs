@@ -1,0 +1,56 @@
+//! Property-based tests for the topology model.
+
+use crate::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// location_of / core_index are inverse bijections for arbitrary shapes.
+    #[test]
+    fn machine_location_bijection(nodes in 1usize..6, sockets in 1usize..4, cores in 1usize..9) {
+        let m = MachineSpec::new(nodes, sockets, cores);
+        for c in 0..m.total_cores() {
+            prop_assert_eq!(m.core_index(m.location_of(c)), c);
+        }
+    }
+
+    /// Every rank appears in exactly one region, and region membership is
+    /// consistent with region_of.
+    #[test]
+    fn regions_partition_ranks(ranks in 1usize..130, ppn in 1usize..17) {
+        prop_assume!(ppn <= ranks || ranks < ppn); // always true; keep ranges broad
+        let t = Topology::block_nodes(ranks, ppn);
+        let mut seen = vec![0usize; ranks];
+        for reg in 0..t.n_regions() {
+            for &r in t.region_members(reg) {
+                prop_assert_eq!(t.region_of(r), reg);
+                seen[r] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    /// Classification is symmetric and same-region pairs never classify as
+    /// inter-node under the Node scheme.
+    #[test]
+    fn classify_symmetric(ranks in 2usize..100, ppn in 1usize..17, a in 0usize..100, b in 0usize..100) {
+        let t = Topology::block_nodes(ranks, ppn);
+        let a = a % ranks;
+        let b = b % ranks;
+        prop_assert_eq!(t.classify(a, b), t.classify(b, a));
+        if t.same_region(a, b) && a != b {
+            prop_assert!(t.classify(a, b).is_intra_node());
+        }
+    }
+
+    /// local_index is the position in the member list and is < region size.
+    #[test]
+    fn local_index_consistent(ranks in 1usize..100, ppn in 1usize..17) {
+        let t = Topology::block_nodes(ranks, ppn);
+        for r in 0..ranks {
+            let reg = t.region_of(r);
+            let li = t.local_index(r);
+            prop_assert!(li < t.region_members(reg).len());
+            prop_assert_eq!(t.region_members(reg)[li], r);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Assignment of ranks to cores.
+
+use crate::machine::{CoreLocation, MachineSpec};
+use serde::{Deserialize, Serialize};
+
+/// How ranks are laid out over the machine's cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RankMapKind {
+    /// Rank `r` lives on global core `r`: fills a node before moving on
+    /// (the default `mpirun` block placement, used in all paper results).
+    Block,
+    /// Ranks round-robin over nodes: rank `r` on node `r % nodes`.
+    RoundRobin,
+}
+
+/// Map from rank to physical core.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankMap {
+    machine: MachineSpec,
+    n_ranks: usize,
+    kind: RankMapKind,
+    /// Explicit rank → global-core table (allows custom maps too).
+    cores: Vec<usize>,
+}
+
+impl RankMap {
+    /// Build a rank map of `n_ranks` ranks over `machine` with the given
+    /// placement policy. Panics if the machine is too small.
+    pub fn new(machine: MachineSpec, n_ranks: usize, kind: RankMapKind) -> Self {
+        assert!(n_ranks > 0, "need at least one rank");
+        assert!(
+            n_ranks <= machine.total_cores(),
+            "{n_ranks} ranks do not fit on {} cores",
+            machine.total_cores()
+        );
+        let cores = match kind {
+            RankMapKind::Block => (0..n_ranks).collect(),
+            RankMapKind::RoundRobin => {
+                let per_node = machine.cores_per_node();
+                let nodes = machine.nodes;
+                let mut next_slot = vec![0usize; nodes];
+                (0..n_ranks)
+                    .map(|r| {
+                        let node = r % nodes;
+                        let slot = next_slot[node];
+                        next_slot[node] += 1;
+                        assert!(slot < per_node, "round-robin overflow on node {node}");
+                        node * per_node + slot
+                    })
+                    .collect()
+            }
+        };
+        Self { machine, n_ranks, kind, cores }
+    }
+
+    /// Block placement (the paper's configuration).
+    pub fn block(machine: MachineSpec, n_ranks: usize) -> Self {
+        Self::new(machine, n_ranks, RankMapKind::Block)
+    }
+
+    /// A custom explicit map (e.g. from a topology-aware reordering).
+    /// `cores[r]` is the global core index of rank `r`; cores must be unique.
+    pub fn custom(machine: MachineSpec, cores: Vec<usize>) -> Self {
+        assert!(!cores.is_empty());
+        let mut seen = vec![false; machine.total_cores()];
+        for &c in &cores {
+            assert!(c < machine.total_cores(), "core {c} out of range");
+            assert!(!seen[c], "core {c} assigned twice");
+            seen[c] = true;
+        }
+        Self { machine, n_ranks: cores.len(), kind: RankMapKind::Block, cores }
+    }
+
+    pub fn machine(&self) -> MachineSpec {
+        self.machine
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    pub fn kind(&self) -> RankMapKind {
+        self.kind
+    }
+
+    /// Physical location of `rank`.
+    pub fn location(&self, rank: usize) -> CoreLocation {
+        assert!(rank < self.n_ranks, "rank {rank} out of range ({} ranks)", self.n_ranks);
+        self.machine.location_of(self.cores[rank])
+    }
+
+    /// Node index of `rank`.
+    pub fn node_of(&self, rank: usize) -> usize {
+        self.location(rank).node
+    }
+
+    /// (node, socket) pair of `rank`.
+    pub fn socket_of(&self, rank: usize) -> (usize, usize) {
+        let l = self.location(rank);
+        (l.node, l.socket)
+    }
+
+    /// Number of distinct nodes actually occupied.
+    pub fn occupied_nodes(&self) -> usize {
+        let mut seen = vec![false; self.machine.nodes];
+        let mut n = 0;
+        for r in 0..self.n_ranks {
+            let node = self.node_of(r);
+            if !seen[node] {
+                seen[node] = true;
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_fills_nodes_in_order() {
+        let m = MachineSpec::lassen_16ppn(4);
+        let map = RankMap::block(m, 40);
+        assert_eq!(map.node_of(0), 0);
+        assert_eq!(map.node_of(15), 0);
+        assert_eq!(map.node_of(16), 1);
+        assert_eq!(map.node_of(39), 2);
+        assert_eq!(map.occupied_nodes(), 3);
+    }
+
+    #[test]
+    fn round_robin_spreads() {
+        let m = MachineSpec::lassen_16ppn(4);
+        let map = RankMap::new(m, 8, RankMapKind::RoundRobin);
+        assert_eq!(map.node_of(0), 0);
+        assert_eq!(map.node_of(1), 1);
+        assert_eq!(map.node_of(5), 1);
+        assert_eq!(map.occupied_nodes(), 4);
+    }
+
+    #[test]
+    fn custom_map() {
+        let m = MachineSpec::figure1_smp(2);
+        let map = RankMap::custom(m, vec![33, 0, 16]);
+        assert_eq!(map.node_of(0), 1);
+        assert_eq!(map.socket_of(2), (0, 1));
+        assert_eq!(map.n_ranks(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn custom_rejects_duplicates() {
+        RankMap::custom(MachineSpec::figure1_smp(1), vec![3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit")]
+    fn too_many_ranks_panics() {
+        RankMap::block(MachineSpec::lassen_16ppn(1), 17);
+    }
+}

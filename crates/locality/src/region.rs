@@ -1,0 +1,210 @@
+//! Regions of locality and the topology handle.
+//!
+//! A *region* is the unit within which the aggregation algorithms of the
+//! paper redistribute data: all data leaving a region for a given remote
+//! region is funnelled through a single process (paper §2, three-step
+//! aggregation). Regions are typically nodes (node-aware aggregation) but
+//! may also be sockets/NUMA domains.
+
+use crate::class::LocalityClass;
+use crate::machine::MachineSpec;
+use crate::rank_map::RankMap;
+use serde::{Deserialize, Serialize};
+
+/// What constitutes a "region of locality".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegionScheme {
+    /// One region per node (the paper's configuration).
+    Node,
+    /// One region per socket/NUMA domain.
+    Socket,
+}
+
+/// Topology handle: rank map + region scheme, with precomputed region
+/// membership. This is the object the neighborhood collectives consult.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    map: RankMap,
+    scheme: RegionScheme,
+    /// region id of each rank
+    region_of: Vec<usize>,
+    /// ranks in each region, ascending
+    members: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    pub fn new(map: RankMap, scheme: RegionScheme) -> Self {
+        let n = map.n_ranks();
+        let m = map.machine();
+        let region_index = |rank: usize| -> usize {
+            let loc = map.location(rank);
+            match scheme {
+                RegionScheme::Node => loc.node,
+                RegionScheme::Socket => loc.node * m.sockets_per_node + loc.socket,
+            }
+        };
+        // Compact region ids to only occupied regions, preserving order.
+        let raw: Vec<usize> = (0..n).map(region_index).collect();
+        let mut sorted: Vec<usize> = raw.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let compact = |r: usize| sorted.binary_search(&r).expect("region present");
+        let region_of: Vec<usize> = raw.iter().map(|&r| compact(r)).collect();
+        let mut members = vec![Vec::new(); sorted.len()];
+        for (rank, &reg) in region_of.iter().enumerate() {
+            members[reg].push(rank);
+        }
+        Self { map, scheme, region_of, members }
+    }
+
+    /// Convenience: block placement over a machine sized for `n_ranks` with
+    /// `ppn` ranks per node, node regions — the paper's standard setup.
+    pub fn block_nodes(n_ranks: usize, ppn: usize) -> Self {
+        let machine = MachineSpec::sized_for(n_ranks, ppn, 1);
+        Self::new(RankMap::block(machine, n_ranks), RegionScheme::Node)
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.map.n_ranks()
+    }
+
+    pub fn machine(&self) -> MachineSpec {
+        self.map.machine()
+    }
+
+    pub fn rank_map(&self) -> &RankMap {
+        &self.map
+    }
+
+    pub fn scheme(&self) -> RegionScheme {
+        self.scheme
+    }
+
+    /// Number of occupied regions.
+    pub fn n_regions(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Region id of `rank`.
+    pub fn region_of(&self, rank: usize) -> usize {
+        self.region_of[rank]
+    }
+
+    /// Ranks belonging to `region`, ascending.
+    pub fn region_members(&self, region: usize) -> &[usize] {
+        &self.members[region]
+    }
+
+    /// Index of `rank` within its region's member list.
+    pub fn local_index(&self, rank: usize) -> usize {
+        self.members[self.region_of(rank)]
+            .iter()
+            .position(|&r| r == rank)
+            .expect("rank is a member of its own region")
+    }
+
+    /// True when `a` and `b` are in the same region.
+    pub fn same_region(&self, a: usize, b: usize) -> bool {
+        self.region_of(a) == self.region_of(b)
+    }
+
+    /// Locality class of a message from `src` to `dst`.
+    pub fn classify(&self, src: usize, dst: usize) -> LocalityClass {
+        if src == dst {
+            return LocalityClass::SelfRank;
+        }
+        let a = self.map.location(src);
+        let b = self.map.location(dst);
+        if a.node != b.node {
+            LocalityClass::InterNode
+        } else if a.socket != b.socket {
+            LocalityClass::InterSocket
+        } else {
+            LocalityClass::IntraSocket
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rank_map::RankMapKind;
+
+    #[test]
+    fn node_regions_paper_setup() {
+        let t = Topology::block_nodes(48, 16);
+        assert_eq!(t.n_regions(), 3);
+        assert_eq!(t.region_of(0), 0);
+        assert_eq!(t.region_of(17), 1);
+        assert_eq!(t.region_members(2), (32..48).collect::<Vec<_>>().as_slice());
+        assert_eq!(t.local_index(35), 3);
+    }
+
+    #[test]
+    fn socket_regions() {
+        let m = MachineSpec::figure1_smp(2); // 2 nodes x 2 sockets x 16
+        let t = Topology::new(RankMap::block(m, 64), RegionScheme::Socket);
+        assert_eq!(t.n_regions(), 4);
+        assert_eq!(t.region_of(15), 0);
+        assert_eq!(t.region_of(16), 1);
+        assert_eq!(t.region_of(32), 2);
+    }
+
+    #[test]
+    fn classify_all_classes() {
+        let m = MachineSpec::figure1_smp(2);
+        let t = Topology::new(RankMap::block(m, 64), RegionScheme::Socket);
+        assert_eq!(t.classify(3, 3), LocalityClass::SelfRank);
+        assert_eq!(t.classify(0, 5), LocalityClass::IntraSocket);
+        assert_eq!(t.classify(0, 20), LocalityClass::InterSocket);
+        assert_eq!(t.classify(0, 40), LocalityClass::InterNode);
+    }
+
+    #[test]
+    fn compacts_region_ids_for_round_robin() {
+        let m = MachineSpec::lassen_16ppn(8);
+        // 4 ranks round-robin over 8 nodes: only 4 occupied regions.
+        let t = Topology::new(RankMap::new(m, 4, RankMapKind::RoundRobin), RegionScheme::Node);
+        assert_eq!(t.n_regions(), 4);
+        for r in 0..4 {
+            assert_eq!(t.region_of(r), r);
+            assert_eq!(t.region_members(r), &[r]);
+        }
+    }
+
+    #[test]
+    fn lassen_full_node_has_inter_socket_pairs() {
+        // The full Lassen node (2×22): ranks 0..21 on socket 0, 22..43 on
+        // socket 1 — the inter-CPU path the paper's §4 configuration avoids
+        // by pinning 16 ranks on one socket.
+        let m = MachineSpec::lassen(2);
+        let t = Topology::new(RankMap::block(m, 88), RegionScheme::Node);
+        assert_eq!(t.classify(0, 21), LocalityClass::IntraSocket);
+        assert_eq!(t.classify(0, 22), LocalityClass::InterSocket);
+        assert_eq!(t.classify(0, 44), LocalityClass::InterNode);
+        // node regions span both sockets
+        assert!(t.same_region(0, 43));
+    }
+
+    #[test]
+    fn round_robin_socket_regions() {
+        let m = MachineSpec::figure1_smp(2);
+        let t = Topology::new(
+            RankMap::new(m, 8, RankMapKind::RoundRobin),
+            RegionScheme::Socket,
+        );
+        // ranks alternate nodes; first fills socket 0 of each node
+        assert_eq!(t.region_of(0), t.region_of(2));
+        assert!(!t.same_region(0, 1));
+    }
+
+    #[test]
+    fn example_2_1_two_regions() {
+        // Figure 2: two regions of four processes each.
+        let t = Topology::block_nodes(8, 4);
+        assert_eq!(t.n_regions(), 2);
+        assert!(t.same_region(0, 3));
+        assert!(!t.same_region(0, 4));
+        assert_eq!(t.classify(2, 6), LocalityClass::InterNode);
+    }
+}

@@ -1,0 +1,506 @@
+//! Collective operations built over point-to-point messages.
+//!
+//! Every collective draws a fresh tag from the communicator's collective
+//! sequence, so back-to-back collectives never cross-match. All members must
+//! call collectives in the same order (MPI semantics).
+
+use crate::comm::Comm;
+use crate::ctx::RankCtx;
+use crate::elem::Elem;
+
+/// Element-wise combining operator used by reductions: `acc ⟵ op(acc, in)`.
+pub type ReduceOp<T> = fn(&mut T, &T);
+
+/// Sum for numeric reductions.
+pub fn op_sum_f64(acc: &mut f64, x: &f64) {
+    *acc += *x;
+}
+
+/// Sum for counters.
+pub fn op_sum_u64(acc: &mut u64, x: &u64) {
+    *acc += *x;
+}
+
+/// Max for numeric reductions.
+pub fn op_max_f64(acc: &mut f64, x: &f64) {
+    if *x > *acc {
+        *acc = *x;
+    }
+}
+
+/// Max for counters.
+pub fn op_max_u64(acc: &mut u64, x: &u64) {
+    if *x > *acc {
+        *acc = *x;
+    }
+}
+
+impl RankCtx {
+    /// `MPI_Barrier`: dissemination algorithm, ⌈log₂ P⌉ rounds.
+    pub fn barrier(&mut self, comm: &Comm) {
+        let tag = comm.next_coll_tag();
+        let n = comm.size();
+        if n == 1 {
+            return;
+        }
+        let me = comm.rank();
+        let mut dist = 1;
+        while dist < n {
+            let to = (me + dist) % n;
+            let from = (me + n - dist) % n;
+            self.send_internal::<u8>(comm, to, tag, &[]);
+            let _: Vec<u8> = self.recv_internal(comm, from, tag);
+            dist <<= 1;
+        }
+    }
+
+    /// `MPI_Bcast`: binomial tree from `root`. On non-roots, `buf` is
+    /// replaced with the broadcast data.
+    pub fn bcast<T: Elem>(&mut self, comm: &Comm, root: usize, buf: &mut Vec<T>) {
+        let tag = comm.next_coll_tag();
+        let n = comm.size();
+        if n == 1 {
+            return;
+        }
+        // Rotate so the root is virtual rank 0.
+        let vrank = (comm.rank() + n - root) % n;
+        if vrank != 0 {
+            // Receive from parent: clear the highest set bit.
+            let parent_v = vrank & (vrank - 1);
+            let parent = (parent_v + root) % n;
+            *buf = self.recv_internal(comm, parent, tag);
+        }
+        // Forward to children: set bits above the highest set bit of vrank.
+        let lowest = if vrank == 0 { n.next_power_of_two() } else { vrank & vrank.wrapping_neg() };
+        let mut bit = 1;
+        while bit < lowest && vrank + bit < n {
+            let child = (vrank + bit + root) % n;
+            self.send_internal(comm, child, tag, buf);
+            bit <<= 1;
+        }
+    }
+
+    /// `MPI_Reduce` with an element-wise operator; `root` receives the
+    /// combined vector, other ranks receive `None`.
+    pub fn reduce<T: Elem>(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        data: &[T],
+        op: ReduceOp<T>,
+    ) -> Option<Vec<T>> {
+        let tag = comm.next_coll_tag();
+        let n = comm.size();
+        let vrank = (comm.rank() + n - root) % n;
+        let mut acc: Vec<T> = data.to_vec();
+        // Binomial tree combine toward virtual rank 0.
+        let mut bit = 1;
+        while bit < n {
+            if vrank & bit != 0 {
+                let parent = ((vrank ^ bit) + root) % n;
+                self.send_internal(comm, parent, tag, &acc);
+                return None;
+            }
+            if vrank + bit < n {
+                let child = (vrank + bit + root) % n;
+                let other: Vec<T> = self.recv_internal(comm, child, tag);
+                assert_eq!(other.len(), acc.len(), "reduce length mismatch");
+                for (a, b) in acc.iter_mut().zip(other.iter()) {
+                    op(a, b);
+                }
+            }
+            bit <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// `MPI_Allreduce` (reduce to rank 0, then broadcast).
+    pub fn allreduce<T: Elem>(&mut self, comm: &Comm, data: &[T], op: ReduceOp<T>) -> Vec<T> {
+        let mut out = self.reduce(comm, 0, data, op).unwrap_or_default();
+        self.bcast(comm, 0, &mut out);
+        out
+    }
+
+    /// `MPI_Gatherv` to `root`: returns `(concatenated, counts)` on the
+    /// root, `None` elsewhere. Contributions may have different lengths.
+    pub fn gatherv<T: Elem>(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        mine: &[T],
+    ) -> Option<(Vec<T>, Vec<usize>)> {
+        let tag = comm.next_coll_tag();
+        let n = comm.size();
+        if comm.rank() == root {
+            let mut counts = vec![0usize; n];
+            let mut parts: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+            parts[root] = mine.to_vec();
+            counts[root] = mine.len();
+            for r in 0..n {
+                if r == root {
+                    continue;
+                }
+                let v: Vec<T> = self.recv_internal(comm, r, tag);
+                counts[r] = v.len();
+                parts[r] = v;
+            }
+            let mut all = Vec::with_capacity(counts.iter().sum());
+            for p in parts {
+                all.extend(p);
+            }
+            Some((all, counts))
+        } else {
+            self.send_internal(comm, root, tag, mine);
+            None
+        }
+    }
+
+    /// `MPI_Allgatherv`: every rank receives `(concatenated, counts)` in
+    /// rank order.
+    pub fn allgatherv<T: Elem>(&mut self, comm: &Comm, mine: &[T]) -> (Vec<T>, Vec<usize>) {
+        let gathered = self.gatherv(comm, 0, mine);
+        let (mut all, mut counts) = match gathered {
+            Some((a, c)) => (a, c),
+            None => (Vec::new(), Vec::new()),
+        };
+        self.bcast(comm, 0, &mut all);
+        let mut counts_u64: Vec<u64> = counts.iter().map(|&c| c as u64).collect();
+        self.bcast(comm, 0, &mut counts_u64);
+        counts = counts_u64.iter().map(|&c| c as usize).collect();
+        (all, counts)
+    }
+
+    /// `MPI_Allgather` of fixed-size contributions.
+    pub fn allgather<T: Elem>(&mut self, comm: &Comm, mine: &[T]) -> Vec<T> {
+        let (all, counts) = self.allgatherv(comm, mine);
+        debug_assert!(counts.iter().all(|&c| c == mine.len()));
+        all
+    }
+
+    /// `MPI_Alltoallv`: `send[i]` goes to communicator rank `i`; returns the
+    /// vector received from each rank.
+    pub fn alltoallv<T: Elem>(&mut self, comm: &Comm, send: &[Vec<T>]) -> Vec<Vec<T>> {
+        let tag = comm.next_coll_tag();
+        let n = comm.size();
+        assert_eq!(send.len(), n, "alltoallv needs one send list per rank");
+        for (dst, data) in send.iter().enumerate() {
+            self.send_internal(comm, dst, tag, data);
+        }
+        (0..n).map(|src| self.recv_internal(comm, src, tag)).collect()
+    }
+
+    /// `MPI_Scan` (inclusive prefix reduction in rank order).
+    pub fn scan<T: Elem>(&mut self, comm: &Comm, data: &[T], op: ReduceOp<T>) -> Vec<T> {
+        let tag = comm.next_coll_tag();
+        let me = comm.rank();
+        let mut acc = data.to_vec();
+        if me > 0 {
+            let prev: Vec<T> = self.recv_internal(comm, me - 1, tag);
+            assert_eq!(prev.len(), acc.len(), "scan length mismatch");
+            for (a, b) in acc.iter_mut().zip(prev.iter()) {
+                // inclusive scan: acc = op(prefix, mine)
+                let mine = a.clone();
+                *a = b.clone();
+                op(a, &mine);
+            }
+        }
+        if me + 1 < comm.size() {
+            self.send_internal(comm, me + 1, tag, &acc);
+        }
+        acc
+    }
+
+    /// Exclusive prefix sum of a single `u64` (common for offsets); rank 0
+    /// gets 0.
+    pub fn exscan_sum(&mut self, comm: &Comm, value: u64) -> u64 {
+        let inclusive = self.scan(comm, &[value], op_sum_u64)[0];
+        inclusive - value
+    }
+
+    /// `MPI_Gather` of fixed-size contributions: root receives them
+    /// concatenated in rank order, others get `None`.
+    pub fn gather<T: Elem>(&mut self, comm: &Comm, root: usize, mine: &[T]) -> Option<Vec<T>> {
+        let len = mine.len();
+        self.gatherv(comm, root, mine).map(|(all, counts)| {
+            debug_assert!(counts.iter().all(|&c| c == len));
+            all
+        })
+    }
+
+    /// `MPI_Scatterv`: root distributes `parts[i]` to communicator rank
+    /// `i`; every rank returns its part.
+    pub fn scatterv<T: Elem>(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        parts: Option<&[Vec<T>]>,
+    ) -> Vec<T> {
+        let tag = comm.next_coll_tag();
+        let n = comm.size();
+        if comm.rank() == root {
+            let parts = parts.expect("root must supply the parts");
+            assert_eq!(parts.len(), n, "one part per rank");
+            for (r, p) in parts.iter().enumerate() {
+                if r != root {
+                    self.send_internal(comm, r, tag, p);
+                }
+            }
+            parts[root].clone()
+        } else {
+            assert!(parts.is_none(), "non-roots pass None");
+            self.recv_internal(comm, root, tag)
+        }
+    }
+
+    /// `MPI_Scatter` of equal chunks: root supplies `n · chunk` elements.
+    pub fn scatter<T: Elem>(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        data: Option<&[T]>,
+        chunk: usize,
+    ) -> Vec<T> {
+        let parts: Option<Vec<Vec<T>>> = data.map(|d| {
+            assert_eq!(d.len(), comm.size() * chunk, "scatter data size mismatch");
+            d.chunks(chunk).map(<[T]>::to_vec).collect()
+        });
+        self.scatterv(comm, root, parts.as_deref())
+    }
+
+    /// `MPI_Reduce_scatter_block`: element-wise reduce `data` (length
+    /// `n · chunk`) across all ranks, then scatter equal chunks; rank `r`
+    /// receives elements `r·chunk .. (r+1)·chunk` of the reduction.
+    pub fn reduce_scatter_block<T: Elem>(
+        &mut self,
+        comm: &Comm,
+        data: &[T],
+        chunk: usize,
+        op: ReduceOp<T>,
+    ) -> Vec<T> {
+        assert_eq!(data.len(), comm.size() * chunk, "reduce_scatter data size mismatch");
+        let reduced = self.reduce(comm, 0, data, op);
+        self.scatter(comm, 0, reduced.as_deref(), chunk)
+    }
+
+    /// `MPI_Sendrecv`: exchange with two (possibly different) partners in
+    /// one deadlock-free call.
+    pub fn sendrecv<T: Elem>(
+        &mut self,
+        comm: &Comm,
+        dst: usize,
+        send: &[T],
+        src: usize,
+        tag: u64,
+    ) -> Vec<T> {
+        self.send(comm, dst, tag, send);
+        self.recv(comm, src, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::World;
+
+    #[test]
+    fn barrier_completes_all_sizes() {
+        for n in [1, 2, 3, 5, 8, 13] {
+            World::run(n, |ctx| {
+                let comm = ctx.comm_world();
+                for _ in 0..3 {
+                    ctx.barrier(&comm);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn bcast_all_roots_all_sizes() {
+        for n in [1, 2, 3, 6, 9] {
+            for root in 0..n {
+                let out = World::run(n, move |ctx| {
+                    let comm = ctx.comm_world();
+                    let mut buf = if ctx.rank() == root {
+                        vec![7u32, 8, 9]
+                    } else {
+                        Vec::new()
+                    };
+                    ctx.bcast(&comm, root, &mut buf);
+                    buf
+                });
+                assert!(out.iter().all(|v| *v == vec![7, 8, 9]), "n={n} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sum_every_root() {
+        for n in [1, 2, 4, 7] {
+            for root in 0..n {
+                let out = World::run(n, move |ctx| {
+                    let comm = ctx.comm_world();
+                    ctx.reduce(&comm, root, &[ctx.rank() as u64, 1], op_sum_u64)
+                });
+                let expect_sum = (n as u64 * (n as u64 - 1)) / 2;
+                for (r, res) in out.iter().enumerate() {
+                    if r == root {
+                        assert_eq!(res.as_ref().unwrap(), &vec![expect_sum, n as u64]);
+                    } else {
+                        assert!(res.is_none());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max() {
+        let out = World::run(6, |ctx| {
+            let comm = ctx.comm_world();
+            ctx.allreduce(&comm, &[(ctx.rank() as u64 * 37) % 11], op_max_u64)
+        });
+        let expect = (0..6u64).map(|r| (r * 37) % 11).max().unwrap();
+        assert!(out.iter().all(|v| v[0] == expect));
+    }
+
+    #[test]
+    fn allgatherv_variable_lengths() {
+        let out = World::run(4, |ctx| {
+            let comm = ctx.comm_world();
+            let mine: Vec<u32> = (0..ctx.rank() as u32).collect();
+            ctx.allgatherv(&comm, &mine)
+        });
+        let expect_data = vec![0u32, 0, 1, 0, 1, 2];
+        let expect_counts = vec![0usize, 1, 2, 3];
+        for (all, counts) in out {
+            assert_eq!(all, expect_data);
+            assert_eq!(counts, expect_counts);
+        }
+    }
+
+    #[test]
+    fn alltoallv_transposes() {
+        let out = World::run(3, |ctx| {
+            let comm = ctx.comm_world();
+            // rank r sends [r*10 + d] to rank d
+            let send: Vec<Vec<u32>> =
+                (0..3).map(|d| vec![ctx.rank() as u32 * 10 + d as u32]).collect();
+            ctx.alltoallv(&comm, &send)
+        });
+        for (d, recvd) in out.iter().enumerate() {
+            for (s, v) in recvd.iter().enumerate() {
+                assert_eq!(v, &vec![(s * 10 + d) as u32]);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_prefix_sums() {
+        let out = World::run(5, |ctx| {
+            let comm = ctx.comm_world();
+            ctx.scan(&comm, &[1u64, ctx.rank() as u64], op_sum_u64)
+        });
+        for (r, v) in out.iter().enumerate() {
+            assert_eq!(v[0], r as u64 + 1);
+            assert_eq!(v[1], (0..=r as u64).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn exscan_offsets() {
+        let out = World::run(4, |ctx| {
+            let comm = ctx.comm_world();
+            ctx.exscan_sum(&comm, (ctx.rank() as u64 + 1) * 10)
+        });
+        assert_eq!(out, vec![0, 10, 30, 60]);
+    }
+
+    #[test]
+    fn gather_concatenates_in_rank_order() {
+        let out = World::run(5, |ctx| {
+            let comm = ctx.comm_world();
+            ctx.gather(&comm, 2, &[ctx.rank() as u32, 99])
+        });
+        for (r, res) in out.iter().enumerate() {
+            if r == 2 {
+                assert_eq!(
+                    res.as_ref().unwrap(),
+                    &vec![0, 99, 1, 99, 2, 99, 3, 99, 4, 99]
+                );
+            } else {
+                assert!(res.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn scatterv_distributes_parts() {
+        let out = World::run(4, |ctx| {
+            let comm = ctx.comm_world();
+            let parts: Option<Vec<Vec<u32>>> = (ctx.rank() == 1)
+                .then(|| (0..4).map(|r| vec![r as u32; r + 1]).collect());
+            ctx.scatterv(&comm, 1, parts.as_deref())
+        });
+        for (r, got) in out.iter().enumerate() {
+            assert_eq!(got, &vec![r as u32; r + 1]);
+        }
+    }
+
+    #[test]
+    fn scatter_equal_chunks_all_roots() {
+        for root in 0..3 {
+            let out = World::run(3, move |ctx| {
+                let comm = ctx.comm_world();
+                let data: Option<Vec<u64>> =
+                    (ctx.rank() == root).then(|| (0..6).collect());
+                ctx.scatter(&comm, root, data.as_deref(), 2)
+            });
+            for (r, got) in out.iter().enumerate() {
+                assert_eq!(got, &vec![2 * r as u64, 2 * r as u64 + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_block_sums_and_splits() {
+        let out = World::run(3, |ctx| {
+            let comm = ctx.comm_world();
+            // every rank contributes [r, r, r, r, r, r]
+            let data = vec![ctx.rank() as u64; 6];
+            ctx.reduce_scatter_block(&comm, &data, 2, op_sum_u64)
+        });
+        // element-wise sum = 0+1+2 = 3 everywhere; each rank gets 2 of them
+        for got in out {
+            assert_eq!(got, vec![3, 3]);
+        }
+    }
+
+    #[test]
+    fn sendrecv_ring_shift() {
+        let out = World::run(5, |ctx| {
+            let comm = ctx.comm_world();
+            let n = ctx.size();
+            let right = (ctx.rank() + 1) % n;
+            let left = (ctx.rank() + n - 1) % n;
+            ctx.sendrecv(&comm, right, &[ctx.rank() as u64], left, 4)
+        });
+        assert_eq!(out.iter().map(|v| v[0]).collect::<Vec<_>>(), vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn consecutive_collectives_do_not_cross_match() {
+        let out = World::run(4, |ctx| {
+            let comm = ctx.comm_world();
+            let a = ctx.allreduce(&comm, &[1u64], op_sum_u64);
+            let b = ctx.allreduce(&comm, &[10u64], op_sum_u64);
+            ctx.barrier(&comm);
+            let c = ctx.allgather(&comm, &[ctx.rank() as u64]);
+            (a[0], b[0], c)
+        });
+        for (a, b, c) in out {
+            assert_eq!(a, 4);
+            assert_eq!(b, 40);
+            assert_eq!(c, vec![0, 1, 2, 3]);
+        }
+    }
+}

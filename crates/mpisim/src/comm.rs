@@ -1,0 +1,143 @@
+//! Communicators: ordered groups of ranks with an isolated matching context.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+/// Tag space reserved for internal collective traffic. User tags must stay
+/// below this bound (checked on every p2p call).
+pub(crate) const USER_TAG_LIMIT: u64 = 1 << 40;
+
+/// A communicator: an ordered set of world ranks plus a context id that
+/// isolates its message matching from every other communicator.
+///
+/// Each rank holds its own `Comm` value (cheap to clone; the rank list is
+/// shared). Collective operations must be invoked in the same order by all
+/// members, as in MPI.
+#[derive(Clone)]
+pub struct Comm {
+    /// Matching context for point-to-point traffic on this communicator.
+    pub(crate) ctx_id: u64,
+    /// world rank of each communicator rank, in communicator order.
+    pub(crate) ranks: Arc<Vec<usize>>,
+    /// This process's rank within the communicator.
+    pub(crate) my_rank: usize,
+    /// Sequence number isolating successive collectives on this comm.
+    pub(crate) coll_seq: Cell<u64>,
+    /// Number of `split`s performed, for deterministic child context ids.
+    pub(crate) split_seq: Cell<u64>,
+}
+
+impl Comm {
+    pub(crate) fn world(n_ranks: usize, my_rank: usize) -> Self {
+        Self {
+            ctx_id: 0,
+            ranks: Arc::new((0..n_ranks).collect()),
+            my_rank,
+            coll_seq: Cell::new(0),
+            split_seq: Cell::new(0),
+        }
+    }
+
+    /// Number of ranks in this communicator.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Calling process's rank within this communicator.
+    pub fn rank(&self) -> usize {
+        self.my_rank
+    }
+
+    /// World rank of communicator rank `r`.
+    pub fn world_rank(&self, r: usize) -> usize {
+        self.ranks[r]
+    }
+
+    /// Communicator rank of world rank `w`, if a member.
+    pub fn rank_of_world(&self, w: usize) -> Option<usize> {
+        self.ranks.iter().position(|&x| x == w)
+    }
+
+    /// Next collective tag (same on all members because collectives are
+    /// called in identical order).
+    pub(crate) fn next_coll_tag(&self) -> u64 {
+        let s = self.coll_seq.get();
+        self.coll_seq.set(s + 1);
+        USER_TAG_LIMIT + s
+    }
+
+    /// Deterministic context id for the `split_seq`-th split with `color`.
+    /// All members compute the same id with no communication.
+    pub(crate) fn child_ctx_id(&self, color: u64) -> u64 {
+        let s = self.split_seq.get();
+        self.split_seq.set(s + 1);
+        // SplitMix64-style mixing keeps ids unique with overwhelming
+        // probability across any realistic number of splits.
+        let mut z = self
+            .ctx_id
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(s.wrapping_mul(0xBF58476D1CE4E5B9))
+            .wrapping_add(color.wrapping_mul(0x94D049BB133111EB))
+            .wrapping_add(0xD6E8FEB86659FD93);
+        z ^= z >> 30;
+        z = z.wrapping_mul(0xBF58476D1CE4E5B9);
+        z ^= z >> 27;
+        z = z.wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        z | 1 // never collide with the world context 0
+    }
+}
+
+impl std::fmt::Debug for Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Comm")
+            .field("ctx_id", &self.ctx_id)
+            .field("size", &self.size())
+            .field("rank", &self.my_rank)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_comm_identity() {
+        let c = Comm::world(8, 3);
+        assert_eq!(c.size(), 8);
+        assert_eq!(c.rank(), 3);
+        assert_eq!(c.world_rank(5), 5);
+        assert_eq!(c.rank_of_world(7), Some(7));
+    }
+
+    #[test]
+    fn coll_tags_advance() {
+        let c = Comm::world(2, 0);
+        let t0 = c.next_coll_tag();
+        let t1 = c.next_coll_tag();
+        assert_eq!(t1, t0 + 1);
+        assert!(t0 >= USER_TAG_LIMIT);
+    }
+
+    #[test]
+    fn child_ctx_ids_deterministic_and_distinct() {
+        let a = Comm::world(4, 0);
+        let b = Comm::world(4, 2);
+        // Same split sequence + color on different ranks → same id.
+        let ia = a.child_ctx_id(5);
+        let ib = b.child_ctx_id(5);
+        assert_eq!(ia, ib);
+        // Different colors at the same split → different ids.
+        let a2 = Comm::world(4, 0);
+        let x = a2.child_ctx_id(1);
+        let a3 = Comm::world(4, 0);
+        let y = a3.child_ctx_id(2);
+        assert_ne!(x, y);
+        // Successive splits differ even with the same color.
+        let c = Comm::world(4, 1);
+        let first = c.child_ctx_id(9);
+        let second = c.child_ctx_id(9);
+        assert_ne!(first, second);
+    }
+}

@@ -1,0 +1,30 @@
+//! Element types that can travel in messages.
+
+/// Marker trait for message element types: anything clonable and sendable.
+///
+/// Payloads are moved between threads as `Vec<T>` behind a type-erased
+/// `Box<dyn Any + Send>`; receiving with a mismatched element type is a
+/// programming error and panics with a diagnostic (the analogue of an MPI
+/// datatype mismatch).
+pub trait Elem: Clone + Send + 'static {}
+
+impl<T: Clone + Send + 'static> Elem for T {}
+
+/// Size in bytes of one element, used for cost-model charging. Payload cost
+/// is `len * elem_bytes::<T>()`.
+pub fn elem_bytes<T>() -> usize {
+    std::mem::size_of::<T>().max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elem_sizes() {
+        assert_eq!(elem_bytes::<f64>(), 8);
+        assert_eq!(elem_bytes::<u32>(), 4);
+        // zero-sized types still charge one byte so counts stay visible
+        assert_eq!(elem_bytes::<()>(), 1);
+    }
+}

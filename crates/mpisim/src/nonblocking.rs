@@ -1,0 +1,113 @@
+//! One-shot nonblocking operations (`MPI_Isend` / `MPI_Irecv`), the API the
+//! paper's applications use *before* migrating to persistent neighborhood
+//! collectives (§1: "each parallel application typically implements their
+//! own irregular communication with calls to MPI_Isend and MPI_Irecv").
+
+use crate::comm::{Comm, USER_TAG_LIMIT};
+use crate::ctx::RankCtx;
+use crate::elem::Elem;
+
+/// Handle for a pending nonblocking receive.
+#[must_use = "a receive completes only when waited on"]
+pub struct IrecvReq<T: Elem> {
+    comm: Comm,
+    src: usize,
+    tag: u64,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Elem> IrecvReq<T> {
+    /// Block until the message arrives and return its payload.
+    pub fn wait(self, ctx: &mut RankCtx) -> Vec<T> {
+        ctx.recv_internal(&self.comm, self.src, self.tag)
+    }
+
+    /// Would `wait` return immediately?
+    pub fn test(&self, ctx: &RankCtx) -> bool {
+        ctx.iprobe(&self.comm, self.src, self.tag)
+    }
+}
+
+impl RankCtx {
+    /// `MPI_Isend`: start a send and return immediately. With the
+    /// simulator's buffered semantics the send is complete on return, so no
+    /// request object is needed (the analogue of an immediately-ready
+    /// `MPI_Request`).
+    pub fn isend<T: Elem>(&mut self, comm: &Comm, dst: usize, tag: u64, data: &[T]) {
+        assert!(tag < USER_TAG_LIMIT, "tag {tag} in reserved collective space");
+        self.send_internal(comm, dst, tag, data);
+    }
+
+    /// `MPI_Irecv`: post a nonblocking receive; complete it with
+    /// [`IrecvReq::wait`].
+    pub fn irecv<T: Elem>(&self, comm: &Comm, src: usize, tag: u64) -> IrecvReq<T> {
+        assert!(tag < USER_TAG_LIMIT, "tag {tag} in reserved collective space");
+        assert!(src < comm.size(), "src {src} out of range");
+        IrecvReq { comm: comm.clone(), src, tag, _marker: std::marker::PhantomData }
+    }
+
+    /// `MPI_Waitall` over receive handles, returning payloads in order.
+    pub fn wait_all_recvs<T: Elem>(&mut self, reqs: Vec<IrecvReq<T>>) -> Vec<Vec<T>> {
+        reqs.into_iter().map(|r| r.wait(self)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::World;
+
+    #[test]
+    fn isend_irecv_roundtrip() {
+        let out = World::run(2, |ctx| {
+            let comm = ctx.comm_world();
+            let peer = 1 - ctx.rank();
+            let req = ctx.irecv::<u64>(&comm, peer, 0);
+            ctx.isend(&comm, peer, 0, &[ctx.rank() as u64 + 7]);
+            req.wait(ctx)[0]
+        });
+        assert_eq!(out, vec![8, 7]);
+    }
+
+    #[test]
+    fn irregular_point_to_point_exchange() {
+        // the §1 idiom: post all irecvs, isend everything, waitall
+        let out = World::run(4, |ctx| {
+            let comm = ctx.comm_world();
+            let me = ctx.rank();
+            let peers: Vec<usize> = (0..4).filter(|&p| p != me).collect();
+            let reqs: Vec<_> = peers.iter().map(|&p| ctx.irecv::<u64>(&comm, p, 1)).collect();
+            for &p in &peers {
+                ctx.isend(&comm, p, 1, &[(me * 10 + p) as u64]);
+            }
+            let got = ctx.wait_all_recvs(reqs);
+            got.iter().map(|v| v[0]).sum::<u64>()
+        });
+        for (me, sum) in out.iter().enumerate() {
+            let expect: u64 = (0..4u64)
+                .filter(|&p| p != me as u64)
+                .map(|p| p * 10 + me as u64)
+                .sum();
+            assert_eq!(*sum, expect);
+        }
+    }
+
+    #[test]
+    fn test_polls_arrival() {
+        let done = World::run(2, |ctx| {
+            let comm = ctx.comm_world();
+            if ctx.rank() == 0 {
+                let req = ctx.irecv::<u8>(&comm, 1, 0);
+                // spin until the probe sees it (rank 1 sends immediately)
+                while !req.test(ctx) {
+                    std::thread::yield_now();
+                }
+                req.wait(ctx);
+                true
+            } else {
+                ctx.isend(&comm, 0, 0, &[1u8]);
+                true
+            }
+        });
+        assert!(done.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,162 @@
+//! Shared world state: mailboxes and the matching engine.
+
+use locality::Topology;
+use parking_lot::{Condvar, Mutex};
+use perfmodel::CostModel;
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A message in flight.
+pub(crate) struct Envelope {
+    /// Communicator context the message belongs to.
+    pub ctx_id: u64,
+    /// Source rank *within that communicator*.
+    pub src: usize,
+    pub tag: u64,
+    /// Modeled arrival time at the destination (0 when unmodeled).
+    pub arrival: f64,
+    /// `Vec<T>` behind a type-erased box.
+    pub payload: Box<dyn Any + Send>,
+    /// Human-readable element type, for mismatch diagnostics.
+    pub type_name: &'static str,
+}
+
+/// Unexpected-message queue of one rank.
+#[derive(Default)]
+pub(crate) struct Mailbox {
+    pub queue: Mutex<VecDeque<Envelope>>,
+    pub cv: Condvar,
+}
+
+/// Modeled-time configuration shared by all ranks.
+pub(crate) struct ModelCtx {
+    pub model: Arc<dyn CostModel>,
+    pub topo: Topology,
+}
+
+/// State shared by every rank of a world.
+pub(crate) struct WorldState {
+    pub n_ranks: usize,
+    pub mailboxes: Vec<Mailbox>,
+    pub model: Option<ModelCtx>,
+}
+
+impl WorldState {
+    pub fn new(n_ranks: usize, model: Option<ModelCtx>) -> Arc<Self> {
+        assert!(n_ranks > 0);
+        if let Some(m) = &model {
+            assert_eq!(
+                m.topo.n_ranks(),
+                n_ranks,
+                "topology rank count must match world size"
+            );
+        }
+        let mailboxes = (0..n_ranks).map(|_| Mailbox::default()).collect();
+        Arc::new(Self { n_ranks, mailboxes, model })
+    }
+
+    /// Deposit an envelope in `global_dst`'s mailbox and wake any waiter.
+    pub fn deposit(&self, global_dst: usize, env: Envelope) {
+        let mb = &self.mailboxes[global_dst];
+        let mut q = mb.queue.lock();
+        q.push_back(env);
+        mb.cv.notify_all();
+    }
+
+    /// Blocking matched receive for `global_dst`: first envelope with the
+    /// given (ctx, src, tag). Returns the envelope and the queue length that
+    /// was searched (for queue-cost charging).
+    pub fn match_recv(
+        &self,
+        global_dst: usize,
+        ctx_id: u64,
+        src: usize,
+        tag: u64,
+    ) -> (Envelope, usize) {
+        let mb = &self.mailboxes[global_dst];
+        let mut q = mb.queue.lock();
+        loop {
+            let searched = q.len();
+            if let Some(pos) = q
+                .iter()
+                .position(|e| e.ctx_id == ctx_id && e.src == src && e.tag == tag)
+            {
+                let env = q.remove(pos).expect("position valid");
+                return (env, searched);
+            }
+            mb.cv.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking probe: would a matched receive complete immediately?
+    pub fn probe(&self, global_dst: usize, ctx_id: u64, src: usize, tag: u64) -> bool {
+        let q = self.mailboxes[global_dst].queue.lock();
+        q.iter().any(|e| e.ctx_id == ctx_id && e.src == src && e.tag == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(ctx_id: u64, src: usize, tag: u64, val: u32) -> Envelope {
+        Envelope {
+            ctx_id,
+            src,
+            tag,
+            arrival: 0.0,
+            payload: Box::new(vec![val]),
+            type_name: "u32",
+        }
+    }
+
+    #[test]
+    fn deposit_then_match() {
+        let w = WorldState::new(2, None);
+        w.deposit(1, env(0, 0, 5, 42));
+        let (got, searched) = w.match_recv(1, 0, 0, 5);
+        assert_eq!(searched, 1);
+        let v = got.payload.downcast::<Vec<u32>>().unwrap();
+        assert_eq!(*v, vec![42]);
+    }
+
+    #[test]
+    fn matching_respects_tag_and_ctx() {
+        let w = WorldState::new(1, None);
+        w.deposit(0, env(0, 0, 1, 10));
+        w.deposit(0, env(1, 0, 2, 20));
+        w.deposit(0, env(0, 0, 2, 30));
+        // match ctx 0 / tag 2 skips both earlier non-matching envelopes
+        let (got, _) = w.match_recv(0, 0, 0, 2);
+        let v = got.payload.downcast::<Vec<u32>>().unwrap();
+        assert_eq!(*v, vec![30]);
+        assert!(w.probe(0, 0, 0, 1));
+        assert!(w.probe(0, 1, 0, 2));
+        assert!(!w.probe(0, 0, 0, 2));
+    }
+
+    #[test]
+    fn non_overtaking_same_signature() {
+        let w = WorldState::new(1, None);
+        w.deposit(0, env(0, 3, 9, 1));
+        w.deposit(0, env(0, 3, 9, 2));
+        let (a, _) = w.match_recv(0, 0, 3, 9);
+        let (b, _) = w.match_recv(0, 0, 3, 9);
+        assert_eq!(*a.payload.downcast::<Vec<u32>>().unwrap(), vec![1]);
+        assert_eq!(*b.payload.downcast::<Vec<u32>>().unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_deposit() {
+        let w = WorldState::new(1, None);
+        let w2 = Arc::clone(&w);
+        let t = std::thread::spawn(move || {
+            let (env, _) = w2.match_recv(0, 0, 0, 7);
+            *env.payload.downcast::<Vec<u32>>().unwrap()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        w.deposit(0, env(0, 0, 7, 99));
+        assert_eq!(t.join().unwrap(), vec![99]);
+    }
+}

@@ -1,0 +1,187 @@
+//! The cost-model trait and its three implementations.
+
+use crate::params::{self, ClassParams};
+use locality::LocalityClass;
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point communication cost model.
+pub trait CostModel: Send + Sync {
+    /// Time in seconds for one message of `bytes` bytes in `class`.
+    fn msg_time(&self, class: LocalityClass, bytes: usize) -> f64;
+
+    /// Matching/queue-search overhead incurred by a rank that receives
+    /// `n_recvs` messages in one phase (0 by default).
+    fn queue_time(&self, n_recvs: usize) -> f64 {
+        let _ = n_recvs;
+        0.0
+    }
+
+    /// Incremental cost of matching one arriving message against a receive
+    /// queue currently holding `queue_len` entries (used by the execution
+    /// simulator's virtual clock; 0 by default).
+    fn match_time(&self, queue_len: usize) -> f64 {
+        let _ = queue_len;
+        0.0
+    }
+
+    /// Per-node injection bandwidth limit in bytes/s (`None` = unlimited).
+    fn injection_rate(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Classic postal model: identical `α + βn` for every message regardless of
+/// locality.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PostalModel {
+    pub params: ClassParams,
+}
+
+impl PostalModel {
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        Self { params: ClassParams::new(alpha, beta) }
+    }
+}
+
+impl CostModel for PostalModel {
+    fn msg_time(&self, _class: LocalityClass, bytes: usize) -> f64 {
+        self.params.time(bytes)
+    }
+}
+
+/// Max-rate model: distinguishes intra-node from inter-node messages and
+/// caps the aggregate inter-node rate of each node at an injection limit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaxRateModel {
+    pub intra: ClassParams,
+    pub inter: ClassParams,
+    /// Per-node injection bandwidth, bytes/s.
+    pub injection: f64,
+}
+
+impl MaxRateModel {
+    pub fn new(intra: ClassParams, inter: ClassParams, injection: f64) -> Self {
+        assert!(injection > 0.0);
+        Self { intra, inter, injection }
+    }
+}
+
+impl CostModel for MaxRateModel {
+    fn msg_time(&self, class: LocalityClass, bytes: usize) -> f64 {
+        if class.is_intra_node() {
+            self.intra.time(bytes)
+        } else {
+            self.inter.time(bytes)
+        }
+    }
+
+    fn injection_rate(&self) -> Option<f64> {
+        Some(self.injection)
+    }
+}
+
+/// Locality-aware model: separate parameters per [`LocalityClass`], a
+/// per-node injection cap, and a quadratic queue-search term for
+/// many-message irregular phases.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalityModel {
+    pub classes: [ClassParams; 4],
+    pub injection: Option<f64>,
+    /// Seconds per (received message × queued message) matching pair.
+    pub queue_coeff: f64,
+}
+
+impl LocalityModel {
+    pub fn new(classes: [ClassParams; 4]) -> Self {
+        Self { classes, injection: None, queue_coeff: 0.0 }
+    }
+
+    /// Lassen-like preset matching the paper's experimental platform.
+    pub fn lassen() -> Self {
+        let mut classes = [ClassParams::new(0.0, 0.0); 4];
+        for (i, c) in LocalityClass::ALL.iter().enumerate() {
+            classes[i] = params::lassen_like(*c);
+        }
+        Self {
+            classes,
+            injection: Some(params::LASSEN_INJECTION_RATE),
+            queue_coeff: params::LASSEN_QUEUE_COEFF,
+        }
+    }
+
+    pub fn class_params(&self, class: LocalityClass) -> ClassParams {
+        self.classes[LocalityClass::ALL.iter().position(|&c| c == class).unwrap()]
+    }
+}
+
+impl CostModel for LocalityModel {
+    fn msg_time(&self, class: LocalityClass, bytes: usize) -> f64 {
+        self.class_params(class).time(bytes)
+    }
+
+    fn queue_time(&self, n_recvs: usize) -> f64 {
+        // Each arriving message searches a queue whose expected length grows
+        // with the number of outstanding receives: Σ_{i<n} i ≈ n²/2.
+        0.5 * self.queue_coeff * (n_recvs as f64) * (n_recvs as f64)
+    }
+
+    fn match_time(&self, queue_len: usize) -> f64 {
+        self.queue_coeff * queue_len as f64
+    }
+
+    fn injection_rate(&self) -> Option<f64> {
+        self.injection
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn postal_ignores_class() {
+        let m = PostalModel::new(1e-6, 1e-9);
+        assert_eq!(
+            m.msg_time(LocalityClass::IntraSocket, 1000),
+            m.msg_time(LocalityClass::InterNode, 1000)
+        );
+    }
+
+    #[test]
+    fn maxrate_distinguishes_inter_node() {
+        let m = MaxRateModel::new(
+            ClassParams::new(5e-7, 1e-11),
+            ClassParams::new(2e-6, 8e-11),
+            12.5e9,
+        );
+        assert!(
+            m.msg_time(LocalityClass::InterNode, 64) > m.msg_time(LocalityClass::IntraSocket, 64)
+        );
+        assert_eq!(
+            m.msg_time(LocalityClass::IntraSocket, 64),
+            m.msg_time(LocalityClass::InterSocket, 64)
+        );
+        assert_eq!(m.injection_rate(), Some(12.5e9));
+    }
+
+    #[test]
+    fn lassen_queue_quadratic() {
+        let m = LocalityModel::lassen();
+        let t10 = m.queue_time(10);
+        let t20 = m.queue_time(20);
+        assert!((t20 / t10 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lassen_self_cheapest() {
+        let m = LocalityModel::lassen();
+        let t_self = m.msg_time(LocalityClass::SelfRank, 1024);
+        for c in [
+            LocalityClass::IntraSocket,
+            LocalityClass::InterSocket,
+            LocalityClass::InterNode,
+        ] {
+            assert!(t_self < m.msg_time(c, 1024));
+        }
+    }
+}

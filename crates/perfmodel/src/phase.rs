@@ -1,0 +1,214 @@
+//! Evaluating whole communication phases.
+//!
+//! A *phase* is one logical step of a protocol (e.g. the inter-region `g`
+//! step of three-step aggregation) in which every rank starts its messages
+//! and waits for completion. The modeled duration of the phase is the
+//! maximum over ranks of each rank's local cost, subject to per-node
+//! injection limits.
+
+use crate::models::CostModel;
+use locality::{LocalityClass, Topology};
+use serde::{Deserialize, Serialize};
+
+/// One message as seen by the model: its locality class and payload size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Msg {
+    pub class: LocalityClass,
+    pub bytes: usize,
+}
+
+impl Msg {
+    pub fn new(class: LocalityClass, bytes: usize) -> Self {
+        Self { class, bytes }
+    }
+}
+
+/// Per-phase message lists for every rank.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseEval {
+    /// `sends[r]` — messages rank `r` sends in this phase.
+    pub sends: Vec<Vec<Msg>>,
+    /// `recvs[r]` — messages rank `r` receives in this phase.
+    pub recvs: Vec<Vec<Msg>>,
+}
+
+impl PhaseEval {
+    pub fn new(n_ranks: usize) -> Self {
+        Self { sends: vec![Vec::new(); n_ranks], recvs: vec![Vec::new(); n_ranks] }
+    }
+
+    /// Record a message from `src` to `dst` of `bytes` bytes; the class is
+    /// derived from the topology.
+    pub fn add(&mut self, topo: &Topology, src: usize, dst: usize, bytes: usize) {
+        let class = topo.classify(src, dst);
+        self.sends[src].push(Msg::new(class, bytes));
+        self.recvs[dst].push(Msg::new(class, bytes));
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sends.iter().all(Vec::is_empty) && self.recvs.iter().all(Vec::is_empty)
+    }
+
+    /// Modeled duration of this phase under `model`.
+    pub fn time(&self, model: &dyn CostModel, topo: &Topology) -> f64 {
+        self.cost(model, topo).time
+    }
+
+    /// Full cost breakdown of this phase.
+    pub fn cost(&self, model: &dyn CostModel, topo: &Topology) -> PhaseCost {
+        let n = self.sends.len();
+        assert_eq!(n, self.recvs.len());
+        assert_eq!(n, topo.n_ranks(), "phase rank count must match topology");
+
+        let mut max_rank_time = 0.0f64;
+        let mut bottleneck_rank = 0;
+        // inter-node bytes leaving each node, for the injection constraint
+        let mut node_bytes = vec![0usize; topo.machine().nodes];
+
+        for r in 0..n {
+            let mut send_t = 0.0;
+            for m in &self.sends[r] {
+                send_t += model.msg_time(m.class, m.bytes);
+                if m.class == LocalityClass::InterNode {
+                    node_bytes[topo.rank_map().node_of(r)] += m.bytes;
+                }
+            }
+            let mut recv_t = 0.0;
+            for m in &self.recvs[r] {
+                recv_t += model.msg_time(m.class, m.bytes);
+            }
+            recv_t += model.queue_time(self.recvs[r].len());
+            // Sends and receives progress concurrently; the rank is busy for
+            // whichever side dominates.
+            let t = send_t.max(recv_t);
+            if t > max_rank_time {
+                max_rank_time = t;
+                bottleneck_rank = r;
+            }
+        }
+
+        let injection_time = match model.injection_rate() {
+            Some(rate) => {
+                node_bytes.iter().map(|&b| b as f64 / rate).fold(0.0f64, f64::max)
+            }
+            None => 0.0,
+        };
+
+        PhaseCost {
+            time: max_rank_time.max(injection_time),
+            bottleneck_rank,
+            injection_limited: injection_time > max_rank_time,
+        }
+    }
+}
+
+/// Result of evaluating one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseCost {
+    /// Modeled phase duration in seconds.
+    pub time: f64,
+    /// Rank whose local cost determined the duration (when not
+    /// injection-limited).
+    pub bottleneck_rank: usize,
+    /// True when the per-node injection cap, not a single rank, set the time.
+    pub injection_limited: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{LocalityModel, PostalModel};
+
+    fn topo8() -> Topology {
+        Topology::block_nodes(8, 4)
+    }
+
+    #[test]
+    fn empty_phase_is_free() {
+        let topo = topo8();
+        let p = PhaseEval::new(8);
+        assert!(p.is_empty());
+        assert_eq!(p.time(&PostalModel::new(1e-6, 1e-9), &topo), 0.0);
+    }
+
+    #[test]
+    fn single_message_costs_alpha_beta() {
+        let topo = topo8();
+        let mut p = PhaseEval::new(8);
+        p.add(&topo, 0, 5, 1000);
+        let t = p.time(&PostalModel::new(1e-6, 1e-9), &topo);
+        assert!((t - (1e-6 + 1e-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_time_is_max_over_ranks() {
+        let topo = topo8();
+        let model = PostalModel::new(1e-6, 0.0);
+        // rank 0 sends 3 messages, rank 1 sends 1: phase = 3α.
+        let mut p = PhaseEval::new(8);
+        p.add(&topo, 0, 4, 8);
+        p.add(&topo, 0, 5, 8);
+        p.add(&topo, 0, 6, 8);
+        p.add(&topo, 1, 7, 8);
+        let c = p.cost(&model, &topo);
+        assert!((c.time - 3e-6).abs() < 1e-12);
+        assert_eq!(c.bottleneck_rank, 0);
+        assert!(!c.injection_limited);
+    }
+
+    #[test]
+    fn hot_receiver_dominates() {
+        let topo = topo8();
+        let model = PostalModel::new(1e-6, 0.0);
+        // every rank in node 0 sends one message to rank 4: rank 4's recv
+        // side (4α) exceeds any sender's cost (1α).
+        let mut p = PhaseEval::new(8);
+        for src in 0..4 {
+            p.add(&topo, src, 4, 8);
+        }
+        let c = p.cost(&model, &topo);
+        assert!((c.time - 4e-6).abs() < 1e-12);
+        assert_eq!(c.bottleneck_rank, 4);
+    }
+
+    #[test]
+    fn injection_cap_binds_for_big_aggregate() {
+        let topo = topo8();
+        // inter-node bandwidth huge per message but injection tiny.
+        let model = crate::models::MaxRateModel::new(
+            crate::params::ClassParams::new(0.0, 0.0),
+            crate::params::ClassParams::new(0.0, 0.0),
+            1e3, // 1 KB/s injection
+        );
+        let mut p = PhaseEval::new(8);
+        for src in 0..4 {
+            p.add(&topo, src, 4 + src, 1000);
+        }
+        let c = p.cost(&model, &topo);
+        assert!(c.injection_limited);
+        assert!((c.time - 4.0).abs() < 1e-9); // 4000 bytes / 1e3 B/s
+    }
+
+    #[test]
+    fn queue_time_counts_receives() {
+        let topo = topo8();
+        let mut model = LocalityModel::lassen();
+        model.injection = None;
+        let mut p = PhaseEval::new(8);
+        for src in 0..4 {
+            p.add(&topo, src, 7, 8);
+        }
+        let with_queue = p.time(&model, &topo);
+        model.queue_coeff = 0.0;
+        let without = p.time(&model, &topo);
+        assert!(with_queue > without);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank count")]
+    fn mismatched_topology_panics() {
+        let topo = topo8();
+        let p = PhaseEval::new(4);
+        p.time(&PostalModel::new(1e-6, 1e-9), &topo);
+    }
+}

@@ -1,0 +1,57 @@
+//! Property-based tests for the cost models.
+
+use crate::models::{CostModel, LocalityModel, PostalModel};
+use crate::phase::PhaseEval;
+use locality::{LocalityClass, Topology};
+use proptest::prelude::*;
+
+proptest! {
+    /// Message time is monotone in size for every model and class.
+    #[test]
+    fn msg_time_monotone_in_bytes(a in 0usize..1_000_000, b in 0usize..1_000_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let postal = PostalModel::new(1e-6, 1e-9);
+        let lassen = LocalityModel::lassen();
+        for class in LocalityClass::ALL {
+            prop_assert!(postal.msg_time(class, lo) <= postal.msg_time(class, hi));
+            prop_assert!(lassen.msg_time(class, lo) <= lassen.msg_time(class, hi));
+        }
+    }
+
+    /// Adding a message never decreases the phase time.
+    #[test]
+    fn phase_time_monotone_in_messages(
+        ranks in 2usize..40,
+        ppn in 1usize..9,
+        msgs in prop::collection::vec((0usize..40, 0usize..40, 1usize..4096), 1..30),
+    ) {
+        let topo = Topology::block_nodes(ranks, ppn);
+        let model = LocalityModel::lassen();
+        let mut p = PhaseEval::new(ranks);
+        let mut last = 0.0f64;
+        for (s, d, bytes) in msgs {
+            p.add(&topo, s % ranks, d % ranks, bytes);
+            let t = p.time(&model, &topo);
+            prop_assert!(t + 1e-18 >= last, "time decreased: {t} < {last}");
+            last = t;
+        }
+    }
+
+    /// Phase time is at least the cost of its most expensive single message.
+    #[test]
+    fn phase_at_least_max_message(
+        ranks in 2usize..30,
+        msgs in prop::collection::vec((0usize..30, 0usize..30, 1usize..10_000), 1..20),
+    ) {
+        let topo = Topology::block_nodes(ranks, 4);
+        let model = LocalityModel::lassen();
+        let mut p = PhaseEval::new(ranks);
+        let mut max_single = 0.0f64;
+        for (s, d, bytes) in msgs {
+            let (s, d) = (s % ranks, d % ranks);
+            p.add(&topo, s, d, bytes);
+            max_single = max_single.max(model.msg_time(topo.classify(s, d), bytes));
+        }
+        prop_assert!(p.time(&model, &topo) + 1e-18 >= max_single);
+    }
+}

@@ -1,0 +1,163 @@
+//! Rotated anisotropic diffusion — the paper's evaluation problem.
+//!
+//! Discretizes `-∇·(K ∇u)` with
+//! `K = Q diag(1, ε) Qᵀ`, `Q` the rotation by `θ`, i.e. the operator
+//! `a·u_xx + 2b·u_xy + c·u_yy` with
+//!
+//! ```text
+//! a = cos²θ + ε sin²θ
+//! b = (1 − ε) sinθ cosθ
+//! c = ε cos²θ + sin²θ
+//! ```
+//!
+//! The paper uses θ = 45°, ε = 0.001 ("rotated of 45 degrees and anisotropy
+//! of 0.001") with a 7-point stencil: the mixed derivative is discretized
+//! with the one-sided 7-point formula that keeps the operator an M-matrix,
+//! putting the strong coupling on the NE/SW (or NW/SE) diagonal.
+
+use super::stencil::{apply_stencil_2d, Stencil2d};
+use crate::csr::Csr;
+
+/// The 7-point finite-difference stencil for rotated anisotropic diffusion.
+///
+/// For `b ≥ 0` (θ in the first quadrant) the mixed derivative uses the
+/// NE/SW corners:
+///
+/// ```text
+///        [  ·     b−c    −b ]
+/// (1/h²) [ b−a  2a+2c−2b  b−a ]
+///        [ −b     b−c     · ]
+/// ```
+///
+/// For `b < 0` the NW/SE corners are used instead (mirror image).
+pub fn diffusion_stencil_7pt(eps: f64, theta: f64) -> Stencil2d {
+    assert!(eps > 0.0, "anisotropy must be positive");
+    let (s, c) = theta.sin_cos();
+    let a = c * c + eps * s * s;
+    let cc = eps * c * c + s * s;
+    let b = (1.0 - eps) * s * c;
+
+    let center = 2.0 * a + 2.0 * cc - 2.0 * b.abs();
+    let ew = b.abs() - a; // east/west
+    let ns = b.abs() - cc; // north/south
+    let diag = -b.abs(); // the two kept corners
+
+    let mut entries = vec![
+        (0, 0, center),
+        (-1, 0, ew),
+        (1, 0, ew),
+        (0, -1, ns),
+        (0, 1, ns),
+    ];
+    if b >= 0.0 {
+        entries.push((1, 1, diag));
+        entries.push((-1, -1, diag));
+    } else {
+        entries.push((-1, 1, diag));
+        entries.push((1, -1, diag));
+    }
+    Stencil2d::new(entries)
+}
+
+/// The standard 9-point bilinear-FE-style stencil for the same operator
+/// (central differencing of the mixed derivative).
+pub fn diffusion_stencil_9pt(eps: f64, theta: f64) -> Stencil2d {
+    assert!(eps > 0.0, "anisotropy must be positive");
+    let (s, c) = theta.sin_cos();
+    let a = c * c + eps * s * s;
+    let cc = eps * c * c + s * s;
+    let b = (1.0 - eps) * s * c;
+    Stencil2d::new(vec![
+        (0, 0, 2.0 * a + 2.0 * cc),
+        (-1, 0, -a),
+        (1, 0, -a),
+        (0, -1, -cc),
+        (0, 1, -cc),
+        (1, 1, -b / 2.0),
+        (-1, -1, -b / 2.0),
+        (-1, 1, b / 2.0),
+        (1, -1, b / 2.0),
+    ])
+}
+
+/// The paper's problem: rotated anisotropic diffusion, 7-point stencil, on
+/// an `nx × ny` grid. With `nx = 1024, ny = 512` this gives the 524 288-row
+/// system of Figures 6–13.
+pub fn diffusion_2d_7pt(nx: usize, ny: usize, eps: f64, theta: f64) -> Csr {
+    apply_stencil_2d(&diffusion_stencil_7pt(eps, theta), nx, ny)
+}
+
+/// The paper's exact parameters: θ = 45°, ε = 0.001.
+pub fn paper_problem(nx: usize, ny: usize) -> Csr {
+    diffusion_2d_7pt(nx, ny, 0.001, std::f64::consts::FRAC_PI_4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stencil_is_conservative() {
+        // Row sum zero: constant vectors are in the operator's null space
+        // away from boundaries.
+        let st = diffusion_stencil_7pt(0.001, std::f64::consts::FRAC_PI_4);
+        assert!(st.row_sum().abs() < 1e-12);
+        let st9 = diffusion_stencil_9pt(0.001, std::f64::consts::FRAC_PI_4);
+        assert!(st9.row_sum().abs() < 1e-12);
+    }
+
+    #[test]
+    fn stencil_has_7_points() {
+        let st = diffusion_stencil_7pt(0.001, std::f64::consts::FRAC_PI_4);
+        assert_eq!(st.entries.len(), 7);
+    }
+
+    #[test]
+    fn m_matrix_property_at_45_degrees() {
+        // Off-diagonal entries non-positive, diagonal positive.
+        let st = diffusion_stencil_7pt(0.001, std::f64::consts::FRAC_PI_4);
+        for &(dx, dy, c) in &st.entries {
+            if (dx, dy) == (0, 0) {
+                assert!(c > 0.0);
+            } else {
+                assert!(c <= 1e-12, "off-diagonal ({dx},{dy}) = {c} must be ≤ 0");
+            }
+        }
+    }
+
+    #[test]
+    fn strong_coupling_on_ne_sw_diagonal() {
+        let st = diffusion_stencil_7pt(0.001, std::f64::consts::FRAC_PI_4);
+        let coef = |dx: i32, dy: i32| {
+            st.entries.iter().find(|e| e.0 == dx && e.1 == dy).map(|e| e.2).unwrap_or(0.0)
+        };
+        // |NE| >> |E| for the rotated anisotropic problem at 45°.
+        assert!(coef(1, 1).abs() > 100.0 * coef(1, 0).abs());
+        assert!(coef(-1, -1).abs() > 100.0 * coef(0, 1).abs());
+        // corners NW/SE absent
+        assert_eq!(coef(-1, 1), 0.0);
+        assert_eq!(coef(1, -1), 0.0);
+    }
+
+    #[test]
+    fn negative_b_mirrors_corners() {
+        let st = diffusion_stencil_7pt(0.001, -std::f64::consts::FRAC_PI_4);
+        let has = |dx: i32, dy: i32| st.entries.iter().any(|e| e.0 == dx && e.1 == dy);
+        assert!(has(-1, 1) && has(1, -1));
+        assert!(!has(1, 1) && !has(-1, -1));
+    }
+
+    #[test]
+    fn paper_problem_size() {
+        let a = paper_problem(64, 32);
+        assert_eq!(a.n_rows(), 2048);
+        // symmetric positive definite-ish: diagonal positive
+        assert!(a.diagonal().iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        let a = paper_problem(16, 12);
+        assert!(a.frob_distance(&a.transpose()) < 1e-12);
+    }
+}

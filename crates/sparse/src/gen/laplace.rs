@@ -1,0 +1,77 @@
+//! Laplacian model problems (additional workloads for examples/benches).
+
+use super::stencil::{apply_stencil_2d, apply_stencil_3d, Stencil2d};
+use crate::csr::Csr;
+
+/// Standard 5-point 2-D Laplacian on an `nx × ny` grid.
+pub fn laplace_2d_5pt(nx: usize, ny: usize) -> Csr {
+    let st = Stencil2d::new(vec![
+        (0, 0, 4.0),
+        (-1, 0, -1.0),
+        (1, 0, -1.0),
+        (0, -1, -1.0),
+        (0, 1, -1.0),
+    ]);
+    apply_stencil_2d(&st, nx, ny)
+}
+
+/// 9-point 2-D Laplacian (Mehrstellen).
+pub fn laplace_2d_9pt(nx: usize, ny: usize) -> Csr {
+    let mut entries = Vec::with_capacity(9);
+    for dy in -1..=1 {
+        for dx in -1..=1 {
+            let c = if (dx, dy) == (0, 0) { 8.0 } else { -1.0 };
+            entries.push((dx, dy, c));
+        }
+    }
+    apply_stencil_2d(&Stencil2d::new(entries), nx, ny)
+}
+
+/// 27-point 3-D Laplacian on an `nx × ny × nz` grid.
+pub fn laplace_3d_27pt(nx: usize, ny: usize, nz: usize) -> Csr {
+    let mut entries = Vec::with_capacity(27);
+    for dz in -1..=1 {
+        for dy in -1..=1 {
+            for dx in -1..=1 {
+                let c = if (dx, dy, dz) == (0, 0, 0) { 26.0 } else { -1.0 };
+                entries.push((dx, dy, dz, c));
+            }
+        }
+    }
+    apply_stencil_3d(&entries, nx, ny, nz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laplace_5pt_interior() {
+        let a = laplace_2d_5pt(4, 4);
+        assert_eq!(a.n_rows(), 16);
+        assert_eq!(a.get(5, 5), 4.0);
+        assert_eq!(a.row_nnz(5), 5);
+    }
+
+    #[test]
+    fn laplace_9pt_interior() {
+        let a = laplace_2d_9pt(5, 5);
+        assert_eq!(a.row_nnz(12), 9);
+        assert_eq!(a.get(12, 12), 8.0);
+    }
+
+    #[test]
+    fn laplace_27pt_shape() {
+        let a = laplace_3d_27pt(3, 3, 3);
+        assert_eq!(a.n_rows(), 27);
+        assert_eq!(a.row_nnz(13), 27); // center voxel
+        assert_eq!(a.get(13, 13), 26.0);
+    }
+
+    #[test]
+    fn laplacians_symmetric() {
+        for a in [laplace_2d_5pt(6, 5), laplace_2d_9pt(6, 5), laplace_3d_27pt(3, 4, 2)] {
+            assert!(a.frob_distance(&a.transpose()) < 1e-13);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Problem generators for the paper's evaluation workloads.
+
+pub mod diffusion;
+pub mod laplace;
+pub mod random;
+pub mod stencil;
+
+pub use diffusion::{diffusion_2d_7pt, diffusion_stencil_7pt, diffusion_stencil_9pt};
+pub use laplace::{laplace_2d_5pt, laplace_2d_9pt, laplace_3d_27pt};
+pub use random::random_spd;
+pub use stencil::{apply_stencil_2d, apply_stencil_3d, Stencil2d};

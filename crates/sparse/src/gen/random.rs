@@ -1,0 +1,74 @@
+//! Random sparse test matrices.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random symmetric diagonally-dominant matrix with roughly
+/// `avg_row_nnz` off-diagonal entries per row. Deterministic per seed.
+/// Used as an irregular (non-grid) communication workload and for property
+/// tests of the solver stack.
+pub fn random_spd(n: usize, avg_row_nnz: usize, seed: u64) -> Csr {
+    assert!(n > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = Coo::new(n, n);
+    // symmetric off-diagonal pattern
+    let target = n * avg_row_nnz / 2;
+    for _ in 0..target {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i == j {
+            continue;
+        }
+        let v = -rng.gen_range(0.1..1.0);
+        coo.push(i, j, v);
+        coo.push(j, i, v);
+    }
+    // make strictly diagonally dominant
+    let tmp = Csr::from_coo(&coo);
+    let mut coo2 = Coo::new(n, n);
+    for r in 0..n {
+        let (cols, vals) = tmp.row(r);
+        let mut absum = 0.0;
+        for (&c, &v) in cols.iter().zip(vals) {
+            if c != r {
+                coo2.push(r, c, v);
+                absum += v.abs();
+            }
+        }
+        coo2.push(r, r, absum + 1.0);
+    }
+    Csr::from_coo(&coo2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_symmetric() {
+        let a = random_spd(50, 6, 42);
+        let b = random_spd(50, 6, 42);
+        assert_eq!(a, b);
+        assert!(a.frob_distance(&a.transpose()) < 1e-13);
+    }
+
+    #[test]
+    fn diagonally_dominant() {
+        let a = random_spd(80, 8, 7);
+        for r in 0..80 {
+            let (cols, vals) = a.row(r);
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c == r {
+                    diag = v;
+                } else {
+                    off += v.abs();
+                }
+            }
+            assert!(diag > off, "row {r} not dominant");
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Stencil application on regular grids (Dirichlet boundaries).
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+
+/// A 2-D stencil: offsets `(dx, dy)` with coefficients.
+#[derive(Debug, Clone)]
+pub struct Stencil2d {
+    pub entries: Vec<(i32, i32, f64)>,
+}
+
+impl Stencil2d {
+    pub fn new(entries: Vec<(i32, i32, f64)>) -> Self {
+        assert!(!entries.is_empty());
+        Self { entries }
+    }
+
+    /// Sum of all coefficients (≈0 for conservative operators away from
+    /// boundaries).
+    pub fn row_sum(&self) -> f64 {
+        self.entries.iter().map(|e| e.2).sum()
+    }
+}
+
+/// Apply a 2-D stencil on an `nx × ny` grid (row-major: index = y·nx + x),
+/// dropping entries that fall outside the grid (homogeneous Dirichlet).
+pub fn apply_stencil_2d(st: &Stencil2d, nx: usize, ny: usize) -> Csr {
+    let n = nx * ny;
+    let mut coo = Coo::new(n, n);
+    coo.entries.reserve(n * st.entries.len());
+    for y in 0..ny as i64 {
+        for x in 0..nx as i64 {
+            let row = (y * nx as i64 + x) as usize;
+            for &(dx, dy, c) in &st.entries {
+                let xx = x + dx as i64;
+                let yy = y + dy as i64;
+                if xx >= 0 && xx < nx as i64 && yy >= 0 && yy < ny as i64 {
+                    coo.push(row, (yy * nx as i64 + xx) as usize, c);
+                }
+            }
+        }
+    }
+    Csr::from_coo(&coo)
+}
+
+/// Apply a 3-D stencil (offsets `(dx, dy, dz)`) on an `nx × ny × nz` grid,
+/// index = (z·ny + y)·nx + x.
+pub fn apply_stencil_3d(entries: &[(i32, i32, i32, f64)], nx: usize, ny: usize, nz: usize) -> Csr {
+    let n = nx * ny * nz;
+    let mut coo = Coo::new(n, n);
+    coo.entries.reserve(n * entries.len());
+    for z in 0..nz as i64 {
+        for y in 0..ny as i64 {
+            for x in 0..nx as i64 {
+                let row = ((z * ny as i64 + y) * nx as i64 + x) as usize;
+                for &(dx, dy, dz, c) in entries {
+                    let xx = x + dx as i64;
+                    let yy = y + dy as i64;
+                    let zz = z + dz as i64;
+                    if xx >= 0
+                        && xx < nx as i64
+                        && yy >= 0
+                        && yy < ny as i64
+                        && zz >= 0
+                        && zz < nz as i64
+                    {
+                        coo.push(row, ((zz * ny as i64 + yy) * nx as i64 + xx) as usize, c);
+                    }
+                }
+            }
+        }
+    }
+    Csr::from_coo(&coo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_row_has_full_stencil() {
+        let st = Stencil2d::new(vec![
+            (0, 0, 4.0),
+            (-1, 0, -1.0),
+            (1, 0, -1.0),
+            (0, -1, -1.0),
+            (0, 1, -1.0),
+        ]);
+        let a = apply_stencil_2d(&st, 5, 5);
+        // center row (2,2) = index 12 has 5 entries
+        assert_eq!(a.row_nnz(12), 5);
+        // corner row has 3 entries
+        assert_eq!(a.row_nnz(0), 3);
+        assert_eq!(a.get(12, 12), 4.0);
+        assert_eq!(a.get(12, 11), -1.0);
+        assert_eq!(a.get(12, 7), -1.0);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let st = Stencil2d::new(vec![(0, 0, 1.0)]);
+        let a = apply_stencil_2d(&st, 3, 7);
+        assert_eq!(a.n_rows(), 21);
+        assert_eq!(a.nnz(), 21);
+    }
+
+    #[test]
+    fn stencil_3d_interior_count() {
+        let mut entries = Vec::new();
+        for dz in -1..=1 {
+            for dy in -1..=1 {
+                for dx in -1..=1 {
+                    let c = if (dx, dy, dz) == (0, 0, 0) { 26.0 } else { -1.0 };
+                    entries.push((dx, dy, dz, c));
+                }
+            }
+        }
+        let a = apply_stencil_3d(&entries, 4, 4, 4);
+        assert_eq!(a.n_rows(), 64);
+        // fully interior point (1..3 in each dim): 27 entries
+        let idx = (4 + 1) * 4 + 1;
+        assert_eq!(a.row_nnz(idx), 27);
+        // corner: 8 entries
+        assert_eq!(a.row_nnz(0), 8);
+    }
+}

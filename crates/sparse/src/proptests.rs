@@ -1,0 +1,151 @@
+//! Property-based tests for the sparse substrate.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::partition::Partition;
+use crate::spgemm::spgemm;
+use crate::vector::random_vec;
+use crate::{build_comm_pkgs, commpkg::validate_comm_pkgs, ParCsr};
+use proptest::prelude::*;
+
+/// Strategy: a random COO matrix with bounded shape.
+fn arb_coo(max_n: usize, max_nnz: usize) -> impl Strategy<Value = Coo> {
+    (1..max_n, 1..max_n).prop_flat_map(move |(r, c)| {
+        prop::collection::vec((0..r, 0..c, -10.0f64..10.0), 0..max_nnz).prop_map(
+            move |entries| {
+                let mut coo = Coo::new(r, c);
+                for (i, j, v) in entries {
+                    coo.push(i, j, v);
+                }
+                coo
+            },
+        )
+    })
+}
+
+proptest! {
+    /// CSR from COO agrees with a dense accumulation.
+    #[test]
+    fn from_coo_matches_dense(coo in arb_coo(12, 60)) {
+        let m = Csr::from_coo(&coo);
+        let mut dense = vec![vec![0.0f64; coo.n_cols]; coo.n_rows];
+        for &(r, c, v) in &coo.entries {
+            dense[r][c] += v;
+        }
+        let md = m.to_dense();
+        for r in 0..coo.n_rows {
+            for c in 0..coo.n_cols {
+                prop_assert!((md[r][c] - dense[r][c]).abs() < 1e-10);
+            }
+        }
+    }
+
+    /// Double transpose is the identity.
+    #[test]
+    fn transpose_involution(coo in arb_coo(15, 80)) {
+        let m = Csr::from_coo(&coo);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    /// Adjoint identity: ⟨A x, y⟩ = ⟨x, Aᵀ y⟩, with Aᵀy computed both ways.
+    #[test]
+    fn spmv_transpose_adjoint(coo in arb_coo(12, 60), sx in 0u64..100, sy in 0u64..100) {
+        let m = Csr::from_coo(&coo);
+        let x = random_vec(m.n_cols(), sx);
+        let y = random_vec(m.n_rows(), sy);
+        let ax_y: f64 = m.spmv(&x).iter().zip(&y).map(|(a, b)| a * b).sum();
+        let aty = m.spmv_transpose(&y);
+        let x_aty: f64 = x.iter().zip(&aty).map(|(a, b)| a * b).sum();
+        prop_assert!((ax_y - x_aty).abs() < 1e-9 * (1.0 + ax_y.abs()));
+        // and agrees with materialized transpose
+        let aty2 = m.transpose().spmv(&y);
+        for (a, b) in aty.iter().zip(&aty2) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    /// SpMV agrees with the dense product.
+    #[test]
+    fn spmv_matches_dense(coo in arb_coo(10, 50), seed in 0u64..1000) {
+        let m = Csr::from_coo(&coo);
+        let x = random_vec(m.n_cols(), seed);
+        let y = m.spmv(&x);
+        let d = m.to_dense();
+        for r in 0..m.n_rows() {
+            let expect: f64 = d[r].iter().zip(&x).map(|(a, b)| a * b).sum();
+            prop_assert!((y[r] - expect).abs() < 1e-9);
+        }
+    }
+
+    /// SpGEMM agrees with the dense product.
+    #[test]
+    fn spgemm_matches_dense(a in arb_coo(8, 40), b_entries in prop::collection::vec((0usize..8, 0usize..8, -5.0f64..5.0), 0..40)) {
+        let ma = Csr::from_coo(&a);
+        let mut bcoo = Coo::new(ma.n_cols(), 8);
+        for (i, j, v) in b_entries {
+            if i < ma.n_cols() {
+                bcoo.push(i, j, v);
+            }
+        }
+        let mb = Csr::from_coo(&bcoo);
+        let mc = spgemm(&ma, &mb);
+        let da = ma.to_dense();
+        let db = mb.to_dense();
+        let dc = mc.to_dense();
+        for r in 0..ma.n_rows() {
+            for c in 0..mb.n_cols() {
+                let expect: f64 = (0..ma.n_cols()).map(|k| da[r][k] * db[k][c]).sum();
+                prop_assert!((dc[r][c] - expect).abs() < 1e-9, "mismatch at ({r},{c})");
+            }
+        }
+    }
+
+    /// Partition owner is consistent and blocks tile the row space.
+    #[test]
+    fn partition_tiles(n in 1usize..200, p in 1usize..40) {
+        let part = Partition::block(n, p);
+        prop_assert_eq!(part.n_rows(), n);
+        let total: usize = (0..p).map(|r| part.local_size(r)).sum();
+        prop_assert_eq!(total, n);
+        for row in 0..n {
+            prop_assert!(part.range(part.owner(row)).contains(&row));
+        }
+    }
+
+    /// Distributed SpMV over ParCsr pieces equals the serial SpMV, and the
+    /// comm packages are globally consistent, for random square matrices.
+    #[test]
+    fn parcsr_spmv_and_pkgs_consistent(coo in arb_coo(16, 100), p in 1usize..7, seed in 0u64..100) {
+        // square-ify
+        let n = coo.n_rows.max(coo.n_cols);
+        let mut sq = Coo::new(n, n);
+        for &(r, c, v) in &coo.entries {
+            sq.push(r, c, v);
+        }
+        // ensure nonzero diagonal so every row exists
+        for i in 0..n {
+            sq.push(i, i, 1.0);
+        }
+        let a = Csr::from_coo(&sq);
+        let part = Partition::block(n, p);
+        let pkgs = build_comm_pkgs(&a, &part);
+        validate_comm_pkgs(&pkgs);
+        let x = random_vec(n, seed);
+        let serial = a.spmv(&x);
+        for rank in 0..p {
+            let par = ParCsr::from_global(&a, &part, rank);
+            let xl = &x[part.range(rank)];
+            let xg: Vec<f64> = par.col_map_offd.iter().map(|&c| x[c]).collect();
+            let y = par.spmv(xl, &xg);
+            let expect = &serial[part.range(rank)];
+            for (a, b) in y.iter().zip(expect) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+            // ghost columns of the ParCsr are exactly the union of recv idx
+            let mut recv_all: Vec<usize> =
+                pkgs[rank].recvs.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+            recv_all.sort_unstable();
+            prop_assert_eq!(recv_all, par.col_map_offd.clone());
+        }
+    }
+}

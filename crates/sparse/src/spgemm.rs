@@ -1,0 +1,121 @@
+//! Sparse matrix-matrix multiplication (Gustavson's row-wise algorithm
+//! with a dense accumulator), used for the Galerkin triple product in AMG.
+
+use crate::csr::Csr;
+
+/// `C = A · B`.
+///
+/// Uses a generation-stamped dense accumulator of width `B.n_cols()`, so the
+/// workspace is allocated once and never cleared between rows.
+pub fn spgemm(a: &Csr, b: &Csr) -> Csr {
+    assert_eq!(a.n_cols(), b.n_rows(), "inner dimensions must agree");
+    let n_rows = a.n_rows();
+    let n_cols = b.n_cols();
+
+    let mut acc = vec![0.0f64; n_cols];
+    let mut stamp = vec![u32::MAX; n_cols];
+    let mut row_cols: Vec<usize> = Vec::new();
+
+    let mut rowptr = Vec::with_capacity(n_rows + 1);
+    rowptr.push(0usize);
+    let mut colind = Vec::new();
+    let mut vals = Vec::new();
+
+    for r in 0..n_rows {
+        let generation = r as u32;
+        row_cols.clear();
+        let (a_cols, a_vals) = a.row(r);
+        for (&k, &av) in a_cols.iter().zip(a_vals) {
+            let (b_cols, b_vals) = b.row(k);
+            for (&c, &bv) in b_cols.iter().zip(b_vals) {
+                if stamp[c] != generation {
+                    stamp[c] = generation;
+                    acc[c] = av * bv;
+                    row_cols.push(c);
+                } else {
+                    acc[c] += av * bv;
+                }
+            }
+        }
+        row_cols.sort_unstable();
+        for &c in &row_cols {
+            colind.push(c);
+            vals.push(acc[c]);
+        }
+        rowptr.push(colind.len());
+    }
+
+    Csr::new(n_rows, n_cols, rowptr, colind, vals)
+}
+
+/// `Pᵀ · A · P` — the Galerkin coarse-grid product.
+pub fn rap(a: &Csr, p: &Csr) -> Csr {
+    let ap = spgemm(a, p);
+    spgemm(&p.transpose(), &ap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn from_dense(d: &[&[f64]]) -> Csr {
+        let mut coo = Coo::new(d.len(), d[0].len());
+        for (r, row) in d.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    coo.push(r, c, v);
+                }
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn small_product_matches_dense() {
+        let a = from_dense(&[&[1.0, 2.0, 0.0], &[0.0, 0.0, 3.0]]);
+        let b = from_dense(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, 2.0]]);
+        let c = spgemm(&a, &b);
+        assert_eq!(c.to_dense(), vec![vec![1.0, 2.0], vec![6.0, 6.0]]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = from_dense(&[&[1.0, 2.0], &[3.0, 0.0]]);
+        let i = Csr::identity(2);
+        assert_eq!(spgemm(&a, &i), a);
+        assert_eq!(spgemm(&i, &a), a);
+    }
+
+    #[test]
+    fn cancellation_keeps_structural_zero() {
+        // (1)(1) + (-1)(1) = 0 — entry stays structurally present.
+        let a = from_dense(&[&[1.0, -1.0]]);
+        let b = from_dense(&[&[1.0], &[1.0]]);
+        let c = spgemm(&a, &b);
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn rap_galerkin_symmetry() {
+        // A symmetric → PᵀAP symmetric
+        let a = from_dense(&[
+            &[2.0, -1.0, 0.0],
+            &[-1.0, 2.0, -1.0],
+            &[0.0, -1.0, 2.0],
+        ]);
+        let p = from_dense(&[&[1.0, 0.0], &[0.5, 0.5], &[0.0, 1.0]]);
+        let c = rap(&a, &p);
+        assert_eq!(c.n_rows(), 2);
+        assert_eq!(c.n_cols(), 2);
+        assert!((c.get(0, 1) - c.get(1, 0)).abs() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = from_dense(&[&[1.0, 2.0]]);
+        spgemm(&a, &a);
+    }
+}

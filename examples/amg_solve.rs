@@ -1,0 +1,103 @@
+//! BoomerAMG solve with neighborhood-collective SpMV communication.
+//!
+//! Reproduces the paper's application scenario in miniature: a rotated
+//! anisotropic diffusion system is solved with AMG, and the SpMV
+//! halo exchange on every level runs through a persistent neighborhood
+//! collective on the simulated MPI runtime. The distributed SpMV results
+//! are checked against the serial operator, and the per-level
+//! communication statistics are reported.
+//!
+//! Run with: `cargo run --release --example amg_solve`
+
+use amg::{solve, DistributedHierarchy, Hierarchy, HierarchyOptions, SolveOptions};
+use locality::Topology;
+use mpi_advance::{CommPattern, PersistentNeighbor, PlanStats, Protocol};
+use mpisim::World;
+use sparse::gen::diffusion::paper_problem;
+use sparse::vector::random_vec;
+use sparse::ParCsr;
+
+const RANKS: usize = 16;
+const PPN: usize = 4;
+
+fn main() {
+    // The paper's PDE at a laptop-friendly size.
+    let (nx, ny) = (128, 64);
+    let a = paper_problem(nx, ny);
+    println!("rotated anisotropic diffusion: {} rows, {} nnz", a.n_rows(), a.nnz());
+
+    // --- serial AMG solve (the solver whose SpMVs we distribute) --------
+    let h = Hierarchy::setup(a.clone(), HierarchyOptions::default());
+    println!("hierarchy: {} levels {:?}", h.n_levels(), h.level_sizes());
+    let x_true = random_vec(a.n_rows(), 42);
+    let b = a.spmv(&x_true);
+    let result = solve(&h, &b, &SolveOptions::default());
+    println!(
+        "AMG solve: converged = {}, cycles = {}, avg residual reduction = {:.3}\n",
+        result.converged,
+        result.residual_history.len() - 1,
+        result.avg_convergence_factor()
+    );
+
+    // --- distributed SpMV on every level via neighborhood collectives ---
+    let dist = DistributedHierarchy::build(&h, RANKS);
+    let topo = Topology::block_nodes(RANKS, PPN);
+
+    println!(
+        "{:<6} {:>8} {:>10} {:>12} {:>12} {:>14}",
+        "level", "rows", "std msgs", "opt global", "opt local", "dedup save"
+    );
+    for (lvl, dlvl) in dist.levels.iter().enumerate() {
+        let pattern = CommPattern::from_comm_pkgs(&dlvl.pkgs);
+        if pattern.total_msgs() == 0 {
+            println!("{lvl:<6} {:>8} (no communication)", dlvl.n_rows);
+            continue;
+        }
+        let st = PlanStats::of(&Protocol::StandardHypre.plan(&pattern, &topo));
+        let pa = PlanStats::of(&Protocol::PartialNeighbor.plan(&pattern, &topo));
+        let fu = PlanStats::of(&Protocol::FullNeighbor.plan(&pattern, &topo));
+        let save = if pa.total_global_bytes > 0 {
+            100.0 * (pa.total_global_bytes - fu.total_global_bytes) as f64
+                / pa.total_global_bytes as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{lvl:<6} {:>8} {:>10} {:>12} {:>12} {:>13.1}%",
+            dlvl.n_rows, st.total_global_msgs, fu.total_global_msgs, fu.total_local_msgs, save
+        );
+
+        // execute the level's SpMV with the fully optimized collective and
+        // verify against the serial product
+        let x = random_vec(dlvl.n_rows, lvl as u64);
+        let serial = h.levels[lvl].a.spmv(&x);
+        let plan = Protocol::FullNeighbor.plan(&pattern, &topo);
+        let pars: Vec<ParCsr> = ParCsr::split_all(&h.levels[lvl].a, &dlvl.part);
+        let results = World::run(RANKS, |ctx| {
+            let comm = ctx.comm_world();
+            let me = ctx.rank();
+            let par = &pars[me];
+            let range = dlvl.part.range(me);
+            let mut nb = PersistentNeighbor::init(&pattern, &plan, ctx, &comm, 0);
+            // input: my owned values the pattern exports
+            let input: Vec<f64> =
+                nb.input_index().iter().map(|&i| x[i]).collect();
+            let mut ghost = vec![0.0; nb.output_index().len()];
+            nb.start(ctx, &input);
+            nb.wait(ctx, &mut ghost);
+            // ghosts arrive ordered by global index = col_map_offd order
+            par.spmv(&x[range], &ghost)
+        });
+        let mut y = Vec::with_capacity(dlvl.n_rows);
+        for r in results {
+            y.extend(r);
+        }
+        let max_err = y
+            .iter()
+            .zip(&serial)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 1e-12, "level {lvl} SpMV mismatch: {max_err}");
+    }
+    println!("\nall distributed SpMVs match the serial operator bit-for-bit ✓");
+}
