@@ -1,0 +1,31 @@
+# Developer entry points. `make tier1` mirrors the CI verify exactly.
+
+.PHONY: tier1 build test test-all fmt clippy lint bench bench-baseline
+
+tier1: ## the repository's tier-1 verify
+	cargo build --release && cargo test -q
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q
+
+test-all:
+	cargo test --workspace -q
+
+fmt:
+	cargo fmt --all
+
+clippy:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+lint: clippy
+	cargo fmt --all --check
+
+bench:
+	cargo bench -p bench_suite --bench protocols
+
+# refresh the committed wall-clock baseline
+bench-baseline:
+	BENCH_JSON=$(CURDIR)/BENCH_protocols.json cargo bench -p bench_suite --bench protocols

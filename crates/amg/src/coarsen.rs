@@ -31,8 +31,9 @@ pub fn pmis(s: &Csr, seed: u64) -> Vec<CfMarker> {
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Undirected neighborhood = S ∪ Sᵀ (needed for the independent set).
-    let weight: Vec<f64> =
-        (0..n).map(|i| st.row_nnz(i) as f64 + rng.gen_range(0.0..1.0)).collect();
+    let weight: Vec<f64> = (0..n)
+        .map(|i| st.row_nnz(i) as f64 + rng.gen_range(0.0..1.0))
+        .collect();
 
     #[derive(Clone, Copy, PartialEq)]
     enum State {
@@ -49,8 +50,7 @@ pub fn pmis(s: &Csr, seed: u64) -> Vec<CfMarker> {
         }
     }
 
-    let mut undecided: Vec<usize> =
-        (0..n).filter(|&i| state[i] == State::Undecided).collect();
+    let mut undecided: Vec<usize> = (0..n).filter(|&i| state[i] == State::Undecided).collect();
 
     while !undecided.is_empty() {
         // Select: weight strictly greater than every undecided neighbor

@@ -58,7 +58,12 @@ impl DenseLu {
                 }
             }
         }
-        Self { n, lu, piv, null_rows }
+        Self {
+            n,
+            lu,
+            piv,
+            null_rows,
+        }
     }
 
     /// Solve `A x = b`.

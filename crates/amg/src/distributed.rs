@@ -8,6 +8,7 @@
 //! `mpi-advance` are initialized from.
 
 use crate::hierarchy::Hierarchy;
+use mpi_advance::CommPattern;
 use sparse::{build_comm_pkgs, CommPkg, Csr, ParCsr, Partition};
 
 /// One level's distributed structure.
@@ -37,6 +38,12 @@ impl DistLevel {
     pub fn active_ranks(&self) -> usize {
         self.part.active_ranks().count()
     }
+
+    /// The level's halo-exchange pattern, ready for
+    /// `mpi_advance::NeighborAlltoallv`.
+    pub fn pattern(&self) -> CommPattern {
+        CommPattern::from_comm_pkgs(&self.pkgs)
+    }
 }
 
 /// The whole hierarchy partitioned over `P` ranks.
@@ -56,7 +63,12 @@ impl DistributedHierarchy {
             .map(|(level, l)| {
                 let part = Partition::block(l.a.n_rows(), n_ranks);
                 let pkgs = build_comm_pkgs(&l.a, &part);
-                DistLevel { level, n_rows: l.a.n_rows(), part, pkgs }
+                DistLevel {
+                    level,
+                    n_rows: l.a.n_rows(),
+                    part,
+                    pkgs,
+                }
             })
             .collect();
         Self { n_ranks, levels }

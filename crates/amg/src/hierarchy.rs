@@ -2,7 +2,7 @@
 
 use crate::coarsen::{count_coarse, pmis};
 use crate::dense::DenseLu;
-use crate::interp::direct_interpolation;
+use crate::interp::classical_interpolation;
 use crate::strength::strength_matrix;
 use sparse::spgemm::rap;
 use sparse::Csr;
@@ -22,7 +22,12 @@ pub struct HierarchyOptions {
 
 impl Default for HierarchyOptions {
     fn default() -> Self {
-        Self { theta: 0.25, max_coarse: 40, max_levels: 25, seed: 0 }
+        Self {
+            theta: 0.25,
+            max_coarse: 40,
+            max_levels: 25,
+            seed: 0,
+        }
     }
 }
 
@@ -58,14 +63,24 @@ impl Hierarchy {
             if nc == 0 || nc == current.n_rows() {
                 break; // coarsening stalled
             }
-            let (p, _) = direct_interpolation(&current, &s, &cf);
+            let (p, _) = classical_interpolation(&current, &s, &cf);
             let coarse = rap(&current, &p);
-            levels.push(Level { a: current, p: Some(p) });
+            levels.push(Level {
+                a: current,
+                p: Some(p),
+            });
             current = coarse;
         }
         let coarse_solver = DenseLu::factor(&current);
-        levels.push(Level { a: current, p: None });
-        Self { levels, coarse_solver, options }
+        levels.push(Level {
+            a: current,
+            p: None,
+        });
+        Self {
+            levels,
+            coarse_solver,
+            options,
+        }
     }
 
     pub fn n_levels(&self) -> usize {
@@ -109,7 +124,12 @@ mod tests {
         // hierarchy, matching the ~17 levels of the paper's 524k problem.
         let a = diffusion_2d_7pt(64, 32, 0.001, std::f64::consts::FRAC_PI_4);
         let h = Hierarchy::setup(a, HierarchyOptions::default());
-        assert!(h.n_levels() >= 5, "got {} levels: {:?}", h.n_levels(), h.level_sizes());
+        assert!(
+            h.n_levels() >= 5,
+            "got {} levels: {:?}",
+            h.n_levels(),
+            h.level_sizes()
+        );
     }
 
     #[test]

@@ -27,5 +27,5 @@ pub use coarsen::{pmis, CfMarker};
 pub use cycle::{solve, SolveOptions, SolveResult};
 pub use distributed::{DistLevel, DistributedHierarchy};
 pub use hierarchy::{Hierarchy, HierarchyOptions, Level};
-pub use interp::direct_interpolation;
+pub use interp::{classical_interpolation, direct_interpolation};
 pub use strength::strength_matrix;

@@ -36,7 +36,11 @@ pub fn pcg(h: &Hierarchy, b: &[f64], max_iters: usize, rel_tol: f64) -> PcgResul
     let b_norm = norm2(b).max(f64::MIN_POSITIVE);
     let mut history = vec![norm2(&r)];
     if history[0] / b_norm < rel_tol {
-        return PcgResult { x, residual_history: history, converged: true };
+        return PcgResult {
+            x,
+            residual_history: history,
+            converged: true,
+        };
     }
 
     let mut z = precond(&r);
@@ -67,7 +71,11 @@ pub fn pcg(h: &Hierarchy, b: &[f64], max_iters: usize, rel_tol: f64) -> PcgResul
             p[i] = z[i] + beta * p[i];
         }
     }
-    PcgResult { x, residual_history: history, converged }
+    PcgResult {
+        x,
+        residual_history: history,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -89,7 +97,10 @@ mod tests {
         let amg_res = crate::cycle::solve(
             &h,
             &b,
-            &crate::cycle::SolveOptions { max_iters: 100, ..Default::default() },
+            &crate::cycle::SolveOptions {
+                max_iters: 100,
+                ..Default::default()
+            },
         );
         assert!(
             pcg_res.residual_history.len() <= amg_res.residual_history.len(),

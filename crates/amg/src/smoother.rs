@@ -17,9 +17,25 @@ pub enum Smoother {
 
 /// One smoothing sweep on `A x = b`, updating `x` in place.
 pub fn smooth(a: &Csr, b: &[f64], x: &mut [f64], kind: Smoother, work: &mut Vec<f64>) {
+    smooth_directional(a, b, x, kind, work, false);
+}
+
+/// Like [`smooth`], with an explicit sweep direction for Gauss-Seidel.
+/// BoomerAMG's default relaxation runs forward on the down-leg of the
+/// cycle and backward on the up-leg (`relax_type` 13/14), which is what
+/// makes the V-cycle iteration symmetric; Jacobi and symmetric GS are
+/// direction-free.
+pub fn smooth_directional(
+    a: &Csr,
+    b: &[f64],
+    x: &mut [f64],
+    kind: Smoother,
+    work: &mut Vec<f64>,
+    backward: bool,
+) {
     match kind {
         Smoother::Jacobi(omega) => jacobi_sweep(a, b, x, omega, work),
-        Smoother::GaussSeidel => gauss_seidel_sweep(a, b, x, false),
+        Smoother::GaussSeidel => gauss_seidel_sweep(a, b, x, backward),
         Smoother::SymGaussSeidel => {
             gauss_seidel_sweep(a, b, x, false);
             gauss_seidel_sweep(a, b, x, true);
@@ -112,11 +128,18 @@ mod tests {
         let x_true = random_vec(25, 3);
         let b = a.spmv(&x_true);
         let mut work = Vec::new();
-        for kind in [Smoother::GaussSeidel, Smoother::SymGaussSeidel, Smoother::Jacobi(0.8)] {
+        for kind in [
+            Smoother::GaussSeidel,
+            Smoother::SymGaussSeidel,
+            Smoother::Jacobi(0.8),
+        ] {
             let mut x = x_true.clone();
             smooth(&a, &b, &mut x, kind, &mut work);
             let diff: Vec<f64> = x.iter().zip(&x_true).map(|(a, b)| a - b).collect();
-            assert!(norm2(&diff) < 1e-12, "{kind:?} moved away from the solution");
+            assert!(
+                norm2(&diff) < 1e-12,
+                "{kind:?} moved away from the solution"
+            );
         }
     }
 

@@ -31,12 +31,16 @@ fn bench_hierarchy_setup(c: &mut Criterion) {
     let mut group = c.benchmark_group("amg_setup");
     group.sample_size(10);
     group.bench_function("setup_8k_rows", |b| {
-        b.iter(|| {
-            Hierarchy::setup(paper_problem(128, 64), HierarchyOptions::default()).n_levels()
-        })
+        b.iter(|| Hierarchy::setup(paper_problem(128, 64), HierarchyOptions::default()).n_levels())
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_spmv, bench_rap, bench_pmis, bench_hierarchy_setup);
+criterion_group!(
+    benches,
+    bench_spmv,
+    bench_rap,
+    bench_pmis,
+    bench_hierarchy_setup
+);
 criterion_main!(benches);

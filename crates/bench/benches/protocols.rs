@@ -1,13 +1,17 @@
-//! Wall-clock criterion benches: real execution of the four protocols on
-//! the thread-backed simulator at small scale (32 ranks, 4 per region).
+//! Wall-clock criterion benches: real execution of the four protocols —
+//! plus the §5 partitioned backend — on the thread-backed simulator at
+//! small scale (32 ranks, 4 per region), all driven through the unified
+//! `NeighborAlltoallv` API.
 //!
 //! These measure actual data movement through the full persistent
 //! start/wait path — complementary to the modeled paper-scale figures.
+//! Run with `BENCH_JSON=BENCH_protocols.json cargo bench --bench protocols`
+//! to refresh the committed baseline.
 
 use bench_suite::workload::{level_patterns, paper_hierarchy};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use locality::Topology;
-use mpi_advance::{CommPattern, PersistentNeighbor, Protocol};
+use mpi_advance::{Backend, CommPattern, NeighborAlltoallv, Protocol};
 use mpisim::World;
 
 const RANKS: usize = 32;
@@ -25,35 +29,40 @@ fn mid_level_pattern() -> CommPattern {
         .pattern
 }
 
+fn backends() -> Vec<(String, Backend)> {
+    let mut v: Vec<(String, Backend)> = Protocol::ALL
+        .into_iter()
+        .map(|p| (p.label().replace(' ', "_"), Backend::Protocol(p)))
+        .collect();
+    v.push((
+        "Partitioned_Fully_Optimized".to_string(),
+        Backend::Partitioned(Protocol::FullNeighbor),
+    ));
+    v
+}
+
 fn bench_protocols(c: &mut Criterion) {
     let pattern = mid_level_pattern();
     let topo = Topology::block_nodes(RANKS, 4);
     let mut group = c.benchmark_group("start_wait_32ranks");
     group.sample_size(10);
 
-    for protocol in Protocol::ALL {
-        let plan = protocol.plan(&pattern, &topo);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(protocol.label().replace(' ', "_")),
-            &plan,
-            |b, plan| {
-                b.iter(|| {
-                    World::run(RANKS, |ctx| {
-                        let comm = ctx.comm_world();
-                        let mut nb =
-                            PersistentNeighbor::init(&pattern, plan, ctx, &comm, 100);
-                        let input: Vec<f64> =
-                            nb.input_index().iter().map(|&i| i as f64).collect();
-                        let mut output = vec![0.0; nb.output_index().len()];
-                        for _ in 0..ITERS_PER_SAMPLE {
-                            nb.start(ctx, &input);
-                            nb.wait(ctx, &mut output);
-                        }
-                        output.first().copied().unwrap_or(0.0)
-                    })
-                });
-            },
-        );
+    for (label, backend) in backends() {
+        let coll = NeighborAlltoallv::new(&pattern, &topo).backend(backend);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                World::run(RANKS, |ctx| {
+                    let comm = ctx.comm_world();
+                    let mut nb = coll.init(ctx, &comm);
+                    let input: Vec<f64> = nb.input_index().iter().map(|&i| i as f64).collect();
+                    let mut output = vec![0.0; nb.output_index().len()];
+                    for _ in 0..ITERS_PER_SAMPLE {
+                        nb.start_wait(ctx, &input, &mut output);
+                    }
+                    output.first().copied().unwrap_or(0.0)
+                })
+            });
+        });
     }
     group.finish();
 }
@@ -64,21 +73,17 @@ fn bench_init(c: &mut Criterion) {
     let mut group = c.benchmark_group("neighbor_init_32ranks");
     group.sample_size(10);
 
-    for protocol in Protocol::ALL {
-        let plan = protocol.plan(&pattern, &topo);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(protocol.label().replace(' ', "_")),
-            &plan,
-            |b, plan| {
-                b.iter(|| {
-                    World::run(RANKS, |ctx| {
-                        let comm = ctx.comm_world();
-                        let nb = PersistentNeighbor::init(&pattern, plan, ctx, &comm, 100);
-                        nb.input_index().len()
-                    })
-                });
-            },
-        );
+    for (label, backend) in backends() {
+        let coll = NeighborAlltoallv::new(&pattern, &topo).backend(backend);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                World::run(RANKS, |ctx| {
+                    let comm = ctx.comm_world();
+                    let nb = coll.init(ctx, &comm);
+                    nb.input_index().len()
+                })
+            });
+        });
     }
     group.finish();
 }

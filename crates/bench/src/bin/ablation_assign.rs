@@ -14,7 +14,11 @@ use mpi_advance::analytic::iteration_time;
 
 fn main() {
     let small = std::env::args().any(|a| a == "--small");
-    let (nx, ny, p) = if small { (128, 64, 64) } else { (PAPER_NX, PAPER_NY, 2048) };
+    let (nx, ny, p) = if small {
+        (128, 64, 64)
+    } else {
+        (PAPER_NX, PAPER_NY, 2048)
+    };
 
     eprintln!("# building hierarchy for {}x{}...", nx, ny);
     let h = paper_hierarchy(nx, ny);

@@ -12,7 +12,11 @@ use mpi_advance::Protocol;
 
 fn main() {
     let small = std::env::args().any(|a| a == "--small");
-    let (nx, ny, p) = if small { (128, 64, 64) } else { (PAPER_NX, PAPER_NY, 2048) };
+    let (nx, ny, p) = if small {
+        (128, 64, 64)
+    } else {
+        (PAPER_NX, PAPER_NY, 2048)
+    };
 
     eprintln!("# building hierarchy for {}x{}...", nx, ny);
     let h = paper_hierarchy(nx, ny);
@@ -45,5 +49,8 @@ fn main() {
         totals.1,
         100.0 * (totals.0 - totals.1) / totals.0
     );
-    assert!(totals.1 <= totals.0 + 1e-12, "overlap cannot make the model slower");
+    assert!(
+        totals.1 <= totals.0 + 1e-12,
+        "overlap cannot make the model slower"
+    );
 }

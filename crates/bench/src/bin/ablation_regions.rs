@@ -14,7 +14,11 @@ use mpi_advance::{PlanStats, Protocol};
 
 fn main() {
     let small = std::env::args().any(|a| a == "--small");
-    let (nx, ny, p) = if small { (128, 64, 64) } else { (512, 256, 1024) };
+    let (nx, ny, p) = if small {
+        (128, 64, 64)
+    } else {
+        (512, 256, 1024)
+    };
 
     eprintln!("# building hierarchy for {}x{}...", nx, ny);
     let h = paper_hierarchy(nx, ny);

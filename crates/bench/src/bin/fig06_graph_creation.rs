@@ -17,7 +17,12 @@ fn main() {
         (PAPER_NX, PAPER_NY, &[2, 256, 512, 1024, 2048])
     };
 
-    eprintln!("# building hierarchy for {}x{} ({} rows)...", nx, ny, nx * ny);
+    eprintln!(
+        "# building hierarchy for {}x{} ({} rows)...",
+        nx,
+        ny,
+        nx * ny
+    );
     let h = paper_hierarchy(nx, ny);
     eprintln!("# {} levels: {:?}", h.n_levels(), h.level_sizes());
     let model = paper_model();

@@ -6,15 +6,17 @@
 //! neighbor init is minimal; partial init exceeds full init (partial wraps
 //! full).
 
-use bench_suite::figures::{
-    build_levels, crossover, paper_model, per_level_init, per_level_times,
-};
+use bench_suite::figures::{build_levels, crossover, paper_model, per_level_init, per_level_times};
 use bench_suite::workload::{paper_hierarchy, PAPER_NX, PAPER_NY};
 use mpi_advance::Protocol;
 
 fn main() {
     let small = std::env::args().any(|a| a == "--small");
-    let (nx, ny, p) = if small { (128, 64, 64) } else { (PAPER_NX, PAPER_NY, 2048) };
+    let (nx, ny, p) = if small {
+        (128, 64, 64)
+    } else {
+        (PAPER_NX, PAPER_NY, 2048)
+    };
 
     eprintln!("# building hierarchy for {}x{}...", nx, ny);
     let h = paper_hierarchy(nx, ny);
@@ -26,8 +28,16 @@ fn main() {
     let mut init = Vec::new();
     let mut per_iter = Vec::new();
     for proto in Protocol::ALL {
-        init.push(per_level_init(&levels, &topo, proto, &model).iter().sum::<f64>());
-        per_iter.push(per_level_times(&levels, &topo, proto, &model).iter().sum::<f64>());
+        init.push(
+            per_level_init(&levels, &topo, proto, &model)
+                .iter()
+                .sum::<f64>(),
+        );
+        per_iter.push(
+            per_level_times(&levels, &topo, proto, &model)
+                .iter()
+                .sum::<f64>(),
+        );
     }
 
     println!("figure,iterations,standard_hypre_s,standard_neighbor_s,partial_s,full_s");
@@ -40,8 +50,17 @@ fn main() {
 
     let x_partial = crossover(init[2], per_iter[2], init[0], per_iter[0]);
     let x_full = crossover(init[3], per_iter[3], init[0], per_iter[0]);
-    println!("# init costs (s): {:?}", init.iter().map(|v| format!("{v:.5}")).collect::<Vec<_>>());
-    println!("# per-iter costs (s): {:?}", per_iter.iter().map(|v| format!("{v:.6}")).collect::<Vec<_>>());
+    println!(
+        "# init costs (s): {:?}",
+        init.iter().map(|v| format!("{v:.5}")).collect::<Vec<_>>()
+    );
+    println!(
+        "# per-iter costs (s): {:?}",
+        per_iter
+            .iter()
+            .map(|v| format!("{v:.6}"))
+            .collect::<Vec<_>>()
+    );
     println!(
         "# crossover vs Standard Hypre: partial = {} iters (paper: 40), full = {} iters (paper: 22)",
         x_partial.map_or("never".into(), |v| format!("{v:.0}")),

@@ -10,7 +10,11 @@ use mpi_advance::Protocol;
 
 fn main() {
     let small = std::env::args().any(|a| a == "--small");
-    let (nx, ny, p) = if small { (128, 64, 64) } else { (PAPER_NX, PAPER_NY, 2048) };
+    let (nx, ny, p) = if small {
+        (128, 64, 64)
+    } else {
+        (PAPER_NX, PAPER_NY, 2048)
+    };
 
     eprintln!("# building hierarchy for {}x{}...", nx, ny);
     let h = paper_hierarchy(nx, ny);
@@ -28,9 +32,10 @@ fn main() {
     }
     let max_std = std_stats.iter().map(|s| s.max_local_msgs).max().unwrap();
     let max_opt = opt_stats.iter().map(|s| s.max_local_msgs).max().unwrap();
-    println!(
-        "# paper: optimized local counts greatly exceed standard (≈60 vs ≈10 at peak)"
-    );
+    println!("# paper: optimized local counts greatly exceed standard (≈60 vs ≈10 at peak)");
     println!("# measured peaks: standard {max_std}, optimized {max_opt}");
-    assert!(max_opt > max_std, "aggregation must increase local messages");
+    assert!(
+        max_opt > max_std,
+        "aggregation must increase local messages"
+    );
 }

@@ -10,7 +10,11 @@ use mpi_advance::Protocol;
 
 fn main() {
     let small = std::env::args().any(|a| a == "--small");
-    let (nx, ny, p) = if small { (128, 64, 64) } else { (PAPER_NX, PAPER_NY, 2048) };
+    let (nx, ny, p) = if small {
+        (128, 64, 64)
+    } else {
+        (PAPER_NX, PAPER_NY, 2048)
+    };
 
     eprintln!("# building hierarchy for {}x{}...", nx, ny);
     let h = paper_hierarchy(nx, ny);
@@ -30,5 +34,8 @@ fn main() {
     let peak_opt = opt_stats.iter().map(|s| s.max_global_msgs).max().unwrap();
     println!("# paper: optimization reduces the peak inter-region count several-fold");
     println!("# measured peaks: standard {peak_std}, optimized {peak_opt}");
-    assert!(peak_opt < peak_std, "aggregation must reduce global messages");
+    assert!(
+        peak_opt < peak_std,
+        "aggregation must reduce global messages"
+    );
 }

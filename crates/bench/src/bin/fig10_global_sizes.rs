@@ -11,7 +11,11 @@ use mpi_advance::Protocol;
 
 fn main() {
     let small = std::env::args().any(|a| a == "--small");
-    let (nx, ny, p) = if small { (128, 64, 64) } else { (PAPER_NX, PAPER_NY, 2048) };
+    let (nx, ny, p) = if small {
+        (128, 64, 64)
+    } else {
+        (PAPER_NX, PAPER_NY, 2048)
+    };
 
     eprintln!("# building hierarchy for {}x{}...", nx, ny);
     let h = paper_hierarchy(nx, ny);
@@ -26,16 +30,18 @@ fn main() {
     for (lp, (pa, fu)) in levels.iter().zip(partial.iter().zip(&full)) {
         let pv = pa.max_global_bytes / VALUE_BYTES;
         let fv = fu.max_global_bytes / VALUE_BYTES;
-        let cut = if pv > 0 { 100.0 * (pv - fv) as f64 / pv as f64 } else { 0.0 };
+        let cut = if pv > 0 {
+            100.0 * (pv - fv) as f64 / pv as f64
+        } else {
+            0.0
+        };
         if cut > best_cut {
             best_cut = cut;
             best_level = lp.level;
         }
         println!("fig10,{},{},{pv},{fv},{cut:.1}", lp.level, lp.n_rows);
     }
-    println!(
-        "# paper: up to 35% reduction of the max global volume (at level 4)"
-    );
+    println!("# paper: up to 35% reduction of the max global volume (at level 4)");
     println!("# measured: max reduction {best_cut:.1}% at level {best_level}");
     assert!(best_cut > 0.0, "dedup must reduce volume on some level");
 }

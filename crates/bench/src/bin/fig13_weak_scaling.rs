@@ -11,8 +11,11 @@ use mpi_advance::Protocol;
 
 fn main() {
     let small = std::env::args().any(|a| a == "--small");
-    let procs: Vec<usize> =
-        if small { vec![8, 16, 32] } else { vec![32, 64, 128, 256, 512, 1024, 2048] };
+    let procs: Vec<usize> = if small {
+        vec![8, 16, 32]
+    } else {
+        vec![32, 64, 128, 256, 512, 1024, 2048]
+    };
     let model = paper_model();
 
     println!("figure,procs,rows,standard_hypre_s,standard_neighbor_s,partial_s,full_s,partial_speedup,full_speedup");

@@ -11,7 +11,11 @@ use mpi_advance::Protocol;
 
 fn main() {
     let small = std::env::args().any(|a| a == "--small");
-    let (nx, ny, p) = if small { (128, 64, 64) } else { (PAPER_NX, PAPER_NY, 2048) };
+    let (nx, ny, p) = if small {
+        (128, 64, 64)
+    } else {
+        (PAPER_NX, PAPER_NY, 2048)
+    };
     let model = paper_model();
 
     eprintln!("# building strong-scaled hierarchy {}x{}...", nx, ny);
@@ -43,8 +47,7 @@ fn main() {
         .zip(&fu)
         .filter(|(a, _)| a.max_global_bytes > 0)
         .map(|(a, b)| {
-            100.0 * (a.max_global_bytes - b.max_global_bytes) as f64
-                / a.max_global_bytes as f64
+            100.0 * (a.max_global_bytes - b.max_global_bytes) as f64 / a.max_global_bytes as f64
         })
         .fold(0.0f64, f64::max);
     let _ = VALUE_BYTES;
@@ -59,12 +62,18 @@ fn main() {
     let w_full = best_of_total(&wlevels, &wtopo, Protocol::FullNeighbor, &model);
 
     println!("claim,paper,measured");
-    println!("strong scaling partial speedup @{p},1.32x,{:.2}x", std_total / partial);
+    println!(
+        "strong scaling partial speedup @{p},1.32x,{:.2}x",
+        std_total / partial
+    );
     println!(
         "strong scaling full extra speedup @{p},+0.07x,+{:.2}x",
         std_total / full - std_total / partial
     );
-    println!("weak scaling partial speedup @{p},1.96x,{:.2}x", w_std / w_partial);
+    println!(
+        "weak scaling partial speedup @{p},1.96x,{:.2}x",
+        w_std / w_partial
+    );
     println!(
         "weak scaling full extra speedup @{p},+0.21x,+{:.2}x",
         w_std / w_full - w_std / w_partial

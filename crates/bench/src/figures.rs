@@ -67,7 +67,13 @@ pub fn best_of_total(
     levels
         .iter()
         .map(|lp| {
-            choose_among(&[Protocol::StandardHypre, optimized], &lp.pattern, topo, model).1
+            choose_among(
+                &[Protocol::StandardHypre, optimized],
+                &lp.pattern,
+                topo,
+                model,
+            )
+            .1
         })
         .sum()
 }
@@ -112,7 +118,10 @@ pub fn crossover(init_a: f64, iter_a: f64, init_b: f64, iter_b: f64) -> Option<f
 
 /// Convenience: hierarchy → level patterns + the topology used.
 pub fn build_levels(h: &Hierarchy, n_ranks: usize) -> (Vec<LevelPattern>, Topology) {
-    (level_patterns(h, n_ranks), crate::workload::paper_topology(n_ranks))
+    (
+        level_patterns(h, n_ranks),
+        crate::workload::paper_topology(n_ranks),
+    )
 }
 
 /// Markdown/CSV row printing helper: pad-free comma-separated values.
@@ -136,7 +145,10 @@ mod tests {
         let (levels, topo) = build_levels(&h, 16);
         let model = paper_model();
         for p in Protocol::ALL {
-            assert_eq!(per_level_times(&levels, &topo, p, &model).len(), h.n_levels());
+            assert_eq!(
+                per_level_times(&levels, &topo, p, &model).len(),
+                h.n_levels()
+            );
         }
     }
 
@@ -171,7 +183,11 @@ mod tests {
         let h = paper_hierarchy(64, 32);
         let (levels, topo) = build_levels(&h, 32);
         let model = paper_model();
-        let total = |p: Protocol| per_level_init(&levels, &topo, p, &model).iter().sum::<f64>();
+        let total = |p: Protocol| {
+            per_level_init(&levels, &topo, p, &model)
+                .iter()
+                .sum::<f64>()
+        };
         let std_n = total(Protocol::StandardNeighbor);
         let partial = total(Protocol::PartialNeighbor);
         let full = total(Protocol::FullNeighbor);

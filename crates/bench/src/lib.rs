@@ -9,6 +9,6 @@ pub mod figures;
 pub mod workload;
 
 pub use workload::{
-    level_patterns, paper_hierarchy, paper_topology, LevelPattern, PAPER_NX, PAPER_NY,
-    PAPER_PPN, PAPER_ROWS,
+    level_patterns, paper_hierarchy, paper_topology, LevelPattern, PAPER_NX, PAPER_NY, PAPER_PPN,
+    PAPER_ROWS,
 };

@@ -45,7 +45,7 @@ pub fn level_patterns(h: &Hierarchy, n_ranks: usize) -> Vec<LevelPattern> {
         .map(|lvl| LevelPattern {
             level: lvl.level,
             n_rows: lvl.n_rows,
-            pattern: CommPattern::from_comm_pkgs(&lvl.pkgs),
+            pattern: lvl.pattern(),
         })
         .collect()
 }

@@ -41,7 +41,11 @@ impl LeaderAssignment {
 
     /// Max over ranks of the inter-region volume assigned to them as
     /// senders (the balance metric).
-    pub fn max_send_volume(&self, volumes: &BTreeMap<(usize, usize), usize>, n_ranks: usize) -> usize {
+    pub fn max_send_volume(
+        &self,
+        volumes: &BTreeMap<(usize, usize), usize>,
+        n_ranks: usize,
+    ) -> usize {
         let mut per_rank = vec![0usize; n_ranks];
         for (pair, &(s, _)) in &self.map {
             per_rank[s] += volumes[pair];
@@ -125,10 +129,10 @@ mod tests {
     #[test]
     fn load_balance_beats_round_robin_on_skew() {
         let topo = Topology::block_nodes(8, 4); // 2 regions of 4
-        // region 0 → region 1 only exists once; make a multi-region case
+                                                // region 0 → region 1 only exists once; make a multi-region case
         let topo3 = Topology::block_nodes(12, 4); // 3 regions
-        // region 0 sends huge volume to region 1 and tiny to region 2;
-        // round-robin would pin both to fixed members regardless of volume.
+                                                  // region 0 sends huge volume to region 1 and tiny to region 2;
+                                                  // round-robin would pin both to fixed members regardless of volume.
         let v = volumes(&[((0, 1), 1000), ((0, 2), 1), ((1, 2), 500), ((2, 0), 300)]);
         let rr = assign_leaders(&v, &topo3, AssignStrategy::RoundRobin);
         let lb = assign_leaders(&v, &topo3, AssignStrategy::LoadBalanced);
@@ -142,15 +146,19 @@ mod tests {
     #[test]
     fn load_balance_spreads_equal_pairs() {
         let topo = Topology::block_nodes(8, 4); // 2 regions of 4
-        // 4 equal pairs out of region 0 — impossible here (only 1 remote
-        // region), so use 20 ranks / 5 regions.
+                                                // 4 equal pairs out of region 0 — impossible here (only 1 remote
+                                                // region), so use 20 ranks / 5 regions.
         let topo5 = Topology::block_nodes(20, 4);
         let v = volumes(&[((0, 1), 7), ((0, 2), 7), ((0, 3), 7), ((0, 4), 7)]);
         let lb = assign_leaders(&v, &topo5, AssignStrategy::LoadBalanced);
         let mut leaders: Vec<usize> = v.keys().map(|&p| lb.get(p).0).collect();
         leaders.sort_unstable();
         leaders.dedup();
-        assert_eq!(leaders.len(), 4, "four distinct leaders for four equal pairs");
+        assert_eq!(
+            leaders.len(),
+            4,
+            "four distinct leaders for four equal pairs"
+        );
         let _ = topo;
     }
 

@@ -95,9 +95,17 @@ impl Plan {
             for (dst, indices) in list {
                 let slots = indices
                     .iter()
-                    .map(|&i| Slot { index: i, origin: src, final_dsts: vec![*dst] })
+                    .map(|&i| Slot {
+                        index: i,
+                        origin: src,
+                        final_dsts: vec![*dst],
+                    })
                     .collect();
-                let msg = PlanMsg { src, dst: *dst, slots };
+                let msg = PlanMsg {
+                    src,
+                    dst: *dst,
+                    slots,
+                };
                 if topo.same_region(src, *dst) {
                     local.push(msg);
                 } else {
@@ -134,9 +142,17 @@ impl Plan {
                 if topo.same_region(src, *dst) {
                     let slots = indices
                         .iter()
-                        .map(|&i| Slot { index: i, origin: src, final_dsts: vec![*dst] })
+                        .map(|&i| Slot {
+                            index: i,
+                            origin: src,
+                            final_dsts: vec![*dst],
+                        })
                         .collect();
-                    local.push(PlanMsg { src, dst: *dst, slots });
+                    local.push(PlanMsg {
+                        src,
+                        dst: *dst,
+                        slots,
+                    });
                 } else {
                     let pair = (topo.region_of(src), topo.region_of(*dst));
                     let d = pair_demands.entry(pair).or_default();
@@ -175,7 +191,9 @@ impl Plan {
                 // final destinations in the pair's destination region
                 let mut by_index: BTreeMap<usize, (usize, Vec<usize>)> = BTreeMap::new();
                 for &(origin, index, fd) in demands {
-                    let e = by_index.entry(index).or_insert_with(|| (origin, Vec::new()));
+                    let e = by_index
+                        .entry(index)
+                        .or_insert_with(|| (origin, Vec::new()));
                     debug_assert_eq!(e.0, origin, "one owner per value index");
                     e.1.push(fd);
                 }
@@ -184,13 +202,21 @@ impl Plan {
                     .map(|(index, (origin, mut fds))| {
                         fds.sort_unstable();
                         fds.dedup();
-                        Slot { index, origin, final_dsts: fds }
+                        Slot {
+                            index,
+                            origin,
+                            final_dsts: fds,
+                        }
                     })
                     .collect()
             } else {
                 demands
                     .iter()
-                    .map(|&(origin, index, fd)| Slot { index, origin, final_dsts: vec![fd] })
+                    .map(|&(origin, index, fd)| Slot {
+                        index,
+                        origin,
+                        final_dsts: vec![fd],
+                    })
                     .collect()
             };
             g_slots.sort_by_key(Slot::sort_key);
@@ -204,7 +230,11 @@ impl Plan {
                 }
             }
             for (origin, slots) in by_origin {
-                s_step.push(PlanMsg { src: origin, dst: lead_send, slots });
+                s_step.push(PlanMsg {
+                    src: origin,
+                    dst: lead_send,
+                    slots,
+                });
             }
 
             // r step: the receiving leader forwards each delivered value to
@@ -223,10 +253,18 @@ impl Plan {
                 }
             }
             for (fd, slots) in by_fd {
-                r_step.push(PlanMsg { src: lead_recv, dst: fd, slots });
+                r_step.push(PlanMsg {
+                    src: lead_recv,
+                    dst: fd,
+                    slots,
+                });
             }
 
-            g_step.push(PlanMsg { src: lead_send, dst: lead_recv, slots: g_slots });
+            g_step.push(PlanMsg {
+                src: lead_send,
+                dst: lead_recv,
+                slots: g_slots,
+            });
         }
 
         local.sort_by_key(|m| (m.src, m.dst));
@@ -234,7 +272,15 @@ impl Plan {
         g_step.sort_by_key(|m| (m.src, m.dst));
         r_step.sort_by_key(|m| (m.src, m.dst));
 
-        Self { n_ranks: pattern.n_ranks, aggregated: true, dedup, local, s_step, g_step, r_step }
+        Self {
+            n_ranks: pattern.n_ranks,
+            aggregated: true,
+            dedup,
+            local,
+            s_step,
+            g_step,
+            r_step,
+        }
     }
 
     /// All four step lists with their names, in execution order.
@@ -310,7 +356,10 @@ mod tests {
         let (pattern, topo) = example();
         let plan = Plan::aggregated(&pattern, &topo, false, AssignStrategy::RoundRobin);
         let leader = plan.g_step[0].src;
-        assert!(plan.s_step.iter().all(|m| m.src != leader && m.dst == leader));
+        assert!(plan
+            .s_step
+            .iter()
+            .all(|m| m.src != leader && m.dst == leader));
         // three non-leader origins send s messages
         assert_eq!(plan.s_step.len(), 3);
     }
@@ -320,7 +369,10 @@ mod tests {
         let (pattern, topo) = example();
         let plan = Plan::aggregated(&pattern, &topo, true, AssignStrategy::RoundRobin);
         let recv_leader = plan.g_step[0].dst;
-        assert!(plan.r_step.iter().all(|m| m.src == recv_leader && m.dst != recv_leader));
+        assert!(plan
+            .r_step
+            .iter()
+            .all(|m| m.src == recv_leader && m.dst != recv_leader));
         // all four region-1 processes need data; leader keeps its own
         assert_eq!(plan.r_step.len(), 3);
     }

@@ -20,9 +20,18 @@ pub fn verify_plan(pattern: &CommPattern, plan: &Plan, topo: &Topology) {
 
     // ℓ messages deliver directly.
     for m in &plan.local {
-        assert!(topo.same_region(m.src, m.dst), "ℓ message {}→{} crosses regions", m.src, m.dst);
+        assert!(
+            topo.same_region(m.src, m.dst),
+            "ℓ message {}→{} crosses regions",
+            m.src,
+            m.dst
+        );
         for s in &m.slots {
-            assert_eq!(s.final_dsts.as_slice(), &[m.dst], "ℓ slot must target the receiver");
+            assert_eq!(
+                s.final_dsts.as_slice(),
+                &[m.dst],
+                "ℓ slot must target the receiver"
+            );
             assert_eq!(s.origin, m.src, "ℓ slot origin must be the sender");
             deliver(s.index, m.dst);
         }
@@ -32,11 +41,18 @@ pub fn verify_plan(pattern: &CommPattern, plan: &Plan, topo: &Topology) {
     // Build a multiset of (origin, index, first_fd) per leader from g.
     let mut g_expect: HashMap<(usize, usize, usize, usize), usize> = HashMap::new();
     for m in &plan.g_step {
-        assert!(!topo.same_region(m.src, m.dst), "g message {}→{} stays local", m.src, m.dst);
+        assert!(
+            !topo.same_region(m.src, m.dst),
+            "g message {}→{} stays local",
+            m.src,
+            m.dst
+        );
         for s in &m.slots {
             assert!(!s.final_dsts.is_empty());
             if s.origin != m.src {
-                *g_expect.entry((m.src, s.origin, s.index, s.final_dsts[0])).or_default() += 1;
+                *g_expect
+                    .entry((m.src, s.origin, s.index, s.final_dsts[0]))
+                    .or_default() += 1;
             }
             if !plan.dedup {
                 assert_eq!(s.final_dsts.len(), 1, "non-dedup g slot fans out");
@@ -44,7 +60,12 @@ pub fn verify_plan(pattern: &CommPattern, plan: &Plan, topo: &Topology) {
         }
     }
     for m in &plan.s_step {
-        assert!(topo.same_region(m.src, m.dst), "s message {}→{} crosses regions", m.src, m.dst);
+        assert!(
+            topo.same_region(m.src, m.dst),
+            "s message {}→{} crosses regions",
+            m.src,
+            m.dst
+        );
         for s in &m.slots {
             assert_eq!(s.origin, m.src, "s slot origin must be the sender");
             let key = (m.dst, s.origin, s.index, s.final_dsts[0]);
@@ -58,7 +79,11 @@ pub fn verify_plan(pattern: &CommPattern, plan: &Plan, topo: &Topology) {
     assert!(
         g_expect.values().all(|&c| c == 0),
         "g slots not covered by s: {:?}",
-        g_expect.iter().filter(|(_, &c)| c > 0).take(5).collect::<Vec<_>>()
+        g_expect
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .take(5)
+            .collect::<Vec<_>>()
     );
 
     // g fan-outs: terminate at the receiving leader or get forwarded by r.
@@ -80,9 +105,18 @@ pub fn verify_plan(pattern: &CommPattern, plan: &Plan, topo: &Topology) {
         }
     }
     for m in &plan.r_step {
-        assert!(topo.same_region(m.src, m.dst), "r message {}→{} crosses regions", m.src, m.dst);
+        assert!(
+            topo.same_region(m.src, m.dst),
+            "r message {}→{} crosses regions",
+            m.src,
+            m.dst
+        );
         for s in &m.slots {
-            assert_eq!(s.final_dsts.as_slice(), &[m.dst], "r slot must target the receiver");
+            assert_eq!(
+                s.final_dsts.as_slice(),
+                &[m.dst],
+                "r slot must target the receiver"
+            );
             let key = (m.src, m.dst, s.index);
             let c = r_expect
                 .get_mut(&key)
@@ -95,7 +129,11 @@ pub fn verify_plan(pattern: &CommPattern, plan: &Plan, topo: &Topology) {
     assert!(
         r_expect.values().all(|&c| c == 0),
         "g fan-outs not forwarded by r: {:?}",
-        r_expect.iter().filter(|(_, &c)| c > 0).take(5).collect::<Vec<_>>()
+        r_expect
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .take(5)
+            .collect::<Vec<_>>()
     );
 
     // Deliveries must match the pattern demands exactly once each.
@@ -109,7 +147,10 @@ pub fn verify_plan(pattern: &CommPattern, plan: &Plan, topo: &Topology) {
     }
     for (key, &count) in &demands {
         let got = delivered.get(key).copied().unwrap_or(0);
-        assert_eq!(got, count, "demand {key:?} delivered {got} times, expected {count}");
+        assert_eq!(
+            got, count,
+            "demand {key:?} delivered {got} times, expected {count}"
+        );
     }
     for (key, &count) in &delivered {
         assert!(
@@ -142,7 +183,11 @@ mod tests {
         verify_plan(&pattern, &Plan::standard(&pattern, &topo), &topo);
         for dedup in [false, true] {
             for strategy in [AssignStrategy::RoundRobin, AssignStrategy::LoadBalanced] {
-                verify_plan(&pattern, &Plan::aggregated(&pattern, &topo, dedup, strategy), &topo);
+                verify_plan(
+                    &pattern,
+                    &Plan::aggregated(&pattern, &topo, dedup, strategy),
+                    &topo,
+                );
             }
         }
     }

@@ -57,9 +57,7 @@ impl Protocol {
         strategy: AssignStrategy,
     ) -> Plan {
         match self {
-            Protocol::StandardHypre | Protocol::StandardNeighbor => {
-                Plan::standard(pattern, topo)
-            }
+            Protocol::StandardHypre | Protocol::StandardNeighbor => Plan::standard(pattern, topo),
             Protocol::PartialNeighbor => Plan::aggregated(pattern, topo, false, strategy),
             Protocol::FullNeighbor => Plan::aggregated(pattern, topo, true, strategy),
         }
@@ -94,7 +92,10 @@ mod tests {
         for p in Protocol::ALL {
             let plan = p.plan(&pattern, &topo);
             verify_plan(&pattern, &plan, &topo);
-            assert_eq!(plan.aggregated, matches!(p, Protocol::PartialNeighbor | Protocol::FullNeighbor));
+            assert_eq!(
+                plan.aggregated,
+                matches!(p, Protocol::PartialNeighbor | Protocol::FullNeighbor)
+            );
             assert_eq!(plan.dedup, p.needs_indices());
         }
     }
@@ -102,7 +103,10 @@ mod tests {
     #[test]
     fn labels_match_paper() {
         assert_eq!(Protocol::StandardHypre.label(), "Standard Hypre");
-        assert_eq!(Protocol::FullNeighbor.to_string(), "Fully Optimized Neighbor");
+        assert_eq!(
+            Protocol::FullNeighbor.to_string(),
+            "Fully Optimized Neighbor"
+        );
     }
 
     #[test]

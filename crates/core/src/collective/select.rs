@@ -8,11 +8,34 @@
 //! selection: evaluate each candidate's plan under the performance model at
 //! init time and keep the cheapest.
 
+use crate::agg::{AssignStrategy, Plan};
 use crate::analytic::iteration_time;
 use crate::collective::Protocol;
 use crate::pattern::CommPattern;
 use locality::Topology;
 use perfmodel::CostModel;
+
+/// Pick the protocol with the lowest modeled per-iteration time for
+/// `pattern` among `candidates`, planning with `strategy`. Returns the
+/// winner, its (reusable) plan, and its modeled time.
+pub fn choose_with(
+    candidates: &[Protocol],
+    pattern: &CommPattern,
+    topo: &Topology,
+    model: &dyn CostModel,
+    strategy: AssignStrategy,
+) -> (Protocol, Plan, f64) {
+    assert!(!candidates.is_empty());
+    candidates
+        .iter()
+        .map(|&p| {
+            let plan = p.plan_with(pattern, topo, strategy);
+            let t = iteration_time(&plan, topo, model, p.is_wrapped()).total;
+            (p, plan, t)
+        })
+        .min_by(|a, b| a.2.total_cmp(&b.2))
+        .expect("non-empty candidates")
+}
 
 /// Pick the protocol with the lowest modeled per-iteration time for
 /// `pattern`, among `candidates`. Returns the winner and its modeled time.
@@ -22,16 +45,14 @@ pub fn choose_among(
     topo: &Topology,
     model: &dyn CostModel,
 ) -> (Protocol, f64) {
-    assert!(!candidates.is_empty());
-    candidates
-        .iter()
-        .map(|&p| {
-            let plan = p.plan(pattern, topo);
-            let t = iteration_time(&plan, topo, model, p.is_wrapped()).total;
-            (p, t)
-        })
-        .min_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("non-empty candidates")
+    let (p, _, t) = choose_with(
+        candidates,
+        pattern,
+        topo,
+        model,
+        AssignStrategy::LoadBalanced,
+    );
+    (p, t)
 }
 
 /// Pick among all four protocols.

@@ -2,85 +2,107 @@
 //!
 //! [`PersistentNeighbor`] is the per-rank persistent collective object — the
 //! analogue of the request returned by `MPI_Neighbor_alltoallv_init`. All
-//! routing (buffer layouts, staging copy maps, request registration) is
-//! fixed at [`PersistentNeighbor::init`]; each iteration only moves values
-//! through [`PersistentNeighbor::start`] / [`PersistentNeighbor::wait`],
-//! exactly as the paper's persistent API prescribes (Algorithms 4–6).
+//! routing (buffer layouts, staging copy maps, request registration) comes
+//! from [`RankRouting`] and is fixed at init; each iteration only moves
+//! values through `start`/`wait`, exactly as the paper's persistent API
+//! prescribes (Algorithms 4–6).
+//!
+//! Construct it through [`crate::NeighborAlltoallv`]; the constructors here
+//! are the plumbing under that builder.
 
-use crate::agg::{Plan, PlanMsg};
+use crate::agg::Plan;
+use crate::exec_common::{
+    deliver, fill_from_input, register_r_sends, register_recvs, register_sends, RSendExec,
+    RecvExec, SendExec,
+};
 use crate::pattern::CommPattern;
+use crate::routing::{GPartRoute, PartSource, RankRouting, RecvRoute};
 use mpisim::persistent::shared_buf;
-use mpisim::{Comm, RankCtx, RecvReq, SendReq, SharedBuf};
-use std::collections::HashMap;
+use mpisim::{Comm, RankCtx, SendReq, SharedBuf};
 
-/// Where a send-buffer slot gets its value from when (re)starting.
-#[derive(Debug, Clone, Copy)]
-enum SlotSource {
-    /// `input[pos]` — a value this rank owns.
-    Input(usize),
-    /// Slot `pos` of the `msg`-th s-step receive buffer (sending leader
-    /// forwarding staged data).
-    SRecv { msg: usize, pos: usize },
-    /// Slot `pos` of the `msg`-th g-step receive buffer (receiving leader
-    /// forwarding inter-region data).
-    GRecv { msg: usize, pos: usize },
-}
-
-struct SendExec {
+struct GSendExec {
     req: SendReq<f64>,
     buf: SharedBuf<f64>,
-    sources: Vec<SlotSource>,
-}
-
-struct RecvExec {
-    req: RecvReq<f64>,
-    buf: SharedBuf<f64>,
-    /// `(slot position, output position)` pairs delivered here.
-    outputs: Vec<(usize, usize)>,
-}
-
-#[derive(Default)]
-struct StepExec {
-    sends: Vec<SendExec>,
-    recvs: Vec<RecvExec>,
+    parts: Vec<GPartRoute>,
 }
 
 /// The persistent neighborhood collective of one rank.
 pub struct PersistentNeighbor {
-    me: usize,
     input_index: Vec<usize>,
     output_index: Vec<usize>,
-    local: StepExec,
-    s: StepExec,
-    g: StepExec,
-    r: StepExec,
-}
-
-/// Tag layout: `tag_base + step*4096 + seq`, where `seq` disambiguates
-/// multiple messages between the same rank pair within a step (e.g. one s
-/// message per region pair). Both sides derive `seq` from the shared plan
-/// order, so matching is unambiguous.
-const STEP_TAG_STRIDE: u64 = 4096;
-
-fn msg_tags(msgs: &[PlanMsg], step: u64, tag_base: u64) -> Vec<u64> {
-    let mut pair_seq: HashMap<(usize, usize), u64> = HashMap::new();
-    msgs.iter()
-        .map(|m| {
-            let seq = pair_seq.entry((m.src, m.dst)).or_insert(0);
-            let tag = tag_base + step * STEP_TAG_STRIDE + *seq;
-            *seq += 1;
-            tag
-        })
-        .collect()
+    local_sends: Vec<SendExec>,
+    local_recvs: Vec<RecvExec>,
+    s_sends: Vec<SendExec>,
+    s_recvs: Vec<RecvExec>,
+    g_sends: Vec<GSendExec>,
+    g_recvs: Vec<RecvExec>,
+    r_sends: Vec<RSendExec>,
+    r_recvs: Vec<RecvExec>,
 }
 
 impl PersistentNeighbor {
-    /// Initialize the persistent collective for this rank (the analogue of
-    /// `MPI_Neighbor_alltoallv_init`). Every rank must construct the *same*
-    /// `pattern`/`plan` (deterministic planning makes this trivially true).
-    ///
-    /// `tag_base` isolates concurrent collectives on the same communicator;
-    /// use a distinct base per persistent object (e.g. per AMG level).
+    /// Register this rank's requests for `plan` (the analogue of
+    /// `MPI_Neighbor_alltoallv_init`). Prefer [`crate::NeighborAlltoallv`],
+    /// which plans and selects the protocol for you.
+    pub fn from_plan(
+        pattern: &CommPattern,
+        plan: &Plan,
+        ctx: &RankCtx,
+        comm: &Comm,
+        tag_base: u64,
+    ) -> Self {
+        assert_eq!(plan.n_ranks, comm.size(), "plan/communicator size mismatch");
+        let routing = RankRouting::build(pattern, plan, comm.rank(), tag_base);
+        Self::from_routing(routing, ctx, comm)
+    }
+
+    /// Register requests from a precomputed routing.
+    pub fn from_routing(routing: RankRouting, ctx: &RankCtx, comm: &Comm) -> Self {
+        let local_sends = register_sends(routing.local_sends, ctx, comm);
+        let local_recvs = register_recvs(routing.local_recvs, ctx, comm);
+        let s_sends = register_sends(routing.s_sends, ctx, comm);
+        let s_recvs = register_recvs(
+            routing.s_recvs.into_iter().map(RecvRoute::from).collect(),
+            ctx,
+            comm,
+        );
+        let g_sends = routing
+            .g_sends
+            .into_iter()
+            .map(|g| {
+                let buf = shared_buf(vec![0.0f64; g.len]);
+                let req = ctx.send_init(comm, g.dst, g.tag, buf.clone(), 0, g.len);
+                GSendExec {
+                    req,
+                    buf,
+                    parts: g.parts,
+                }
+            })
+            .collect();
+        // the plain executor ships g messages whole: bounds are unused
+        let g_recvs = register_recvs(
+            routing.g_recvs.into_iter().map(RecvRoute::from).collect(),
+            ctx,
+            comm,
+        );
+        let r_sends = register_r_sends(routing.r_sends, ctx, comm);
+        let r_recvs = register_recvs(routing.r_recvs, ctx, comm);
+        Self {
+            input_index: routing.input_index,
+            output_index: routing.output_index,
+            local_sends,
+            local_recvs,
+            s_sends,
+            s_recvs,
+            g_sends,
+            g_recvs,
+            r_sends,
+            r_recvs,
+        }
+    }
+
+    /// Deprecated name of [`PersistentNeighbor::from_plan`].
+    #[deprecated(since = "0.1.0", note = "use NeighborAlltoallv or from_plan")]
     pub fn init(
         pattern: &CommPattern,
         plan: &Plan,
@@ -88,101 +110,7 @@ impl PersistentNeighbor {
         comm: &Comm,
         tag_base: u64,
     ) -> Self {
-        let me = comm.rank();
-        assert_eq!(plan.n_ranks, comm.size(), "plan/communicator size mismatch");
-
-        let input_index = pattern.src_indices(me);
-        let output_index = pattern.dst_indices(me);
-        let in_pos: HashMap<usize, usize> =
-            input_index.iter().enumerate().map(|(p, &i)| (i, p)).collect();
-        let out_pos: HashMap<usize, usize> =
-            output_index.iter().enumerate().map(|(p, &i)| (i, p)).collect();
-
-        // Staging maps filled while registering receives:
-        //   s-recv: (origin, index, first final dst) → (msg, pos)
-        //   g-recv: (index, final dst)               → (msg, pos)
-        let mut s_map: HashMap<(usize, usize, usize), SlotSource> = HashMap::new();
-        let mut g_map: HashMap<(usize, usize), SlotSource> = HashMap::new();
-
-        let make_step = |msgs: &[PlanMsg],
-                         step_id: u64,
-                         ctx: &RankCtx,
-                         s_map: &mut HashMap<(usize, usize, usize), SlotSource>,
-                         g_map: &mut HashMap<(usize, usize), SlotSource>,
-                         in_pos: &HashMap<usize, usize>,
-                         out_pos: &HashMap<usize, usize>|
-         -> StepExec {
-            let tags = msg_tags(msgs, step_id, tag_base);
-            let mut step = StepExec::default();
-            for (m, &tag) in msgs.iter().zip(&tags) {
-                if m.src == me {
-                    let buf = shared_buf(vec![0.0f64; m.slots.len()]);
-                    let sources = m
-                        .slots
-                        .iter()
-                        .map(|slot| {
-                            if slot.origin == me {
-                                SlotSource::Input(in_pos[&slot.index])
-                            } else if step_id == 2 {
-                                // g send forwarding staged s data
-                                s_map[&(slot.origin, slot.index, slot.final_dsts[0])]
-                            } else if step_id == 3 {
-                                // r send forwarding g data
-                                g_map[&(slot.index, m.dst)]
-                            } else {
-                                panic!(
-                                    "rank {me}: step {step_id} send slot with foreign origin {}",
-                                    slot.origin
-                                );
-                            }
-                        })
-                        .collect();
-                    let req = ctx.send_init(&comm.clone(), m.dst, tag, buf.clone(), 0, m.slots.len());
-                    step.sends.push(SendExec { req, buf, sources });
-                }
-                if m.dst == me {
-                    let buf = shared_buf(vec![0.0f64; m.slots.len()]);
-                    let req = ctx.recv_init(&comm.clone(), m.src, tag, buf.clone(), 0, m.slots.len());
-                    let msg_idx = step.recvs.len();
-                    let mut outputs = Vec::new();
-                    for (pos, slot) in m.slots.iter().enumerate() {
-                        match step_id {
-                            0 => outputs.push((pos, out_pos[&slot.index])),
-                            1 => {
-                                s_map.insert(
-                                    (slot.origin, slot.index, slot.final_dsts[0]),
-                                    SlotSource::SRecv { msg: msg_idx, pos },
-                                );
-                            }
-                            2 => {
-                                for &fd in &slot.final_dsts {
-                                    if fd == me {
-                                        outputs.push((pos, out_pos[&slot.index]));
-                                    } else {
-                                        g_map.insert(
-                                            (slot.index, fd),
-                                            SlotSource::GRecv { msg: msg_idx, pos },
-                                        );
-                                    }
-                                }
-                            }
-                            3 => outputs.push((pos, out_pos[&slot.index])),
-                            _ => unreachable!(),
-                        }
-                    }
-                    step.recvs.push(RecvExec { req, buf, outputs });
-                }
-            }
-            step
-        };
-
-        // order matters: s before g (fills s_map), g before r (fills g_map)
-        let local = make_step(&plan.local, 0, ctx, &mut s_map, &mut g_map, &in_pos, &out_pos);
-        let s = make_step(&plan.s_step, 1, ctx, &mut s_map, &mut g_map, &in_pos, &out_pos);
-        let g = make_step(&plan.g_step, 2, ctx, &mut s_map, &mut g_map, &in_pos, &out_pos);
-        let r = make_step(&plan.r_step, 3, ctx, &mut s_map, &mut g_map, &in_pos, &out_pos);
-
-        Self { me, input_index, output_index, local, s, g, r }
+        Self::from_plan(pattern, plan, ctx, comm, tag_base)
     }
 
     /// Global indices whose values the caller must provide to
@@ -204,58 +132,45 @@ impl PersistentNeighbor {
         assert_eq!(input.len(), self.input_index.len(), "input length mismatch");
 
         // ℓ: start sends and receives
-        for send in &mut self.local.sends {
-            let mut guard = send.buf.write();
-            for (slot, src) in guard.iter_mut().zip(&send.sources) {
-                match *src {
-                    SlotSource::Input(p) => *slot = input[p],
-                    _ => unreachable!("local sends only carry owned values"),
-                }
-            }
-            drop(guard);
+        for send in &mut self.local_sends {
+            fill_from_input(&send.buf, &send.sources, input);
             send.req.start(ctx);
         }
-        for recv in &mut self.local.recvs {
+        for recv in &mut self.local_recvs {
             recv.req.start();
         }
 
         // s: start and complete the initial redistribution
-        for send in &mut self.s.sends {
-            let mut guard = send.buf.write();
-            for (slot, src) in guard.iter_mut().zip(&send.sources) {
-                match *src {
-                    SlotSource::Input(p) => *slot = input[p],
-                    _ => unreachable!("s sends only carry owned values"),
-                }
-            }
-            drop(guard);
+        for send in &mut self.s_sends {
+            fill_from_input(&send.buf, &send.sources, input);
             send.req.start(ctx);
         }
-        for recv in &mut self.s.recvs {
+        for recv in &mut self.s_recvs {
             recv.req.start();
             recv.req.wait(ctx);
         }
 
         // g: forward staged + owned values across regions
-        {
-            let s_ref = &self.s;
-            for send in &mut self.g.sends {
+        for send in &mut self.g_sends {
+            {
                 let mut guard = send.buf.write();
-                for (slot, src) in guard.iter_mut().zip(&send.sources) {
-                    *slot = match *src {
-                        SlotSource::Input(p) => input[p],
-                        SlotSource::SRecv { msg, pos } => s_ref.recvs[msg].buf.read()[pos],
-                        SlotSource::GRecv { .. } => {
-                            unreachable!("g sends never source from g receives")
+                for part in &send.parts {
+                    match &part.source {
+                        PartSource::Input(positions) => {
+                            for (slot, &p) in guard[part.range.clone()].iter_mut().zip(positions) {
+                                *slot = input[p];
+                            }
                         }
-                    };
+                        PartSource::Staged { s_recv } => {
+                            let staged = self.s_recvs[*s_recv].buf.read();
+                            guard[part.range.clone()].clone_from_slice(&staged);
+                        }
+                    }
                 }
             }
-        }
-        for send in &mut self.g.sends {
             send.req.start(ctx);
         }
-        for recv in &mut self.g.recvs {
+        for recv in &mut self.g_recvs {
             recv.req.start();
         }
     }
@@ -264,49 +179,40 @@ impl PersistentNeighbor {
     /// `output` (aligned with `output_index()`). Implements Algorithm 6:
     /// complete ℓ, complete g, start+complete r.
     pub fn wait(&mut self, ctx: &mut RankCtx, output: &mut [f64]) {
-        assert_eq!(output.len(), self.output_index.len(), "output length mismatch");
+        assert_eq!(
+            output.len(),
+            self.output_index.len(),
+            "output length mismatch"
+        );
 
-        for recv in &mut self.local.recvs {
+        for recv in &mut self.local_recvs {
             recv.req.wait(ctx);
-            let guard = recv.buf.read();
-            for &(pos, out) in &recv.outputs {
-                output[out] = guard[pos];
-            }
+            deliver(&recv.buf, &recv.outputs, output);
         }
 
-        for recv in &mut self.g.recvs {
+        for recv in &mut self.g_recvs {
             recv.req.wait(ctx);
-            let guard = recv.buf.read();
-            for &(pos, out) in &recv.outputs {
-                output[out] = guard[pos];
-            }
+            deliver(&recv.buf, &recv.outputs, output);
         }
 
-        // r: forward from g buffers to final destinations
-        {
-            let g_ref = &self.g;
-            for send in &mut self.r.sends {
+        // r: forward from g buffers to final destinations, holding one
+        // read guard per g buffer across all forwards
+        let g_bufs: Vec<_> = self.g_recvs.iter().map(|g| g.buf.read()).collect();
+        for send in &mut self.r_sends {
+            {
                 let mut guard = send.buf.write();
-                for (slot, src) in guard.iter_mut().zip(&send.sources) {
-                    *slot = match *src {
-                        SlotSource::GRecv { msg, pos } => g_ref.recvs[msg].buf.read()[pos],
-                        _ => unreachable!("r sends only forward g data"),
-                    };
+                for (slot, &(g_msg, pos)) in guard.iter_mut().zip(&send.sources) {
+                    *slot = g_bufs[g_msg][pos];
                 }
             }
-        }
-        for send in &mut self.r.sends {
             send.req.start(ctx);
         }
-        for recv in &mut self.r.recvs {
+        drop(g_bufs);
+        for recv in &mut self.r_recvs {
             recv.req.start();
             recv.req.wait(ctx);
-            let guard = recv.buf.read();
-            for &(pos, out) in &recv.outputs {
-                output[out] = guard[pos];
-            }
+            deliver(&recv.buf, &recv.outputs, output);
         }
-        let _ = self.me;
     }
 }
 
@@ -325,7 +231,7 @@ mod tests {
         let plan = protocol.plan(pattern, topo);
         let results = World::run(n, |ctx| {
             let comm = ctx.comm_world();
-            let mut nb = PersistentNeighbor::init(pattern, &plan, ctx, &comm, 100);
+            let mut nb = PersistentNeighbor::from_plan(pattern, &plan, ctx, &comm, 100);
             let mut got = Vec::new();
             for it in 0..3u64 {
                 let input: Vec<f64> = nb
@@ -398,7 +304,13 @@ mod tests {
         let pattern = CommPattern::new(
             12,
             vec![
-                vec![(4, vec![7]), (5, vec![7]), (6, vec![7]), (8, vec![7]), (11, vec![7])],
+                vec![
+                    (4, vec![7]),
+                    (5, vec![7]),
+                    (6, vec![7]),
+                    (8, vec![7]),
+                    (11, vec![7]),
+                ],
                 vec![(0, vec![13])],
                 vec![],
                 vec![],
@@ -426,12 +338,10 @@ mod tests {
         let plan_b = Protocol::FullNeighbor.plan(&pattern, &topo);
         let ok = World::run(8, |ctx| {
             let comm = ctx.comm_world();
-            let mut a = PersistentNeighbor::init(&pattern, &plan_a, ctx, &comm, 0);
-            let mut b =
-                PersistentNeighbor::init(&pattern, &plan_b, ctx, &comm, 1 << 20);
+            let mut a = PersistentNeighbor::from_plan(&pattern, &plan_a, ctx, &comm, 0);
+            let mut b = PersistentNeighbor::from_plan(&pattern, &plan_b, ctx, &comm, 1 << 20);
             let input_a: Vec<f64> = a.input_index().iter().map(|&i| i as f64).collect();
-            let input_b: Vec<f64> =
-                b.input_index().iter().map(|&i| 1000.0 + i as f64).collect();
+            let input_b: Vec<f64> = b.input_index().iter().map(|&i| 1000.0 + i as f64).collect();
             let mut out_a = vec![0.0; a.output_index().len()];
             let mut out_b = vec![0.0; b.output_index().len()];
             // interleave the two collectives
@@ -439,10 +349,38 @@ mod tests {
             b.start(ctx, &input_b);
             b.wait(ctx, &mut out_b);
             a.wait(ctx, &mut out_a);
-            let ok_a = a.output_index().iter().zip(&out_a).all(|(&i, &v)| v == i as f64);
-            let ok_b =
-                b.output_index().iter().zip(&out_b).all(|(&i, &v)| v == 1000.0 + i as f64);
+            let ok_a = a
+                .output_index()
+                .iter()
+                .zip(&out_a)
+                .all(|(&i, &v)| v == i as f64);
+            let ok_b = b
+                .output_index()
+                .iter()
+                .zip(&out_b)
+                .all(|(&i, &v)| v == 1000.0 + i as f64);
             ok_a && ok_b
+        });
+        assert!(ok.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn deprecated_init_shim_still_works() {
+        let pattern = CommPattern::example_2_1();
+        let topo = Topology::block_nodes(8, 4);
+        let plan = Protocol::FullNeighbor.plan(&pattern, &topo);
+        let ok = World::run(8, |ctx| {
+            let comm = ctx.comm_world();
+            #[allow(deprecated)]
+            let mut nb = PersistentNeighbor::init(&pattern, &plan, ctx, &comm, 0);
+            let input: Vec<f64> = nb.input_index().iter().map(|&i| i as f64).collect();
+            let mut output = vec![0.0; nb.output_index().len()];
+            nb.start(ctx, &input);
+            nb.wait(ctx, &mut output);
+            nb.output_index()
+                .iter()
+                .zip(&output)
+                .all(|(&i, &v)| v == i as f64)
         });
         assert!(ok.into_iter().all(|b| b));
     }

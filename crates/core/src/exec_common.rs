@@ -1,0 +1,100 @@
+//! Request registration and buffer plumbing shared by both executors.
+//!
+//! The ℓ, s, and r steps are identical on the wire for the plain and the
+//! partitioned executor — only the g step differs (single persistent
+//! message vs partitioned request). The structs and registration helpers
+//! for the common steps live here so each executor contains only its
+//! genuinely distinct g-step logic.
+
+use crate::routing::{RSendRoute, RecvRoute, SendRoute};
+use mpisim::persistent::shared_buf;
+use mpisim::{Comm, RankCtx, RecvReq, SendReq, SharedBuf};
+
+/// A send whose slots all come straight from this rank's input.
+pub(crate) struct SendExec {
+    pub req: SendReq<f64>,
+    pub buf: SharedBuf<f64>,
+    /// Input position feeding each slot.
+    pub sources: Vec<usize>,
+}
+
+/// A receive delivered straight into the output vector.
+pub(crate) struct RecvExec {
+    pub req: RecvReq<f64>,
+    pub buf: SharedBuf<f64>,
+    /// `(slot position, output position)` pairs delivered here.
+    pub outputs: Vec<(usize, usize)>,
+}
+
+/// An r-step send: each slot forwards a received g value.
+pub(crate) struct RSendExec {
+    pub req: SendReq<f64>,
+    pub buf: SharedBuf<f64>,
+    /// `(g receive index, slot position)` feeding each slot.
+    pub sources: Vec<(usize, usize)>,
+}
+
+pub(crate) fn register_sends(routes: Vec<SendRoute>, ctx: &RankCtx, comm: &Comm) -> Vec<SendExec> {
+    routes
+        .into_iter()
+        .map(|s| {
+            let buf = shared_buf(vec![0.0f64; s.sources.len()]);
+            let req = ctx.send_init(comm, s.dst, s.tag, buf.clone(), 0, s.sources.len());
+            SendExec {
+                req,
+                buf,
+                sources: s.sources,
+            }
+        })
+        .collect()
+}
+
+pub(crate) fn register_recvs(routes: Vec<RecvRoute>, ctx: &RankCtx, comm: &Comm) -> Vec<RecvExec> {
+    routes
+        .into_iter()
+        .map(|r| {
+            let buf = shared_buf(vec![0.0f64; r.len]);
+            let req = ctx.recv_init(comm, r.src, r.tag, buf.clone(), 0, r.len);
+            RecvExec {
+                req,
+                buf,
+                outputs: r.outputs,
+            }
+        })
+        .collect()
+}
+
+pub(crate) fn register_r_sends(
+    routes: Vec<RSendRoute>,
+    ctx: &RankCtx,
+    comm: &Comm,
+) -> Vec<RSendExec> {
+    routes
+        .into_iter()
+        .map(|s| {
+            let buf = shared_buf(vec![0.0f64; s.sources.len()]);
+            let req = ctx.send_init(comm, s.dst, s.tag, buf.clone(), 0, s.sources.len());
+            RSendExec {
+                req,
+                buf,
+                sources: s.sources,
+            }
+        })
+        .collect()
+}
+
+/// Rewrite a send buffer from the iteration's input values.
+pub(crate) fn fill_from_input(buf: &SharedBuf<f64>, sources: &[usize], input: &[f64]) {
+    let mut guard = buf.write();
+    for (slot, &p) in guard.iter_mut().zip(sources) {
+        *slot = input[p];
+    }
+}
+
+/// Copy delivered slots into their output positions.
+pub(crate) fn deliver(buf: &SharedBuf<f64>, outputs: &[(usize, usize)], output: &mut [f64]) {
+    let guard = buf.read();
+    for &(pos, out) in outputs {
+        output[out] = guard[pos];
+    }
+}

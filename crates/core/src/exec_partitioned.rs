@@ -4,64 +4,29 @@
 //! combination of these optimizations, partitioning locality-aware
 //! messages, can have an even large impact".
 //!
-//! Here each inter-region (`g`) message is a *partitioned* send whose
+//! The routing is the *same* [`RankRouting`] the plain executor uses — the
+//! origin-major `g` layout's partition bounds become real partitioned
+//! requests here. Each inter-region message is a partitioned send whose
 //! partitions are the contributions of the individual staging ranks. As
 //! each intra-region `s` message arrives at the sending leader, that
 //! partition is marked ready and injected immediately
 //! (`MPI_Pready`-style), overlapping the intra-region redistribution with
 //! inter-region injection instead of serializing `s` before `g`.
 
-use crate::agg::{Plan, PlanMsg, Slot};
+use crate::agg::Plan;
+use crate::exec_common::{
+    deliver, fill_from_input, register_r_sends, register_recvs, register_sends, RSendExec,
+    RecvExec, SendExec,
+};
 use crate::pattern::CommPattern;
+use crate::routing::{GPartRoute, PartSource, RankRouting};
 use mpisim::persistent::shared_buf;
-use mpisim::{Comm, PrecvReq, PsendReq, RankCtx, RecvReq, SendReq, SharedBuf};
-use std::collections::HashMap;
-
-/// One g message's slots reordered origin-major, with partition bounds.
-struct GLayout {
-    /// Slots sorted by (origin, index, first final dst).
-    slots: Vec<Slot>,
-    /// Origins in ascending order, one partition each.
-    origins: Vec<usize>,
-    /// Prefix offsets per partition (len = origins.len() + 1).
-    bounds: Vec<usize>,
-}
-
-fn g_layout(m: &PlanMsg) -> GLayout {
-    let mut slots = m.slots.clone();
-    slots.sort_by_key(|s| (s.origin, s.index, s.final_dsts[0]));
-    let mut origins = Vec::new();
-    let mut bounds = vec![0usize];
-    for (i, s) in slots.iter().enumerate() {
-        if origins.last() != Some(&s.origin) {
-            if !origins.is_empty() {
-                bounds.push(i);
-            }
-            origins.push(s.origin);
-        }
-    }
-    bounds.push(slots.len());
-    GLayout { slots, origins, bounds }
-}
-
-struct PlainSend {
-    req: SendReq<f64>,
-    buf: SharedBuf<f64>,
-    /// input positions feeding each slot
-    sources: Vec<usize>,
-}
-
-struct PlainRecv {
-    req: RecvReq<f64>,
-    buf: SharedBuf<f64>,
-    outputs: Vec<(usize, usize)>,
-}
+use mpisim::{Comm, PrecvReq, PsendReq, RankCtx, RecvReq, SharedBuf};
 
 struct GSend {
     req: PsendReq<f64>,
     buf: SharedBuf<f64>,
-    /// partition holding this leader's own values, with input positions
-    own: Option<(usize, Vec<usize>)>,
+    parts: Vec<GPartRoute>,
 }
 
 struct GRecv {
@@ -70,14 +35,11 @@ struct GRecv {
     outputs: Vec<(usize, usize)>,
 }
 
-/// An r-step send: request, buffer, and per-slot (g msg, slot pos) sources.
-type RSend = (SendReq<f64>, SharedBuf<f64>, Vec<(usize, usize)>);
-
 struct SRecv {
     req: RecvReq<f64>,
     buf: SharedBuf<f64>,
-    /// which g send and partition this staging message fills
-    g_msg: usize,
+    /// Which g send and partition this staging message fills.
+    g_send: usize,
     partition: usize,
 }
 
@@ -85,196 +47,87 @@ struct SRecv {
 pub struct PartitionedNeighbor {
     input_index: Vec<usize>,
     output_index: Vec<usize>,
-    local_sends: Vec<PlainSend>,
-    local_recvs: Vec<PlainRecv>,
-    s_sends: Vec<PlainSend>,
+    local_sends: Vec<SendExec>,
+    local_recvs: Vec<RecvExec>,
+    s_sends: Vec<SendExec>,
     s_recvs: Vec<SRecv>,
     g_sends: Vec<GSend>,
     g_recvs: Vec<GRecv>,
-    r_sends: Vec<RSend>,
-    r_recvs: Vec<PlainRecv>,
+    r_sends: Vec<RSendExec>,
+    r_recvs: Vec<RecvExec>,
 }
 
-const STEP_TAG_STRIDE: u64 = 4096;
-
 impl PartitionedNeighbor {
-    /// Initialize from an **aggregated** plan (three-step, with or without
-    /// dedup). All routing is fixed here; iterations only move values.
-    pub fn init(
+    /// Register this rank's requests for an **aggregated** plan
+    /// (three-step, with or without dedup). All routing is fixed here;
+    /// iterations only move values. Prefer [`crate::NeighborAlltoallv`]
+    /// with `Backend::Partitioned`.
+    pub fn from_plan(
         pattern: &CommPattern,
         plan: &Plan,
         ctx: &RankCtx,
         comm: &Comm,
         tag_base: u64,
     ) -> Self {
-        assert!(plan.aggregated, "partitioned execution applies to aggregated plans");
-        let me = comm.rank();
-        let input_index = pattern.src_indices(me);
-        let output_index = pattern.dst_indices(me);
-        let in_pos: HashMap<usize, usize> =
-            input_index.iter().enumerate().map(|(p, &i)| (i, p)).collect();
-        let out_pos: HashMap<usize, usize> =
-            output_index.iter().enumerate().map(|(p, &i)| (i, p)).collect();
+        assert!(
+            plan.aggregated,
+            "partitioned execution applies to aggregated plans"
+        );
+        assert_eq!(plan.n_ranks, comm.size(), "plan/communicator size mismatch");
+        let routing = RankRouting::build(pattern, plan, comm.rank(), tag_base);
+        Self::from_routing(routing, ctx, comm)
+    }
 
-        // ℓ step: identical to the plain executor.
-        let mut local_sends = Vec::new();
-        let mut local_recvs = Vec::new();
-        let mut seq: HashMap<(usize, usize), u64> = HashMap::new();
-        for m in &plan.local {
-            let s = seq.entry((m.src, m.dst)).or_insert(0);
-            let tag = tag_base + *s;
-            *s += 1;
-            if m.src == me {
-                let buf = shared_buf(vec![0.0; m.slots.len()]);
-                let sources = m.slots.iter().map(|sl| in_pos[&sl.index]).collect();
-                let req = ctx.send_init(comm, m.dst, tag, buf.clone(), 0, m.slots.len());
-                local_sends.push(PlainSend { req, buf, sources });
-            }
-            if m.dst == me {
-                let buf = shared_buf(vec![0.0; m.slots.len()]);
-                let req = ctx.recv_init(comm, m.src, tag, buf.clone(), 0, m.slots.len());
-                let outputs =
-                    m.slots.iter().enumerate().map(|(p, sl)| (p, out_pos[&sl.index])).collect();
-                local_recvs.push(PlainRecv { req, buf, outputs });
-            }
-        }
-
-        // g step with origin-major layouts and partitioned requests.
-        // Also build lookup: (leader, origin) per pair → (g msg idx, part).
-        let mut g_sends = Vec::new();
-        let mut g_recvs = Vec::new();
-        // key: (g src leader, g dst leader, origin) — unique per plan msg
-        // because there is exactly one g message per region pair.
-        let mut part_of: HashMap<(usize, usize, usize), (usize, usize)> = HashMap::new();
-        // forwarding map for r: (index, final dst) → (g recv idx, slot pos)
-        let mut fwd: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
-
-        for m in &plan.g_step {
-            let layout = g_layout(m);
-            let tag = tag_base + 2 * STEP_TAG_STRIDE;
-            if m.src == me {
-                let buf = shared_buf(vec![0.0; layout.slots.len()]);
-                let req = ctx.psend_init_parts(
-                    comm,
-                    m.dst,
-                    tag + g_sends.len() as u64,
-                    buf.clone(),
-                    layout.bounds.clone(),
-                );
-                let mut own = None;
-                for (p, &origin) in layout.origins.iter().enumerate() {
-                    if origin == me {
-                        let positions = layout.slots[layout.bounds[p]..layout.bounds[p + 1]]
-                            .iter()
-                            .map(|sl| in_pos[&sl.index])
-                            .collect();
-                        own = Some((p, positions));
-                    } else {
-                        part_of.insert((m.src, m.dst, origin), (g_sends.len(), p));
-                    }
+    /// Register requests from a precomputed routing.
+    pub fn from_routing(routing: RankRouting, ctx: &RankCtx, comm: &Comm) -> Self {
+        let local_sends = register_sends(routing.local_sends, ctx, comm);
+        let local_recvs = register_recvs(routing.local_recvs, ctx, comm);
+        let s_sends = register_sends(routing.s_sends, ctx, comm);
+        let s_recvs = routing
+            .s_recvs
+            .into_iter()
+            .map(|r| {
+                let buf = shared_buf(vec![0.0f64; r.len]);
+                let req = ctx.recv_init(comm, r.src, r.tag, buf.clone(), 0, r.len);
+                SRecv {
+                    req,
+                    buf,
+                    g_send: r.g_send,
+                    partition: r.partition,
                 }
-                g_sends.push(GSend { req, buf, own });
-            }
-            if m.dst == me {
-                let buf = shared_buf(vec![0.0; layout.slots.len()]);
-                // the receive tag must mirror the sender's: count how many
-                // g sends the sender registered before this one
-                let sender_prior = plan.g_step[..]
-                    .iter()
-                    .take_while(|x| !std::ptr::eq(*x, m))
-                    .filter(|x| x.src == m.src)
-                    .count();
-                let req = ctx.precv_init_parts(
-                    comm,
-                    m.src,
-                    tag + sender_prior as u64,
-                    buf.clone(),
-                    layout.bounds.clone(),
-                );
-                let mut outputs = Vec::new();
-                for (pos, sl) in layout.slots.iter().enumerate() {
-                    for &fd in &sl.final_dsts {
-                        if fd == me {
-                            outputs.push((pos, out_pos[&sl.index]));
-                        } else {
-                            fwd.insert((sl.index, fd), (g_recvs.len(), pos));
-                        }
-                    }
+            })
+            .collect();
+        let g_sends = routing
+            .g_sends
+            .into_iter()
+            .map(|g| {
+                let buf = shared_buf(vec![0.0f64; g.len]);
+                let req = ctx.psend_init_parts(comm, g.dst, g.tag, buf.clone(), g.bounds);
+                GSend {
+                    req,
+                    buf,
+                    parts: g.parts,
                 }
-                g_recvs.push(GRecv { req, buf, outputs });
-            }
-        }
-
-        // s step: each message feeds exactly one g partition.
-        let mut s_sends = Vec::new();
-        let mut s_recvs = Vec::new();
-        let mut s_seq: HashMap<(usize, usize), u64> = HashMap::new();
-        // identify the pair leaders of each s message via the matching g
-        // message: the s msg's dst is the sending leader; the origin is the
-        // s msg's src; the dst leader comes from the slots' destinations.
-        for m in &plan.s_step {
-            let sq = s_seq.entry((m.src, m.dst)).or_insert(0);
-            let tag = tag_base + STEP_TAG_STRIDE + *sq;
-            *sq += 1;
-            if m.src == me {
-                // sort to the same per-origin order as the g partition
-                let mut slots = m.slots.clone();
-                slots.sort_by_key(|s| (s.index, s.final_dsts[0]));
-                let buf = shared_buf(vec![0.0; slots.len()]);
-                let sources = slots.iter().map(|sl| in_pos[&sl.index]).collect();
-                let req = ctx.send_init(comm, m.dst, tag, buf.clone(), 0, slots.len());
-                s_sends.push(PlainSend { req, buf, sources });
-            }
-            if m.dst == me {
-                let buf = shared_buf(vec![0.0; m.slots.len()]);
-                let req = ctx.recv_init(comm, m.src, tag, buf.clone(), 0, m.slots.len());
-                // locate the g partition: the dst region's leader is the
-                // g message for these slots' region pair
-                let dst_leader = plan
-                    .g_step
-                    .iter()
-                    .find(|g| {
-                        g.src == me
-                            && g.slots.iter().any(|gs| {
-                                gs.origin == m.src
-                                    && gs.index == m.slots[0].index
-                                    && gs.final_dsts[0] == m.slots[0].final_dsts[0]
-                            })
-                    })
-                    .map(|g| g.dst)
-                    .expect("every s message matches a g message at its leader");
-                let (g_msg, partition) = part_of[&(me, dst_leader, m.src)];
-                s_recvs.push(SRecv { req, buf, g_msg, partition });
-            }
-        }
-
-        // r step: forwards from g buffers.
-        let mut r_sends = Vec::new();
-        let mut r_recvs = Vec::new();
-        let mut r_seq: HashMap<(usize, usize), u64> = HashMap::new();
-        for m in &plan.r_step {
-            let sq = r_seq.entry((m.src, m.dst)).or_insert(0);
-            let tag = tag_base + 3 * STEP_TAG_STRIDE + *sq;
-            *sq += 1;
-            if m.src == me {
-                let buf = shared_buf(vec![0.0; m.slots.len()]);
-                let sources: Vec<(usize, usize)> =
-                    m.slots.iter().map(|sl| fwd[&(sl.index, m.dst)]).collect();
-                let req = ctx.send_init(comm, m.dst, tag, buf.clone(), 0, m.slots.len());
-                r_sends.push((req, buf, sources));
-            }
-            if m.dst == me {
-                let buf = shared_buf(vec![0.0; m.slots.len()]);
-                let req = ctx.recv_init(comm, m.src, tag, buf.clone(), 0, m.slots.len());
-                let outputs =
-                    m.slots.iter().enumerate().map(|(p, sl)| (p, out_pos[&sl.index])).collect();
-                r_recvs.push(PlainRecv { req, buf, outputs });
-            }
-        }
-
+            })
+            .collect();
+        let g_recvs = routing
+            .g_recvs
+            .into_iter()
+            .map(|r| {
+                let buf = shared_buf(vec![0.0f64; r.len]);
+                let req = ctx.precv_init_parts(comm, r.src, r.tag, buf.clone(), r.bounds);
+                GRecv {
+                    req,
+                    buf,
+                    outputs: r.outputs,
+                }
+            })
+            .collect();
+        let r_sends = register_r_sends(routing.r_sends, ctx, comm);
+        let r_recvs = register_recvs(routing.r_recvs, ctx, comm);
         Self {
-            input_index,
-            output_index,
+            input_index: routing.input_index,
+            output_index: routing.output_index,
             local_sends,
             local_recvs,
             s_sends,
@@ -284,6 +137,18 @@ impl PartitionedNeighbor {
             r_sends,
             r_recvs,
         }
+    }
+
+    /// Deprecated name of [`PartitionedNeighbor::from_plan`].
+    #[deprecated(since = "0.1.0", note = "use NeighborAlltoallv or from_plan")]
+    pub fn init(
+        pattern: &CommPattern,
+        plan: &Plan,
+        ctx: &RankCtx,
+        comm: &Comm,
+        tag_base: u64,
+    ) -> Self {
+        Self::from_plan(pattern, plan, ctx, comm, tag_base)
     }
 
     pub fn input_index(&self) -> &[usize] {
@@ -300,12 +165,7 @@ impl PartitionedNeighbor {
         assert_eq!(input.len(), self.input_index.len(), "input length mismatch");
 
         for send in &mut self.local_sends {
-            {
-                let mut g = send.buf.write();
-                for (slot, &p) in g.iter_mut().zip(&send.sources) {
-                    *slot = input[p];
-                }
-            }
+            fill_from_input(&send.buf, &send.sources, input);
             send.req.start(ctx);
         }
         for recv in &mut self.local_recvs {
@@ -313,27 +173,23 @@ impl PartitionedNeighbor {
         }
 
         for send in &mut self.s_sends {
-            {
-                let mut g = send.buf.write();
-                for (slot, &p) in g.iter_mut().zip(&send.sources) {
-                    *slot = input[p];
-                }
-            }
+            fill_from_input(&send.buf, &send.sources, input);
             send.req.start(ctx);
         }
 
         // open the partitioned g requests and inject the leader's own data
         for gs in &mut self.g_sends {
             gs.req.start();
-            if let Some((part, positions)) = &gs.own {
-                let range = gs.req.partition_range(*part);
-                {
-                    let mut g = gs.buf.write();
-                    for (i, &p) in range.clone().zip(positions.iter()) {
-                        g[i] = input[p];
+            for pidx in 0..gs.parts.len() {
+                if let PartSource::Input(positions) = &gs.parts[pidx].source {
+                    {
+                        let mut g = gs.buf.write();
+                        for (i, &p) in gs.parts[pidx].range.clone().zip(positions.iter()) {
+                            g[i] = input[p];
+                        }
                     }
+                    gs.req.pready(ctx, pidx);
                 }
-                gs.req.pready(ctx, *part);
             }
         }
         for gr in &mut self.g_recvs {
@@ -348,7 +204,7 @@ impl PartitionedNeighbor {
         }
         for sr in &mut self.s_recvs {
             sr.req.wait(ctx);
-            let gs = &mut self.g_sends[sr.g_msg];
+            let gs = &mut self.g_sends[sr.g_send];
             let range = gs.req.partition_range(sr.partition);
             // the s message's slots arrive in the same (index, fd) order
             // as the partition's slots
@@ -368,40 +224,38 @@ impl PartitionedNeighbor {
     /// Complete the iteration: drain ℓ and g, then run the final
     /// redistribution.
     pub fn wait(&mut self, ctx: &mut RankCtx, output: &mut [f64]) {
-        assert_eq!(output.len(), self.output_index.len(), "output length mismatch");
+        assert_eq!(
+            output.len(),
+            self.output_index.len(),
+            "output length mismatch"
+        );
 
         for recv in &mut self.local_recvs {
             recv.req.wait(ctx);
-            let g = recv.buf.read();
-            for &(pos, out) in &recv.outputs {
-                output[out] = g[pos];
-            }
+            deliver(&recv.buf, &recv.outputs, output);
         }
 
         for gr in &mut self.g_recvs {
             gr.req.wait(ctx);
-            let g = gr.buf.read();
-            for &(pos, out) in &gr.outputs {
-                output[out] = g[pos];
-            }
+            deliver(&gr.buf, &gr.outputs, output);
         }
 
-        for (req, buf, sources) in &mut self.r_sends {
+        // hold one read guard per g buffer across all r forwards
+        let g_bufs: Vec<_> = self.g_recvs.iter().map(|g| g.buf.read()).collect();
+        for send in &mut self.r_sends {
             {
-                let mut g = buf.write();
-                for (slot, &(g_msg, pos)) in g.iter_mut().zip(sources.iter()) {
-                    *slot = self.g_recvs[g_msg].buf.read()[pos];
+                let mut g = send.buf.write();
+                for (slot, &(g_msg, pos)) in g.iter_mut().zip(send.sources.iter()) {
+                    *slot = g_bufs[g_msg][pos];
                 }
             }
-            req.start(ctx);
+            send.req.start(ctx);
         }
+        drop(g_bufs);
         for recv in &mut self.r_recvs {
             recv.req.start();
             recv.req.wait(ctx);
-            let g = recv.buf.read();
-            for &(pos, out) in &recv.outputs {
-                output[out] = g[pos];
-            }
+            deliver(&recv.buf, &recv.outputs, output);
         }
     }
 }
@@ -415,11 +269,15 @@ mod tests {
 
     fn roundtrip(pattern: &CommPattern, topo: &Topology, dedup: bool) {
         let n = pattern.n_ranks;
-        let protocol = if dedup { Protocol::FullNeighbor } else { Protocol::PartialNeighbor };
+        let protocol = if dedup {
+            Protocol::FullNeighbor
+        } else {
+            Protocol::PartialNeighbor
+        };
         let plan = protocol.plan(pattern, topo);
         let results = World::run(n, |ctx| {
             let comm = ctx.comm_world();
-            let mut nb = PartitionedNeighbor::init(pattern, &plan, ctx, &comm, 50);
+            let mut nb = PartitionedNeighbor::from_plan(pattern, &plan, ctx, &comm, 50);
             let mut got = Vec::new();
             for it in 0..3u64 {
                 let input: Vec<f64> = nb
@@ -469,24 +327,5 @@ mod tests {
         let pattern = CommPattern::from_comm_pkgs(&build_comm_pkgs(&a, &part));
         let topo = Topology::block_nodes(12, 4);
         roundtrip(&pattern, &topo, true);
-    }
-
-    #[test]
-    fn g_layout_origin_major() {
-        let m = PlanMsg {
-            src: 0,
-            dst: 4,
-            slots: vec![
-                Slot { index: 9, origin: 2, final_dsts: vec![4] },
-                Slot { index: 1, origin: 0, final_dsts: vec![5] },
-                Slot { index: 5, origin: 2, final_dsts: vec![6] },
-                Slot { index: 3, origin: 1, final_dsts: vec![4] },
-            ],
-        };
-        let l = g_layout(&m);
-        assert_eq!(l.origins, vec![0, 1, 2]);
-        assert_eq!(l.bounds, vec![0, 1, 2, 4]);
-        assert_eq!(l.slots[2].index, 5); // origin 2 sorted by index
-        assert_eq!(l.slots[3].index, 9);
     }
 }

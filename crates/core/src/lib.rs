@@ -16,16 +16,29 @@
 //! * [`Protocol::StandardHypre`] — the baseline: persistent point-to-point
 //!   as Hypre 2.28 implements it (no topology communicator).
 //!
-//! Two consumers share the planner: [`exec`] posts real persistent messages
-//! on `mpisim` (correctness, wall-clock benches), and [`analytic`] evaluates
-//! modeled cost and message statistics at paper scale (2048 ranks).
+//! The public entry point is [`NeighborAlltoallv`]: a builder taking a
+//! [`CommPattern`] and a [`locality::Topology`] (plus an optional cost
+//! model and leader-assignment strategy) that yields one [`NeighborRequest`]
+//! with `start`/`wait`/`start_wait` semantics. The backend is an explicit
+//! [`Protocol`], [`Backend::Partitioned`] (§5's combination), or
+//! [`Backend::Auto`] — model-driven selection performed at init time, as §5
+//! prescribes.
+//!
+//! Under the hood, [`routing`] derives each rank's staging copy maps once;
+//! [`exec`] posts plain persistent messages on `mpisim` and
+//! [`exec_partitioned`] posts partitioned inter-region messages, both from
+//! the same routing. [`analytic`] evaluates modeled cost and message
+//! statistics at paper scale (2048 ranks).
 
 pub mod agg;
 pub mod analytic;
 pub mod collective;
 pub mod exec;
+mod exec_common;
 pub mod exec_partitioned;
+pub mod neighbor;
 pub mod pattern;
+pub mod routing;
 pub mod stats;
 
 pub use agg::{AssignStrategy, Plan, PlanMsg, Slot};
@@ -33,7 +46,9 @@ pub use analytic::{init_time, iteration_time, IterationCost};
 pub use collective::{choose_protocol, Protocol};
 pub use exec::PersistentNeighbor;
 pub use exec_partitioned::PartitionedNeighbor;
+pub use neighbor::{Backend, NeighborAlltoallv, NeighborRequest};
 pub use pattern::CommPattern;
+pub use routing::RankRouting;
 pub use stats::PlanStats;
 
 #[cfg(test)]

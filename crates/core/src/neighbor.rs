@@ -1,0 +1,408 @@
+//! The unified `NeighborAlltoallv` entry point.
+//!
+//! The paper presents its optimizations as a *drop-in API*: one persistent
+//! `MPI_Neighbor_alltoallv_init`-style call behind which the
+//! Standard/Partial/Full locality-aware protocols — and §5's partitioned
+//! and dynamically-selected variants — are interchangeable. This module is
+//! that call for the Rust reproduction:
+//!
+//! ```
+//! use locality::Topology;
+//! use mpi_advance::{Backend, CommPattern, NeighborAlltoallv, Protocol};
+//! use mpisim::World;
+//!
+//! let pattern = CommPattern::example_2_1();
+//! let topo = Topology::block_nodes(8, 4);
+//! let coll = NeighborAlltoallv::new(&pattern, &topo)
+//!     .backend(Backend::Protocol(Protocol::FullNeighbor));
+//! let ok = World::run(8, |ctx| {
+//!     let comm = ctx.comm_world();
+//!     let mut req = coll.init(ctx, &comm);
+//!     let input: Vec<f64> = req.input_index().iter().map(|&i| i as f64).collect();
+//!     let mut output = vec![0.0; req.output_index().len()];
+//!     req.start_wait(ctx, &input, &mut output);
+//!     req.output_index().iter().zip(&output).all(|(&i, &v)| v == i as f64)
+//! });
+//! assert!(ok.into_iter().all(|b| b));
+//! ```
+//!
+//! Every rank constructs the same builder (deterministic planning makes the
+//! SPMD agreement trivial) and gets back a [`NeighborRequest`] trait object
+//! whose `start`/`wait`/`start_wait` drive the collective without exposing
+//! which protocol — or which executor — runs underneath.
+
+use crate::agg::AssignStrategy;
+use crate::collective::select::choose_with;
+use crate::collective::Protocol;
+use crate::exec::PersistentNeighbor;
+use crate::exec_partitioned::PartitionedNeighbor;
+use crate::pattern::CommPattern;
+use crate::Plan;
+use locality::Topology;
+use mpisim::{Comm, RankCtx};
+use perfmodel::{CostModel, LocalityModel};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Which execution strategy backs the collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The given protocol on the plain persistent executor.
+    Protocol(Protocol),
+    /// §5's combination: the given (aggregating) protocol with partitioned
+    /// inter-region messages, overlapping staging with injection.
+    Partitioned(Protocol),
+    /// Model-driven selection at init time (§5): evaluate every protocol's
+    /// plan under the cost model and run the cheapest.
+    #[default]
+    Auto,
+}
+
+/// A started-or-startable persistent neighborhood collective of one rank —
+/// the object `MPI_Neighbor_alltoallv_init` would return.
+pub trait NeighborRequest {
+    /// Global indices whose values the caller provides to `start`, in order.
+    fn input_index(&self) -> &[usize];
+
+    /// Global indices `wait` produces, in order.
+    fn output_index(&self) -> &[usize];
+
+    /// `MPI_Start`: begin one iteration with the current `input` values.
+    fn start(&mut self, ctx: &mut RankCtx, input: &[f64]);
+
+    /// `MPI_Wait`: complete the iteration, delivering ghost values into
+    /// `output` (aligned with [`NeighborRequest::output_index`]).
+    fn wait(&mut self, ctx: &mut RankCtx, output: &mut [f64]);
+
+    /// One full iteration: `start` immediately followed by `wait`.
+    fn start_wait(&mut self, ctx: &mut RankCtx, input: &[f64], output: &mut [f64]) {
+        self.start(ctx, input);
+        self.wait(ctx, output);
+    }
+
+    /// The protocol whose plan this request executes (the selection result
+    /// under [`Backend::Auto`]).
+    fn protocol(&self) -> Protocol;
+
+    /// Whether inter-region messages run as partitioned sends.
+    fn is_partitioned(&self) -> bool;
+}
+
+struct PlainRequest {
+    inner: PersistentNeighbor,
+    protocol: Protocol,
+}
+
+impl NeighborRequest for PlainRequest {
+    fn input_index(&self) -> &[usize] {
+        self.inner.input_index()
+    }
+    fn output_index(&self) -> &[usize] {
+        self.inner.output_index()
+    }
+    fn start(&mut self, ctx: &mut RankCtx, input: &[f64]) {
+        self.inner.start(ctx, input);
+    }
+    fn wait(&mut self, ctx: &mut RankCtx, output: &mut [f64]) {
+        self.inner.wait(ctx, output);
+    }
+    fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+    fn is_partitioned(&self) -> bool {
+        false
+    }
+}
+
+struct PartitionedRequest {
+    inner: PartitionedNeighbor,
+    protocol: Protocol,
+}
+
+impl NeighborRequest for PartitionedRequest {
+    fn input_index(&self) -> &[usize] {
+        self.inner.input_index()
+    }
+    fn output_index(&self) -> &[usize] {
+        self.inner.output_index()
+    }
+    fn start(&mut self, ctx: &mut RankCtx, input: &[f64]) {
+        self.inner.start(ctx, input);
+    }
+    fn wait(&mut self, ctx: &mut RankCtx, output: &mut [f64]) {
+        self.inner.wait(ctx, output);
+    }
+    fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+    fn is_partitioned(&self) -> bool {
+        true
+    }
+}
+
+/// Spacing of automatically allocated tag bases: room for the four step
+/// namespaces plus up to 1023 partition sub-tags (the partitioned
+/// transport offsets by `(partition + 1) << 20`).
+const AUTO_TAG_SPAN: u64 = 1 << 30;
+/// Partitioned requests need `tag < 2^39` (half the simulator's user tag
+/// space); wrap the allocator below that.
+const AUTO_TAG_WRAP: u64 = 1 << 39;
+static NEXT_AUTO_TAG: AtomicU64 = AtomicU64::new(AUTO_TAG_SPAN);
+
+/// A fresh tag base, distinct from every other auto-allocated one (until
+/// 511 are simultaneously live) and from small hand-picked bases.
+fn alloc_tag_base() -> u64 {
+    let n = NEXT_AUTO_TAG.fetch_add(AUTO_TAG_SPAN, Ordering::Relaxed);
+    AUTO_TAG_SPAN + (n - AUTO_TAG_SPAN) % (AUTO_TAG_WRAP - AUTO_TAG_SPAN)
+}
+
+/// Builder for one persistent neighborhood collective.
+///
+/// Defaults: [`Backend::Auto`] with the Lassen locality model,
+/// load-balanced leader assignment, and a tag base allocated so that
+/// concurrently live collectives never share tag space. Ranks agree on
+/// the base because they share the builder (or, in a real multi-process
+/// setting, construct builders in the same SPMD order — the same
+/// determinism planning already relies on). Use the `tag_base` setter to
+/// pin it explicitly instead.
+pub struct NeighborAlltoallv<'a> {
+    pattern: &'a CommPattern,
+    topo: &'a Topology,
+    backend: Backend,
+    strategy: AssignStrategy,
+    model: Option<&'a dyn CostModel>,
+    tag_base: u64,
+    /// Planning is deterministic and rank-independent, so it runs once per
+    /// builder and is shared by every rank's `init` (SPMD closures capture
+    /// the builder by reference).
+    resolved: OnceLock<(Protocol, Plan)>,
+}
+
+impl<'a> NeighborAlltoallv<'a> {
+    pub fn new(pattern: &'a CommPattern, topo: &'a Topology) -> Self {
+        assert_eq!(
+            pattern.n_ranks,
+            topo.n_ranks(),
+            "pattern/topology rank count mismatch"
+        );
+        Self {
+            pattern,
+            topo,
+            backend: Backend::Auto,
+            strategy: AssignStrategy::LoadBalanced,
+            model: None,
+            tag_base: alloc_tag_base(),
+            resolved: OnceLock::new(),
+        }
+    }
+
+    /// Choose the execution backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self.resolved = OnceLock::new();
+        self
+    }
+
+    /// Shorthand for `backend(Backend::Protocol(p))`.
+    pub fn protocol(self, p: Protocol) -> Self {
+        self.backend(Backend::Protocol(p))
+    }
+
+    /// Leader-assignment strategy for aggregating protocols.
+    pub fn strategy(mut self, strategy: AssignStrategy) -> Self {
+        self.strategy = strategy;
+        self.resolved = OnceLock::new();
+        self
+    }
+
+    /// Cost model driving [`Backend::Auto`] selection (default: the
+    /// Lassen-calibrated locality model).
+    pub fn cost_model(mut self, model: &'a dyn CostModel) -> Self {
+        self.model = Some(model);
+        self.resolved = OnceLock::new();
+        self
+    }
+
+    /// Tag namespace base, isolating concurrent collectives on the same
+    /// communicator (use a distinct base per live collective, e.g. per AMG
+    /// level).
+    pub fn tag_base(mut self, tag_base: u64) -> Self {
+        self.tag_base = tag_base;
+        self
+    }
+
+    /// Resolve the backend to a concrete protocol and plan — the planning
+    /// half of init, exposed for statistics and modeled evaluation.
+    /// Deterministic (every rank resolves identically) and computed once
+    /// per builder.
+    pub fn plan(&self) -> (Protocol, Plan) {
+        self.resolved().clone()
+    }
+
+    fn resolved(&self) -> &(Protocol, Plan) {
+        self.resolved.get_or_init(|| self.resolve())
+    }
+
+    fn resolve(&self) -> (Protocol, Plan) {
+        match self.backend {
+            Backend::Protocol(p) => (p, p.plan_with(self.pattern, self.topo, self.strategy)),
+            Backend::Partitioned(p) => {
+                let plan = p.plan_with(self.pattern, self.topo, self.strategy);
+                assert!(
+                    plan.aggregated,
+                    "Backend::Partitioned needs an aggregating protocol, got {p}"
+                );
+                (p, plan)
+            }
+            Backend::Auto => {
+                let default_model;
+                let model = match self.model {
+                    Some(m) => m,
+                    None => {
+                        default_model = LocalityModel::lassen();
+                        &default_model
+                    }
+                };
+                let (p, plan, _) = choose_with(
+                    &Protocol::ALL,
+                    self.pattern,
+                    self.topo,
+                    model,
+                    self.strategy,
+                );
+                (p, plan)
+            }
+        }
+    }
+
+    /// `MPI_Neighbor_alltoallv_init`: register this rank's persistent
+    /// requests and return the collective as a [`NeighborRequest`].
+    pub fn init(&self, ctx: &RankCtx, comm: &Comm) -> Box<dyn NeighborRequest> {
+        let (protocol, plan) = self.resolved();
+        match self.backend {
+            Backend::Partitioned(_) => Box::new(PartitionedRequest {
+                inner: PartitionedNeighbor::from_plan(self.pattern, plan, ctx, comm, self.tag_base),
+                protocol: *protocol,
+            }),
+            _ => Box::new(PlainRequest {
+                inner: PersistentNeighbor::from_plan(self.pattern, plan, ctx, comm, self.tag_base),
+                protocol: *protocol,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::World;
+
+    fn deliver_all(pattern: &CommPattern, topo: &Topology, backend: Backend) {
+        let coll = NeighborAlltoallv::new(pattern, topo).backend(backend);
+        let ok = World::run(pattern.n_ranks, |ctx| {
+            let comm = ctx.comm_world();
+            let mut req = coll.init(ctx, &comm);
+            let mut ok = true;
+            for it in 0..2u64 {
+                let input: Vec<f64> = req
+                    .input_index()
+                    .iter()
+                    .map(|&i| (i as f64) + it as f64 * 0.5)
+                    .collect();
+                let mut output = vec![f64::NAN; req.output_index().len()];
+                req.start_wait(ctx, &input, &mut output);
+                ok &= req
+                    .output_index()
+                    .iter()
+                    .zip(&output)
+                    .all(|(&i, &v)| v == (i as f64) + it as f64 * 0.5);
+            }
+            ok
+        });
+        assert!(ok.into_iter().all(|b| b), "{backend:?} failed to deliver");
+    }
+
+    #[test]
+    fn every_backend_delivers_example_2_1() {
+        let pattern = CommPattern::example_2_1();
+        let topo = Topology::block_nodes(8, 4);
+        for p in Protocol::ALL {
+            deliver_all(&pattern, &topo, Backend::Protocol(p));
+        }
+        for p in [Protocol::PartialNeighbor, Protocol::FullNeighbor] {
+            deliver_all(&pattern, &topo, Backend::Partitioned(p));
+        }
+        deliver_all(&pattern, &topo, Backend::Auto);
+    }
+
+    #[test]
+    fn auto_resolves_to_the_model_minimum() {
+        let topo = Topology::block_nodes(16, 4);
+        let pattern = CommPattern::all_to_all_regions(&topo);
+        let model = LocalityModel::lassen();
+        let coll = NeighborAlltoallv::new(&pattern, &topo).cost_model(&model);
+        let (selected, _) = coll.plan();
+        let (expected, _) = crate::collective::choose_protocol(&pattern, &topo, &model);
+        assert_eq!(selected, expected);
+    }
+
+    #[test]
+    fn auto_request_reports_its_protocol() {
+        let pattern = CommPattern::example_2_1();
+        let topo = Topology::block_nodes(8, 4);
+        let coll = NeighborAlltoallv::new(&pattern, &topo);
+        let (expected, _) = coll.plan();
+        let protos = World::run(8, |ctx| {
+            let comm = ctx.comm_world();
+            let req = coll.init(ctx, &comm);
+            assert!(!req.is_partitioned());
+            req.protocol()
+        });
+        assert!(protos.into_iter().all(|p| p == expected));
+    }
+
+    #[test]
+    fn default_tag_bases_do_not_collide() {
+        // two collectives built without an explicit tag_base, interleaved
+        // on the same communicator, must not cross-deliver
+        let pattern = CommPattern::example_2_1();
+        let topo = Topology::block_nodes(8, 4);
+        let coll_a = NeighborAlltoallv::new(&pattern, &topo).protocol(Protocol::StandardNeighbor);
+        let coll_b = NeighborAlltoallv::new(&pattern, &topo).protocol(Protocol::FullNeighbor);
+        let ok = World::run(8, |ctx| {
+            let comm = ctx.comm_world();
+            let mut a = coll_a.init(ctx, &comm);
+            let mut b = coll_b.init(ctx, &comm);
+            let input_a: Vec<f64> = a.input_index().iter().map(|&i| i as f64).collect();
+            let input_b: Vec<f64> = b.input_index().iter().map(|&i| 1000.0 + i as f64).collect();
+            let mut out_a = vec![0.0; a.output_index().len()];
+            let mut out_b = vec![0.0; b.output_index().len()];
+            a.start(ctx, &input_a);
+            b.start(ctx, &input_b);
+            b.wait(ctx, &mut out_b);
+            a.wait(ctx, &mut out_a);
+            let ok_a = a
+                .output_index()
+                .iter()
+                .zip(&out_a)
+                .all(|(&i, &v)| v == i as f64);
+            let ok_b = b
+                .output_index()
+                .iter()
+                .zip(&out_b)
+                .all(|(&i, &v)| v == 1000.0 + i as f64);
+            ok_a && ok_b
+        });
+        assert!(ok.into_iter().all(|b| b));
+    }
+
+    #[test]
+    #[should_panic(expected = "aggregating protocol")]
+    fn partitioned_rejects_standard_protocols() {
+        let pattern = CommPattern::example_2_1();
+        let topo = Topology::block_nodes(8, 4);
+        NeighborAlltoallv::new(&pattern, &topo)
+            .backend(Backend::Partitioned(Protocol::StandardHypre))
+            .plan();
+    }
+}

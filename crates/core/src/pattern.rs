@@ -21,7 +21,10 @@ pub struct CommPattern {
 impl CommPattern {
     /// An empty pattern.
     pub fn empty(n_ranks: usize) -> Self {
-        Self { n_ranks, sends: vec![Vec::new(); n_ranks] }
+        Self {
+            n_ranks,
+            sends: vec![Vec::new(); n_ranks],
+        }
     }
 
     /// Build from per-rank send lists, normalizing order and validating.
@@ -97,8 +100,10 @@ impl CommPattern {
     /// Sorted unique indices rank `r` contributes (its "owned" values that
     /// leave the rank).
     pub fn src_indices(&self, r: usize) -> Vec<usize> {
-        let mut v: Vec<usize> =
-            self.sends[r].iter().flat_map(|(_, idx)| idx.iter().copied()).collect();
+        let mut v: Vec<usize> = self.sends[r]
+            .iter()
+            .flat_map(|(_, idx)| idx.iter().copied())
+            .collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -213,8 +218,7 @@ mod tests {
         let p5: Vec<(usize, Vec<usize>)> = r[5].clone();
         assert_eq!(p5.len(), 4);
         assert_eq!(p5[0], (0, vec![0, 1])); // circle0=0, square0=1
-        let total_recv: usize =
-            r.iter().flat_map(|l| l.iter().map(|(_, v)| v.len())).sum();
+        let total_recv: usize = r.iter().flat_map(|l| l.iter().map(|(_, v)| v.len())).sum();
         assert_eq!(total_recv, p.total_slots());
     }
 
@@ -228,8 +232,11 @@ mod tests {
         // ghost sets from pattern match comm pkg recv sets
         #[allow(clippy::needless_range_loop)]
         for rank in 0..4 {
-            let mut expect: Vec<usize> =
-                pkgs[rank].recvs.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+            let mut expect: Vec<usize> = pkgs[rank]
+                .recvs
+                .iter()
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect();
             expect.sort_unstable();
             assert_eq!(pattern.dst_indices(rank), expect);
         }

@@ -26,7 +26,10 @@ fn arb_pattern(n: usize) -> impl Strategy<Value = CommPattern> {
                 if dst == src {
                     continue;
                 }
-                per_dst.entry(dst).or_default().extend(idx.iter().map(|&i| src * K + i));
+                per_dst
+                    .entry(dst)
+                    .or_default()
+                    .extend(idx.iter().map(|&i| src * K + i));
             }
             for (dst, mut idx) in per_dst {
                 idx.sort_unstable();

@@ -1,0 +1,570 @@
+//! Per-rank routing: the staging machinery shared by every executor.
+//!
+//! A [`Plan`] is a *global* description of one collective. Before a rank
+//! can post requests it must derive its local view: which buffers to
+//! register, which tag each message uses, where each send-buffer slot gets
+//! its value from, and where each received slot is delivered. That
+//! derivation — the copy-map construction — is identical for the plain
+//! persistent executor ([`crate::exec::PersistentNeighbor`]) and the
+//! partitioned one ([`crate::exec_partitioned::PartitionedNeighbor`]); it
+//! lives here so the executors only differ in *how* they move the bytes,
+//! not in how they decide what goes where.
+//!
+//! Inter-region (`g`) messages are laid out **origin-major**: the slots
+//! contributed by each staging rank form one contiguous run, recorded in
+//! [`GSendRoute::bounds`]. The plain executor ignores the bounds and ships
+//! the buffer as a single message; the partitioned executor registers one
+//! partition per run and injects each the moment its staging data arrives
+//! (`MPI_Pready`-style, the paper's §5 combination). Both sides of a
+//! message derive the same layout from the shared plan, so matching is
+//! deterministic.
+
+use crate::agg::{Plan, PlanMsg, Slot};
+use crate::pattern::CommPattern;
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Tag layout: `tag_base + step*4096 + seq`, where `seq` disambiguates
+/// multiple messages between the same rank pair within a step (e.g. one s
+/// message per region pair). Both sides derive `seq` from the shared plan
+/// order, so matching is unambiguous.
+pub const STEP_TAG_STRIDE: u64 = 4096;
+
+/// Step identifiers used in the tag layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    Local = 0,
+    S = 1,
+    G = 2,
+    R = 3,
+}
+
+/// Assign tags to a step's messages in shared plan order.
+pub fn msg_tags(msgs: &[PlanMsg], step: Step, tag_base: u64) -> Vec<u64> {
+    let mut pair_seq: HashMap<(usize, usize), u64> = HashMap::new();
+    msgs.iter()
+        .map(|m| {
+            let seq = pair_seq.entry((m.src, m.dst)).or_insert(0);
+            let tag = tag_base + (step as u64) * STEP_TAG_STRIDE + *seq;
+            *seq += 1;
+            tag
+        })
+        .collect()
+}
+
+/// Where one partition of a `g` send gets its values from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartSource {
+    /// This rank's own contribution: `input[p]` for each listed position.
+    Input(Vec<usize>),
+    /// The whole buffer of the `idx`-th s-step receive, in order (staging
+    /// ranks sort their s slots into the partition's slot order).
+    Staged { s_recv: usize },
+}
+
+/// One origin's contiguous run inside a `g` send buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GPartRoute {
+    pub origin: usize,
+    /// Slot range of this partition within the send buffer.
+    pub range: Range<usize>,
+    pub source: PartSource,
+}
+
+/// A send whose slots all come straight from this rank's input
+/// (`ℓ` and `s` steps).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendRoute {
+    pub dst: usize,
+    pub tag: u64,
+    /// Input position feeding each slot.
+    pub sources: Vec<usize>,
+}
+
+/// A receive delivered straight into the output vector (`ℓ`, `g`, `r`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecvRoute {
+    pub src: usize,
+    pub tag: u64,
+    pub len: usize,
+    /// `(slot position, output position)` pairs delivered here.
+    pub outputs: Vec<(usize, usize)>,
+}
+
+/// An inter-region send: origin-major buffer with partition bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GSendRoute {
+    pub dst: usize,
+    pub tag: u64,
+    pub len: usize,
+    /// Prefix offsets per partition (len = parts.len() + 1).
+    pub bounds: Vec<usize>,
+    pub parts: Vec<GPartRoute>,
+}
+
+/// An inter-region receive: origin-major buffer with partition bounds,
+/// plus delivery and forwarding maps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GRecvRoute {
+    pub src: usize,
+    pub tag: u64,
+    pub len: usize,
+    /// Prefix offsets per partition (mirrors the sender's bounds).
+    pub bounds: Vec<usize>,
+    /// Slots whose final destination is this rank.
+    pub outputs: Vec<(usize, usize)>,
+}
+
+impl From<SRecvRoute> for RecvRoute {
+    /// Drop the partition target — how a plain (non-partitioned) executor
+    /// drains a staging receive (its buffer feeds g sends; nothing goes
+    /// straight to the output vector).
+    fn from(s: SRecvRoute) -> Self {
+        Self {
+            src: s.src,
+            tag: s.tag,
+            len: s.len,
+            outputs: Vec::new(),
+        }
+    }
+}
+
+impl From<GRecvRoute> for RecvRoute {
+    /// Drop the partition bounds — how a plain (non-partitioned) executor
+    /// receives an inter-region message.
+    fn from(g: GRecvRoute) -> Self {
+        Self {
+            src: g.src,
+            tag: g.tag,
+            len: g.len,
+            outputs: g.outputs,
+        }
+    }
+}
+
+/// An s-step receive at a sending leader: it fills exactly one partition
+/// of one `g` send.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SRecvRoute {
+    pub src: usize,
+    pub tag: u64,
+    pub len: usize,
+    /// Index into [`RankRouting::g_sends`].
+    pub g_send: usize,
+    /// Partition of that send this staging message fills.
+    pub partition: usize,
+}
+
+/// An r-step send at a receiving leader: each slot forwards a received
+/// `g` value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RSendRoute {
+    pub dst: usize,
+    pub tag: u64,
+    /// `(g receive index, slot position)` feeding each slot.
+    pub sources: Vec<(usize, usize)>,
+}
+
+/// Everything one rank needs to register and drive its part of a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankRouting {
+    pub me: usize,
+    /// Global indices whose values the caller provides to `start`, sorted.
+    pub input_index: Vec<usize>,
+    /// Global indices `wait` produces, sorted.
+    pub output_index: Vec<usize>,
+    pub local_sends: Vec<SendRoute>,
+    pub local_recvs: Vec<RecvRoute>,
+    pub s_sends: Vec<SendRoute>,
+    pub s_recvs: Vec<SRecvRoute>,
+    pub g_sends: Vec<GSendRoute>,
+    pub g_recvs: Vec<GRecvRoute>,
+    pub r_sends: Vec<RSendRoute>,
+    pub r_recvs: Vec<RecvRoute>,
+}
+
+/// One g message's slots reordered origin-major, with partition bounds.
+struct GLayout {
+    /// Slots sorted by (origin, index, first final dst).
+    slots: Vec<Slot>,
+    /// Origins in ascending order, one partition each.
+    origins: Vec<usize>,
+    /// Prefix offsets per partition (len = origins.len() + 1).
+    bounds: Vec<usize>,
+}
+
+fn g_layout(m: &PlanMsg) -> GLayout {
+    let mut slots = m.slots.clone();
+    slots.sort_by_key(|s| (s.origin, s.index, s.final_dsts[0]));
+    let mut origins = Vec::new();
+    let mut bounds = vec![0usize];
+    for (i, s) in slots.iter().enumerate() {
+        if origins.last() != Some(&s.origin) {
+            if !origins.is_empty() {
+                bounds.push(i);
+            }
+            origins.push(s.origin);
+        }
+    }
+    bounds.push(slots.len());
+    GLayout {
+        slots,
+        origins,
+        bounds,
+    }
+}
+
+impl RankRouting {
+    /// Build rank `me`'s routing for `plan`. Every rank must construct the
+    /// *same* `pattern`/`plan` (deterministic planning makes this trivially
+    /// true). `tag_base` isolates concurrent collectives on the same
+    /// communicator; use a distinct base per persistent object (e.g. per
+    /// AMG level).
+    pub fn build(pattern: &CommPattern, plan: &Plan, me: usize, tag_base: u64) -> Self {
+        let input_index = pattern.src_indices(me);
+        let output_index = pattern.dst_indices(me);
+        let in_pos: HashMap<usize, usize> = input_index
+            .iter()
+            .enumerate()
+            .map(|(p, &i)| (i, p))
+            .collect();
+        let out_pos: HashMap<usize, usize> = output_index
+            .iter()
+            .enumerate()
+            .map(|(p, &i)| (i, p))
+            .collect();
+
+        // ℓ step: direct sends from input to output.
+        let mut local_sends = Vec::new();
+        let mut local_recvs = Vec::new();
+        let local_tags = msg_tags(&plan.local, Step::Local, tag_base);
+        for (m, &tag) in plan.local.iter().zip(&local_tags) {
+            if m.src == me {
+                local_sends.push(SendRoute {
+                    dst: m.dst,
+                    tag,
+                    sources: m.slots.iter().map(|sl| in_pos[&sl.index]).collect(),
+                });
+            }
+            if m.dst == me {
+                local_recvs.push(RecvRoute {
+                    src: m.src,
+                    tag,
+                    len: m.slots.len(),
+                    outputs: m
+                        .slots
+                        .iter()
+                        .enumerate()
+                        .map(|(p, sl)| (p, out_pos[&sl.index]))
+                        .collect(),
+                });
+            }
+        }
+
+        // g step: origin-major layout with partition bounds. While walking,
+        // record at the sending leader which (origin, leading slot) each
+        // staged partition corresponds to — an s message is matched to its
+        // partition by its first slot, which is unique across g messages
+        // (an index has one origin and one first destination per region).
+        let mut g_sends: Vec<GSendRoute> = Vec::new();
+        let mut g_recvs = Vec::new();
+        // (origin, index, first fd) of a partition's first slot → (g send, partition)
+        let mut part_of: HashMap<(usize, usize, usize), (usize, usize)> = HashMap::new();
+        // forwarding map for r: (index, final dst) → (g recv, slot pos)
+        let mut fwd: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
+        let g_tags = msg_tags(&plan.g_step, Step::G, tag_base);
+        for (m, &tag) in plan.g_step.iter().zip(&g_tags) {
+            if m.src != me && m.dst != me {
+                continue; // don't lay out messages this rank never touches
+            }
+            let layout = g_layout(m);
+            if m.src == me {
+                let parts = layout
+                    .origins
+                    .iter()
+                    .enumerate()
+                    .map(|(p, &origin)| {
+                        let range = layout.bounds[p]..layout.bounds[p + 1];
+                        let source = if origin == me {
+                            PartSource::Input(
+                                layout.slots[range.clone()]
+                                    .iter()
+                                    .map(|sl| in_pos[&sl.index])
+                                    .collect(),
+                            )
+                        } else {
+                            let first = &layout.slots[range.start];
+                            part_of.insert(
+                                (origin, first.index, first.final_dsts[0]),
+                                (g_sends.len(), p),
+                            );
+                            // resolved to an s receive in the s pass below
+                            PartSource::Staged { s_recv: usize::MAX }
+                        };
+                        GPartRoute {
+                            origin,
+                            range,
+                            source,
+                        }
+                    })
+                    .collect();
+                g_sends.push(GSendRoute {
+                    dst: m.dst,
+                    tag,
+                    len: layout.slots.len(),
+                    bounds: layout.bounds.clone(),
+                    parts,
+                });
+            }
+            if m.dst == me {
+                let mut outputs = Vec::new();
+                for (pos, sl) in layout.slots.iter().enumerate() {
+                    for &fd in &sl.final_dsts {
+                        if fd == me {
+                            outputs.push((pos, out_pos[&sl.index]));
+                        } else {
+                            fwd.insert((sl.index, fd), (g_recvs.len(), pos));
+                        }
+                    }
+                }
+                g_recvs.push(GRecvRoute {
+                    src: m.src,
+                    tag,
+                    len: layout.slots.len(),
+                    bounds: layout.bounds,
+                    outputs,
+                });
+            }
+        }
+
+        // s step: staging ranks ship their contribution to the sending
+        // leader in the partition's slot order; the leader resolves which
+        // partition each staging message fills.
+        let mut s_sends = Vec::new();
+        let mut s_recvs = Vec::new();
+        let s_tags = msg_tags(&plan.s_step, Step::S, tag_base);
+        for (m, &tag) in plan.s_step.iter().zip(&s_tags) {
+            if m.src != me && m.dst != me {
+                continue;
+            }
+            // sort to the per-origin order of the g partition
+            let mut slots = m.slots.clone();
+            slots.sort_by_key(|s| (s.index, s.final_dsts[0]));
+            if m.src == me {
+                s_sends.push(SendRoute {
+                    dst: m.dst,
+                    tag,
+                    sources: slots.iter().map(|sl| in_pos[&sl.index]).collect(),
+                });
+            }
+            if m.dst == me {
+                let first = &slots[0];
+                let (g_send, partition) = part_of[&(m.src, first.index, first.final_dsts[0])];
+                let part = &mut g_sends[g_send].parts[partition];
+                assert_eq!(
+                    part.range.len(),
+                    slots.len(),
+                    "staging/partition length mismatch"
+                );
+                part.source = PartSource::Staged {
+                    s_recv: s_recvs.len(),
+                };
+                s_recvs.push(SRecvRoute {
+                    src: m.src,
+                    tag,
+                    len: slots.len(),
+                    g_send,
+                    partition,
+                });
+            }
+        }
+        for g in &g_sends {
+            for part in &g.parts {
+                assert_ne!(
+                    part.source,
+                    PartSource::Staged { s_recv: usize::MAX },
+                    "rank {me}: partition from origin {} never staged",
+                    part.origin
+                );
+            }
+        }
+
+        // r step: receiving leaders forward delivered g values.
+        let mut r_sends = Vec::new();
+        let mut r_recvs = Vec::new();
+        let r_tags = msg_tags(&plan.r_step, Step::R, tag_base);
+        for (m, &tag) in plan.r_step.iter().zip(&r_tags) {
+            if m.src == me {
+                r_sends.push(RSendRoute {
+                    dst: m.dst,
+                    tag,
+                    sources: m.slots.iter().map(|sl| fwd[&(sl.index, m.dst)]).collect(),
+                });
+            }
+            if m.dst == me {
+                r_recvs.push(RecvRoute {
+                    src: m.src,
+                    tag,
+                    len: m.slots.len(),
+                    outputs: m
+                        .slots
+                        .iter()
+                        .enumerate()
+                        .map(|(p, sl)| (p, out_pos[&sl.index]))
+                        .collect(),
+                });
+            }
+        }
+
+        Self {
+            me,
+            input_index,
+            output_index,
+            local_sends,
+            local_recvs,
+            s_sends,
+            s_recvs,
+            g_sends,
+            g_recvs,
+            r_sends,
+            r_recvs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AssignStrategy;
+    use locality::Topology;
+
+    fn example() -> (CommPattern, Topology) {
+        (CommPattern::example_2_1(), Topology::block_nodes(8, 4))
+    }
+
+    #[test]
+    fn g_layout_origin_major() {
+        let m = PlanMsg {
+            src: 0,
+            dst: 4,
+            slots: vec![
+                Slot {
+                    index: 9,
+                    origin: 2,
+                    final_dsts: vec![4],
+                },
+                Slot {
+                    index: 1,
+                    origin: 0,
+                    final_dsts: vec![5],
+                },
+                Slot {
+                    index: 5,
+                    origin: 2,
+                    final_dsts: vec![6],
+                },
+                Slot {
+                    index: 3,
+                    origin: 1,
+                    final_dsts: vec![4],
+                },
+            ],
+        };
+        let l = g_layout(&m);
+        assert_eq!(l.origins, vec![0, 1, 2]);
+        assert_eq!(l.bounds, vec![0, 1, 2, 4]);
+        assert_eq!(l.slots[2].index, 5); // origin 2 sorted by index
+        assert_eq!(l.slots[3].index, 9);
+    }
+
+    #[test]
+    fn tags_disambiguate_same_pair_messages() {
+        let msg = |src, dst| PlanMsg {
+            src,
+            dst,
+            slots: vec![Slot {
+                index: 0,
+                origin: src,
+                final_dsts: vec![dst],
+            }],
+        };
+        let msgs = vec![msg(0, 1), msg(0, 1), msg(2, 1)];
+        let tags = msg_tags(&msgs, Step::S, 100);
+        assert_eq!(tags[0], 100 + STEP_TAG_STRIDE);
+        assert_eq!(tags[1], 100 + STEP_TAG_STRIDE + 1);
+        assert_eq!(tags[2], 100 + STEP_TAG_STRIDE);
+    }
+
+    #[test]
+    fn standard_plan_routes_have_no_staging() {
+        let (pattern, topo) = example();
+        let plan = Plan::standard(&pattern, &topo);
+        for me in 0..8 {
+            let r = RankRouting::build(&pattern, &plan, me, 0);
+            assert!(r.s_sends.is_empty() && r.s_recvs.is_empty());
+            assert!(r.r_sends.is_empty() && r.r_recvs.is_empty());
+            for g in &r.g_sends {
+                assert_eq!(g.parts.len(), 1, "standard g messages have one origin");
+                assert_eq!(g.parts[0].origin, me);
+            }
+        }
+    }
+
+    #[test]
+    fn aggregated_routing_is_consistent_across_ranks() {
+        let (pattern, topo) = example();
+        let plan = Plan::aggregated(&pattern, &topo, true, AssignStrategy::LoadBalanced);
+        let routings: Vec<RankRouting> = (0..8)
+            .map(|me| RankRouting::build(&pattern, &plan, me, 0))
+            .collect();
+        // every send matches a receive with the same tag and length
+        for r in &routings {
+            for s in &r.s_sends {
+                let peer = &routings[s.dst];
+                let m = peer
+                    .s_recvs
+                    .iter()
+                    .find(|x| x.src == r.me && x.tag == s.tag)
+                    .expect("matching s recv");
+                assert_eq!(m.len, s.sources.len());
+            }
+            for g in &r.g_sends {
+                let peer = &routings[g.dst];
+                let m = peer
+                    .g_recvs
+                    .iter()
+                    .find(|x| x.src == r.me && x.tag == g.tag)
+                    .expect("matching g recv");
+                assert_eq!(m.len, g.len);
+                assert_eq!(m.bounds, g.bounds);
+            }
+            for s in &r.r_sends {
+                let dst = s.sources.len();
+                assert!(dst > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn staged_partitions_resolve_to_s_recvs() {
+        let (pattern, topo) = example();
+        let plan = Plan::aggregated(&pattern, &topo, false, AssignStrategy::RoundRobin);
+        let leader = plan.g_step[0].src;
+        let r = RankRouting::build(&pattern, &plan, leader, 7);
+        assert_eq!(r.g_sends.len(), 1);
+        let staged: Vec<usize> = r.g_sends[0]
+            .parts
+            .iter()
+            .filter_map(|p| match p.source {
+                PartSource::Staged { s_recv } => Some(s_recv),
+                PartSource::Input(_) => None,
+            })
+            .collect();
+        // every s receive fills exactly one distinct partition
+        let mut sorted = staged.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), staged.len());
+        assert_eq!(staged.len(), r.s_recvs.len());
+    }
+}

@@ -78,10 +78,18 @@ mod tests {
     fn figure_10_dedup_shrinks_bytes() {
         let pattern = CommPattern::example_2_1();
         let topo = Topology::block_nodes(8, 4);
-        let partial =
-            PlanStats::of(&Plan::aggregated(&pattern, &topo, false, AssignStrategy::RoundRobin));
-        let full =
-            PlanStats::of(&Plan::aggregated(&pattern, &topo, true, AssignStrategy::RoundRobin));
+        let partial = PlanStats::of(&Plan::aggregated(
+            &pattern,
+            &topo,
+            false,
+            AssignStrategy::RoundRobin,
+        ));
+        let full = PlanStats::of(&Plan::aggregated(
+            &pattern,
+            &topo,
+            true,
+            AssignStrategy::RoundRobin,
+        ));
         assert_eq!(partial.max_global_bytes, 17 * VALUE_BYTES);
         assert_eq!(full.max_global_bytes, 8 * VALUE_BYTES);
         // ≈ the paper's "up to 35%" reduction scale — here 53%

@@ -31,7 +31,11 @@ impl MachineSpec {
         assert!(nodes > 0, "machine must have at least one node");
         assert!(sockets_per_node > 0, "node must have at least one socket");
         assert!(cores_per_socket > 0, "socket must have at least one core");
-        Self { nodes, sockets_per_node, cores_per_socket }
+        Self {
+            nodes,
+            sockets_per_node,
+            cores_per_socket,
+        }
     }
 
     /// Lassen-like node: 2 sockets × 22 cores (Power9). The paper's
@@ -91,7 +95,10 @@ impl MachineSpec {
     /// with `ppn` ranks per node.
     pub fn sized_for(ranks: usize, ppn: usize, sockets_per_node: usize) -> Self {
         assert!(ppn > 0 && ranks > 0);
-        assert!(ppn.is_multiple_of(sockets_per_node), "ppn must divide evenly across sockets");
+        assert!(
+            ppn.is_multiple_of(sockets_per_node),
+            "ppn must divide evenly across sockets"
+        );
         let nodes = ranks.div_ceil(ppn);
         Self::new(nodes, sockets_per_node, ppn / sockets_per_node)
     }
@@ -115,7 +122,14 @@ mod tests {
         let m = MachineSpec::figure1_smp(1);
         assert_eq!(m.cores_per_node(), 32);
         let loc = m.location_of(17);
-        assert_eq!(loc, CoreLocation { node: 0, socket: 1, core: 1 });
+        assert_eq!(
+            loc,
+            CoreLocation {
+                node: 0,
+                socket: 1,
+                core: 1
+            }
+        );
     }
 
     #[test]

@@ -50,7 +50,12 @@ impl RankMap {
                     .collect()
             }
         };
-        Self { machine, n_ranks, kind, cores }
+        Self {
+            machine,
+            n_ranks,
+            kind,
+            cores,
+        }
     }
 
     /// Block placement (the paper's configuration).
@@ -68,7 +73,12 @@ impl RankMap {
             assert!(!seen[c], "core {c} assigned twice");
             seen[c] = true;
         }
-        Self { machine, n_ranks: cores.len(), kind: RankMapKind::Block, cores }
+        Self {
+            machine,
+            n_ranks: cores.len(),
+            kind: RankMapKind::Block,
+            cores,
+        }
     }
 
     pub fn machine(&self) -> MachineSpec {
@@ -85,7 +95,11 @@ impl RankMap {
 
     /// Physical location of `rank`.
     pub fn location(&self, rank: usize) -> CoreLocation {
-        assert!(rank < self.n_ranks, "rank {rank} out of range ({} ranks)", self.n_ranks);
+        assert!(
+            rank < self.n_ranks,
+            "rank {rank} out of range ({} ranks)",
+            self.n_ranks
+        );
         self.machine.location_of(self.cores[rank])
     }
 

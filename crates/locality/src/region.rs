@@ -54,7 +54,12 @@ impl Topology {
         for (rank, &reg) in region_of.iter().enumerate() {
             members[reg].push(rank);
         }
-        Self { map, scheme, region_of, members }
+        Self {
+            map,
+            scheme,
+            region_of,
+            members,
+        }
     }
 
     /// Convenience: block placement over a machine sized for `n_ranks` with
@@ -164,7 +169,10 @@ mod tests {
     fn compacts_region_ids_for_round_robin() {
         let m = MachineSpec::lassen_16ppn(8);
         // 4 ranks round-robin over 8 nodes: only 4 occupied regions.
-        let t = Topology::new(RankMap::new(m, 4, RankMapKind::RoundRobin), RegionScheme::Node);
+        let t = Topology::new(
+            RankMap::new(m, 4, RankMapKind::RoundRobin),
+            RegionScheme::Node,
+        );
         assert_eq!(t.n_regions(), 4);
         for r in 0..4 {
             assert_eq!(t.region_of(r), r);

@@ -71,7 +71,11 @@ impl RankCtx {
             *buf = self.recv_internal(comm, parent, tag);
         }
         // Forward to children: set bits above the highest set bit of vrank.
-        let lowest = if vrank == 0 { n.next_power_of_two() } else { vrank & vrank.wrapping_neg() };
+        let lowest = if vrank == 0 {
+            n.next_power_of_two()
+        } else {
+            vrank & vrank.wrapping_neg()
+        };
         let mut bit = 1;
         while bit < lowest && vrank + bit < n {
             let child = (vrank + bit + root) % n;
@@ -186,7 +190,9 @@ impl RankCtx {
         for (dst, data) in send.iter().enumerate() {
             self.send_internal(comm, dst, tag, data);
         }
-        (0..n).map(|src| self.recv_internal(comm, src, tag)).collect()
+        (0..n)
+            .map(|src| self.recv_internal(comm, src, tag))
+            .collect()
     }
 
     /// `MPI_Scan` (inclusive prefix reduction in rank order).
@@ -277,7 +283,11 @@ impl RankCtx {
         chunk: usize,
         op: ReduceOp<T>,
     ) -> Vec<T> {
-        assert_eq!(data.len(), comm.size() * chunk, "reduce_scatter data size mismatch");
+        assert_eq!(
+            data.len(),
+            comm.size() * chunk,
+            "reduce_scatter data size mismatch"
+        );
         let reduced = self.reduce(comm, 0, data, op);
         self.scatter(comm, 0, reduced.as_deref(), chunk)
     }
@@ -383,8 +393,9 @@ mod tests {
         let out = World::run(3, |ctx| {
             let comm = ctx.comm_world();
             // rank r sends [r*10 + d] to rank d
-            let send: Vec<Vec<u32>> =
-                (0..3).map(|d| vec![ctx.rank() as u32 * 10 + d as u32]).collect();
+            let send: Vec<Vec<u32>> = (0..3)
+                .map(|d| vec![ctx.rank() as u32 * 10 + d as u32])
+                .collect();
             ctx.alltoallv(&comm, &send)
         });
         for (d, recvd) in out.iter().enumerate() {
@@ -437,8 +448,8 @@ mod tests {
     fn scatterv_distributes_parts() {
         let out = World::run(4, |ctx| {
             let comm = ctx.comm_world();
-            let parts: Option<Vec<Vec<u32>>> = (ctx.rank() == 1)
-                .then(|| (0..4).map(|r| vec![r as u32; r + 1]).collect());
+            let parts: Option<Vec<Vec<u32>>> =
+                (ctx.rank() == 1).then(|| (0..4).map(|r| vec![r as u32; r + 1]).collect());
             ctx.scatterv(&comm, 1, parts.as_deref())
         });
         for (r, got) in out.iter().enumerate() {
@@ -451,8 +462,7 @@ mod tests {
         for root in 0..3 {
             let out = World::run(3, move |ctx| {
                 let comm = ctx.comm_world();
-                let data: Option<Vec<u64>> =
-                    (ctx.rank() == root).then(|| (0..6).collect());
+                let data: Option<Vec<u64>> = (ctx.rank() == root).then(|| (0..6).collect());
                 ctx.scatter(&comm, root, data.as_deref(), 2)
             });
             for (r, got) in out.iter().enumerate() {
@@ -484,7 +494,10 @@ mod tests {
             let left = (ctx.rank() + n - 1) % n;
             ctx.sendrecv(&comm, right, &[ctx.rank() as u64], left, 4)
         });
-        assert_eq!(out.iter().map(|v| v[0]).collect::<Vec<_>>(), vec![4, 0, 1, 2, 3]);
+        assert_eq!(
+            out.iter().map(|v| v[0]).collect::<Vec<_>>(),
+            vec![4, 0, 1, 2, 3]
+        );
     }
 
     #[test]

@@ -16,7 +16,11 @@ pub struct RankCtx {
 
 impl RankCtx {
     pub(crate) fn new(world: Arc<WorldState>, rank: usize) -> Self {
-        Self { world, rank, clock: 0.0 }
+        Self {
+            world,
+            rank,
+            clock: 0.0,
+        }
     }
 
     /// World rank of this process.
@@ -55,7 +59,9 @@ impl RankCtx {
     /// Modeled transfer time of a message to world rank `dst`, or 0.
     pub(crate) fn model_msg_time(&self, dst_world: usize, bytes: usize) -> f64 {
         match &self.world.model {
-            Some(m) => m.model.msg_time(m.topo.classify(self.rank, dst_world), bytes),
+            Some(m) => m
+                .model
+                .msg_time(m.topo.classify(self.rank, dst_world), bytes),
             None => 0.0,
         }
     }
@@ -70,7 +76,10 @@ impl RankCtx {
     /// Send `data` to communicator rank `dst` (buffered semantics: completes
     /// locally). `tag` must be below the user tag limit.
     pub fn send<T: Elem>(&mut self, comm: &Comm, dst: usize, tag: u64, data: &[T]) {
-        assert!(tag < USER_TAG_LIMIT, "tag {tag} in reserved collective space");
+        assert!(
+            tag < USER_TAG_LIMIT,
+            "tag {tag} in reserved collective space"
+        );
         self.send_internal(comm, dst, tag, data);
     }
 
@@ -99,7 +108,10 @@ impl RankCtx {
 
     /// Blocking matched receive from communicator rank `src` with `tag`.
     pub fn recv<T: Elem>(&mut self, comm: &Comm, src: usize, tag: u64) -> Vec<T> {
-        assert!(tag < USER_TAG_LIMIT, "tag {tag} in reserved collective space");
+        assert!(
+            tag < USER_TAG_LIMIT,
+            "tag {tag} in reserved collective space"
+        );
         self.recv_internal(comm, src, tag)
     }
 

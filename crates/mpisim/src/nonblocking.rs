@@ -34,16 +34,27 @@ impl RankCtx {
     /// request object is needed (the analogue of an immediately-ready
     /// `MPI_Request`).
     pub fn isend<T: Elem>(&mut self, comm: &Comm, dst: usize, tag: u64, data: &[T]) {
-        assert!(tag < USER_TAG_LIMIT, "tag {tag} in reserved collective space");
+        assert!(
+            tag < USER_TAG_LIMIT,
+            "tag {tag} in reserved collective space"
+        );
         self.send_internal(comm, dst, tag, data);
     }
 
     /// `MPI_Irecv`: post a nonblocking receive; complete it with
     /// [`IrecvReq::wait`].
     pub fn irecv<T: Elem>(&self, comm: &Comm, src: usize, tag: u64) -> IrecvReq<T> {
-        assert!(tag < USER_TAG_LIMIT, "tag {tag} in reserved collective space");
+        assert!(
+            tag < USER_TAG_LIMIT,
+            "tag {tag} in reserved collective space"
+        );
         assert!(src < comm.size(), "src {src} out of range");
-        IrecvReq { comm: comm.clone(), src, tag, _marker: std::marker::PhantomData }
+        IrecvReq {
+            comm: comm.clone(),
+            src,
+            tag,
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// `MPI_Waitall` over receive handles, returning payloads in order.
@@ -75,7 +86,10 @@ mod tests {
             let comm = ctx.comm_world();
             let me = ctx.rank();
             let peers: Vec<usize> = (0..4).filter(|&p| p != me).collect();
-            let reqs: Vec<_> = peers.iter().map(|&p| ctx.irecv::<u64>(&comm, p, 1)).collect();
+            let reqs: Vec<_> = peers
+                .iter()
+                .map(|&p| ctx.irecv::<u64>(&comm, p, 1))
+                .collect();
             for &p in &peers {
                 ctx.isend(&comm, p, 1, &[(me * 10 + p) as u64]);
             }

@@ -43,7 +43,10 @@ pub struct PsendReq<T: Elem> {
 impl<T: Elem> PsendReq<T> {
     /// Range of `partition` within the buffer.
     pub fn partition_range(&self, partition: usize) -> std::ops::Range<usize> {
-        assert!(partition + 1 < self.bounds.len(), "partition {partition} out of range");
+        assert!(
+            partition + 1 < self.bounds.len(),
+            "partition {partition} out of range"
+        );
         self.bounds[partition]..self.bounds[partition + 1]
     }
 
@@ -59,7 +62,10 @@ impl<T: Elem> PsendReq<T> {
     /// `MPI_Pready`: partition `partition` of the buffer is final; ship it.
     pub fn pready(&mut self, ctx: &mut RankCtx, partition: usize) {
         let range = self.partition_range(partition);
-        assert!(!self.ready[partition], "partition {partition} marked ready twice");
+        assert!(
+            !self.ready[partition],
+            "partition {partition} marked ready twice"
+        );
         self.ready[partition] = true;
         let data = {
             let guard = self.buf.read();
@@ -73,7 +79,12 @@ impl<T: Elem> PsendReq<T> {
         assert!(
             self.ready.iter().all(|&r| r),
             "wait with partitions never marked ready: {:?}",
-            self.ready.iter().enumerate().filter(|(_, &r)| !r).map(|(i, _)| i).collect::<Vec<_>>()
+            self.ready
+                .iter()
+                .enumerate()
+                .filter(|(_, &r)| !r)
+                .map(|(i, _)| i)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -119,9 +130,12 @@ impl<T: Elem> PrecvReq<T> {
 
     fn drain(&mut self, ctx: &mut RankCtx, partition: usize) {
         let range = self.partition_range(partition);
-        let data: Vec<T> =
-            ctx.recv_internal(&self.comm, self.src, part_tag(self.tag, partition));
-        assert_eq!(data.len(), range.len(), "partition {partition} length mismatch");
+        let data: Vec<T> = ctx.recv_internal(&self.comm, self.src, part_tag(self.tag, partition));
+        assert_eq!(
+            data.len(),
+            range.len(),
+            "partition {partition} length mismatch"
+        );
         self.buf.write()[range].clone_from_slice(&data);
         self.arrived[partition] = true;
     }
@@ -153,7 +167,11 @@ fn equal_bounds(total_len: usize, n_parts: usize) -> Vec<usize> {
 fn validate_bounds(bounds: &[usize], total_len: usize) {
     assert!(bounds.len() >= 2, "bounds need at least one partition");
     assert_eq!(bounds[0], 0, "bounds must start at 0");
-    assert_eq!(*bounds.last().unwrap(), total_len, "bounds must cover the buffer");
+    assert_eq!(
+        *bounds.last().unwrap(),
+        total_len,
+        "bounds must cover the buffer"
+    );
     for w in bounds.windows(2) {
         assert!(w[0] <= w[1], "bounds must be non-decreasing");
     }
@@ -186,7 +204,10 @@ impl RankCtx {
         buf: SharedBuf<T>,
         bounds: Vec<usize>,
     ) -> PsendReq<T> {
-        assert!(tag < USER_TAG_LIMIT / 2, "tag {tag} too large for partitioned sub-tags");
+        assert!(
+            tag < USER_TAG_LIMIT / 2,
+            "tag {tag} too large for partitioned sub-tags"
+        );
         validate_bounds(&bounds, buf.read().len());
         let n_parts = bounds.len() - 1;
         PsendReq {
@@ -222,10 +243,20 @@ impl RankCtx {
         buf: SharedBuf<T>,
         bounds: Vec<usize>,
     ) -> PrecvReq<T> {
-        assert!(tag < USER_TAG_LIMIT / 2, "tag {tag} too large for partitioned sub-tags");
+        assert!(
+            tag < USER_TAG_LIMIT / 2,
+            "tag {tag} too large for partitioned sub-tags"
+        );
         validate_bounds(&bounds, buf.read().len());
         let n_parts = bounds.len() - 1;
-        PrecvReq { comm: comm.clone(), src, tag, buf, bounds, arrived: vec![false; n_parts] }
+        PrecvReq {
+            comm: comm.clone(),
+            src,
+            tag,
+            buf,
+            bounds,
+            arrived: vec![false; n_parts],
+        }
     }
 }
 
@@ -294,7 +325,7 @@ mod tests {
                 let mut req = ctx.psend_init(&comm, 1, 0, buf, 2);
                 req.start();
                 req.pready(ctx, 1); // only the second partition so far
-                // signal "partition 1 sent" out of band
+                                    // signal "partition 1 sent" out of band
                 ctx.send(&comm, 1, 9, &[1u8]);
                 let _: Vec<u8> = ctx.recv(&comm, 1, 10); // wait for probe check
                 req.pready(ctx, 0);

@@ -168,9 +168,19 @@ impl RankCtx {
         offset: usize,
         len: usize,
     ) -> SendReq<T> {
-        assert!(tag < USER_TAG_LIMIT, "tag {tag} in reserved collective space");
+        assert!(
+            tag < USER_TAG_LIMIT,
+            "tag {tag} in reserved collective space"
+        );
         assert!(dst < comm.size(), "dst {dst} out of range");
-        SendReq { comm: comm.clone(), dst, tag, buf, offset, len }
+        SendReq {
+            comm: comm.clone(),
+            dst,
+            tag,
+            buf,
+            offset,
+            len,
+        }
     }
 
     /// `MPI_Recv_init`: register a persistent receive into
@@ -184,7 +194,10 @@ impl RankCtx {
         offset: usize,
         len: usize,
     ) -> RecvReq<T> {
-        assert!(tag < USER_TAG_LIMIT, "tag {tag} in reserved collective space");
+        assert!(
+            tag < USER_TAG_LIMIT,
+            "tag {tag} in reserved collective space"
+        );
         assert!(src < comm.size(), "src {src} out of range");
         {
             let guard = buf.read();
@@ -196,7 +209,15 @@ impl RankCtx {
                 guard.len()
             );
         }
-        RecvReq { comm: comm.clone(), src, tag, buf, offset, len, started: false }
+        RecvReq {
+            comm: comm.clone(),
+            src,
+            tag,
+            buf,
+            offset,
+            len,
+            started: false,
+        }
     }
 }
 

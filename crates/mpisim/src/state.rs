@@ -53,7 +53,11 @@ impl WorldState {
             );
         }
         let mailboxes = (0..n_ranks).map(|_| Mailbox::default()).collect();
-        Arc::new(Self { n_ranks, mailboxes, model })
+        Arc::new(Self {
+            n_ranks,
+            mailboxes,
+            model,
+        })
     }
 
     /// Deposit an envelope in `global_dst`'s mailbox and wake any waiter.
@@ -92,7 +96,8 @@ impl WorldState {
     /// Non-blocking probe: would a matched receive complete immediately?
     pub fn probe(&self, global_dst: usize, ctx_id: u64, src: usize, tag: u64) -> bool {
         let q = self.mailboxes[global_dst].queue.lock();
-        q.iter().any(|e| e.ctx_id == ctx_id && e.src == src && e.tag == tag)
+        q.iter()
+            .any(|e| e.ctx_id == ctx_id && e.src == src && e.tag == tag)
     }
 }
 

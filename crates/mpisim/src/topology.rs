@@ -136,7 +136,11 @@ impl RankCtx {
         graph: &DistGraphComm,
         send: &[Vec<T>],
     ) -> Vec<Vec<T>> {
-        assert_eq!(send.len(), graph.dests.len(), "one send block per destination");
+        assert_eq!(
+            send.len(),
+            graph.dests.len(),
+            "one send block per destination"
+        );
         let tag = graph.comm.next_coll_tag();
         for (i, &d) in graph.dests.iter().enumerate() {
             self.send_internal(&graph.comm, d, tag, &send[i]);
@@ -161,12 +165,20 @@ mod tests {
 
     #[test]
     fn graph_create_both_strategies_agree() {
-        for strategy in [GraphCreateStrategy::AllGather, GraphCreateStrategy::Personalized] {
+        for strategy in [
+            GraphCreateStrategy::AllGather,
+            GraphCreateStrategy::Personalized,
+        ] {
             let out = World::run(4, move |ctx| {
                 let comm = ctx.comm_world();
                 let (src, dst) = cycle_lists(ctx.rank(), 4);
                 let g = ctx.dist_graph_create_adjacent(&comm, src, dst, strategy);
-                (g.indegree(), g.outdegree(), g.sources.clone(), g.dests.clone())
+                (
+                    g.indegree(),
+                    g.outdegree(),
+                    g.sources.clone(),
+                    g.dests.clone(),
+                )
             });
             for (r, (ind, outd, src, dst)) in out.iter().enumerate() {
                 assert_eq!(*ind, 1);
@@ -182,12 +194,8 @@ mod tests {
         let out = World::run(4, |ctx| {
             let comm = ctx.comm_world();
             let (src, dst) = cycle_lists(ctx.rank(), 4);
-            let g = ctx.dist_graph_create_adjacent(
-                &comm,
-                src,
-                dst,
-                GraphCreateStrategy::Personalized,
-            );
+            let g =
+                ctx.dist_graph_create_adjacent(&comm, src, dst, GraphCreateStrategy::Personalized);
             let send = vec![vec![ctx.rank() as u64 * 100]];
             let recvd = ctx.neighbor_alltoallv(&g, &send);
             recvd[0][0]
@@ -205,12 +213,7 @@ mod tests {
             } else {
                 (vec![0], vec![0])
             };
-            let g = ctx.dist_graph_create_adjacent(
-                &comm,
-                src,
-                dst,
-                GraphCreateStrategy::AllGather,
-            );
+            let g = ctx.dist_graph_create_adjacent(&comm, src, dst, GraphCreateStrategy::AllGather);
             if ctx.rank() == 0 {
                 let send: Vec<Vec<u32>> = vec![vec![10], vec![20], vec![30]];
                 let r = ctx.neighbor_alltoallv(&g, &send);

@@ -39,7 +39,9 @@ pub struct PostalModel {
 
 impl PostalModel {
     pub fn new(alpha: f64, beta: f64) -> Self {
-        Self { params: ClassParams::new(alpha, beta) }
+        Self {
+            params: ClassParams::new(alpha, beta),
+        }
     }
 }
 
@@ -62,7 +64,11 @@ pub struct MaxRateModel {
 impl MaxRateModel {
     pub fn new(intra: ClassParams, inter: ClassParams, injection: f64) -> Self {
         assert!(injection > 0.0);
-        Self { intra, inter, injection }
+        Self {
+            intra,
+            inter,
+            injection,
+        }
     }
 }
 
@@ -93,7 +99,11 @@ pub struct LocalityModel {
 
 impl LocalityModel {
     pub fn new(classes: [ClassParams; 4]) -> Self {
-        Self { classes, injection: None, queue_coeff: 0.0 }
+        Self {
+            classes,
+            injection: None,
+            queue_coeff: 0.0,
+        }
     }
 
     /// Lassen-like preset matching the paper's experimental platform.

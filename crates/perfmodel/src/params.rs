@@ -17,16 +17,28 @@ pub struct ClassParams {
 
 impl ClassParams {
     pub const fn new(alpha: f64, beta: f64) -> Self {
-        Self { alpha, beta, rend_cutoff: usize::MAX }
+        Self {
+            alpha,
+            beta,
+            rend_cutoff: usize::MAX,
+        }
     }
 
     pub const fn with_rendezvous(alpha: f64, beta: f64, cutoff: usize) -> Self {
-        Self { alpha, beta, rend_cutoff: cutoff }
+        Self {
+            alpha,
+            beta,
+            rend_cutoff: cutoff,
+        }
     }
 
     /// Time for one message of `bytes` under these parameters.
     pub fn time(&self, bytes: usize) -> f64 {
-        let handshake = if bytes > self.rend_cutoff { self.alpha } else { 0.0 };
+        let handshake = if bytes > self.rend_cutoff {
+            self.alpha
+        } else {
+            0.0
+        };
         self.alpha + handshake + self.beta * bytes as f64
     }
 }

@@ -34,7 +34,10 @@ pub struct PhaseEval {
 
 impl PhaseEval {
     pub fn new(n_ranks: usize) -> Self {
-        Self { sends: vec![Vec::new(); n_ranks], recvs: vec![Vec::new(); n_ranks] }
+        Self {
+            sends: vec![Vec::new(); n_ranks],
+            recvs: vec![Vec::new(); n_ranks],
+        }
     }
 
     /// Record a message from `src` to `dst` of `bytes` bytes; the class is
@@ -88,9 +91,10 @@ impl PhaseEval {
         }
 
         let injection_time = match model.injection_rate() {
-            Some(rate) => {
-                node_bytes.iter().map(|&b| b as f64 / rate).fold(0.0f64, f64::max)
-            }
+            Some(rate) => node_bytes
+                .iter()
+                .map(|&b| b as f64 / rate)
+                .fold(0.0f64, f64::max),
             None => 0.0,
         };
 

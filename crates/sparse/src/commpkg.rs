@@ -64,7 +64,12 @@ pub fn build_comm_pkgs(a: &Csr, part: &Partition) -> Vec<CommPkg> {
 
 /// Build communication packages from per-rank `ParCsr` views.
 pub fn build_comm_pkgs_from_parts(pars: &[ParCsr], p: usize) -> Vec<CommPkg> {
-    let mut pkgs: Vec<CommPkg> = (0..p).map(|rank| CommPkg { rank, ..Default::default() }).collect();
+    let mut pkgs: Vec<CommPkg> = (0..p)
+        .map(|rank| CommPkg {
+            rank,
+            ..Default::default()
+        })
+        .collect();
 
     // sends[dst][src] accumulated while walking receives
     let mut send_accum: Vec<Vec<(usize, Vec<usize>)>> = vec![Vec::new(); p];
@@ -72,8 +77,10 @@ pub fn build_comm_pkgs_from_parts(pars: &[ParCsr], p: usize) -> Vec<CommPkg> {
     for (rank, par) in pars.iter().enumerate() {
         let mut cur_owner = usize::MAX;
         let mut cur_list: Vec<usize> = Vec::new();
-        let flush = |owner: usize, list: &mut Vec<usize>, pkgs: &mut Vec<CommPkg>,
-                         send_accum: &mut Vec<Vec<(usize, Vec<usize>)>>| {
+        let flush = |owner: usize,
+                     list: &mut Vec<usize>,
+                     pkgs: &mut Vec<CommPkg>,
+                     send_accum: &mut Vec<Vec<(usize, Vec<usize>)>>| {
             if !list.is_empty() {
                 pkgs[rank].recvs.push((owner, list.clone()));
                 send_accum[owner].push((rank, std::mem::take(list)));
@@ -110,8 +117,14 @@ pub fn validate_comm_pkgs(pkgs: &[CommPkg]) {
                 .recvs
                 .iter()
                 .find(|(src, _)| *src == pkg.rank)
-                .unwrap_or_else(|| panic!("rank {} sends to {dst} but {dst} has no recv", pkg.rank));
-            assert_eq!(idx, recv_idx, "send/recv index mismatch {} -> {dst}", pkg.rank);
+                .unwrap_or_else(|| {
+                    panic!("rank {} sends to {dst} but {dst} has no recv", pkg.rank)
+                });
+            assert_eq!(
+                idx, recv_idx,
+                "send/recv index mismatch {} -> {dst}",
+                pkg.rank
+            );
         }
         for (src, _) in &pkg.recvs {
             assert!(

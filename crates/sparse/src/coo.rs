@@ -11,7 +11,11 @@ pub struct Coo {
 
 impl Coo {
     pub fn new(n_rows: usize, n_cols: usize) -> Self {
-        Self { n_rows, n_cols, entries: Vec::new() }
+        Self {
+            n_rows,
+            n_cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Add `value` at `(row, col)` (accumulates with other pushes to the

@@ -22,9 +22,17 @@ impl Csr {
         colind: Vec<usize>,
         vals: Vec<f64>,
     ) -> Self {
-        assert_eq!(rowptr.len(), n_rows + 1, "rowptr must have n_rows+1 entries");
+        assert_eq!(
+            rowptr.len(),
+            n_rows + 1,
+            "rowptr must have n_rows+1 entries"
+        );
         assert_eq!(rowptr[0], 0, "rowptr must start at 0");
-        assert_eq!(*rowptr.last().unwrap(), colind.len(), "rowptr end must equal nnz");
+        assert_eq!(
+            *rowptr.last().unwrap(),
+            colind.len(),
+            "rowptr end must equal nnz"
+        );
         assert_eq!(colind.len(), vals.len(), "colind/vals length mismatch");
         for r in 0..n_rows {
             assert!(rowptr[r] <= rowptr[r + 1], "rowptr must be non-decreasing");
@@ -36,12 +44,24 @@ impl Csr {
                 assert!(last < n_cols, "row {r}: column {last} out of {n_cols}");
             }
         }
-        Self { n_rows, n_cols, rowptr, colind, vals }
+        Self {
+            n_rows,
+            n_cols,
+            rowptr,
+            colind,
+            vals,
+        }
     }
 
     /// An empty (all-zero) matrix.
     pub fn zero(n_rows: usize, n_cols: usize) -> Self {
-        Self { n_rows, n_cols, rowptr: vec![0; n_rows + 1], colind: Vec::new(), vals: Vec::new() }
+        Self {
+            n_rows,
+            n_cols,
+            rowptr: vec![0; n_rows + 1],
+            colind: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// The identity of size `n`.
@@ -104,7 +124,13 @@ impl Csr {
             }
             rowptr.push(out_cols.len());
         }
-        Self { n_rows: coo.n_rows, n_cols: coo.n_cols, rowptr, colind: out_cols, vals: out_vals }
+        Self {
+            n_rows: coo.n_rows,
+            n_cols: coo.n_cols,
+            rowptr,
+            colind: out_cols,
+            vals: out_vals,
+        }
     }
 
     pub fn n_rows(&self) -> usize {
@@ -221,7 +247,13 @@ impl Csr {
             }
         }
         // rows of the transpose come out sorted because we sweep r ascending
-        Csr { n_rows: self.n_cols, n_cols: self.n_rows, rowptr, colind, vals }
+        Csr {
+            n_rows: self.n_cols,
+            n_cols: self.n_rows,
+            rowptr,
+            colind,
+            vals,
+        }
     }
 
     /// The diagonal as a dense vector (square or rectangular; missing
@@ -235,11 +267,19 @@ impl Csr {
     pub fn row_slice(&self, rows: std::ops::Range<usize>) -> Csr {
         assert!(rows.end <= self.n_rows);
         let base = self.rowptr[rows.start];
-        let rowptr: Vec<usize> =
-            self.rowptr[rows.start..=rows.end].iter().map(|&p| p - base).collect();
+        let rowptr: Vec<usize> = self.rowptr[rows.start..=rows.end]
+            .iter()
+            .map(|&p| p - base)
+            .collect();
         let colind = self.colind[base..self.rowptr[rows.end]].to_vec();
         let vals = self.vals[base..self.rowptr[rows.end]].to_vec();
-        Csr { n_rows: rows.len(), n_cols: self.n_cols, rowptr, colind, vals }
+        Csr {
+            n_rows: rows.len(),
+            n_cols: self.n_cols,
+            rowptr,
+            colind,
+            vals,
+        }
     }
 
     /// Dense representation (test helper; avoid on large matrices).

@@ -129,7 +129,11 @@ mod tests {
     fn strong_coupling_on_ne_sw_diagonal() {
         let st = diffusion_stencil_7pt(0.001, std::f64::consts::FRAC_PI_4);
         let coef = |dx: i32, dy: i32| {
-            st.entries.iter().find(|e| e.0 == dx && e.1 == dy).map(|e| e.2).unwrap_or(0.0)
+            st.entries
+                .iter()
+                .find(|e| e.0 == dx && e.1 == dy)
+                .map(|e| e.2)
+                .unwrap_or(0.0)
         };
         // |NE| >> |E| for the rotated anisotropic problem at 45°.
         assert!(coef(1, 1).abs() > 100.0 * coef(1, 0).abs());

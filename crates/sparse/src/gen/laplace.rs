@@ -33,7 +33,11 @@ pub fn laplace_3d_27pt(nx: usize, ny: usize, nz: usize) -> Csr {
     for dz in -1..=1 {
         for dy in -1..=1 {
             for dx in -1..=1 {
-                let c = if (dx, dy, dz) == (0, 0, 0) { 26.0 } else { -1.0 };
+                let c = if (dx, dy, dz) == (0, 0, 0) {
+                    26.0
+                } else {
+                    -1.0
+                };
                 entries.push((dx, dy, dz, c));
             }
         }
@@ -70,7 +74,11 @@ mod tests {
 
     #[test]
     fn laplacians_symmetric() {
-        for a in [laplace_2d_5pt(6, 5), laplace_2d_9pt(6, 5), laplace_3d_27pt(3, 4, 2)] {
+        for a in [
+            laplace_2d_5pt(6, 5),
+            laplace_2d_9pt(6, 5),
+            laplace_3d_27pt(3, 4, 2),
+        ] {
             assert!(a.frob_distance(&a.transpose()) < 1e-13);
         }
     }

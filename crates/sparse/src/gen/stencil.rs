@@ -110,7 +110,11 @@ mod tests {
         for dz in -1..=1 {
             for dy in -1..=1 {
                 for dx in -1..=1 {
-                    let c = if (dx, dy, dz) == (0, 0, 0) { 26.0 } else { -1.0 };
+                    let c = if (dx, dy, dz) == (0, 0, 0) {
+                        26.0
+                    } else {
+                        -1.0
+                    };
                     entries.push((dx, dy, dz, c));
                 }
             }

@@ -33,7 +33,11 @@ impl ParCsr {
     /// partitioned by `part` (rows and columns partitioned identically).
     pub fn from_global(a: &Csr, part: &Partition, rank: usize) -> Self {
         assert_eq!(a.n_rows(), part.n_rows(), "partition must cover all rows");
-        assert_eq!(a.n_rows(), a.n_cols(), "ParCsr::from_global expects square matrices");
+        assert_eq!(
+            a.n_rows(),
+            a.n_cols(),
+            "ParCsr::from_global expects square matrices"
+        );
         let range = part.range(rank);
         let first = range.start;
         let local_n = range.len();
@@ -91,7 +95,9 @@ impl ParCsr {
 
     /// All ranks' portions at once.
     pub fn split_all(a: &Csr, part: &Partition) -> Vec<ParCsr> {
-        (0..part.n_parts()).map(|r| Self::from_global(a, part, r)).collect()
+        (0..part.n_parts())
+            .map(|r| Self::from_global(a, part, r))
+            .collect()
     }
 
     /// Number of locally owned rows.
@@ -160,7 +166,16 @@ mod tests {
             let x_local = &x[range.clone()];
             let x_ghost: Vec<f64> = p.col_map_offd.iter().map(|&c| x[c]).collect();
             let y = p.spmv(x_local, &x_ghost);
-            assert_eq!(y.as_slice(), &serial[range]);
+            // diag-then-offd accumulation reorders the row sum relative to
+            // the serial global-column-order sum (exactly as Hypre's split
+            // does), so boundary rows can differ by rounding — compare to
+            // a tight tolerance, not bit-for-bit.
+            for (got, want) in y.iter().zip(&serial[range]) {
+                assert!(
+                    (got - want).abs() <= 1e-14 * want.abs().max(1.0),
+                    "{got} vs {want}"
+                );
+            }
         }
     }
 

@@ -11,15 +11,13 @@ use proptest::prelude::*;
 /// Strategy: a random COO matrix with bounded shape.
 fn arb_coo(max_n: usize, max_nnz: usize) -> impl Strategy<Value = Coo> {
     (1..max_n, 1..max_n).prop_flat_map(move |(r, c)| {
-        prop::collection::vec((0..r, 0..c, -10.0f64..10.0), 0..max_nnz).prop_map(
-            move |entries| {
-                let mut coo = Coo::new(r, c);
-                for (i, j, v) in entries {
-                    coo.push(i, j, v);
-                }
-                coo
-            },
-        )
+        prop::collection::vec((0..r, 0..c, -10.0f64..10.0), 0..max_nnz).prop_map(move |entries| {
+            let mut coo = Coo::new(r, c);
+            for (i, j, v) in entries {
+                coo.push(i, j, v);
+            }
+            coo
+        })
     })
 }
 

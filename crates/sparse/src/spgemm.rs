@@ -100,11 +100,7 @@ mod tests {
     #[test]
     fn rap_galerkin_symmetry() {
         // A symmetric → PᵀAP symmetric
-        let a = from_dense(&[
-            &[2.0, -1.0, 0.0],
-            &[-1.0, 2.0, -1.0],
-            &[0.0, -1.0, 2.0],
-        ]);
+        let a = from_dense(&[&[2.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 2.0]]);
         let p = from_dense(&[&[1.0, 0.0], &[0.5, 0.5], &[0.0, 1.0]]);
         let c = rap(&a, &p);
         assert_eq!(c.n_rows(), 2);

@@ -11,7 +11,7 @@
 
 use amg::{solve, DistributedHierarchy, Hierarchy, HierarchyOptions, SolveOptions};
 use locality::Topology;
-use mpi_advance::{CommPattern, PersistentNeighbor, PlanStats, Protocol};
+use mpi_advance::{NeighborAlltoallv, PlanStats, Protocol};
 use mpisim::World;
 use sparse::gen::diffusion::paper_problem;
 use sparse::vector::random_vec;
@@ -24,7 +24,11 @@ fn main() {
     // The paper's PDE at a laptop-friendly size.
     let (nx, ny) = (128, 64);
     let a = paper_problem(nx, ny);
-    println!("rotated anisotropic diffusion: {} rows, {} nnz", a.n_rows(), a.nnz());
+    println!(
+        "rotated anisotropic diffusion: {} rows, {} nnz",
+        a.n_rows(),
+        a.nnz()
+    );
 
     // --- serial AMG solve (the solver whose SpMVs we distribute) --------
     let h = Hierarchy::setup(a.clone(), HierarchyOptions::default());
@@ -48,7 +52,7 @@ fn main() {
         "level", "rows", "std msgs", "opt global", "opt local", "dedup save"
     );
     for (lvl, dlvl) in dist.levels.iter().enumerate() {
-        let pattern = CommPattern::from_comm_pkgs(&dlvl.pkgs);
+        let pattern = dlvl.pattern();
         if pattern.total_msgs() == 0 {
             println!("{lvl:<6} {:>8} (no communication)", dlvl.n_rows);
             continue;
@@ -71,20 +75,18 @@ fn main() {
         // verify against the serial product
         let x = random_vec(dlvl.n_rows, lvl as u64);
         let serial = h.levels[lvl].a.spmv(&x);
-        let plan = Protocol::FullNeighbor.plan(&pattern, &topo);
+        let coll = NeighborAlltoallv::new(&pattern, &topo).protocol(Protocol::FullNeighbor);
         let pars: Vec<ParCsr> = ParCsr::split_all(&h.levels[lvl].a, &dlvl.part);
         let results = World::run(RANKS, |ctx| {
             let comm = ctx.comm_world();
             let me = ctx.rank();
             let par = &pars[me];
             let range = dlvl.part.range(me);
-            let mut nb = PersistentNeighbor::init(&pattern, &plan, ctx, &comm, 0);
+            let mut nb = coll.init(ctx, &comm);
             // input: my owned values the pattern exports
-            let input: Vec<f64> =
-                nb.input_index().iter().map(|&i| x[i]).collect();
+            let input: Vec<f64> = nb.input_index().iter().map(|&i| x[i]).collect();
             let mut ghost = vec![0.0; nb.output_index().len()];
-            nb.start(ctx, &input);
-            nb.wait(ctx, &mut ghost);
+            nb.start_wait(ctx, &input, &mut ghost);
             // ghosts arrive ordered by global index = col_map_offd order
             par.spmv(&x[range], &ghost)
         });

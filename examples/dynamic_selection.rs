@@ -12,8 +12,7 @@
 use amg::{DistributedHierarchy, Hierarchy, HierarchyOptions};
 use locality::Topology;
 use mpi_advance::analytic::iteration_time;
-use mpi_advance::collective::select::choose_protocol;
-use mpi_advance::{CommPattern, Protocol};
+use mpi_advance::{NeighborAlltoallv, Protocol};
 use perfmodel::LocalityModel;
 use sparse::gen::diffusion::paper_problem;
 
@@ -27,20 +26,29 @@ fn main() {
     let topo = Topology::block_nodes(RANKS, PPN);
     let model = LocalityModel::lassen();
 
-    println!("{:<6} {:>9} {:>10} {:>12}  selected protocol", "level", "rows", "msgs", "time s");
+    println!(
+        "{:<6} {:>9} {:>10} {:>12}  selected protocol",
+        "level", "rows", "msgs", "time s"
+    );
     let mut committed = [0.0f64; 4];
     let mut selected_total = 0.0;
     for dlvl in &dist.levels {
-        let pattern = CommPattern::from_comm_pkgs(&dlvl.pkgs);
+        let pattern = dlvl.pattern();
         for (i, p) in Protocol::ALL.into_iter().enumerate() {
             committed[i] +=
                 iteration_time(&p.plan(&pattern, &topo), &topo, &model, p.is_wrapped()).total;
         }
         if pattern.total_msgs() == 0 {
-            println!("{:<6} {:>9} {:>10} {:>12}  (idle)", dlvl.level, dlvl.n_rows, 0, "-");
+            println!(
+                "{:<6} {:>9} {:>10} {:>12}  (idle)",
+                dlvl.level, dlvl.n_rows, 0, "-"
+            );
             continue;
         }
-        let (winner, t) = choose_protocol(&pattern, &topo, &model);
+        // Backend::Auto resolves exactly this selection at init time.
+        let coll = NeighborAlltoallv::new(&pattern, &topo).cost_model(&model);
+        let (winner, plan) = coll.plan();
+        let t = iteration_time(&plan, &topo, &model, winner.is_wrapped()).total;
         selected_total += t;
         println!(
             "{:<6} {:>9} {:>10} {:>12.3e}  {}",

@@ -14,7 +14,7 @@
 
 use locality::Topology;
 use mpi_advance::analytic::iteration_time;
-use mpi_advance::{choose_protocol, CommPattern, PersistentNeighbor, Protocol};
+use mpi_advance::{choose_protocol, CommPattern, NeighborAlltoallv, Protocol};
 use mpisim::World;
 use perfmodel::LocalityModel;
 
@@ -25,9 +25,8 @@ fn halo_pattern(px: usize, py: usize, tile: usize) -> CommPattern {
     let n = px * py;
     let rank = |x: usize, y: usize| y * px + x;
     // global cell index of local cell (cx, cy) of rank (x, y)
-    let cell = |x: usize, y: usize, cx: usize, cy: usize| {
-        ((y * tile + cy) * (px * tile)) + x * tile + cx
-    };
+    let cell =
+        |x: usize, y: usize, cx: usize, cy: usize| ((y * tile + cy) * (px * tile)) + x * tile + cx;
     let mut sends: Vec<Vec<(usize, Vec<usize>)>> = vec![Vec::new(); n];
     for y in 0..py {
         for x in 0..px {
@@ -41,9 +40,17 @@ fn halo_pattern(px: usize, py: usize, tile: usize) -> CommPattern {
             let edge_x: Vec<usize> = (0..tile).collect();
             // four edges
             push(-1, 0, edge_x.iter().map(|&cy| cell(x, y, 0, cy)).collect());
-            push(1, 0, edge_x.iter().map(|&cy| cell(x, y, tile - 1, cy)).collect());
+            push(
+                1,
+                0,
+                edge_x.iter().map(|&cy| cell(x, y, tile - 1, cy)).collect(),
+            );
             push(0, -1, edge_x.iter().map(|&cx| cell(x, y, cx, 0)).collect());
-            push(0, 1, edge_x.iter().map(|&cx| cell(x, y, cx, tile - 1)).collect());
+            push(
+                0,
+                1,
+                edge_x.iter().map(|&cx| cell(x, y, cx, tile - 1)).collect(),
+            );
             // four corners
             push(-1, -1, vec![cell(x, y, 0, 0)]);
             push(1, -1, vec![cell(x, y, tile - 1, 0)]);
@@ -65,9 +72,7 @@ fn main() {
         let topo = Topology::block_nodes(px * py, ppn);
         let times: Vec<f64> = Protocol::ALL
             .iter()
-            .map(|&p| {
-                iteration_time(&p.plan(&pattern, &topo), &topo, &model, p.is_wrapped()).total
-            })
+            .map(|&p| iteration_time(&p.plan(&pattern, &topo), &topo, &model, p.is_wrapped()).total)
             .collect();
         let (winner, _) = choose_protocol(&pattern, &topo, &model);
         println!(
@@ -85,18 +90,17 @@ fn main() {
     let (px, py, tile) = (8, 8, 4);
     let pattern = halo_pattern(px, py, tile);
     let topo = Topology::block_nodes(px * py, 8);
-    let plan = Protocol::FullNeighbor.plan(&pattern, &topo);
+    let coll = NeighborAlltoallv::new(&pattern, &topo).protocol(Protocol::FullNeighbor);
     let ok = World::run(px * py, |ctx| {
         let comm = ctx.comm_world();
-        let mut nb = PersistentNeighbor::init(&pattern, &plan, ctx, &comm, 0);
+        let mut nb = coll.init(ctx, &comm);
         let input: Vec<f64> = nb.input_index().iter().map(|&i| i as f64 * 0.5).collect();
         let mut ghost = vec![0.0; nb.output_index().len()];
         // ten "time steps" with evolving values
         let mut ok = true;
         for step in 0..10 {
             let scaled: Vec<f64> = input.iter().map(|v| v + step as f64).collect();
-            nb.start(ctx, &scaled);
-            nb.wait(ctx, &mut ghost);
+            nb.start_wait(ctx, &scaled, &mut ghost);
             ok &= nb
                 .output_index()
                 .iter()

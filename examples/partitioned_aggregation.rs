@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release --example partitioned_aggregation`
 
 use locality::Topology;
-use mpi_advance::{CommPattern, PartitionedNeighbor, PersistentNeighbor, Protocol};
+use mpi_advance::{Backend, CommPattern, NeighborAlltoallv, Protocol};
 use mpisim::World;
 use perfmodel::LocalityModel;
 use std::sync::Arc;
@@ -32,7 +32,12 @@ fn staggered_pattern() -> CommPattern {
 }
 
 fn run(pattern: &CommPattern, topo: &Topology, partitioned: bool) -> f64 {
-    let plan = Protocol::FullNeighbor.plan(pattern, topo);
+    let backend = if partitioned {
+        Backend::Partitioned(Protocol::FullNeighbor)
+    } else {
+        Backend::Protocol(Protocol::FullNeighbor)
+    };
+    let coll = NeighborAlltoallv::new(pattern, topo).backend(backend);
     let mut m = LocalityModel::lassen();
     m.queue_coeff = 0.0;
     let model = Arc::new(m);
@@ -42,18 +47,9 @@ fn run(pattern: &CommPattern, topo: &Topology, partitioned: bool) -> f64 {
         let mut output = vec![0.0; pattern.dst_indices(ctx.rank()).len()];
         ctx.barrier(&comm);
         let t0 = ctx.clock();
-        if partitioned {
-            let mut nb = PartitionedNeighbor::init(pattern, &plan, ctx, &comm, 0);
-            for _ in 0..10 {
-                nb.start(ctx, &input);
-                nb.wait(ctx, &mut output);
-            }
-        } else {
-            let mut nb = PersistentNeighbor::init(pattern, &plan, ctx, &comm, 0);
-            for _ in 0..10 {
-                nb.start(ctx, &input);
-                nb.wait(ctx, &mut output);
-            }
+        let mut nb = coll.init(ctx, &comm);
+        for _ in 0..10 {
+            nb.start_wait(ctx, &input, &mut output);
         }
         ctx.clock() - t0
     });
@@ -116,5 +112,8 @@ fn main() {
     let (t_full, t_first) = out[1];
     println!("\n3.2 MB message, {PARTS} partitions (raw transport):");
     println!("  whole-message arrival:  {t_full:.3e} s");
-    println!("  first-partition arrival:{t_first:.3e} s ({:.0}x earlier)", t_full / t_first);
+    println!(
+        "  first-partition arrival:{t_first:.3e} s ({:.0}x earlier)",
+        t_full / t_first
+    );
 }

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use locality::Topology;
-use mpi_advance::{CommPattern, PersistentNeighbor, PlanStats, Protocol};
+use mpi_advance::{CommPattern, NeighborAlltoallv, PlanStats, Protocol};
 use mpisim::World;
 use perfmodel::LocalityModel;
 
@@ -47,18 +47,17 @@ fn main() {
     println!("Figure 4: aggregation needs only 1 inter-region message (17 values).");
     println!("Figure 5: duplicate removal shrinks it to 8 values.\n");
 
-    // Execute each protocol for real on 8 simulated ranks.
+    // Execute each protocol for real on 8 simulated ranks, through the
+    // unified NeighborAlltoallv entry point.
     for protocol in Protocol::ALL {
-        let plan = protocol.plan(&pattern, &topo);
+        let coll = NeighborAlltoallv::new(&pattern, &topo).protocol(protocol);
         let ok = World::run(8, |ctx| {
             let comm = ctx.comm_world();
-            let mut nb = PersistentNeighbor::init(&pattern, &plan, ctx, &comm, 0);
+            let mut nb = coll.init(ctx, &comm);
             // each rank contributes value 100 + index for the indices it owns
-            let input: Vec<f64> =
-                nb.input_index().iter().map(|&i| 100.0 + i as f64).collect();
+            let input: Vec<f64> = nb.input_index().iter().map(|&i| 100.0 + i as f64).collect();
             let mut output = vec![0.0; nb.output_index().len()];
-            nb.start(ctx, &input);
-            nb.wait(ctx, &mut output);
+            nb.start_wait(ctx, &input, &mut output);
             nb.output_index()
                 .iter()
                 .zip(&output)
@@ -70,4 +69,9 @@ fn main() {
             protocol.label()
         );
     }
+
+    // ... or let the model pick: Backend::Auto selects at init time (§5).
+    let auto = NeighborAlltoallv::new(&pattern, &topo).cost_model(&model);
+    let (winner, _) = auto.plan();
+    println!("\nBackend::Auto selects: {}", winner.label());
 }

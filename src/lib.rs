@@ -21,3 +21,6 @@ pub use mpi_advance;
 pub use mpisim;
 pub use perfmodel;
 pub use sparse;
+
+// The paper's single-call contract, surfaced at the crate root.
+pub use mpi_advance::{Backend, NeighborAlltoallv, NeighborRequest, Protocol};

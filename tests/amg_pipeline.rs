@@ -18,7 +18,7 @@ fn patterns(h: &Hierarchy, ranks: usize) -> Vec<CommPattern> {
     DistributedHierarchy::build(h, ranks)
         .levels
         .iter()
-        .map(|l| CommPattern::from_comm_pkgs(&l.pkgs))
+        .map(|l| l.pattern())
         .collect()
 }
 
@@ -28,7 +28,14 @@ fn solver_converges_on_paper_problem() {
     let a = &h.levels[0].a;
     let x_true = random_vec(a.n_rows(), 0);
     let b = a.spmv(&x_true);
-    let res = solve(&h, &b, &SolveOptions { max_iters: 200, ..Default::default() });
+    let res = solve(
+        &h,
+        &b,
+        &SolveOptions {
+            max_iters: 200,
+            ..Default::default()
+        },
+    );
     assert!(res.converged, "AMG failed on the paper problem");
 }
 
@@ -86,8 +93,7 @@ fn optimized_wins_where_standard_peaks() {
             )
             .total;
             let t_ful =
-                iteration_time(&Protocol::FullNeighbor.plan(p, &topo), &topo, &model, true)
-                    .total;
+                iteration_time(&Protocol::FullNeighbor.plan(p, &topo), &topo, &model, true).total;
             (t_std, t_ful)
         })
         .collect();
@@ -114,13 +120,26 @@ fn init_cost_ordering_holds_over_the_hierarchy() {
     let mut partial_total = 0.0;
     let mut full_total = 0.0;
     for pattern in patterns(&h, 32) {
-        std_total += init_time(&Protocol::StandardNeighbor.plan(&pattern, &topo), &topo, &model);
-        partial_total +=
-            init_time(&Protocol::PartialNeighbor.plan(&pattern, &topo), &topo, &model);
+        std_total += init_time(
+            &Protocol::StandardNeighbor.plan(&pattern, &topo),
+            &topo,
+            &model,
+        );
+        partial_total += init_time(
+            &Protocol::PartialNeighbor.plan(&pattern, &topo),
+            &topo,
+            &model,
+        );
         full_total += init_time(&Protocol::FullNeighbor.plan(&pattern, &topo), &topo, &model);
     }
-    assert!(std_total < full_total, "std {std_total} < full {full_total}");
-    assert!(full_total < partial_total, "full {full_total} < partial {partial_total}");
+    assert!(
+        std_total < full_total,
+        "std {std_total} < full {full_total}"
+    );
+    assert!(
+        full_total < partial_total,
+        "full {full_total} < partial {partial_total}"
+    );
 }
 
 #[test]

@@ -5,7 +5,7 @@
 //! (irregular communication inside an iterative solver, §1).
 
 use locality::Topology;
-use mpi_advance::{CommPattern, PersistentNeighbor, Protocol};
+use mpi_advance::{CommPattern, NeighborAlltoallv, Protocol};
 use mpisim::collectives::op_sum_f64;
 use mpisim::World;
 use sparse::gen::diffusion::paper_problem;
@@ -28,7 +28,7 @@ fn distributed_cg(
     let pkgs = build_comm_pkgs(a, &part);
     let pattern = CommPattern::from_comm_pkgs(&pkgs);
     let topo = Topology::block_nodes(ranks, ppn);
-    let plan = protocol.plan(&pattern, &topo);
+    let coll = NeighborAlltoallv::new(&pattern, &topo).protocol(protocol);
     let pars: Vec<ParCsr> = ParCsr::split_all(a, &part);
 
     let results = World::run(ranks, |ctx| {
@@ -39,18 +39,16 @@ fn distributed_cg(
         let local_n = range.len();
         let b_local = &b[range.clone()];
 
-        let mut nb = PersistentNeighbor::init(&pattern, &plan, ctx, &comm, 0);
+        let mut nb = coll.init(ctx, &comm);
         // positions of the exported values within the local vector
-        let export: Vec<usize> =
-            nb.input_index().iter().map(|&g| g - range.start).collect();
+        let export: Vec<usize> = nb.input_index().iter().map(|&g| g - range.start).collect();
 
         let mut ghost = vec![0.0f64; nb.output_index().len()];
         // distributed SpMV: halo exchange + local diag/offd multiply
         macro_rules! spmv {
             ($v:expr) => {{
                 let input: Vec<f64> = export.iter().map(|&pos| $v[pos]).collect();
-                nb.start(ctx, &input);
-                nb.wait(ctx, &mut ghost);
+                nb.start_wait(ctx, &input, &mut ghost);
                 par.spmv(&$v, &ghost)
             }};
         }
@@ -122,7 +120,10 @@ fn all_protocols_agree_bit_for_bit() {
         .map(|&p| distributed_cg(&a, &b, 8, 4, p, 1e-8, 2000))
         .collect();
     for other in &runs[1..] {
-        assert_eq!(runs[0].1, other.1, "iteration counts differ across protocols");
+        assert_eq!(
+            runs[0].1, other.1,
+            "iteration counts differ across protocols"
+        );
         for (a, b) in runs[0].0.iter().zip(&other.0) {
             assert_eq!(a, b, "solutions differ bit-for-bit across protocols");
         }

@@ -3,10 +3,10 @@
 //! grid and random matrices across partitionings and region sizes.
 
 use locality::Topology;
-use mpi_advance::{CommPattern, PersistentNeighbor, Protocol};
+use mpi_advance::{CommPattern, NeighborAlltoallv, Protocol};
 use mpisim::World;
-use sparse::gen::{laplace_2d_5pt, random_spd};
 use sparse::gen::diffusion::paper_problem;
+use sparse::gen::{laplace_2d_5pt, random_spd};
 use sparse::vector::random_vec;
 use sparse::{build_comm_pkgs, Csr, ParCsr, Partition};
 
@@ -17,7 +17,9 @@ fn check_spmv(a: &Csr, ranks: usize, ppn: usize, protocol: Protocol, seed: u64) 
     let pkgs = build_comm_pkgs(a, &part);
     let pattern = CommPattern::from_comm_pkgs(&pkgs);
     let topo = Topology::block_nodes(ranks, ppn);
-    let plan = protocol.plan(&pattern, &topo);
+    let coll = NeighborAlltoallv::new(&pattern, &topo)
+        .protocol(protocol)
+        .tag_base(7);
     let pars: Vec<ParCsr> = ParCsr::split_all(a, &part);
     let x = random_vec(a.n_rows(), seed);
     let serial = a.spmv(&x);
@@ -25,11 +27,10 @@ fn check_spmv(a: &Csr, ranks: usize, ppn: usize, protocol: Protocol, seed: u64) 
     let results = World::run(ranks, |ctx| {
         let comm = ctx.comm_world();
         let me = ctx.rank();
-        let mut nb = PersistentNeighbor::init(&pattern, &plan, ctx, &comm, 7);
+        let mut nb = coll.init(ctx, &comm);
         let input: Vec<f64> = nb.input_index().iter().map(|&i| x[i]).collect();
         let mut ghost = vec![0.0; nb.output_index().len()];
-        nb.start(ctx, &input);
-        nb.wait(ctx, &mut ghost);
+        nb.start_wait(ctx, &input, &mut ghost);
         // ghost values arrive sorted by global index — exactly the order of
         // col_map_offd
         assert_eq!(nb.output_index(), pars[me].col_map_offd.as_slice());
@@ -98,21 +99,20 @@ fn repeated_iterations_with_fresh_values() {
     let pkgs = build_comm_pkgs(&a, &part);
     let pattern = CommPattern::from_comm_pkgs(&pkgs);
     let topo = Topology::block_nodes(ranks, 3);
-    let plan = Protocol::PartialNeighbor.plan(&pattern, &topo);
+    let coll = NeighborAlltoallv::new(&pattern, &topo).protocol(Protocol::PartialNeighbor);
     let pars: Vec<ParCsr> = ParCsr::split_all(&a, &part);
 
     let iters = 5u64;
     let results = World::run(ranks, |ctx| {
         let comm = ctx.comm_world();
         let me = ctx.rank();
-        let mut nb = PersistentNeighbor::init(&pattern, &plan, ctx, &comm, 0);
+        let mut nb = coll.init(ctx, &comm);
         let mut outs = Vec::new();
         for it in 0..iters {
             let x = random_vec(a.n_rows(), it);
             let input: Vec<f64> = nb.input_index().iter().map(|&i| x[i]).collect();
             let mut ghost = vec![0.0; nb.output_index().len()];
-            nb.start(ctx, &input);
-            nb.wait(ctx, &mut ghost);
+            nb.start_wait(ctx, &input, &mut ghost);
             outs.push(pars[me].spmv(&x[part.range(me)], &ghost));
         }
         outs

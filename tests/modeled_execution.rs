@@ -3,7 +3,7 @@
 //! analytic evaluation.
 
 use locality::Topology;
-use mpi_advance::{CommPattern, PersistentNeighbor, Protocol};
+use mpi_advance::{Backend, CommPattern, NeighborAlltoallv, Protocol};
 use mpisim::World;
 use perfmodel::{LocalityModel, PostalModel};
 use std::sync::Arc;
@@ -12,7 +12,7 @@ use std::sync::Arc;
 /// after `iters` iterations (init excluded by subtracting the post-init
 /// clock).
 fn modeled_clock(pattern: &CommPattern, topo: &Topology, protocol: Protocol, iters: usize) -> f64 {
-    let plan = protocol.plan(pattern, topo);
+    let coll = NeighborAlltoallv::new(pattern, topo).protocol(protocol);
     // Disable the queue-search term: it charges by the actual mailbox depth
     // at match time, which depends on thread arrival order and would make
     // the clock comparison flaky. The postal arrival times themselves merge
@@ -22,7 +22,7 @@ fn modeled_clock(pattern: &CommPattern, topo: &Topology, protocol: Protocol, ite
     let model = Arc::new(m);
     let clocks = World::run_modeled(topo.clone(), model, |ctx| {
         let comm = ctx.comm_world();
-        let mut nb = PersistentNeighbor::init(pattern, &plan, ctx, &comm, 0);
+        let mut nb = coll.init(ctx, &comm);
         let input: Vec<f64> = nb.input_index().iter().map(|&i| i as f64).collect();
         let mut output = vec![0.0; nb.output_index().len()];
         // synchronize clocks after init so we measure iterations only
@@ -58,7 +58,10 @@ fn dedup_clock_no_worse_than_partial() {
     let topo = Topology::block_nodes(8, 4);
     let t_partial = modeled_clock(&pattern, &topo, Protocol::PartialNeighbor, 10);
     let t_full = modeled_clock(&pattern, &topo, Protocol::FullNeighbor, 10);
-    assert!(t_full <= t_partial * 1.05, "full {t_full} vs partial {t_partial}");
+    assert!(
+        t_full <= t_partial * 1.05,
+        "full {t_full} vs partial {t_partial}"
+    );
 }
 
 #[test]
@@ -74,8 +77,12 @@ fn clocks_scale_linearly_with_iterations() {
 /// Executed virtual time of an aggregated plan under the plain vs the
 /// partitioned executor.
 fn agg_clock(pattern: &CommPattern, topo: &Topology, partitioned: bool) -> f64 {
-    use mpi_advance::PartitionedNeighbor;
-    let plan = Protocol::PartialNeighbor.plan(pattern, topo);
+    let backend = if partitioned {
+        Backend::Partitioned(Protocol::PartialNeighbor)
+    } else {
+        Backend::Protocol(Protocol::PartialNeighbor)
+    };
+    let coll = NeighborAlltoallv::new(pattern, topo).backend(backend);
     let mut m = LocalityModel::lassen();
     m.queue_coeff = 0.0;
     let model = Arc::new(m);
@@ -85,18 +92,9 @@ fn agg_clock(pattern: &CommPattern, topo: &Topology, partitioned: bool) -> f64 {
         let mut output = vec![0.0; pattern.dst_indices(ctx.rank()).len()];
         ctx.barrier(&comm);
         let t0 = ctx.clock();
-        if partitioned {
-            let mut nb = PartitionedNeighbor::init(pattern, &plan, ctx, &comm, 0);
-            for _ in 0..3 {
-                nb.start(ctx, &input);
-                nb.wait(ctx, &mut output);
-            }
-        } else {
-            let mut nb = PersistentNeighbor::init(pattern, &plan, ctx, &comm, 0);
-            for _ in 0..3 {
-                nb.start(ctx, &input);
-                nb.wait(ctx, &mut output);
-            }
+        let mut nb = coll.init(ctx, &comm);
+        for _ in 0..3 {
+            nb.start_wait(ctx, &input, &mut output);
         }
         ctx.clock() - t0
     });

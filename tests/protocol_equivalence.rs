@@ -1,0 +1,126 @@
+//! Cross-protocol equivalence: for random communication patterns on block
+//! topologies, every backend of the unified `NeighborAlltoallv` API — the
+//! four paper protocols, the §5 partitioned combination, and model-driven
+//! auto-selection — must deliver byte-identical ghost values to a direct
+//! exchange computed straight from the pattern.
+
+use locality::Topology;
+use mpi_advance::{Backend, CommPattern, NeighborAlltoallv, Protocol};
+use mpisim::World;
+use proptest::prelude::*;
+
+/// Random pattern over `n` ranks: each rank sends a few indices drawn from
+/// its own index space (rank r owns [r·K, (r+1)·K), so origins are unique
+/// by construction) to a few random peers.
+fn arb_pattern(n: usize) -> impl Strategy<Value = CommPattern> {
+    const K: usize = 16;
+    prop::collection::vec(
+        prop::collection::vec((0usize..n, prop::collection::vec(0usize..K, 1..5)), 0..4),
+        n..=n,
+    )
+    .prop_map(move |raw| {
+        let mut sends: Vec<Vec<(usize, Vec<usize>)>> = vec![Vec::new(); n];
+        for (src, list) in raw.into_iter().enumerate() {
+            let mut per_dst: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+            for (dst, idx) in list {
+                if dst == src {
+                    continue;
+                }
+                per_dst
+                    .entry(dst)
+                    .or_default()
+                    .extend(idx.iter().map(|&i| src * K + i));
+            }
+            for (dst, mut idx) in per_dst {
+                idx.sort_unstable();
+                idx.dedup();
+                sends[src].push((dst, idx));
+            }
+        }
+        CommPattern::new(n, sends)
+    })
+}
+
+/// The value rank-owned index `i` carries in iteration `it`.
+fn value(i: usize, it: u64) -> f64 {
+    (i as f64) * 16.0 + (it as f64) * 0.25
+}
+
+/// Direct exchange: the ghost values each rank must end up with, computed
+/// from the pattern alone (no communication).
+fn expected_outputs(pattern: &CommPattern, it: u64) -> Vec<Vec<f64>> {
+    (0..pattern.n_ranks)
+        .map(|r| {
+            pattern
+                .dst_indices(r)
+                .iter()
+                .map(|&i| value(i, it))
+                .collect()
+        })
+        .collect()
+}
+
+/// Run `backend` on the simulator for two iterations and collect every
+/// rank's raw output bytes.
+fn run_backend(pattern: &CommPattern, topo: &Topology, backend: Backend) -> Vec<Vec<Vec<u64>>> {
+    let coll = NeighborAlltoallv::new(pattern, topo).backend(backend);
+    World::run(pattern.n_ranks, |ctx| {
+        let comm = ctx.comm_world();
+        let mut req = coll.init(ctx, &comm);
+        let mut iters = Vec::new();
+        for it in 0..2u64 {
+            let input: Vec<f64> = req.input_index().iter().map(|&i| value(i, it)).collect();
+            let mut output = vec![f64::NAN; req.output_index().len()];
+            req.start_wait(ctx, &input, &mut output);
+            iters.push(output.iter().map(|v| v.to_bits()).collect());
+        }
+        iters
+    })
+}
+
+proptest! {
+    // Each case spins up one thread-world per backend; keep the count
+    // modest so tier-1 stays fast.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// All four protocols, the partitioned backend, and Auto agree with
+    /// the direct exchange bit for bit, for random patterns and region
+    /// sizes.
+    #[test]
+    fn all_backends_match_direct_exchange(
+        pattern in arb_pattern(8),
+        ppn in 1usize..5,
+    ) {
+        let topo = Topology::block_nodes(8, ppn);
+        let mut backends: Vec<Backend> =
+            Protocol::ALL.into_iter().map(Backend::Protocol).collect();
+        backends.push(Backend::Partitioned(Protocol::PartialNeighbor));
+        backends.push(Backend::Partitioned(Protocol::FullNeighbor));
+        backends.push(Backend::Auto);
+
+        let expected: Vec<Vec<Vec<u64>>> = (0..2u64)
+            .map(|it| {
+                expected_outputs(&pattern, it)
+                    .into_iter()
+                    .map(|vals| vals.into_iter().map(f64::to_bits).collect())
+                    .collect()
+            })
+            .collect();
+
+        for backend in backends {
+            let got = run_backend(&pattern, &topo, backend);
+            for (rank, iters) in got.iter().enumerate() {
+                for (it, bits) in iters.iter().enumerate() {
+                    prop_assert_eq!(
+                        bits,
+                        &expected[it][rank],
+                        "{:?} diverged at rank {} iteration {}",
+                        backend,
+                        rank,
+                        it
+                    );
+                }
+            }
+        }
+    }
+}

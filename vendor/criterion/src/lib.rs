@@ -1,0 +1,275 @@
+//! Minimal stand-in for `criterion` (offline build; see vendor/README.md).
+//!
+//! Provides the harness subset the workspace's benches use: `Criterion`,
+//! `benchmark_group`/`bench_function`/`bench_with_input`, `BenchmarkId`,
+//! and the `criterion_group!`/`criterion_main!` macros. Timing is
+//! wall-clock with an adaptive inner loop (fast bodies are batched until a
+//! sample lasts ≥ ~5 ms); reported statistics are min/median/mean over the
+//! samples.
+//!
+//! Set `BENCH_JSON=<path>` to additionally write all results of the run as
+//! a JSON array — used to produce the committed `BENCH_*.json` baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Per-benchmark measurement passed to the closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Measure `f`, batching calls so one sample lasts at least ~5 ms.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warmup + batch sizing
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed();
+        let batch = if once < Duration::from_millis(5) {
+            (Duration::from_millis(5).as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000)
+                as usize
+        } else {
+            1
+        };
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t.elapsed() / batch as u32);
+        }
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub group: String,
+    pub name: String,
+    pub min_ns: f64,
+    pub median_ns: f64,
+    pub mean_ns: f64,
+    pub samples: usize,
+}
+
+/// Entry point, shared across all groups of a bench binary.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = name.into();
+        run_one(self, String::new(), id.id, 20, f);
+        self
+    }
+
+    /// Write the run's results as JSON when `BENCH_JSON` is set.
+    pub fn finalize(&self) {
+        let Ok(path) = std::env::var("BENCH_JSON") else {
+            return;
+        };
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"group\": \"{}\", \"name\": \"{}\", \"min_ns\": {:.1}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}}}{}\n",
+                r.group,
+                r.name,
+                r.min_ns,
+                r.median_ns,
+                r.mean_ns,
+                r.samples,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write(&path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("bench results written to {path}");
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    c: &mut Criterion,
+    group: String,
+    name: String,
+    sample_size: usize,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_count: sample_size,
+    };
+    f(&mut b);
+    let mut ns: Vec<f64> = b.samples.iter().map(|d| d.as_nanos() as f64).collect();
+    ns.sort_by(|a, b| a.total_cmp(b));
+    let label = if group.is_empty() {
+        name.clone()
+    } else {
+        format!("{group}/{name}")
+    };
+    if ns.is_empty() {
+        eprintln!("{label}: no samples (Bencher::iter never called)");
+        return;
+    }
+    let min = ns[0];
+    let median = ns[ns.len() / 2];
+    let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+    eprintln!(
+        "{label}: min {} median {} mean {} ({} samples)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        ns.len()
+    );
+    c.results.push(BenchResult {
+        group,
+        name,
+        min_ns: min,
+        median_ns: median,
+        mean_ns: mean,
+        samples: ns.len(),
+    });
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        run_one(self.c, self.name.clone(), id.id, self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(self.c, self.name.clone(), id.id, self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_record_results() {
+        let mut c = Criterion::default();
+        c.bench_function("trivial", |b| b.iter(|| 1 + 1));
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::from_parameter("x"), &5usize, |b, &n| {
+                b.iter(|| n * 2)
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 2);
+        assert_eq!(c.results[1].group, "g");
+        assert!(c.results[0].min_ns >= 0.0);
+    }
+}

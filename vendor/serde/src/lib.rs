@@ -1,0 +1,15 @@
+//! Minimal stand-in for `serde` (offline build; see vendor/README.md).
+//!
+//! Nothing in the workspace serializes at runtime — the derives exist so
+//! the public types advertise serializability for downstream users. The
+//! shim therefore provides `Serialize`/`Deserialize` as marker traits with
+//! blanket impls, and re-exports no-op derive macros under the same names
+//! (real serde does the same trait/macro name-space sharing).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}

@@ -1,0 +1,16 @@
+//! No-op derive macros for the offline `serde` stand-in: the shim's
+//! `Serialize`/`Deserialize` traits carry blanket impls, so the derives
+//! have nothing to emit. They exist so `#[derive(Serialize, Deserialize)]`
+//! keeps compiling unchanged.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
