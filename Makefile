@@ -1,6 +1,6 @@
 # Developer entry points. `make tier1` mirrors the CI verify exactly.
 
-.PHONY: tier1 build test test-all fmt clippy lint bench bench-baseline
+.PHONY: tier1 build test test-all fmt clippy lint bench bench-smoke bench-baseline bench-check
 
 tier1: ## the repository's tier-1 verify
 	cargo build --release && cargo test -q
@@ -26,6 +26,17 @@ lint: clippy
 bench:
 	cargo bench -p bench_suite --bench protocols
 
+# compile and execute every bench binary once (criterion --test smoke
+# mode); run on every PR by CI so benches cannot rot
+bench-smoke:
+	cargo bench -p bench_suite --benches -- --test
+
 # refresh the committed wall-clock baseline
 bench-baseline:
 	BENCH_JSON=$(CURDIR)/BENCH_protocols.json cargo bench -p bench_suite --bench protocols
+
+# full protocols bench vs the committed baseline; fails on >10% median
+# regressions (scripts/bench_compare)
+bench-check:
+	BENCH_JSON=/tmp/BENCH_protocols.new.json cargo bench -p bench_suite --bench protocols
+	scripts/bench_compare $(CURDIR)/BENCH_protocols.json /tmp/BENCH_protocols.new.json

@@ -1,11 +1,12 @@
-//! Planner benches: plan construction cost for each protocol, plus the
-//! round-robin vs load-balanced leader-assignment ablation called out in
-//! DESIGN.md.
+//! Planner benches: plan construction cost for each protocol, the raw
+//! routing-derivation cost (single-sweep `build_all` vs the per-rank
+//! reference path), plus the round-robin vs load-balanced
+//! leader-assignment ablation called out in DESIGN.md.
 
 use bench_suite::workload::{level_patterns, paper_hierarchy, paper_topology};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpi_advance::agg::{AssignStrategy, Plan};
-use mpi_advance::{CommPattern, Protocol};
+use mpi_advance::{CommPattern, Protocol, RankRouting};
 
 fn busiest_pattern(ranks: usize) -> CommPattern {
     let h = paper_hierarchy(256, 128);
@@ -28,6 +29,30 @@ fn bench_plan_build(c: &mut Criterion) {
             |b, &p| b.iter(|| p.plan(&pattern, &topo).global_msgs()),
         );
     }
+    group.finish();
+}
+
+/// Uncached routing construction — the neighbor_init_* groups measure
+/// amortized per-world init through the builder's caches; this group pins
+/// the raw derivation cost so a planner/routing regression cannot hide
+/// behind them.
+fn bench_routing_build(c: &mut Criterion) {
+    let ranks = 256;
+    let pattern = busiest_pattern(ranks);
+    let topo = paper_topology(ranks);
+    let plan = Protocol::FullNeighbor.plan(&pattern, &topo);
+    let mut group = c.benchmark_group("routing_build_256ranks");
+    group.sample_size(10);
+    group.bench_function("build_all_sweep", |b| {
+        b.iter(|| RankRouting::build_all(&pattern, &plan, 0).len())
+    });
+    group.bench_function("per_rank_reference", |b| {
+        b.iter(|| {
+            (0..ranks)
+                .map(|me| RankRouting::build(&pattern, &plan, me, 0).g_sends.len())
+                .sum::<usize>()
+        })
+    });
     group.finish();
 }
 
@@ -62,5 +87,10 @@ fn bench_assign_ablation(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_plan_build, bench_assign_ablation);
+criterion_group!(
+    benches,
+    bench_plan_build,
+    bench_routing_build,
+    bench_assign_ablation
+);
 criterion_main!(benches);

@@ -1,12 +1,14 @@
 //! Wall-clock criterion benches: real execution of the four protocols —
 //! plus the §5 partitioned backend — on the thread-backed simulator at
 //! small scale (32 ranks, 4 per region), all driven through the unified
-//! `NeighborAlltoallv` API.
+//! `NeighborAlltoallv` API. A second init group at 256 ranks (a larger
+//! hierarchy level) makes planner scaling visible.
 //!
 //! These measure actual data movement through the full persistent
 //! start/wait path — complementary to the modeled paper-scale figures.
 //! Run with `BENCH_JSON=BENCH_protocols.json cargo bench --bench protocols`
-//! to refresh the committed baseline.
+//! to refresh the committed baseline, and `scripts/bench_compare` to check
+//! a fresh run against it.
 
 use bench_suite::workload::{level_patterns, paper_hierarchy};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -15,18 +17,23 @@ use mpi_advance::{Backend, CommPattern, NeighborAlltoallv, Protocol};
 use mpisim::World;
 
 const RANKS: usize = 32;
+const RANKS_LARGE: usize = 256;
 const ITERS_PER_SAMPLE: usize = 20;
 
-fn mid_level_pattern() -> CommPattern {
-    let h = paper_hierarchy(128, 64);
-    let levels = level_patterns(&h, RANKS);
-    // pick the level with the most messages — the communication-dominated
-    // middle of the hierarchy
+/// The level with the most messages — the communication-dominated middle
+/// of the hierarchy — for `ranks` ranks over an `nx × ny` paper problem.
+fn busiest_pattern(nx: usize, ny: usize, ranks: usize) -> CommPattern {
+    let h = paper_hierarchy(nx, ny);
+    let levels = level_patterns(&h, ranks);
     levels
         .into_iter()
         .max_by_key(|lp| lp.pattern.total_msgs())
         .expect("hierarchy has levels")
         .pattern
+}
+
+fn mid_level_pattern() -> CommPattern {
+    busiest_pattern(128, 64, RANKS)
 }
 
 fn backends() -> Vec<(String, Backend)> {
@@ -67,11 +74,21 @@ fn bench_protocols(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-world init through the public API, with the builder constructed
+/// once per benchmark — the SPMD shape a real program has (one builder
+/// for the collective's lifetime, `init` per world/communicator). The
+/// builder's plan/routing caches therefore participate: amortizing the
+/// planning across inits IS the optimization under test here. The raw
+/// (uncached) planner and routing construction costs have their own
+/// direct measurements in the planner bench (`plan_build_256ranks`,
+/// `routing_build_256ranks`), so a regression in either stays visible.
 fn bench_init(c: &mut Criterion) {
     let pattern = mid_level_pattern();
     let topo = Topology::block_nodes(RANKS, 4);
     let mut group = c.benchmark_group("neighbor_init_32ranks");
-    group.sample_size(10);
+    // per-sample work is ~1.5 ms; extra samples cost little and stabilize
+    // the median against thread-scheduling noise
+    group.sample_size(30);
 
     for (label, backend) in backends() {
         let coll = NeighborAlltoallv::new(&pattern, &topo).backend(backend);
@@ -88,5 +105,29 @@ fn bench_init(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_protocols, bench_init);
+/// Init at 256 ranks over a larger hierarchy level: the regime where the
+/// planner's asymptotics dominate (the O(ranks × plan) per-rank routing
+/// scan this suite used to pay would be 8× worse here than at 32 ranks).
+fn bench_init_large(c: &mut Criterion) {
+    let pattern = busiest_pattern(256, 128, RANKS_LARGE);
+    let topo = Topology::block_nodes(RANKS_LARGE, 16);
+    let mut group = c.benchmark_group("neighbor_init_256ranks");
+    group.sample_size(15);
+
+    for (label, backend) in backends() {
+        let coll = NeighborAlltoallv::new(&pattern, &topo).backend(backend);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                World::run(RANKS_LARGE, |ctx| {
+                    let comm = ctx.comm_world();
+                    let nb = coll.init(ctx, &comm);
+                    nb.input_index().len()
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols, bench_init, bench_init_large);
 criterion_main!(benches);

@@ -7,7 +7,10 @@
 //! subset of other regions".
 
 use locality::Topology;
-use std::collections::BTreeMap;
+
+/// Per-pair inter-region volumes, sorted ascending by region pair (the
+/// order [`crate::agg::Plan::aggregated`] produces them in).
+pub type PairVolumes = [((usize, usize), usize)];
 
 /// How inter-region work is spread over a region's ranks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,82 +25,89 @@ pub enum AssignStrategy {
     LoadBalanced,
 }
 
-/// Chosen leaders for every ordered region pair with traffic.
+/// Chosen leaders for every ordered region pair with traffic, stored as a
+/// pair-sorted flat vector (binary-searched lookups, no tree nodes).
 #[derive(Debug, Clone)]
 pub struct LeaderAssignment {
-    /// `(src_region, dst_region) → (sending leader rank, receiving leader rank)`
-    map: BTreeMap<(usize, usize), (usize, usize)>,
+    /// `((src_region, dst_region), (sending leader, receiving leader))`,
+    /// sorted by pair.
+    map: Vec<((usize, usize), (usize, usize))>,
 }
 
 impl LeaderAssignment {
     /// Leaders of `pair`. Panics when the pair carried no traffic.
     pub fn get(&self, pair: (usize, usize)) -> (usize, usize) {
-        self.map[&pair]
+        let i = self
+            .map
+            .binary_search_by_key(&pair, |e| e.0)
+            .unwrap_or_else(|_| panic!("region pair {pair:?} carried no traffic"));
+        self.map[i].1
     }
 
     pub fn iter(&self) -> impl Iterator<Item = (&(usize, usize), &(usize, usize))> {
-        self.map.iter()
+        self.map.iter().map(|(pair, leaders)| (pair, leaders))
     }
 
     /// Max over ranks of the inter-region volume assigned to them as
     /// senders (the balance metric).
-    pub fn max_send_volume(
-        &self,
-        volumes: &BTreeMap<(usize, usize), usize>,
-        n_ranks: usize,
-    ) -> usize {
+    pub fn max_send_volume(&self, volumes: &PairVolumes, n_ranks: usize) -> usize {
         let mut per_rank = vec![0usize; n_ranks];
-        for (pair, &(s, _)) in &self.map {
-            per_rank[s] += volumes[pair];
+        for &(pair, (s, _)) in &self.map {
+            let i = volumes
+                .binary_search_by_key(&pair, |e| e.0)
+                .expect("volume recorded for every assigned pair");
+            per_rank[s] += volumes[i].1;
         }
         per_rank.into_iter().max().unwrap_or(0)
     }
 }
 
 /// Assign a sending and receiving leader to every region pair in
-/// `volumes` (values per pair per iteration).
+/// `volumes` (values per pair per iteration, sorted by pair).
 pub fn assign_leaders(
-    volumes: &BTreeMap<(usize, usize), usize>,
+    volumes: &PairVolumes,
     topo: &Topology,
     strategy: AssignStrategy,
 ) -> LeaderAssignment {
-    let mut map = BTreeMap::new();
+    debug_assert!(volumes.windows(2).all(|w| w[0].0 < w[1].0), "pair-sorted");
+    let mut map = Vec::with_capacity(volumes.len());
     match strategy {
         AssignStrategy::RoundRobin => {
-            for &(a, b) in volumes.keys() {
+            for &((a, b), _) in volumes {
                 let ma = topo.region_members(a);
                 let mb = topo.region_members(b);
                 let send = ma[b % ma.len()];
                 let recv = mb[a % mb.len()];
-                map.insert((a, b), (send, recv));
+                map.push(((a, b), (send, recv)));
             }
         }
         AssignStrategy::LoadBalanced => {
             // accumulated volume per rank, for each side separately
-            let mut send_load: BTreeMap<usize, usize> = BTreeMap::new();
-            let mut recv_load: BTreeMap<usize, usize> = BTreeMap::new();
+            let mut send_load = vec![0usize; topo.n_ranks()];
+            let mut recv_load = vec![0usize; topo.n_ranks()];
             // biggest pairs first; ties broken by pair id for determinism
-            let mut pairs: Vec<(&(usize, usize), &usize)> = volumes.iter().collect();
-            pairs.sort_by(|x, y| y.1.cmp(x.1).then(x.0.cmp(y.0)));
-            for (&(a, b), &v) in pairs {
+            let mut pairs: Vec<&((usize, usize), usize)> = volumes.iter().collect();
+            pairs.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+            for &&((a, b), v) in &pairs {
                 let send = *topo
                     .region_members(a)
                     .iter()
-                    .min_by_key(|&&r| (send_load.get(&r).copied().unwrap_or(0), r))
+                    .min_by_key(|&&r| (send_load[r], r))
                     .expect("non-empty region");
                 let recv = *topo
                     .region_members(b)
                     .iter()
-                    .min_by_key(|&&r| (recv_load.get(&r).copied().unwrap_or(0), r))
+                    .min_by_key(|&&r| (recv_load[r], r))
                     .expect("non-empty region");
-                *send_load.entry(send).or_default() += v;
-                *recv_load.entry(recv).or_default() += v;
-                map.insert((a, b), (send, recv));
+                send_load[send] += v;
+                recv_load[recv] += v;
+                map.push(((a, b), (send, recv)));
             }
+            map.sort_unstable_by_key(|e| e.0);
         }
     }
     // invariants: leaders live in their own regions
-    for (&(a, b), &(s, r)) in &map {
+    for &((a, b), (s, r)) in &map {
         debug_assert_eq!(topo.region_of(s), a);
         debug_assert_eq!(topo.region_of(r), b);
     }
@@ -108,8 +118,10 @@ pub fn assign_leaders(
 mod tests {
     use super::*;
 
-    fn volumes(pairs: &[((usize, usize), usize)]) -> BTreeMap<(usize, usize), usize> {
-        pairs.iter().copied().collect()
+    fn volumes(pairs: &[((usize, usize), usize)]) -> Vec<((usize, usize), usize)> {
+        let mut v = pairs.to_vec();
+        v.sort_unstable_by_key(|e| e.0);
+        v
     }
 
     #[test]
@@ -151,7 +163,7 @@ mod tests {
         let topo5 = Topology::block_nodes(20, 4);
         let v = volumes(&[((0, 1), 7), ((0, 2), 7), ((0, 3), 7), ((0, 4), 7)]);
         let lb = assign_leaders(&v, &topo5, AssignStrategy::LoadBalanced);
-        let mut leaders: Vec<usize> = v.keys().map(|&p| lb.get(p).0).collect();
+        let mut leaders: Vec<usize> = v.iter().map(|&(p, _)| lb.get(p).0).collect();
         leaders.sort_unstable();
         leaders.dedup();
         assert_eq!(
@@ -173,5 +185,15 @@ mod tests {
                 assert_eq!(topo.region_of(r), b);
             }
         }
+    }
+
+    #[test]
+    fn missing_pair_panics() {
+        let topo = Topology::block_nodes(8, 4);
+        let v = volumes(&[((0, 1), 3)]);
+        let la = assign_leaders(&v, &topo, AssignStrategy::RoundRobin);
+        assert_eq!(la.get((0, 1)).0 / 4, 0);
+        let r = std::panic::catch_unwind(|| la.get((1, 0)));
+        assert!(r.is_err());
     }
 }

@@ -20,6 +20,17 @@
 //! With `dedup = true` (the §3.3 API extension) a value crosses a region
 //! pair **once** regardless of how many final destinations need it; the
 //! receiving leader expands it locally.
+//!
+//! ## Storage layout
+//!
+//! Slots live in one CSR-style arena per step ([`SlotArena`]): SoA columns
+//! for the per-slot value index and origin rank, plus a single shared
+//! final-destination pool with prefix offsets. A [`PlanMsg`] is a header —
+//! `(src, dst)` plus a contiguous slot range into its step's arena — so
+//! building a plan performs O(1) *vector* allocations per step (amortized
+//! growth of the arena columns) instead of one `Vec` per slot, and the
+//! grouping work in [`Plan::aggregated`] is a handful of flat sorts rather
+//! than `BTreeMap` insertions per slot.
 
 pub mod assign;
 pub mod verify;
@@ -28,37 +39,119 @@ pub use assign::{AssignStrategy, LeaderAssignment};
 
 use crate::pattern::CommPattern;
 use locality::Topology;
-use std::collections::BTreeMap;
+use std::ops::Range;
 
-/// One inter-region demand: (origin rank, value index, final destination).
-type Demand = (usize, usize, usize);
+/// One inter-region demand, sorted by (src region, dst region, value
+/// index, final destination); the origin tags along (each index has a
+/// unique origin, so it never participates in the ordering).
+type Demand = (usize, usize, usize, usize, usize);
 
-/// One value slot inside a step message.
+/// CSR-style slot storage of one plan step.
+///
+/// Column `i` of a step's arena holds slot `i`'s global value index and
+/// origin rank; its final destinations are `fds[fd_off[i]..fd_off[i+1]]`.
+/// Exactly one destination for `ℓ`/`r` slots and for non-dedup `g` slots;
+/// possibly several for dedup `g` (and their staged `s` copies), where the
+/// receiving leader fans the value out.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Slot {
+pub struct SlotArena {
+    index: Vec<usize>,
+    origin: Vec<usize>,
+    fds: Vec<usize>,
+    fd_off: Vec<usize>,
+}
+
+/// A borrowed view of one slot in a [`SlotArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotRef<'a> {
     /// Global index of the value (the §3.3 extension's `send_idx`).
     pub index: usize,
     /// Rank owning the value.
     pub origin: usize,
-    /// Final destination ranks served by this slot. Exactly one for
-    /// `ℓ`/`s`/`r` slots and for non-dedup `g` slots; possibly several for
-    /// dedup `g` slots (the receiving leader fans the value out).
-    pub final_dsts: Vec<usize>,
+    /// Final destination ranks served by this slot, ascending.
+    pub final_dsts: &'a [usize],
 }
 
-impl Slot {
-    /// Deterministic ordering key shared by sender and receiver.
-    fn sort_key(&self) -> (usize, usize, usize) {
-        (self.index, self.origin, self.final_dsts[0])
+impl Default for SlotArena {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
-/// One planned message.
+impl SlotArena {
+    pub fn new() -> Self {
+        Self {
+            index: Vec::new(),
+            origin: Vec::new(),
+            fds: Vec::new(),
+            fd_off: vec![0],
+        }
+    }
+
+    /// Number of slots stored.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Append one slot; returns its position.
+    pub fn push(
+        &mut self,
+        index: usize,
+        origin: usize,
+        fds: impl IntoIterator<Item = usize>,
+    ) -> usize {
+        self.index.push(index);
+        self.origin.push(origin);
+        self.fds.extend(fds);
+        debug_assert!(
+            self.fds.len() > *self.fd_off.last().expect("offsets start at [0]"),
+            "slot needs at least one final destination"
+        );
+        self.fd_off.push(self.fds.len());
+        self.index.len() - 1
+    }
+
+    /// Value index of slot `i`.
+    pub fn index(&self, i: usize) -> usize {
+        self.index[i]
+    }
+
+    /// Origin rank of slot `i`.
+    pub fn origin(&self, i: usize) -> usize {
+        self.origin[i]
+    }
+
+    /// Final destinations of slot `i`.
+    pub fn final_dsts(&self, i: usize) -> &[usize] {
+        &self.fds[self.fd_off[i]..self.fd_off[i + 1]]
+    }
+
+    /// Full view of slot `i`.
+    pub fn get(&self, i: usize) -> SlotRef<'_> {
+        SlotRef {
+            index: self.index[i],
+            origin: self.origin[i],
+            final_dsts: self.final_dsts(i),
+        }
+    }
+
+    /// Iterate the slots of `range` (a message's slots).
+    pub fn iter_range(&self, range: Range<usize>) -> impl Iterator<Item = SlotRef<'_>> {
+        range.map(move |i| self.get(i))
+    }
+}
+
+/// One planned message: endpoints plus its contiguous slot range within
+/// the owning step's [`SlotArena`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlanMsg {
     pub src: usize,
     pub dst: usize,
-    pub slots: Vec<Slot>,
+    pub slots: Range<usize>,
 }
 
 impl PlanMsg {
@@ -81,6 +174,11 @@ pub struct Plan {
     pub s_step: Vec<PlanMsg>,
     pub g_step: Vec<PlanMsg>,
     pub r_step: Vec<PlanMsg>,
+    /// Slot arenas backing the message headers above, one per step.
+    pub local_slots: SlotArena,
+    pub s_slots: SlotArena,
+    pub g_slots: SlotArena,
+    pub r_slots: SlotArena,
 }
 
 impl Plan {
@@ -91,26 +189,24 @@ impl Plan {
         assert_eq!(pattern.n_ranks, topo.n_ranks());
         let mut local = Vec::new();
         let mut g_step = Vec::new();
+        let mut local_slots = SlotArena::new();
+        let mut g_slots = SlotArena::new();
         for (src, list) in pattern.sends.iter().enumerate() {
             for (dst, indices) in list {
-                let slots = indices
-                    .iter()
-                    .map(|&i| Slot {
-                        index: i,
-                        origin: src,
-                        final_dsts: vec![*dst],
-                    })
-                    .collect();
-                let msg = PlanMsg {
+                let (arena, msgs) = if topo.same_region(src, *dst) {
+                    (&mut local_slots, &mut local)
+                } else {
+                    (&mut g_slots, &mut g_step)
+                };
+                let start = arena.len();
+                for &i in indices {
+                    arena.push(i, src, [*dst]);
+                }
+                msgs.push(PlanMsg {
                     src,
                     dst: *dst,
-                    slots,
-                };
-                if topo.same_region(src, *dst) {
-                    local.push(msg);
-                } else {
-                    g_step.push(msg);
-                }
+                    slots: start..arena.len(),
+                });
             }
         }
         Self {
@@ -121,11 +217,16 @@ impl Plan {
             s_step: Vec::new(),
             g_step,
             r_step: Vec::new(),
+            local_slots,
+            s_slots: SlotArena::new(),
+            g_slots,
+            r_slots: SlotArena::new(),
         }
     }
 
     /// Three-step locality-aware aggregation (§3.2), optionally with
-    /// duplicate removal (§3.3).
+    /// duplicate removal (§3.3). All grouping is sort-based over flat
+    /// vectors: one demand sort per plan, then linear walks over the runs.
     pub fn aggregated(
         pattern: &CommPattern,
         topo: &Topology,
@@ -134,140 +235,198 @@ impl Plan {
     ) -> Self {
         assert_eq!(pattern.n_ranks, topo.n_ranks());
         let mut local = Vec::new();
+        let mut local_slots = SlotArena::new();
 
-        // Collect inter-region demands per ordered region pair.
-        let mut pair_demands: BTreeMap<(usize, usize), Vec<Demand>> = BTreeMap::new();
+        // Flat inter-region demand list; everything below works on runs of
+        // this one sorted vector.
+        let mut demands: Vec<Demand> = Vec::new();
         for (src, list) in pattern.sends.iter().enumerate() {
             for (dst, indices) in list {
                 if topo.same_region(src, *dst) {
-                    let slots = indices
-                        .iter()
-                        .map(|&i| Slot {
-                            index: i,
-                            origin: src,
-                            final_dsts: vec![*dst],
-                        })
-                        .collect();
+                    let start = local_slots.len();
+                    for &i in indices {
+                        local_slots.push(i, src, [*dst]);
+                    }
                     local.push(PlanMsg {
                         src,
                         dst: *dst,
-                        slots,
+                        slots: start..local_slots.len(),
                     });
                 } else {
                     let pair = (topo.region_of(src), topo.region_of(*dst));
-                    let d = pair_demands.entry(pair).or_default();
-                    d.extend(indices.iter().map(|&i| (src, i, *dst)));
+                    demands.extend(indices.iter().map(|&i| (pair.0, pair.1, i, *dst, src)));
                 }
             }
         }
+        // (pair, index, fd) is unique, so the unstable sort is deterministic
+        // and yields exactly the slot order the routing layer expects.
+        demands.sort_unstable();
 
-        // Inter-region volumes (in values) drive load balancing.
-        let volumes: BTreeMap<(usize, usize), usize> = pair_demands
-            .iter()
-            .map(|(&pair, demands)| {
-                let v = if dedup {
-                    let mut idx: Vec<usize> = demands.iter().map(|d| d.1).collect();
-                    idx.sort_unstable();
-                    idx.dedup();
-                    idx.len()
-                } else {
-                    demands.len()
-                };
-                (pair, v)
-            })
-            .collect();
+        // Inter-region volumes (in values) drive load balancing; one pass
+        // over the sorted runs.
+        let mut volumes: Vec<((usize, usize), usize)> = Vec::new();
+        let mut d = 0;
+        while d < demands.len() {
+            let pair = (demands[d].0, demands[d].1);
+            let end = demands[d..]
+                .iter()
+                .position(|x| (x.0, x.1) != pair)
+                .map_or(demands.len(), |p| d + p);
+            let v = if dedup {
+                // demands are index-sorted within the pair: count runs
+                let mut count = 0;
+                let mut last = usize::MAX;
+                for x in &demands[d..end] {
+                    if x.2 != last {
+                        count += 1;
+                        last = x.2;
+                    }
+                }
+                count
+            } else {
+                end - d
+            };
+            volumes.push((pair, v));
+            d = end;
+        }
         let leaders = assign::assign_leaders(&volumes, topo, strategy);
 
         let mut s_step = Vec::new();
         let mut g_step = Vec::new();
         let mut r_step = Vec::new();
+        let mut s_slots = SlotArena::new();
+        let mut g_slots = SlotArena::new();
+        let mut r_slots = SlotArena::new();
+        // reused per-pair scratch for the s/r grouping sorts and the dedup
+        // fan-out lists
+        let mut by_origin: Vec<(usize, usize)> = Vec::new();
+        let mut by_fd: Vec<(usize, usize)> = Vec::new();
+        let mut fds: Vec<usize> = Vec::new();
 
-        for (&pair, demands) in &pair_demands {
+        let mut d = 0;
+        while d < demands.len() {
+            let pair = (demands[d].0, demands[d].1);
+            let end = demands[d..]
+                .iter()
+                .position(|x| (x.0, x.1) != pair)
+                .map_or(demands.len(), |p| d + p);
             let (lead_send, lead_recv) = leaders.get(pair);
 
-            // Build the g slots for this pair.
-            let mut g_slots: Vec<Slot> = if dedup {
+            // g slots for this pair, sorted by (index, fd) by construction.
+            let g_start = g_slots.len();
+            if dedup {
                 // one slot per unique value index, fanning out to all its
                 // final destinations in the pair's destination region
-                let mut by_index: BTreeMap<usize, (usize, Vec<usize>)> = BTreeMap::new();
-                for &(origin, index, fd) in demands {
-                    let e = by_index
-                        .entry(index)
-                        .or_insert_with(|| (origin, Vec::new()));
-                    debug_assert_eq!(e.0, origin, "one owner per value index");
-                    e.1.push(fd);
+                let mut k = d;
+                while k < end {
+                    let index = demands[k].2;
+                    let run = demands[k..end]
+                        .iter()
+                        .position(|x| x.2 != index)
+                        .map_or(end, |p| k + p);
+                    let origin = demands[k].4;
+                    debug_assert!(
+                        demands[k..run].iter().all(|x| x.4 == origin),
+                        "one owner per value index"
+                    );
+                    // fds ascend within the index run (the demand sort);
+                    // dedup defends against repeated (index, fd) demands
+                    // from a pattern that bypassed `CommPattern::new`
+                    fds.clear();
+                    fds.extend(demands[k..run].iter().map(|x| x.3));
+                    fds.dedup();
+                    g_slots.push(index, origin, fds.iter().copied());
+                    k = run;
                 }
-                by_index
-                    .into_iter()
-                    .map(|(index, (origin, mut fds))| {
-                        fds.sort_unstable();
-                        fds.dedup();
-                        Slot {
-                            index,
-                            origin,
-                            final_dsts: fds,
-                        }
-                    })
-                    .collect()
             } else {
-                demands
-                    .iter()
-                    .map(|&(origin, index, fd)| Slot {
-                        index,
-                        origin,
-                        final_dsts: vec![fd],
-                    })
-                    .collect()
-            };
-            g_slots.sort_by_key(Slot::sort_key);
-
-            // s step: origins that are not the sending leader forward their
-            // slots to it (one message per origin per region pair).
-            let mut by_origin: BTreeMap<usize, Vec<Slot>> = BTreeMap::new();
-            for slot in &g_slots {
-                if slot.origin != lead_send {
-                    by_origin.entry(slot.origin).or_default().push(slot.clone());
+                for &(_, _, index, fd, origin) in &demands[d..end] {
+                    g_slots.push(index, origin, [fd]);
                 }
             }
-            for (origin, slots) in by_origin {
+            let g_range = g_start..g_slots.len();
+
+            // s step: origins that are not the sending leader forward their
+            // slots to it (one message per origin per region pair). Group
+            // by a flat sort on (origin, slot position) — slots of one
+            // origin keep their (index, fd) order.
+            by_origin.clear();
+            by_origin.extend(
+                g_range
+                    .clone()
+                    .filter(|&p| g_slots.origin(p) != lead_send)
+                    .map(|p| (g_slots.origin(p), p)),
+            );
+            by_origin.sort_unstable();
+            let mut k = 0;
+            while k < by_origin.len() {
+                let origin = by_origin[k].0;
+                let run = by_origin[k..]
+                    .iter()
+                    .position(|x| x.0 != origin)
+                    .map_or(by_origin.len(), |p| k + p);
+                let start = s_slots.len();
+                for &(_, p) in &by_origin[k..run] {
+                    s_slots.push(
+                        g_slots.index(p),
+                        origin,
+                        g_slots.final_dsts(p).iter().copied(),
+                    );
+                }
                 s_step.push(PlanMsg {
                     src: origin,
                     dst: lead_send,
-                    slots,
+                    slots: start..s_slots.len(),
                 });
+                k = run;
             }
 
             // r step: the receiving leader forwards each delivered value to
             // every final destination other than itself (one message per
-            // destination per region pair).
-            let mut by_fd: BTreeMap<usize, Vec<Slot>> = BTreeMap::new();
-            for slot in &g_slots {
-                for &fd in &slot.final_dsts {
-                    if fd != lead_recv {
-                        by_fd.entry(fd).or_default().push(Slot {
-                            index: slot.index,
-                            origin: slot.origin,
-                            final_dsts: vec![fd],
-                        });
-                    }
-                }
+            // destination per region pair). Same flat-sort grouping.
+            by_fd.clear();
+            for p in g_range.clone() {
+                by_fd.extend(
+                    g_slots
+                        .final_dsts(p)
+                        .iter()
+                        .filter(|&&fd| fd != lead_recv)
+                        .map(|&fd| (fd, p)),
+                );
             }
-            for (fd, slots) in by_fd {
+            by_fd.sort_unstable();
+            let mut k = 0;
+            while k < by_fd.len() {
+                let fd = by_fd[k].0;
+                let run = by_fd[k..]
+                    .iter()
+                    .position(|x| x.0 != fd)
+                    .map_or(by_fd.len(), |p| k + p);
+                let start = r_slots.len();
+                for &(_, p) in &by_fd[k..run] {
+                    r_slots.push(g_slots.index(p), g_slots.origin(p), [fd]);
+                }
                 r_step.push(PlanMsg {
                     src: lead_recv,
                     dst: fd,
-                    slots,
+                    slots: start..r_slots.len(),
                 });
+                k = run;
             }
 
             g_step.push(PlanMsg {
                 src: lead_send,
                 dst: lead_recv,
-                slots: g_slots,
+                slots: g_range,
             });
+            d = end;
         }
 
-        local.sort_by_key(|m| (m.src, m.dst));
+        // Header lists must be (src, dst)-sorted for tag derivation; the
+        // sorts are stable, so same-pair messages keep region-pair order.
+        // `local` is already sorted (the pattern iterates src then dst).
+        debug_assert!(local
+            .windows(2)
+            .all(|w| (w[0].src, w[0].dst) <= (w[1].src, w[1].dst)));
         s_step.sort_by_key(|m| (m.src, m.dst));
         g_step.sort_by_key(|m| (m.src, m.dst));
         r_step.sort_by_key(|m| (m.src, m.dst));
@@ -280,6 +439,10 @@ impl Plan {
             s_step,
             g_step,
             r_step,
+            local_slots,
+            s_slots,
+            g_slots,
+            r_slots,
         }
     }
 
@@ -317,6 +480,20 @@ mod tests {
 
     fn example() -> (CommPattern, Topology) {
         (CommPattern::example_2_1(), Topology::block_nodes(8, 4))
+    }
+
+    #[test]
+    fn arena_stores_soa_slots() {
+        let mut a = SlotArena::new();
+        a.push(7, 1, [4]);
+        a.push(9, 2, [4, 5, 6]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(0).index, 7);
+        assert_eq!(a.get(0).final_dsts, &[4][..]);
+        assert_eq!(a.get(1).origin, 2);
+        assert_eq!(a.final_dsts(1), &[4, 5, 6][..]);
+        let all: Vec<usize> = a.iter_range(0..2).map(|s| s.index).collect();
+        assert_eq!(all, vec![7, 9]);
     }
 
     #[test]
@@ -387,6 +564,18 @@ mod tests {
         let s_partial: usize = partial.s_step.iter().map(PlanMsg::n_values).sum();
         let s_full: usize = full.s_step.iter().map(PlanMsg::n_values).sum();
         assert!(s_full <= s_partial);
+    }
+
+    #[test]
+    fn dedup_g_slots_fan_out_sorted() {
+        let (pattern, topo) = example();
+        let plan = Plan::aggregated(&pattern, &topo, true, AssignStrategy::RoundRobin);
+        for m in &plan.g_step {
+            for s in plan.g_slots.iter_range(m.slots.clone()) {
+                assert!(!s.final_dsts.is_empty());
+                assert!(s.final_dsts.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
     }
 
     #[test]

@@ -5,6 +5,9 @@
 //! demand of the pattern exactly once**, and every staged hop must be
 //! consistent (s slots must reappear in g; g fan-outs must be covered by r
 //! or terminate at the receiving leader).
+//!
+//! This is test/diagnostic machinery, not a hot path — hash maps are fine
+//! here; the planner and routing layers themselves are flat-sorted.
 
 use super::{Plan, PlanMsg};
 use crate::pattern::CommPattern;
@@ -26,10 +29,10 @@ pub fn verify_plan(pattern: &CommPattern, plan: &Plan, topo: &Topology) {
             m.src,
             m.dst
         );
-        for s in &m.slots {
+        for s in plan.local_slots.iter_range(m.slots.clone()) {
             assert_eq!(
-                s.final_dsts.as_slice(),
-                &[m.dst],
+                s.final_dsts,
+                &[m.dst][..],
                 "ℓ slot must target the receiver"
             );
             assert_eq!(s.origin, m.src, "ℓ slot origin must be the sender");
@@ -47,7 +50,7 @@ pub fn verify_plan(pattern: &CommPattern, plan: &Plan, topo: &Topology) {
             m.src,
             m.dst
         );
-        for s in &m.slots {
+        for s in plan.g_slots.iter_range(m.slots.clone()) {
             assert!(!s.final_dsts.is_empty());
             if s.origin != m.src {
                 *g_expect
@@ -66,7 +69,7 @@ pub fn verify_plan(pattern: &CommPattern, plan: &Plan, topo: &Topology) {
             m.src,
             m.dst
         );
-        for s in &m.slots {
+        for s in plan.s_slots.iter_range(m.slots.clone()) {
             assert_eq!(s.origin, m.src, "s slot origin must be the sender");
             let key = (m.dst, s.origin, s.index, s.final_dsts[0]);
             let c = g_expect.get_mut(&key).unwrap_or_else(|| {
@@ -89,8 +92,8 @@ pub fn verify_plan(pattern: &CommPattern, plan: &Plan, topo: &Topology) {
     // g fan-outs: terminate at the receiving leader or get forwarded by r.
     let mut r_expect: HashMap<(usize, usize, usize), usize> = HashMap::new();
     for m in &plan.g_step {
-        for s in &m.slots {
-            for &fd in &s.final_dsts {
+        for s in plan.g_slots.iter_range(m.slots.clone()) {
+            for &fd in s.final_dsts {
                 assert_eq!(
                     topo.region_of(fd),
                     topo.region_of(m.dst),
@@ -111,10 +114,10 @@ pub fn verify_plan(pattern: &CommPattern, plan: &Plan, topo: &Topology) {
             m.src,
             m.dst
         );
-        for s in &m.slots {
+        for s in plan.r_slots.iter_range(m.slots.clone()) {
             assert_eq!(
-                s.final_dsts.as_slice(),
-                &[m.dst],
+                s.final_dsts,
+                &[m.dst][..],
                 "r slot must target the receiver"
             );
             let key = (m.src, m.dst, s.index);
@@ -208,11 +211,15 @@ mod tests {
         let pattern = CommPattern::example_2_1();
         let topo = Topology::block_nodes(8, 4);
         let mut plan = Plan::standard(&pattern, &topo);
-        let extra = plan.g_step[0].clone();
-        let mut dup = extra.clone();
-        dup.slots[0].index = 9999;
-        dup.slots.truncate(1);
-        plan.g_step.push(dup);
+        // forge a one-slot message delivering an undemanded index
+        let m = plan.g_step[0].clone();
+        let fd = plan.g_slots.final_dsts(m.slots.start)[0];
+        let p = plan.g_slots.push(9999, m.src, [fd]);
+        plan.g_step.push(PlanMsg {
+            src: m.src,
+            dst: m.dst,
+            slots: p..p + 1,
+        });
         verify_plan(&pattern, &plan, &topo);
     }
 

@@ -41,7 +41,7 @@ pub mod pattern;
 pub mod routing;
 pub mod stats;
 
-pub use agg::{AssignStrategy, Plan, PlanMsg, Slot};
+pub use agg::{AssignStrategy, Plan, PlanMsg, SlotArena, SlotRef};
 pub use analytic::{init_time, iteration_time, IterationCost};
 pub use collective::{choose_protocol, Protocol};
 pub use exec::PersistentNeighbor;

@@ -37,6 +37,7 @@ use crate::collective::Protocol;
 use crate::exec::PersistentNeighbor;
 use crate::exec_partitioned::PartitionedNeighbor;
 use crate::pattern::CommPattern;
+use crate::routing::RankRouting;
 use crate::Plan;
 use locality::Topology;
 use mpisim::{Comm, RankCtx};
@@ -176,6 +177,10 @@ pub struct NeighborAlltoallv<'a> {
     /// builder and is shared by every rank's `init` (SPMD closures capture
     /// the builder by reference).
     resolved: OnceLock<(Protocol, Plan)>,
+    /// Every rank's routing, derived from the plan in a single
+    /// [`RankRouting::build_all`] sweep on the first `init` and shared by
+    /// all ranks — whole-world init is O(plan + ranks), not O(ranks × plan).
+    routings: OnceLock<Vec<RankRouting>>,
 }
 
 impl<'a> NeighborAlltoallv<'a> {
@@ -193,6 +198,7 @@ impl<'a> NeighborAlltoallv<'a> {
             model: None,
             tag_base: alloc_tag_base(),
             resolved: OnceLock::new(),
+            routings: OnceLock::new(),
         }
     }
 
@@ -200,6 +206,7 @@ impl<'a> NeighborAlltoallv<'a> {
     pub fn backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
         self.resolved = OnceLock::new();
+        self.routings = OnceLock::new();
         self
     }
 
@@ -212,6 +219,7 @@ impl<'a> NeighborAlltoallv<'a> {
     pub fn strategy(mut self, strategy: AssignStrategy) -> Self {
         self.strategy = strategy;
         self.resolved = OnceLock::new();
+        self.routings = OnceLock::new();
         self
     }
 
@@ -220,6 +228,7 @@ impl<'a> NeighborAlltoallv<'a> {
     pub fn cost_model(mut self, model: &'a dyn CostModel) -> Self {
         self.model = Some(model);
         self.resolved = OnceLock::new();
+        self.routings = OnceLock::new();
         self
     }
 
@@ -228,6 +237,8 @@ impl<'a> NeighborAlltoallv<'a> {
     /// level).
     pub fn tag_base(mut self, tag_base: u64) -> Self {
         self.tag_base = tag_base;
+        // routings bake tags in; the plan itself is tag-independent
+        self.routings = OnceLock::new();
         self
     }
 
@@ -277,15 +288,25 @@ impl<'a> NeighborAlltoallv<'a> {
 
     /// `MPI_Neighbor_alltoallv_init`: register this rank's persistent
     /// requests and return the collective as a [`NeighborRequest`].
+    ///
+    /// The first `init` derives **every** rank's routing in one
+    /// [`RankRouting::build_all`] sweep of the shared plan; each rank then
+    /// registers requests from its precomputed slice, so whole-world init
+    /// is O(plan + ranks) instead of every rank re-scanning the plan.
     pub fn init(&self, ctx: &RankCtx, comm: &Comm) -> Box<dyn NeighborRequest> {
         let (protocol, plan) = self.resolved();
+        assert_eq!(plan.n_ranks, comm.size(), "plan/communicator size mismatch");
+        let routing = self
+            .routings
+            .get_or_init(|| RankRouting::build_all(self.pattern, plan, self.tag_base))[comm.rank()]
+        .clone();
         match self.backend {
             Backend::Partitioned(_) => Box::new(PartitionedRequest {
-                inner: PartitionedNeighbor::from_plan(self.pattern, plan, ctx, comm, self.tag_base),
+                inner: PartitionedNeighbor::from_routing(routing, ctx, comm),
                 protocol: *protocol,
             }),
             _ => Box::new(PlainRequest {
-                inner: PersistentNeighbor::from_plan(self.pattern, plan, ctx, comm, self.tag_base),
+                inner: PersistentNeighbor::from_routing(routing, ctx, comm),
                 protocol: *protocol,
             }),
         }

@@ -34,10 +34,11 @@ impl CommPattern {
     /// duplicate removal well-defined. Patterns where several ranks
     /// contribute to the same index (e.g. a transposed-SpMV reduction) are
     /// a different collective (they need summation, not transport) and are
-    /// rejected here.
+    /// rejected here. The check is a flat `(index, src)` sort, not a hash
+    /// map: one allocation, adjacent-pair comparison.
     pub fn new(n_ranks: usize, mut sends: Vec<Vec<(usize, Vec<usize>)>>) -> Self {
         assert_eq!(sends.len(), n_ranks);
-        let mut origin: std::collections::HashMap<usize, usize> = Default::default();
+        let mut owned: Vec<(usize, usize)> = Vec::new();
         for (src, list) in sends.iter_mut().enumerate() {
             list.sort_by_key(|&(d, _)| d);
             for (dst, idx) in list.iter_mut() {
@@ -46,18 +47,21 @@ impl CommPattern {
                 idx.sort_unstable();
                 idx.dedup();
                 assert!(!idx.is_empty(), "empty send {src}->{dst}");
-                for &i in idx.iter() {
-                    let prev = origin.insert(i, src);
-                    assert!(
-                        prev.is_none() || prev == Some(src),
-                        "index {i} sent by both rank {} and rank {src}",
-                        prev.unwrap()
-                    );
-                }
+                owned.extend(idx.iter().map(|&i| (i, src)));
             }
             for w in list.windows(2) {
                 assert!(w[0].0 != w[1].0, "duplicate destination in rank {src}");
             }
+        }
+        owned.sort_unstable();
+        for w in owned.windows(2) {
+            assert!(
+                w[0].0 != w[1].0 || w[0].1 == w[1].1,
+                "index {} sent by both rank {} and rank {}",
+                w[0].0,
+                w[0].1,
+                w[1].1
+            );
         }
         Self { n_ranks, sends }
     }
@@ -123,6 +127,39 @@ impl CommPattern {
         v
     }
 
+    /// [`CommPattern::src_indices`] of every rank at once — one sweep over
+    /// the pattern instead of one per rank.
+    pub fn all_src_indices(&self) -> Vec<Vec<usize>> {
+        self.sends
+            .iter()
+            .map(|list| {
+                let mut v: Vec<usize> = list
+                    .iter()
+                    .flat_map(|(_, idx)| idx.iter().copied())
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect()
+    }
+
+    /// [`CommPattern::dst_indices`] of every rank at once — one sweep over
+    /// the pattern instead of one O(pattern) scan per rank.
+    pub fn all_dst_indices(&self) -> Vec<Vec<usize>> {
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); self.n_ranks];
+        for list in &self.sends {
+            for (dst, idx) in list {
+                out[*dst].extend(idx.iter().copied());
+            }
+        }
+        for v in &mut out {
+            v.sort_unstable();
+            v.dedup();
+        }
+        out
+    }
+
     /// A communication-heavy benchmark pattern: every rank sends one unique
     /// value to **every rank of every other region** (rank `r` owns indices
     /// `r·n_ranks ..`). This is the regime the paper's optimizations target
@@ -178,6 +215,67 @@ impl CommPattern {
         add(3, circle(3), &[4, 6]);
         add(3, square(3), &[5, 7]);
         Self::new(8, sends)
+    }
+}
+
+/// Inverse index of a pattern: for every global value index, its position
+/// within its owning rank's sorted input list ([`CommPattern::src_indices`]).
+/// Crate-internal — the routing sweep's slot-position resolver.
+///
+/// Representation is chosen at build time: when the index space is compact
+/// (row/value identifiers bounded by a small multiple of the slot count,
+/// the common mesh/matrix numbering), a dense array gives one-load
+/// lookups; for sparse index spaces (e.g. a few boundary values out of a
+/// huge row space) a sorted `(index, pos)` vector keeps memory O(slots)
+/// at the cost of a binary search per lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum InverseIndex {
+    /// `pos[index]`, `usize::MAX` marking indices no rank sends.
+    Dense(Vec<usize>),
+    /// `(index, pos)` sorted by index.
+    Sorted(Vec<(usize, usize)>),
+}
+
+impl InverseIndex {
+    /// Build from precomputed per-rank input lists
+    /// ([`CommPattern::all_src_indices`]) — callers that already have them
+    /// (the routing sweep) avoid a second pattern sweep.
+    pub(crate) fn from_inputs(inputs: &[Vec<usize>]) -> Self {
+        let total: usize = inputs.iter().map(Vec::len).sum();
+        let max = inputs
+            .iter()
+            .filter_map(|v| v.last().copied())
+            .max()
+            .map_or(0, |m| m + 1);
+        if max <= 4 * total + 1024 {
+            let mut pos = vec![usize::MAX; max];
+            for list in inputs {
+                for (p, &i) in list.iter().enumerate() {
+                    pos[i] = p;
+                }
+            }
+            InverseIndex::Dense(pos)
+        } else {
+            let mut v: Vec<(usize, usize)> = inputs
+                .iter()
+                .flat_map(|list| list.iter().enumerate().map(|(p, &i)| (i, p)))
+                .collect();
+            v.sort_unstable();
+            InverseIndex::Sorted(v)
+        }
+    }
+
+    /// Position of `index` within its origin's sorted input list. Panics
+    /// for indices the pattern never sends.
+    pub(crate) fn input_pos(&self, index: usize) -> usize {
+        let p = match self {
+            InverseIndex::Dense(pos) => pos.get(index).copied().unwrap_or(usize::MAX),
+            InverseIndex::Sorted(v) => v
+                .binary_search_by_key(&index, |e| e.0)
+                .map_or(usize::MAX, |k| v[k].1),
+        };
+        assert_ne!(p, usize::MAX, "index {index} not sent by any rank");
+        p
     }
 }
 
@@ -240,6 +338,45 @@ mod tests {
             expect.sort_unstable();
             assert_eq!(pattern.dst_indices(rank), expect);
         }
+    }
+
+    #[test]
+    fn inverse_index_matches_per_rank_lookup() {
+        let p = CommPattern::example_2_1();
+        let inv = InverseIndex::from_inputs(&p.all_src_indices());
+        assert!(matches!(inv, InverseIndex::Dense(_)));
+        assert_eq!(
+            p.all_src_indices(),
+            (0..8).map(|r| p.src_indices(r)).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            p.all_dst_indices(),
+            (0..8).map(|r| p.dst_indices(r)).collect::<Vec<_>>()
+        );
+        for r in 0..8 {
+            for (pos, &i) in p.src_indices(r).iter().enumerate() {
+                assert_eq!(inv.input_pos(i), pos);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_index_sparse_fallback_stays_small() {
+        // two slots spread over a huge index space: the sorted
+        // representation must kick in and still resolve positions
+        let p = CommPattern::new(2, vec![vec![(1, vec![7, 1 << 40])], vec![]]);
+        let inv = InverseIndex::from_inputs(&p.all_src_indices());
+        assert!(matches!(&inv, InverseIndex::Sorted(v) if v.len() == 2));
+        assert_eq!(inv.input_pos(7), 0);
+        assert_eq!(inv.input_pos(1 << 40), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not sent by any rank")]
+    fn inverse_index_rejects_unknown() {
+        // indices 0 and 5 exist; 3 is a hole in the dense table
+        let p = CommPattern::new(2, vec![vec![(1, vec![0, 5])], vec![]]);
+        InverseIndex::from_inputs(&p.all_src_indices()).input_pos(3);
     }
 
     #[test]

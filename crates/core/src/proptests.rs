@@ -4,6 +4,7 @@ use crate::agg::verify::verify_plan;
 use crate::agg::{AssignStrategy, Plan};
 use crate::analytic::iteration_time;
 use crate::pattern::CommPattern;
+use crate::routing::RankRouting;
 use crate::stats::PlanStats;
 use locality::Topology;
 use perfmodel::LocalityModel;
@@ -85,6 +86,31 @@ proptest! {
             let plan = p.plan(&pattern, &topo);
             let tp = iteration_time(&plan, &topo, &model, p.is_wrapped()).total;
             prop_assert!(t <= tp + 1e-15, "{winner} ({t}) beaten by {p} ({tp})");
+        }
+    }
+
+    /// The single-sweep `RankRouting::build_all` produces routings
+    /// byte-identical to the per-rank `RankRouting::build` path, for every
+    /// protocol over random patterns, region sizes, and strategies.
+    #[test]
+    fn build_all_matches_per_rank_build(
+        pattern in arb_pattern(12),
+        ppn in 1usize..7,
+        dedup in any::<bool>(),
+        lb in any::<bool>(),
+    ) {
+        let topo = Topology::block_nodes(12, ppn);
+        let strategy = if lb { AssignStrategy::LoadBalanced } else { AssignStrategy::RoundRobin };
+        for plan in [
+            Plan::standard(&pattern, &topo),
+            Plan::aggregated(&pattern, &topo, dedup, strategy),
+        ] {
+            let all = RankRouting::build_all(&pattern, &plan, 4096);
+            prop_assert_eq!(all.len(), 12);
+            for (me, routing) in all.iter().enumerate() {
+                let single = RankRouting::build(&pattern, &plan, me, 4096);
+                prop_assert_eq!(routing, &single, "rank {} diverged", me);
+            }
         }
     }
 

@@ -18,10 +18,21 @@
 //! (`MPI_Pready`-style, the paper's §5 combination). Both sides of a
 //! message derive the same layout from the shared plan, so matching is
 //! deterministic.
+//!
+//! Two construction paths exist:
+//!
+//! * [`RankRouting::build`] derives one rank's view by scanning the plan —
+//!   O(plan) per rank, so initializing a whole world this way is O(N·M).
+//! * [`RankRouting::build_all`] derives **every** rank's view in a single
+//!   sweep of the plan — O(M + N) total. Each message is visited once and
+//!   contributes to its two endpoints; slot positions resolve through a
+//!   precomputed inverse-index table (global index → input position) and
+//!   binary searches over sorted ghost lists, not per-rank hash maps. The
+//!   unified [`crate::NeighborAlltoallv`] builder initializes through this
+//!   path. Both paths produce identical routings (property-tested).
 
-use crate::agg::{Plan, PlanMsg, Slot};
+use crate::agg::{Plan, PlanMsg, SlotArena};
 use crate::pattern::CommPattern;
-use std::collections::HashMap;
 use std::ops::Range;
 
 /// Tag layout: `tag_base + step*4096 + seq`, where `seq` disambiguates
@@ -40,16 +51,30 @@ pub enum Step {
 }
 
 /// Assign tags to a step's messages in shared plan order.
+///
+/// Step lists are sorted by `(src, dst)` — messages of one rank pair are
+/// adjacent — so the per-pair sequence number is the position within the
+/// current run; no per-call map is needed. The sortedness is a hard
+/// precondition: unsorted input would silently assign one tag to several
+/// same-pair messages, so it panics instead (one comparison per message,
+/// already paid by the run detection).
 pub fn msg_tags(msgs: &[PlanMsg], step: Step, tag_base: u64) -> Vec<u64> {
-    let mut pair_seq: HashMap<(usize, usize), u64> = HashMap::new();
-    msgs.iter()
-        .map(|m| {
-            let seq = pair_seq.entry((m.src, m.dst)).or_insert(0);
-            let tag = tag_base + (step as u64) * STEP_TAG_STRIDE + *seq;
-            *seq += 1;
-            tag
-        })
-        .collect()
+    let step_base = tag_base + (step as u64) * STEP_TAG_STRIDE;
+    let mut tags = Vec::with_capacity(msgs.len());
+    let mut seq = 0u64;
+    for (i, m) in msgs.iter().enumerate() {
+        if i > 0 && (msgs[i - 1].src, msgs[i - 1].dst) == (m.src, m.dst) {
+            seq += 1;
+        } else {
+            assert!(
+                i == 0 || (msgs[i - 1].src, msgs[i - 1].dst) < (m.src, m.dst),
+                "step messages must be (src, dst)-sorted for tag assignment"
+            );
+            seq = 0;
+        }
+        tags.push(step_base + seq);
+    }
+    tags
 }
 
 /// Where one partition of a `g` send gets its values from.
@@ -185,34 +210,51 @@ pub struct RankRouting {
 
 /// One g message's slots reordered origin-major, with partition bounds.
 struct GLayout {
-    /// Slots sorted by (origin, index, first final dst).
-    slots: Vec<Slot>,
+    /// Arena positions sorted by (origin, index, first final dst).
+    order: Vec<usize>,
     /// Origins in ascending order, one partition each.
     origins: Vec<usize>,
     /// Prefix offsets per partition (len = origins.len() + 1).
     bounds: Vec<usize>,
 }
 
-fn g_layout(m: &PlanMsg) -> GLayout {
-    let mut slots = m.slots.clone();
-    slots.sort_by_key(|s| (s.origin, s.index, s.final_dsts[0]));
+fn g_layout(slots: &SlotArena, m: &PlanMsg) -> GLayout {
+    let mut order: Vec<usize> = m.slots.clone().collect();
+    // the key is unique per slot, so the unstable sort is deterministic
+    order.sort_unstable_by_key(|&p| (slots.origin(p), slots.index(p), slots.final_dsts(p)[0]));
     let mut origins = Vec::new();
     let mut bounds = vec![0usize];
-    for (i, s) in slots.iter().enumerate() {
-        if origins.last() != Some(&s.origin) {
+    for (i, &p) in order.iter().enumerate() {
+        let o = slots.origin(p);
+        if origins.last() != Some(&o) {
             if !origins.is_empty() {
                 bounds.push(i);
             }
-            origins.push(s.origin);
+            origins.push(o);
         }
     }
-    bounds.push(slots.len());
+    bounds.push(order.len());
     GLayout {
-        slots,
+        order,
         origins,
         bounds,
     }
 }
+
+/// Sort an s message's slots to the per-origin order of the g partition.
+fn s_order(slots: &SlotArena, m: &PlanMsg) -> Vec<usize> {
+    let mut order: Vec<usize> = m.slots.clone().collect();
+    order.sort_unstable_by_key(|&p| (slots.index(p), slots.final_dsts(p)[0]));
+    order
+}
+
+/// `(sending leader, origin, first index, first fd)` of a g partition —
+/// the key an s message resolves its partition through. Unique: an index
+/// has one origin, and one first destination per region pair.
+type PartKey = (usize, usize, usize, usize);
+/// `(receiving leader, index, final dst)` — the key an r slot resolves its
+/// delivered g value through.
+type FwdKey = (usize, usize, usize);
 
 impl RankRouting {
     /// Build rank `me`'s routing for `plan`. Every rank must construct the
@@ -220,19 +262,26 @@ impl RankRouting {
     /// true). `tag_base` isolates concurrent collectives on the same
     /// communicator; use a distinct base per persistent object (e.g. per
     /// AMG level).
+    ///
+    /// This scans the whole plan for one rank; when every rank's routing is
+    /// needed, [`RankRouting::build_all`] derives all of them in a single
+    /// sweep instead.
     pub fn build(pattern: &CommPattern, plan: &Plan, me: usize, tag_base: u64) -> Self {
         let input_index = pattern.src_indices(me);
         let output_index = pattern.dst_indices(me);
-        let in_pos: HashMap<usize, usize> = input_index
-            .iter()
-            .enumerate()
-            .map(|(p, &i)| (i, p))
-            .collect();
-        let out_pos: HashMap<usize, usize> = output_index
-            .iter()
-            .enumerate()
-            .map(|(p, &i)| (i, p))
-            .collect();
+        // every input-position lookup is for a slot this rank owns, so its
+        // own sorted input list is the whole search space — no global
+        // inverse index needed on the per-rank path
+        let in_pos = |i: usize| {
+            input_index
+                .binary_search(&i)
+                .expect("slot index in this rank's input set")
+        };
+        let out_pos = |i: usize| {
+            output_index
+                .binary_search(&i)
+                .expect("slot index in this rank's ghost set")
+        };
 
         // ℓ step: direct sends from input to output.
         let mut local_sends = Vec::new();
@@ -243,19 +292,23 @@ impl RankRouting {
                 local_sends.push(SendRoute {
                     dst: m.dst,
                     tag,
-                    sources: m.slots.iter().map(|sl| in_pos[&sl.index]).collect(),
+                    sources: plan
+                        .local_slots
+                        .iter_range(m.slots.clone())
+                        .map(|sl| in_pos(sl.index))
+                        .collect(),
                 });
             }
             if m.dst == me {
                 local_recvs.push(RecvRoute {
                     src: m.src,
                     tag,
-                    len: m.slots.len(),
-                    outputs: m
-                        .slots
-                        .iter()
+                    len: m.n_values(),
+                    outputs: plan
+                        .local_slots
+                        .iter_range(m.slots.clone())
                         .enumerate()
-                        .map(|(p, sl)| (p, out_pos[&sl.index]))
+                        .map(|(p, sl)| (p, out_pos(sl.index)))
                         .collect(),
                 });
             }
@@ -268,16 +321,16 @@ impl RankRouting {
         // (an index has one origin and one first destination per region).
         let mut g_sends: Vec<GSendRoute> = Vec::new();
         let mut g_recvs = Vec::new();
-        // (origin, index, first fd) of a partition's first slot → (g send, partition)
-        let mut part_of: HashMap<(usize, usize, usize), (usize, usize)> = HashMap::new();
-        // forwarding map for r: (index, final dst) → (g recv, slot pos)
-        let mut fwd: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
+        // (me, origin, leading index, leading fd) → (g send, partition)
+        let mut part_of: Vec<(PartKey, (usize, usize))> = Vec::new();
+        // forwarding map for r: (me, index, final dst) → (g recv, slot pos)
+        let mut fwd: Vec<(FwdKey, (usize, usize))> = Vec::new();
         let g_tags = msg_tags(&plan.g_step, Step::G, tag_base);
         for (m, &tag) in plan.g_step.iter().zip(&g_tags) {
             if m.src != me && m.dst != me {
                 continue; // don't lay out messages this rank never touches
             }
-            let layout = g_layout(m);
+            let layout = g_layout(&plan.g_slots, m);
             if m.src == me {
                 let parts = layout
                     .origins
@@ -287,17 +340,17 @@ impl RankRouting {
                         let range = layout.bounds[p]..layout.bounds[p + 1];
                         let source = if origin == me {
                             PartSource::Input(
-                                layout.slots[range.clone()]
+                                layout.order[range.clone()]
                                     .iter()
-                                    .map(|sl| in_pos[&sl.index])
+                                    .map(|&ap| in_pos(plan.g_slots.index(ap)))
                                     .collect(),
                             )
                         } else {
-                            let first = &layout.slots[range.start];
-                            part_of.insert(
-                                (origin, first.index, first.final_dsts[0]),
+                            let first = plan.g_slots.get(layout.order[range.start]);
+                            part_of.push((
+                                (me, origin, first.index, first.final_dsts[0]),
                                 (g_sends.len(), p),
-                            );
+                            ));
                             // resolved to an s receive in the s pass below
                             PartSource::Staged { s_recv: usize::MAX }
                         };
@@ -311,31 +364,34 @@ impl RankRouting {
                 g_sends.push(GSendRoute {
                     dst: m.dst,
                     tag,
-                    len: layout.slots.len(),
+                    len: layout.order.len(),
                     bounds: layout.bounds.clone(),
                     parts,
                 });
             }
             if m.dst == me {
                 let mut outputs = Vec::new();
-                for (pos, sl) in layout.slots.iter().enumerate() {
-                    for &fd in &sl.final_dsts {
+                for (pos, &ap) in layout.order.iter().enumerate() {
+                    let sl = plan.g_slots.get(ap);
+                    for &fd in sl.final_dsts {
                         if fd == me {
-                            outputs.push((pos, out_pos[&sl.index]));
+                            outputs.push((pos, out_pos(sl.index)));
                         } else {
-                            fwd.insert((sl.index, fd), (g_recvs.len(), pos));
+                            fwd.push(((me, sl.index, fd), (g_recvs.len(), pos)));
                         }
                     }
                 }
                 g_recvs.push(GRecvRoute {
                     src: m.src,
                     tag,
-                    len: layout.slots.len(),
+                    len: layout.order.len(),
                     bounds: layout.bounds,
                     outputs,
                 });
             }
         }
+        part_of.sort_unstable();
+        fwd.sort_unstable();
 
         // s step: staging ranks ship their contribution to the sending
         // leader in the partition's slot order; the leader resolves which
@@ -347,23 +403,28 @@ impl RankRouting {
             if m.src != me && m.dst != me {
                 continue;
             }
-            // sort to the per-origin order of the g partition
-            let mut slots = m.slots.clone();
-            slots.sort_by_key(|s| (s.index, s.final_dsts[0]));
+            let order = s_order(&plan.s_slots, m);
             if m.src == me {
                 s_sends.push(SendRoute {
                     dst: m.dst,
                     tag,
-                    sources: slots.iter().map(|sl| in_pos[&sl.index]).collect(),
+                    sources: order
+                        .iter()
+                        .map(|&ap| in_pos(plan.s_slots.index(ap)))
+                        .collect(),
                 });
             }
             if m.dst == me {
-                let first = &slots[0];
-                let (g_send, partition) = part_of[&(m.src, first.index, first.final_dsts[0])];
+                let first = plan.s_slots.get(order[0]);
+                let key: PartKey = (me, m.src, first.index, first.final_dsts[0]);
+                let k = part_of
+                    .binary_search_by_key(&key, |e| e.0)
+                    .expect("staging message matches a g partition");
+                let (g_send, partition) = part_of[k].1;
                 let part = &mut g_sends[g_send].parts[partition];
                 assert_eq!(
                     part.range.len(),
-                    slots.len(),
+                    order.len(),
                     "staging/partition length mismatch"
                 );
                 part.source = PartSource::Staged {
@@ -372,7 +433,7 @@ impl RankRouting {
                 s_recvs.push(SRecvRoute {
                     src: m.src,
                     tag,
-                    len: slots.len(),
+                    len: order.len(),
                     g_send,
                     partition,
                 });
@@ -398,19 +459,29 @@ impl RankRouting {
                 r_sends.push(RSendRoute {
                     dst: m.dst,
                     tag,
-                    sources: m.slots.iter().map(|sl| fwd[&(sl.index, m.dst)]).collect(),
+                    sources: plan
+                        .r_slots
+                        .iter_range(m.slots.clone())
+                        .map(|sl| {
+                            let key: FwdKey = (me, sl.index, m.dst);
+                            let k = fwd
+                                .binary_search_by_key(&key, |e| e.0)
+                                .expect("forwarded value was delivered by a g receive");
+                            fwd[k].1
+                        })
+                        .collect(),
                 });
             }
             if m.dst == me {
                 r_recvs.push(RecvRoute {
                     src: m.src,
                     tag,
-                    len: m.slots.len(),
-                    outputs: m
-                        .slots
-                        .iter()
+                    len: m.n_values(),
+                    outputs: plan
+                        .r_slots
+                        .iter_range(m.slots.clone())
                         .enumerate()
-                        .map(|(p, sl)| (p, out_pos[&sl.index]))
+                        .map(|(p, sl)| (p, out_pos(sl.index)))
                         .collect(),
                 });
             }
@@ -430,6 +501,221 @@ impl RankRouting {
             r_recvs,
         }
     }
+
+    /// Derive **every** rank's routing in one sweep of the plan.
+    ///
+    /// Each message is visited once and contributes routes to both of its
+    /// endpoints, so the whole-world derivation is O(M + N) in the plan
+    /// size M and rank count N — against O(N·M) for N calls to
+    /// [`RankRouting::build`]. The g layouts are also computed once per
+    /// message instead of once per endpoint. Produces routings identical
+    /// to the per-rank path.
+    pub fn build_all(pattern: &CommPattern, plan: &Plan, tag_base: u64) -> Vec<RankRouting> {
+        let n = plan.n_ranks;
+        let inputs = pattern.all_src_indices();
+        let inv = crate::pattern::InverseIndex::from_inputs(&inputs);
+        let outputs = pattern.all_dst_indices();
+        let out_pos = |rank: usize, i: usize| {
+            outputs[rank]
+                .binary_search(&i)
+                .expect("slot index in the receiver's ghost set")
+        };
+
+        let mut routings: Vec<RankRouting> = (0..n)
+            .map(|me| RankRouting {
+                me,
+                input_index: Vec::new(),
+                output_index: Vec::new(),
+                local_sends: Vec::new(),
+                local_recvs: Vec::new(),
+                s_sends: Vec::new(),
+                s_recvs: Vec::new(),
+                g_sends: Vec::new(),
+                g_recvs: Vec::new(),
+                r_sends: Vec::new(),
+                r_recvs: Vec::new(),
+            })
+            .collect();
+
+        // ℓ
+        let local_tags = msg_tags(&plan.local, Step::Local, tag_base);
+        for (m, &tag) in plan.local.iter().zip(&local_tags) {
+            routings[m.src].local_sends.push(SendRoute {
+                dst: m.dst,
+                tag,
+                sources: plan
+                    .local_slots
+                    .iter_range(m.slots.clone())
+                    .map(|sl| inv.input_pos(sl.index))
+                    .collect(),
+            });
+            routings[m.dst].local_recvs.push(RecvRoute {
+                src: m.src,
+                tag,
+                len: m.n_values(),
+                outputs: plan
+                    .local_slots
+                    .iter_range(m.slots.clone())
+                    .enumerate()
+                    .map(|(p, sl)| (p, out_pos(m.dst, sl.index)))
+                    .collect(),
+            });
+        }
+
+        // g: one shared layout per message feeds both endpoints.
+        let mut part_of: Vec<(PartKey, (usize, usize))> = Vec::new();
+        let mut fwd: Vec<(FwdKey, (usize, usize))> = Vec::new();
+        let g_tags = msg_tags(&plan.g_step, Step::G, tag_base);
+        for (m, &tag) in plan.g_step.iter().zip(&g_tags) {
+            let layout = g_layout(&plan.g_slots, m);
+
+            let g_send_idx = routings[m.src].g_sends.len();
+            let parts = layout
+                .origins
+                .iter()
+                .enumerate()
+                .map(|(p, &origin)| {
+                    let range = layout.bounds[p]..layout.bounds[p + 1];
+                    let source = if origin == m.src {
+                        PartSource::Input(
+                            layout.order[range.clone()]
+                                .iter()
+                                .map(|&ap| inv.input_pos(plan.g_slots.index(ap)))
+                                .collect(),
+                        )
+                    } else {
+                        let first = plan.g_slots.get(layout.order[range.start]);
+                        part_of.push((
+                            (m.src, origin, first.index, first.final_dsts[0]),
+                            (g_send_idx, p),
+                        ));
+                        PartSource::Staged { s_recv: usize::MAX }
+                    };
+                    GPartRoute {
+                        origin,
+                        range,
+                        source,
+                    }
+                })
+                .collect();
+            routings[m.src].g_sends.push(GSendRoute {
+                dst: m.dst,
+                tag,
+                len: layout.order.len(),
+                bounds: layout.bounds.clone(),
+                parts,
+            });
+
+            let g_recv_idx = routings[m.dst].g_recvs.len();
+            let mut outs = Vec::new();
+            for (pos, &ap) in layout.order.iter().enumerate() {
+                let sl = plan.g_slots.get(ap);
+                for &fd in sl.final_dsts {
+                    if fd == m.dst {
+                        outs.push((pos, out_pos(m.dst, sl.index)));
+                    } else {
+                        fwd.push(((m.dst, sl.index, fd), (g_recv_idx, pos)));
+                    }
+                }
+            }
+            routings[m.dst].g_recvs.push(GRecvRoute {
+                src: m.src,
+                tag,
+                len: layout.order.len(),
+                bounds: layout.bounds,
+                outputs: outs,
+            });
+        }
+        part_of.sort_unstable();
+        fwd.sort_unstable();
+
+        // s
+        let s_tags = msg_tags(&plan.s_step, Step::S, tag_base);
+        for (m, &tag) in plan.s_step.iter().zip(&s_tags) {
+            let order = s_order(&plan.s_slots, m);
+            routings[m.src].s_sends.push(SendRoute {
+                dst: m.dst,
+                tag,
+                sources: order
+                    .iter()
+                    .map(|&ap| inv.input_pos(plan.s_slots.index(ap)))
+                    .collect(),
+            });
+            let first = plan.s_slots.get(order[0]);
+            let key: PartKey = (m.dst, m.src, first.index, first.final_dsts[0]);
+            let k = part_of
+                .binary_search_by_key(&key, |e| e.0)
+                .expect("staging message matches a g partition");
+            let (g_send, partition) = part_of[k].1;
+            let leader = &mut routings[m.dst];
+            let part = &mut leader.g_sends[g_send].parts[partition];
+            assert_eq!(
+                part.range.len(),
+                order.len(),
+                "staging/partition length mismatch"
+            );
+            part.source = PartSource::Staged {
+                s_recv: leader.s_recvs.len(),
+            };
+            leader.s_recvs.push(SRecvRoute {
+                src: m.src,
+                tag,
+                len: order.len(),
+                g_send,
+                partition,
+            });
+        }
+        for r in &routings {
+            for g in &r.g_sends {
+                for part in &g.parts {
+                    assert_ne!(
+                        part.source,
+                        PartSource::Staged { s_recv: usize::MAX },
+                        "rank {}: partition from origin {} never staged",
+                        r.me,
+                        part.origin
+                    );
+                }
+            }
+        }
+
+        // r
+        let r_tags = msg_tags(&plan.r_step, Step::R, tag_base);
+        for (m, &tag) in plan.r_step.iter().zip(&r_tags) {
+            routings[m.src].r_sends.push(RSendRoute {
+                dst: m.dst,
+                tag,
+                sources: plan
+                    .r_slots
+                    .iter_range(m.slots.clone())
+                    .map(|sl| {
+                        let key: FwdKey = (m.src, sl.index, m.dst);
+                        let k = fwd
+                            .binary_search_by_key(&key, |e| e.0)
+                            .expect("forwarded value was delivered by a g receive");
+                        fwd[k].1
+                    })
+                    .collect(),
+            });
+            routings[m.dst].r_recvs.push(RecvRoute {
+                src: m.src,
+                tag,
+                len: m.n_values(),
+                outputs: plan
+                    .r_slots
+                    .iter_range(m.slots.clone())
+                    .enumerate()
+                    .map(|(p, sl)| (p, out_pos(m.dst, sl.index)))
+                    .collect(),
+            });
+        }
+
+        for (r, (ii, oi)) in routings.iter_mut().zip(inputs.into_iter().zip(outputs)) {
+            r.input_index = ii;
+            r.output_index = oi;
+        }
+        routings
+    }
 }
 
 #[cfg(test)]
@@ -444,37 +730,21 @@ mod tests {
 
     #[test]
     fn g_layout_origin_major() {
+        let mut slots = SlotArena::new();
+        slots.push(9, 2, [4]);
+        slots.push(1, 0, [5]);
+        slots.push(5, 2, [6]);
+        slots.push(3, 1, [4]);
         let m = PlanMsg {
             src: 0,
             dst: 4,
-            slots: vec![
-                Slot {
-                    index: 9,
-                    origin: 2,
-                    final_dsts: vec![4],
-                },
-                Slot {
-                    index: 1,
-                    origin: 0,
-                    final_dsts: vec![5],
-                },
-                Slot {
-                    index: 5,
-                    origin: 2,
-                    final_dsts: vec![6],
-                },
-                Slot {
-                    index: 3,
-                    origin: 1,
-                    final_dsts: vec![4],
-                },
-            ],
+            slots: 0..4,
         };
-        let l = g_layout(&m);
+        let l = g_layout(&slots, &m);
         assert_eq!(l.origins, vec![0, 1, 2]);
         assert_eq!(l.bounds, vec![0, 1, 2, 4]);
-        assert_eq!(l.slots[2].index, 5); // origin 2 sorted by index
-        assert_eq!(l.slots[3].index, 9);
+        assert_eq!(slots.index(l.order[2]), 5); // origin 2 sorted by index
+        assert_eq!(slots.index(l.order[3]), 9);
     }
 
     #[test]
@@ -482,17 +752,25 @@ mod tests {
         let msg = |src, dst| PlanMsg {
             src,
             dst,
-            slots: vec![Slot {
-                index: 0,
-                origin: src,
-                final_dsts: vec![dst],
-            }],
+            slots: 0..1,
         };
         let msgs = vec![msg(0, 1), msg(0, 1), msg(2, 1)];
         let tags = msg_tags(&msgs, Step::S, 100);
         assert_eq!(tags[0], 100 + STEP_TAG_STRIDE);
         assert_eq!(tags[1], 100 + STEP_TAG_STRIDE + 1);
         assert_eq!(tags[2], 100 + STEP_TAG_STRIDE);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted for tag assignment")]
+    fn unsorted_messages_rejected_by_tagging() {
+        let msg = |src, dst| PlanMsg {
+            src,
+            dst,
+            slots: 0..1,
+        };
+        // same-pair messages separated by another pair would alias tags
+        msg_tags(&[msg(0, 1), msg(2, 1), msg(0, 1)], Step::S, 0);
     }
 
     #[test]
@@ -542,6 +820,26 @@ mod tests {
                 let dst = s.sources.len();
                 assert!(dst > 0);
             }
+        }
+    }
+
+    #[test]
+    fn build_all_matches_per_rank_build() {
+        let (pattern, topo) = example();
+        for (dedup, strategy) in [
+            (false, AssignStrategy::RoundRobin),
+            (true, AssignStrategy::LoadBalanced),
+        ] {
+            let plan = Plan::aggregated(&pattern, &topo, dedup, strategy);
+            let all = RankRouting::build_all(&pattern, &plan, 512);
+            for (me, r) in all.iter().enumerate() {
+                assert_eq!(r, &RankRouting::build(&pattern, &plan, me, 512));
+            }
+        }
+        let plan = Plan::standard(&pattern, &topo);
+        let all = RankRouting::build_all(&pattern, &plan, 0);
+        for (me, r) in all.iter().enumerate() {
+            assert_eq!(r, &RankRouting::build(&pattern, &plan, me, 0));
         }
     }
 

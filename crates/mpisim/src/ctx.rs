@@ -73,6 +73,34 @@ impl RankCtx {
         }
     }
 
+    /// Charge the virtual clock for injecting `bytes` to world rank
+    /// `dst_world` and return the modeled arrival time (the persistent
+    /// channels' counterpart of the mailbox send path).
+    pub(crate) fn charge_send(&mut self, dst_world: usize, bytes: usize) -> f64 {
+        let arrival = self.clock + self.model_msg_time(dst_world, bytes);
+        self.clock = arrival;
+        arrival
+    }
+
+    /// Merge a received message's modeled arrival time into the virtual
+    /// clock. Pre-matched channels pay no queue-search term — that is the
+    /// point of matching at init time (`match_time(0)` in model terms).
+    pub(crate) fn charge_recv(&mut self, arrival: f64) {
+        self.clock = self.clock.max(arrival);
+    }
+
+    /// Resolve the pre-matched persistent channel for messages from
+    /// communicator rank `src` to communicator rank `dst` with `tag`.
+    pub(crate) fn persistent_channel<T: crate::elem::Elem>(
+        &self,
+        comm: &Comm,
+        src: usize,
+        dst: usize,
+        tag: u64,
+    ) -> std::sync::Arc<crate::state::Channel<T>> {
+        self.world.channel((comm.ctx_id, src, dst, tag))
+    }
+
     /// Send `data` to communicator rank `dst` (buffered semantics: completes
     /// locally). `tag` must be below the user tag limit.
     pub fn send<T: Elem>(&mut self, comm: &Comm, dst: usize, tag: u64, data: &[T]) {
@@ -87,12 +115,10 @@ impl RankCtx {
     pub(crate) fn send_internal<T: Elem>(&mut self, comm: &Comm, dst: usize, tag: u64, data: &[T]) {
         let dst_world = comm.world_rank(dst);
         let bytes = data.len() * elem_bytes::<T>();
-        let dt = self.model_msg_time(dst_world, bytes);
-        let arrival = self.clock + dt;
         // Sender is occupied for the injection portion of the transfer; for
         // simplicity the full postal time is charged (α-dominated patterns
         // make the distinction immaterial at the scales studied here).
-        self.clock = arrival;
+        let arrival = self.charge_send(dst_world, bytes);
         self.world.deposit(
             dst_world,
             Envelope {
@@ -116,7 +142,9 @@ impl RankCtx {
     }
 
     pub(crate) fn recv_internal<T: Elem>(&mut self, comm: &Comm, src: usize, tag: u64) -> Vec<T> {
-        let (env, searched) = self.world.match_recv(self.rank, comm.ctx_id, src, tag);
+        let (env, searched) = self
+            .world
+            .match_recv(self.rank, comm.ctx_id, src, comm.rank(), tag);
         self.clock = self.clock.max(env.arrival) + self.model_match_time(searched);
         let tn = env.type_name;
         *env.payload.downcast::<Vec<T>>().unwrap_or_else(|_| {

@@ -12,12 +12,18 @@
 //! Semantics implemented here: each partition travels as its own message
 //! the moment `pready` is called; the receive side completes when all
 //! partitions have arrived (`wait`), and individual partitions can be
-//! polled with `parrived`.
+//! polled with `parrived`. Like the plain persistent requests, every
+//! partition's signature is matched to its peer **once at init time**: each
+//! partition owns a pre-matched channel, so `pready` deposits into the
+//! partition's slot and `parrived`/`wait` copy straight into the registered
+//! buffer window — no mailbox probing or scanning per iteration.
 
 use crate::comm::{Comm, USER_TAG_LIMIT};
 use crate::ctx::RankCtx;
-use crate::elem::Elem;
+use crate::elem::{elem_bytes, Elem};
 use crate::persistent::SharedBuf;
+use crate::state::Channel;
+use std::sync::Arc;
 
 /// Reserved tag stride so each partition gets a distinct sub-tag.
 const PART_TAG_STRIDE: u64 = 1 << 20;
@@ -31,12 +37,12 @@ fn part_tag(tag: u64, partition: usize) -> u64 {
 /// (equal chunks via [`RankCtx::psend_init`], arbitrary chunks via
 /// [`RankCtx::psend_init_parts`]).
 pub struct PsendReq<T: Elem> {
-    comm: Comm,
-    dst: usize,
-    tag: u64,
+    dst_world: usize,
     buf: SharedBuf<T>,
     /// Prefix offsets: partition `p` covers `bounds[p] .. bounds[p+1]`.
     bounds: Vec<usize>,
+    /// One pre-matched channel per partition.
+    chans: Vec<Arc<Channel<T>>>,
     ready: Vec<bool>,
 }
 
@@ -67,11 +73,9 @@ impl<T: Elem> PsendReq<T> {
             "partition {partition} marked ready twice"
         );
         self.ready[partition] = true;
-        let data = {
-            let guard = self.buf.read();
-            guard[range].to_vec()
-        };
-        ctx.send_internal(&self.comm, self.dst, part_tag(self.tag, partition), &data);
+        let guard = self.buf.read();
+        let arrival = ctx.charge_send(self.dst_world, range.len() * elem_bytes::<T>());
+        self.chans[partition].push(&guard[range], arrival);
     }
 
     /// Complete the iteration (all partitions must have been made ready).
@@ -101,6 +105,7 @@ pub struct PrecvReq<T: Elem> {
     tag: u64,
     buf: SharedBuf<T>,
     bounds: Vec<usize>,
+    chans: Vec<Arc<Channel<T>>>,
     arrived: Vec<bool>,
 }
 
@@ -120,7 +125,7 @@ impl<T: Elem> PrecvReq<T> {
         if self.arrived[partition] {
             return true;
         }
-        if ctx.iprobe(&self.comm, self.src, part_tag(self.tag, partition)) {
+        if self.chans[partition].ready() {
             self.drain(ctx, partition);
             true
         } else {
@@ -128,15 +133,34 @@ impl<T: Elem> PrecvReq<T> {
         }
     }
 
+    /// Copy `partition` out of its channel slot (blocking if it has not
+    /// arrived yet).
     fn drain(&mut self, ctx: &mut RankCtx, partition: usize) {
         let range = self.partition_range(partition);
-        let data: Vec<T> = ctx.recv_internal(&self.comm, self.src, part_tag(self.tag, partition));
+        // block on the channel BEFORE taking the buffer lock, probing the
+        // mailbox for mixed plain traffic while stalled (see
+        // `RecvReq::wait`)
+        let (data, arrival) = self.chans[partition].pop_with(|| {
+            assert!(
+                !ctx.iprobe(&self.comm, self.src, part_tag(self.tag, partition)),
+                "partitioned recv from {} tag {} partition {partition}: matching \
+                 message sits in the plain mailbox — mixing plain sends with \
+                 partitioned receives on one signature is unsupported",
+                self.src,
+                self.tag
+            );
+        });
         assert_eq!(
             data.len(),
             range.len(),
-            "partition {partition} length mismatch"
+            "partition {partition} (channel {:?}): expected {} elements, got {}",
+            self.chans[partition].key(),
+            range.len(),
+            data.len()
         );
         self.buf.write()[range].clone_from_slice(&data);
+        self.chans[partition].recycle(data);
+        ctx.charge_recv(arrival);
         self.arrived[partition] = true;
     }
 
@@ -210,12 +234,14 @@ impl RankCtx {
         );
         validate_bounds(&bounds, buf.read().len());
         let n_parts = bounds.len() - 1;
+        let chans = (0..n_parts)
+            .map(|p| self.persistent_channel(comm, comm.rank(), dst, part_tag(tag, p)))
+            .collect();
         PsendReq {
-            comm: comm.clone(),
-            dst,
-            tag,
+            dst_world: comm.world_rank(dst),
             buf,
             bounds,
+            chans,
             ready: vec![true; n_parts], // "completed" state before first start
         }
     }
@@ -249,12 +275,16 @@ impl RankCtx {
         );
         validate_bounds(&bounds, buf.read().len());
         let n_parts = bounds.len() - 1;
+        let chans = (0..n_parts)
+            .map(|p| self.persistent_channel(comm, src, comm.rank(), part_tag(tag, p)))
+            .collect();
         PrecvReq {
             comm: comm.clone(),
             src,
             tag,
             buf,
             bounds,
+            chans,
             arrived: vec![false; n_parts],
         }
     }

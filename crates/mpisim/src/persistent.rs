@@ -9,10 +9,26 @@
 //! pointer: the application rewrites the buffer contents between `start`
 //! calls (e.g. new vector values in each SpMV) without re-registering the
 //! message.
+//!
+//! Registration is where the amortization happens in this simulator too:
+//! `send_init`/`recv_init` resolve the message signature `(context, src,
+//! dst, tag)` to a **pre-matched channel** once, so every iteration's
+//! `start`/`wait` moves values through that channel slot — a condvar-guarded
+//! FIFO whose payload buffers are recycled — and `wait` copies straight
+//! into the registered receive window. The unexpected-message mailbox and
+//! its linear matching scan are only paid by non-persistent traffic.
+//!
+//! A persistent send therefore matches a persistent receive registered with
+//! the same signature on the peer (the paper's collectives always register
+//! both sides at init). Mixing persistent and plain traffic on one
+//! signature is unsupported; a persistent `wait` that finds the matching
+//! message in the plain mailbox panics with a diagnostic rather than
+//! hanging.
 
 use crate::comm::{Comm, USER_TAG_LIMIT};
 use crate::ctx::RankCtx;
-use crate::elem::Elem;
+use crate::elem::{elem_bytes, Elem};
+use crate::state::Channel;
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -25,11 +41,12 @@ pub fn shared_buf<T>(data: Vec<T>) -> SharedBuf<T> {
 }
 
 /// Persistent send: a registered message covering
-/// `buf[offset .. offset + len]`, re-sent on every [`SendReq::start`].
+/// `buf[offset .. offset + len]`, re-sent on every [`SendReq::start`]
+/// through its pre-matched channel.
 pub struct SendReq<T: Elem> {
-    comm: Comm,
     dst: usize,
-    tag: u64,
+    dst_world: usize,
+    chan: Arc<Channel<T>>,
     buf: SharedBuf<T>,
     offset: usize,
     len: usize,
@@ -38,18 +55,17 @@ pub struct SendReq<T: Elem> {
 impl<T: Elem> SendReq<T> {
     /// Start one instance of the send (reads the current buffer contents).
     pub fn start(&self, ctx: &mut RankCtx) {
-        let data = {
-            let guard = self.buf.read();
-            assert!(
-                self.offset + self.len <= guard.len(),
-                "persistent send range {}..{} out of buffer of len {}",
-                self.offset,
-                self.offset + self.len,
-                guard.len()
-            );
-            guard[self.offset..self.offset + self.len].to_vec()
-        };
-        ctx.send_internal(&self.comm, self.dst, self.tag, &data);
+        let guard = self.buf.read();
+        assert!(
+            self.offset + self.len <= guard.len(),
+            "persistent send range {}..{} out of buffer of len {}",
+            self.offset,
+            self.offset + self.len,
+            guard.len()
+        );
+        let arrival = ctx.charge_send(self.dst_world, self.len * elem_bytes::<T>());
+        self.chan
+            .push(&guard[self.offset..self.offset + self.len], arrival);
     }
 
     /// Complete the send. Buffered semantics: a started send is already
@@ -69,11 +85,13 @@ impl<T: Elem> SendReq<T> {
     }
 }
 
-/// Persistent receive into `buf[offset .. offset + len]`.
+/// Persistent receive into `buf[offset .. offset + len]` through its
+/// pre-matched channel.
 pub struct RecvReq<T: Elem> {
     comm: Comm,
     src: usize,
     tag: u64,
+    chan: Arc<Channel<T>>,
     buf: SharedBuf<T>,
     offset: usize,
     len: usize,
@@ -87,22 +105,37 @@ impl<T: Elem> RecvReq<T> {
         self.started = true;
     }
 
-    /// Block until the matching message arrives and copy it into the buffer.
+    /// Block until the matching message arrives and copy it into the
+    /// registered buffer window.
     pub fn wait(&mut self, ctx: &mut RankCtx) {
         assert!(self.started, "wait on a receive that was not started");
         self.started = false;
-        let data: Vec<T> = ctx.recv_internal(&self.comm, self.src, self.tag);
+        // block on the channel BEFORE taking the buffer lock: the shared
+        // buffer may be in use elsewhere (even by the matching sender).
+        // While blocked, probe the mailbox so a plain send aimed at this
+        // persistent receive fails loudly instead of hanging both ranks.
+        let (data, arrival) = self.chan.pop_with(|| {
+            assert!(
+                !ctx.iprobe(&self.comm, self.src, self.tag),
+                "persistent recv from {} tag {}: matching message sits in the plain \
+                 mailbox — mixing a plain send with a persistent receive on one \
+                 signature is unsupported (use send_init on the sender)",
+                self.src,
+                self.tag
+            );
+        });
         assert_eq!(
             data.len(),
             self.len,
-            "persistent recv from {} tag {}: expected {} elements, got {}",
+            "persistent recv from {} (channel {:?}): expected {} elements, got {}",
             self.src,
-            self.tag,
+            self.chan.key(),
             self.len,
             data.len()
         );
-        let mut guard = self.buf.write();
-        guard[self.offset..self.offset + self.len].clone_from_slice(&data);
+        self.buf.write()[self.offset..self.offset + self.len].clone_from_slice(&data);
+        self.chan.recycle(data);
+        ctx.charge_recv(arrival);
     }
 
     pub fn src(&self) -> usize {
@@ -158,7 +191,8 @@ pub fn wait_all<T: Elem>(ctx: &mut RankCtx, reqs: &mut [Request<T>]) {
 
 impl RankCtx {
     /// `MPI_Send_init`: register a persistent send of
-    /// `buf[offset..offset+len]` to communicator rank `dst`.
+    /// `buf[offset..offset+len]` to communicator rank `dst`. Resolves the
+    /// pre-matched channel now so `start` never touches the mailbox.
     pub fn send_init<T: Elem>(
         &self,
         comm: &Comm,
@@ -173,10 +207,11 @@ impl RankCtx {
             "tag {tag} in reserved collective space"
         );
         assert!(dst < comm.size(), "dst {dst} out of range");
+        let chan = self.persistent_channel(comm, comm.rank(), dst, tag);
         SendReq {
-            comm: comm.clone(),
             dst,
-            tag,
+            dst_world: comm.world_rank(dst),
+            chan,
             buf,
             offset,
             len,
@@ -184,7 +219,8 @@ impl RankCtx {
     }
 
     /// `MPI_Recv_init`: register a persistent receive into
-    /// `buf[offset..offset+len]` from communicator rank `src`.
+    /// `buf[offset..offset+len]` from communicator rank `src`. Resolves the
+    /// pre-matched channel now so `wait` copies straight into the window.
     pub fn recv_init<T: Elem>(
         &self,
         comm: &Comm,
@@ -209,10 +245,12 @@ impl RankCtx {
                 guard.len()
             );
         }
+        let chan = self.persistent_channel(comm, src, comm.rank(), tag);
         RecvReq {
             comm: comm.clone(),
             src,
             tag,
+            chan,
             buf,
             offset,
             len,
@@ -307,6 +345,97 @@ mod tests {
             got
         });
         assert_eq!(out, vec![101, 100]);
+    }
+
+    #[test]
+    fn sender_runs_ahead_of_receiver() {
+        // buffered semantics: several iterations may be in flight; the
+        // channel queues them FIFO and never blocks the sender
+        let out = World::run(2, |ctx| {
+            let comm = ctx.comm_world();
+            if ctx.rank() == 0 {
+                let buf = shared_buf(vec![0u64]);
+                let send = ctx.send_init(&comm, 1, 2, buf.clone(), 0, 1);
+                for it in 0..5u64 {
+                    buf.write()[0] = it * 11;
+                    send.start(ctx);
+                }
+                0
+            } else {
+                let buf = shared_buf(vec![0u64]);
+                let mut recv = ctx.recv_init(&comm, 0, 2, buf.clone(), 0, 1);
+                let mut acc = 0;
+                for _ in 0..5 {
+                    recv.start();
+                    recv.wait(ctx);
+                    acc = acc * 100 + buf.read()[0];
+                }
+                acc
+            }
+        });
+        assert_eq!(out[1], 11223344); // 0,11,22,33,44 in order
+    }
+
+    #[test]
+    fn blocked_wait_does_not_hold_the_buffer_lock() {
+        // One Arc'd buffer shared across ranks: the receiver registers one
+        // window, the sender reads another window of the SAME buffer. The
+        // receiver blocks in wait() before the sender starts; if wait held
+        // the buffer's write lock while blocked, the sender could never
+        // acquire the read lock to push and both ranks would deadlock.
+        let shared = shared_buf(vec![5u64, 77]);
+        let out = World::run(2, |ctx| {
+            let comm = ctx.comm_world();
+            if ctx.rank() == 0 {
+                let send = ctx.send_init(&comm, 1, 0, shared.clone(), 1, 1);
+                // let the receiver reach its blocked wait first
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                send.start(ctx);
+                0
+            } else {
+                let mut recv = ctx.recv_init(&comm, 0, 0, shared.clone(), 0, 1);
+                recv.start();
+                recv.wait(ctx);
+                shared.read()[0]
+            }
+        });
+        assert_eq!(out[1], 77);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixing a plain send with a persistent receive")]
+    fn mixed_plain_send_persistent_recv_panics() {
+        World::run(2, |ctx| {
+            let comm = ctx.comm_world();
+            if ctx.rank() == 0 {
+                // plain send on the signature the peer registered a
+                // persistent receive for: lands in the mailbox the
+                // pre-matched channel bypasses
+                ctx.send(&comm, 1, 5, &[1.0f64]);
+            } else {
+                let buf = shared_buf(vec![0.0f64]);
+                let mut recv = ctx.recv_init(&comm, 0, 5, buf, 0, 1);
+                recv.start();
+                recv.wait(ctx); // must panic with a diagnostic, not hang
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "mixing a persistent send with a plain recv")]
+    fn mixed_persistent_send_plain_recv_panics() {
+        World::run(2, |ctx| {
+            let comm = ctx.comm_world();
+            if ctx.rank() == 0 {
+                // persistent send bypasses the mailbox the peer's plain
+                // recv blocks on
+                let buf = shared_buf(vec![1.0f64]);
+                let send = ctx.send_init(&comm, 1, 6, buf, 0, 1);
+                send.start(ctx);
+            } else {
+                let _: Vec<f64> = ctx.recv(&comm, 0, 6); // must panic, not hang
+            }
+        });
     }
 
     #[test]

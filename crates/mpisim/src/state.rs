@@ -1,10 +1,12 @@
-//! Shared world state: mailboxes and the matching engine.
+//! Shared world state: mailboxes, the matching engine, and the registry of
+//! pre-matched persistent channels.
 
 use locality::Topology;
 use parking_lot::{Condvar, Mutex};
 use perfmodel::CostModel;
 use std::any::Any;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A message in flight.
@@ -35,11 +37,119 @@ pub(crate) struct ModelCtx {
     pub topo: Topology,
 }
 
+/// Signature of a pre-matched persistent channel:
+/// `(context id, src comm rank, dst comm rank, tag)`.
+pub(crate) type ChanKey = (u64, usize, usize, u64);
+
+/// Registry slot: element type name (for mismatch diagnostics), the
+/// type-erased channel, and its pending-message counter — readable without
+/// knowing `T`, so the plain mailbox path can detect mixed traffic.
+type ChanSlot = (&'static str, Arc<dyn Any + Send + Sync>, Arc<AtomicUsize>);
+
+/// A pre-matched persistent channel: the rendezvous a `send_init` /
+/// `recv_init` pair shares, created once at registration time.
+///
+/// Every iteration's `start`/`wait` goes straight through this slot —
+/// a flag (non-empty `pending`) plus a condvar — instead of boxing a fresh
+/// `Vec` behind `dyn Any` and linearly scanning the destination's mutexed
+/// mailbox. Payload buffers are recycled through `spare`, so the
+/// steady-state iteration allocates nothing. The FIFO `pending` queue
+/// preserves buffered-send semantics (a sender may run several iterations
+/// ahead) and MPI's non-overtaking order for equal signatures.
+pub(crate) struct Channel<T> {
+    key: ChanKey,
+    state: Mutex<ChanState<T>>,
+    cv: Condvar,
+    /// Pending-message count mirrored outside the typed state (shared with
+    /// the registry slot) so the mailbox path can probe it untyped.
+    pending_count: Arc<AtomicUsize>,
+}
+
+struct ChanState<T> {
+    /// Delivered-but-unconsumed payloads with their modeled arrival times.
+    pending: VecDeque<(Vec<T>, f64)>,
+    /// Consumed payload buffers, reused by the next send.
+    spare: Vec<Vec<T>>,
+}
+
+impl<T: Clone + Send + 'static> Channel<T> {
+    fn new(key: ChanKey, pending_count: Arc<AtomicUsize>) -> Self {
+        Self {
+            key,
+            state: Mutex::new(ChanState {
+                pending: VecDeque::new(),
+                spare: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            pending_count,
+        }
+    }
+
+    /// Deposit one message (buffered semantics: never blocks).
+    pub fn push(&self, data: &[T], arrival: f64) {
+        let mut st = self.state.lock();
+        let mut buf = st.spare.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(data);
+        st.pending.push_back((buf, arrival));
+        self.pending_count.fetch_add(1, Ordering::Relaxed);
+        self.cv.notify_all();
+    }
+
+    /// Block until a message is available and take it off the queue,
+    /// invoking `stall_probe` periodically while blocked.
+    ///
+    /// Deliberately hands the payload buffer out instead of copying into a
+    /// caller-provided slice: the receiver must NOT hold its destination
+    /// buffer's lock while blocked here (another rank's send may need that
+    /// buffer to make progress). Copy after popping, then hand the buffer
+    /// back with [`Channel::recycle`]. The receive paths use the probe to
+    /// turn an otherwise silent hang — e.g. a plain `send` aimed at a
+    /// persistent receive, which lands in the mailbox this channel
+    /// bypasses — into a loud panic.
+    pub fn pop_with(&self, stall_probe: impl Fn()) -> (Vec<T>, f64) {
+        let mut st = self.state.lock();
+        while st.pending.is_empty() {
+            if self
+                .cv
+                .wait_for(&mut st, std::time::Duration::from_millis(50))
+                .timed_out()
+            {
+                stall_probe();
+            }
+        }
+        let msg = st.pending.pop_front().expect("non-empty after wait");
+        self.pending_count.fetch_sub(1, Ordering::Relaxed);
+        msg
+    }
+
+    /// Return a consumed payload buffer for reuse by the next send.
+    pub fn recycle(&self, buf: Vec<T>) {
+        self.state.lock().spare.push(buf);
+    }
+
+    /// Would [`Channel::pop_with`] complete without blocking?
+    pub fn ready(&self) -> bool {
+        !self.state.lock().pending.is_empty()
+    }
+
+    /// Signature of this channel, for receive-side diagnostics.
+    pub fn key(&self) -> ChanKey {
+        self.key
+    }
+}
+
 /// State shared by every rank of a world.
 pub(crate) struct WorldState {
     pub n_ranks: usize,
     pub mailboxes: Vec<Mailbox>,
     pub model: Option<ModelCtx>,
+    /// Pre-matched persistent channels, keyed by signature. Entries live
+    /// as long as the world (like unmatched mailbox envelopes): the
+    /// simulator has no `MPI_Request_free` counterpart, and worlds are
+    /// scoped to one `World::run`, so registered signatures are bounded by
+    /// what the run's collectives registered.
+    channels: Mutex<HashMap<ChanKey, ChanSlot>>,
 }
 
 impl WorldState {
@@ -57,7 +167,42 @@ impl WorldState {
             n_ranks,
             mailboxes,
             model,
+            channels: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// Get-or-create the persistent channel for `key` — whichever side
+    /// registers first creates it; the other side attaches to the same
+    /// slot, completing the match once at init time.
+    pub fn channel<T: Clone + Send + 'static>(&self, key: ChanKey) -> Arc<Channel<T>> {
+        let mut map = self.channels.lock();
+        let (type_name, any, _) = map
+            .entry(key)
+            .or_insert_with(|| {
+                let count = Arc::new(AtomicUsize::new(0));
+                (
+                    std::any::type_name::<T>(),
+                    Arc::new(Channel::<T>::new(key, count.clone())) as Arc<dyn Any + Send + Sync>,
+                    count,
+                )
+            })
+            .clone();
+        Arc::downcast::<Channel<T>>(any).unwrap_or_else(|_| {
+            panic!(
+                "persistent channel {key:?} datatype mismatch: registered {type_name}, \
+                 requested {}",
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
+    /// Does the persistent channel for `key` exist with messages pending?
+    /// Untyped — used by the plain receive path to diagnose mixed traffic.
+    pub fn channel_pending(&self, key: &ChanKey) -> bool {
+        self.channels
+            .lock()
+            .get(key)
+            .is_some_and(|(_, _, count)| count.load(Ordering::Relaxed) > 0)
     }
 
     /// Deposit an envelope in `global_dst`'s mailbox and wake any waiter.
@@ -70,14 +215,20 @@ impl WorldState {
 
     /// Blocking matched receive for `global_dst`: first envelope with the
     /// given (ctx, src, tag). Returns the envelope and the queue length that
-    /// was searched (for queue-cost charging).
+    /// was searched (for queue-cost charging). `dst_comm_rank` is the
+    /// receiver's rank within the communicator — the channel-signature
+    /// coordinate used to diagnose a persistent send aimed at this plain
+    /// receive (which would otherwise hang silently: persistent sends
+    /// bypass the mailbox).
     pub fn match_recv(
         &self,
         global_dst: usize,
         ctx_id: u64,
         src: usize,
+        dst_comm_rank: usize,
         tag: u64,
     ) -> (Envelope, usize) {
+        let chan_key: ChanKey = (ctx_id, src, dst_comm_rank, tag);
         let mb = &self.mailboxes[global_dst];
         let mut q = mb.queue.lock();
         loop {
@@ -89,7 +240,19 @@ impl WorldState {
                 let env = q.remove(pos).expect("position valid");
                 return (env, searched);
             }
-            mb.cv.wait(&mut q);
+            if mb
+                .cv
+                .wait_for(&mut q, std::time::Duration::from_millis(50))
+                .timed_out()
+            {
+                assert!(
+                    !self.channel_pending(&chan_key),
+                    "plain recv from {src} tag {tag}: matching message sits on a \
+                     persistent channel — mixing a persistent send with a plain \
+                     recv on one signature is unsupported (use recv_init on the \
+                     receiver)"
+                );
+            }
         }
     }
 
@@ -120,7 +283,7 @@ mod tests {
     fn deposit_then_match() {
         let w = WorldState::new(2, None);
         w.deposit(1, env(0, 0, 5, 42));
-        let (got, searched) = w.match_recv(1, 0, 0, 5);
+        let (got, searched) = w.match_recv(1, 0, 0, 1, 5);
         assert_eq!(searched, 1);
         let v = got.payload.downcast::<Vec<u32>>().unwrap();
         assert_eq!(*v, vec![42]);
@@ -133,7 +296,7 @@ mod tests {
         w.deposit(0, env(1, 0, 2, 20));
         w.deposit(0, env(0, 0, 2, 30));
         // match ctx 0 / tag 2 skips both earlier non-matching envelopes
-        let (got, _) = w.match_recv(0, 0, 0, 2);
+        let (got, _) = w.match_recv(0, 0, 0, 0, 2);
         let v = got.payload.downcast::<Vec<u32>>().unwrap();
         assert_eq!(*v, vec![30]);
         assert!(w.probe(0, 0, 0, 1));
@@ -146,10 +309,53 @@ mod tests {
         let w = WorldState::new(1, None);
         w.deposit(0, env(0, 3, 9, 1));
         w.deposit(0, env(0, 3, 9, 2));
-        let (a, _) = w.match_recv(0, 0, 3, 9);
-        let (b, _) = w.match_recv(0, 0, 3, 9);
+        let (a, _) = w.match_recv(0, 0, 3, 0, 9);
+        let (b, _) = w.match_recv(0, 0, 3, 0, 9);
         assert_eq!(*a.payload.downcast::<Vec<u32>>().unwrap(), vec![1]);
         assert_eq!(*b.payload.downcast::<Vec<u32>>().unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn channel_fifo_and_reuse() {
+        let w = WorldState::new(2, None);
+        let c = w.channel::<u32>((0, 0, 1, 7));
+        assert!(!c.ready());
+        c.push(&[1, 2], 0.5);
+        c.push(&[3, 4], 1.5);
+        assert!(c.ready());
+        let (buf, arrival) = c.pop_with(|| {});
+        assert_eq!((buf.as_slice(), arrival), ([1, 2].as_slice(), 0.5));
+        c.recycle(buf);
+        let (buf, arrival) = c.pop_with(|| {});
+        assert_eq!((buf.as_slice(), arrival), ([3, 4].as_slice(), 1.5));
+        c.recycle(buf);
+        assert!(!c.ready());
+        // both sides resolve to the same slot
+        let c2 = w.channel::<u32>((0, 0, 1, 7));
+        c2.push(&[9, 9], 0.0);
+        assert!(c.ready());
+    }
+
+    #[test]
+    fn channel_blocking_pop_wakes_on_push() {
+        let w = WorldState::new(1, None);
+        let c = w.channel::<u8>((0, 0, 0, 1));
+        let c2 = w.channel::<u8>((0, 0, 0, 1));
+        let t = std::thread::spawn(move || {
+            let (buf, _) = c2.pop_with(|| {});
+            buf[0]
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        c.push(&[42], 0.0);
+        assert_eq!(t.join().unwrap(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "datatype mismatch")]
+    fn channel_type_mismatch_panics() {
+        let w = WorldState::new(1, None);
+        let _ = w.channel::<u32>((0, 0, 0, 3));
+        let _ = w.channel::<f64>((0, 0, 0, 3));
     }
 
     #[test]
@@ -157,7 +363,7 @@ mod tests {
         let w = WorldState::new(1, None);
         let w2 = Arc::clone(&w);
         let t = std::thread::spawn(move || {
-            let (env, _) = w2.match_recv(0, 0, 0, 7);
+            let (env, _) = w2.match_recv(0, 0, 0, 0, 7);
             *env.payload.downcast::<Vec<u32>>().unwrap()
         });
         std::thread::sleep(std::time::Duration::from_millis(20));

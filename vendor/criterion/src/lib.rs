@@ -9,9 +9,19 @@
 //!
 //! Set `BENCH_JSON=<path>` to additionally write all results of the run as
 //! a JSON array — used to produce the committed `BENCH_*.json` baselines.
+//!
+//! Passing `--test` on the command line (real criterion's smoke mode, e.g.
+//! `cargo bench -- --test`) executes every benchmark body exactly once
+//! with no warmup or batching — compile-and-run verification for CI, not
+//! a measurement.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
+
+/// True when the binary was invoked with `--test` (smoke mode).
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
 
 /// Identifier for one benchmark within a group.
 pub struct BenchmarkId {
@@ -48,11 +58,20 @@ impl From<String> for BenchmarkId {
 pub struct Bencher {
     samples: Vec<Duration>,
     sample_count: usize,
+    /// Smoke mode: run the body once, skip warmup and batching.
+    quick: bool,
 }
 
 impl Bencher {
     /// Measure `f`, batching calls so one sample lasts at least ~5 ms.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.quick {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.samples.clear();
+            self.samples.push(t.elapsed());
+            return;
+        }
         // warmup + batch sizing
         let t0 = Instant::now();
         std::hint::black_box(f());
@@ -115,6 +134,10 @@ impl Criterion {
         let Ok(path) = std::env::var("BENCH_JSON") else {
             return;
         };
+        if test_mode() {
+            eprintln!("bench smoke mode (--test): not writing {path}");
+            return;
+        }
         let mut out = String::from("[\n");
         for (i, r) in self.results.iter().enumerate() {
             out.push_str(&format!(
@@ -141,9 +164,11 @@ fn run_one<F: FnMut(&mut Bencher)>(
     sample_size: usize,
     mut f: F,
 ) {
+    let quick = test_mode();
     let mut b = Bencher {
         samples: Vec::new(),
-        sample_count: sample_size,
+        sample_count: if quick { 1 } else { sample_size },
+        quick,
     };
     f(&mut b);
     let mut ns: Vec<f64> = b.samples.iter().map(|d| d.as_nanos() as f64).collect();

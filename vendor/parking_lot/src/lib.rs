@@ -3,12 +3,14 @@
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the tiny API subset it actually uses: [`Mutex`]/[`MutexGuard`]
 //! with panic-free `lock()`, [`RwLock`] with `read()`/`write()`, and a
-//! [`Condvar`] whose `wait` takes `&mut MutexGuard`. Lock poisoning is
-//! deliberately ignored (parking_lot has no poisoning): a panicking rank
-//! thread must not deadlock the simulated world's other ranks.
+//! [`Condvar`] whose `wait`/`wait_for` take `&mut MutexGuard`. Lock
+//! poisoning is deliberately ignored (parking_lot has no poisoning): a
+//! panicking rank thread must not deadlock the simulated world's other
+//! ranks.
 
 use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
+use std::time::Duration;
 
 pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
 
@@ -47,6 +49,16 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Result of [`Condvar::wait_for`] (mirrors parking_lot's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 #[derive(Default)]
 pub struct Condvar(std::sync::Condvar);
 
@@ -59,6 +71,22 @@ impl Condvar {
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.0.take().expect("guard present");
         guard.0 = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
+    }
+
+    /// Block until notified or `timeout` elapses (parking_lot's
+    /// `wait_for`), releasing the guard's mutex while parked.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard present");
+        let (inner, res) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.0 = Some(inner);
+        WaitTimeoutResult(res.timed_out())
     }
 
     pub fn notify_one(&self) {
