@@ -1,6 +1,6 @@
 # Developer entry points. `make tier1` mirrors the CI verify exactly.
 
-.PHONY: tier1 build test test-all fmt clippy lint bench bench-smoke bench-baseline bench-check
+.PHONY: tier1 build test test-all fmt clippy lint bench bench-steady bench-smoke bench-baseline bench-check
 
 tier1: ## the repository's tier-1 verify
 	cargo build --release && cargo test -q
@@ -26,8 +26,14 @@ lint: clippy
 bench:
 	cargo bench -p bench_suite --bench protocols
 
+# just the allocation-sensitive steady-state group: ≥100 start_wait
+# iterations per sample on one warm pooled world
+bench-steady:
+	cargo bench -p bench_suite --bench protocols -- steady_state
+
 # compile and execute every bench binary once (criterion --test smoke
-# mode); run on every PR by CI so benches cannot rot
+# mode) — including the pooled steady-state group; run on every PR by CI
+# so benches cannot rot
 bench-smoke:
 	cargo bench -p bench_suite --benches -- --test
 

@@ -2,7 +2,10 @@
 //! plus the §5 partitioned backend — on the thread-backed simulator at
 //! small scale (32 ranks, 4 per region), all driven through the unified
 //! `NeighborAlltoallv` API. A second init group at 256 ranks (a larger
-//! hierarchy level) makes planner scaling visible.
+//! hierarchy level) makes planner scaling visible, and the
+//! `steady_state_32ranks` group runs 100 iterations per sample on one
+//! pooled world so the per-iteration transport cost is measured without
+//! thread-spawn noise (allocation-sensitive: see `scripts/bench_compare`).
 //!
 //! These measure actual data movement through the full persistent
 //! start/wait path — complementary to the modeled paper-scale figures.
@@ -19,6 +22,9 @@ use mpisim::World;
 const RANKS: usize = 32;
 const RANKS_LARGE: usize = 256;
 const ITERS_PER_SAMPLE: usize = 20;
+/// Iterations per sample in the pooled steady-state group: enough to make
+/// init and epoch dispatch negligible against transport.
+const STEADY_ITERS: usize = 100;
 
 /// The level with the most messages — the communication-dominated middle
 /// of the hierarchy — for `ranks` ranks over an `nx × ny` paper problem.
@@ -64,6 +70,40 @@ fn bench_protocols(c: &mut Criterion) {
                     let input: Vec<f64> = nb.input_index().iter().map(|&i| i as f64).collect();
                     let mut output = vec![0.0; nb.output_index().len()];
                     for _ in 0..ITERS_PER_SAMPLE {
+                        nb.start_wait(ctx, &input, &mut output);
+                    }
+                    output.first().copied().unwrap_or(0.0)
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Steady-state transport cost: ≥100 `start_wait` iterations inside one
+/// **pooled** world ([`World::pool`]) whose rank threads — and pre-matched
+/// channels — stay warm across samples. Unlike `start_wait_32ranks`
+/// (which re-spawns all rank threads per sample and amortizes only 20
+/// iterations), this group exposes the true per-iteration cost of the
+/// zero-copy staging pipeline; allocation or copy regressions on the
+/// start/wait path show up here first.
+fn bench_steady_state(c: &mut Criterion) {
+    let pattern = mid_level_pattern();
+    let topo = Topology::block_nodes(RANKS, 4);
+    let mut group = c.benchmark_group("steady_state_32ranks");
+    group.sample_size(10);
+    let pool = World::pool(RANKS);
+
+    for (label, backend) in backends() {
+        let coll = NeighborAlltoallv::new(&pattern, &topo).backend(backend);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                pool.run(|ctx| {
+                    let comm = ctx.comm_world();
+                    let mut nb = coll.init(ctx, &comm);
+                    let input: Vec<f64> = nb.input_index().iter().map(|&i| i as f64).collect();
+                    let mut output = vec![0.0; nb.output_index().len()];
+                    for _ in 0..STEADY_ITERS {
                         nb.start_wait(ctx, &input, &mut output);
                     }
                     output.first().copied().unwrap_or(0.0)
@@ -129,5 +169,11 @@ fn bench_init_large(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_protocols, bench_init, bench_init_large);
+criterion_group!(
+    benches,
+    bench_protocols,
+    bench_steady_state,
+    bench_init,
+    bench_init_large
+);
 criterion_main!(benches);

@@ -7,23 +7,38 @@
 //! values through `start`/`wait`, exactly as the paper's persistent API
 //! prescribes (Algorithms 4–6).
 //!
+//! # Zero-copy staging
+//!
+//! The ℓ, s, and r steps run on the buffer-less channel halves: sends
+//! gather input values straight into the pre-matched channel's recycled
+//! wire buffer, receives scatter straight from the delivered payload. The
+//! only registered windows are the inter-region (`g`) send buffers, which
+//! all alias **one arena allocation per request**: each s-step receive is
+//! registered directly into its partition's window of the arena, so staged
+//! values land in the g send buffer with no intermediate `s` buffer and no
+//! second copy. On the receive side, `wait` borrows each g payload off the
+//! channel, scatters ghost values into the output, feeds the r-step
+//! forwards from the same borrowed payload, and recycles it — the
+//! intermediate `g` receive window is gone entirely.
+//!
 //! Construct it through [`crate::NeighborAlltoallv`]; the constructors here
 //! are the plumbing under that builder.
 
 use crate::agg::Plan;
 use crate::exec_common::{
-    deliver, fill_from_input, register_r_sends, register_recvs, register_sends, RSendExec,
-    RecvExec, SendExec,
+    register_r_sends, register_recvs, register_sends, RSendExec, RecvExec, SendExec,
 };
 use crate::pattern::CommPattern;
-use crate::routing::{GPartRoute, PartSource, RankRouting, RecvRoute};
+use crate::routing::{PartSource, RankRouting, RecvRoute};
 use mpisim::persistent::shared_buf;
-use mpisim::{Comm, RankCtx, SendReq, SharedBuf};
+use mpisim::{Comm, RankCtx, RecvReq, SendReq, SharedBuf};
+use std::ops::Range;
 
 struct GSendExec {
     req: SendReq<f64>,
-    buf: SharedBuf<f64>,
-    parts: Vec<GPartRoute>,
+    /// Partitions fed by this rank's own input:
+    /// (arena-absolute slot range, input position per slot).
+    input_parts: Vec<(Range<usize>, Vec<usize>)>,
 }
 
 /// The persistent neighborhood collective of one rank.
@@ -33,11 +48,16 @@ pub struct PersistentNeighbor {
     local_sends: Vec<SendExec>,
     local_recvs: Vec<RecvExec>,
     s_sends: Vec<SendExec>,
-    s_recvs: Vec<RecvExec>,
+    /// Staging receives registered directly into the g-send arena windows.
+    s_recvs: Vec<RecvReq<f64>>,
+    /// One allocation backing every g send buffer; s receives alias into it.
+    arena: SharedBuf<f64>,
     g_sends: Vec<GSendExec>,
     g_recvs: Vec<RecvExec>,
     r_sends: Vec<RSendExec>,
     r_recvs: Vec<RecvExec>,
+    /// Scratch for borrowed g payloads during `wait` (capacity reused).
+    g_payloads: Vec<Vec<f64>>,
 }
 
 impl PersistentNeighbor {
@@ -61,25 +81,60 @@ impl PersistentNeighbor {
         let local_sends = register_sends(routing.local_sends, ctx, comm);
         let local_recvs = register_recvs(routing.local_recvs, ctx, comm);
         let s_sends = register_sends(routing.s_sends, ctx, comm);
-        let s_recvs = register_recvs(
-            routing.s_recvs.into_iter().map(RecvRoute::from).collect(),
-            ctx,
-            comm,
-        );
+
+        // one arena allocation backs all g send buffers of this request
+        let offsets: Vec<usize> = routing
+            .g_sends
+            .iter()
+            .scan(0usize, |off, g| {
+                let o = *off;
+                *off += g.len;
+                Some(o)
+            })
+            .collect();
+        let total: usize = routing.g_sends.iter().map(|g| g.len).sum();
+        let arena = shared_buf(vec![0.0f64; total]);
+
+        // s receives alias the arena: each staging message is delivered
+        // straight into its g partition's window
+        let s_recvs = routing
+            .s_recvs
+            .into_iter()
+            .map(|r| {
+                let g = &routing.g_sends[r.g_send];
+                let win = offsets[r.g_send] + g.bounds[r.partition];
+                // hard check: an oversized staging receive would overrun
+                // into the next partition's arena window
+                assert_eq!(
+                    g.bounds[r.partition + 1] - g.bounds[r.partition],
+                    r.len,
+                    "staging/partition length mismatch"
+                );
+                ctx.recv_init(comm, r.src, r.tag, arena.clone(), win, r.len)
+            })
+            .collect();
+
         let g_sends = routing
             .g_sends
             .into_iter()
-            .map(|g| {
-                let buf = shared_buf(vec![0.0f64; g.len]);
-                let req = ctx.send_init(comm, g.dst, g.tag, buf.clone(), 0, g.len);
-                GSendExec {
-                    req,
-                    buf,
-                    parts: g.parts,
-                }
+            .zip(&offsets)
+            .map(|(g, &off)| {
+                let req = ctx.send_init(comm, g.dst, g.tag, arena.clone(), off, g.len);
+                let input_parts = g
+                    .parts
+                    .into_iter()
+                    .filter_map(|part| match part.source {
+                        PartSource::Input(positions) => {
+                            Some((off + part.range.start..off + part.range.end, positions))
+                        }
+                        // staged partitions are written by the aliased
+                        // s receives; nothing to do at start
+                        PartSource::Staged { .. } => None,
+                    })
+                    .collect();
+                GSendExec { req, input_parts }
             })
             .collect();
-        // the plain executor ships g messages whole: bounds are unused
         let g_recvs = register_recvs(
             routing.g_recvs.into_iter().map(RecvRoute::from).collect(),
             ctx,
@@ -94,10 +149,12 @@ impl PersistentNeighbor {
             local_recvs,
             s_sends,
             s_recvs,
+            arena,
             g_sends,
             g_recvs,
             r_sends,
             r_recvs,
+            g_payloads: Vec::new(),
         }
     }
 
@@ -132,39 +189,31 @@ impl PersistentNeighbor {
         assert_eq!(input.len(), self.input_index.len(), "input length mismatch");
 
         // ℓ: start sends and receives
-        for send in &mut self.local_sends {
-            fill_from_input(&send.buf, &send.sources, input);
-            send.req.start(ctx);
+        for send in &self.local_sends {
+            send.start_gather(ctx, input);
         }
         for recv in &mut self.local_recvs {
             recv.req.start();
         }
 
-        // s: start and complete the initial redistribution
-        for send in &mut self.s_sends {
-            fill_from_input(&send.buf, &send.sources, input);
-            send.req.start(ctx);
+        // s: start and complete the initial redistribution — staged values
+        // land directly in the aliased g-send arena windows
+        for send in &self.s_sends {
+            send.start_gather(ctx, input);
         }
         for recv in &mut self.s_recvs {
-            recv.req.start();
-            recv.req.wait(ctx);
+            recv.start();
+            recv.wait(ctx);
         }
 
-        // g: forward staged + owned values across regions
+        // g: gather this rank's own contributions into the arena, then
+        // ship each buffer (staged partitions are already in place)
         for send in &mut self.g_sends {
-            {
-                let mut guard = send.buf.write();
-                for part in &send.parts {
-                    match &part.source {
-                        PartSource::Input(positions) => {
-                            for (slot, &p) in guard[part.range.clone()].iter_mut().zip(positions) {
-                                *slot = input[p];
-                            }
-                        }
-                        PartSource::Staged { s_recv } => {
-                            let staged = self.s_recvs[*s_recv].buf.read();
-                            guard[part.range.clone()].clone_from_slice(&staged);
-                        }
+            if !send.input_parts.is_empty() {
+                let mut guard = self.arena.write();
+                for (range, positions) in &send.input_parts {
+                    for (slot, &p) in guard[range.clone()].iter_mut().zip(positions) {
+                        *slot = input[p];
                     }
                 }
             }
@@ -186,32 +235,31 @@ impl PersistentNeighbor {
         );
 
         for recv in &mut self.local_recvs {
-            recv.req.wait(ctx);
-            deliver(&recv.buf, &recv.outputs, output);
+            recv.wait_scatter(ctx, output);
         }
 
+        // g: borrow each payload off its channel, scatter the slots that
+        // terminate here, and keep the payload around for the r forwards
+        debug_assert!(self.g_payloads.is_empty());
         for recv in &mut self.g_recvs {
-            recv.req.wait(ctx);
-            deliver(&recv.buf, &recv.outputs, output);
+            let data = recv.req.wait_take(ctx);
+            for &(pos, out) in &recv.outputs {
+                output[out] = data[pos];
+            }
+            self.g_payloads.push(data);
         }
 
-        // r: forward from g buffers to final destinations, holding one
-        // read guard per g buffer across all forwards
-        let g_bufs: Vec<_> = self.g_recvs.iter().map(|g| g.buf.read()).collect();
-        for send in &mut self.r_sends {
-            {
-                let mut guard = send.buf.write();
-                for (slot, &(g_msg, pos)) in guard.iter_mut().zip(&send.sources) {
-                    *slot = g_bufs[g_msg][pos];
-                }
-            }
-            send.req.start(ctx);
+        // r: forward from the borrowed g payloads to final destinations
+        let payloads = &self.g_payloads;
+        for send in &self.r_sends {
+            send.start_gather_from(ctx, |g_msg, pos| payloads[g_msg][pos]);
         }
-        drop(g_bufs);
+        for (recv, data) in self.g_recvs.iter().zip(self.g_payloads.drain(..)) {
+            recv.req.recycle(data);
+        }
         for recv in &mut self.r_recvs {
             recv.req.start();
-            recv.req.wait(ctx);
-            deliver(&recv.buf, &recv.outputs, output);
+            recv.wait_scatter(ctx, output);
         }
     }
 }
@@ -383,5 +431,70 @@ mod tests {
                 .all(|(&i, &v)| v == i as f64)
         });
         assert!(ok.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn pooled_world_reuses_collectives_across_patterns() {
+        // one warm pool drives two different patterns in sequence — the
+        // steady-state shape the benches and the AMG driver rely on
+        let pool = World::pool(8);
+        let topo = Topology::block_nodes(8, 4);
+        for pattern in [
+            CommPattern::example_2_1(),
+            CommPattern::new(
+                8,
+                vec![
+                    vec![(1, vec![0]), (5, vec![0, 1])],
+                    vec![(4, vec![10]), (6, vec![11])],
+                    vec![(7, vec![20, 21])],
+                    vec![],
+                    vec![(0, vec![40]), (1, vec![40]), (2, vec![41])],
+                    vec![(6, vec![50])],
+                    vec![(3, vec![60]), (0, vec![61])],
+                    vec![],
+                ],
+            ),
+        ] {
+            let plan = Protocol::FullNeighbor.plan(&pattern, &topo);
+            let results = pool.run(|ctx| {
+                let comm = ctx.comm_world();
+                let mut nb = PersistentNeighbor::from_plan(&pattern, &plan, ctx, &comm, 100);
+                let mut got = Vec::new();
+                for it in 0..5u64 {
+                    let input: Vec<f64> = nb
+                        .input_index()
+                        .iter()
+                        .map(|&i| (10 * i + it as usize) as f64)
+                        .collect();
+                    let mut output = vec![f64::NAN; nb.output_index().len()];
+                    nb.start(ctx, &input);
+                    nb.wait(ctx, &mut output);
+                    got.push(output);
+                }
+                got
+            });
+            for (rank, iters) in results.iter().enumerate() {
+                let idx = pattern.dst_indices(rank);
+                for (it, vals) in iters.iter().enumerate() {
+                    for (&i, &v) in idx.iter().zip(vals) {
+                        assert_eq!(v, (10 * i + it) as f64, "rank {rank} iter {it} index {i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "plan/communicator size mismatch")]
+    fn pooled_world_rank_count_mismatch_panics() {
+        // a plan for 8 ranks initialized on a 4-rank pool must fail loudly
+        let pool = World::pool(4);
+        let pattern = CommPattern::example_2_1();
+        let topo = Topology::block_nodes(8, 4);
+        let plan = Protocol::FullNeighbor.plan(&pattern, &topo);
+        pool.run(|ctx| {
+            let comm = ctx.comm_world();
+            let _ = PersistentNeighbor::from_plan(&pattern, &plan, ctx, &comm, 0);
+        });
     }
 }

@@ -5,46 +5,77 @@
 //! message vs partitioned request). The structs and registration helpers
 //! for the common steps live here so each executor contains only its
 //! genuinely distinct g-step logic.
+//!
+//! All common steps run on the zero-copy channel halves: a send gathers
+//! its values straight into the pre-matched channel's recycled wire
+//! buffer ([`SendChan::start_with`]) and a receive scatters straight from
+//! the delivered payload ([`RecvChan::wait_with`]) — no per-request
+//! staging windows, no per-iteration allocations.
 
 use crate::routing::{RSendRoute, RecvRoute, SendRoute};
-use mpisim::persistent::shared_buf;
-use mpisim::{Comm, RankCtx, RecvReq, SendReq, SharedBuf};
+use mpisim::{Comm, RankCtx, RecvChan, SendChan};
 
 /// A send whose slots all come straight from this rank's input.
 pub(crate) struct SendExec {
-    pub req: SendReq<f64>,
-    pub buf: SharedBuf<f64>,
+    pub req: SendChan<f64>,
     /// Input position feeding each slot.
     pub sources: Vec<usize>,
 }
 
+impl SendExec {
+    /// Start one instance: gather `input` through the copy map directly
+    /// into the channel's wire buffer.
+    pub fn start_gather(&self, ctx: &mut RankCtx, input: &[f64]) {
+        let sources = &self.sources;
+        self.req
+            .start_with(ctx, |buf| buf.extend(sources.iter().map(|&p| input[p])));
+    }
+}
+
 /// A receive delivered straight into the output vector.
 pub(crate) struct RecvExec {
-    pub req: RecvReq<f64>,
-    pub buf: SharedBuf<f64>,
+    pub req: RecvChan<f64>,
     /// `(slot position, output position)` pairs delivered here.
     pub outputs: Vec<(usize, usize)>,
 }
 
+impl RecvExec {
+    /// Complete one instance: scatter the delivered payload straight into
+    /// `output` (no intermediate receive window).
+    pub fn wait_scatter(&mut self, ctx: &mut RankCtx, output: &mut [f64]) {
+        let outputs = &self.outputs;
+        self.req.wait_with(ctx, |data| {
+            for &(pos, out) in outputs {
+                output[out] = data[pos];
+            }
+        });
+    }
+}
+
 /// An r-step send: each slot forwards a received g value.
 pub(crate) struct RSendExec {
-    pub req: SendReq<f64>,
-    pub buf: SharedBuf<f64>,
+    pub req: SendChan<f64>,
     /// `(g receive index, slot position)` feeding each slot.
     pub sources: Vec<(usize, usize)>,
+}
+
+impl RSendExec {
+    /// Start one instance: gather forwarded g values (resolved by
+    /// `lookup(g_msg, pos)`) directly into the channel's wire buffer.
+    pub fn start_gather_from(&self, ctx: &mut RankCtx, lookup: impl Fn(usize, usize) -> f64) {
+        let sources = &self.sources;
+        self.req.start_with(ctx, |buf| {
+            buf.extend(sources.iter().map(|&(m, p)| lookup(m, p)))
+        });
+    }
 }
 
 pub(crate) fn register_sends(routes: Vec<SendRoute>, ctx: &RankCtx, comm: &Comm) -> Vec<SendExec> {
     routes
         .into_iter()
-        .map(|s| {
-            let buf = shared_buf(vec![0.0f64; s.sources.len()]);
-            let req = ctx.send_init(comm, s.dst, s.tag, buf.clone(), 0, s.sources.len());
-            SendExec {
-                req,
-                buf,
-                sources: s.sources,
-            }
+        .map(|s| SendExec {
+            req: ctx.send_chan_init(comm, s.dst, s.tag, s.sources.len()),
+            sources: s.sources,
         })
         .collect()
 }
@@ -52,14 +83,9 @@ pub(crate) fn register_sends(routes: Vec<SendRoute>, ctx: &RankCtx, comm: &Comm)
 pub(crate) fn register_recvs(routes: Vec<RecvRoute>, ctx: &RankCtx, comm: &Comm) -> Vec<RecvExec> {
     routes
         .into_iter()
-        .map(|r| {
-            let buf = shared_buf(vec![0.0f64; r.len]);
-            let req = ctx.recv_init(comm, r.src, r.tag, buf.clone(), 0, r.len);
-            RecvExec {
-                req,
-                buf,
-                outputs: r.outputs,
-            }
+        .map(|r| RecvExec {
+            req: ctx.recv_chan_init(comm, r.src, r.tag, r.len),
+            outputs: r.outputs,
         })
         .collect()
 }
@@ -71,30 +97,9 @@ pub(crate) fn register_r_sends(
 ) -> Vec<RSendExec> {
     routes
         .into_iter()
-        .map(|s| {
-            let buf = shared_buf(vec![0.0f64; s.sources.len()]);
-            let req = ctx.send_init(comm, s.dst, s.tag, buf.clone(), 0, s.sources.len());
-            RSendExec {
-                req,
-                buf,
-                sources: s.sources,
-            }
+        .map(|s| RSendExec {
+            req: ctx.send_chan_init(comm, s.dst, s.tag, s.sources.len()),
+            sources: s.sources,
         })
         .collect()
-}
-
-/// Rewrite a send buffer from the iteration's input values.
-pub(crate) fn fill_from_input(buf: &SharedBuf<f64>, sources: &[usize], input: &[f64]) {
-    let mut guard = buf.write();
-    for (slot, &p) in guard.iter_mut().zip(sources) {
-        *slot = input[p];
-    }
-}
-
-/// Copy delivered slots into their output positions.
-pub(crate) fn deliver(buf: &SharedBuf<f64>, outputs: &[(usize, usize)], output: &mut [f64]) {
-    let guard = buf.read();
-    for &(pos, out) in outputs {
-        output[out] = guard[pos];
-    }
 }

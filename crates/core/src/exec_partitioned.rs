@@ -12,21 +12,30 @@
 //! partition is marked ready and injected immediately
 //! (`MPI_Pready`-style), overlapping the intra-region redistribution with
 //! inter-region injection instead of serializing `s` before `g`.
+//!
+//! Staging is zero-copy here too: every s-step receive is registered
+//! directly into its partition's window of the partitioned send buffer,
+//! so a staged contribution lands wire-ready — `wait` then `pready` with
+//! no assembly copy. The ℓ/s/r steps share the gather/scatter channel
+//! execs with the plain executor. Only the partitioned g receive keeps a
+//! registered window: partitions complete independently into one buffer,
+//! and the r-step forwards read from that window after `wait`.
 
 use crate::agg::Plan;
 use crate::exec_common::{
-    deliver, fill_from_input, register_r_sends, register_recvs, register_sends, RSendExec,
-    RecvExec, SendExec,
+    register_r_sends, register_recvs, register_sends, RSendExec, RecvExec, SendExec,
 };
 use crate::pattern::CommPattern;
-use crate::routing::{GPartRoute, PartSource, RankRouting};
+use crate::routing::{PartSource, RankRouting};
 use mpisim::persistent::shared_buf;
 use mpisim::{Comm, PrecvReq, PsendReq, RankCtx, RecvReq, SharedBuf};
 
 struct GSend {
     req: PsendReq<f64>,
     buf: SharedBuf<f64>,
-    parts: Vec<GPartRoute>,
+    /// Partitions fed by this rank's own input:
+    /// (partition index, input position per slot).
+    input_parts: Vec<(usize, Vec<usize>)>,
 }
 
 struct GRecv {
@@ -36,8 +45,9 @@ struct GRecv {
 }
 
 struct SRecv {
+    /// Registered directly into the partition's window of the g send
+    /// buffer — staged data arrives wire-ready.
     req: RecvReq<f64>,
-    buf: SharedBuf<f64>,
     /// Which g send and partition this staging message fills.
     g_send: usize,
     partition: usize,
@@ -83,30 +93,42 @@ impl PartitionedNeighbor {
         let local_sends = register_sends(routing.local_sends, ctx, comm);
         let local_recvs = register_recvs(routing.local_recvs, ctx, comm);
         let s_sends = register_sends(routing.s_sends, ctx, comm);
-        let s_recvs = routing
-            .s_recvs
-            .into_iter()
-            .map(|r| {
-                let buf = shared_buf(vec![0.0f64; r.len]);
-                let req = ctx.recv_init(comm, r.src, r.tag, buf.clone(), 0, r.len);
-                SRecv {
-                    req,
-                    buf,
-                    g_send: r.g_send,
-                    partition: r.partition,
-                }
-            })
-            .collect();
-        let g_sends = routing
+        // g sends first: the staging receives alias their buffers
+        let g_sends: Vec<GSend> = routing
             .g_sends
             .into_iter()
             .map(|g| {
                 let buf = shared_buf(vec![0.0f64; g.len]);
                 let req = ctx.psend_init_parts(comm, g.dst, g.tag, buf.clone(), g.bounds);
+                let input_parts = g
+                    .parts
+                    .into_iter()
+                    .enumerate()
+                    .filter_map(|(pidx, part)| match part.source {
+                        PartSource::Input(positions) => Some((pidx, positions)),
+                        PartSource::Staged { .. } => None,
+                    })
+                    .collect();
                 GSend {
                     req,
                     buf,
-                    parts: g.parts,
+                    input_parts,
+                }
+            })
+            .collect();
+        let s_recvs = routing
+            .s_recvs
+            .into_iter()
+            .map(|r| {
+                let gs = &g_sends[r.g_send];
+                let win = gs.req.partition_range(r.partition);
+                // hard check: an oversized staging receive would overrun
+                // into the next partition of the send buffer
+                assert_eq!(win.len(), r.len, "staging/partition length mismatch");
+                SRecv {
+                    req: ctx.recv_init(comm, r.src, r.tag, gs.buf.clone(), win.start, r.len),
+                    g_send: r.g_send,
+                    partition: r.partition,
                 }
             })
             .collect();
@@ -164,57 +186,46 @@ impl PartitionedNeighbor {
     pub fn start(&mut self, ctx: &mut RankCtx, input: &[f64]) {
         assert_eq!(input.len(), self.input_index.len(), "input length mismatch");
 
-        for send in &mut self.local_sends {
-            fill_from_input(&send.buf, &send.sources, input);
-            send.req.start(ctx);
+        for send in &self.local_sends {
+            send.start_gather(ctx, input);
         }
         for recv in &mut self.local_recvs {
             recv.req.start();
         }
 
-        for send in &mut self.s_sends {
-            fill_from_input(&send.buf, &send.sources, input);
-            send.req.start(ctx);
+        for send in &self.s_sends {
+            send.start_gather(ctx, input);
         }
 
         // open the partitioned g requests and inject the leader's own data
         for gs in &mut self.g_sends {
             gs.req.start();
-            for pidx in 0..gs.parts.len() {
-                if let PartSource::Input(positions) = &gs.parts[pidx].source {
-                    {
-                        let mut g = gs.buf.write();
-                        for (i, &p) in gs.parts[pidx].range.clone().zip(positions.iter()) {
-                            g[i] = input[p];
-                        }
+            for (pidx, positions) in &gs.input_parts {
+                {
+                    let mut g = gs.buf.write();
+                    let range = gs.req.partition_range(*pidx);
+                    for (i, &p) in range.zip(positions.iter()) {
+                        g[i] = input[p];
                     }
-                    gs.req.pready(ctx, pidx);
                 }
+                gs.req.pready(ctx, *pidx);
             }
         }
         for gr in &mut self.g_recvs {
             gr.req.start();
         }
 
-        // as staged data arrives, inject the corresponding partition —
-        // this is the overlap the §5 combination buys: no partition waits
-        // for staging messages it does not depend on
+        // as staged data arrives — directly in its partition window of the
+        // aliased send buffer — inject the corresponding partition. This is
+        // the overlap the §5 combination buys: no partition waits for
+        // staging messages it does not depend on, and no assembly copy
+        // stands between arrival and injection.
         for sr in &mut self.s_recvs {
             sr.req.start();
         }
         for sr in &mut self.s_recvs {
             sr.req.wait(ctx);
-            let gs = &mut self.g_sends[sr.g_send];
-            let range = gs.req.partition_range(sr.partition);
-            // the s message's slots arrive in the same (index, fd) order
-            // as the partition's slots
-            {
-                let src = sr.buf.read();
-                assert_eq!(src.len(), range.len(), "staging/partition length mismatch");
-                let mut dst = gs.buf.write();
-                dst[range].clone_from_slice(&src);
-            }
-            gs.req.pready(ctx, sr.partition);
+            self.g_sends[sr.g_send].req.pready(ctx, sr.partition);
         }
         for gs in &self.g_sends {
             gs.req.wait();
@@ -231,31 +242,26 @@ impl PartitionedNeighbor {
         );
 
         for recv in &mut self.local_recvs {
-            recv.req.wait(ctx);
-            deliver(&recv.buf, &recv.outputs, output);
+            recv.wait_scatter(ctx, output);
         }
 
         for gr in &mut self.g_recvs {
             gr.req.wait(ctx);
-            deliver(&gr.buf, &gr.outputs, output);
+            let guard = gr.buf.read();
+            for &(pos, out) in &gr.outputs {
+                output[out] = guard[pos];
+            }
         }
 
         // hold one read guard per g buffer across all r forwards
         let g_bufs: Vec<_> = self.g_recvs.iter().map(|g| g.buf.read()).collect();
-        for send in &mut self.r_sends {
-            {
-                let mut g = send.buf.write();
-                for (slot, &(g_msg, pos)) in g.iter_mut().zip(send.sources.iter()) {
-                    *slot = g_bufs[g_msg][pos];
-                }
-            }
-            send.req.start(ctx);
+        for send in &self.r_sends {
+            send.start_gather_from(ctx, |g_msg, pos| g_bufs[g_msg][pos]);
         }
         drop(g_bufs);
         for recv in &mut self.r_recvs {
             recv.req.start();
-            recv.req.wait(ctx);
-            deliver(&recv.buf, &recv.outputs, output);
+            recv.wait_scatter(ctx, output);
         }
     }
 }

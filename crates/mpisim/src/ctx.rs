@@ -89,6 +89,13 @@ impl RankCtx {
         self.clock = self.clock.max(arrival);
     }
 
+    /// Abort if a peer rank panicked this epoch (see
+    /// [`crate::state::WorldState::check_peer_alive`]); used by blocked
+    /// receives' stall probes.
+    pub(crate) fn check_peer_alive(&self) {
+        self.world.check_peer_alive();
+    }
+
     /// Resolve the pre-matched persistent channel for messages from
     /// communicator rank `src` to communicator rank `dst` with `tag`.
     pub(crate) fn persistent_channel<T: crate::elem::Elem>(

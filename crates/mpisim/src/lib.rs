@@ -56,6 +56,6 @@ pub use partitioned::{PrecvReq, PsendReq};
 pub use comm::Comm;
 pub use ctx::RankCtx;
 pub use elem::Elem;
-pub use persistent::{RecvReq, Request, SendReq, SharedBuf};
-pub use runtime::World;
+pub use persistent::{RecvChan, RecvReq, Request, SendChan, SendReq, SharedBuf};
+pub use runtime::{World, WorldPool};
 pub use topology::{DistGraphComm, GraphCreateStrategy};

@@ -141,6 +141,7 @@ impl<T: Elem> PrecvReq<T> {
         // mailbox for mixed plain traffic while stalled (see
         // `RecvReq::wait`)
         let (data, arrival) = self.chans[partition].pop_with(|| {
+            ctx.check_peer_alive();
             assert!(
                 !ctx.iprobe(&self.comm, self.src, part_tag(self.tag, partition)),
                 "partitioned recv from {} tag {} partition {partition}: matching \

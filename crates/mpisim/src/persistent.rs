@@ -18,6 +18,15 @@
 //! into the registered receive window. The unexpected-message mailbox and
 //! its linear matching scan are only paid by non-persistent traffic.
 //!
+//! Below the buffer-registered requests sit the **buffer-less halves**,
+//! [`SendChan`] and [`RecvChan`] (`send_chan_init`/`recv_chan_init`): a
+//! send gathers its payload straight into the channel's recycled wire
+//! buffer ([`SendChan::start_with`]) and a receive scatters straight from
+//! the delivered payload ([`RecvChan::wait_with`]/[`RecvChan::wait_take`]),
+//! skipping the staging window entirely. The collective executors run on
+//! this zero-copy path; [`SendReq`]/[`RecvReq`] are the windowed layer on
+//! top of it.
+//!
 //! A persistent send therefore matches a persistent receive registered with
 //! the same signature on the peer (the paper's collectives always register
 //! both sides at init). Mixing persistent and plain traffic on one
@@ -40,32 +49,36 @@ pub fn shared_buf<T>(data: Vec<T>) -> SharedBuf<T> {
     Arc::new(RwLock::new(data))
 }
 
-/// Persistent send: a registered message covering
-/// `buf[offset .. offset + len]`, re-sent on every [`SendReq::start`]
-/// through its pre-matched channel.
-pub struct SendReq<T: Elem> {
+/// The buffer-less half of a persistent send: a pre-matched channel plus
+/// the registered message length. [`SendChan::start_with`] gathers the
+/// payload **directly into the channel's recycled wire buffer** — the
+/// zero-copy send path. [`SendReq`] layers a registered [`SharedBuf`]
+/// window on top for the classic `MPI_Send_init` shape.
+pub struct SendChan<T: Elem> {
     dst: usize,
     dst_world: usize,
     chan: Arc<Channel<T>>,
-    buf: SharedBuf<T>,
-    offset: usize,
     len: usize,
 }
 
-impl<T: Elem> SendReq<T> {
-    /// Start one instance of the send (reads the current buffer contents).
-    pub fn start(&self, ctx: &mut RankCtx) {
-        let guard = self.buf.read();
-        assert!(
-            self.offset + self.len <= guard.len(),
-            "persistent send range {}..{} out of buffer of len {}",
-            self.offset,
-            self.offset + self.len,
-            guard.len()
-        );
+impl<T: Elem> SendChan<T> {
+    /// Start one instance of the send. `fill` receives the channel's
+    /// cleared, recycled payload buffer and must write exactly the
+    /// registered number of elements into it — the caller's copy map runs
+    /// once, straight into the wire buffer, with no intermediate staging
+    /// window.
+    pub fn start_with(&self, ctx: &mut RankCtx, fill: impl FnOnce(&mut Vec<T>)) {
         let arrival = ctx.charge_send(self.dst_world, self.len * elem_bytes::<T>());
-        self.chan
-            .push(&guard[self.offset..self.offset + self.len], arrival);
+        let len = self.len;
+        self.chan.push_with(arrival, |buf| {
+            fill(buf);
+            assert_eq!(
+                buf.len(),
+                len,
+                "persistent send fill produced {} elements, registered {len}",
+                buf.len(),
+            );
+        });
     }
 
     /// Complete the send. Buffered semantics: a started send is already
@@ -85,36 +98,83 @@ impl<T: Elem> SendReq<T> {
     }
 }
 
-/// Persistent receive into `buf[offset .. offset + len]` through its
-/// pre-matched channel.
-pub struct RecvReq<T: Elem> {
+/// Persistent send: a registered message covering
+/// `buf[offset .. offset + len]`, re-sent on every [`SendReq::start`]
+/// through its pre-matched channel.
+pub struct SendReq<T: Elem> {
+    chan: SendChan<T>,
+    buf: SharedBuf<T>,
+    offset: usize,
+}
+
+impl<T: Elem> SendReq<T> {
+    /// Start one instance of the send (reads the current buffer contents).
+    pub fn start(&self, ctx: &mut RankCtx) {
+        let guard = self.buf.read();
+        let end = self.offset + self.chan.len;
+        assert!(
+            end <= guard.len(),
+            "persistent send range {}..{end} out of buffer of len {}",
+            self.offset,
+            guard.len()
+        );
+        let win = &guard[self.offset..end];
+        self.chan.start_with(ctx, |buf| buf.extend_from_slice(win));
+    }
+
+    /// Complete the send. Buffered semantics: a started send is already
+    /// complete, so this is a no-op; it exists for API symmetry.
+    pub fn wait(&self, _ctx: &mut RankCtx) {}
+
+    pub fn dst(&self) -> usize {
+        self.chan.dst
+    }
+
+    pub fn len(&self) -> usize {
+        self.chan.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.chan.len == 0
+    }
+}
+
+/// The buffer-less half of a persistent receive: a pre-matched channel
+/// plus the registered message length. [`RecvChan::wait_with`] hands the
+/// delivered payload to a consumer **by reference, straight off the
+/// channel** — the zero-copy receive path; [`RecvChan::wait_take`] lends
+/// the payload buffer out for longer-lived consumption (return it with
+/// [`RecvChan::recycle`]). [`RecvReq`] layers a registered [`SharedBuf`]
+/// window on top for the classic `MPI_Recv_init` shape.
+pub struct RecvChan<T: Elem> {
     comm: Comm,
     src: usize,
     tag: u64,
     chan: Arc<Channel<T>>,
-    buf: SharedBuf<T>,
-    offset: usize,
     len: usize,
     started: bool,
 }
 
-impl<T: Elem> RecvReq<T> {
+impl<T: Elem> RecvChan<T> {
     /// Start one instance of the receive.
     pub fn start(&mut self) {
         assert!(!self.started, "receive started twice without wait");
         self.started = true;
     }
 
-    /// Block until the matching message arrives and copy it into the
-    /// registered buffer window.
-    pub fn wait(&mut self, ctx: &mut RankCtx) {
+    /// Block until the matching message arrives and take its payload
+    /// buffer off the channel. The caller reads (scatters from) the buffer
+    /// and hands it back with [`RecvChan::recycle`] so the steady state
+    /// stays allocation-free.
+    pub fn wait_take(&mut self, ctx: &mut RankCtx) -> Vec<T> {
         assert!(self.started, "wait on a receive that was not started");
         self.started = false;
-        // block on the channel BEFORE taking the buffer lock: the shared
-        // buffer may be in use elsewhere (even by the matching sender).
         // While blocked, probe the mailbox so a plain send aimed at this
-        // persistent receive fails loudly instead of hanging both ranks.
+        // persistent receive fails loudly instead of hanging both ranks —
+        // and bail out if a peer rank died this epoch (nothing left to
+        // send us).
         let (data, arrival) = self.chan.pop_with(|| {
+            ctx.check_peer_alive();
             assert!(
                 !ctx.iprobe(&self.comm, self.src, self.tag),
                 "persistent recv from {} tag {}: matching message sits in the plain \
@@ -133,9 +193,23 @@ impl<T: Elem> RecvReq<T> {
             self.len,
             data.len()
         );
-        self.buf.write()[self.offset..self.offset + self.len].clone_from_slice(&data);
-        self.chan.recycle(data);
         ctx.charge_recv(arrival);
+        data
+    }
+
+    /// Block until the matching message arrives and run `consume` on the
+    /// payload in place (no copy into a registered window); the buffer is
+    /// recycled afterwards.
+    pub fn wait_with<R>(&mut self, ctx: &mut RankCtx, consume: impl FnOnce(&[T]) -> R) -> R {
+        let data = self.wait_take(ctx);
+        let out = consume(&data);
+        self.chan.recycle(data);
+        out
+    }
+
+    /// Return a payload buffer taken with [`RecvChan::wait_take`].
+    pub fn recycle(&self, buf: Vec<T>) {
+        self.chan.recycle(buf);
     }
 
     pub fn src(&self) -> usize {
@@ -148,6 +222,43 @@ impl<T: Elem> RecvReq<T> {
 
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+}
+
+/// Persistent receive into `buf[offset .. offset + len]` through its
+/// pre-matched channel.
+pub struct RecvReq<T: Elem> {
+    chan: RecvChan<T>,
+    buf: SharedBuf<T>,
+    offset: usize,
+}
+
+impl<T: Elem> RecvReq<T> {
+    /// Start one instance of the receive.
+    pub fn start(&mut self) {
+        self.chan.start();
+    }
+
+    /// Block until the matching message arrives and copy it into the
+    /// registered buffer window.
+    pub fn wait(&mut self, ctx: &mut RankCtx) {
+        // block on the channel BEFORE taking the buffer lock: the shared
+        // buffer may be in use elsewhere (even by the matching sender).
+        let data = self.chan.wait_take(ctx);
+        self.buf.write()[self.offset..self.offset + self.chan.len].clone_from_slice(&data);
+        self.chan.recycle(data);
+    }
+
+    pub fn src(&self) -> usize {
+        self.chan.src
+    }
+
+    pub fn len(&self) -> usize {
+        self.chan.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.chan.len == 0
     }
 }
 
@@ -190,6 +301,56 @@ pub fn wait_all<T: Elem>(ctx: &mut RankCtx, reqs: &mut [Request<T>]) {
 }
 
 impl RankCtx {
+    /// Register a buffer-less persistent send of `len` elements to
+    /// communicator rank `dst`: the payload is gathered straight into the
+    /// channel's recycled wire buffer on every
+    /// [`SendChan::start_with`] — no registered staging window.
+    pub fn send_chan_init<T: Elem>(
+        &self,
+        comm: &Comm,
+        dst: usize,
+        tag: u64,
+        len: usize,
+    ) -> SendChan<T> {
+        assert!(
+            tag < USER_TAG_LIMIT,
+            "tag {tag} in reserved collective space"
+        );
+        assert!(dst < comm.size(), "dst {dst} out of range");
+        SendChan {
+            dst,
+            dst_world: comm.world_rank(dst),
+            chan: self.persistent_channel(comm, comm.rank(), dst, tag),
+            len,
+        }
+    }
+
+    /// Register a buffer-less persistent receive of `len` elements from
+    /// communicator rank `src`: [`RecvChan::wait_with`] /
+    /// [`RecvChan::wait_take`] hand the payload out in place instead of
+    /// copying it into a registered window.
+    pub fn recv_chan_init<T: Elem>(
+        &self,
+        comm: &Comm,
+        src: usize,
+        tag: u64,
+        len: usize,
+    ) -> RecvChan<T> {
+        assert!(
+            tag < USER_TAG_LIMIT,
+            "tag {tag} in reserved collective space"
+        );
+        assert!(src < comm.size(), "src {src} out of range");
+        RecvChan {
+            comm: comm.clone(),
+            src,
+            tag,
+            chan: self.persistent_channel(comm, src, comm.rank(), tag),
+            len,
+            started: false,
+        }
+    }
+
     /// `MPI_Send_init`: register a persistent send of
     /// `buf[offset..offset+len]` to communicator rank `dst`. Resolves the
     /// pre-matched channel now so `start` never touches the mailbox.
@@ -202,19 +363,10 @@ impl RankCtx {
         offset: usize,
         len: usize,
     ) -> SendReq<T> {
-        assert!(
-            tag < USER_TAG_LIMIT,
-            "tag {tag} in reserved collective space"
-        );
-        assert!(dst < comm.size(), "dst {dst} out of range");
-        let chan = self.persistent_channel(comm, comm.rank(), dst, tag);
         SendReq {
-            dst,
-            dst_world: comm.world_rank(dst),
-            chan,
+            chan: self.send_chan_init(comm, dst, tag, len),
             buf,
             offset,
-            len,
         }
     }
 
@@ -230,11 +382,6 @@ impl RankCtx {
         offset: usize,
         len: usize,
     ) -> RecvReq<T> {
-        assert!(
-            tag < USER_TAG_LIMIT,
-            "tag {tag} in reserved collective space"
-        );
-        assert!(src < comm.size(), "src {src} out of range");
         {
             let guard = buf.read();
             assert!(
@@ -245,16 +392,10 @@ impl RankCtx {
                 guard.len()
             );
         }
-        let chan = self.persistent_channel(comm, src, comm.rank(), tag);
         RecvReq {
-            comm: comm.clone(),
-            src,
-            tag,
-            chan,
+            chan: self.recv_chan_init(comm, src, tag, len),
             buf,
             offset,
-            len,
-            started: false,
         }
     }
 }
@@ -435,6 +576,74 @@ mod tests {
             } else {
                 let _: Vec<f64> = ctx.recv(&comm, 0, 6); // must panic, not hang
             }
+        });
+    }
+
+    #[test]
+    fn chan_gather_scatter_roundtrip() {
+        // zero-copy halves: gather into the wire buffer on send, scatter
+        // straight from the payload on receive — no registered windows
+        let out = World::run(2, |ctx| {
+            let comm = ctx.comm_world();
+            if ctx.rank() == 0 {
+                let values = [3.0f64, 1.0, 4.0, 1.0, 5.0];
+                let picks = [4usize, 0, 2];
+                let send = ctx.send_chan_init::<f64>(&comm, 1, 0, picks.len());
+                let mut acc = 0.0;
+                for it in 0..4 {
+                    send.start_with(ctx, |buf| {
+                        buf.extend(picks.iter().map(|&p| values[p] + it as f64))
+                    });
+                    acc += it as f64;
+                }
+                acc
+            } else {
+                let mut recv = ctx.recv_chan_init::<f64>(&comm, 0, 0, 3);
+                let mut acc = 0.0;
+                for _ in 0..4 {
+                    recv.start();
+                    acc += recv.wait_with(ctx, |data| data.iter().sum::<f64>());
+                }
+                acc
+            }
+        });
+        // per iteration: (5+it) + (3+it) + (4+it) = 12 + 3it
+        let expect: f64 = (0..4).map(|it| (12 + 3 * it) as f64).sum();
+        assert_eq!(out[1], expect);
+    }
+
+    #[test]
+    fn chan_wait_take_lends_the_payload() {
+        let out = World::run(2, |ctx| {
+            let comm = ctx.comm_world();
+            if ctx.rank() == 0 {
+                let send = ctx.send_chan_init::<u64>(&comm, 1, 1, 2);
+                for it in 0..3u64 {
+                    send.start_with(ctx, |buf| buf.extend([it, it * 10]));
+                }
+                0
+            } else {
+                let mut recv = ctx.recv_chan_init::<u64>(&comm, 0, 1, 2);
+                let mut acc = 0;
+                for _ in 0..3 {
+                    recv.start();
+                    let data = recv.wait_take(ctx);
+                    acc = acc * 100 + data[0] + data[1];
+                    recv.recycle(data);
+                }
+                acc
+            }
+        });
+        assert_eq!(out[1], 11 * 100 + 22); // iterations 0, 11, 22 in order
+    }
+
+    #[test]
+    #[should_panic(expected = "fill produced 2 elements, registered 3")]
+    fn chan_fill_length_mismatch_panics() {
+        World::run(1, |ctx| {
+            let comm = ctx.comm_world();
+            let send = ctx.send_chan_init::<u8>(&comm, 0, 0, 3);
+            send.start_with(ctx, |buf| buf.extend([1, 2]));
         });
     }
 

@@ -1,9 +1,14 @@
-//! Launching SPMD worlds.
+//! Launching SPMD worlds: one-shot scoped worlds ([`World::run`]) and
+//! pooled persistent worlds ([`WorldPool`]) that keep their rank threads —
+//! and their pre-matched channel registry — warm across closures.
 
 use crate::ctx::RankCtx;
 use crate::state::{ModelCtx, WorldState};
 use locality::Topology;
+use parking_lot::{Condvar, Mutex};
 use perfmodel::CostModel;
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Entry point: spawn `n` ranks, each running the same closure.
@@ -33,6 +38,21 @@ impl World {
         Self::launch(WorldState::new(n, Some(ModelCtx { model, topo })), f)
     }
 
+    /// Create a persistent pooled world of `n_ranks` ranks: the threads
+    /// (and the world's pre-matched channel registry) stay alive across
+    /// [`WorldPool::run`] calls, so repeated closures measure transport,
+    /// not thread startup.
+    pub fn pool(n_ranks: usize) -> WorldPool {
+        WorldPool::launch(WorldState::new(n_ranks, None))
+    }
+
+    /// Pooled counterpart of [`World::run_modeled`]; each epoch's virtual
+    /// clocks start from zero.
+    pub fn pool_modeled(topo: Topology, model: Arc<dyn CostModel>) -> WorldPool {
+        let n = topo.n_ranks();
+        WorldPool::launch(WorldState::new(n, Some(ModelCtx { model, topo })))
+    }
+
     fn launch<F, R>(state: Arc<WorldState>, f: F) -> Vec<R>
     where
         F: Fn(&mut RankCtx) -> R + Send + Sync,
@@ -45,8 +65,16 @@ impl World {
                 .map(|rank| {
                     let state = Arc::clone(&state);
                     scope.spawn(move || {
-                        let mut ctx = RankCtx::new(state, rank);
-                        f(&mut ctx)
+                        let mut ctx = RankCtx::new(Arc::clone(&state), rank);
+                        match catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
+                            Ok(r) => r,
+                            Err(p) => {
+                                // let peers blocked on this rank's messages
+                                // abort instead of waiting forever
+                                state.note_rank_panic();
+                                resume_unwind(p);
+                            }
+                        }
                     })
                 })
                 .collect();
@@ -63,6 +91,200 @@ impl World {
             }
             results
         })
+    }
+}
+
+/// A type-erased epoch job borrowing the caller's environment for `'env`.
+type JobFor<'env> = Arc<dyn Fn(&mut RankCtx) -> Box<dyn Any + Send> + Send + Sync + 'env>;
+/// The storable form: every rank runs it once per epoch.
+type Job = JobFor<'static>;
+
+struct PoolCtrl {
+    /// Monotonic epoch counter; workers run one job per increment.
+    epoch: u64,
+    job: Option<Job>,
+    /// Per-rank result of the current epoch (`Err` carries a panic).
+    results: Vec<Option<std::thread::Result<Box<dyn Any + Send>>>>,
+    /// Ranks still running the current epoch.
+    remaining: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Arc<WorldState>,
+    ctrl: Mutex<PoolCtrl>,
+    /// Workers park here between epochs.
+    work_cv: Condvar,
+    /// The driver parks here until `remaining` reaches zero.
+    done_cv: Condvar,
+    /// Serializes drivers: held across the whole of [`WorldPool::run`] so
+    /// a second concurrent caller cannot install its epoch between the
+    /// first epoch's completion and its result collection.
+    epoch_lock: Mutex<()>,
+}
+
+/// A persistent SPMD world: rank threads spawned once and reused for many
+/// closures via an epoch protocol.
+///
+/// [`WorldPool::run`] has the same shape as [`World::run`], but the rank
+/// threads — and the underlying [`WorldState`], including its pre-matched
+/// persistent channel registry — survive between calls. Re-registering a
+/// collective with the same tags on a warm pool re-attaches to the
+/// existing (drained) channels, and no per-call thread spawn/join cost is
+/// paid: hundreds of `start`/`wait` iterations can run on one warm world,
+/// which is what exposes true transport time in the benches.
+///
+/// Each epoch gets fresh [`RankCtx`]es (virtual clocks restart at zero).
+/// A panic in any rank propagates from `run` once every rank has finished
+/// the epoch: a panicking rank raises a world-wide flag that aborts peers
+/// blocked waiting on its messages (their stall probes check it), so a
+/// partial-rank panic ends the epoch loudly instead of deadlocking it.
+/// In-flight traffic of the failed epoch (mailbox envelopes, undelivered
+/// channel payloads) is then drained so it cannot leak into later epochs,
+/// and the pool stays usable.
+pub struct WorldPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorldPool {
+    fn launch(state: Arc<WorldState>) -> Self {
+        let n = state.n_ranks;
+        let shared = Arc::new(PoolShared {
+            state,
+            ctrl: Mutex::new(PoolCtrl {
+                epoch: 0,
+                job: None,
+                results: (0..n).map(|_| None).collect(),
+                remaining: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            epoch_lock: Mutex::new(()),
+        });
+        let handles = (0..n)
+            .map(|rank| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mpisim-pool-{rank}"))
+                    .spawn(move || Self::worker(shared, rank))
+                    .expect("spawn pool rank thread")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    fn worker(shared: Arc<PoolShared>, rank: usize) {
+        let mut seen = 0u64;
+        loop {
+            let job = {
+                let mut ctrl = shared.ctrl.lock();
+                loop {
+                    if ctrl.shutdown {
+                        return;
+                    }
+                    if ctrl.epoch > seen {
+                        seen = ctrl.epoch;
+                        break ctrl.job.clone().expect("epoch has a job");
+                    }
+                    shared.work_cv.wait(&mut ctrl);
+                }
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let mut ctx = RankCtx::new(Arc::clone(&shared.state), rank);
+                job(&mut ctx)
+            }));
+            if result.is_err() {
+                // peers blocked on this rank's messages must not wait
+                // forever: their stall probes see the flag and abort
+                shared.state.note_rank_panic();
+            }
+            // drop this worker's job handle BEFORE reporting completion:
+            // `run` may only return once no worker can still hold (and
+            // later drop) a closure borrowing the caller's environment
+            drop(job);
+            let mut ctrl = shared.ctrl.lock();
+            ctrl.results[rank] = Some(result);
+            ctrl.remaining -= 1;
+            if ctrl.remaining == 0 {
+                shared.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// World size of the pool.
+    pub fn n_ranks(&self) -> usize {
+        self.shared.state.n_ranks
+    }
+
+    /// Run `f` on every rank of the warm world and return each rank's
+    /// result, indexed by rank — [`World::run`] semantics without the
+    /// per-call thread spawn. Panics in any rank propagate to the caller
+    /// after all ranks finish the epoch; the pool remains usable.
+    pub fn run<'env, F, R>(&self, f: F) -> Vec<R>
+    where
+        F: Fn(&mut RankCtx) -> R + Send + Sync + 'env,
+        R: Send + 'static,
+    {
+        let n = self.n_ranks();
+        let job: JobFor<'env> = Arc::new(move |ctx| Box::new(f(ctx)) as Box<dyn Any + Send>);
+        // SAFETY: extend the job's lifetime to 'static for storage in the
+        // long-lived pool. The borrow cannot escape this call: `run` blocks
+        // until every worker has finished the epoch AND dropped its clone
+        // of the job (workers drop before reporting completion), and the
+        // control slot's clone is cleared below before returning.
+        let job: Job = unsafe { std::mem::transmute::<JobFor<'env>, Job>(job) };
+        // one driver at a time: held until results are collected, so a
+        // concurrent `run` can neither interleave its epoch with ours nor
+        // steal our results
+        let _epoch = self.shared.epoch_lock.lock();
+        let results: Vec<_> = {
+            let mut ctrl = self.shared.ctrl.lock();
+            debug_assert_eq!(ctrl.remaining, 0, "epoch_lock held with ranks in flight");
+            self.shared.state.clear_rank_panic();
+            ctrl.job = Some(job);
+            ctrl.epoch += 1;
+            ctrl.remaining = n;
+            ctrl.results.iter_mut().for_each(|r| *r = None);
+            self.shared.work_cv.notify_all();
+            while ctrl.remaining > 0 {
+                self.shared.done_cv.wait(&mut ctrl);
+            }
+            ctrl.job = None;
+            ctrl.results
+                .iter_mut()
+                .map(|r| r.take().expect("every rank reported"))
+                .collect()
+        };
+        let mut out = Vec::with_capacity(n);
+        let mut panic: Option<Box<dyn Any + Send>> = None;
+        for r in results {
+            match r {
+                Ok(b) => out.push(*b.downcast::<R>().expect("epoch result type")),
+                Err(p) => panic = panic.or(Some(p)),
+            }
+        }
+        if let Some(p) = panic {
+            // a rank died mid-closure: whatever it (or its peers) left in
+            // flight must not leak into the next epoch's matching
+            self.shared.state.drain_in_flight();
+            resume_unwind(p);
+        }
+        out
+    }
+}
+
+impl Drop for WorldPool {
+    fn drop(&mut self) {
+        {
+            let mut ctrl = self.shared.ctrl.lock();
+            ctrl.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
     }
 }
 
@@ -104,5 +326,177 @@ mod tests {
         // Unmodeled worlds still accumulate explicit compute charges —
         // they simply never add communication time.
         assert_eq!(out, vec![1.5, 1.5]);
+    }
+
+    #[test]
+    fn pool_reuses_threads_across_epochs() {
+        let pool = World::pool(5);
+        assert_eq!(pool.n_ranks(), 5);
+        let out = pool.run(|ctx| ctx.rank() * ctx.rank());
+        assert_eq!(out, vec![0, 1, 4, 9, 16]);
+        // a second epoch with a different result type, on the same threads
+        let names: Vec<String> = pool.run(|ctx| format!("r{}", ctx.rank()));
+        assert_eq!(names[3], "r3");
+        // borrowed environment: closures may capture references
+        let base = [10usize, 20, 30, 40, 50];
+        let out = pool.run(|ctx| base[ctx.rank()] + 1);
+        assert_eq!(out, vec![11, 21, 31, 41, 51]);
+    }
+
+    #[test]
+    fn pool_epochs_communicate_independently() {
+        let pool = World::pool(4);
+        for epoch in 0..3u64 {
+            let out = pool.run(|ctx| {
+                let comm = ctx.comm_world();
+                let right = (ctx.rank() + 1) % ctx.size();
+                let left = (ctx.rank() + ctx.size() - 1) % ctx.size();
+                ctx.send(&comm, right, 0, &[ctx.rank() as u64 + 100 * epoch]);
+                let v: Vec<u64> = ctx.recv(&comm, left, 0);
+                v[0]
+            });
+            assert_eq!(
+                out,
+                vec![
+                    3 + 100 * epoch,
+                    100 * epoch,
+                    1 + 100 * epoch,
+                    2 + 100 * epoch
+                ]
+            );
+        }
+    }
+
+    #[test]
+    fn pool_panic_propagates_and_pool_survives() {
+        let pool = World::pool(3);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // every rank panics, so the epoch terminates cleanly
+            pool.run(|ctx| -> usize { panic!("epoch failed on rank {}", ctx.rank()) });
+        }));
+        assert!(r.is_err());
+        // the pool is still usable after a panicked epoch
+        let out = pool.run(|ctx| ctx.rank() + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pool_partial_rank_panic_does_not_hang() {
+        // rank 0 dies before sending; rank 1 is blocked waiting for its
+        // message. The stall probe must abort rank 1, the epoch must end
+        // with a panic, and the pool must stay usable.
+        let pool = World::pool(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|ctx| {
+                let comm = ctx.comm_world();
+                if ctx.rank() == 0 {
+                    panic!("rank 0 dies before sending");
+                }
+                let mut recv = ctx.recv_chan_init::<u64>(&comm, 0, 5, 1);
+                recv.start();
+                recv.wait_with(ctx, |d| d[0])
+            });
+        }));
+        assert!(r.is_err());
+        let out = pool.run(|ctx| ctx.rank() * 10);
+        assert_eq!(out, vec![0, 10]);
+    }
+
+    #[test]
+    fn scoped_partial_rank_panic_does_not_hang() {
+        // the same guarantee for one-shot worlds: a blocked plain recv
+        // aborts when its peer dies
+        let r = std::panic::catch_unwind(|| {
+            World::run(2, |ctx| {
+                let comm = ctx.comm_world();
+                if ctx.rank() == 0 {
+                    panic!("rank 0 dies before sending");
+                }
+                let v: Vec<u64> = ctx.recv(&comm, 0, 5);
+                v[0]
+            });
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn pool_drains_in_flight_traffic_after_panic() {
+        // epoch 1: rank 0 deposits a persistent payload and a plain
+        // envelope, then every rank panics before rank 1 receives either.
+        // Epoch 2 reuses both signatures: it must see the NEW messages,
+        // not epoch 1's stale ones.
+        let pool = World::pool(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|ctx| {
+                let comm = ctx.comm_world();
+                if ctx.rank() == 0 {
+                    let send = ctx.send_chan_init::<u64>(&comm, 1, 3, 1);
+                    send.start_with(ctx, |b| b.push(111));
+                    ctx.send(&comm, 1, 4, &[222u64]);
+                }
+                panic!("abandon epoch");
+            });
+        }));
+        assert!(r.is_err());
+        let out = pool.run(|ctx| {
+            let comm = ctx.comm_world();
+            if ctx.rank() == 0 {
+                let send = ctx.send_chan_init::<u64>(&comm, 1, 3, 1);
+                send.start_with(ctx, |b| b.push(1111));
+                ctx.send(&comm, 1, 4, &[2222u64]);
+                0
+            } else {
+                let mut recv = ctx.recv_chan_init::<u64>(&comm, 0, 3, 1);
+                recv.start();
+                let a = recv.wait_with(ctx, |d| d[0]);
+                let b: Vec<u64> = ctx.recv(&comm, 0, 4);
+                a + b[0]
+            }
+        });
+        assert_eq!(out[1], 1111 + 2222);
+    }
+
+    #[test]
+    fn pool_modeled_clocks_reset_per_epoch() {
+        use perfmodel::PostalModel;
+        let topo = Topology::block_nodes(2, 1);
+        let model = Arc::new(PostalModel::new(1e-6, 1e-9));
+        let pool = World::pool_modeled(topo, model);
+        let expect = 1e-6 + 1000.0 * 1e-9;
+        for _ in 0..2 {
+            let clocks = pool.run(|ctx| {
+                let comm = ctx.comm_world();
+                if ctx.rank() == 0 {
+                    ctx.send(&comm, 1, 0, &[0u8; 1000]);
+                } else {
+                    let _: Vec<u8> = ctx.recv(&comm, 0, 0);
+                }
+                ctx.clock()
+            });
+            // fresh RankCtx per epoch: clocks do not accumulate across runs
+            assert!((clocks[1] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pool_persistent_channels_stay_warm() {
+        // the same persistent signature re-registered across epochs
+        // re-attaches to the drained channel and keeps delivering
+        let pool = World::pool(2);
+        for epoch in 0..3u64 {
+            let out = pool.run(|ctx| {
+                let comm = ctx.comm_world();
+                if ctx.rank() == 0 {
+                    let send = ctx.send_chan_init::<u64>(&comm, 1, 7, 1);
+                    send.start_with(ctx, |buf| buf.push(epoch * 11));
+                    0
+                } else {
+                    let mut recv = ctx.recv_chan_init::<u64>(&comm, 0, 7, 1);
+                    recv.start();
+                    recv.wait_with(ctx, |data| data[0])
+                }
+            });
+            assert_eq!(out[1], epoch * 11);
+        }
     }
 }

@@ -6,7 +6,7 @@ use parking_lot::{Condvar, Mutex};
 use perfmodel::CostModel;
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A message in flight.
@@ -42,9 +42,16 @@ pub(crate) struct ModelCtx {
 pub(crate) type ChanKey = (u64, usize, usize, u64);
 
 /// Registry slot: element type name (for mismatch diagnostics), the
-/// type-erased channel, and its pending-message counter — readable without
-/// knowing `T`, so the plain mailbox path can detect mixed traffic.
-type ChanSlot = (&'static str, Arc<dyn Any + Send + Sync>, Arc<AtomicUsize>);
+/// type-erased channel, its pending-message counter — readable without
+/// knowing `T`, so the plain mailbox path can detect mixed traffic — and
+/// a typed drain hook so the registry can discard undelivered payloads
+/// (after a panicked pool epoch) without knowing `T` either.
+type ChanSlot = (
+    &'static str,
+    Arc<dyn Any + Send + Sync>,
+    Arc<AtomicUsize>,
+    Arc<dyn Fn() + Send + Sync>,
+);
 
 /// A pre-matched persistent channel: the rendezvous a `send_init` /
 /// `recv_init` pair shares, created once at registration time.
@@ -87,10 +94,19 @@ impl<T: Clone + Send + 'static> Channel<T> {
 
     /// Deposit one message (buffered semantics: never blocks).
     pub fn push(&self, data: &[T], arrival: f64) {
-        let mut st = self.state.lock();
-        let mut buf = st.spare.pop().unwrap_or_default();
+        self.push_with(arrival, |buf| buf.extend_from_slice(data));
+    }
+
+    /// Deposit one message by filling the channel's recycled payload buffer
+    /// directly — the zero-copy send path. `fill` receives a cleared spare
+    /// buffer and writes the payload into it, so senders gather values
+    /// straight into the wire buffer instead of staging them in their own
+    /// window first. The channel lock is not held while `fill` runs.
+    pub fn push_with(&self, arrival: f64, fill: impl FnOnce(&mut Vec<T>)) {
+        let mut buf = self.state.lock().spare.pop().unwrap_or_default();
         buf.clear();
-        buf.extend_from_slice(data);
+        fill(&mut buf);
+        let mut st = self.state.lock();
         st.pending.push_back((buf, arrival));
         self.pending_count.fetch_add(1, Ordering::Relaxed);
         self.cv.notify_all();
@@ -108,6 +124,24 @@ impl<T: Clone + Send + 'static> Channel<T> {
     /// persistent receive, which lands in the mailbox this channel
     /// bypasses — into a loud panic.
     pub fn pop_with(&self, stall_probe: impl Fn()) -> (Vec<T>, f64) {
+        // Yield-spin before parking: in the steady state the matching send
+        // is usually a runnable peer away, so cycling the run queue a few
+        // times picks the message up for the cost of a sched_yield instead
+        // of a futex park + wake round trip (which dominates per-message
+        // latency on oversubscribed hosts). The empty-channel probe is the
+        // lock-free pending counter, so spinning adds no mutex traffic on
+        // the path the sender needs. Bounded, so a genuinely absent sender
+        // still lands in the blocking wait below.
+        for _ in 0..24 {
+            if self.pending_count.load(Ordering::Relaxed) > 0 {
+                let mut st = self.state.lock();
+                if let Some(msg) = st.pending.pop_front() {
+                    self.pending_count.fetch_sub(1, Ordering::Relaxed);
+                    return msg;
+                }
+            }
+            std::thread::yield_now();
+        }
         let mut st = self.state.lock();
         while st.pending.is_empty() {
             if self
@@ -128,6 +162,16 @@ impl<T: Clone + Send + 'static> Channel<T> {
         self.state.lock().spare.push(buf);
     }
 
+    /// Discard every undelivered payload (buffers go back to the spare
+    /// pool). Used to reset a warm world after a panicked epoch.
+    pub fn drain_pending(&self) {
+        let mut st = self.state.lock();
+        while let Some((buf, _)) = st.pending.pop_front() {
+            self.pending_count.fetch_sub(1, Ordering::Relaxed);
+            st.spare.push(buf);
+        }
+    }
+
     /// Would [`Channel::pop_with`] complete without blocking?
     pub fn ready(&self) -> bool {
         !self.state.lock().pending.is_empty()
@@ -146,10 +190,17 @@ pub(crate) struct WorldState {
     pub model: Option<ModelCtx>,
     /// Pre-matched persistent channels, keyed by signature. Entries live
     /// as long as the world (like unmatched mailbox envelopes): the
-    /// simulator has no `MPI_Request_free` counterpart, and worlds are
-    /// scoped to one `World::run`, so registered signatures are bounded by
-    /// what the run's collectives registered.
+    /// simulator has no `MPI_Request_free` counterpart, and registered
+    /// signatures are bounded by what the world's collectives registered.
+    /// A pooled world ([`crate::WorldPool`]) keeps its `WorldState` across
+    /// epochs, so re-registering the same signature re-attaches to the
+    /// (drained) channel — re-init on a warm world is a lookup, not a
+    /// rendezvous.
     channels: Mutex<HashMap<ChanKey, ChanSlot>>,
+    /// Set when a rank of the current pool epoch panicked: blocked
+    /// receives check it from their stall probes and abort loudly instead
+    /// of waiting forever for a message the dead rank will never send.
+    rank_panicked: AtomicBool,
 }
 
 impl WorldState {
@@ -168,7 +219,28 @@ impl WorldState {
             mailboxes,
             model,
             channels: Mutex::new(HashMap::new()),
+            rank_panicked: AtomicBool::new(false),
         })
+    }
+
+    /// Record that a rank of the current epoch panicked (pool worker).
+    pub(crate) fn note_rank_panic(&self) {
+        self.rank_panicked.store(true, Ordering::Release);
+    }
+
+    /// Clear the panic marker at the start of a fresh epoch.
+    pub(crate) fn clear_rank_panic(&self) {
+        self.rank_panicked.store(false, Ordering::Release);
+    }
+
+    /// Abort a blocked receive if a peer rank already died this epoch —
+    /// called from stall probes so a partial-rank panic ends the epoch
+    /// loudly instead of deadlocking the world.
+    pub(crate) fn check_peer_alive(&self) {
+        assert!(
+            !self.rank_panicked.load(Ordering::Acquire),
+            "a peer rank panicked this epoch; abandoning blocked receive"
+        );
     }
 
     /// Get-or-create the persistent channel for `key` — whichever side
@@ -176,14 +248,20 @@ impl WorldState {
     /// slot, completing the match once at init time.
     pub fn channel<T: Clone + Send + 'static>(&self, key: ChanKey) -> Arc<Channel<T>> {
         let mut map = self.channels.lock();
-        let (type_name, any, _) = map
+        let (type_name, any, ..) = map
             .entry(key)
             .or_insert_with(|| {
                 let count = Arc::new(AtomicUsize::new(0));
+                let chan = Arc::new(Channel::<T>::new(key, count.clone()));
+                let drain = {
+                    let chan = Arc::clone(&chan);
+                    Arc::new(move || chan.drain_pending()) as Arc<dyn Fn() + Send + Sync>
+                };
                 (
                     std::any::type_name::<T>(),
-                    Arc::new(Channel::<T>::new(key, count.clone())) as Arc<dyn Any + Send + Sync>,
+                    chan as Arc<dyn Any + Send + Sync>,
                     count,
+                    drain,
                 )
             })
             .clone();
@@ -196,13 +274,26 @@ impl WorldState {
         })
     }
 
+    /// Discard all in-flight traffic: every mailbox envelope and every
+    /// undelivered persistent-channel payload. Registrations (the channel
+    /// registry itself) survive. A pooled world calls this after a
+    /// panicked epoch so stale messages cannot leak into the next one.
+    pub fn drain_in_flight(&self) {
+        for mb in &self.mailboxes {
+            mb.queue.lock().clear();
+        }
+        for (.., drain) in self.channels.lock().values() {
+            drain();
+        }
+    }
+
     /// Does the persistent channel for `key` exist with messages pending?
     /// Untyped — used by the plain receive path to diagnose mixed traffic.
     pub fn channel_pending(&self, key: &ChanKey) -> bool {
         self.channels
             .lock()
             .get(key)
-            .is_some_and(|(_, _, count)| count.load(Ordering::Relaxed) > 0)
+            .is_some_and(|(_, _, count, _)| count.load(Ordering::Relaxed) > 0)
     }
 
     /// Deposit an envelope in `global_dst`'s mailbox and wake any waiter.
@@ -245,6 +336,7 @@ impl WorldState {
                 .wait_for(&mut q, std::time::Duration::from_millis(50))
                 .timed_out()
             {
+                self.check_peer_alive();
                 assert!(
                     !self.channel_pending(&chan_key),
                     "plain recv from {src} tag {tag}: matching message sits on a \

@@ -44,8 +44,12 @@ fn main() {
     );
 
     // --- distributed SpMV on every level via neighborhood collectives ---
+    // One pooled world serves every level: the rank threads (and each
+    // level's pre-matched channels) stay warm across the whole hierarchy,
+    // the shape a real AMG solve has — one MPI world, many collectives.
     let dist = DistributedHierarchy::build(&h, RANKS);
     let topo = Topology::block_nodes(RANKS, PPN);
+    let pool = World::pool(RANKS);
 
     println!(
         "{:<6} {:>8} {:>10} {:>12} {:>12} {:>14}",
@@ -77,7 +81,7 @@ fn main() {
         let serial = h.levels[lvl].a.spmv(&x);
         let coll = NeighborAlltoallv::new(&pattern, &topo).protocol(Protocol::FullNeighbor);
         let pars: Vec<ParCsr> = ParCsr::split_all(&h.levels[lvl].a, &dlvl.part);
-        let results = World::run(RANKS, |ctx| {
+        let results = pool.run(|ctx| {
             let comm = ctx.comm_world();
             let me = ctx.rank();
             let par = &pars[me];

@@ -2,11 +2,13 @@
 //! topologies, every backend of the unified `NeighborAlltoallv` API — the
 //! four paper protocols, the §5 partitioned combination, and model-driven
 //! auto-selection — must deliver byte-identical ghost values to a direct
-//! exchange computed straight from the pattern.
+//! exchange computed straight from the pattern. Each backend runs both in
+//! a one-shot spawned world and inside a shared warm [`WorldPool`], so the
+//! zero-copy pooled path is pinned byte-for-byte to the same reference.
 
 use locality::Topology;
 use mpi_advance::{Backend, CommPattern, NeighborAlltoallv, Protocol};
-use mpisim::World;
+use mpisim::{World, WorldPool};
 use proptest::prelude::*;
 
 /// Random pattern over `n` ranks: each rank sends a few indices drawn from
@@ -60,21 +62,45 @@ fn expected_outputs(pattern: &CommPattern, it: u64) -> Vec<Vec<f64>> {
         .collect()
 }
 
-/// Run `backend` on the simulator for two iterations and collect every
-/// rank's raw output bytes.
+/// One rank's SPMD body: two iterations, raw output bits per iteration.
+fn backend_body(
+    coll: &NeighborAlltoallv,
+    ctx: &mut mpisim::RankCtx,
+    comm: &mpisim::Comm,
+) -> Vec<Vec<u64>> {
+    let mut req = coll.init(ctx, comm);
+    let mut iters = Vec::new();
+    for it in 0..2u64 {
+        let input: Vec<f64> = req.input_index().iter().map(|&i| value(i, it)).collect();
+        let mut output = vec![f64::NAN; req.output_index().len()];
+        req.start_wait(ctx, &input, &mut output);
+        iters.push(output.iter().map(|v| v.to_bits()).collect());
+    }
+    iters
+}
+
+/// Run `backend` in a fresh spawned world for two iterations and collect
+/// every rank's raw output bytes.
 fn run_backend(pattern: &CommPattern, topo: &Topology, backend: Backend) -> Vec<Vec<Vec<u64>>> {
     let coll = NeighborAlltoallv::new(pattern, topo).backend(backend);
     World::run(pattern.n_ranks, |ctx| {
         let comm = ctx.comm_world();
-        let mut req = coll.init(ctx, &comm);
-        let mut iters = Vec::new();
-        for it in 0..2u64 {
-            let input: Vec<f64> = req.input_index().iter().map(|&i| value(i, it)).collect();
-            let mut output = vec![f64::NAN; req.output_index().len()];
-            req.start_wait(ctx, &input, &mut output);
-            iters.push(output.iter().map(|v| v.to_bits()).collect());
-        }
-        iters
+        backend_body(&coll, ctx, &comm)
+    })
+}
+
+/// Run `backend` as one epoch of a shared warm pool — the pooled,
+/// zero-copy steady-state path.
+fn run_backend_pooled(
+    pool: &WorldPool,
+    pattern: &CommPattern,
+    topo: &Topology,
+    backend: Backend,
+) -> Vec<Vec<Vec<u64>>> {
+    let coll = NeighborAlltoallv::new(pattern, topo).backend(backend);
+    pool.run(|ctx| {
+        let comm = ctx.comm_world();
+        backend_body(&coll, ctx, &comm)
     })
 }
 
@@ -107,14 +133,27 @@ proptest! {
             })
             .collect();
 
+        // one warm pool shared by every backend of this case: epochs must
+        // not leak state into each other, and the pooled zero-copy path
+        // must match the spawned path bit for bit
+        let pool = World::pool(8);
         for backend in backends {
             let got = run_backend(&pattern, &topo, backend);
+            let pooled = run_backend_pooled(&pool, &pattern, &topo, backend);
             for (rank, iters) in got.iter().enumerate() {
                 for (it, bits) in iters.iter().enumerate() {
                     prop_assert_eq!(
                         bits,
                         &expected[it][rank],
                         "{:?} diverged at rank {} iteration {}",
+                        backend,
+                        rank,
+                        it
+                    );
+                    prop_assert_eq!(
+                        &pooled[rank][it],
+                        bits,
+                        "{:?} pooled world diverged from spawned world at rank {} iteration {}",
                         backend,
                         rank,
                         it

@@ -14,6 +14,10 @@
 //! `cargo bench -- --test`) executes every benchmark body exactly once
 //! with no warmup or batching — compile-and-run verification for CI, not
 //! a measurement.
+//!
+//! A positional argument is a substring filter on the `group/name` label
+//! (real criterion's filter), e.g. `cargo bench --bench protocols --
+//! steady_state` runs only the steady-state group.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -21,6 +25,11 @@ use std::time::{Duration, Instant};
 /// True when the binary was invoked with `--test` (smoke mode).
 fn test_mode() -> bool {
     std::env::args().any(|a| a == "--test")
+}
+
+/// Substring filter on benchmark labels: the first positional argument.
+fn name_filter() -> Option<String> {
+    std::env::args().skip(1).find(|a| !a.starts_with('-'))
 }
 
 /// Identifier for one benchmark within a group.
@@ -164,6 +173,16 @@ fn run_one<F: FnMut(&mut Bencher)>(
     sample_size: usize,
     mut f: F,
 ) {
+    let full_label = if group.is_empty() {
+        name.clone()
+    } else {
+        format!("{group}/{name}")
+    };
+    if let Some(f) = name_filter() {
+        if !full_label.contains(&f) {
+            return;
+        }
+    }
     let quick = test_mode();
     let mut b = Bencher {
         samples: Vec::new(),
@@ -173,11 +192,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
     f(&mut b);
     let mut ns: Vec<f64> = b.samples.iter().map(|d| d.as_nanos() as f64).collect();
     ns.sort_by(|a, b| a.total_cmp(b));
-    let label = if group.is_empty() {
-        name.clone()
-    } else {
-        format!("{group}/{name}")
-    };
+    let label = full_label;
     if ns.is_empty() {
         eprintln!("{label}: no samples (Bencher::iter never called)");
         return;
