@@ -32,7 +32,8 @@ bench-steady:
 	cargo bench -p bench_suite --bench protocols -- steady_state
 
 # compile and execute every bench binary once (criterion --test smoke
-# mode) — including the pooled steady-state group; run on every PR by CI
+# mode) — including the pooled steady-state group and the
+# batch_init_256ranks batch-vs-per-pattern pair; run on every PR by CI
 # so benches cannot rot
 bench-smoke:
 	cargo bench -p bench_suite --benches -- --test

@@ -77,6 +77,15 @@ impl DistributedHierarchy {
     pub fn n_levels(&self) -> usize {
         self.levels.len()
     }
+
+    /// Every level's halo-exchange pattern, in level order — the entry
+    /// list for one `mpi_advance::NeighborBatch` serving the whole
+    /// hierarchy (the solve keeps one persistent collective live per
+    /// level, so they should be planned, tagged, and staged as one
+    /// session).
+    pub fn patterns(&self) -> Vec<CommPattern> {
+        self.levels.iter().map(DistLevel::pattern).collect()
+    }
 }
 
 /// Per-rank matrix pieces of one level, for executing distributed SpMVs on
@@ -135,6 +144,51 @@ mod tests {
             mid_max >= fine,
             "expected a middle level to need at least as many messages: {counts:?}"
         );
+    }
+
+    #[test]
+    fn whole_hierarchy_exchanges_as_one_batch_on_one_pool() {
+        // the solve-phase shape: one warm pooled world, one NeighborBatch
+        // holding every level's collective, all levels live at once
+        use locality::Topology;
+        use mpi_advance::{Backend, NeighborBatch, Protocol};
+        use mpisim::World;
+
+        const RANKS: usize = 8;
+        let h = small_hierarchy();
+        let d = DistributedHierarchy::build(&h, RANKS);
+        let patterns = d.patterns();
+        assert_eq!(patterns.len(), d.n_levels());
+        let topo = Topology::block_nodes(RANKS, 4);
+        let mut batch = NeighborBatch::new(&topo);
+        for p in &patterns {
+            batch = batch.entry(p, Backend::Protocol(Protocol::FullNeighbor));
+        }
+        let pool = World::pool(RANKS);
+        let ok = pool.run(|ctx| {
+            let comm = ctx.comm_world();
+            let mut reqs = batch.init_all(ctx, &comm);
+            // start every level's exchange before completing any
+            let inputs: Vec<Vec<f64>> = reqs
+                .iter()
+                .map(|r| r.input_index().iter().map(|&i| i as f64).collect())
+                .collect();
+            for (r, input) in reqs.iter_mut().zip(&inputs) {
+                r.start(ctx, input);
+            }
+            let mut ok = true;
+            for r in reqs.iter_mut() {
+                let mut ghost = vec![f64::NAN; r.output_index().len()];
+                r.wait(ctx, &mut ghost);
+                ok &= r
+                    .output_index()
+                    .iter()
+                    .zip(&ghost)
+                    .all(|(&i, &v)| v == i as f64);
+            }
+            ok
+        });
+        assert!(ok.into_iter().all(|b| b), "a level's halo exchange failed");
     }
 
     #[test]

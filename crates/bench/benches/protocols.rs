@@ -5,7 +5,10 @@
 //! hierarchy level) makes planner scaling visible, and the
 //! `steady_state_32ranks` group runs 100 iterations per sample on one
 //! pooled world so the per-iteration transport cost is measured without
-//! thread-spawn noise (allocation-sensitive: see `scripts/bench_compare`).
+//! thread-spawn noise (allocation-sensitive: see `scripts/bench_compare`),
+//! and `batch_init_256ranks` pits one `NeighborBatch::init_all` over 8
+//! AMG-level-like patterns against 8 independent per-pattern inits
+//! (`scripts/bench_compare` reports the batch/per-pattern speedup).
 //!
 //! These measure actual data movement through the full persistent
 //! start/wait path — complementary to the modeled paper-scale figures.
@@ -16,7 +19,7 @@
 use bench_suite::workload::{level_patterns, paper_hierarchy};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use locality::Topology;
-use mpi_advance::{Backend, CommPattern, NeighborAlltoallv, Protocol};
+use mpi_advance::{Backend, CommPattern, NeighborAlltoallv, NeighborBatch, Protocol};
 use mpisim::World;
 
 const RANKS: usize = 32;
@@ -169,11 +172,71 @@ fn bench_init_large(c: &mut Criterion) {
     group.finish();
 }
 
+/// The many-live-collectives shape at 256 ranks: N = 8 AMG-level-like
+/// patterns initialized per epoch of one **pooled** world, as one
+/// `NeighborBatch::init_all` ("batch") vs N independent
+/// `NeighborAlltoallv` inits ("per_pattern"). Builders are constructed
+/// once per benchmark (the SPMD shape), so the planning/routing caches
+/// participate in both sides, and the warm pool keeps thread spawn out of
+/// the measurement (like `steady_state_32ranks`); the measured difference
+/// is the per-init registration work — one registry pass and one staging
+/// arena per rank for the batch, against N sets of per-channel lock round
+/// trips and N arenas for the independent inits.
+fn bench_batch_init_large(c: &mut Criterion) {
+    const N_PATTERNS: usize = 8;
+    let h = paper_hierarchy(256, 128);
+    let mut levels: Vec<CommPattern> = level_patterns(&h, RANKS_LARGE)
+        .into_iter()
+        .map(|lp| lp.pattern)
+        .filter(|p| p.total_msgs() > 0)
+        .collect();
+    // busiest first; cycle if the hierarchy has fewer communicating
+    // levels than entries (repeat patterns = residual/restriction
+    // exchanges sharing a level's structure)
+    levels.sort_by_key(|p| std::cmp::Reverse(p.total_msgs()));
+    let patterns: Vec<CommPattern> = (0..N_PATTERNS)
+        .map(|i| levels[i % levels.len()].clone())
+        .collect();
+    let topo = Topology::block_nodes(RANKS_LARGE, 16);
+    let mut group = c.benchmark_group("batch_init_256ranks");
+    group.sample_size(15);
+    let pool = World::pool(RANKS_LARGE);
+
+    let mut batch = NeighborBatch::new(&topo);
+    for p in &patterns {
+        batch = batch.entry(p, Backend::Protocol(Protocol::FullNeighbor));
+    }
+    group.bench_function(BenchmarkId::from_parameter("batch_8patterns"), |b| {
+        b.iter(|| {
+            pool.run(|ctx| {
+                let comm = ctx.comm_world();
+                batch.init_all(ctx, &comm).len()
+            })
+        })
+    });
+
+    let colls: Vec<NeighborAlltoallv> = patterns
+        .iter()
+        .map(|p| NeighborAlltoallv::new(p, &topo).protocol(Protocol::FullNeighbor))
+        .collect();
+    group.bench_function(BenchmarkId::from_parameter("per_pattern_8patterns"), |b| {
+        b.iter(|| {
+            pool.run(|ctx| {
+                let comm = ctx.comm_world();
+                let reqs: Vec<_> = colls.iter().map(|coll| coll.init(ctx, &comm)).collect();
+                reqs.len()
+            })
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_protocols,
     bench_steady_state,
     bench_init,
-    bench_init_large
+    bench_init_large,
+    bench_batch_init_large
 );
 criterion_main!(benches);

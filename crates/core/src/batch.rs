@@ -1,0 +1,565 @@
+//! `NeighborBatch`: plan, tag, and stage many collectives as one.
+//!
+//! The paper's workload is never a single collective: an AMG solve keeps
+//! one persistent `Neighbor_alltoallv` live *per level*, plus residual and
+//! restriction exchanges — many simultaneously live patterns on one
+//! communicator. Driving each through its own [`crate::NeighborAlltoallv`]
+//! builder pays a full planning-and-routing pass per pattern and leans on
+//! a global tag allocator to keep them apart. `NeighborBatch` is the
+//! session that owns the whole set:
+//!
+//! ```
+//! use locality::Topology;
+//! use mpi_advance::{Backend, CommPattern, NeighborBatch, Protocol};
+//! use mpisim::World;
+//!
+//! let fine = CommPattern::example_2_1();
+//! let coarse = CommPattern::example_2_1();
+//! let topo = Topology::block_nodes(8, 4);
+//! let batch = NeighborBatch::new(&topo)
+//!     .entry(&fine, Backend::Protocol(Protocol::FullNeighbor))
+//!     .entry(&coarse, Backend::Auto);
+//! let ok = World::run(8, |ctx| {
+//!     let comm = ctx.comm_world();
+//!     let mut reqs = batch.init_all(ctx, &comm);
+//!     reqs.iter_mut().all(|req| {
+//!         let input: Vec<f64> = req.input_index().iter().map(|&i| i as f64).collect();
+//!         let mut output = vec![0.0; req.output_index().len()];
+//!         req.start_wait(ctx, &input, &mut output);
+//!         req.output_index().iter().zip(&output).all(|(&i, &v)| v == i as f64)
+//!     })
+//! });
+//! assert!(ok.into_iter().all(|b| b));
+//! ```
+//!
+//! What the session fuses, relative to N independent builders:
+//!
+//! * **Planning** — every entry's backend resolves up front, in one place,
+//!   sharing one default cost model.
+//! * **Tags** — one [`crate::tagspace::TagLease`] of N spans is carved
+//!   into per-entry namespaces; nothing touches a global counter per
+//!   entry, and exhaustion of the (re-usable) tag space is a loud panic.
+//! * **Routing** — one [`RankRouting::build_all_batch`] sweep derives all
+//!   ranks × all entries' routings together, and lays out one staging
+//!   arena per rank covering every plain entry's g sends (one allocation
+//!   per batch instead of one per request).
+//! * **Registration** — [`NeighborBatch::init_all`] opens the world's
+//!   channel registry once ([`mpisim::ChanRegistrar`]) and registers every
+//!   entry's channels in a single pass, instead of one lock round trip per
+//!   message.
+//!
+//! Each rank gets back its entries as [`crate::NeighborRequest`] trait
+//! objects, in batch order — the same objects the single-collective
+//! builder returns ([`crate::NeighborAlltoallv`] is a one-entry batch
+//! internally), byte-identical on the wire to N independent inits.
+
+use crate::agg::AssignStrategy;
+use crate::collective::select::choose_with;
+use crate::collective::Protocol;
+use crate::exec::PersistentNeighbor;
+use crate::exec_partitioned::PartitionedNeighbor;
+use crate::neighbor::{Backend, NeighborRequest};
+use crate::pattern::CommPattern;
+use crate::routing::{BatchEntryPlan, BatchRankRouting, RankRouting};
+use crate::tagspace::{TagLease, TagSpace, SPAN};
+use crate::Plan;
+use locality::Topology;
+use mpisim::persistent::shared_buf;
+use mpisim::{Comm, RankCtx};
+use perfmodel::{CostModel, LocalityModel};
+use std::sync::{Arc, OnceLock};
+
+pub(crate) struct PlainRequest {
+    pub(crate) inner: PersistentNeighbor,
+    pub(crate) protocol: Protocol,
+    /// Requests outlive their builder; holding the lease keeps the tag
+    /// span from being re-used while this request's channels are live.
+    pub(crate) _lease: Option<Arc<TagLease>>,
+}
+
+impl NeighborRequest for PlainRequest {
+    fn input_index(&self) -> &[usize] {
+        self.inner.input_index()
+    }
+    fn output_index(&self) -> &[usize] {
+        self.inner.output_index()
+    }
+    fn start(&mut self, ctx: &mut RankCtx, input: &[f64]) {
+        self.inner.start(ctx, input);
+    }
+    fn wait(&mut self, ctx: &mut RankCtx, output: &mut [f64]) {
+        self.inner.wait(ctx, output);
+    }
+    fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+    fn is_partitioned(&self) -> bool {
+        false
+    }
+}
+
+pub(crate) struct PartitionedRequest {
+    pub(crate) inner: PartitionedNeighbor,
+    pub(crate) protocol: Protocol,
+    /// See [`PlainRequest::_lease`].
+    pub(crate) _lease: Option<Arc<TagLease>>,
+}
+
+impl NeighborRequest for PartitionedRequest {
+    fn input_index(&self) -> &[usize] {
+        self.inner.input_index()
+    }
+    fn output_index(&self) -> &[usize] {
+        self.inner.output_index()
+    }
+    fn start(&mut self, ctx: &mut RankCtx, input: &[f64]) {
+        self.inner.start(ctx, input);
+    }
+    fn wait(&mut self, ctx: &mut RankCtx, output: &mut [f64]) {
+        self.inner.wait(ctx, output);
+    }
+    fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+    fn is_partitioned(&self) -> bool {
+        true
+    }
+}
+
+struct EntrySpec<'a> {
+    pattern: &'a CommPattern,
+    backend: Backend,
+    strategy: AssignStrategy,
+}
+
+/// The resolved half of a batch: plans, carved tags, and every rank's
+/// routing, computed once and shared by all ranks' `init_all`.
+struct ResolvedBatch {
+    plans: Vec<(Protocol, Plan)>,
+    tag_bases: Vec<u64>,
+    routings: Vec<BatchRankRouting>,
+    /// Held by the batch AND cloned into every request it initializes:
+    /// the span frees (and its base becomes re-usable) only when the
+    /// batch and all of its live requests are gone.
+    lease: Option<Arc<TagLease>>,
+}
+
+/// A session of persistent neighborhood collectives planned, tagged, and
+/// staged together. See the [module docs](self) for the full contract;
+/// construction mirrors [`crate::NeighborAlltoallv`] (SPMD-agreed inputs,
+/// deterministic resolution, every rank shares the builder).
+pub struct NeighborBatch<'a> {
+    topo: &'a Topology,
+    entries: Vec<EntrySpec<'a>>,
+    model: Option<&'a dyn CostModel>,
+    pinned_tag_base: Option<u64>,
+    resolved: OnceLock<ResolvedBatch>,
+}
+
+impl<'a> NeighborBatch<'a> {
+    /// An empty session over `topo`. Add collectives with
+    /// [`NeighborBatch::entry`].
+    pub fn new(topo: &'a Topology) -> Self {
+        Self {
+            topo,
+            entries: Vec::new(),
+            model: None,
+            pinned_tag_base: None,
+            resolved: OnceLock::new(),
+        }
+    }
+
+    /// Append one collective (e.g. one AMG level's halo pattern) with the
+    /// default leader-assignment strategy.
+    pub fn entry(self, pattern: &'a CommPattern, backend: Backend) -> Self {
+        self.entry_with(pattern, backend, AssignStrategy::LoadBalanced)
+    }
+
+    /// Append one collective with an explicit leader-assignment strategy.
+    pub fn entry_with(
+        mut self,
+        pattern: &'a CommPattern,
+        backend: Backend,
+        strategy: AssignStrategy,
+    ) -> Self {
+        assert_eq!(
+            pattern.n_ranks,
+            self.topo.n_ranks(),
+            "pattern/topology rank count mismatch"
+        );
+        self.entries.push(EntrySpec {
+            pattern,
+            backend,
+            strategy,
+        });
+        self.resolved = OnceLock::new();
+        self
+    }
+
+    /// Cost model driving every [`Backend::Auto`] entry (default: the
+    /// Lassen-calibrated locality model).
+    pub fn cost_model(mut self, model: &'a dyn CostModel) -> Self {
+        self.model = Some(model);
+        self.resolved = OnceLock::new();
+        self
+    }
+
+    /// Pin the batch's tag namespace explicitly instead of leasing one:
+    /// entry `i` uses `base + i · SPAN`. The pinned range is registered
+    /// with the process-wide [`TagSpace`], so leases taken afterwards
+    /// never overlap it; collisions against other pins, hand-registered
+    /// tags, or leases already live stay the caller's contract.
+    pub fn tag_base(mut self, base: u64) -> Self {
+        self.pinned_tag_base = Some(base);
+        self.resolved = OnceLock::new();
+        self
+    }
+
+    /// Number of collectives in the session.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Every entry's resolved `(protocol, plan)`, in batch order — the
+    /// planning half of init, exposed for statistics and tests.
+    /// Deterministic and computed once per batch.
+    pub fn plans(&self) -> &[(Protocol, Plan)] {
+        &self.resolved().plans
+    }
+
+    /// The tag base carved for each entry, in batch order.
+    pub fn tag_bases(&self) -> &[u64] {
+        &self.resolved().tag_bases
+    }
+
+    /// The per-rank handle over the resolved session: cheap, and what
+    /// each rank's SPMD closure calls [`BatchRequest::init_all`] on.
+    pub fn request(&self) -> BatchRequest<'_> {
+        self.resolved();
+        BatchRequest { batch: self }
+    }
+
+    /// Convenience for `self.request().init_all(ctx, comm)`.
+    pub fn init_all(&self, ctx: &RankCtx, comm: &Comm) -> Vec<Box<dyn NeighborRequest>> {
+        self.request().init_all(ctx, comm)
+    }
+
+    fn resolved(&self) -> &ResolvedBatch {
+        self.resolved.get_or_init(|| self.resolve())
+    }
+
+    fn resolve(&self) -> ResolvedBatch {
+        let default_model;
+        let model: &dyn CostModel = match self.model {
+            Some(m) => m,
+            None => {
+                default_model = LocalityModel::lassen();
+                &default_model
+            }
+        };
+        let plans: Vec<(Protocol, Plan)> = self
+            .entries
+            .iter()
+            .map(|e| match e.backend {
+                Backend::Protocol(p) => (p, p.plan_with(e.pattern, self.topo, e.strategy)),
+                Backend::Partitioned(p) => {
+                    let plan = p.plan_with(e.pattern, self.topo, e.strategy);
+                    assert!(
+                        plan.aggregated,
+                        "Backend::Partitioned needs an aggregating protocol, got {p}"
+                    );
+                    (p, plan)
+                }
+                Backend::Auto => {
+                    let (p, plan, _) =
+                        choose_with(&Protocol::ALL, e.pattern, self.topo, model, e.strategy);
+                    (p, plan)
+                }
+            })
+            .collect();
+
+        // one lease (or registered pin), carved into a private namespace
+        // per entry
+        let n = self.entries.len() as u64;
+        let (tag_bases, lease) = match self.pinned_tag_base {
+            _ if n == 0 => (Vec::new(), None),
+            Some(base) => (
+                (0..n).map(|i| base + i * SPAN).collect(),
+                Some(Arc::new(TagSpace::global().pin(base, n))),
+            ),
+            None => {
+                let lease = TagSpace::global().lease(n);
+                (
+                    (0..n as usize).map(|i| lease.entry_base(i)).collect(),
+                    Some(Arc::new(lease)),
+                )
+            }
+        };
+
+        // one fused sweep derives all ranks × all entries' routings and
+        // lays out the per-rank shared staging arena
+        let entry_plans: Vec<BatchEntryPlan> = self
+            .entries
+            .iter()
+            .zip(&plans)
+            .zip(&tag_bases)
+            .map(|((e, (_, plan)), &tag_base)| BatchEntryPlan {
+                pattern: e.pattern,
+                plan,
+                tag_base,
+                shared_arena: !matches!(e.backend, Backend::Partitioned(_)),
+            })
+            .collect();
+        let routings = RankRouting::build_all_batch(&entry_plans);
+
+        ResolvedBatch {
+            plans,
+            tag_bases,
+            routings,
+            lease,
+        }
+    }
+}
+
+/// One rank's view of a resolved [`NeighborBatch`]: everything needed to
+/// register the whole session is precomputed; [`BatchRequest::init_all`]
+/// only clones this rank's routings and registers channels.
+pub struct BatchRequest<'b> {
+    batch: &'b NeighborBatch<'b>,
+}
+
+impl BatchRequest<'_> {
+    /// `MPI_Neighbor_alltoallv_init` × N, as one operation: allocate this
+    /// rank's shared staging arena, open the channel registry once, and
+    /// register every entry's requests in a single pass. Returns the
+    /// entries' [`NeighborRequest`]s in batch order.
+    pub fn init_all(&self, ctx: &RankCtx, comm: &Comm) -> Vec<Box<dyn NeighborRequest>> {
+        let resolved = self.batch.resolved();
+        if resolved.plans.is_empty() {
+            return Vec::new();
+        }
+        for (_, plan) in &resolved.plans {
+            assert_eq!(plan.n_ranks, comm.size(), "plan/communicator size mismatch");
+        }
+        let br = &resolved.routings[comm.rank()];
+        let arena = shared_buf(vec![0.0f64; br.arena_len]);
+        // clone this rank's routings (the bulk of the per-init allocation
+        // work) BEFORE taking the registry lock: only channel resolution
+        // itself runs inside the world-wide critical section
+        let routings: Vec<RankRouting> = br.entries.clone();
+        let mut reg = ctx.chan_registrar();
+        self.batch
+            .entries
+            .iter()
+            .zip(routings)
+            .enumerate()
+            .map(|(i, (spec, routing))| {
+                let protocol = resolved.plans[i].0;
+                match spec.backend {
+                    Backend::Partitioned(_) => Box::new(PartitionedRequest {
+                        inner: PartitionedNeighbor::from_routing_in(routing, &mut reg, comm),
+                        protocol,
+                        _lease: resolved.lease.clone(),
+                    }) as Box<dyn NeighborRequest>,
+                    _ => Box::new(PlainRequest {
+                        inner: PersistentNeighbor::from_routing_in(
+                            routing,
+                            &mut reg,
+                            comm,
+                            arena.clone(),
+                            br.arena_off[i].expect("plain entry has an arena window"),
+                        ),
+                        protocol,
+                        _lease: resolved.lease.clone(),
+                    }),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tagspace;
+    use mpisim::World;
+
+    fn patterns() -> (CommPattern, CommPattern, Topology) {
+        let a = CommPattern::example_2_1();
+        let b = CommPattern::new(
+            8,
+            vec![
+                vec![(1, vec![0]), (5, vec![0, 1])],
+                vec![(4, vec![10]), (6, vec![11])],
+                vec![(7, vec![20, 21])],
+                vec![],
+                vec![(0, vec![40]), (1, vec![40]), (2, vec![41])],
+                vec![(6, vec![50])],
+                vec![(3, vec![60]), (0, vec![61])],
+                vec![],
+            ],
+        );
+        (a, b, Topology::block_nodes(8, 4))
+    }
+
+    /// Drive every entry of `batch` for two interleaved iterations and
+    /// check all ghost values deliver.
+    fn deliver_all(batch: &NeighborBatch, n_ranks: usize) {
+        let ok = World::run(n_ranks, |ctx| {
+            let comm = ctx.comm_world();
+            let mut reqs = batch.init_all(ctx, &comm);
+            let mut ok = true;
+            for it in 0..2u64 {
+                // start every entry before waiting on any: live-together,
+                // the shape the session exists for
+                let inputs: Vec<Vec<f64>> = reqs
+                    .iter()
+                    .map(|r| {
+                        r.input_index()
+                            .iter()
+                            .map(|&i| (i as f64) + it as f64 * 0.5)
+                            .collect()
+                    })
+                    .collect();
+                for (r, input) in reqs.iter_mut().zip(&inputs) {
+                    r.start(ctx, input);
+                }
+                for r in reqs.iter_mut() {
+                    let mut output = vec![f64::NAN; r.output_index().len()];
+                    r.wait(ctx, &mut output);
+                    ok &= r
+                        .output_index()
+                        .iter()
+                        .zip(&output)
+                        .all(|(&i, &v)| v == (i as f64) + it as f64 * 0.5);
+                }
+            }
+            ok
+        });
+        assert!(ok.into_iter().all(|b| b), "a batch entry failed to deliver");
+    }
+
+    #[test]
+    fn mixed_backend_batch_delivers() {
+        let (a, b, topo) = patterns();
+        let batch = NeighborBatch::new(&topo)
+            .entry(&a, Backend::Protocol(Protocol::StandardNeighbor))
+            .entry(&b, Backend::Partitioned(Protocol::FullNeighbor))
+            .entry(&a, Backend::Auto)
+            .entry(&b, Backend::Protocol(Protocol::PartialNeighbor));
+        assert_eq!(batch.len(), 4);
+        deliver_all(&batch, 8);
+    }
+
+    #[test]
+    fn same_pattern_many_entries_share_the_arena() {
+        // several entries over the same region pairs: one arena per rank
+        // backs all of them, at distinct windows
+        let (a, _, topo) = patterns();
+        let batch = NeighborBatch::new(&topo)
+            .entry(&a, Backend::Protocol(Protocol::FullNeighbor))
+            .entry(&a, Backend::Protocol(Protocol::FullNeighbor))
+            .entry(&a, Backend::Protocol(Protocol::PartialNeighbor));
+        batch.plans();
+        let resolved = batch.resolved.get().unwrap();
+        for br in &resolved.routings {
+            let mut offs: Vec<usize> = br.arena_off.iter().map(|o| o.unwrap()).collect();
+            let total: usize = br
+                .entries
+                .iter()
+                .map(|r| r.g_sends.iter().map(|g| g.len).sum::<usize>())
+                .sum();
+            assert_eq!(br.arena_len, total);
+            offs.dedup();
+            assert!(offs.windows(2).all(|w| w[0] < w[1]), "windows must ascend");
+        }
+        deliver_all(&batch, 8);
+    }
+
+    #[test]
+    fn entries_get_disjoint_tag_spans() {
+        let (a, b, topo) = patterns();
+        let batch = NeighborBatch::new(&topo)
+            .entry(&a, Backend::Auto)
+            .entry(&b, Backend::Auto)
+            .entry(&a, Backend::Auto);
+        let bases = batch.tag_bases();
+        assert_eq!(bases.len(), 3);
+        for w in bases.windows(2) {
+            assert_eq!(w[1] - w[0], tagspace::SPAN, "contiguous per-entry spans");
+        }
+    }
+
+    #[test]
+    fn live_requests_pin_their_tag_span() {
+        // requests outlive their builder: the tag span must stay leased —
+        // and never be handed to a new collective — until the requests
+        // drop too, or a successor batch would attach to the live
+        // requests' channels and cross-deliver
+        let (a, _, topo) = patterns();
+        let batch_a =
+            NeighborBatch::new(&topo).entry(&a, Backend::Protocol(Protocol::StandardNeighbor));
+        let base_a = batch_a.tag_bases()[0];
+        let reqs = World::run(8, |ctx| {
+            let comm = ctx.comm_world();
+            batch_a.init_all(ctx, &comm)
+        });
+        drop(batch_a);
+        // builder gone, requests live: the base must NOT be re-leased
+        let batch_b = NeighborBatch::new(&topo).entry(&a, Backend::Auto);
+        assert_ne!(
+            batch_b.tag_bases()[0],
+            base_a,
+            "tag span re-leased while its requests are still live"
+        );
+        drop(reqs);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let topo = Topology::block_nodes(4, 2);
+        let batch = NeighborBatch::new(&topo);
+        let counts = World::run(4, |ctx| {
+            let comm = ctx.comm_world();
+            batch.init_all(ctx, &comm).len()
+        });
+        assert!(counts.into_iter().all(|c| c == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern/topology rank count mismatch")]
+    fn rank_count_mismatch_rejected_at_entry() {
+        let pattern = CommPattern::example_2_1();
+        let topo = Topology::block_nodes(4, 2);
+        let _ = NeighborBatch::new(&topo).entry(&pattern, Backend::Auto);
+    }
+
+    #[test]
+    fn batch_on_a_pooled_world_reinitializes_warm() {
+        let (a, b, topo) = patterns();
+        let batch = NeighborBatch::new(&topo)
+            .entry(&a, Backend::Protocol(Protocol::FullNeighbor))
+            .entry(&b, Backend::Partitioned(Protocol::PartialNeighbor));
+        let pool = World::pool(8);
+        for _ in 0..3 {
+            let ok = pool.run(|ctx| {
+                let comm = ctx.comm_world();
+                let mut reqs = batch.init_all(ctx, &comm);
+                reqs.iter_mut().all(|r| {
+                    let input: Vec<f64> = r.input_index().iter().map(|&i| i as f64).collect();
+                    let mut output = vec![f64::NAN; r.output_index().len()];
+                    r.start_wait(ctx, &input, &mut output);
+                    r.output_index()
+                        .iter()
+                        .zip(&output)
+                        .all(|(&i, &v)| v == i as f64)
+                })
+            });
+            assert!(ok.into_iter().all(|b| b));
+        }
+    }
+}

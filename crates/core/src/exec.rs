@@ -31,7 +31,7 @@ use crate::exec_common::{
 use crate::pattern::CommPattern;
 use crate::routing::{PartSource, RankRouting, RecvRoute};
 use mpisim::persistent::shared_buf;
-use mpisim::{Comm, RankCtx, RecvReq, SendReq, SharedBuf};
+use mpisim::{ChanRegistrar, Comm, RankCtx, RecvReq, SendReq, SharedBuf};
 use std::ops::Range;
 
 struct GSendExec {
@@ -76,24 +76,48 @@ impl PersistentNeighbor {
         Self::from_routing(routing, ctx, comm)
     }
 
-    /// Register requests from a precomputed routing.
+    /// Register requests from a precomputed routing, allocating a private
+    /// arena for this request's g sends.
     pub fn from_routing(routing: RankRouting, ctx: &RankCtx, comm: &Comm) -> Self {
-        let local_sends = register_sends(routing.local_sends, ctx, comm);
-        let local_recvs = register_recvs(routing.local_recvs, ctx, comm);
-        let s_sends = register_sends(routing.s_sends, ctx, comm);
+        let total: usize = routing.g_sends.iter().map(|g| g.len).sum();
+        let arena = shared_buf(vec![0.0f64; total]);
+        Self::from_routing_in(routing, &mut ctx.chan_registrar(), comm, arena, 0)
+    }
 
-        // one arena allocation backs all g send buffers of this request
+    /// Register requests from a precomputed routing, staging g sends in
+    /// `arena[base ..]` — the window a [`crate::NeighborBatch`] carves for
+    /// this entry out of the batch-shared arena. All channels resolve
+    /// through the caller's held [`ChanRegistrar`], so a batch registers
+    /// every entry in a single pass over the registry.
+    pub(crate) fn from_routing_in(
+        routing: RankRouting,
+        reg: &mut ChanRegistrar,
+        comm: &Comm,
+        arena: SharedBuf<f64>,
+        base: usize,
+    ) -> Self {
+        let local_sends = register_sends(routing.local_sends, reg, comm);
+        let local_recvs = register_recvs(routing.local_recvs, reg, comm);
+        let s_sends = register_sends(routing.s_sends, reg, comm);
+
+        // this request's g send buffers all live in one window of the
+        // (possibly batch-shared) arena
         let offsets: Vec<usize> = routing
             .g_sends
             .iter()
-            .scan(0usize, |off, g| {
+            .scan(base, |off, g| {
                 let o = *off;
                 *off += g.len;
                 Some(o)
             })
             .collect();
         let total: usize = routing.g_sends.iter().map(|g| g.len).sum();
-        let arena = shared_buf(vec![0.0f64; total]);
+        assert!(
+            base + total <= arena.read().len(),
+            "arena window {base}..{} out of arena of len {}",
+            base + total,
+            arena.read().len()
+        );
 
         // s receives alias the arena: each staging message is delivered
         // straight into its g partition's window
@@ -110,7 +134,7 @@ impl PersistentNeighbor {
                     r.len,
                     "staging/partition length mismatch"
                 );
-                ctx.recv_init(comm, r.src, r.tag, arena.clone(), win, r.len)
+                reg.recv_init(comm, r.src, r.tag, arena.clone(), win, r.len)
             })
             .collect();
 
@@ -119,7 +143,7 @@ impl PersistentNeighbor {
             .into_iter()
             .zip(&offsets)
             .map(|(g, &off)| {
-                let req = ctx.send_init(comm, g.dst, g.tag, arena.clone(), off, g.len);
+                let req = reg.send_init(comm, g.dst, g.tag, arena.clone(), off, g.len);
                 let input_parts = g
                     .parts
                     .into_iter()
@@ -137,11 +161,11 @@ impl PersistentNeighbor {
             .collect();
         let g_recvs = register_recvs(
             routing.g_recvs.into_iter().map(RecvRoute::from).collect(),
-            ctx,
+            reg,
             comm,
         );
-        let r_sends = register_r_sends(routing.r_sends, ctx, comm);
-        let r_recvs = register_recvs(routing.r_recvs, ctx, comm);
+        let r_sends = register_r_sends(routing.r_sends, reg, comm);
+        let r_recvs = register_recvs(routing.r_recvs, reg, comm);
         Self {
             input_index: routing.input_index,
             output_index: routing.output_index,
@@ -156,18 +180,6 @@ impl PersistentNeighbor {
             r_recvs,
             g_payloads: Vec::new(),
         }
-    }
-
-    /// Deprecated name of [`PersistentNeighbor::from_plan`].
-    #[deprecated(since = "0.1.0", note = "use NeighborAlltoallv or from_plan")]
-    pub fn init(
-        pattern: &CommPattern,
-        plan: &Plan,
-        ctx: &RankCtx,
-        comm: &Comm,
-        tag_base: u64,
-    ) -> Self {
-        Self::from_plan(pattern, plan, ctx, comm, tag_base)
     }
 
     /// Global indices whose values the caller must provide to
@@ -408,27 +420,6 @@ mod tests {
                 .zip(&out_b)
                 .all(|(&i, &v)| v == 1000.0 + i as f64);
             ok_a && ok_b
-        });
-        assert!(ok.into_iter().all(|b| b));
-    }
-
-    #[test]
-    fn deprecated_init_shim_still_works() {
-        let pattern = CommPattern::example_2_1();
-        let topo = Topology::block_nodes(8, 4);
-        let plan = Protocol::FullNeighbor.plan(&pattern, &topo);
-        let ok = World::run(8, |ctx| {
-            let comm = ctx.comm_world();
-            #[allow(deprecated)]
-            let mut nb = PersistentNeighbor::init(&pattern, &plan, ctx, &comm, 0);
-            let input: Vec<f64> = nb.input_index().iter().map(|&i| i as f64).collect();
-            let mut output = vec![0.0; nb.output_index().len()];
-            nb.start(ctx, &input);
-            nb.wait(ctx, &mut output);
-            nb.output_index()
-                .iter()
-                .zip(&output)
-                .all(|(&i, &v)| v == i as f64)
         });
         assert!(ok.into_iter().all(|b| b));
     }

@@ -13,7 +13,7 @@
 //! staging windows, no per-iteration allocations.
 
 use crate::routing::{RSendRoute, RecvRoute, SendRoute};
-use mpisim::{Comm, RankCtx, RecvChan, SendChan};
+use mpisim::{ChanRegistrar, Comm, RankCtx, RecvChan, SendChan};
 
 /// A send whose slots all come straight from this rank's input.
 pub(crate) struct SendExec {
@@ -70,21 +70,29 @@ impl RSendExec {
     }
 }
 
-pub(crate) fn register_sends(routes: Vec<SendRoute>, ctx: &RankCtx, comm: &Comm) -> Vec<SendExec> {
+pub(crate) fn register_sends(
+    routes: Vec<SendRoute>,
+    reg: &mut ChanRegistrar,
+    comm: &Comm,
+) -> Vec<SendExec> {
     routes
         .into_iter()
         .map(|s| SendExec {
-            req: ctx.send_chan_init(comm, s.dst, s.tag, s.sources.len()),
+            req: reg.send_chan_init(comm, s.dst, s.tag, s.sources.len()),
             sources: s.sources,
         })
         .collect()
 }
 
-pub(crate) fn register_recvs(routes: Vec<RecvRoute>, ctx: &RankCtx, comm: &Comm) -> Vec<RecvExec> {
+pub(crate) fn register_recvs(
+    routes: Vec<RecvRoute>,
+    reg: &mut ChanRegistrar,
+    comm: &Comm,
+) -> Vec<RecvExec> {
     routes
         .into_iter()
         .map(|r| RecvExec {
-            req: ctx.recv_chan_init(comm, r.src, r.tag, r.len),
+            req: reg.recv_chan_init(comm, r.src, r.tag, r.len),
             outputs: r.outputs,
         })
         .collect()
@@ -92,13 +100,13 @@ pub(crate) fn register_recvs(routes: Vec<RecvRoute>, ctx: &RankCtx, comm: &Comm)
 
 pub(crate) fn register_r_sends(
     routes: Vec<RSendRoute>,
-    ctx: &RankCtx,
+    reg: &mut ChanRegistrar,
     comm: &Comm,
 ) -> Vec<RSendExec> {
     routes
         .into_iter()
         .map(|s| RSendExec {
-            req: ctx.send_chan_init(comm, s.dst, s.tag, s.sources.len()),
+            req: reg.send_chan_init(comm, s.dst, s.tag, s.sources.len()),
             sources: s.sources,
         })
         .collect()

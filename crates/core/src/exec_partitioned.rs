@@ -28,7 +28,7 @@ use crate::exec_common::{
 use crate::pattern::CommPattern;
 use crate::routing::{PartSource, RankRouting};
 use mpisim::persistent::shared_buf;
-use mpisim::{Comm, PrecvReq, PsendReq, RankCtx, RecvReq, SharedBuf};
+use mpisim::{ChanRegistrar, Comm, PrecvReq, PsendReq, RankCtx, RecvReq, SharedBuf};
 
 struct GSend {
     req: PsendReq<f64>,
@@ -90,16 +90,30 @@ impl PartitionedNeighbor {
 
     /// Register requests from a precomputed routing.
     pub fn from_routing(routing: RankRouting, ctx: &RankCtx, comm: &Comm) -> Self {
-        let local_sends = register_sends(routing.local_sends, ctx, comm);
-        let local_recvs = register_recvs(routing.local_recvs, ctx, comm);
-        let s_sends = register_sends(routing.s_sends, ctx, comm);
+        Self::from_routing_in(routing, &mut ctx.chan_registrar(), comm)
+    }
+
+    /// Register requests from a precomputed routing, resolving every
+    /// channel through the caller's held [`ChanRegistrar`] — the path a
+    /// [`crate::NeighborBatch`] uses to register all entries in one pass
+    /// over the registry. The partitioned g buffers stay per-message (a
+    /// partitioned send covers its whole buffer), so no batch arena is
+    /// taken.
+    pub(crate) fn from_routing_in(
+        routing: RankRouting,
+        reg: &mut ChanRegistrar,
+        comm: &Comm,
+    ) -> Self {
+        let local_sends = register_sends(routing.local_sends, reg, comm);
+        let local_recvs = register_recvs(routing.local_recvs, reg, comm);
+        let s_sends = register_sends(routing.s_sends, reg, comm);
         // g sends first: the staging receives alias their buffers
         let g_sends: Vec<GSend> = routing
             .g_sends
             .into_iter()
             .map(|g| {
                 let buf = shared_buf(vec![0.0f64; g.len]);
-                let req = ctx.psend_init_parts(comm, g.dst, g.tag, buf.clone(), g.bounds);
+                let req = reg.psend_init_parts(comm, g.dst, g.tag, buf.clone(), g.bounds);
                 let input_parts = g
                     .parts
                     .into_iter()
@@ -126,7 +140,7 @@ impl PartitionedNeighbor {
                 // into the next partition of the send buffer
                 assert_eq!(win.len(), r.len, "staging/partition length mismatch");
                 SRecv {
-                    req: ctx.recv_init(comm, r.src, r.tag, gs.buf.clone(), win.start, r.len),
+                    req: reg.recv_init(comm, r.src, r.tag, gs.buf.clone(), win.start, r.len),
                     g_send: r.g_send,
                     partition: r.partition,
                 }
@@ -137,7 +151,7 @@ impl PartitionedNeighbor {
             .into_iter()
             .map(|r| {
                 let buf = shared_buf(vec![0.0f64; r.len]);
-                let req = ctx.precv_init_parts(comm, r.src, r.tag, buf.clone(), r.bounds);
+                let req = reg.precv_init_parts(comm, r.src, r.tag, buf.clone(), r.bounds);
                 GRecv {
                     req,
                     buf,
@@ -145,8 +159,8 @@ impl PartitionedNeighbor {
                 }
             })
             .collect();
-        let r_sends = register_r_sends(routing.r_sends, ctx, comm);
-        let r_recvs = register_recvs(routing.r_recvs, ctx, comm);
+        let r_sends = register_r_sends(routing.r_sends, reg, comm);
+        let r_recvs = register_recvs(routing.r_recvs, reg, comm);
         Self {
             input_index: routing.input_index,
             output_index: routing.output_index,
@@ -159,18 +173,6 @@ impl PartitionedNeighbor {
             r_sends,
             r_recvs,
         }
-    }
-
-    /// Deprecated name of [`PartitionedNeighbor::from_plan`].
-    #[deprecated(since = "0.1.0", note = "use NeighborAlltoallv or from_plan")]
-    pub fn init(
-        pattern: &CommPattern,
-        plan: &Plan,
-        ctx: &RankCtx,
-        comm: &Comm,
-        tag_base: u64,
-    ) -> Self {
-        Self::from_plan(pattern, plan, ctx, comm, tag_base)
     }
 
     pub fn input_index(&self) -> &[usize] {

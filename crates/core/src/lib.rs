@@ -16,22 +16,29 @@
 //! * [`Protocol::StandardHypre`] — the baseline: persistent point-to-point
 //!   as Hypre 2.28 implements it (no topology communicator).
 //!
-//! The public entry point is [`NeighborAlltoallv`]: a builder taking a
-//! [`CommPattern`] and a [`locality::Topology`] (plus an optional cost
-//! model and leader-assignment strategy) that yields one [`NeighborRequest`]
-//! with `start`/`wait`/`start_wait` semantics. The backend is an explicit
-//! [`Protocol`], [`Backend::Partitioned`] (§5's combination), or
-//! [`Backend::Auto`] — model-driven selection performed at init time, as §5
-//! prescribes.
+//! The front door is the **batch/session API**, [`NeighborBatch`]: a
+//! builder taking a [`locality::Topology`] and N `(CommPattern, Backend)`
+//! entries — e.g. every AMG level's halo pattern — that plans, tags, and
+//! stages all of them as one session. One fused routing sweep derives all
+//! ranks × all entries; `init_all` registers every entry's channels in a
+//! single pass over the runtime's registry and returns the entries as
+//! [`NeighborRequest`]s with `start`/`wait`/`start_wait` semantics. The
+//! single-collective builder, [`NeighborAlltoallv`], is a one-entry batch
+//! internally — use it when exactly one pattern is live. Each entry's
+//! backend is an explicit [`Protocol`], [`Backend::Partitioned`] (§5's
+//! combination), or [`Backend::Auto`] — model-driven selection performed
+//! at init time, as §5 prescribes.
 //!
 //! Under the hood, [`routing`] derives each rank's staging copy maps once;
 //! [`exec`] posts plain persistent messages on `mpisim` and
 //! [`exec_partitioned`] posts partitioned inter-region messages, both from
-//! the same routing. [`analytic`] evaluates modeled cost and message
+//! the same routing; [`tagspace`] leases each live collective a private
+//! tag namespace. [`analytic`] evaluates modeled cost and message
 //! statistics at paper scale (2048 ranks).
 
 pub mod agg;
 pub mod analytic;
+pub mod batch;
 pub mod collective;
 pub mod exec;
 mod exec_common;
@@ -40,9 +47,11 @@ pub mod neighbor;
 pub mod pattern;
 pub mod routing;
 pub mod stats;
+pub mod tagspace;
 
 pub use agg::{AssignStrategy, Plan, PlanMsg, SlotArena, SlotRef};
 pub use analytic::{init_time, iteration_time, IterationCost};
+pub use batch::{BatchRequest, NeighborBatch};
 pub use collective::{choose_protocol, Protocol};
 pub use exec::PersistentNeighbor;
 pub use exec_partitioned::PartitionedNeighbor;

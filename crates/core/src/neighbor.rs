@@ -30,19 +30,21 @@
 //! SPMD agreement trivial) and gets back a [`NeighborRequest`] trait object
 //! whose `start`/`wait`/`start_wait` drive the collective without exposing
 //! which protocol — or which executor — runs underneath.
+//!
+//! A workload that keeps **several** collectives live at once (every AMG
+//! level, plus residual/restriction exchanges) should construct one
+//! [`crate::NeighborBatch`] instead: the batch plans, tags, and stages all
+//! of them as one session. `NeighborAlltoallv` is, internally, exactly a
+//! single-entry batch — same planning, same tag leasing, same executors.
 
 use crate::agg::AssignStrategy;
-use crate::collective::select::choose_with;
+use crate::batch::NeighborBatch;
 use crate::collective::Protocol;
-use crate::exec::PersistentNeighbor;
-use crate::exec_partitioned::PartitionedNeighbor;
 use crate::pattern::CommPattern;
-use crate::routing::RankRouting;
 use crate::Plan;
 use locality::Topology;
 use mpisim::{Comm, RankCtx};
-use perfmodel::{CostModel, LocalityModel};
-use std::sync::atomic::{AtomicU64, Ordering};
+use perfmodel::CostModel;
 use std::sync::OnceLock;
 
 /// Which execution strategy backs the collective.
@@ -61,7 +63,11 @@ pub enum Backend {
 
 /// A started-or-startable persistent neighborhood collective of one rank —
 /// the object `MPI_Neighbor_alltoallv_init` would return.
-pub trait NeighborRequest {
+///
+/// `Send` so a rank's requests can move with its work (e.g. be returned
+/// from one pool epoch and driven in a later one); like real persistent
+/// requests they hold tag space and matched channels until dropped.
+pub trait NeighborRequest: Send {
     /// Global indices whose values the caller provides to `start`, in order.
     fn input_index(&self) -> &[usize];
 
@@ -89,98 +95,32 @@ pub trait NeighborRequest {
     fn is_partitioned(&self) -> bool;
 }
 
-struct PlainRequest {
-    inner: PersistentNeighbor,
-    protocol: Protocol,
-}
-
-impl NeighborRequest for PlainRequest {
-    fn input_index(&self) -> &[usize] {
-        self.inner.input_index()
-    }
-    fn output_index(&self) -> &[usize] {
-        self.inner.output_index()
-    }
-    fn start(&mut self, ctx: &mut RankCtx, input: &[f64]) {
-        self.inner.start(ctx, input);
-    }
-    fn wait(&mut self, ctx: &mut RankCtx, output: &mut [f64]) {
-        self.inner.wait(ctx, output);
-    }
-    fn protocol(&self) -> Protocol {
-        self.protocol
-    }
-    fn is_partitioned(&self) -> bool {
-        false
-    }
-}
-
-struct PartitionedRequest {
-    inner: PartitionedNeighbor,
-    protocol: Protocol,
-}
-
-impl NeighborRequest for PartitionedRequest {
-    fn input_index(&self) -> &[usize] {
-        self.inner.input_index()
-    }
-    fn output_index(&self) -> &[usize] {
-        self.inner.output_index()
-    }
-    fn start(&mut self, ctx: &mut RankCtx, input: &[f64]) {
-        self.inner.start(ctx, input);
-    }
-    fn wait(&mut self, ctx: &mut RankCtx, output: &mut [f64]) {
-        self.inner.wait(ctx, output);
-    }
-    fn protocol(&self) -> Protocol {
-        self.protocol
-    }
-    fn is_partitioned(&self) -> bool {
-        true
-    }
-}
-
-/// Spacing of automatically allocated tag bases: room for the four step
-/// namespaces plus up to 1023 partition sub-tags (the partitioned
-/// transport offsets by `(partition + 1) << 20`).
-const AUTO_TAG_SPAN: u64 = 1 << 30;
-/// Partitioned requests need `tag < 2^39` (half the simulator's user tag
-/// space); wrap the allocator below that.
-const AUTO_TAG_WRAP: u64 = 1 << 39;
-static NEXT_AUTO_TAG: AtomicU64 = AtomicU64::new(AUTO_TAG_SPAN);
-
-/// A fresh tag base, distinct from every other auto-allocated one (until
-/// 511 are simultaneously live) and from small hand-picked bases.
-fn alloc_tag_base() -> u64 {
-    let n = NEXT_AUTO_TAG.fetch_add(AUTO_TAG_SPAN, Ordering::Relaxed);
-    AUTO_TAG_SPAN + (n - AUTO_TAG_SPAN) % (AUTO_TAG_WRAP - AUTO_TAG_SPAN)
-}
-
 /// Builder for one persistent neighborhood collective.
 ///
 /// Defaults: [`Backend::Auto`] with the Lassen locality model,
-/// load-balanced leader assignment, and a tag base allocated so that
-/// concurrently live collectives never share tag space. Ranks agree on
-/// the base because they share the builder (or, in a real multi-process
-/// setting, construct builders in the same SPMD order — the same
-/// determinism planning already relies on). Use the `tag_base` setter to
-/// pin it explicitly instead.
+/// load-balanced leader assignment, and a tag namespace leased from the
+/// process-wide [`crate::tagspace::TagSpace`] so that concurrently live
+/// collectives never share tag space (the lease frees — and its base is
+/// re-used — when the builder drops). Ranks agree on the base because
+/// they share the builder (or, in a real multi-process setting, construct
+/// builders in the same SPMD order — the same determinism planning
+/// already relies on). Use the `tag_base` setter to pin it explicitly
+/// instead.
+///
+/// Internally this is a single-entry [`NeighborBatch`]; many live
+/// collectives should be one batch.
 pub struct NeighborAlltoallv<'a> {
     pattern: &'a CommPattern,
     topo: &'a Topology,
     backend: Backend,
     strategy: AssignStrategy,
     model: Option<&'a dyn CostModel>,
-    tag_base: u64,
-    /// Planning is deterministic and rank-independent, so it runs once per
-    /// builder and is shared by every rank's `init` (SPMD closures capture
-    /// the builder by reference).
-    resolved: OnceLock<(Protocol, Plan)>,
-    /// Every rank's routing, derived from the plan in a single
-    /// [`RankRouting::build_all`] sweep on the first `init` and shared by
-    /// all ranks — whole-world init is O(plan + ranks), not O(ranks × plan).
-    routings: OnceLock<Vec<RankRouting>>,
+    tag_base: Option<u64>,
+    /// The single-entry batch realizing this builder, constructed on first
+    /// use and shared by every rank's `init` (SPMD closures capture the
+    /// builder by reference). Resolution — planning, tag leasing, the
+    /// whole-world routing sweep — happens once, inside the batch.
+    batch: OnceLock<NeighborBatch<'a>>,
 }
 
 impl<'a> NeighborAlltoallv<'a> {
@@ -196,17 +136,15 @@ impl<'a> NeighborAlltoallv<'a> {
             backend: Backend::Auto,
             strategy: AssignStrategy::LoadBalanced,
             model: None,
-            tag_base: alloc_tag_base(),
-            resolved: OnceLock::new(),
-            routings: OnceLock::new(),
+            tag_base: None,
+            batch: OnceLock::new(),
         }
     }
 
     /// Choose the execution backend.
     pub fn backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
-        self.resolved = OnceLock::new();
-        self.routings = OnceLock::new();
+        self.batch = OnceLock::new();
         self
     }
 
@@ -218,8 +156,7 @@ impl<'a> NeighborAlltoallv<'a> {
     /// Leader-assignment strategy for aggregating protocols.
     pub fn strategy(mut self, strategy: AssignStrategy) -> Self {
         self.strategy = strategy;
-        self.resolved = OnceLock::new();
-        self.routings = OnceLock::new();
+        self.batch = OnceLock::new();
         self
     }
 
@@ -227,19 +164,31 @@ impl<'a> NeighborAlltoallv<'a> {
     /// Lassen-calibrated locality model).
     pub fn cost_model(mut self, model: &'a dyn CostModel) -> Self {
         self.model = Some(model);
-        self.resolved = OnceLock::new();
-        self.routings = OnceLock::new();
+        self.batch = OnceLock::new();
         self
     }
 
     /// Tag namespace base, isolating concurrent collectives on the same
-    /// communicator (use a distinct base per live collective, e.g. per AMG
-    /// level).
+    /// communicator. Pinning replaces the leased base; the caller owns
+    /// collision avoidance.
     pub fn tag_base(mut self, tag_base: u64) -> Self {
-        self.tag_base = tag_base;
-        // routings bake tags in; the plan itself is tag-independent
-        self.routings = OnceLock::new();
+        self.tag_base = Some(tag_base);
+        self.batch = OnceLock::new();
         self
+    }
+
+    fn batch(&self) -> &NeighborBatch<'a> {
+        self.batch.get_or_init(|| {
+            let mut b =
+                NeighborBatch::new(self.topo).entry_with(self.pattern, self.backend, self.strategy);
+            if let Some(m) = self.model {
+                b = b.cost_model(m);
+            }
+            if let Some(t) = self.tag_base {
+                b = b.tag_base(t);
+            }
+            b
+        })
     }
 
     /// Resolve the backend to a concrete protocol and plan — the planning
@@ -247,69 +196,22 @@ impl<'a> NeighborAlltoallv<'a> {
     /// Deterministic (every rank resolves identically) and computed once
     /// per builder.
     pub fn plan(&self) -> (Protocol, Plan) {
-        self.resolved().clone()
-    }
-
-    fn resolved(&self) -> &(Protocol, Plan) {
-        self.resolved.get_or_init(|| self.resolve())
-    }
-
-    fn resolve(&self) -> (Protocol, Plan) {
-        match self.backend {
-            Backend::Protocol(p) => (p, p.plan_with(self.pattern, self.topo, self.strategy)),
-            Backend::Partitioned(p) => {
-                let plan = p.plan_with(self.pattern, self.topo, self.strategy);
-                assert!(
-                    plan.aggregated,
-                    "Backend::Partitioned needs an aggregating protocol, got {p}"
-                );
-                (p, plan)
-            }
-            Backend::Auto => {
-                let default_model;
-                let model = match self.model {
-                    Some(m) => m,
-                    None => {
-                        default_model = LocalityModel::lassen();
-                        &default_model
-                    }
-                };
-                let (p, plan, _) = choose_with(
-                    &Protocol::ALL,
-                    self.pattern,
-                    self.topo,
-                    model,
-                    self.strategy,
-                );
-                (p, plan)
-            }
-        }
+        self.batch().plans()[0].clone()
     }
 
     /// `MPI_Neighbor_alltoallv_init`: register this rank's persistent
     /// requests and return the collective as a [`NeighborRequest`].
     ///
     /// The first `init` derives **every** rank's routing in one
-    /// [`RankRouting::build_all`] sweep of the shared plan; each rank then
-    /// registers requests from its precomputed slice, so whole-world init
-    /// is O(plan + ranks) instead of every rank re-scanning the plan.
+    /// [`crate::RankRouting::build_all`] sweep of the shared plan; each
+    /// rank then registers requests from its precomputed slice, so
+    /// whole-world init is O(plan + ranks) instead of every rank
+    /// re-scanning the plan.
     pub fn init(&self, ctx: &RankCtx, comm: &Comm) -> Box<dyn NeighborRequest> {
-        let (protocol, plan) = self.resolved();
-        assert_eq!(plan.n_ranks, comm.size(), "plan/communicator size mismatch");
-        let routing = self
-            .routings
-            .get_or_init(|| RankRouting::build_all(self.pattern, plan, self.tag_base))[comm.rank()]
-        .clone();
-        match self.backend {
-            Backend::Partitioned(_) => Box::new(PartitionedRequest {
-                inner: PartitionedNeighbor::from_routing(routing, ctx, comm),
-                protocol: *protocol,
-            }),
-            _ => Box::new(PlainRequest {
-                inner: PersistentNeighbor::from_routing(routing, ctx, comm),
-                protocol: *protocol,
-            }),
-        }
+        self.batch()
+            .init_all(ctx, comm)
+            .pop()
+            .expect("single-entry batch yields one request")
     }
 }
 
@@ -317,6 +219,7 @@ impl<'a> NeighborAlltoallv<'a> {
 mod tests {
     use super::*;
     use mpisim::World;
+    use perfmodel::LocalityModel;
 
     fn deliver_all(pattern: &CommPattern, topo: &Topology, backend: Backend) {
         let coll = NeighborAlltoallv::new(pattern, topo).backend(backend);

@@ -718,6 +718,73 @@ impl RankRouting {
     }
 }
 
+/// One entry of a batch routing sweep: a pattern, its resolved plan, the
+/// tag base carved for it, and whether its executor takes its g-send
+/// buffers from the batch-shared arena (the plain executor does; the
+/// partitioned executor owns per-message partitioned buffers).
+pub struct BatchEntryPlan<'a> {
+    pub pattern: &'a CommPattern,
+    pub plan: &'a Plan,
+    pub tag_base: u64,
+    pub shared_arena: bool,
+}
+
+/// Everything one rank needs to register and drive **every** entry of a
+/// batch: the per-entry routings plus the layout of the rank's single
+/// staging arena (each shared-arena entry's g sends occupy one contiguous
+/// window of it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRankRouting {
+    /// This rank's routing for each entry, in batch order.
+    pub entries: Vec<RankRouting>,
+    /// Offset of each entry's g-send window within the rank's batch arena
+    /// (`None` for entries that do not stage through the shared arena).
+    pub arena_off: Vec<Option<usize>>,
+    /// Total arena elements this rank allocates for the whole batch.
+    pub arena_len: usize,
+}
+
+impl RankRouting {
+    /// Derive every rank's routing for **every** entry of a batch in one
+    /// fused sweep: each entry's plan is walked once (the
+    /// [`RankRouting::build_all`] single-pass derivation), results are
+    /// transposed into per-rank [`BatchRankRouting`]s, and the shared
+    /// staging arena is laid out per rank — one allocation covering all
+    /// entries' g sends instead of one arena per request. Total work is
+    /// O(ΣMᵢ + E·N) over E entries with plan sizes Mᵢ on N ranks.
+    pub fn build_all_batch(entries: &[BatchEntryPlan]) -> Vec<BatchRankRouting> {
+        let n = match entries.first() {
+            Some(e) => e.plan.n_ranks,
+            None => return Vec::new(),
+        };
+        let mut out: Vec<BatchRankRouting> = (0..n)
+            .map(|_| BatchRankRouting {
+                entries: Vec::with_capacity(entries.len()),
+                arena_off: Vec::with_capacity(entries.len()),
+                arena_len: 0,
+            })
+            .collect();
+        for e in entries {
+            assert_eq!(e.plan.n_ranks, n, "batch entries must share a rank count");
+            let routings = Self::build_all(e.pattern, e.plan, e.tag_base);
+            for (rank, routing) in routings.into_iter().enumerate() {
+                let br = &mut out[rank];
+                let off = if e.shared_arena {
+                    let g_total: usize = routing.g_sends.iter().map(|g| g.len).sum();
+                    let o = br.arena_len;
+                    br.arena_len += g_total;
+                    Some(o)
+                } else {
+                    None
+                };
+                br.arena_off.push(off);
+                br.entries.push(routing);
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -840,6 +907,50 @@ mod tests {
         let all = RankRouting::build_all(&pattern, &plan, 0);
         for (me, r) in all.iter().enumerate() {
             assert_eq!(r, &RankRouting::build(&pattern, &plan, me, 0));
+        }
+    }
+
+    #[test]
+    fn batch_sweep_matches_independent_build_all() {
+        let (pattern, topo) = example();
+        let plan_a = Plan::aggregated(&pattern, &topo, true, AssignStrategy::LoadBalanced);
+        let plan_b = Plan::standard(&pattern, &topo);
+        let batch = RankRouting::build_all_batch(&[
+            BatchEntryPlan {
+                pattern: &pattern,
+                plan: &plan_a,
+                tag_base: 1 << 30,
+                shared_arena: true,
+            },
+            BatchEntryPlan {
+                pattern: &pattern,
+                plan: &plan_b,
+                tag_base: 2 << 30,
+                shared_arena: true,
+            },
+            BatchEntryPlan {
+                pattern: &pattern,
+                plan: &plan_a,
+                tag_base: 3 << 30,
+                shared_arena: false,
+            },
+        ]);
+        let a = RankRouting::build_all(&pattern, &plan_a, 1 << 30);
+        let b = RankRouting::build_all(&pattern, &plan_b, 2 << 30);
+        let c = RankRouting::build_all(&pattern, &plan_a, 3 << 30);
+        assert_eq!(batch.len(), 8);
+        for (rank, br) in batch.iter().enumerate() {
+            // per-entry routings identical to independent sweeps
+            assert_eq!(br.entries[0], a[rank]);
+            assert_eq!(br.entries[1], b[rank]);
+            assert_eq!(br.entries[2], c[rank]);
+            // arena: entry 0 at offset 0, entry 1 right behind it, the
+            // non-shared entry 2 gets no window and adds no length
+            let g_total = |r: &RankRouting| r.g_sends.iter().map(|g| g.len).sum::<usize>();
+            assert_eq!(br.arena_off[0], Some(0));
+            assert_eq!(br.arena_off[1], Some(g_total(&a[rank])));
+            assert_eq!(br.arena_off[2], None);
+            assert_eq!(br.arena_len, g_total(&a[rank]) + g_total(&b[rank]));
         }
     }
 

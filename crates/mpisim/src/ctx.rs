@@ -96,16 +96,15 @@ impl RankCtx {
         self.world.check_peer_alive();
     }
 
-    /// Resolve the pre-matched persistent channel for messages from
-    /// communicator rank `src` to communicator rank `dst` with `tag`.
-    pub(crate) fn persistent_channel<T: crate::elem::Elem>(
-        &self,
-        comm: &Comm,
-        src: usize,
-        dst: usize,
-        tag: u64,
-    ) -> std::sync::Arc<crate::state::Channel<T>> {
-        self.world.channel((comm.ctx_id, src, dst, tag))
+    /// Open the world's persistent-channel registry for a bulk
+    /// registration pass: every signature resolved through the returned
+    /// [`crate::ChanRegistrar`] shares one lock acquisition, so a whole
+    /// collective's (or a whole batch's) channels register in a single
+    /// pass over the registry. Do not call other registration methods or
+    /// move traffic while the registrar is alive — it holds the registry
+    /// lock.
+    pub fn chan_registrar(&self) -> crate::state::ChanRegistrar<'_> {
+        self.world.chan_registrar()
     }
 
     /// Send `data` to communicator rank `dst` (buffered semantics: completes

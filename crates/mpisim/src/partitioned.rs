@@ -22,7 +22,7 @@ use crate::comm::{Comm, USER_TAG_LIMIT};
 use crate::ctx::RankCtx;
 use crate::elem::{elem_bytes, Elem};
 use crate::persistent::SharedBuf;
-use crate::state::Channel;
+use crate::state::{ChanRegistrar, Channel};
 use std::sync::Arc;
 
 /// Reserved tag stride so each partition gets a distinct sub-tag.
@@ -202,6 +202,64 @@ fn validate_bounds(bounds: &[usize], total_len: usize) {
     }
 }
 
+impl ChanRegistrar<'_> {
+    /// [`RankCtx::psend_init_parts`] under the held registry lock.
+    pub fn psend_init_parts<T: Elem>(
+        &mut self,
+        comm: &Comm,
+        dst: usize,
+        tag: u64,
+        buf: SharedBuf<T>,
+        bounds: Vec<usize>,
+    ) -> PsendReq<T> {
+        assert!(
+            tag < USER_TAG_LIMIT / 2,
+            "tag {tag} too large for partitioned sub-tags"
+        );
+        validate_bounds(&bounds, buf.read().len());
+        let n_parts = bounds.len() - 1;
+        let chans = (0..n_parts)
+            .map(|p| self.channel((comm.ctx_id, comm.rank(), dst, part_tag(tag, p))))
+            .collect();
+        PsendReq {
+            dst_world: comm.world_rank(dst),
+            buf,
+            bounds,
+            chans,
+            ready: vec![true; n_parts], // "completed" state before first start
+        }
+    }
+
+    /// [`RankCtx::precv_init_parts`] under the held registry lock.
+    pub fn precv_init_parts<T: Elem>(
+        &mut self,
+        comm: &Comm,
+        src: usize,
+        tag: u64,
+        buf: SharedBuf<T>,
+        bounds: Vec<usize>,
+    ) -> PrecvReq<T> {
+        assert!(
+            tag < USER_TAG_LIMIT / 2,
+            "tag {tag} too large for partitioned sub-tags"
+        );
+        validate_bounds(&bounds, buf.read().len());
+        let n_parts = bounds.len() - 1;
+        let chans = (0..n_parts)
+            .map(|p| self.channel((comm.ctx_id, src, comm.rank(), part_tag(tag, p))))
+            .collect();
+        PrecvReq {
+            comm: comm.clone(),
+            src,
+            tag,
+            buf,
+            bounds,
+            chans,
+            arrived: vec![false; n_parts],
+        }
+    }
+}
+
 impl RankCtx {
     /// `MPI_Psend_init`: register a partitioned send of the whole shared
     /// buffer, split into `n_parts` equal chunks.
@@ -229,22 +287,8 @@ impl RankCtx {
         buf: SharedBuf<T>,
         bounds: Vec<usize>,
     ) -> PsendReq<T> {
-        assert!(
-            tag < USER_TAG_LIMIT / 2,
-            "tag {tag} too large for partitioned sub-tags"
-        );
-        validate_bounds(&bounds, buf.read().len());
-        let n_parts = bounds.len() - 1;
-        let chans = (0..n_parts)
-            .map(|p| self.persistent_channel(comm, comm.rank(), dst, part_tag(tag, p)))
-            .collect();
-        PsendReq {
-            dst_world: comm.world_rank(dst),
-            buf,
-            bounds,
-            chans,
-            ready: vec![true; n_parts], // "completed" state before first start
-        }
+        self.chan_registrar()
+            .psend_init_parts(comm, dst, tag, buf, bounds)
     }
 
     /// `MPI_Precv_init` with equal chunks.
@@ -270,24 +314,8 @@ impl RankCtx {
         buf: SharedBuf<T>,
         bounds: Vec<usize>,
     ) -> PrecvReq<T> {
-        assert!(
-            tag < USER_TAG_LIMIT / 2,
-            "tag {tag} too large for partitioned sub-tags"
-        );
-        validate_bounds(&bounds, buf.read().len());
-        let n_parts = bounds.len() - 1;
-        let chans = (0..n_parts)
-            .map(|p| self.persistent_channel(comm, src, comm.rank(), part_tag(tag, p)))
-            .collect();
-        PrecvReq {
-            comm: comm.clone(),
-            src,
-            tag,
-            buf,
-            bounds,
-            chans,
-            arrived: vec![false; n_parts],
-        }
+        self.chan_registrar()
+            .precv_init_parts(comm, src, tag, buf, bounds)
     }
 }
 

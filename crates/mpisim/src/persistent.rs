@@ -37,7 +37,7 @@
 use crate::comm::{Comm, USER_TAG_LIMIT};
 use crate::ctx::RankCtx;
 use crate::elem::{elem_bytes, Elem};
-use crate::state::Channel;
+use crate::state::{ChanRegistrar, Channel};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -300,13 +300,10 @@ pub fn wait_all<T: Elem>(ctx: &mut RankCtx, reqs: &mut [Request<T>]) {
     }
 }
 
-impl RankCtx {
-    /// Register a buffer-less persistent send of `len` elements to
-    /// communicator rank `dst`: the payload is gathered straight into the
-    /// channel's recycled wire buffer on every
-    /// [`SendChan::start_with`] — no registered staging window.
+impl ChanRegistrar<'_> {
+    /// [`RankCtx::send_chan_init`] under the held registry lock.
     pub fn send_chan_init<T: Elem>(
-        &self,
+        &mut self,
         comm: &Comm,
         dst: usize,
         tag: u64,
@@ -320,17 +317,14 @@ impl RankCtx {
         SendChan {
             dst,
             dst_world: comm.world_rank(dst),
-            chan: self.persistent_channel(comm, comm.rank(), dst, tag),
+            chan: self.channel((comm.ctx_id, comm.rank(), dst, tag)),
             len,
         }
     }
 
-    /// Register a buffer-less persistent receive of `len` elements from
-    /// communicator rank `src`: [`RecvChan::wait_with`] /
-    /// [`RecvChan::wait_take`] hand the payload out in place instead of
-    /// copying it into a registered window.
+    /// [`RankCtx::recv_chan_init`] under the held registry lock.
     pub fn recv_chan_init<T: Elem>(
-        &self,
+        &mut self,
         comm: &Comm,
         src: usize,
         tag: u64,
@@ -345,17 +339,15 @@ impl RankCtx {
             comm: comm.clone(),
             src,
             tag,
-            chan: self.persistent_channel(comm, src, comm.rank(), tag),
+            chan: self.channel((comm.ctx_id, src, comm.rank(), tag)),
             len,
             started: false,
         }
     }
 
-    /// `MPI_Send_init`: register a persistent send of
-    /// `buf[offset..offset+len]` to communicator rank `dst`. Resolves the
-    /// pre-matched channel now so `start` never touches the mailbox.
+    /// [`RankCtx::send_init`] under the held registry lock.
     pub fn send_init<T: Elem>(
-        &self,
+        &mut self,
         comm: &Comm,
         dst: usize,
         tag: u64,
@@ -370,11 +362,9 @@ impl RankCtx {
         }
     }
 
-    /// `MPI_Recv_init`: register a persistent receive into
-    /// `buf[offset..offset+len]` from communicator rank `src`. Resolves the
-    /// pre-matched channel now so `wait` copies straight into the window.
+    /// [`RankCtx::recv_init`] under the held registry lock.
     pub fn recv_init<T: Elem>(
-        &self,
+        &mut self,
         comm: &Comm,
         src: usize,
         tag: u64,
@@ -397,6 +387,68 @@ impl RankCtx {
             buf,
             offset,
         }
+    }
+}
+
+impl RankCtx {
+    /// Register a buffer-less persistent send of `len` elements to
+    /// communicator rank `dst`: the payload is gathered straight into the
+    /// channel's recycled wire buffer on every
+    /// [`SendChan::start_with`] — no registered staging window.
+    pub fn send_chan_init<T: Elem>(
+        &self,
+        comm: &Comm,
+        dst: usize,
+        tag: u64,
+        len: usize,
+    ) -> SendChan<T> {
+        self.chan_registrar().send_chan_init(comm, dst, tag, len)
+    }
+
+    /// Register a buffer-less persistent receive of `len` elements from
+    /// communicator rank `src`: [`RecvChan::wait_with`] /
+    /// [`RecvChan::wait_take`] hand the payload out in place instead of
+    /// copying it into a registered window.
+    pub fn recv_chan_init<T: Elem>(
+        &self,
+        comm: &Comm,
+        src: usize,
+        tag: u64,
+        len: usize,
+    ) -> RecvChan<T> {
+        self.chan_registrar().recv_chan_init(comm, src, tag, len)
+    }
+
+    /// `MPI_Send_init`: register a persistent send of
+    /// `buf[offset..offset+len]` to communicator rank `dst`. Resolves the
+    /// pre-matched channel now so `start` never touches the mailbox.
+    pub fn send_init<T: Elem>(
+        &self,
+        comm: &Comm,
+        dst: usize,
+        tag: u64,
+        buf: SharedBuf<T>,
+        offset: usize,
+        len: usize,
+    ) -> SendReq<T> {
+        self.chan_registrar()
+            .send_init(comm, dst, tag, buf, offset, len)
+    }
+
+    /// `MPI_Recv_init`: register a persistent receive into
+    /// `buf[offset..offset+len]` from communicator rank `src`. Resolves the
+    /// pre-matched channel now so `wait` copies straight into the window.
+    pub fn recv_init<T: Elem>(
+        &self,
+        comm: &Comm,
+        src: usize,
+        tag: u64,
+        buf: SharedBuf<T>,
+        offset: usize,
+        len: usize,
+    ) -> RecvReq<T> {
+        self.chan_registrar()
+            .recv_init(comm, src, tag, buf, offset, len)
     }
 }
 

@@ -183,6 +183,29 @@ impl<T: Clone + Send + 'static> Channel<T> {
     }
 }
 
+/// A held lock over the world's persistent-channel registry: every
+/// signature resolved through it shares one lock acquisition, so
+/// registering a whole collective — or a whole batch of collectives
+/// ([`mpi-advance`'s `NeighborBatch`]) — is a single pass over the
+/// registry instead of one contended lock round trip per message.
+///
+/// Obtain one with [`crate::RankCtx::chan_registrar`]; the registration
+/// methods (`send_chan_init`, `recv_init`, `psend_init_parts`, …) mirror
+/// the [`crate::RankCtx`] ones. Registration never blocks on traffic, so
+/// holding the registry lock across a batch is deadlock-free — but do not
+/// call `start`/`wait` (or any `RankCtx` registration method, which takes
+/// the same lock) while a registrar is alive.
+pub struct ChanRegistrar<'a> {
+    guard: parking_lot::MutexGuard<'a, HashMap<ChanKey, ChanSlot>>,
+}
+
+impl ChanRegistrar<'_> {
+    /// Get-or-create the persistent channel for `key` under the held lock.
+    pub(crate) fn channel<T: Clone + Send + 'static>(&mut self, key: ChanKey) -> Arc<Channel<T>> {
+        WorldState::channel_in(&mut self.guard, key)
+    }
+}
+
 /// State shared by every rank of a world.
 pub(crate) struct WorldState {
     pub n_ranks: usize,
@@ -246,8 +269,18 @@ impl WorldState {
     /// Get-or-create the persistent channel for `key` — whichever side
     /// registers first creates it; the other side attaches to the same
     /// slot, completing the match once at init time.
+    #[cfg(test)]
     pub fn channel<T: Clone + Send + 'static>(&self, key: ChanKey) -> Arc<Channel<T>> {
-        let mut map = self.channels.lock();
+        Self::channel_in(&mut self.channels.lock(), key)
+    }
+
+    /// Get-or-create against an already-held registry lock — the
+    /// bulk-registration path ([`ChanRegistrar`]) resolves many signatures
+    /// under one lock acquisition.
+    fn channel_in<T: Clone + Send + 'static>(
+        map: &mut HashMap<ChanKey, ChanSlot>,
+        key: ChanKey,
+    ) -> Arc<Channel<T>> {
         let (type_name, any, ..) = map
             .entry(key)
             .or_insert_with(|| {
@@ -272,6 +305,13 @@ impl WorldState {
                 std::any::type_name::<T>()
             )
         })
+    }
+
+    /// Open the channel registry for a bulk registration pass.
+    pub(crate) fn chan_registrar(&self) -> ChanRegistrar<'_> {
+        ChanRegistrar {
+            guard: self.channels.lock(),
+        }
     }
 
     /// Discard all in-flight traffic: every mailbox envelope and every

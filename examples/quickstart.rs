@@ -5,10 +5,17 @@
 //! Figures 3–5 illustrate, and then *executes* each protocol on the
 //! simulated MPI runtime to show identical results.
 //!
+//! Two entry points appear below. [`NeighborAlltoallv`] is the
+//! single-collective builder — right when exactly one pattern is live.
+//! The front door for real workloads is [`NeighborBatch`]: an application
+//! like AMG keeps one persistent collective live *per level*, and the
+//! batch plans, tags, and stages all of them as one session (one routing
+//! sweep, one tag lease, one staging arena, one registration pass).
+//!
 //! Run with: `cargo run --release --example quickstart`
 
 use locality::Topology;
-use mpi_advance::{CommPattern, NeighborAlltoallv, PlanStats, Protocol};
+use mpi_advance::{Backend, CommPattern, NeighborAlltoallv, NeighborBatch, PlanStats, Protocol};
 use mpisim::World;
 use perfmodel::LocalityModel;
 
@@ -74,4 +81,33 @@ fn main() {
     let auto = NeighborAlltoallv::new(&pattern, &topo).cost_model(&model);
     let (winner, _) = auto.plan();
     println!("\nBackend::Auto selects: {}", winner.label());
+
+    // Real workloads keep many collectives live at once (one per AMG
+    // level): NeighborBatch is the session that owns all of them —
+    // mixed backends included — and init_all registers the whole set in
+    // one pass. Each entry behaves exactly like its independent
+    // NeighborAlltoallv counterpart.
+    let second = CommPattern::example_2_1();
+    let batch = NeighborBatch::new(&topo)
+        .entry(&pattern, Backend::Protocol(Protocol::FullNeighbor))
+        .entry(&second, Backend::Auto);
+    let ok = World::run(8, |ctx| {
+        let comm = ctx.comm_world();
+        let mut reqs = batch.init_all(ctx, &comm);
+        reqs.iter_mut().all(|req| {
+            let input: Vec<f64> = req
+                .input_index()
+                .iter()
+                .map(|&i| 100.0 + i as f64)
+                .collect();
+            let mut output = vec![0.0; req.output_index().len()];
+            req.start_wait(ctx, &input, &mut output);
+            req.output_index()
+                .iter()
+                .zip(&output)
+                .all(|(&i, &v)| v == 100.0 + i as f64)
+        })
+    });
+    assert!(ok.iter().all(|&b| b));
+    println!("batched 2 live collectives through one NeighborBatch session ✓");
 }

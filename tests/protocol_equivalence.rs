@@ -5,9 +5,14 @@
 //! exchange computed straight from the pattern. Each backend runs both in
 //! a one-shot spawned world and inside a shared warm [`WorldPool`], so the
 //! zero-copy pooled path is pinned byte-for-byte to the same reference.
+//!
+//! A second property pins the [`NeighborBatch`] session API to the same
+//! reference: a batch of N random (pattern, backend) entries — planned,
+//! tagged, and staged together, spawned and pooled — must deliver
+//! byte-identical outputs to N independent `NeighborAlltoallv` inits.
 
 use locality::Topology;
-use mpi_advance::{Backend, CommPattern, NeighborAlltoallv, Protocol};
+use mpi_advance::{Backend, CommPattern, NeighborAlltoallv, NeighborBatch, Protocol};
 use mpisim::{World, WorldPool};
 use proptest::prelude::*;
 
@@ -104,6 +109,44 @@ fn run_backend_pooled(
     })
 }
 
+/// Every backend, for the batch property's per-entry draws.
+const ALL_BACKENDS: [Backend; 7] = [
+    Backend::Protocol(Protocol::StandardHypre),
+    Backend::Protocol(Protocol::StandardNeighbor),
+    Backend::Protocol(Protocol::PartialNeighbor),
+    Backend::Protocol(Protocol::FullNeighbor),
+    Backend::Partitioned(Protocol::PartialNeighbor),
+    Backend::Partitioned(Protocol::FullNeighbor),
+    Backend::Auto,
+];
+
+/// One rank's SPMD body over a whole batch: two iterations per entry,
+/// entries started together (the live-together shape batches exist for),
+/// raw output bits per entry per iteration.
+fn batch_body(
+    batch: &NeighborBatch,
+    ctx: &mut mpisim::RankCtx,
+    comm: &mpisim::Comm,
+) -> Vec<Vec<Vec<u64>>> {
+    let mut reqs = batch.init_all(ctx, comm);
+    let mut per_entry: Vec<Vec<Vec<u64>>> = vec![Vec::new(); reqs.len()];
+    for it in 0..2u64 {
+        let inputs: Vec<Vec<f64>> = reqs
+            .iter()
+            .map(|r| r.input_index().iter().map(|&i| value(i, it)).collect())
+            .collect();
+        for (r, input) in reqs.iter_mut().zip(&inputs) {
+            r.start(ctx, input);
+        }
+        for (e, r) in reqs.iter_mut().enumerate() {
+            let mut output = vec![f64::NAN; r.output_index().len()];
+            r.wait(ctx, &mut output);
+            per_entry[e].push(output.iter().map(|v| v.to_bits()).collect());
+        }
+    }
+    per_entry
+}
+
 proptest! {
     // Each case spins up one thread-world per backend; keep the count
     // modest so tier-1 stays fast.
@@ -159,6 +202,115 @@ proptest! {
                         it
                     );
                 }
+            }
+        }
+    }
+
+    /// A `NeighborBatch` of random (pattern, backend) entries delivers
+    /// byte-identical outputs to the same entries initialized as N
+    /// independent `NeighborAlltoallv` collectives — in a fresh spawned
+    /// world and as an epoch of a shared warm pool alike.
+    #[test]
+    fn batch_matches_independent_inits(
+        patterns in prop::collection::vec(arb_pattern(8), 1..4),
+        backend_picks in prop::collection::vec(0usize..ALL_BACKENDS.len(), 3),
+        ppn in 1usize..5,
+    ) {
+        let topo = Topology::block_nodes(8, ppn);
+        let entries: Vec<(&CommPattern, Backend)> = patterns
+            .iter()
+            .zip(&backend_picks)
+            .map(|(p, &b)| (p, ALL_BACKENDS[b]))
+            .collect();
+
+        // reference: each entry as its own independent collective
+        let independent: Vec<Vec<Vec<Vec<u64>>>> = entries
+            .iter()
+            .map(|&(pattern, backend)| run_backend(pattern, &topo, backend))
+            .collect();
+
+        let mut batch = NeighborBatch::new(&topo);
+        for &(pattern, backend) in &entries {
+            batch = batch.entry(pattern, backend);
+        }
+        let batched = World::run(8, |ctx| {
+            let comm = ctx.comm_world();
+            batch_body(&batch, ctx, &comm)
+        });
+        let pool = World::pool(8);
+        let pooled = pool.run(|ctx| {
+            let comm = ctx.comm_world();
+            batch_body(&batch, ctx, &comm)
+        });
+
+        for (rank, per_entry) in batched.iter().enumerate() {
+            prop_assert_eq!(per_entry.len(), entries.len());
+            for (e, iters) in per_entry.iter().enumerate() {
+                for (it, bits) in iters.iter().enumerate() {
+                    prop_assert_eq!(
+                        bits,
+                        &independent[e][rank][it],
+                        "batch entry {} ({:?}) diverged from its independent init \
+                         at rank {} iteration {}",
+                        e,
+                        entries[e].1,
+                        rank,
+                        it
+                    );
+                    prop_assert_eq!(
+                        &pooled[rank][e][it],
+                        bits,
+                        "pooled batch diverged from spawned batch at entry {} rank {} \
+                         iteration {}",
+                        e,
+                        rank,
+                        it
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic smoke for the mixed-backend session: one batch holding a
+/// plain-protocol entry, a partitioned entry, and an Auto entry over
+/// different patterns, all live and interleaved on one communicator.
+#[test]
+fn mixed_backend_batch_matches_direct_exchange() {
+    let topo = Topology::block_nodes(8, 4);
+    let fine = CommPattern::example_2_1();
+    let mid = CommPattern::new(
+        8,
+        vec![
+            vec![(1, vec![0]), (5, vec![0, 1])],
+            vec![(4, vec![10]), (6, vec![11])],
+            vec![(7, vec![20, 21])],
+            vec![],
+            vec![(0, vec![40]), (1, vec![40]), (2, vec![41])],
+            vec![(6, vec![50])],
+            vec![(3, vec![60]), (0, vec![61])],
+            vec![],
+        ],
+    );
+    let coarse = CommPattern::example_2_1();
+    let batch = NeighborBatch::new(&topo)
+        .entry(&fine, Backend::Protocol(Protocol::FullNeighbor))
+        .entry(&mid, Backend::Partitioned(Protocol::PartialNeighbor))
+        .entry(&coarse, Backend::Auto);
+    let patterns = [&fine, &mid, &coarse];
+
+    let got = World::run(8, |ctx| {
+        let comm = ctx.comm_world();
+        batch_body(&batch, ctx, &comm)
+    });
+    for (rank, per_entry) in got.iter().enumerate() {
+        for (e, iters) in per_entry.iter().enumerate() {
+            for (it, bits) in iters.iter().enumerate() {
+                let expected: Vec<u64> = expected_outputs(patterns[e], it as u64)[rank]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                assert_eq!(bits, &expected, "entry {e} rank {rank} iteration {it}");
             }
         }
     }
