@@ -33,8 +33,9 @@ bench-steady:
 
 # compile and execute every bench binary once (criterion --test smoke
 # mode) — including the pooled steady-state group and the
-# batch_init_256ranks batch-vs-per-pattern pair; run on every PR by CI
-# so benches cannot rot
+# batch_init_256ranks batch-vs-per-pattern pair and the overlap_32ranks
+# wait_any-vs-wait_all lifecycle pair; run on every PR by CI so benches
+# cannot rot
 bench-smoke:
 	cargo bench -p bench_suite --benches -- --test
 

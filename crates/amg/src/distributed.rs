@@ -149,7 +149,10 @@ mod tests {
     #[test]
     fn whole_hierarchy_exchanges_as_one_batch_on_one_pool() {
         // the solve-phase shape: one warm pooled world, one NeighborBatch
-        // holding every level's collective, all levels live at once
+        // holding every level's collective, all levels posted with ONE
+        // start_all and retired by wait_any as their traffic lands — each
+        // level's "smoothing" (here: the delivery check) runs the moment
+        // its halo completes, never behind a slower level's
         use locality::Topology;
         use mpi_advance::{Backend, NeighborBatch, Protocol};
         use mpisim::World;
@@ -167,26 +170,31 @@ mod tests {
         let pool = World::pool(RANKS);
         let ok = pool.run(|ctx| {
             let comm = ctx.comm_world();
-            let mut reqs = batch.init_all(ctx, &comm);
-            // start every level's exchange before completing any
-            let inputs: Vec<Vec<f64>> = reqs
+            let mut session = batch.init_all(ctx, &comm);
+            let inputs: Vec<Vec<f64>> = session
+                .requests()
                 .iter()
                 .map(|r| r.input_index().iter().map(|&i| i as f64).collect())
                 .collect();
-            for (r, input) in reqs.iter_mut().zip(&inputs) {
-                r.start(ctx, input);
-            }
+            let mut ghosts: Vec<Vec<f64>> = session
+                .requests()
+                .iter()
+                .map(|r| vec![f64::NAN; r.output_index().len()])
+                .collect();
+            session.start_all(ctx, &inputs);
             let mut ok = true;
-            for r in reqs.iter_mut() {
-                let mut ghost = vec![f64::NAN; r.output_index().len()];
-                r.wait(ctx, &mut ghost);
-                ok &= r
+            let mut retired = 0;
+            while session.in_flight() > 0 {
+                let lvl = session.wait_any(ctx, &mut ghosts);
+                retired += 1;
+                ok &= session
+                    .entry(lvl)
                     .output_index()
                     .iter()
-                    .zip(&ghost)
+                    .zip(&ghosts[lvl])
                     .all(|(&i, &v)| v == i as f64);
             }
-            ok
+            ok && retired == d.n_levels()
         });
         assert!(ok.into_iter().all(|b| b), "a level's halo exchange failed");
     }

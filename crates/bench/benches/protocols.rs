@@ -8,7 +8,11 @@
 //! thread-spawn noise (allocation-sensitive: see `scripts/bench_compare`),
 //! and `batch_init_256ranks` pits one `NeighborBatch::init_all` over 8
 //! AMG-level-like patterns against 8 independent per-pattern inits
-//! (`scripts/bench_compare` reports the batch/per-pattern speedup).
+//! (`scripts/bench_compare` reports the batch/per-pattern speedup), and
+//! `overlap_32ranks` pits the completion-driven `wait_any` + per-entry
+//! compute lifecycle against `wait_all` + bulk compute on an 8-entry
+//! batch (`scripts/bench_compare` gates the overlap side staying no
+//! slower).
 //!
 //! These measure actual data movement through the full persistent
 //! start/wait path — complementary to the modeled paper-scale figures.
@@ -231,12 +235,117 @@ fn bench_batch_init_large(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-entry "smoothing" stand-in for the overlap group: enough floating
+/// point per ghost value that hiding one entry's compute under another
+/// entry's in-flight traffic is measurable, little enough that transport
+/// still matters.
+fn smooth_like(ghost: &[f64]) -> f64 {
+    let mut acc = 0.0f64;
+    for _ in 0..8 {
+        for &v in ghost {
+            acc = acc.mul_add(0.999_999_88, v);
+        }
+    }
+    acc
+}
+
+/// The completion-driven overlap question at 32 ranks: an 8-entry batch of
+/// AMG-level-like patterns on one warm pool, each iteration posting every
+/// entry with `start_all` and then either retiring entries with `wait_any`
+/// and running each entry's compute the moment its traffic lands
+/// ("wait_any_8patterns"), or completing everything with `wait_all` first
+/// and computing in bulk ("wait_all_8patterns"). Total compute is equal;
+/// the measured difference is how much per-entry compute hides the other
+/// entries' in-flight traffic. `scripts/bench_compare` pairs the two and
+/// fails if the overlap side stops being at least as fast — the
+/// completion-driven lifecycle's reason to exist.
+fn bench_overlap(c: &mut Criterion) {
+    const N_PATTERNS: usize = 8;
+    const OVERLAP_ITERS: usize = 20;
+    let h = paper_hierarchy(128, 64);
+    let mut levels: Vec<CommPattern> = level_patterns(&h, RANKS)
+        .into_iter()
+        .map(|lp| lp.pattern)
+        .filter(|p| p.total_msgs() > 0)
+        .collect();
+    levels.sort_by_key(|p| std::cmp::Reverse(p.total_msgs()));
+    let patterns: Vec<CommPattern> = (0..N_PATTERNS)
+        .map(|i| levels[i % levels.len()].clone())
+        .collect();
+    let topo = Topology::block_nodes(RANKS, 4);
+    let mut group = c.benchmark_group("overlap_32ranks");
+    group.sample_size(10);
+    let pool = World::pool(RANKS);
+    let mut batch = NeighborBatch::new(&topo);
+    for p in &patterns {
+        batch = batch.entry(p, Backend::Protocol(Protocol::FullNeighbor));
+    }
+
+    group.bench_function(BenchmarkId::from_parameter("wait_any_8patterns"), |b| {
+        b.iter(|| {
+            pool.run(|ctx| {
+                let comm = ctx.comm_world();
+                let mut session = batch.init_all(ctx, &comm);
+                let inputs: Vec<Vec<f64>> = session
+                    .requests()
+                    .iter()
+                    .map(|r| r.input_index().iter().map(|&i| i as f64).collect())
+                    .collect();
+                let mut outputs: Vec<Vec<f64>> = session
+                    .requests()
+                    .iter()
+                    .map(|r| vec![0.0; r.output_index().len()])
+                    .collect();
+                let mut acc = 0.0;
+                for _ in 0..OVERLAP_ITERS {
+                    session.start_all(ctx, &inputs);
+                    while session.in_flight() > 0 {
+                        let e = session.wait_any(ctx, &mut outputs);
+                        acc += smooth_like(&outputs[e]);
+                    }
+                }
+                acc
+            })
+        })
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("wait_all_8patterns"), |b| {
+        b.iter(|| {
+            pool.run(|ctx| {
+                let comm = ctx.comm_world();
+                let mut session = batch.init_all(ctx, &comm);
+                let inputs: Vec<Vec<f64>> = session
+                    .requests()
+                    .iter()
+                    .map(|r| r.input_index().iter().map(|&i| i as f64).collect())
+                    .collect();
+                let mut outputs: Vec<Vec<f64>> = session
+                    .requests()
+                    .iter()
+                    .map(|r| vec![0.0; r.output_index().len()])
+                    .collect();
+                let mut acc = 0.0;
+                for _ in 0..OVERLAP_ITERS {
+                    session.start_all(ctx, &inputs);
+                    session.wait_all(ctx, &mut outputs);
+                    for out in &outputs {
+                        acc += smooth_like(out);
+                    }
+                }
+                acc
+            })
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_protocols,
     bench_steady_state,
     bench_init,
     bench_init_large,
-    bench_batch_init_large
+    bench_batch_init_large,
+    bench_overlap
 );
 criterion_main!(benches);

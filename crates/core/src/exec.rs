@@ -31,7 +31,7 @@ use crate::exec_common::{
 use crate::pattern::CommPattern;
 use crate::routing::{PartSource, RankRouting, RecvRoute};
 use mpisim::persistent::shared_buf;
-use mpisim::{ChanRegistrar, Comm, RankCtx, RecvReq, SendReq, SharedBuf};
+use mpisim::{ChanId, ChanRegistrar, Comm, RankCtx, RecvReq, SendReq, SharedBuf};
 use std::ops::Range;
 
 struct GSendExec {
@@ -56,8 +56,21 @@ pub struct PersistentNeighbor {
     g_recvs: Vec<RecvExec>,
     r_sends: Vec<RSendExec>,
     r_recvs: Vec<RecvExec>,
-    /// Scratch for borrowed g payloads during `wait` (capacity reused).
-    g_payloads: Vec<Vec<f64>>,
+    /// Borrowed g payloads of the current iteration, slotted by g receive
+    /// (arrival order fills them in any order; the r forwards index by
+    /// g-message position). Buffers recycle, so capacity is reused.
+    g_payloads: Vec<Option<Vec<f64>>>,
+    /// Per-iteration completion state, reset by `start`: which receives of
+    /// each step have been drained by `test`.
+    local_done: Vec<bool>,
+    g_done: Vec<bool>,
+    /// The r step opens only after every g payload is in (its forwards
+    /// read from them); set by the `test` call that drains the last g.
+    r_started: bool,
+    r_done: Vec<bool>,
+    /// Whole-iteration doneness: `test` is a no-op once set (an inactive
+    /// persistent request, in MPI terms).
+    done: bool,
 }
 
 impl PersistentNeighbor {
@@ -166,6 +179,7 @@ impl PersistentNeighbor {
         );
         let r_sends = register_r_sends(routing.r_sends, reg, comm);
         let r_recvs = register_recvs(routing.r_recvs, reg, comm);
+        let (n_local, n_g, n_r) = (local_recvs.len(), g_recvs.len(), r_recvs.len());
         Self {
             input_index: routing.input_index,
             output_index: routing.output_index,
@@ -178,7 +192,14 @@ impl PersistentNeighbor {
             g_recvs,
             r_sends,
             r_recvs,
-            g_payloads: Vec::new(),
+            g_payloads: (0..n_g).map(|_| None).collect(),
+            local_done: vec![false; n_local],
+            g_done: vec![false; n_g],
+            r_started: false,
+            r_done: vec![false; n_r],
+            // inactive until the first start: test/wait are no-ops, as on
+            // an inactive persistent MPI request
+            done: true,
         }
     }
 
@@ -199,6 +220,14 @@ impl PersistentNeighbor {
     /// s, start g.
     pub fn start(&mut self, ctx: &mut RankCtx, input: &[f64]) {
         assert_eq!(input.len(), self.input_index.len(), "input length mismatch");
+
+        // fresh iteration: nothing drained yet (a start racing an
+        // unfinished iteration trips the receives' double-start assert)
+        self.local_done.fill(false);
+        self.g_done.fill(false);
+        self.r_started = false;
+        self.r_done.fill(false);
+        self.done = false;
 
         // ℓ: start sends and receives
         for send in &self.local_sends {
@@ -236,42 +265,138 @@ impl PersistentNeighbor {
         }
     }
 
-    /// `MPI_Wait`: complete the iteration, writing ghost values into
-    /// `output` (aligned with `output_index()`). Implements Algorithm 6:
-    /// complete ℓ, complete g, start+complete r.
-    pub fn wait(&mut self, ctx: &mut RankCtx, output: &mut [f64]) {
+    /// `MPI_Test`: non-blocking progress. Drains every payload that has
+    /// been delivered — in arrival order, not posting order — scatters its
+    /// ghost values into `output`, advances the ℓ→g→r state machine
+    /// (the r forwards fire from the `test` call that drains the last g
+    /// payload), and reports whether the whole iteration has completed.
+    /// Once complete, further calls are no-ops returning `true` (an
+    /// inactive persistent request).
+    pub fn test(&mut self, ctx: &mut RankCtx, output: &mut [f64]) -> bool {
         assert_eq!(
             output.len(),
             self.output_index.len(),
             "output length mismatch"
         );
-
-        for recv in &mut self.local_recvs {
-            recv.wait_scatter(ctx, output);
+        if self.done {
+            return true;
         }
 
-        // g: borrow each payload off its channel, scatter the slots that
-        // terminate here, and keep the payload around for the r forwards
-        debug_assert!(self.g_payloads.is_empty());
-        for recv in &mut self.g_recvs {
-            let data = recv.req.wait_take(ctx);
-            for &(pos, out) in &recv.outputs {
-                output[out] = data[pos];
+        for (recv, done) in self.local_recvs.iter_mut().zip(&mut self.local_done) {
+            if !*done {
+                *done = recv.try_scatter(ctx, output);
             }
-            self.g_payloads.push(data);
         }
 
-        // r: forward from the borrowed g payloads to final destinations
-        let payloads = &self.g_payloads;
-        for send in &self.r_sends {
-            send.start_gather_from(ctx, |g_msg, pos| payloads[g_msg][pos]);
+        // g: borrow each delivered payload off its channel, scatter the
+        // slots that terminate here, and keep the payload for the r
+        // forwards
+        for ((recv, done), slot) in self
+            .g_recvs
+            .iter_mut()
+            .zip(&mut self.g_done)
+            .zip(&mut self.g_payloads)
+        {
+            if *done {
+                continue;
+            }
+            if let Some(data) = recv.req.try_take(ctx) {
+                for &(pos, out) in &recv.outputs {
+                    output[out] = data[pos];
+                }
+                *slot = Some(data);
+                *done = true;
+            }
         }
-        for (recv, data) in self.g_recvs.iter().zip(self.g_payloads.drain(..)) {
-            recv.req.recycle(data);
+
+        // r: opens once every g payload is in (each forward may read from
+        // any of them); the borrowed payloads are recycled afterwards
+        if !self.r_started && self.g_done.iter().all(|&d| d) {
+            let payloads = &self.g_payloads;
+            for send in &self.r_sends {
+                send.start_gather_from(ctx, |g_msg, pos| {
+                    payloads[g_msg].as_ref().expect("g payload drained")[pos]
+                });
+            }
+            for (recv, slot) in self.g_recvs.iter().zip(&mut self.g_payloads) {
+                if let Some(data) = slot.take() {
+                    recv.req.recycle(data);
+                }
+            }
+            for recv in &mut self.r_recvs {
+                recv.req.start();
+            }
+            self.r_started = true;
         }
-        for recv in &mut self.r_recvs {
-            recv.req.start();
-            recv.wait_scatter(ctx, output);
+        if self.r_started {
+            for (recv, done) in self.r_recvs.iter_mut().zip(&mut self.r_done) {
+                if !*done {
+                    *done = recv.try_scatter(ctx, output);
+                }
+            }
+        }
+
+        self.done =
+            self.r_started && self.local_done.iter().all(|&d| d) && self.r_done.iter().all(|&d| d);
+        self.done
+    }
+
+    /// Append a [`ChanId`] for every receive the current iteration is
+    /// still blocked on — the set a caller parks on between `test` calls.
+    /// Receives of the not-yet-opened r step are excluded: they cannot be
+    /// necessary before the g payloads land (and `test` opens them then).
+    pub fn pending_chans(&self, out: &mut Vec<ChanId>) {
+        for (recv, done) in self.local_recvs.iter().zip(&self.local_done) {
+            if !done {
+                out.push(recv.req.chan_id());
+            }
+        }
+        for (recv, done) in self.g_recvs.iter().zip(&self.g_done) {
+            if !done {
+                out.push(recv.req.chan_id());
+            }
+        }
+        if self.r_started {
+            for (recv, done) in self.r_recvs.iter().zip(&self.r_done) {
+                if !done {
+                    out.push(recv.req.chan_id());
+                }
+            }
+        }
+    }
+
+    /// `MPI_Wait`: complete the iteration, writing ghost values into
+    /// `output` (aligned with `output_index()`). Loops [`test`] — so
+    /// payloads drain in delivery order — parking (bounded spin, then
+    /// futex park) on **one necessary channel** between rounds: `wait`
+    /// must complete *every* receive, so blocking on the first pending one
+    /// never waits for anything the iteration does not need, and it skips
+    /// the set-attach machinery [`crate::BatchRequest::wait_any`] pays for
+    /// genuine any-of-N completion.
+    ///
+    /// [`test`]: PersistentNeighbor::test
+    pub fn wait(&mut self, ctx: &mut RankCtx, output: &mut [f64]) {
+        while !self.test(ctx, output) {
+            self.park_on_necessary(ctx);
+        }
+    }
+
+    /// Block until the first still-pending receive of the current phase
+    /// has a delivered message (without consuming it). No-op if nothing is
+    /// pending — the next `test` then advances a phase or completes.
+    fn park_on_necessary(&self, ctx: &RankCtx) {
+        fn pending<'a>(recvs: &'a [RecvExec], done: &[bool]) -> Option<&'a RecvExec> {
+            recvs.iter().zip(done).find_map(|(r, &d)| (!d).then_some(r))
+        }
+        if let Some(recv) = pending(&self.local_recvs, &self.local_done)
+            .or_else(|| pending(&self.g_recvs, &self.g_done))
+            .or_else(|| {
+                self.r_started
+                    .then(|| pending(&self.r_recvs, &self.r_done))
+                    .flatten()
+            })
+        {
+            recv.req.wait_ready(ctx);
         }
     }
 }
@@ -473,6 +598,27 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn test_on_an_inactive_request_is_a_noop_true() {
+        // before the first start — and after an iteration completes — the
+        // request is inactive: test must report done without touching any
+        // receive (MPI_Test on an inactive persistent request)
+        let pattern = CommPattern::example_2_1();
+        let topo = Topology::block_nodes(8, 4);
+        let plan = Protocol::FullNeighbor.plan(&pattern, &topo);
+        let ok = World::run(8, |ctx| {
+            let comm = ctx.comm_world();
+            let mut nb = PersistentNeighbor::from_plan(&pattern, &plan, ctx, &comm, 100);
+            let mut output = vec![f64::NAN; nb.output_index().len()];
+            let before = nb.test(ctx, &mut output);
+            let input: Vec<f64> = nb.input_index().iter().map(|&i| i as f64).collect();
+            nb.start(ctx, &input);
+            nb.wait(ctx, &mut output);
+            before && nb.test(ctx, &mut output)
+        });
+        assert!(ok.into_iter().all(|b| b));
     }
 
     #[test]

@@ -40,15 +40,21 @@ pub(crate) struct RecvExec {
 }
 
 impl RecvExec {
-    /// Complete one instance: scatter the delivered payload straight into
-    /// `output` (no intermediate receive window).
-    pub fn wait_scatter(&mut self, ctx: &mut RankCtx, output: &mut [f64]) {
-        let outputs = &self.outputs;
-        self.req.wait_with(ctx, |data| {
-            for &(pos, out) in outputs {
-                output[out] = data[pos];
+    /// Non-blocking completion: if the payload has arrived, scatter it
+    /// straight into `output` (no intermediate receive window) and report
+    /// completion; otherwise leave the receive pending. One resumable
+    /// completion step of the lifecycle's `test`.
+    pub fn try_scatter(&mut self, ctx: &mut RankCtx, output: &mut [f64]) -> bool {
+        match self.req.try_take(ctx) {
+            Some(data) => {
+                for &(pos, out) in &self.outputs {
+                    output[out] = data[pos];
+                }
+                self.req.recycle(data);
+                true
             }
-        });
+            None => false,
+        }
     }
 }
 

@@ -28,7 +28,7 @@ use crate::exec_common::{
 use crate::pattern::CommPattern;
 use crate::routing::{PartSource, RankRouting};
 use mpisim::persistent::shared_buf;
-use mpisim::{ChanRegistrar, Comm, PrecvReq, PsendReq, RankCtx, RecvReq, SharedBuf};
+use mpisim::{ChanId, ChanRegistrar, Comm, PrecvReq, PsendReq, RankCtx, RecvReq, SharedBuf};
 
 struct GSend {
     req: PsendReq<f64>,
@@ -65,6 +65,15 @@ pub struct PartitionedNeighbor {
     g_recvs: Vec<GRecv>,
     r_sends: Vec<RSendExec>,
     r_recvs: Vec<RecvExec>,
+    /// Per-iteration completion state, reset by `start` (see
+    /// [`crate::exec::PersistentNeighbor`]'s twin fields): a g receive is
+    /// done when **all** of its partitions have arrived and its ghost
+    /// slots are scattered.
+    local_done: Vec<bool>,
+    g_done: Vec<bool>,
+    r_started: bool,
+    r_done: Vec<bool>,
+    done: bool,
 }
 
 impl PartitionedNeighbor {
@@ -146,7 +155,7 @@ impl PartitionedNeighbor {
                 }
             })
             .collect();
-        let g_recvs = routing
+        let g_recvs: Vec<GRecv> = routing
             .g_recvs
             .into_iter()
             .map(|r| {
@@ -161,6 +170,7 @@ impl PartitionedNeighbor {
             .collect();
         let r_sends = register_r_sends(routing.r_sends, reg, comm);
         let r_recvs = register_recvs(routing.r_recvs, reg, comm);
+        let (n_local, n_g, n_r) = (local_recvs.len(), g_recvs.len(), r_recvs.len());
         Self {
             input_index: routing.input_index,
             output_index: routing.output_index,
@@ -172,6 +182,13 @@ impl PartitionedNeighbor {
             g_recvs,
             r_sends,
             r_recvs,
+            local_done: vec![false; n_local],
+            g_done: vec![false; n_g],
+            r_started: false,
+            r_done: vec![false; n_r],
+            // inactive until the first start: test/wait are no-ops, as on
+            // an inactive persistent MPI request
+            done: true,
         }
     }
 
@@ -187,6 +204,13 @@ impl PartitionedNeighbor {
     /// the moment its staging data is available.
     pub fn start(&mut self, ctx: &mut RankCtx, input: &[f64]) {
         assert_eq!(input.len(), self.input_index.len(), "input length mismatch");
+
+        // fresh iteration for the completion-driven state machine
+        self.local_done.fill(false);
+        self.g_done.fill(false);
+        self.r_started = false;
+        self.r_done.fill(false);
+        self.done = false;
 
         for send in &self.local_sends {
             send.start_gather(ctx, input);
@@ -234,36 +258,122 @@ impl PartitionedNeighbor {
         }
     }
 
-    /// Complete the iteration: drain ℓ and g, then run the final
-    /// redistribution.
-    pub fn wait(&mut self, ctx: &mut RankCtx, output: &mut [f64]) {
+    /// `MPI_Test`: non-blocking progress. Drains whatever partitions and
+    /// payloads have arrived (a g receive completes — and scatters — when
+    /// its **last** partition lands), opens the r step once every g buffer
+    /// is assembled, and reports iteration done-ness. No-op `true` once
+    /// complete.
+    pub fn test(&mut self, ctx: &mut RankCtx, output: &mut [f64]) -> bool {
         assert_eq!(
             output.len(),
             self.output_index.len(),
             "output length mismatch"
         );
-
-        for recv in &mut self.local_recvs {
-            recv.wait_scatter(ctx, output);
+        if self.done {
+            return true;
         }
 
-        for gr in &mut self.g_recvs {
-            gr.req.wait(ctx);
-            let guard = gr.buf.read();
-            for &(pos, out) in &gr.outputs {
-                output[out] = guard[pos];
+        for (recv, done) in self.local_recvs.iter_mut().zip(&mut self.local_done) {
+            if !*done {
+                *done = recv.try_scatter(ctx, output);
             }
         }
 
-        // hold one read guard per g buffer across all r forwards
-        let g_bufs: Vec<_> = self.g_recvs.iter().map(|g| g.buf.read()).collect();
-        for send in &self.r_sends {
-            send.start_gather_from(ctx, |g_msg, pos| g_bufs[g_msg][pos]);
+        for (gr, done) in self.g_recvs.iter_mut().zip(&mut self.g_done) {
+            if *done {
+                continue;
+            }
+            if gr.req.try_wait(ctx) {
+                let guard = gr.buf.read();
+                for &(pos, out) in &gr.outputs {
+                    output[out] = guard[pos];
+                }
+                *done = true;
+            }
         }
-        drop(g_bufs);
-        for recv in &mut self.r_recvs {
-            recv.req.start();
-            recv.wait_scatter(ctx, output);
+
+        if !self.r_started && self.g_done.iter().all(|&d| d) {
+            // hold one read guard per g buffer across all r forwards
+            let g_bufs: Vec<_> = self.g_recvs.iter().map(|g| g.buf.read()).collect();
+            for send in &self.r_sends {
+                send.start_gather_from(ctx, |g_msg, pos| g_bufs[g_msg][pos]);
+            }
+            drop(g_bufs);
+            for recv in &mut self.r_recvs {
+                recv.req.start();
+            }
+            self.r_started = true;
+        }
+        if self.r_started {
+            for (recv, done) in self.r_recvs.iter_mut().zip(&mut self.r_done) {
+                if !*done {
+                    *done = recv.try_scatter(ctx, output);
+                }
+            }
+        }
+
+        self.done =
+            self.r_started && self.local_done.iter().all(|&d| d) && self.r_done.iter().all(|&d| d);
+        self.done
+    }
+
+    /// Append a [`ChanId`] per receive channel the iteration is still
+    /// blocked on: ℓ channels, every unarrived partition of each pending g
+    /// receive, and (once opened) the r channels.
+    pub fn pending_chans(&self, out: &mut Vec<ChanId>) {
+        for (recv, done) in self.local_recvs.iter().zip(&self.local_done) {
+            if !done {
+                out.push(recv.req.chan_id());
+            }
+        }
+        for (gr, done) in self.g_recvs.iter().zip(&self.g_done) {
+            if !done {
+                gr.req.pending_chan_ids(out);
+            }
+        }
+        if self.r_started {
+            for (recv, done) in self.r_recvs.iter().zip(&self.r_done) {
+                if !done {
+                    out.push(recv.req.chan_id());
+                }
+            }
+        }
+    }
+
+    /// Complete the iteration: loop [`test`] (delivery-order draining),
+    /// parking on one necessary channel between rounds (see
+    /// [`crate::exec::PersistentNeighbor::wait`] for why one suffices).
+    ///
+    /// [`test`]: PartitionedNeighbor::test
+    pub fn wait(&mut self, ctx: &mut RankCtx, output: &mut [f64]) {
+        while !self.test(ctx, output) {
+            self.park_on_necessary(ctx);
+        }
+    }
+
+    /// Block until the first still-pending receive of the current phase
+    /// has a delivered message (partitioned g receives park on their first
+    /// unarrived partition). No-op if nothing is pending.
+    fn park_on_necessary(&self, ctx: &RankCtx) {
+        for (recv, done) in self.local_recvs.iter().zip(&self.local_done) {
+            if !done {
+                recv.req.wait_ready(ctx);
+                return;
+            }
+        }
+        for (gr, done) in self.g_recvs.iter().zip(&self.g_done) {
+            if !done {
+                gr.req.wait_ready(ctx);
+                return;
+            }
+        }
+        if self.r_started {
+            for (recv, done) in self.r_recvs.iter().zip(&self.r_done) {
+                if !done {
+                    recv.req.wait_ready(ctx);
+                    return;
+                }
+            }
         }
     }
 }

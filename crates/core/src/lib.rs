@@ -51,7 +51,7 @@ pub mod tagspace;
 
 pub use agg::{AssignStrategy, Plan, PlanMsg, SlotArena, SlotRef};
 pub use analytic::{init_time, iteration_time, IterationCost};
-pub use batch::{BatchRequest, NeighborBatch};
+pub use batch::{BatchRequest, EntryId, NeighborBatch};
 pub use collective::{choose_protocol, Protocol};
 pub use exec::PersistentNeighbor;
 pub use exec_partitioned::PartitionedNeighbor;

@@ -43,7 +43,7 @@ use crate::collective::Protocol;
 use crate::pattern::CommPattern;
 use crate::Plan;
 use locality::Topology;
-use mpisim::{Comm, RankCtx};
+use mpisim::{ChanId, Comm, RankCtx};
 use perfmodel::CostModel;
 use std::sync::OnceLock;
 
@@ -64,6 +64,15 @@ pub enum Backend {
 /// A started-or-startable persistent neighborhood collective of one rank —
 /// the object `MPI_Neighbor_alltoallv_init` would return.
 ///
+/// The lifecycle is **completion-driven**: `start` posts the iteration,
+/// [`NeighborRequest::test`] makes non-blocking progress (draining and
+/// scattering whatever payloads have been delivered, in arrival order),
+/// and `wait` is a `test` loop that parks on the request's pending channel
+/// **set** between rounds — so receives complete in delivery order, and a
+/// caller (e.g. [`crate::BatchRequest::wait_any`]) can retire whichever of
+/// many live collectives finishes first instead of serializing on init
+/// order.
+///
 /// `Send` so a rank's requests can move with its work (e.g. be returned
 /// from one pool epoch and driven in a later one); like real persistent
 /// requests they hold tag space and matched channels until dropped.
@@ -77,9 +86,37 @@ pub trait NeighborRequest: Send {
     /// `MPI_Start`: begin one iteration with the current `input` values.
     fn start(&mut self, ctx: &mut RankCtx, input: &[f64]);
 
+    /// `MPI_Test`: non-blocking progress on the current iteration. Drains
+    /// every payload that has arrived, scatters its ghost values into
+    /// `output` (aligned with [`NeighborRequest::output_index`]), advances
+    /// any internal step (e.g. firing final-redistribution forwards once
+    /// their inputs are in), and returns whether the iteration has fully
+    /// completed. Once complete — or on an inactive request — it is a
+    /// no-op returning `true`.
+    fn test(&mut self, ctx: &mut RankCtx, output: &mut [f64]) -> bool;
+
+    /// Append a [`ChanId`] for every receive the current iteration still
+    /// waits on — the set to park on ([`RankCtx::wait_any`]) between
+    /// [`NeighborRequest::test`] calls. Empty iff the iteration needs no
+    /// further arrivals (one more `test` then completes it).
+    fn pending_chans(&self, out: &mut Vec<ChanId>);
+
     /// `MPI_Wait`: complete the iteration, delivering ghost values into
-    /// `output` (aligned with [`NeighborRequest::output_index`]).
-    fn wait(&mut self, ctx: &mut RankCtx, output: &mut [f64]);
+    /// `output` (aligned with [`NeighborRequest::output_index`]). The
+    /// default drives [`NeighborRequest::test`] to completion, parking on
+    /// the pending channel set between rounds.
+    fn wait(&mut self, ctx: &mut RankCtx, output: &mut [f64]) {
+        let mut chans = Vec::new();
+        while !self.test(ctx, output) {
+            chans.clear();
+            self.pending_chans(&mut chans);
+            // empty set = no arrival needed: the next test advances a
+            // phase (or completes) on its own, so don't park
+            if !chans.is_empty() {
+                ctx.wait_any(&chans);
+            }
+        }
+    }
 
     /// One full iteration: `start` immediately followed by `wait`.
     fn start_wait(&mut self, ctx: &mut RankCtx, input: &[f64], output: &mut [f64]) {
@@ -210,6 +247,7 @@ impl<'a> NeighborAlltoallv<'a> {
     pub fn init(&self, ctx: &RankCtx, comm: &Comm) -> Box<dyn NeighborRequest> {
         self.batch()
             .init_all(ctx, comm)
+            .into_requests()
             .pop()
             .expect("single-entry batch yields one request")
     }

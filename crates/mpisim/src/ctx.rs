@@ -107,6 +107,29 @@ impl RankCtx {
         self.world.chan_registrar()
     }
 
+    /// Non-blocking arrival poll over a set of persistent channels: the
+    /// index of the first channel with a delivered, unconsumed message, or
+    /// `None` if nothing has arrived yet. The completion-driven request
+    /// lifecycle (`NeighborRequest::test`) is built on this plus
+    /// [`crate::RecvChan::try_take`].
+    pub fn poll_any(&self, chans: &[crate::ChanId]) -> Option<usize> {
+        crate::state::WorldState::poll_any(chans)
+    }
+
+    /// Block until **some** channel of the set has a message and return its
+    /// index. Yield-spins briefly, then futex-parks on the whole set (one
+    /// park point, woken by whichever deposit lands first) — so a caller
+    /// looping `wait_any` completes receives in **delivery order**, not the
+    /// order the channels were registered in. Panics via the stall probe if
+    /// a peer rank died this epoch.
+    ///
+    /// The arrival is only *observed*, never consumed: take it off with the
+    /// owning receive half (e.g. [`crate::RecvChan::try_take`]), which is
+    /// also where the modeled clock merge happens.
+    pub fn wait_any(&self, chans: &[crate::ChanId]) -> usize {
+        self.world.wait_any(self.rank, chans)
+    }
+
     /// Send `data` to communicator rank `dst` (buffered semantics: completes
     /// locally). `tag` must be below the user tag limit.
     pub fn send<T: Elem>(&mut self, comm: &Comm, dst: usize, tag: u64, data: &[T]) {

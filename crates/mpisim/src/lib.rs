@@ -58,5 +58,5 @@ pub use ctx::RankCtx;
 pub use elem::Elem;
 pub use persistent::{RecvChan, RecvReq, Request, SendChan, SendReq, SharedBuf};
 pub use runtime::{World, WorldPool};
-pub use state::ChanRegistrar;
+pub use state::{ChanId, ChanRegistrar};
 pub use topology::{DistGraphComm, GraphCreateStrategy};

@@ -26,6 +26,23 @@ impl<T: Elem> IrecvReq<T> {
     pub fn test(&self, ctx: &RankCtx) -> bool {
         ctx.iprobe(&self.comm, self.src, self.tag)
     }
+
+    /// Non-blocking completion — the mailbox counterpart of the persistent
+    /// channels' `try_pop` path: if [`IrecvReq::test`] sees the message,
+    /// take it off the mailbox and return its payload; otherwise hand the
+    /// still-pending request back. A caller interleaving computation with
+    /// arrivals loops `try_wait` the way `NeighborRequest::test` loops
+    /// `Channel::try_pop`.
+    pub fn try_wait(self, ctx: &mut RankCtx) -> Result<Vec<T>, Self> {
+        // test-then-recv is race-free: this rank is the only consumer of
+        // its own mailbox, so a probed message cannot disappear before the
+        // matched receive picks it up
+        if self.test(ctx) {
+            Ok(self.wait(ctx))
+        } else {
+            Err(self)
+        }
+    }
 }
 
 impl RankCtx {
@@ -103,6 +120,38 @@ mod tests {
                 .sum();
             assert_eq!(*sum, expect);
         }
+    }
+
+    #[test]
+    fn try_wait_completes_only_after_arrival() {
+        // rank 0 must observe try_wait failing BEFORE rank 1 sends (the
+        // send is gated on an out-of-band handshake) and succeeding after
+        let out = World::run(2, |ctx| {
+            let comm = ctx.comm_world();
+            if ctx.rank() == 0 {
+                let req = ctx.irecv::<u64>(&comm, 1, 0);
+                // nothing sent yet: test/try_wait must not complete
+                let mut req = match req.try_wait(ctx) {
+                    Ok(_) => panic!("completed before the message was sent"),
+                    Err(req) => req,
+                };
+                ctx.send(&comm, 1, 9, &[1u8]); // release the sender
+                loop {
+                    match req.try_wait(ctx) {
+                        Ok(payload) => break payload[0],
+                        Err(pending) => {
+                            req = pending;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            } else {
+                let _: Vec<u8> = ctx.recv(&comm, 0, 9);
+                ctx.isend(&comm, 0, 0, &[42u64]);
+                0
+            }
+        });
+        assert_eq!(out[0], 42);
     }
 
     #[test]

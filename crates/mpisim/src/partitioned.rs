@@ -174,6 +174,52 @@ impl<T: Elem> PrecvReq<T> {
         }
     }
 
+    /// Non-blocking [`PrecvReq::wait`]: drain every partition that has
+    /// already been delivered into the buffer and report whether the whole
+    /// receive is complete. The completion-driven lifecycle
+    /// (`NeighborRequest::test`) makes progress through this.
+    pub fn try_wait(&mut self, ctx: &mut RankCtx) -> bool {
+        let mut done = true;
+        // deliberately not short-circuiting: every arrived partition
+        // drains this round, whatever order they landed in
+        for p in 0..self.n_parts() {
+            done &= self.parrived(ctx, p);
+        }
+        done
+    }
+
+    /// Append a type-erased handle per **unarrived** partition channel, for
+    /// parking on the set ([`RankCtx::wait_any`]).
+    pub fn pending_chan_ids(&self, out: &mut Vec<crate::ChanId>) {
+        for (p, arrived) in self.arrived.iter().enumerate() {
+            if !arrived {
+                out.push(self.chans[p].id());
+            }
+        }
+    }
+
+    /// Block until some unarrived partition has been delivered, **without
+    /// consuming it** (a following [`PrecvReq::try_wait`] drains it). The
+    /// completion-driven `wait` parks here between `test` rounds; every
+    /// partition is necessary, so parking on the first unarrived one never
+    /// waits for anything the receive does not need.
+    pub fn wait_ready(&self, ctx: &RankCtx) {
+        let Some(p) = self.arrived.iter().position(|&a| !a) else {
+            return;
+        };
+        self.chans[p].wait_nonempty(|| {
+            ctx.check_peer_alive();
+            assert!(
+                !ctx.iprobe(&self.comm, self.src, part_tag(self.tag, p)),
+                "partitioned recv from {} tag {} partition {p}: matching \
+                 message sits in the plain mailbox — mixing plain sends with \
+                 partitioned receives on one signature is unsupported",
+                self.src,
+                self.tag
+            );
+        });
+    }
+
     pub fn n_parts(&self) -> usize {
         self.bounds.len() - 1
     }

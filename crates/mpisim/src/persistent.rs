@@ -197,6 +197,54 @@ impl<T: Elem> RecvChan<T> {
         data
     }
 
+    /// Non-blocking [`RecvChan::wait_take`]: if the matching message has
+    /// already been delivered, consume it (merging its modeled arrival into
+    /// the clock) and hand its payload out; otherwise leave the receive
+    /// started and return `None`. The completion-driven lifecycle
+    /// (`NeighborRequest::test`) drains arrivals through this.
+    pub fn try_take(&mut self, ctx: &mut RankCtx) -> Option<Vec<T>> {
+        assert!(self.started, "try_take on a receive that was not started");
+        let (data, arrival) = self.chan.try_pop()?;
+        self.started = false;
+        assert_eq!(
+            data.len(),
+            self.len,
+            "persistent recv from {} (channel {:?}): expected {} elements, got {}",
+            self.src,
+            self.chan.key(),
+            self.len,
+            data.len()
+        );
+        ctx.charge_recv(arrival);
+        Some(data)
+    }
+
+    /// Type-erased handle for arrival polling this receive's channel as
+    /// part of a set ([`RankCtx::poll_any`] / [`RankCtx::wait_any`]).
+    pub fn chan_id(&self) -> crate::ChanId {
+        self.chan.id()
+    }
+
+    /// Block until the matching message has been delivered, **without
+    /// consuming it** (a following [`RecvChan::try_take`] succeeds). The
+    /// completion-driven `wait` parks here on one necessary receive
+    /// between `test` rounds; the stall probe keeps the mixed plain/
+    /// persistent-traffic misuse loud (see [`RecvChan::wait_take`]).
+    pub fn wait_ready(&self, ctx: &RankCtx) {
+        assert!(self.started, "wait_ready on a receive that was not started");
+        self.chan.wait_nonempty(|| {
+            ctx.check_peer_alive();
+            assert!(
+                !ctx.iprobe(&self.comm, self.src, self.tag),
+                "persistent recv from {} tag {}: matching message sits in the plain \
+                 mailbox — mixing a plain send with a persistent receive on one \
+                 signature is unsupported (use send_init on the sender)",
+                self.src,
+                self.tag
+            );
+        });
+    }
+
     /// Block until the matching message arrives and run `consume` on the
     /// payload in place (no copy into a registered window); the buffer is
     /// recycled afterwards.

@@ -53,6 +53,106 @@ type ChanSlot = (
     Arc<dyn Fn() + Send + Sync>,
 );
 
+/// The park-point of one rank's blocked `wait_any`: a seq counter bumped
+/// (with a wake) by every deposit into a channel the rank watches.
+///
+/// One `WaitSet` exists per world rank. A receiver that wants to block on
+/// a *set* of channels attaches its rank's wait set to each of them and
+/// parks here instead of on any single channel's condvar — so the first
+/// arrival on **any** watched channel wakes it, and receives complete in
+/// delivery order rather than the order the channels were initialized in.
+pub(crate) struct WaitSet {
+    /// Deposit generation: bumped under the lock by every push into a
+    /// watched channel. The parking protocol re-reads it to close the
+    /// scan-then-park race (a push between the scan and the park bumps the
+    /// generation, so the park returns immediately).
+    seq: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl WaitSet {
+    fn new() -> Self {
+        Self {
+            seq: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Current deposit generation. Read BEFORE scanning the channel set.
+    fn generation(&self) -> u64 {
+        *self.seq.lock()
+    }
+
+    /// Record one deposit and wake any parked receiver.
+    fn notify(&self) {
+        *self.seq.lock() += 1;
+        self.cv.notify_all();
+    }
+
+    /// Park until the generation moves past `seen`, invoking `stall_probe`
+    /// periodically while blocked (same contract as [`Channel::pop_with`]).
+    fn park_past(&self, seen: u64, stall_probe: impl Fn()) {
+        let mut seq = self.seq.lock();
+        while *seq == seen {
+            if self
+                .cv
+                .wait_for(&mut seq, std::time::Duration::from_millis(50))
+                .timed_out()
+            {
+                stall_probe();
+            }
+        }
+    }
+}
+
+/// Type-erased handle to one persistent channel, for completion-driven
+/// receives over a **set** of channels ([`crate::RankCtx::poll_any`] /
+/// [`crate::RankCtx::wait_any`]). Cloneable and independent of the
+/// channel's element type, so one wait set can mix channels of different
+/// datatypes (e.g. every receive of a whole collective batch).
+///
+/// Obtain one from the receive half that owns the channel
+/// ([`crate::RecvChan::chan_id`], [`crate::PrecvReq::pending_chan_ids`]).
+#[derive(Clone)]
+pub struct ChanId {
+    /// The channel's signature, for blocked-receive diagnostics (the
+    /// mixed plain/persistent-traffic probe).
+    key: ChanKey,
+    /// The channel's lock-free pending counter (shared with its registry
+    /// slot): the poll fast path.
+    pending: Arc<AtomicUsize>,
+    /// The channel's watcher slot; attaching a rank's [`WaitSet`] routes
+    /// every subsequent deposit's wake to that rank's park point.
+    watcher: Arc<Mutex<Option<Arc<WaitSet>>>>,
+}
+
+impl ChanId {
+    /// Would a non-blocking pop on this channel succeed right now?
+    pub fn ready(&self) -> bool {
+        self.pending.load(Ordering::Relaxed) > 0
+    }
+
+    fn attach(&self, ws: &Arc<WaitSet>) {
+        let mut watcher = self.watcher.lock();
+        // idempotent for the common case (a rank re-parking on the same
+        // channel); a channel has a single receiver, so at most one wait
+        // set is ever interested
+        if watcher.as_ref().is_none_or(|w| !Arc::ptr_eq(w, ws)) {
+            *watcher = Some(Arc::clone(ws));
+        }
+    }
+
+    /// Undo [`ChanId::attach`] once the park is over, so senders stop
+    /// paying the watcher wake on every subsequent deposit (channels — and
+    /// their watcher slots — live as long as the warm world).
+    fn detach(&self, ws: &Arc<WaitSet>) {
+        let mut watcher = self.watcher.lock();
+        if watcher.as_ref().is_some_and(|w| Arc::ptr_eq(w, ws)) {
+            *watcher = None;
+        }
+    }
+}
+
 /// A pre-matched persistent channel: the rendezvous a `send_init` /
 /// `recv_init` pair shares, created once at registration time.
 ///
@@ -70,6 +170,9 @@ pub(crate) struct Channel<T> {
     /// Pending-message count mirrored outside the typed state (shared with
     /// the registry slot) so the mailbox path can probe it untyped.
     pending_count: Arc<AtomicUsize>,
+    /// The receiving rank's [`WaitSet`], once it has parked on a set
+    /// containing this channel (see [`ChanId::attach`]).
+    watcher: Arc<Mutex<Option<Arc<WaitSet>>>>,
 }
 
 struct ChanState<T> {
@@ -89,6 +192,16 @@ impl<T: Clone + Send + 'static> Channel<T> {
             }),
             cv: Condvar::new(),
             pending_count,
+            watcher: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Type-erased handle for set-polling this channel (see [`ChanId`]).
+    pub fn id(&self) -> ChanId {
+        ChanId {
+            key: self.key,
+            pending: Arc::clone(&self.pending_count),
+            watcher: Arc::clone(&self.watcher),
         }
     }
 
@@ -110,6 +223,52 @@ impl<T: Clone + Send + 'static> Channel<T> {
         st.pending.push_back((buf, arrival));
         self.pending_count.fetch_add(1, Ordering::Relaxed);
         self.cv.notify_all();
+        drop(st);
+        // wake a receiver parked on a channel SET containing this channel
+        // (no-op — one uncontended lock — until the receiver first parks)
+        if let Some(ws) = self.watcher.lock().as_ref() {
+            ws.notify();
+        }
+    }
+
+    /// Block until a message is available **without consuming it**,
+    /// invoking `stall_probe` periodically while blocked (same contract as
+    /// [`Channel::pop_with`]). The completion-driven `wait` parks here on
+    /// one *necessary* channel between `test` rounds: cheaper than the
+    /// set-park ([`WorldState::wait_any`]) when every pending receive must
+    /// complete anyway, because nothing attaches and senders pay no wake.
+    pub fn wait_nonempty(&self, stall_probe: impl Fn()) {
+        // same yield-spin rationale as pop_with
+        for _ in 0..24 {
+            if self.pending_count.load(Ordering::Relaxed) > 0 {
+                return;
+            }
+            std::thread::yield_now();
+        }
+        let mut st = self.state.lock();
+        while st.pending.is_empty() {
+            if self
+                .cv
+                .wait_for(&mut st, std::time::Duration::from_millis(50))
+                .timed_out()
+            {
+                stall_probe();
+            }
+        }
+    }
+
+    /// Non-blocking [`Channel::pop_with`]: take the next message if one has
+    /// been delivered, `None` otherwise. The completion-driven receive path
+    /// (`test`/`wait_any`) drains arrivals through this.
+    pub fn try_pop(&self) -> Option<(Vec<T>, f64)> {
+        // lock-free empty probe first: `test` loops call this on channels
+        // that usually have nothing yet
+        if self.pending_count.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        let msg = self.state.lock().pending.pop_front()?;
+        self.pending_count.fetch_sub(1, Ordering::Relaxed);
+        Some(msg)
     }
 
     /// Block until a message is available and take it off the queue,
@@ -220,6 +379,10 @@ pub(crate) struct WorldState {
     /// (drained) channel — re-init on a warm world is a lookup, not a
     /// rendezvous.
     channels: Mutex<HashMap<ChanKey, ChanSlot>>,
+    /// One park point per world rank for completion-driven receives over
+    /// channel sets ([`WorldState::wait_any`]). Lives with the world (like
+    /// the channel registry) so pooled epochs reuse it warm.
+    wait_sets: Vec<Arc<WaitSet>>,
     /// Set when a rank of the current pool epoch panicked: blocked
     /// receives check it from their stall probes and abort loudly instead
     /// of waiting forever for a message the dead rank will never send.
@@ -237,13 +400,72 @@ impl WorldState {
             );
         }
         let mailboxes = (0..n_ranks).map(|_| Mailbox::default()).collect();
+        let wait_sets = (0..n_ranks).map(|_| Arc::new(WaitSet::new())).collect();
         Arc::new(Self {
             n_ranks,
             mailboxes,
             model,
             channels: Mutex::new(HashMap::new()),
+            wait_sets,
             rank_panicked: AtomicBool::new(false),
         })
+    }
+
+    /// Non-blocking arrival poll over a channel set: index of the first
+    /// channel holding a delivered, unconsumed message, else `None`.
+    pub fn poll_any(chans: &[ChanId]) -> Option<usize> {
+        chans.iter().position(ChanId::ready)
+    }
+
+    /// Block `global_rank` until **some** channel of the set has a message,
+    /// returning its index. Yield-spins first (same rationale as
+    /// [`Channel::pop_with`]), then attaches the rank's [`WaitSet`] to every
+    /// channel and futex-parks on the set — one park point for N channels,
+    /// woken by whichever deposit lands first, so completion follows
+    /// delivery order instead of channel order.
+    pub(crate) fn wait_any(&self, global_rank: usize, chans: &[ChanId]) -> usize {
+        assert!(!chans.is_empty(), "wait_any on an empty channel set");
+        for _ in 0..24 {
+            if let Some(i) = Self::poll_any(chans) {
+                return i;
+            }
+            std::thread::yield_now();
+        }
+        let ws = &self.wait_sets[global_rank];
+        for c in chans {
+            c.attach(ws);
+        }
+        let found = loop {
+            // generation BEFORE the scan: a deposit racing with the scan
+            // bumps it, so the park below returns without sleeping
+            let seen = ws.generation();
+            if let Some(i) = Self::poll_any(chans) {
+                break i;
+            }
+            ws.park_past(seen, || {
+                self.check_peer_alive();
+                // keep the mixed plain/persistent misuse loud here too: a
+                // plain send aimed at a watched persistent signature lands
+                // in the mailbox this set bypasses, and would otherwise
+                // hang the parked rank silently
+                for c in chans {
+                    let (ctx_id, src, _, tag) = c.key;
+                    assert!(
+                        !self.probe(global_rank, ctx_id, src, tag),
+                        "wait_any on channel {:?}: matching message sits in the \
+                         plain mailbox — mixing a plain send with a persistent \
+                         receive on one signature is unsupported (use send_init \
+                         on the sender)",
+                        c.key
+                    );
+                }
+            });
+        };
+        // stop routing deposit wakes to this rank once it is running again
+        for c in chans {
+            c.detach(ws);
+        }
+        found
     }
 
     /// Record that a rank of the current epoch panicked (pool worker).
@@ -480,6 +702,61 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         c.push(&[42], 0.0);
         assert_eq!(t.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn try_pop_is_nonblocking_and_fifo() {
+        let w = WorldState::new(1, None);
+        let c = w.channel::<u32>((0, 0, 0, 2));
+        assert!(c.try_pop().is_none());
+        c.push(&[7], 0.25);
+        c.push(&[8], 0.75);
+        let (buf, arrival) = c.try_pop().expect("message delivered");
+        assert_eq!((buf.as_slice(), arrival), ([7].as_slice(), 0.25));
+        c.recycle(buf);
+        let (buf, _) = c.try_pop().expect("second message delivered");
+        assert_eq!(buf.as_slice(), [8].as_slice());
+        c.recycle(buf);
+        assert!(c.try_pop().is_none());
+    }
+
+    #[test]
+    fn poll_any_reports_first_ready_channel() {
+        let w = WorldState::new(1, None);
+        let a = w.channel::<u8>((0, 0, 0, 10));
+        let b = w.channel::<u8>((0, 0, 0, 11));
+        let ids = [a.id(), b.id()];
+        assert_eq!(WorldState::poll_any(&ids), None);
+        b.push(&[1], 0.0);
+        assert_eq!(WorldState::poll_any(&ids), Some(1));
+        a.push(&[2], 0.0);
+        assert_eq!(WorldState::poll_any(&ids), Some(0));
+    }
+
+    #[test]
+    fn wait_any_parks_on_the_set_and_wakes_on_either_channel() {
+        // the receiver parks on BOTH channels; a deposit into the second
+        // one (registered last) must wake it — the park is on the set, not
+        // on any single channel's condvar
+        let w = WorldState::new(1, None);
+        let a = w.channel::<u8>((0, 0, 0, 20));
+        let b = w.channel::<u8>((0, 0, 0, 21));
+        let w2 = Arc::clone(&w);
+        let (aid, bid) = (a.id(), b.id());
+        let t = std::thread::spawn(move || w2.wait_any(0, &[aid, bid]));
+        // let the receiver get past the spin phase and genuinely park
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        b.push(&[9], 0.0);
+        assert_eq!(t.join().unwrap(), 1);
+        b.try_pop()
+            .expect("wait_any leaves the message on the channel");
+        // and again for the other channel, now that the wait set is warm
+        let (aid, bid) = (a.id(), b.id());
+        let w2 = Arc::clone(&w);
+        let t = std::thread::spawn(move || w2.wait_any(0, &[aid, bid]));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        a.push(&[3], 0.0);
+        assert_eq!(t.join().unwrap(), 0);
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! `NeighborBatch` holding every level's collective**: the batch plans all
 //! levels up front, carves each a private tag namespace, derives every
 //! rank's routing in one fused sweep, and registers all levels' channels
-//! in a single pass; every level's exchange is then live at once. The
+//! in a single pass; one **`start_all`** posts every level's exchange and
+//! a **`wait_any`** loop retires each level the moment its traffic lands,
+//! running its SpMV while slower levels are still in flight. The
 //! distributed SpMV results are checked against the serial operator, and
 //! the per-level communication statistics are reported.
 //!
@@ -101,28 +103,33 @@ fn main() {
         let comm = ctx.comm_world();
         let me = ctx.rank();
         // MPI_Neighbor_alltoallv_init × n_levels, as one operation
-        let mut reqs = batch.init_all(ctx, &comm);
-        // start every level's exchange before completing any — the
-        // overlap a V-cycle's restriction/prolongation traffic exhibits
-        let inputs: Vec<Vec<f64>> = reqs
+        let mut session = batch.init_all(ctx, &comm);
+        // post every level's exchange with ONE call, then retire levels as
+        // their traffic lands: wait_any completes whichever level's halo
+        // finishes first, and its SpMV runs while slower levels' messages
+        // are still in flight — the overlap the paper's persistent
+        // collectives exist to expose. No level's compute ever waits on a
+        // level it does not depend on.
+        let inputs: Vec<Vec<f64>> = session
+            .requests()
             .iter()
             .enumerate()
             .map(|(lvl, req)| req.input_index().iter().map(|&i| xs[lvl][i]).collect())
             .collect();
-        for (req, input) in reqs.iter_mut().zip(&inputs) {
-            req.start(ctx, input);
+        let mut ghosts: Vec<Vec<f64>> = session
+            .requests()
+            .iter()
+            .map(|req| vec![0.0; req.output_index().len()])
+            .collect();
+        session.start_all(ctx, &inputs);
+        let mut ys: Vec<Vec<f64>> = vec![Vec::new(); session.len()];
+        while session.in_flight() > 0 {
+            let lvl = session.wait_any(ctx, &mut ghosts);
+            let range = dist.levels[lvl].part.range(me);
+            // ghosts arrive ordered by global index = col_map_offd order
+            ys[lvl] = pars[lvl][me].spmv(&xs[lvl][range], &ghosts[lvl]);
         }
-        // complete each level and run its local SpMV piece
-        reqs.iter_mut()
-            .enumerate()
-            .map(|(lvl, req)| {
-                let mut ghost = vec![0.0; req.output_index().len()];
-                req.wait(ctx, &mut ghost);
-                let range = dist.levels[lvl].part.range(me);
-                // ghosts arrive ordered by global index = col_map_offd order
-                pars[lvl][me].spmv(&xs[lvl][range], &ghost)
-            })
-            .collect::<Vec<Vec<f64>>>()
+        ys
     });
 
     for (lvl, dlvl) in dist.levels.iter().enumerate() {
@@ -139,8 +146,9 @@ fn main() {
         assert!(max_err < 1e-12, "level {lvl} SpMV mismatch: {max_err}");
     }
     println!(
-        "\nall {} levels exchanged through one NeighborBatch on one warm pool;",
+        "\nall {} levels posted with one start_all and retired by wait_any in",
         dist.n_levels()
     );
+    println!("delivery order, each level's SpMV overlapping the others' traffic;");
     println!("every distributed SpMV matches the serial operator bit-for-bit ✓");
 }

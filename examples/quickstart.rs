@@ -85,29 +85,47 @@ fn main() {
     // Real workloads keep many collectives live at once (one per AMG
     // level): NeighborBatch is the session that owns all of them —
     // mixed backends included — and init_all registers the whole set in
-    // one pass. Each entry behaves exactly like its independent
-    // NeighborAlltoallv counterpart.
+    // one pass, returning a BatchRequest. Its completion-driven verbs
+    // drive the set as one: start_all posts every entry's iteration, and
+    // wait_any retires whichever entry's traffic lands first — so the
+    // compute for a fast entry never waits behind a slow one.
     let second = CommPattern::example_2_1();
     let batch = NeighborBatch::new(&topo)
         .entry(&pattern, Backend::Protocol(Protocol::FullNeighbor))
         .entry(&second, Backend::Auto);
     let ok = World::run(8, |ctx| {
         let comm = ctx.comm_world();
-        let mut reqs = batch.init_all(ctx, &comm);
-        reqs.iter_mut().all(|req| {
-            let input: Vec<f64> = req
-                .input_index()
+        let mut session = batch.init_all(ctx, &comm);
+        let inputs: Vec<Vec<f64>> = session
+            .requests()
+            .iter()
+            .map(|req| {
+                req.input_index()
+                    .iter()
+                    .map(|&i| 100.0 + i as f64)
+                    .collect()
+            })
+            .collect();
+        let mut outputs: Vec<Vec<f64>> = session
+            .requests()
+            .iter()
+            .map(|req| vec![0.0; req.output_index().len()])
+            .collect();
+        session.start_all(ctx, &inputs); // MPI_Startall over whole collectives
+        let mut ok = true;
+        while session.in_flight() > 0 {
+            // MPI_Waitany over whole collectives: entries retire in
+            // delivery order; per-entry compute goes right here
+            let e = session.wait_any(ctx, &mut outputs);
+            ok &= session
+                .entry(e)
+                .output_index()
                 .iter()
-                .map(|&i| 100.0 + i as f64)
-                .collect();
-            let mut output = vec![0.0; req.output_index().len()];
-            req.start_wait(ctx, &input, &mut output);
-            req.output_index()
-                .iter()
-                .zip(&output)
-                .all(|(&i, &v)| v == 100.0 + i as f64)
-        })
+                .zip(&outputs[e])
+                .all(|(&i, &v)| v == 100.0 + i as f64);
+        }
+        ok
     });
     assert!(ok.iter().all(|&b| b));
-    println!("batched 2 live collectives through one NeighborBatch session ✓");
+    println!("batched 2 live collectives through one start_all/wait_any session ✓");
 }

@@ -9,7 +9,15 @@
 //! A second property pins the [`NeighborBatch`] session API to the same
 //! reference: a batch of N random (pattern, backend) entries — planned,
 //! tagged, and staged together, spawned and pooled — must deliver
-//! byte-identical outputs to N independent `NeighborAlltoallv` inits.
+//! byte-identical outputs to N independent `NeighborAlltoallv` inits,
+//! **whichever lifecycle drives it**: the completion-driven
+//! `start_all`/`wait_any` retire loop (entries complete in delivery
+//! order) and `start_all`/`wait_all` are both pinned against the
+//! independent `start_wait` reference.
+//!
+//! A final deterministic test pins `wait_any`'s ordering contract itself:
+//! entries retire in **delivery** order, not init order, under a skewed
+//! modeled topology whose send order is forced by out-of-band handshakes.
 
 use locality::Topology;
 use mpi_advance::{Backend, CommPattern, NeighborAlltoallv, NeighborBatch, Protocol};
@@ -120,27 +128,51 @@ const ALL_BACKENDS: [Backend; 7] = [
     Backend::Auto,
 ];
 
+/// Which session lifecycle drives a batch's iterations.
+#[derive(Clone, Copy, Debug)]
+enum Lifecycle {
+    /// `start_all` then one `wait_all` (internally a wait-any loop).
+    WaitAll,
+    /// `start_all` then an explicit `wait_any` retire loop — the
+    /// completion-driven shape, entries retiring in delivery order.
+    WaitAny,
+}
+
 /// One rank's SPMD body over a whole batch: two iterations per entry,
-/// entries started together (the live-together shape batches exist for),
-/// raw output bits per entry per iteration.
+/// entries started together (the live-together shape sessions exist for)
+/// and retired through the given lifecycle, raw output bits per entry per
+/// iteration.
 fn batch_body(
     batch: &NeighborBatch,
+    lifecycle: Lifecycle,
     ctx: &mut mpisim::RankCtx,
     comm: &mpisim::Comm,
 ) -> Vec<Vec<Vec<u64>>> {
-    let mut reqs = batch.init_all(ctx, comm);
-    let mut per_entry: Vec<Vec<Vec<u64>>> = vec![Vec::new(); reqs.len()];
+    let mut session = batch.init_all(ctx, comm);
+    let mut per_entry: Vec<Vec<Vec<u64>>> = vec![Vec::new(); session.len()];
     for it in 0..2u64 {
-        let inputs: Vec<Vec<f64>> = reqs
+        let inputs: Vec<Vec<f64>> = session
+            .requests()
             .iter()
             .map(|r| r.input_index().iter().map(|&i| value(i, it)).collect())
             .collect();
-        for (r, input) in reqs.iter_mut().zip(&inputs) {
-            r.start(ctx, input);
+        let mut outputs: Vec<Vec<f64>> = session
+            .requests()
+            .iter()
+            .map(|r| vec![f64::NAN; r.output_index().len()])
+            .collect();
+        session.start_all(ctx, &inputs);
+        match lifecycle {
+            Lifecycle::WaitAll => session.wait_all(ctx, &mut outputs),
+            Lifecycle::WaitAny => {
+                let mut retired = vec![false; session.len()];
+                while session.in_flight() > 0 {
+                    let e = session.wait_any(ctx, &mut outputs);
+                    assert!(!std::mem::replace(&mut retired[e], true), "entry {e} twice");
+                }
+            }
         }
-        for (e, r) in reqs.iter_mut().enumerate() {
-            let mut output = vec![f64::NAN; r.output_index().len()];
-            r.wait(ctx, &mut output);
+        for (e, output) in outputs.iter().enumerate() {
             per_entry[e].push(output.iter().map(|v| v.to_bits()).collect());
         }
     }
@@ -209,7 +241,9 @@ proptest! {
     /// A `NeighborBatch` of random (pattern, backend) entries delivers
     /// byte-identical outputs to the same entries initialized as N
     /// independent `NeighborAlltoallv` collectives — in a fresh spawned
-    /// world and as an epoch of a shared warm pool alike.
+    /// world and as an epoch of a shared warm pool alike, and through
+    /// **both** session lifecycles: the completion-driven
+    /// `start_all`/`wait_any` retire loop and `start_all`/`wait_all`.
     #[test]
     fn batch_matches_independent_inits(
         patterns in prop::collection::vec(arb_pattern(8), 1..4),
@@ -223,7 +257,8 @@ proptest! {
             .map(|(p, &b)| (p, ALL_BACKENDS[b]))
             .collect();
 
-        // reference: each entry as its own independent collective
+        // reference: each entry as its own independent collective, driven
+        // by N blocking start_waits
         let independent: Vec<Vec<Vec<Vec<u64>>>> = entries
             .iter()
             .map(|&(pattern, backend)| run_backend(pattern, &topo, backend))
@@ -233,39 +268,43 @@ proptest! {
         for &(pattern, backend) in &entries {
             batch = batch.entry(pattern, backend);
         }
-        let batched = World::run(8, |ctx| {
-            let comm = ctx.comm_world();
-            batch_body(&batch, ctx, &comm)
-        });
         let pool = World::pool(8);
-        let pooled = pool.run(|ctx| {
-            let comm = ctx.comm_world();
-            batch_body(&batch, ctx, &comm)
-        });
+        for lifecycle in [Lifecycle::WaitAny, Lifecycle::WaitAll] {
+            let batched = World::run(8, |ctx| {
+                let comm = ctx.comm_world();
+                batch_body(&batch, lifecycle, ctx, &comm)
+            });
+            let pooled = pool.run(|ctx| {
+                let comm = ctx.comm_world();
+                batch_body(&batch, lifecycle, ctx, &comm)
+            });
 
-        for (rank, per_entry) in batched.iter().enumerate() {
-            prop_assert_eq!(per_entry.len(), entries.len());
-            for (e, iters) in per_entry.iter().enumerate() {
-                for (it, bits) in iters.iter().enumerate() {
-                    prop_assert_eq!(
-                        bits,
-                        &independent[e][rank][it],
-                        "batch entry {} ({:?}) diverged from its independent init \
-                         at rank {} iteration {}",
-                        e,
-                        entries[e].1,
-                        rank,
-                        it
-                    );
-                    prop_assert_eq!(
-                        &pooled[rank][e][it],
-                        bits,
-                        "pooled batch diverged from spawned batch at entry {} rank {} \
-                         iteration {}",
-                        e,
-                        rank,
-                        it
-                    );
+            for (rank, per_entry) in batched.iter().enumerate() {
+                prop_assert_eq!(per_entry.len(), entries.len());
+                for (e, iters) in per_entry.iter().enumerate() {
+                    for (it, bits) in iters.iter().enumerate() {
+                        prop_assert_eq!(
+                            bits,
+                            &independent[e][rank][it],
+                            "{:?} batch entry {} ({:?}) diverged from its independent \
+                             init at rank {} iteration {}",
+                            lifecycle,
+                            e,
+                            entries[e].1,
+                            rank,
+                            it
+                        );
+                        prop_assert_eq!(
+                            &pooled[rank][e][it],
+                            bits,
+                            "{:?} pooled batch diverged from spawned batch at entry {} \
+                             rank {} iteration {}",
+                            lifecycle,
+                            e,
+                            rank,
+                            it
+                        );
+                    }
                 }
             }
         }
@@ -301,7 +340,7 @@ fn mixed_backend_batch_matches_direct_exchange() {
 
     let got = World::run(8, |ctx| {
         let comm = ctx.comm_world();
-        batch_body(&batch, ctx, &comm)
+        batch_body(&batch, Lifecycle::WaitAny, ctx, &comm)
     });
     for (rank, per_entry) in got.iter().enumerate() {
         for (e, iters) in per_entry.iter().enumerate() {
@@ -314,4 +353,67 @@ fn mixed_backend_batch_matches_direct_exchange() {
             }
         }
     }
+}
+
+/// `wait_any` must retire entries in **delivery** order, not init order.
+///
+/// Deterministic by construction: on a skewed modeled topology (two nodes
+/// joined by a slow postal link), rank 1 starts the *last* entry first and
+/// gates the first entry's start on an out-of-band ack that rank 0 sends
+/// only after `wait_any` has retired the last entry — so at rank 0's first
+/// `wait_any`, entry 1's traffic is the only traffic in the world, and at
+/// its second, entry 0's is. An init-order (or channel-registration-order)
+/// wait would block on entry 0 and deadlock; completing in delivery order
+/// is what makes the skew harmless.
+#[test]
+fn wait_any_retires_entries_in_delivery_order() {
+    use std::sync::Arc;
+
+    // entry 0: rank 1 owns index 10, sends it to rank 0
+    // entry 1: rank 1 owns index 20, sends it to rank 0
+    let a = CommPattern::new(2, vec![vec![], vec![(0, vec![10])]]);
+    let b = CommPattern::new(2, vec![vec![], vec![(0, vec![20])]]);
+    let topo = Topology::block_nodes(2, 1); // one rank per node: inter-node link
+    let batch = NeighborBatch::new(&topo)
+        .entry(&a, Backend::Protocol(Protocol::StandardNeighbor))
+        .entry(&b, Backend::Protocol(Protocol::StandardNeighbor))
+        // pin the collective tag namespace away from the plain-send ack tag
+        .tag_base(1 << 12);
+    const ACK: u64 = 7;
+
+    let model = Arc::new(perfmodel::PostalModel::new(5e-6, 2e-9));
+    let orders = mpisim::World::run_modeled(topo.clone(), model, |ctx| {
+        let comm = ctx.comm_world();
+        let mut session = batch.init_all(ctx, &comm);
+        let mut outputs: Vec<Vec<f64>> = session
+            .requests()
+            .iter()
+            .map(|r| vec![f64::NAN; r.output_index().len()])
+            .collect();
+        if ctx.rank() == 0 {
+            // receiver: both entries posted up front, in init order
+            session.start(ctx, 0, &[]);
+            session.start(ctx, 1, &[]);
+            let first = session.wait_any(ctx, &mut outputs);
+            ctx.send(&comm, 1, ACK, &[1u8]); // release entry 0's traffic
+            let second = session.wait_any(ctx, &mut outputs);
+            assert_eq!(outputs[0], vec![10.0]);
+            assert_eq!(outputs[1], vec![20.0]);
+            vec![first, second]
+        } else {
+            // sender: entry 1 (init-order LAST) goes first; entry 0 only
+            // after rank 0 has demonstrably retired entry 1
+            session.start(ctx, 1, &[20.0]);
+            let _: Vec<u8> = ctx.recv(&comm, 0, ACK);
+            session.start(ctx, 0, &[10.0]);
+            let first = session.wait_any(ctx, &mut outputs);
+            let second = session.wait_any(ctx, &mut outputs);
+            vec![first, second]
+        }
+    });
+    assert_eq!(
+        orders[0],
+        vec![1, 0],
+        "wait_any must follow delivery order, not init order"
+    );
 }
