@@ -1,6 +1,6 @@
 # Developer entry points. `make tier1` mirrors the CI verify exactly.
 
-.PHONY: tier1 build test test-all fmt clippy lint bench bench-steady bench-smoke bench-baseline bench-check
+.PHONY: tier1 build test test-all fmt clippy lint bench bench-steady bench-smoke bench-baseline bench-check bench-transport
 
 tier1: ## the repository's tier-1 verify
 	cargo build --release && cargo test -q
@@ -31,20 +31,38 @@ bench:
 bench-steady:
 	cargo bench -p bench_suite --bench protocols -- steady_state
 
+# the steady_state_8proc deployment pair: the same steady-state exchange
+# with ranks as 8 real OS processes on the /dev/shm fabric vs one pooled
+# thread world, then the process/thread ratio report (REPORT-only — see
+# scripts/bench_compare --transport; no committed baseline because
+# multi-process timings are machine-sensitive)
+bench-transport:
+	BENCH_JSON=/tmp/BENCH_transport.json cargo bench -p bench_suite --bench transport
+	scripts/bench_compare /tmp/BENCH_transport.json
+
 # compile and execute every bench binary once (criterion --test smoke
-# mode) — including the pooled steady-state group and the
-# batch_init_256ranks batch-vs-per-pattern pair and the overlap_32ranks
-# wait_any-vs-wait_all lifecycle pair; run on every PR by CI so benches
-# cannot rot
+# mode) — including the pooled steady-state group, the
+# batch_init_256ranks batch-vs-per-pattern pair, the overlap_32ranks
+# wait_any-vs-wait_all lifecycle pair, and the steady_state_8proc
+# thread-vs-process pair (which spawns 8 real worker processes); run on
+# every PR by CI so benches cannot rot
 bench-smoke:
 	cargo bench -p bench_suite --benches -- --test
 
-# refresh the committed wall-clock baseline
+# refresh the committed wall-clock baseline: the protocols bench plus the
+# steady_state_8proc deployment group (each bench binary overwrites
+# BENCH_JSON wholesale, so each runs into its own file and the results
+# merge)
 bench-baseline:
-	BENCH_JSON=$(CURDIR)/BENCH_protocols.json cargo bench -p bench_suite --bench protocols
+	BENCH_JSON=/tmp/BENCH_protocols.part.json cargo bench -p bench_suite --bench protocols
+	BENCH_JSON=/tmp/BENCH_transport.part.json cargo bench -p bench_suite --bench transport
+	scripts/bench_merge /tmp/BENCH_protocols.part.json /tmp/BENCH_transport.part.json > $(CURDIR)/BENCH_protocols.json
 
-# full protocols bench vs the committed baseline; fails on >10% median
-# regressions (scripts/bench_compare)
+# full protocols + transport benches vs the committed baseline; fails on
+# >10% median regressions (scripts/bench_compare) — except the deployment
+# groups, whose multi-process medians are load-sensitive and report-only
 bench-check:
-	BENCH_JSON=/tmp/BENCH_protocols.new.json cargo bench -p bench_suite --bench protocols
+	BENCH_JSON=/tmp/BENCH_protocols.new.part.json cargo bench -p bench_suite --bench protocols
+	BENCH_JSON=/tmp/BENCH_transport.new.part.json cargo bench -p bench_suite --bench transport
+	scripts/bench_merge /tmp/BENCH_protocols.new.part.json /tmp/BENCH_transport.new.part.json > /tmp/BENCH_protocols.new.json
 	scripts/bench_compare $(CURDIR)/BENCH_protocols.json /tmp/BENCH_protocols.new.json

@@ -1,0 +1,140 @@
+//! Thread-vs-process transport cost: the `steady_state_8proc` group runs
+//! the same steady-state workload — 100 `start_wait` iterations of the
+//! busiest AMG-level pattern at 8 ranks — twice per backend:
+//!
+//! * `process_<backend>`: ranks are **real OS processes** on the
+//!   cross-process shared-memory fabric ([`World::spawn_processes`]).
+//!   This binary re-execs itself once per worker rank; workers loop in
+//!   [`ProcWorld::serve`] over a fixed job table while rank 0 drives one
+//!   [`ProcWorld::epoch_job`] per criterion iteration, so the measured
+//!   cost is the epoch protocol plus the exchange itself — no process
+//!   spawning on the hot path.
+//! * `thread_<backend>`: the identical body on one warm in-process pool
+//!   ([`World::pool`]), the same shape as the protocols bench's
+//!   `steady_state_32ranks` group.
+//!
+//! `scripts/bench_compare` pairs the two sides and REPORTS the
+//! process/thread ratio without gating it — crossing real address spaces
+//! over /dev/shm rings is allowed to cost more than in-process handoff;
+//! the ratio is tracked, not enforced. Run `make bench-transport` for the
+//! paired report.
+//!
+//! SPMD determinism: every process (driver and re-execed workers) builds
+//! the same collectives and forces their resolution — including the tag
+//! lease from the process-global tag space — *before* the world spawns,
+//! so all ranks agree on every tag base without sharing memory. The
+//! driver's extra thread-pool benches reuse the already-resolved
+//! builders, so they cannot skew its lease order.
+
+use bench_suite::workload::{level_patterns, paper_hierarchy};
+use criterion::{BenchmarkId, Criterion};
+use locality::Topology;
+use mpi_advance::{CommPattern, NeighborAlltoallv, Protocol};
+use mpisim::{ProcWorld, RankCtx, World};
+
+/// One entry of the workers' serve-job table (borrows the collectives).
+type Job<'a> = Box<dyn Fn(&mut RankCtx) + 'a>;
+
+const RANKS: usize = 8;
+const PPN: usize = 4;
+/// Iterations per epoch/sample, matching the protocols bench's pooled
+/// steady-state group: enough to make epoch dispatch negligible against
+/// transport.
+const STEADY_ITERS: usize = 100;
+
+/// The level with the most messages at 8 ranks — the same
+/// communication-dominated shape the protocols bench measures at 32.
+fn busiest_pattern() -> CommPattern {
+    let h = paper_hierarchy(128, 64);
+    level_patterns(&h, RANKS)
+        .into_iter()
+        .max_by_key(|lp| lp.pattern.total_msgs())
+        .expect("hierarchy has levels")
+        .pattern
+}
+
+/// The two ends of the paper's protocol spectrum: the Hypre baseline and
+/// the fully optimized neighborhood collective. Two backends keep the
+/// 8-process fleet's wall clock in check; the full sweep lives in the
+/// protocols bench.
+fn backends() -> Vec<(String, Protocol)> {
+    [Protocol::StandardHypre, Protocol::FullNeighbor]
+        .into_iter()
+        .map(|p| (p.label().replace(' ', "_"), p))
+        .collect()
+}
+
+/// One steady-state sample: init once, then `STEADY_ITERS` exchanges.
+/// Identical for worker serve jobs, driver epochs, and the thread pool.
+fn steady_body(coll: &NeighborAlltoallv, ctx: &mut RankCtx) -> f64 {
+    let comm = ctx.comm_world();
+    let mut nb = coll.init(ctx, &comm);
+    let input: Vec<f64> = nb.input_index().iter().map(|&i| i as f64).collect();
+    let mut output = vec![0.0; nb.output_index().len()];
+    for _ in 0..STEADY_ITERS {
+        nb.start_wait(ctx, &input, &mut output);
+    }
+    output.first().copied().unwrap_or(0.0)
+}
+
+fn bench_transport(c: &mut Criterion, world: &ProcWorld, colls: &[(String, NeighborAlltoallv)]) {
+    let mut group = c.benchmark_group("steady_state_8proc");
+    group.sample_size(10);
+
+    for (job, (label, coll)) in colls.iter().enumerate() {
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("process_{label}")),
+            |b| b.iter(|| world.epoch_job(job, |ctx| steady_body(coll, ctx))),
+        );
+    }
+
+    let pool = World::pool(RANKS);
+    for (label, coll) in colls {
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("thread_{label}")),
+            |b| b.iter(|| pool.run(|ctx| steady_body(coll, ctx))),
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    // identical deterministic setup in every process, BEFORE the world
+    // spawns: plan() resolves each builder — leasing its tag base from
+    // this process's fresh tag space — so driver and workers carve the
+    // same namespaces in the same order
+    let pattern = busiest_pattern();
+    let topo = Topology::block_nodes(RANKS, PPN);
+    let colls: Vec<(String, NeighborAlltoallv)> = backends()
+        .into_iter()
+        .map(|(label, p)| {
+            let coll = NeighborAlltoallv::new(&pattern, &topo).protocol(p);
+            coll.plan();
+            (label, coll)
+        })
+        .collect();
+
+    let world = World::spawn_processes(RANKS);
+    if world.rank() != 0 {
+        // worker: serve the job table until rank 0's stop command, then
+        // drop the world (which exits the process)
+        let jobs: Vec<Job<'_>> = colls
+            .iter()
+            .map(|(_, coll)| {
+                Box::new(move |ctx: &mut RankCtx| {
+                    steady_body(coll, ctx);
+                }) as Job<'_>
+            })
+            .collect();
+        let table: Vec<&dyn Fn(&mut RankCtx)> = jobs.iter().map(|j| j.as_ref()).collect();
+        world.serve(&table);
+        drop(world);
+        return;
+    }
+
+    // driver: rank 0 runs criterion (honoring --test smoke mode and name
+    // filters) and stops the worker fleet when the world drops
+    let mut c = Criterion::default();
+    bench_transport(&mut c, &world, &colls);
+    c.finalize();
+}

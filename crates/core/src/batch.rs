@@ -373,7 +373,7 @@ impl<'a> NeighborBatch<'a> {
                 Some(Arc::new(TagSpace::global().pin(base, n))),
             ),
             None => {
-                let lease = TagSpace::global().lease(n);
+                let lease = TagSpace::global().lease_for(n, &format!("NeighborBatch[{n} entries]"));
                 (
                     (0..n as usize).map(|i| lease.entry_base(i)).collect(),
                     Some(Arc::new(lease)),

@@ -92,6 +92,14 @@ impl TagSpace {
     /// the request — more than [`CAPACITY`] spans live, or no fresh space
     /// and no freed range of exactly `spans` spans.
     pub fn lease(self: &Arc<Self>, spans: u64) -> TagLease {
+        self.lease_for(spans, "collective")
+    }
+
+    /// [`TagSpace::lease`] with a named owner: the exhaustion panic then
+    /// says WHOSE lease pushed the pool over — with hundreds of live
+    /// collectives, "tag space exhausted" alone doesn't tell the caller
+    /// which batch to drop.
+    pub fn lease_for(self: &Arc<Self>, spans: u64, owner: &str) -> TagLease {
         assert!(spans > 0, "a lease needs at least one span");
         let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         let base = if let Some(base) = st.free.get_mut(&spans).and_then(|v| v.pop()) {
@@ -116,9 +124,10 @@ impl TagSpace {
             }
             assert!(
                 st.next + spans <= CAPACITY,
-                "tag space exhausted: {} spans live, {spans} more requested \
-                 (capacity {CAPACITY}); too many simultaneously live collectives \
-                 — drop finished builders/batches so their leases free",
+                "tag space exhausted leasing for {owner}: {} spans live, {spans} \
+                 more requested (capacity {CAPACITY}); too many simultaneously \
+                 live collectives — drop finished builders/batches so their \
+                 leases free",
                 st.live,
             );
             let b = SPAN + st.next * SPAN;
@@ -270,12 +279,31 @@ mod tests {
     /// Regression for the pre-batch `alloc_tag_base` hazard: the global
     /// atomic wrapped after [`CAPACITY`] allocations, so the 512th *live*
     /// collective silently aliased the first one's tag range. The
-    /// allocator must refuse loudly instead.
+    /// allocator must refuse loudly instead — and the diagnostic must say
+    /// WHOSE lease overflowed the pool, how big it was, and how many spans
+    /// were already live, so the caller knows which batch to drop.
     #[test]
-    #[should_panic(expected = "tag space exhausted")]
     fn span_512_live_panics_instead_of_wrapping() {
         let pool = TagSpace::new();
-        let _live: Vec<TagLease> = (0..CAPACITY).map(|_| pool.lease(1)).collect();
-        let _overflow = pool.lease(1); // the old allocator handed back base 0's span here
+        let _live: Vec<TagLease> = (0..CAPACITY - 1).map(|_| pool.lease(1)).collect();
+        let pool2 = Arc::clone(&pool);
+        // a 3-span batch lease where only 1 span remains (the old
+        // allocator handed back base 0's span here)
+        let err = std::thread::spawn(move || {
+            let _overflow = pool2.lease_for(3, "NeighborBatch[3 entries]");
+        })
+        .join()
+        .expect_err("overflow lease must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload is a formatted message");
+        for needle in [
+            "tag space exhausted",
+            "NeighborBatch[3 entries]",
+            &format!("{} spans live", CAPACITY - 1),
+            "3 more requested",
+        ] {
+            assert!(msg.contains(needle), "diagnostic {msg:?} lacks {needle:?}");
+        }
     }
 }

@@ -2,7 +2,8 @@
 
 use crate::comm::{Comm, USER_TAG_LIMIT};
 use crate::elem::{elem_bytes, Elem};
-use crate::state::{Envelope, WorldState};
+use crate::state::{Envelope, Payload, WorldState};
+use crate::transport::PayloadMode;
 use std::sync::Arc;
 
 /// Handle through which a rank's SPMD closure talks to the world.
@@ -113,7 +114,7 @@ impl RankCtx {
     /// lifecycle (`NeighborRequest::test`) is built on this plus
     /// [`crate::RecvChan::try_take`].
     pub fn poll_any(&self, chans: &[crate::ChanId]) -> Option<usize> {
-        crate::state::WorldState::poll_any(chans)
+        self.world.poll_any(self.rank, chans)
     }
 
     /// Block until **some** channel of the set has a message and return its
@@ -148,15 +149,19 @@ impl RankCtx {
         // simplicity the full postal time is charged (α-dominated patterns
         // make the distinction immaterial at the scales studied here).
         let arrival = self.charge_send(dst_world, bytes);
+        let payload = match self.world.payload_mode() {
+            PayloadMode::Typed => Payload::typed(data.to_vec()),
+            PayloadMode::Bytes => Payload::bytes_from(data),
+        };
         self.world.deposit(
+            self.rank,
             dst_world,
             Envelope {
                 ctx_id: comm.ctx_id,
                 src: comm.rank(),
                 tag,
                 arrival,
-                payload: Box::new(data.to_vec()),
-                type_name: std::any::type_name::<T>(),
+                payload,
             },
         );
     }
@@ -175,11 +180,10 @@ impl RankCtx {
             .world
             .match_recv(self.rank, comm.ctx_id, src, comm.rank(), tag);
         self.clock = self.clock.max(env.arrival) + self.model_match_time(searched);
-        let tn = env.type_name;
-        *env.payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
+        env.payload.take::<T>().unwrap_or_else(|sent| {
             panic!(
                 "datatype mismatch receiving from rank {src} tag {tag}: \
-                 sent {tn}, receiving {}",
+                 sent {sent}, receiving {}",
                 std::any::type_name::<T>()
             )
         })

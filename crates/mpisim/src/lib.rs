@@ -49,6 +49,7 @@ pub mod persistent;
 pub mod runtime;
 pub mod state;
 pub mod topology;
+pub mod transport;
 
 pub use nonblocking::IrecvReq;
 pub use partitioned::{PrecvReq, PsendReq};
@@ -60,3 +61,4 @@ pub use persistent::{RecvChan, RecvReq, Request, SendChan, SendReq, SharedBuf};
 pub use runtime::{World, WorldPool};
 pub use state::{ChanId, ChanRegistrar};
 pub use topology::{DistGraphComm, GraphCreateStrategy};
+pub use transport::proc::ProcWorld;

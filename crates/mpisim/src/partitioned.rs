@@ -265,7 +265,12 @@ impl ChanRegistrar<'_> {
         validate_bounds(&bounds, buf.read().len());
         let n_parts = bounds.len() - 1;
         let chans = (0..n_parts)
-            .map(|p| self.channel((comm.ctx_id, comm.rank(), dst, part_tag(tag, p))))
+            .map(|p| {
+                self.channel_sized(
+                    (comm.ctx_id, comm.rank(), dst, part_tag(tag, p)),
+                    bounds[p + 1] - bounds[p],
+                )
+            })
             .collect();
         PsendReq {
             dst_world: comm.world_rank(dst),
@@ -292,7 +297,12 @@ impl ChanRegistrar<'_> {
         validate_bounds(&bounds, buf.read().len());
         let n_parts = bounds.len() - 1;
         let chans = (0..n_parts)
-            .map(|p| self.channel((comm.ctx_id, src, comm.rank(), part_tag(tag, p))))
+            .map(|p| {
+                self.channel_sized(
+                    (comm.ctx_id, src, comm.rank(), part_tag(tag, p)),
+                    bounds[p + 1] - bounds[p],
+                )
+            })
             .collect();
         PrecvReq {
             comm: comm.clone(),

@@ -365,7 +365,7 @@ impl ChanRegistrar<'_> {
         SendChan {
             dst,
             dst_world: comm.world_rank(dst),
-            chan: self.channel((comm.ctx_id, comm.rank(), dst, tag)),
+            chan: self.channel_sized((comm.ctx_id, comm.rank(), dst, tag), len),
             len,
         }
     }
@@ -387,7 +387,7 @@ impl ChanRegistrar<'_> {
             comm: comm.clone(),
             src,
             tag,
-            chan: self.channel((comm.ctx_id, src, comm.rank(), tag)),
+            chan: self.channel_sized((comm.ctx_id, src, comm.rank(), tag), len),
             len,
             started: false,
         }

@@ -4,6 +4,8 @@
 
 use crate::ctx::RankCtx;
 use crate::state::{ModelCtx, WorldState};
+use crate::transport::shm::ShmTransport;
+use crate::transport::Transport;
 use locality::Topology;
 use parking_lot::{Condvar, Mutex};
 use perfmodel::CostModel;
@@ -23,7 +25,38 @@ impl World {
         F: Fn(&mut RankCtx) -> R + Send + Sync,
         R: Send,
     {
+        if std::env::var("MPISIM_TRANSPORT").as_deref() == Ok("shm") {
+            return Self::run_shm(n_ranks, f);
+        }
         Self::launch(WorldState::new(n_ranks, None), f)
+    }
+
+    /// [`World::run`] over the cross-process shared-memory fabric, with the
+    /// ranks still living as threads of this process — the shm transport
+    /// (rings, futex parking, byte payloads) under test without process
+    /// management. Also reachable from [`World::run`] via
+    /// `MPISIM_TRANSPORT=shm`. For ranks as real OS processes, use
+    /// [`World::spawn_processes`].
+    pub fn run_shm<F, R>(n_ranks: usize, f: F) -> Vec<R>
+    where
+        F: Fn(&mut RankCtx) -> R + Send + Sync,
+        R: Send,
+    {
+        let t = ShmTransport::create(n_ranks);
+        // all ranks are threads of this process: nobody will attach by
+        // path, so drop the name immediately (the mapping lives on)
+        t.segment().unlink();
+        let t: Arc<dyn Transport> = t;
+        Self::launch(WorldState::with_transport(n_ranks, None, t), f)
+    }
+
+    /// Launch `n_ranks` as separate OS processes over the shared-memory
+    /// fabric and return this process's [`crate::ProcWorld`] handle. Rank 0
+    /// (the caller) re-execs itself `n_ranks - 1` times in a hidden worker
+    /// mode; workers never return from this call's epoch loop. See
+    /// [`crate::ProcWorld`] for the epoch protocol.
+    pub fn spawn_processes(n_ranks: usize) -> crate::ProcWorld {
+        crate::ProcWorld::launch(n_ranks)
     }
 
     /// Run with a cost model attached: each rank's virtual clock advances
@@ -43,7 +76,19 @@ impl World {
     /// [`WorldPool::run`] calls, so repeated closures measure transport,
     /// not thread startup.
     pub fn pool(n_ranks: usize) -> WorldPool {
+        if std::env::var("MPISIM_TRANSPORT").as_deref() == Ok("shm") {
+            return Self::pool_shm(n_ranks);
+        }
         WorldPool::launch(WorldState::new(n_ranks, None))
+    }
+
+    /// [`World::pool`] over the shared-memory fabric (ranks as threads of
+    /// this process; see [`World::run_shm`]).
+    pub fn pool_shm(n_ranks: usize) -> WorldPool {
+        let t = ShmTransport::create(n_ranks);
+        t.segment().unlink();
+        let t: Arc<dyn Transport> = t;
+        WorldPool::launch(WorldState::with_transport(n_ranks, None, t))
     }
 
     /// Pooled counterpart of [`World::run_modeled`]; each epoch's virtual
@@ -454,6 +499,50 @@ mod tests {
             }
         });
         assert_eq!(out[1], 1111 + 2222);
+    }
+
+    #[test]
+    fn shm_pool_drains_in_flight_traffic_after_panic() {
+        // the same failed-epoch drain guarantee over the shm fabric: the
+        // abandoned traffic lives in segment rings (persistent + mailbox)
+        // and — for the oversized payload — in the sender-side spill
+        // outbox, and all three must be gone before epoch 2 reuses the
+        // same signatures
+        let pool = World::pool_shm(2);
+        let big_len = 80_000usize; // u64s: ~640 KB, overflows the 256 KiB mailbox ring
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|ctx| {
+                let comm = ctx.comm_world();
+                if ctx.rank() == 0 {
+                    let send = ctx.send_chan_init::<u64>(&comm, 1, 3, 1);
+                    send.start_with(ctx, |b| b.push(111));
+                    ctx.send(&comm, 1, 4, &[222u64]);
+                    let big = vec![333u64; big_len];
+                    ctx.send(&comm, 1, 5, &big);
+                }
+                panic!("abandon epoch");
+            });
+        }));
+        assert!(r.is_err());
+        let out = pool.run(|ctx| {
+            let comm = ctx.comm_world();
+            if ctx.rank() == 0 {
+                let send = ctx.send_chan_init::<u64>(&comm, 1, 3, 1);
+                send.start_with(ctx, |b| b.push(1111));
+                ctx.send(&comm, 1, 4, &[2222u64]);
+                ctx.send(&comm, 1, 5, &[3333u64]);
+                0
+            } else {
+                let mut recv = ctx.recv_chan_init::<u64>(&comm, 0, 3, 1);
+                recv.start();
+                let a = recv.wait_with(ctx, |d| d[0]);
+                let b: Vec<u64> = ctx.recv(&comm, 0, 4);
+                let c: Vec<u64> = ctx.recv(&comm, 0, 5);
+                assert_eq!(c.len(), 1, "epoch 1's chunked payload leaked into epoch 2");
+                a + b[0] + c[0]
+            }
+        });
+        assert_eq!(out[1], 1111 + 2222 + 3333);
     }
 
     #[test]

@@ -1,13 +1,79 @@
-//! Shared world state: mailboxes, the matching engine, and the registry of
-//! pre-matched persistent channels.
+//! Shared world state: the matching engine and the registry of pre-matched
+//! persistent channels, expressed against a [`Transport`] fabric.
+//!
+//! `WorldState` owns the *semantics* — signature matching, the channel
+//! registry, the mixed plain/persistent-traffic diagnostics, failed-epoch
+//! draining — and delegates the *mechanics* of moving bytes (mailboxes,
+//! channel storage, parking/wakeups, death detection) to an
+//! `Arc<dyn Transport>`: the in-process [`ThreadTransport`] by default, or
+//! the cross-process shm fabric ([`crate::transport::shm::ShmTransport`]).
 
+use crate::elem::elem_bytes;
+use crate::transport::shm::ring::ShmChan;
+use crate::transport::thread::ThreadTransport;
+use crate::transport::{assert_pod, bytes_of, vec_extend_bytes, ShmChanRaw, Transport};
 use locality::Topology;
 use parking_lot::{Condvar, Mutex};
 use perfmodel::CostModel;
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// A plain-send payload, packaged the way the world's transport requires
+/// (see [`crate::transport::PayloadMode`]).
+pub(crate) enum Payload {
+    /// In-process: the `Vec<T>` itself behind a type-erased box. Zero
+    /// serialization; any `Elem` type travels.
+    Typed {
+        data: Box<dyn Any + Send>,
+        type_name: &'static str,
+    },
+    /// Cross-process: raw little-endian bytes plus the element type's name
+    /// (carried on the wire, so mismatch diagnostics survive the boundary).
+    /// Plain-old-data element types only.
+    Bytes { data: Vec<u8>, type_name: String },
+}
+
+impl Payload {
+    /// Package a payload for the in-process fabric.
+    pub fn typed<T: Clone + Send + 'static>(data: Vec<T>) -> Self {
+        Payload::Typed {
+            data: Box::new(data),
+            type_name: std::any::type_name::<T>(),
+        }
+    }
+
+    /// Package a payload for a byte fabric (serializes now, at the send
+    /// boundary). Panics for element types that cannot cross as raw bytes.
+    pub fn bytes_from<T>(data: &[T]) -> Self {
+        assert_pod::<T>("plain send over the shm transport");
+        Payload::Bytes {
+            data: bytes_of(data).to_vec(),
+            type_name: std::any::type_name::<T>().to_string(),
+        }
+    }
+
+    /// Recover the typed payload; `Err(sent_type_name)` when the receiver's
+    /// element type does not match what the sender packaged.
+    pub fn take<T: Clone + Send + 'static>(self) -> Result<Vec<T>, String> {
+        match self {
+            Payload::Typed { data, type_name } => data
+                .downcast::<Vec<T>>()
+                .map(|b| *b)
+                .map_err(|_| type_name.to_string()),
+            Payload::Bytes { data, type_name } => {
+                if type_name != std::any::type_name::<T>() {
+                    return Err(type_name);
+                }
+                assert_pod::<T>("plain receive over the shm transport");
+                let mut out = Vec::new();
+                vec_extend_bytes(&mut out, &data, &[]);
+                Ok(out)
+            }
+        }
+    }
+}
 
 /// A message in flight.
 pub(crate) struct Envelope {
@@ -18,13 +84,10 @@ pub(crate) struct Envelope {
     pub tag: u64,
     /// Modeled arrival time at the destination (0 when unmodeled).
     pub arrival: f64,
-    /// `Vec<T>` behind a type-erased box.
-    pub payload: Box<dyn Any + Send>,
-    /// Human-readable element type, for mismatch diagnostics.
-    pub type_name: &'static str,
+    pub payload: Payload,
 }
 
-/// Unexpected-message queue of one rank.
+/// Unexpected-message queue of one rank (the thread transport's storage).
 #[derive(Default)]
 pub(crate) struct Mailbox {
     pub queue: Mutex<VecDeque<Envelope>>,
@@ -42,25 +105,31 @@ pub(crate) struct ModelCtx {
 pub(crate) type ChanKey = (u64, usize, usize, u64);
 
 /// Registry slot: element type name (for mismatch diagnostics), the
-/// type-erased channel, its pending-message counter — readable without
-/// knowing `T`, so the plain mailbox path can detect mixed traffic — and
-/// a typed drain hook so the registry can discard undelivered payloads
-/// (after a panicked pool epoch) without knowing `T` either.
-type ChanSlot = (
-    &'static str,
-    Arc<dyn Any + Send + Sync>,
-    Arc<AtomicUsize>,
-    Arc<dyn Fn() + Send + Sync>,
-);
+/// type-erased channel, an untyped pending-message probe — so the plain
+/// mailbox path can detect mixed traffic without knowing `T` (for shm
+/// channels the count lives in the shared ring, hence a closure rather
+/// than a bare counter) — and a typed drain hook so the registry can
+/// discard undelivered payloads (after a panicked pool epoch) without
+/// knowing `T` either.
+#[derive(Clone)]
+struct ChanSlot {
+    type_name: &'static str,
+    chan: Arc<dyn Any + Send + Sync>,
+    pending: Arc<dyn Fn() -> usize + Send + Sync>,
+    drain: Arc<dyn Fn() + Send + Sync>,
+}
 
-/// The park-point of one rank's blocked `wait_any`: a seq counter bumped
-/// (with a wake) by every deposit into a channel the rank watches.
+/// The park-point of one rank's blocked `wait_any` on the thread fabric: a
+/// seq counter bumped (with a wake) by every deposit into a channel the
+/// rank watches.
 ///
 /// One `WaitSet` exists per world rank. A receiver that wants to block on
 /// a *set* of channels attaches its rank's wait set to each of them and
 /// parks here instead of on any single channel's condvar — so the first
 /// arrival on **any** watched channel wakes it, and receives complete in
 /// delivery order rather than the order the channels were initialized in.
+/// (The shm fabric's counterpart is the per-rank `ws_seq` futex word plus
+/// each ring's watcher slot.)
 pub(crate) struct WaitSet {
     /// Deposit generation: bumped under the lock by every push into a
     /// watched channel. The parking protocol re-reads it to close the
@@ -71,7 +140,7 @@ pub(crate) struct WaitSet {
 }
 
 impl WaitSet {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             seq: Mutex::new(0),
             cv: Condvar::new(),
@@ -79,19 +148,19 @@ impl WaitSet {
     }
 
     /// Current deposit generation. Read BEFORE scanning the channel set.
-    fn generation(&self) -> u64 {
+    pub(crate) fn generation(&self) -> u64 {
         *self.seq.lock()
     }
 
     /// Record one deposit and wake any parked receiver.
-    fn notify(&self) {
+    pub(crate) fn notify(&self) {
         *self.seq.lock() += 1;
         self.cv.notify_all();
     }
 
     /// Park until the generation moves past `seen`, invoking `stall_probe`
     /// periodically while blocked (same contract as [`Channel::pop_with`]).
-    fn park_past(&self, seen: u64, stall_probe: impl Fn()) {
+    pub(crate) fn park_past(&self, seen: u64, stall_probe: impl Fn()) {
         let mut seq = self.seq.lock();
         while *seq == seen {
             if self
@@ -117,23 +186,39 @@ impl WaitSet {
 pub struct ChanId {
     /// The channel's signature, for blocked-receive diagnostics (the
     /// mixed plain/persistent-traffic probe).
-    key: ChanKey,
-    /// The channel's lock-free pending counter (shared with its registry
-    /// slot): the poll fast path.
-    pending: Arc<AtomicUsize>,
-    /// The channel's watcher slot; attaching a rank's [`WaitSet`] routes
-    /// every subsequent deposit's wake to that rank's park point.
-    watcher: Arc<Mutex<Option<Arc<WaitSet>>>>,
+    pub(crate) key: ChanKey,
+    imp: ChanIdImp,
+}
+
+#[derive(Clone)]
+enum ChanIdImp {
+    /// Thread fabric: the channel's lock-free pending counter (the poll
+    /// fast path) and its watcher slot for [`WaitSet`] routing.
+    Thread {
+        pending: Arc<AtomicUsize>,
+        watcher: Arc<Mutex<Option<Arc<WaitSet>>>>,
+    },
+    /// Shm fabric: the ring itself — its message count is the cross-process
+    /// poll fast path, its watcher word routes deposit wakes.
+    Shm(ShmChanRaw),
 }
 
 impl ChanId {
     /// Would a non-blocking pop on this channel succeed right now?
     pub fn ready(&self) -> bool {
-        self.pending.load(Ordering::Relaxed) > 0
+        match &self.imp {
+            ChanIdImp::Thread { pending, .. } => pending.load(Ordering::Relaxed) > 0,
+            ChanIdImp::Shm(raw) => raw.ready(),
+        }
     }
 
-    fn attach(&self, ws: &Arc<WaitSet>) {
-        let mut watcher = self.watcher.lock();
+    /// Route this channel's deposit wakes to `ws` (thread fabric; see
+    /// [`crate::transport::thread::ThreadTransport`]).
+    pub(crate) fn attach(&self, ws: &Arc<WaitSet>) {
+        let ChanIdImp::Thread { watcher, .. } = &self.imp else {
+            unreachable!("WaitSet attach on a non-thread channel");
+        };
+        let mut watcher = watcher.lock();
         // idempotent for the common case (a rank re-parking on the same
         // channel); a channel has a single receiver, so at most one wait
         // set is ever interested
@@ -145,30 +230,65 @@ impl ChanId {
     /// Undo [`ChanId::attach`] once the park is over, so senders stop
     /// paying the watcher wake on every subsequent deposit (channels — and
     /// their watcher slots — live as long as the warm world).
-    fn detach(&self, ws: &Arc<WaitSet>) {
-        let mut watcher = self.watcher.lock();
+    pub(crate) fn detach(&self, ws: &Arc<WaitSet>) {
+        let ChanIdImp::Thread { watcher, .. } = &self.imp else {
+            unreachable!("WaitSet detach on a non-thread channel");
+        };
+        let mut watcher = watcher.lock();
         if watcher.as_ref().is_some_and(|w| Arc::ptr_eq(w, ws)) {
             *watcher = None;
         }
+    }
+
+    /// Route this channel's deposit wakes to world rank `rank`'s futex
+    /// park point (shm fabric; see
+    /// [`crate::transport::shm::ShmTransport`]).
+    pub(crate) fn watch(&self, rank: usize) {
+        let ChanIdImp::Shm(raw) = &self.imp else {
+            unreachable!("futex watch on a non-shm channel");
+        };
+        raw.set_watcher(rank);
+    }
+
+    /// Undo [`ChanId::watch`] once the park is over.
+    pub(crate) fn unwatch(&self, rank: usize) {
+        let ChanIdImp::Shm(raw) = &self.imp else {
+            unreachable!("futex unwatch on a non-shm channel");
+        };
+        raw.clear_watcher(rank);
     }
 }
 
 /// A pre-matched persistent channel: the rendezvous a `send_init` /
 /// `recv_init` pair shares, created once at registration time.
 ///
-/// Every iteration's `start`/`wait` goes straight through this slot —
-/// a flag (non-empty `pending`) plus a condvar — instead of boxing a fresh
-/// `Vec` behind `dyn Any` and linearly scanning the destination's mutexed
-/// mailbox. Payload buffers are recycled through `spare`, so the
-/// steady-state iteration allocates nothing. The FIFO `pending` queue
-/// preserves buffered-send semantics (a sender may run several iterations
-/// ahead) and MPI's non-overtaking order for equal signatures.
+/// Every iteration's `start`/`wait` goes straight through this slot
+/// instead of boxing a fresh `Vec` behind `dyn Any` and linearly scanning
+/// the destination's mutexed mailbox. Payload buffers are recycled, so the
+/// steady-state iteration allocates nothing. FIFO delivery preserves
+/// buffered-send semantics (a sender may run several iterations ahead) and
+/// MPI's non-overtaking order for equal signatures.
+///
+/// The storage is the world's transport's business: a condvar-guarded
+/// in-process queue ([`ThreadChan`]) or an SPSC byte ring inside the
+/// shared segment ([`ShmChan`]). The API is identical either way.
 pub(crate) struct Channel<T> {
     key: ChanKey,
+    imp: ChanImp<T>,
+}
+
+enum ChanImp<T> {
+    Thread(ThreadChan<T>),
+    Shm(ShmChan<T>),
+}
+
+/// The in-process channel body: a flag (non-empty `pending`) plus a
+/// condvar, payloads moved as typed `Vec<T>`s.
+pub(crate) struct ThreadChan<T> {
     state: Mutex<ChanState<T>>,
     cv: Condvar,
-    /// Pending-message count mirrored outside the typed state (shared with
-    /// the registry slot) so the mailbox path can probe it untyped.
+    /// Pending-message count mirrored outside the typed state so poll
+    /// paths can probe it lock-free.
     pending_count: Arc<AtomicUsize>,
     /// The receiving rank's [`WaitSet`], once it has parked on a set
     /// containing this channel (see [`ChanId::attach`]).
@@ -182,40 +302,20 @@ struct ChanState<T> {
     spare: Vec<Vec<T>>,
 }
 
-impl<T: Clone + Send + 'static> Channel<T> {
-    fn new(key: ChanKey, pending_count: Arc<AtomicUsize>) -> Self {
+impl<T: Clone + Send + 'static> ThreadChan<T> {
+    fn new() -> Self {
         Self {
-            key,
             state: Mutex::new(ChanState {
                 pending: VecDeque::new(),
                 spare: Vec::new(),
             }),
             cv: Condvar::new(),
-            pending_count,
+            pending_count: Arc::new(AtomicUsize::new(0)),
             watcher: Arc::new(Mutex::new(None)),
         }
     }
 
-    /// Type-erased handle for set-polling this channel (see [`ChanId`]).
-    pub fn id(&self) -> ChanId {
-        ChanId {
-            key: self.key,
-            pending: Arc::clone(&self.pending_count),
-            watcher: Arc::clone(&self.watcher),
-        }
-    }
-
-    /// Deposit one message (buffered semantics: never blocks).
-    pub fn push(&self, data: &[T], arrival: f64) {
-        self.push_with(arrival, |buf| buf.extend_from_slice(data));
-    }
-
-    /// Deposit one message by filling the channel's recycled payload buffer
-    /// directly — the zero-copy send path. `fill` receives a cleared spare
-    /// buffer and writes the payload into it, so senders gather values
-    /// straight into the wire buffer instead of staging them in their own
-    /// window first. The channel lock is not held while `fill` runs.
-    pub fn push_with(&self, arrival: f64, fill: impl FnOnce(&mut Vec<T>)) {
+    fn push_with(&self, arrival: f64, fill: impl FnOnce(&mut Vec<T>)) {
         let mut buf = self.state.lock().spare.pop().unwrap_or_default();
         buf.clear();
         fill(&mut buf);
@@ -231,13 +331,7 @@ impl<T: Clone + Send + 'static> Channel<T> {
         }
     }
 
-    /// Block until a message is available **without consuming it**,
-    /// invoking `stall_probe` periodically while blocked (same contract as
-    /// [`Channel::pop_with`]). The completion-driven `wait` parks here on
-    /// one *necessary* channel between `test` rounds: cheaper than the
-    /// set-park ([`WorldState::wait_any`]) when every pending receive must
-    /// complete anyway, because nothing attaches and senders pay no wake.
-    pub fn wait_nonempty(&self, stall_probe: impl Fn()) {
+    fn wait_nonempty(&self, stall_probe: impl Fn()) {
         // same yield-spin rationale as pop_with
         for _ in 0..24 {
             if self.pending_count.load(Ordering::Relaxed) > 0 {
@@ -257,10 +351,7 @@ impl<T: Clone + Send + 'static> Channel<T> {
         }
     }
 
-    /// Non-blocking [`Channel::pop_with`]: take the next message if one has
-    /// been delivered, `None` otherwise. The completion-driven receive path
-    /// (`test`/`wait_any`) drains arrivals through this.
-    pub fn try_pop(&self) -> Option<(Vec<T>, f64)> {
+    fn try_pop(&self) -> Option<(Vec<T>, f64)> {
         // lock-free empty probe first: `test` loops call this on channels
         // that usually have nothing yet
         if self.pending_count.load(Ordering::Relaxed) == 0 {
@@ -271,18 +362,7 @@ impl<T: Clone + Send + 'static> Channel<T> {
         Some(msg)
     }
 
-    /// Block until a message is available and take it off the queue,
-    /// invoking `stall_probe` periodically while blocked.
-    ///
-    /// Deliberately hands the payload buffer out instead of copying into a
-    /// caller-provided slice: the receiver must NOT hold its destination
-    /// buffer's lock while blocked here (another rank's send may need that
-    /// buffer to make progress). Copy after popping, then hand the buffer
-    /// back with [`Channel::recycle`]. The receive paths use the probe to
-    /// turn an otherwise silent hang — e.g. a plain `send` aimed at a
-    /// persistent receive, which lands in the mailbox this channel
-    /// bypasses — into a loud panic.
-    pub fn pop_with(&self, stall_probe: impl Fn()) -> (Vec<T>, f64) {
+    fn pop_with(&self, stall_probe: impl Fn()) -> (Vec<T>, f64) {
         // Yield-spin before parking: in the steady state the matching send
         // is usually a runnable peer away, so cycling the run queue a few
         // times picks the message up for the cost of a sched_yield instead
@@ -316,14 +396,11 @@ impl<T: Clone + Send + 'static> Channel<T> {
         msg
     }
 
-    /// Return a consumed payload buffer for reuse by the next send.
-    pub fn recycle(&self, buf: Vec<T>) {
+    fn recycle(&self, buf: Vec<T>) {
         self.state.lock().spare.push(buf);
     }
 
-    /// Discard every undelivered payload (buffers go back to the spare
-    /// pool). Used to reset a warm world after a panicked epoch.
-    pub fn drain_pending(&self) {
+    fn drain_pending(&self) {
         let mut st = self.state.lock();
         while let Some((buf, _)) = st.pending.pop_front() {
             self.pending_count.fetch_sub(1, Ordering::Relaxed);
@@ -331,9 +408,129 @@ impl<T: Clone + Send + 'static> Channel<T> {
         }
     }
 
+    fn ready(&self) -> bool {
+        !self.state.lock().pending.is_empty()
+    }
+}
+
+impl<T: Clone + Send + 'static> Channel<T> {
+    fn thread(key: ChanKey) -> Self {
+        Self {
+            key,
+            imp: ChanImp::Thread(ThreadChan::new()),
+        }
+    }
+
+    fn shm(key: ChanKey, raw: ShmChanRaw) -> Self {
+        Self {
+            key,
+            imp: ChanImp::Shm(ShmChan::new(raw)),
+        }
+    }
+
+    /// Type-erased handle for set-polling this channel (see [`ChanId`]).
+    pub fn id(&self) -> ChanId {
+        let imp = match &self.imp {
+            ChanImp::Thread(c) => ChanIdImp::Thread {
+                pending: Arc::clone(&c.pending_count),
+                watcher: Arc::clone(&c.watcher),
+            },
+            ChanImp::Shm(c) => ChanIdImp::Shm(c.raw().clone()),
+        };
+        ChanId { key: self.key, imp }
+    }
+
+    /// Deposit one message (buffered semantics: a sender may run many
+    /// iterations ahead; the shm ring bounds that depth by its capacity).
+    pub fn push(&self, data: &[T], arrival: f64) {
+        self.push_with(arrival, |buf| buf.extend_from_slice(data));
+    }
+
+    /// Deposit one message by filling the channel's recycled payload buffer
+    /// directly — the zero-copy send path. `fill` receives a cleared spare
+    /// buffer and writes the payload into it, so senders gather values
+    /// straight into the wire buffer instead of staging them in their own
+    /// window first. The channel lock is not held while `fill` runs.
+    pub fn push_with(&self, arrival: f64, fill: impl FnOnce(&mut Vec<T>)) {
+        match &self.imp {
+            ChanImp::Thread(c) => c.push_with(arrival, fill),
+            ChanImp::Shm(c) => c.push_with(arrival, fill),
+        }
+    }
+
+    /// Block until a message is available **without consuming it**,
+    /// invoking `stall_probe` periodically while blocked (same contract as
+    /// [`Channel::pop_with`]). The completion-driven `wait` parks here on
+    /// one *necessary* channel between `test` rounds: cheaper than the
+    /// set-park ([`WorldState::wait_any`]) when every pending receive must
+    /// complete anyway, because nothing attaches and senders pay no wake.
+    pub fn wait_nonempty(&self, stall_probe: impl Fn()) {
+        match &self.imp {
+            ChanImp::Thread(c) => c.wait_nonempty(stall_probe),
+            ChanImp::Shm(c) => c.wait_nonempty(stall_probe),
+        }
+    }
+
+    /// Non-blocking [`Channel::pop_with`]: take the next message if one has
+    /// been delivered, `None` otherwise. The completion-driven receive path
+    /// (`test`/`wait_any`) drains arrivals through this.
+    pub fn try_pop(&self) -> Option<(Vec<T>, f64)> {
+        match &self.imp {
+            ChanImp::Thread(c) => c.try_pop(),
+            ChanImp::Shm(c) => c.try_pop(),
+        }
+    }
+
+    /// Block until a message is available and take it off the queue,
+    /// invoking `stall_probe` periodically while blocked.
+    ///
+    /// Deliberately hands the payload buffer out instead of copying into a
+    /// caller-provided slice: the receiver must NOT hold its destination
+    /// buffer's lock while blocked here (another rank's send may need that
+    /// buffer to make progress). Copy after popping, then hand the buffer
+    /// back with [`Channel::recycle`]. The receive paths use the probe to
+    /// turn an otherwise silent hang — e.g. a plain `send` aimed at a
+    /// persistent receive, which lands in the mailbox this channel
+    /// bypasses — into a loud panic.
+    pub fn pop_with(&self, stall_probe: impl Fn()) -> (Vec<T>, f64) {
+        match &self.imp {
+            ChanImp::Thread(c) => c.pop_with(stall_probe),
+            ChanImp::Shm(c) => c.pop_with(stall_probe),
+        }
+    }
+
+    /// Return a consumed payload buffer for reuse by the next send.
+    pub fn recycle(&self, buf: Vec<T>) {
+        match &self.imp {
+            ChanImp::Thread(c) => c.recycle(buf),
+            ChanImp::Shm(c) => c.recycle(buf),
+        }
+    }
+
+    /// Discard every undelivered payload (buffers go back to the spare
+    /// pool). Used to reset a warm world after a panicked epoch.
+    pub fn drain_pending(&self) {
+        match &self.imp {
+            ChanImp::Thread(c) => c.drain_pending(),
+            ChanImp::Shm(c) => c.drain_pending(),
+        }
+    }
+
     /// Would [`Channel::pop_with`] complete without blocking?
     pub fn ready(&self) -> bool {
-        !self.state.lock().pending.is_empty()
+        match &self.imp {
+            ChanImp::Thread(c) => c.ready(),
+            ChanImp::Shm(c) => c.ready(),
+        }
+    }
+
+    /// Delivered-but-unconsumed message count — the untyped mixed-traffic
+    /// probe ([`WorldState::channel_pending`]).
+    fn pending_len(&self) -> usize {
+        match &self.imp {
+            ChanImp::Thread(c) => c.pending_count.load(Ordering::Relaxed),
+            ChanImp::Shm(c) => c.raw().msg_count(),
+        }
     }
 
     /// Signature of this channel, for receive-side diagnostics.
@@ -356,20 +553,29 @@ impl<T: Clone + Send + 'static> Channel<T> {
 /// the same lock) while a registrar is alive.
 pub struct ChanRegistrar<'a> {
     guard: parking_lot::MutexGuard<'a, HashMap<ChanKey, ChanSlot>>,
+    transport: &'a Arc<dyn Transport>,
 }
 
 impl ChanRegistrar<'_> {
     /// Get-or-create the persistent channel for `key` under the held lock.
-    pub(crate) fn channel<T: Clone + Send + 'static>(&mut self, key: ChanKey) -> Arc<Channel<T>> {
-        WorldState::channel_in(&mut self.guard, key)
+    /// `len_hint` is the registered per-message element count, which sizes
+    /// the channel's wire buffers on fabrics that must allocate them up
+    /// front (the shm rings); 0 falls back to the fabric minimum.
+    pub(crate) fn channel_sized<T: Clone + Send + 'static>(
+        &mut self,
+        key: ChanKey,
+        len_hint: usize,
+    ) -> Arc<Channel<T>> {
+        WorldState::channel_in(&mut self.guard, self.transport, key, len_hint)
     }
 }
 
 /// State shared by every rank of a world.
 pub(crate) struct WorldState {
     pub n_ranks: usize,
-    pub mailboxes: Vec<Mailbox>,
     pub model: Option<ModelCtx>,
+    /// The fabric this world moves bytes over.
+    transport: Arc<dyn Transport>,
     /// Pre-matched persistent channels, keyed by signature. Entries live
     /// as long as the world (like unmatched mailbox envelopes): the
     /// simulator has no `MPI_Request_free` counterpart, and registered
@@ -379,18 +585,25 @@ pub(crate) struct WorldState {
     /// (drained) channel — re-init on a warm world is a lookup, not a
     /// rendezvous.
     channels: Mutex<HashMap<ChanKey, ChanSlot>>,
-    /// One park point per world rank for completion-driven receives over
-    /// channel sets ([`WorldState::wait_any`]). Lives with the world (like
-    /// the channel registry) so pooled epochs reuse it warm.
-    wait_sets: Vec<Arc<WaitSet>>,
-    /// Set when a rank of the current pool epoch panicked: blocked
-    /// receives check it from their stall probes and abort loudly instead
-    /// of waiting forever for a message the dead rank will never send.
-    rank_panicked: AtomicBool,
+    /// Per-rank scan rotor for [`WorldState::poll_any`] /
+    /// [`WorldState::wait_any`]: each call starts its readiness scan one
+    /// position further, so a permanently-hot low-index channel cannot
+    /// starve the rest of the set.
+    rotors: Vec<AtomicUsize>,
 }
 
 impl WorldState {
     pub fn new(n_ranks: usize, model: Option<ModelCtx>) -> Arc<Self> {
+        let transport: Arc<dyn Transport> = Arc::new(ThreadTransport::new(n_ranks));
+        Self::with_transport(n_ranks, model, transport)
+    }
+
+    /// Build a world over an explicit fabric (the shm worlds' entry point).
+    pub fn with_transport(
+        n_ranks: usize,
+        model: Option<ModelCtx>,
+        transport: Arc<dyn Transport>,
+    ) -> Arc<Self> {
         assert!(n_ranks > 0);
         if let Some(m) = &model {
             assert_eq!(
@@ -399,93 +612,87 @@ impl WorldState {
                 "topology rank count must match world size"
             );
         }
-        let mailboxes = (0..n_ranks).map(|_| Mailbox::default()).collect();
-        let wait_sets = (0..n_ranks).map(|_| Arc::new(WaitSet::new())).collect();
         Arc::new(Self {
             n_ranks,
-            mailboxes,
             model,
+            transport,
             channels: Mutex::new(HashMap::new()),
-            wait_sets,
-            rank_panicked: AtomicBool::new(false),
+            rotors: (0..n_ranks).map(|_| AtomicUsize::new(0)).collect(),
         })
     }
 
-    /// Non-blocking arrival poll over a channel set: index of the first
-    /// channel holding a delivered, unconsumed message, else `None`.
-    pub fn poll_any(chans: &[ChanId]) -> Option<usize> {
-        chans.iter().position(ChanId::ready)
+    /// Payload packaging the world's transport requires from senders.
+    pub(crate) fn payload_mode(&self) -> crate::transport::PayloadMode {
+        self.transport.mode()
+    }
+
+    /// Readiness scan over a channel set starting at `start` (wrapping):
+    /// index of the first channel holding a delivered, unconsumed message,
+    /// else `None`. The rotated entry point transports poll with.
+    pub(crate) fn poll_any_from(chans: &[ChanId], start: usize) -> Option<usize> {
+        let n = chans.len();
+        (0..n).map(|i| (start + i) % n).find(|&i| chans[i].ready())
+    }
+
+    /// Non-blocking arrival poll over a channel set for `global_rank`:
+    /// index of a channel holding a delivered, unconsumed message, else
+    /// `None`. The scan origin rotates per call (see
+    /// [`WorldState::poll_any_from`]), so repeated polls over a set with
+    /// several hot channels visit all of them instead of always reporting
+    /// the lowest ready index.
+    pub(crate) fn poll_any(&self, global_rank: usize, chans: &[ChanId]) -> Option<usize> {
+        if chans.is_empty() {
+            return None;
+        }
+        let start = self.rotors[global_rank].fetch_add(1, Ordering::Relaxed) % chans.len();
+        Self::poll_any_from(chans, start)
     }
 
     /// Block `global_rank` until **some** channel of the set has a message,
-    /// returning its index. Yield-spins first (same rationale as
-    /// [`Channel::pop_with`]), then attaches the rank's [`WaitSet`] to every
-    /// channel and futex-parks on the set — one park point for N channels,
-    /// woken by whichever deposit lands first, so completion follows
-    /// delivery order instead of channel order.
+    /// returning its index. The transport yield-spins then parks on the
+    /// whole set — one park point for N channels, woken by whichever
+    /// deposit lands first, so completion follows delivery order instead
+    /// of channel order. The stall probe keeps peer death and the mixed
+    /// plain/persistent misuse loud while parked.
     pub(crate) fn wait_any(&self, global_rank: usize, chans: &[ChanId]) -> usize {
         assert!(!chans.is_empty(), "wait_any on an empty channel set");
-        for _ in 0..24 {
-            if let Some(i) = Self::poll_any(chans) {
-                return i;
+        let start = self.rotors[global_rank].fetch_add(1, Ordering::Relaxed) % chans.len();
+        let stall = || {
+            self.transport.check_peer_alive();
+            // keep the mixed plain/persistent misuse loud here too: a
+            // plain send aimed at a watched persistent signature lands
+            // in the mailbox this set bypasses, and would otherwise
+            // hang the parked rank silently
+            for c in chans {
+                let (ctx_id, src, _, tag) = c.key;
+                assert!(
+                    !self.transport.probe(global_rank, ctx_id, src, tag),
+                    "wait_any on channel {:?}: matching message sits in the \
+                     plain mailbox — mixing a plain send with a persistent \
+                     receive on one signature is unsupported (use send_init \
+                     on the sender)",
+                    c.key
+                );
             }
-            std::thread::yield_now();
-        }
-        let ws = &self.wait_sets[global_rank];
-        for c in chans {
-            c.attach(ws);
-        }
-        let found = loop {
-            // generation BEFORE the scan: a deposit racing with the scan
-            // bumps it, so the park below returns without sleeping
-            let seen = ws.generation();
-            if let Some(i) = Self::poll_any(chans) {
-                break i;
-            }
-            ws.park_past(seen, || {
-                self.check_peer_alive();
-                // keep the mixed plain/persistent misuse loud here too: a
-                // plain send aimed at a watched persistent signature lands
-                // in the mailbox this set bypasses, and would otherwise
-                // hang the parked rank silently
-                for c in chans {
-                    let (ctx_id, src, _, tag) = c.key;
-                    assert!(
-                        !self.probe(global_rank, ctx_id, src, tag),
-                        "wait_any on channel {:?}: matching message sits in the \
-                         plain mailbox — mixing a plain send with a persistent \
-                         receive on one signature is unsupported (use send_init \
-                         on the sender)",
-                        c.key
-                    );
-                }
-            });
         };
-        // stop routing deposit wakes to this rank once it is running again
-        for c in chans {
-            c.detach(ws);
-        }
-        found
+        self.transport.wait_any(global_rank, chans, start, &stall)
     }
 
     /// Record that a rank of the current epoch panicked (pool worker).
     pub(crate) fn note_rank_panic(&self) {
-        self.rank_panicked.store(true, Ordering::Release);
+        self.transport.note_rank_panic();
     }
 
     /// Clear the panic marker at the start of a fresh epoch.
     pub(crate) fn clear_rank_panic(&self) {
-        self.rank_panicked.store(false, Ordering::Release);
+        self.transport.clear_rank_panic();
     }
 
     /// Abort a blocked receive if a peer rank already died this epoch —
     /// called from stall probes so a partial-rank panic ends the epoch
     /// loudly instead of deadlocking the world.
     pub(crate) fn check_peer_alive(&self) {
-        assert!(
-            !self.rank_panicked.load(Ordering::Acquire),
-            "a peer rank panicked this epoch; abandoning blocked receive"
-        );
+        self.transport.check_peer_alive();
     }
 
     /// Get-or-create the persistent channel for `key` — whichever side
@@ -493,36 +700,53 @@ impl WorldState {
     /// slot, completing the match once at init time.
     #[cfg(test)]
     pub fn channel<T: Clone + Send + 'static>(&self, key: ChanKey) -> Arc<Channel<T>> {
-        Self::channel_in(&mut self.channels.lock(), key)
+        Self::channel_in(&mut self.channels.lock(), &self.transport, key, 0)
     }
 
     /// Get-or-create against an already-held registry lock — the
     /// bulk-registration path ([`ChanRegistrar`]) resolves many signatures
-    /// under one lock acquisition.
+    /// under one lock acquisition. The transport decides where the
+    /// channel's wire buffers live (process heap vs. shared segment).
     fn channel_in<T: Clone + Send + 'static>(
         map: &mut HashMap<ChanKey, ChanSlot>,
+        transport: &Arc<dyn Transport>,
         key: ChanKey,
+        len_hint: usize,
     ) -> Arc<Channel<T>> {
-        let (type_name, any, ..) = map
+        let slot = map
             .entry(key)
             .or_insert_with(|| {
-                let count = Arc::new(AtomicUsize::new(0));
-                let chan = Arc::new(Channel::<T>::new(key, count.clone()));
+                let chan = Arc::new(
+                    match transport.make_channel(
+                        key,
+                        elem_bytes::<T>(),
+                        std::any::type_name::<T>(),
+                        len_hint,
+                    ) {
+                        Some(raw) => Channel::<T>::shm(key, raw),
+                        None => Channel::<T>::thread(key),
+                    },
+                );
+                let pending = {
+                    let chan = Arc::clone(&chan);
+                    Arc::new(move || chan.pending_len()) as Arc<dyn Fn() -> usize + Send + Sync>
+                };
                 let drain = {
                     let chan = Arc::clone(&chan);
                     Arc::new(move || chan.drain_pending()) as Arc<dyn Fn() + Send + Sync>
                 };
-                (
-                    std::any::type_name::<T>(),
-                    chan as Arc<dyn Any + Send + Sync>,
-                    count,
+                ChanSlot {
+                    type_name: std::any::type_name::<T>(),
+                    chan: chan as Arc<dyn Any + Send + Sync>,
+                    pending,
                     drain,
-                )
+                }
             })
             .clone();
-        Arc::downcast::<Channel<T>>(any).unwrap_or_else(|_| {
+        let registered = slot.type_name;
+        Arc::downcast::<Channel<T>>(slot.chan).unwrap_or_else(|_| {
             panic!(
-                "persistent channel {key:?} datatype mismatch: registered {type_name}, \
+                "persistent channel {key:?} datatype mismatch: registered {registered}, \
                  requested {}",
                 std::any::type_name::<T>()
             )
@@ -533,19 +757,21 @@ impl WorldState {
     pub(crate) fn chan_registrar(&self) -> ChanRegistrar<'_> {
         ChanRegistrar {
             guard: self.channels.lock(),
+            transport: &self.transport,
         }
     }
 
-    /// Discard all in-flight traffic: every mailbox envelope and every
-    /// undelivered persistent-channel payload. Registrations (the channel
-    /// registry itself) survive. A pooled world calls this after a
-    /// panicked epoch so stale messages cannot leak into the next one.
+    /// Discard all in-flight traffic: every transport-held envelope
+    /// (mailbox queues / shm mailbox rings) and every undelivered
+    /// persistent-channel payload, via the per-channel drain hooks —
+    /// so the failed-epoch guarantee holds identically on every fabric.
+    /// Registrations (the channel registry itself) survive. A pooled world
+    /// calls this after a panicked epoch so stale messages cannot leak
+    /// into the next one.
     pub fn drain_in_flight(&self) {
-        for mb in &self.mailboxes {
-            mb.queue.lock().clear();
-        }
-        for (.., drain) in self.channels.lock().values() {
-            drain();
+        self.transport.drain_in_flight();
+        for slot in self.channels.lock().values() {
+            (slot.drain)();
         }
     }
 
@@ -555,15 +781,14 @@ impl WorldState {
         self.channels
             .lock()
             .get(key)
-            .is_some_and(|(_, _, count, _)| count.load(Ordering::Relaxed) > 0)
+            .is_some_and(|slot| (slot.pending)() > 0)
     }
 
     /// Deposit an envelope in `global_dst`'s mailbox and wake any waiter.
-    pub fn deposit(&self, global_dst: usize, env: Envelope) {
-        let mb = &self.mailboxes[global_dst];
-        let mut q = mb.queue.lock();
-        q.push_back(env);
-        mb.cv.notify_all();
+    /// `src_world` identifies the producing rank (the shm fabric routes
+    /// each (src, dst) pair over its own single-producer ring).
+    pub fn deposit(&self, src_world: usize, global_dst: usize, env: Envelope) {
+        self.transport.deposit(src_world, global_dst, env);
     }
 
     /// Blocking matched receive for `global_dst`: first envelope with the
@@ -582,39 +807,23 @@ impl WorldState {
         tag: u64,
     ) -> (Envelope, usize) {
         let chan_key: ChanKey = (ctx_id, src, dst_comm_rank, tag);
-        let mb = &self.mailboxes[global_dst];
-        let mut q = mb.queue.lock();
-        loop {
-            let searched = q.len();
-            if let Some(pos) = q
-                .iter()
-                .position(|e| e.ctx_id == ctx_id && e.src == src && e.tag == tag)
-            {
-                let env = q.remove(pos).expect("position valid");
-                return (env, searched);
-            }
-            if mb
-                .cv
-                .wait_for(&mut q, std::time::Duration::from_millis(50))
-                .timed_out()
-            {
-                self.check_peer_alive();
-                assert!(
-                    !self.channel_pending(&chan_key),
-                    "plain recv from {src} tag {tag}: matching message sits on a \
-                     persistent channel — mixing a persistent send with a plain \
-                     recv on one signature is unsupported (use recv_init on the \
-                     receiver)"
-                );
-            }
-        }
+        let stall = || {
+            self.transport.check_peer_alive();
+            assert!(
+                !self.channel_pending(&chan_key),
+                "plain recv from {src} tag {tag}: matching message sits on a \
+                 persistent channel — mixing a persistent send with a plain \
+                 recv on one signature is unsupported (use recv_init on the \
+                 receiver)"
+            );
+        };
+        self.transport
+            .match_recv(global_dst, ctx_id, src, tag, &stall)
     }
 
     /// Non-blocking probe: would a matched receive complete immediately?
     pub fn probe(&self, global_dst: usize, ctx_id: u64, src: usize, tag: u64) -> bool {
-        let q = self.mailboxes[global_dst].queue.lock();
-        q.iter()
-            .any(|e| e.ctx_id == ctx_id && e.src == src && e.tag == tag)
+        self.transport.probe(global_dst, ctx_id, src, tag)
     }
 }
 
@@ -628,31 +837,32 @@ mod tests {
             src,
             tag,
             arrival: 0.0,
-            payload: Box::new(vec![val]),
-            type_name: "u32",
+            payload: Payload::typed(vec![val]),
         }
+    }
+
+    fn take_u32(payload: Payload) -> Vec<u32> {
+        payload.take::<u32>().expect("u32 payload")
     }
 
     #[test]
     fn deposit_then_match() {
         let w = WorldState::new(2, None);
-        w.deposit(1, env(0, 0, 5, 42));
+        w.deposit(0, 1, env(0, 0, 5, 42));
         let (got, searched) = w.match_recv(1, 0, 0, 1, 5);
         assert_eq!(searched, 1);
-        let v = got.payload.downcast::<Vec<u32>>().unwrap();
-        assert_eq!(*v, vec![42]);
+        assert_eq!(take_u32(got.payload), vec![42]);
     }
 
     #[test]
     fn matching_respects_tag_and_ctx() {
         let w = WorldState::new(1, None);
-        w.deposit(0, env(0, 0, 1, 10));
-        w.deposit(0, env(1, 0, 2, 20));
-        w.deposit(0, env(0, 0, 2, 30));
+        w.deposit(0, 0, env(0, 0, 1, 10));
+        w.deposit(0, 0, env(1, 0, 2, 20));
+        w.deposit(0, 0, env(0, 0, 2, 30));
         // match ctx 0 / tag 2 skips both earlier non-matching envelopes
         let (got, _) = w.match_recv(0, 0, 0, 0, 2);
-        let v = got.payload.downcast::<Vec<u32>>().unwrap();
-        assert_eq!(*v, vec![30]);
+        assert_eq!(take_u32(got.payload), vec![30]);
         assert!(w.probe(0, 0, 0, 1));
         assert!(w.probe(0, 1, 0, 2));
         assert!(!w.probe(0, 0, 0, 2));
@@ -661,12 +871,22 @@ mod tests {
     #[test]
     fn non_overtaking_same_signature() {
         let w = WorldState::new(1, None);
-        w.deposit(0, env(0, 3, 9, 1));
-        w.deposit(0, env(0, 3, 9, 2));
+        w.deposit(0, 0, env(0, 3, 9, 1));
+        w.deposit(0, 0, env(0, 3, 9, 2));
         let (a, _) = w.match_recv(0, 0, 3, 0, 9);
         let (b, _) = w.match_recv(0, 0, 3, 0, 9);
-        assert_eq!(*a.payload.downcast::<Vec<u32>>().unwrap(), vec![1]);
-        assert_eq!(*b.payload.downcast::<Vec<u32>>().unwrap(), vec![2]);
+        assert_eq!(take_u32(a.payload), vec![1]);
+        assert_eq!(take_u32(b.payload), vec![2]);
+    }
+
+    #[test]
+    fn payload_bytes_roundtrip_and_mismatch() {
+        let p = Payload::bytes_from(&[1.5f64, -2.25, 8.0]);
+        let back = p.take::<f64>().expect("same type roundtrips");
+        assert_eq!(back, vec![1.5, -2.25, 8.0]);
+        let p = Payload::bytes_from(&[7u32]);
+        let err = p.take::<f64>().expect_err("type name mismatch");
+        assert_eq!(err, "u32");
     }
 
     #[test]
@@ -721,16 +941,39 @@ mod tests {
     }
 
     #[test]
-    fn poll_any_reports_first_ready_channel() {
+    fn poll_any_from_scans_from_the_start_position() {
         let w = WorldState::new(1, None);
         let a = w.channel::<u8>((0, 0, 0, 10));
         let b = w.channel::<u8>((0, 0, 0, 11));
         let ids = [a.id(), b.id()];
-        assert_eq!(WorldState::poll_any(&ids), None);
+        assert_eq!(WorldState::poll_any_from(&ids, 0), None);
         b.push(&[1], 0.0);
-        assert_eq!(WorldState::poll_any(&ids), Some(1));
+        assert_eq!(WorldState::poll_any_from(&ids, 0), Some(1));
         a.push(&[2], 0.0);
-        assert_eq!(WorldState::poll_any(&ids), Some(0));
+        // both ready: the start position picks the winner
+        assert_eq!(WorldState::poll_any_from(&ids, 0), Some(0));
+        assert_eq!(WorldState::poll_any_from(&ids, 1), Some(1));
+    }
+
+    #[test]
+    fn poll_any_rotation_visits_every_hot_channel() {
+        // two channels permanently hot: the rotating scan start must
+        // surface BOTH across consecutive polls — a fixed first-ready scan
+        // would report index 0 forever and starve channel 1
+        let w = WorldState::new(1, None);
+        let a = w.channel::<u8>((0, 0, 0, 30));
+        let b = w.channel::<u8>((0, 0, 0, 31));
+        a.push(&[1], 0.0);
+        b.push(&[2], 0.0);
+        let ids = [a.id(), b.id()];
+        let seen: std::collections::HashSet<usize> = (0..4)
+            .map(|_| w.poll_any(0, &ids).expect("both channels are hot"))
+            .collect();
+        assert_eq!(
+            seen.len(),
+            2,
+            "rotating poll_any must visit both hot channels"
+        );
     }
 
     #[test]
@@ -773,10 +1016,10 @@ mod tests {
         let w2 = Arc::clone(&w);
         let t = std::thread::spawn(move || {
             let (env, _) = w2.match_recv(0, 0, 0, 0, 7);
-            *env.payload.downcast::<Vec<u32>>().unwrap()
+            take_u32(env.payload)
         });
         std::thread::sleep(std::time::Duration::from_millis(20));
-        w.deposit(0, env(0, 0, 7, 99));
+        w.deposit(0, 0, env(0, 0, 7, 99));
         assert_eq!(t.join().unwrap(), vec![99]);
     }
 }

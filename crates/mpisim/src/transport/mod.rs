@@ -1,0 +1,160 @@
+//! Transport abstraction: where a world's bytes actually move.
+//!
+//! `mpisim`'s matching engine, persistent channels, and completion-driven
+//! lifecycle (DESIGN.md §3–§7) are all expressed against a handful of
+//! seams in `state.rs`: envelope deposit / matched receive on the plain
+//! mailbox path, channel registration, the `wait_any` set-park, and
+//! failed-epoch draining. This module lifts those seams into a
+//! [`Transport`] trait so the same `RankCtx` programs run over different
+//! fabrics:
+//!
+//! * [`thread::ThreadTransport`] — today's in-process fabric: one mutexed
+//!   mailbox per rank, typed payloads moved as `Vec<T>` behind
+//!   `Box<dyn Any>`, condvar wakeups. Zero serialization.
+//! * [`shm::ShmTransport`] — a cross-process shared-memory fabric: ranks
+//!   may live in separate OS processes on one host, mailboxes and
+//!   persistent channels are SPSC byte rings inside one `/dev/shm`
+//!   segment, and parking uses process-shared futexes. Payloads are
+//!   serialized to bytes at the send boundary (plain-old-data element
+//!   types only).
+//!
+//! [`proc::ProcWorld`] runs ranks as re-exec'd worker processes over the
+//! shm fabric with the same closure-per-epoch protocol as
+//! [`crate::WorldPool`].
+
+pub mod proc;
+pub mod shm;
+pub(crate) mod thread;
+
+use crate::state::{ChanId, ChanKey, Envelope};
+pub(crate) use shm::ring::ShmChanRaw;
+
+/// How [`crate::RankCtx`] must package plain-send payloads for a transport.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum PayloadMode {
+    /// In-process: payloads travel as typed `Vec<T>` behind `Box<dyn Any>`.
+    Typed,
+    /// Cross-process: payloads are serialized to raw bytes at the send
+    /// boundary (plain-old-data element types only).
+    Bytes,
+}
+
+/// The fabric a [`crate::state::WorldState`] moves bytes over.
+///
+/// Object-safe: the world holds an `Arc<dyn Transport>`. Diagnostic
+/// context (peer-death checks, the mixed plain/persistent-traffic probes)
+/// stays in `WorldState`, which passes it down as the `stall` closure —
+/// transports only decide *when* a blocked operation should re-probe
+/// (their 50 ms park timeout), not *what* the probe asserts.
+pub(crate) trait Transport: Send + Sync {
+    /// Payload packaging this transport requires from senders.
+    fn mode(&self) -> PayloadMode;
+
+    /// Deposit an envelope in `dst_world`'s mailbox and wake any waiter.
+    /// `src_world` identifies the producing rank — the shm fabric routes
+    /// each (src, dst) pair over its own single-producer ring.
+    fn deposit(&self, src_world: usize, dst_world: usize, env: Envelope);
+
+    /// Blocking matched receive for `global_dst`: first envelope with the
+    /// given (ctx, src, tag), plus the queue length that was searched (for
+    /// queue-cost charging). Invokes `stall` periodically while blocked.
+    fn match_recv(
+        &self,
+        global_dst: usize,
+        ctx_id: u64,
+        src: usize,
+        tag: u64,
+        stall: &dyn Fn(),
+    ) -> (Envelope, usize);
+
+    /// Non-blocking probe: would a matched receive complete immediately?
+    fn probe(&self, global_dst: usize, ctx_id: u64, src: usize, tag: u64) -> bool;
+
+    /// Park `global_rank` until **some** channel of the set has a message,
+    /// returning its index. `start` rotates the scan origin (fairness —
+    /// see [`crate::state::WorldState::poll_any`]); `stall` is invoked
+    /// periodically while blocked.
+    fn wait_any(
+        &self,
+        global_rank: usize,
+        chans: &[ChanId],
+        start: usize,
+        stall: &dyn Fn(),
+    ) -> usize;
+
+    /// Fabric hook for persistent-channel creation: `Some(ring)` when the
+    /// channel's wire buffers must live inside the shared segment, `None`
+    /// for an in-process typed channel. `len_hint` is the registered
+    /// per-message element count (0 when unknown) and sizes the ring.
+    fn make_channel(
+        &self,
+        key: ChanKey,
+        elem_bytes: usize,
+        type_name: &'static str,
+        len_hint: usize,
+    ) -> Option<ShmChanRaw>;
+
+    /// Discard transport-held in-flight traffic (mailbox envelopes / shm
+    /// ring contents). Registry-held channel payloads are drained by the
+    /// world via the per-channel drain hooks; both passes together give
+    /// the failed-epoch drain guarantee. Quiescent use only: no rank may
+    /// be moving traffic concurrently.
+    fn drain_in_flight(&self);
+
+    /// Record that a rank of the current epoch panicked (or died).
+    fn note_rank_panic(&self);
+
+    /// Clear the panic marker at the start of a fresh epoch.
+    fn clear_rank_panic(&self);
+
+    /// Abort (panic) if a peer rank died this epoch — called from stall
+    /// probes so a blocked operation ends loudly instead of deadlocking.
+    fn check_peer_alive(&self);
+}
+
+/// The shm fabric moves payloads as raw bytes: element types must be
+/// plain-old-data. `Clone + Send + 'static` (the [`crate::Elem`] bound)
+/// cannot express that, so the gate is a runtime assert at the first
+/// boundary crossing — channel creation or plain-send serialization.
+pub(crate) fn assert_pod<T>(context: &str) {
+    assert!(
+        !std::mem::needs_drop::<T>(),
+        "{context}: element type {} owns heap memory and cannot cross the \
+         shared-memory transport as raw bytes (use plain-old-data elements)",
+        std::any::type_name::<T>(),
+    );
+    assert!(
+        std::mem::size_of::<T>() > 0,
+        "{context}: zero-sized element type {} has no byte representation \
+         on the shared-memory transport",
+        std::any::type_name::<T>(),
+    );
+}
+
+/// Append the concatenation of two byte slices (a possibly-wrapped ring
+/// message) to a typed buffer. Sound only for plain-old-data `T`
+/// ([`assert_pod`] — enforced at every shm boundary).
+pub(crate) fn vec_extend_bytes<T>(buf: &mut Vec<T>, a: &[u8], b: &[u8]) {
+    let sz = std::mem::size_of::<T>();
+    let total = a.len() + b.len();
+    assert_eq!(
+        total % sz,
+        0,
+        "shm payload of {total} bytes is not a whole number of {} elements",
+        std::any::type_name::<T>(),
+    );
+    let add = total / sz;
+    buf.reserve(add);
+    unsafe {
+        let dst = (buf.as_mut_ptr() as *mut u8).add(buf.len() * sz);
+        std::ptr::copy_nonoverlapping(a.as_ptr(), dst, a.len());
+        std::ptr::copy_nonoverlapping(b.as_ptr(), dst.add(a.len()), b.len());
+        buf.set_len(buf.len() + add);
+    }
+}
+
+/// View a typed slice as raw bytes (the shm send boundary). Sound only
+/// for plain-old-data `T`.
+pub(crate) fn bytes_of<T>(data: &[T]) -> &[u8] {
+    unsafe { std::slice::from_raw_parts(data.as_ptr() as *const u8, std::mem::size_of_val(data)) }
+}

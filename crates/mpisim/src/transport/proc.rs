@@ -1,0 +1,363 @@
+//! Ranks as separate OS processes over the shm fabric.
+//!
+//! [`ProcWorld::launch`] is the SPMD entry point: rank 0 creates the
+//! segment and re-execs the current binary once per peer rank in a hidden
+//! worker mode (selected by the `MPISIM_WORKER_RANK` / `MPISIM_WORKER_SEG`
+//! environment keys, with the original argv preserved so workers land in
+//! the same `main` path). Every process then runs the same program; each
+//! [`ProcWorld::run`] call is one epoch, sequenced by a command word in
+//! the segment header and closed by an all-ranks barrier.
+//!
+//! Death containment mirrors PR 3's thread-pool guarantee: a rank that
+//! panics raises the fabric-wide flag before dying, and rank 0's watchdog
+//! thread raises it for ranks that die *without* unwinding (SIGKILL,
+//! `exit`), so every peer blocked in the fabric aborts loudly on its next
+//! stall probe instead of deadlocking. Clean exits after the stop command
+//! are not deaths.
+//!
+//! The driver/server split ([`ProcWorld::epoch_job`] / [`ProcWorld::serve`])
+//! exists for benchmarks: rank 0 drives many epochs over a fixed job table
+//! while workers loop in `serve`, so per-iteration cost is the epoch
+//! protocol plus the job itself — no process spawning on the hot path.
+
+use super::shm::segment::{Segment, CMD_STOP};
+use super::shm::ShmTransport;
+use super::Transport;
+use crate::ctx::RankCtx;
+use crate::state::WorldState;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Environment keys of the hidden worker mode. Present in a process iff it
+/// was spawned as a peer rank by a `ProcWorld` driver.
+pub const ENV_WORKER_RANK: &str = "MPISIM_WORKER_RANK";
+pub const ENV_WORKER_SEG: &str = "MPISIM_WORKER_SEG";
+
+/// Epoch command word: `(job << JOB_SHIFT) | epoch`, or [`CMD_STOP`].
+const JOB_SHIFT: u32 = 48;
+const EPOCH_MASK: u64 = (1 << JOB_SHIFT) - 1;
+
+/// An SPMD world whose ranks are separate OS processes on one host,
+/// communicating over the shared-memory fabric.
+///
+/// All ranks construct it through [`ProcWorld::launch`] and then execute
+/// the same sequence of [`ProcWorld::run`] calls; results are per-rank
+/// local (there is no cross-process result gather — ranks exchange what
+/// they need through the fabric itself). Dropping it shuts the world
+/// down: rank 0 posts the stop command and reaps its children; workers
+/// wait for the stop command and exit, never returning to the caller's
+/// code after the world.
+pub struct ProcWorld {
+    state: Arc<WorldState>,
+    seg: Arc<Segment>,
+    rank: usize,
+    epoch: Cell<u64>,
+    shutting_down: Arc<AtomicBool>,
+    watchdog: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProcWorld {
+    /// World rank of this process.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn n_ranks(&self) -> usize {
+        self.seg.n_ranks()
+    }
+
+    /// True in worker processes (rank != 0).
+    pub fn is_worker(&self) -> bool {
+        self.rank != 0
+    }
+
+    /// Launch (or join) a process world of `n_ranks` ranks.
+    ///
+    /// In the driver process this creates the fabric segment and spawns
+    /// `n_ranks - 1` copies of the current executable (same argv, worker
+    /// environment keys added). In a worker process it attaches to the
+    /// driver's segment instead. Either way it returns once every rank has
+    /// attached. One launch per process execution: the re-exec protocol
+    /// cannot nest.
+    pub fn launch(n_ranks: usize) -> ProcWorld {
+        static LAUNCHED: AtomicBool = AtomicBool::new(false);
+        assert!(
+            !LAUNCHED.swap(true, Ordering::SeqCst),
+            "ProcWorld::launch called twice in one process execution"
+        );
+        assert!(n_ranks >= 1, "process world needs at least one rank");
+        match std::env::var(ENV_WORKER_RANK) {
+            Ok(r) => Self::launch_worker(n_ranks, r.parse().expect("worker rank")),
+            Err(_) => Self::launch_driver(n_ranks),
+        }
+    }
+
+    fn launch_worker(n_ranks: usize, rank: usize) -> ProcWorld {
+        let seg_path = std::env::var(ENV_WORKER_SEG).expect("worker mode without segment path");
+        let transport = ShmTransport::attach(&seg_path);
+        let seg = Arc::clone(transport.segment());
+        assert_eq!(
+            seg.n_ranks(),
+            n_ranks,
+            "worker launched for a {n_ranks}-rank world but the segment has {}",
+            seg.n_ranks()
+        );
+        let state = WorldState::with_transport(n_ranks, None, transport as Arc<dyn Transport>);
+        seg.pid_slot(rank)
+            .store(std::process::id(), Ordering::SeqCst);
+        seg.barrier(&|| seg.check_alive()); // attach barrier
+        ProcWorld {
+            state,
+            seg,
+            rank,
+            epoch: Cell::new(0),
+            shutting_down: Arc::new(AtomicBool::new(false)),
+            watchdog: None,
+        }
+    }
+
+    fn launch_driver(n_ranks: usize) -> ProcWorld {
+        let transport = ShmTransport::create(n_ranks);
+        let seg = Arc::clone(transport.segment());
+        let state = WorldState::with_transport(n_ranks, None, transport as Arc<dyn Transport>);
+        seg.pid_slot(0).store(std::process::id(), Ordering::SeqCst);
+
+        let exe = std::env::current_exe().expect("current_exe for worker re-exec");
+        let children: Vec<std::process::Child> = (1..n_ranks)
+            .map(|rank| {
+                std::process::Command::new(&exe)
+                    .args(std::env::args_os().skip(1))
+                    .env(ENV_WORKER_RANK, rank.to_string())
+                    .env(ENV_WORKER_SEG, seg.path())
+                    .spawn()
+                    .unwrap_or_else(|e| panic!("spawn worker rank {rank}: {e}"))
+            })
+            .collect();
+
+        let shutting_down = Arc::new(AtomicBool::new(false));
+        let watchdog = std::thread::Builder::new()
+            .name("mpisim-proc-watchdog".into())
+            .spawn({
+                let seg = Arc::clone(&seg);
+                let shutting_down = Arc::clone(&shutting_down);
+                move || Self::watchdog(seg, shutting_down, children)
+            })
+            .expect("spawn watchdog thread");
+
+        seg.barrier(&|| seg.check_alive()); // attach barrier
+                                            // every process holds a mapping now; drop the /dev/shm name so the
+                                            // segment cannot outlive the world
+        seg.unlink();
+        ProcWorld {
+            state,
+            seg,
+            rank: 0,
+            epoch: Cell::new(0),
+            shutting_down,
+            watchdog: Some(watchdog),
+        }
+    }
+
+    /// Rank 0's child reaper. While the world runs, a worker that exits for
+    /// any reason is a death (panicking workers exit nonzero *after*
+    /// raising the fabric flag themselves; this catches SIGKILL and stray
+    /// `exit` calls, which leave no flag behind). After the stop command is
+    /// posted, exits are expected: give each child a grace period, then
+    /// kill stragglers so `drop` cannot hang.
+    fn watchdog(
+        seg: Arc<Segment>,
+        shutting_down: Arc<AtomicBool>,
+        mut children: Vec<std::process::Child>,
+    ) {
+        let mut live = vec![true; children.len()];
+        while !shutting_down.load(Ordering::SeqCst) {
+            for (i, child) in children.iter_mut().enumerate() {
+                if !live[i] {
+                    continue;
+                }
+                if let Ok(Some(status)) = child.try_wait() {
+                    live[i] = false;
+                    if seg.read_cmd() != CMD_STOP {
+                        eprintln!(
+                            "mpisim: worker rank {} (pid {}) exited mid-world ({status}); \
+                             aborting the epoch",
+                            i + 1,
+                            child.id()
+                        );
+                        seg.note_rank_panic();
+                    }
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        for (i, child) in children.iter_mut().enumerate() {
+            if !live[i] {
+                continue;
+            }
+            loop {
+                if matches!(child.try_wait(), Ok(Some(_))) {
+                    break;
+                }
+                if std::time::Instant::now() >= deadline {
+                    eprintln!(
+                        "mpisim: worker rank {} ignored the stop command; killing it",
+                        i + 1
+                    );
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        }
+    }
+
+    /// Run one SPMD epoch: every rank of the world calls `run` with the
+    /// same closure (same program, same call sequence) and gets its own
+    /// rank's result. Rank 0 opens the epoch by posting the command word;
+    /// workers wait for it; an all-ranks barrier closes the epoch.
+    ///
+    /// A panic in this rank's closure raises the fabric flag (so blocked
+    /// peers abort) and then propagates — from worker processes via a
+    /// nonzero exit, which rank 0's watchdog also observes.
+    pub fn run<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&mut RankCtx) -> R,
+    {
+        let epoch = self.epoch.get() + 1;
+        self.epoch.set(epoch);
+        if self.rank == 0 {
+            self.seg.post_cmd(epoch); // job index 0: the SPMD closure
+        } else {
+            let cmd = self.await_cmd(epoch);
+            assert!(cmd.is_some(), "driver stopped before epoch {epoch}");
+        }
+        self.finish_epoch(catch_unwind(AssertUnwindSafe(|| {
+            let mut ctx = RankCtx::new(Arc::clone(&self.state), self.rank);
+            f(&mut ctx)
+        })))
+    }
+
+    /// Driver side of the benchmark protocol (rank 0 only): run job `job`
+    /// of the server's table as one epoch, executing `f` for rank 0's own
+    /// share of the work.
+    pub fn epoch_job<F, R>(&self, job: usize, f: F) -> R
+    where
+        F: FnOnce(&mut RankCtx) -> R,
+    {
+        assert_eq!(
+            self.rank, 0,
+            "epoch_job is the driver side; workers serve()"
+        );
+        assert!(
+            (job as u64) < (1 << 15),
+            "job index overflows the command word"
+        );
+        let epoch = self.epoch.get() + 1;
+        self.epoch.set(epoch);
+        self.seg.post_cmd(((job as u64) << JOB_SHIFT) | epoch);
+        self.finish_epoch(catch_unwind(AssertUnwindSafe(|| {
+            let mut ctx = RankCtx::new(Arc::clone(&self.state), self.rank);
+            f(&mut ctx)
+        })))
+    }
+
+    /// Server side of the benchmark protocol (workers only): loop epochs,
+    /// running `jobs[job]` for each command rank 0 posts, until the stop
+    /// command arrives. The caller then drops the world, which exits the
+    /// process.
+    pub fn serve(&self, jobs: &[&dyn Fn(&mut RankCtx)]) {
+        assert!(
+            self.rank != 0,
+            "serve is the worker side; rank 0 drives epoch_job"
+        );
+        loop {
+            let epoch = self.epoch.get() + 1;
+            let Some(job) = self.await_cmd(epoch) else {
+                return; // stop command: world is shutting down
+            };
+            self.epoch.set(epoch);
+            let job_fn = jobs
+                .get(job)
+                .unwrap_or_else(|| panic!("driver posted job {job}, table has {}", jobs.len()));
+            self.finish_epoch(catch_unwind(AssertUnwindSafe(|| {
+                let mut ctx = RankCtx::new(Arc::clone(&self.state), self.rank);
+                job_fn(&mut ctx);
+            })));
+        }
+    }
+
+    /// Wait for the command word to reach `epoch`; `Some(job)` when it
+    /// does, `None` on the stop command. Parks with the fabric stall
+    /// period, probing for peer death when nothing moves.
+    fn await_cmd(&self, epoch: u64) -> Option<usize> {
+        loop {
+            let cmd = self.seg.read_cmd();
+            if cmd == CMD_STOP {
+                return None;
+            }
+            if cmd & EPOCH_MASK == epoch {
+                return Some((cmd >> JOB_SHIFT) as usize);
+            }
+            assert!(
+                cmd & EPOCH_MASK < epoch,
+                "epoch protocol desync: driver is at {}, this rank expects {epoch}",
+                cmd & EPOCH_MASK
+            );
+            self.seg.park_cmd();
+            if self.seg.read_cmd() == cmd {
+                self.seg.check_alive(); // nothing moved: probe for death
+            }
+        }
+    }
+
+    fn finish_epoch<R>(&self, result: std::thread::Result<R>) -> R {
+        match result {
+            Ok(r) => {
+                self.seg.barrier(&|| self.seg.check_alive());
+                r
+            }
+            Err(p) => {
+                // raise the flag BEFORE dying so peers blocked on this
+                // rank's messages abort instead of waiting forever
+                self.seg.note_rank_panic();
+                if self.rank != 0 {
+                    eprintln!(
+                        "mpisim: rank {} panicked; aborting the epoch across the world",
+                        self.rank
+                    );
+                    std::process::exit(101);
+                }
+                resume_unwind(p);
+            }
+        }
+    }
+}
+
+impl Drop for ProcWorld {
+    fn drop(&mut self) {
+        if self.rank == 0 {
+            self.seg.post_cmd(CMD_STOP);
+            self.shutting_down.store(true, Ordering::SeqCst);
+            if let Some(w) = self.watchdog.take() {
+                let _ = w.join();
+            }
+        } else {
+            // hold the process alive until the stop command: rank 0's
+            // watchdog and pid sweep treat an early exit as a death
+            loop {
+                if self.seg.read_cmd() == CMD_STOP {
+                    break;
+                }
+                self.seg.park_cmd();
+                self.seg.check_alive();
+            }
+            // workers never run the program past the world
+            std::process::exit(0);
+        }
+    }
+}

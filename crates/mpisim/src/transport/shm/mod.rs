@@ -1,0 +1,456 @@
+//! The cross-process shared-memory fabric.
+//!
+//! All cross-rank state lives in one [`segment::Segment`]: plain sends
+//! travel over per-(src, dst) SPSC byte rings and are matched against a
+//! receiver-local unexpected queue; persistent channels are byte rings
+//! allocated through the segment's registration table (the pre-matched
+//! handshake); parking is process-shared futexes with the fabric-wide
+//! 50 ms stall period, so every blocked operation re-probes for peer
+//! death (flag + pid sweep) and aborts loudly instead of deadlocking.
+//!
+//! The same transport serves both deployment shapes: rank threads of one
+//! process ([`crate::World::run_shm`], [`crate::World::pool_shm`] — the
+//! fabric under test without process management) and ranks as separate
+//! OS processes ([`crate::World::spawn_processes`]).
+
+pub(crate) mod futex;
+pub(crate) mod ring;
+pub(crate) mod segment;
+
+use super::{PayloadMode, Transport};
+use crate::state::{ChanId, ChanKey, Envelope, Payload, WorldState};
+use parking_lot::{Condvar, Mutex};
+use ring::ShmChanRaw;
+use segment::Segment;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Wire frame of one plain-send envelope inside a mailbox ring:
+/// `[ctx_id: u64][src: u64][tag: u64][name_len: u32][payload_len: u32]`
+/// followed by the element type name and the payload bytes. The arrival
+/// stamp rides in the ring's own message header.
+const ENV_HDR: usize = 32;
+
+/// Receiver-local unexpected-message state of one rank.
+struct RecvState {
+    q: VecDeque<Envelope>,
+    /// Reassembly slots for oversized plain sends, one per source: an
+    /// envelope whose payload is still streaming in as continuation
+    /// frames over that source's mailbox ring, with the byte count still
+    /// outstanding. Per-ring FIFO makes continuations unambiguous.
+    partial: Vec<Option<(Envelope, usize)>>,
+}
+
+/// One mailbox frame spilled to the sender-side outbox: the exact byte
+/// image `ShmChanRaw::try_push` would have written, FIFO per (src, dst).
+struct Frame {
+    arrival: f64,
+    bytes: Vec<u8>,
+}
+
+struct OutboxState {
+    /// Spilled frames per (src, dst) pair, indexed `src * n + dst`.
+    pending: Vec<VecDeque<Frame>>,
+    /// True while a pair has spilled frames (or is mid-drain): deposits
+    /// on that pair must queue behind them to preserve FIFO, and only the
+    /// flusher pushes that ring (keeping it single-producer).
+    spilling: Vec<bool>,
+    /// Total spilled frames across all pairs.
+    live: usize,
+    shutdown: bool,
+}
+
+/// Sender-side spill buffer making `deposit` non-blocking. The thread
+/// transport's deposit never blocks (unbounded mailboxes), so protocols
+/// may legally have every rank send before any rank receives; with
+/// bounded mailbox rings that pattern would deadlock all senders on full
+/// rings. Frames that don't fit are queued here and a dedicated flusher
+/// thread retires them as the receiver drains ring space.
+struct Outbox {
+    state: Mutex<OutboxState>,
+    cv: Condvar,
+}
+
+pub(crate) struct ShmTransport {
+    seg: Arc<Segment>,
+    /// Receiver-side unexpected-message queues, one per world rank. Only
+    /// rank r's process (or thread) touches queue r — rings are pumped
+    /// into it on that rank's receive path, so the queue itself never
+    /// crosses a process boundary.
+    local_mb: Vec<Mutex<RecvState>>,
+    outbox: Arc<Outbox>,
+    flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl ShmTransport {
+    /// Create the fabric (segment creator: in-process worlds, and rank 0
+    /// of a process world).
+    pub fn create(n_ranks: usize) -> Arc<Self> {
+        Arc::new(Self::over(Segment::create(n_ranks)))
+    }
+
+    /// Attach to an existing fabric (worker processes).
+    pub fn attach(path: &str) -> Arc<Self> {
+        Arc::new(Self::over(Segment::attach(path)))
+    }
+
+    fn over(seg: Arc<Segment>) -> Self {
+        let n = seg.n_ranks();
+        let outbox = Arc::new(Outbox {
+            state: Mutex::new(OutboxState {
+                pending: (0..n * n).map(|_| VecDeque::new()).collect(),
+                spilling: vec![false; n * n],
+                live: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let flusher = {
+            let (seg, outbox) = (Arc::clone(&seg), Arc::clone(&outbox));
+            std::thread::Builder::new()
+                .name("mpisim-shm-flusher".into())
+                .spawn(move || run_flusher(&seg, &outbox))
+                .expect("spawn shm flusher thread")
+        };
+        Self {
+            seg,
+            local_mb: (0..n)
+                .map(|_| {
+                    Mutex::new(RecvState {
+                        q: VecDeque::new(),
+                        partial: (0..n).map(|_| None).collect(),
+                    })
+                })
+                .collect(),
+            outbox,
+            flusher: Mutex::new(Some(flusher)),
+        }
+    }
+
+    pub fn segment(&self) -> &Arc<Segment> {
+        &self.seg
+    }
+
+    fn mailbox_ring(&self, src: usize, dst: usize) -> ShmChanRaw {
+        ShmChanRaw::new(Arc::clone(&self.seg), self.seg.mailbox_ring_off(src, dst))
+    }
+
+    /// Deliver one mailbox frame on the (src, dst) ring without ever
+    /// blocking: a direct `try_push` when the pair isn't spilling and the
+    /// ring has room, otherwise a spill to the outbox for the flusher.
+    /// Caller holds the outbox lock, which is what serializes the rank's
+    /// deposit path against the flusher (each ring keeps one producer at
+    /// a time; the `spilling` flag only transitions under this lock).
+    fn send_frame(
+        &self,
+        st: &mut OutboxState,
+        src: usize,
+        dst: usize,
+        arrival: f64,
+        parts: &[&[u8]],
+    ) {
+        let idx = src * self.seg.n_ranks() + dst;
+        if !st.spilling[idx] && self.mailbox_ring(src, dst).try_push(arrival, parts) {
+            Segment::bump_and_wake(self.seg.mb_seq(dst));
+            return;
+        }
+        st.spilling[idx] = true;
+        let mut bytes = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
+        for p in parts {
+            bytes.extend_from_slice(p);
+        }
+        st.pending[idx].push_back(Frame { arrival, bytes });
+        st.live += 1;
+        self.outbox.cv.notify_one();
+    }
+
+    /// Drain every inbound mailbox ring of `dst` into its local unexpected
+    /// queue (preserving per-source FIFO order, which is what MPI's
+    /// non-overtaking rule requires), reassembling chunked envelopes.
+    fn pump(&self, dst: usize, st: &mut RecvState) {
+        for src in 0..self.seg.n_ranks() {
+            let ring = self.mailbox_ring(src, dst);
+            loop {
+                let partial = &mut st.partial[src];
+                let q = &mut st.q;
+                let popped = ring.try_pop_with(|arrival, a, b| {
+                    let done = match partial.take() {
+                        // continuation frame: the whole frame is payload
+                        Some((mut env, remaining)) => {
+                            let Payload::Bytes { data, .. } = &mut env.payload else {
+                                unreachable!("partial envelopes are byte payloads");
+                            };
+                            debug_assert!(a.len() + b.len() <= remaining);
+                            data.extend_from_slice(a);
+                            data.extend_from_slice(b);
+                            (env, remaining - a.len() - b.len())
+                        }
+                        None => {
+                            let mut raw = Vec::with_capacity(a.len() + b.len());
+                            raw.extend_from_slice(a);
+                            raw.extend_from_slice(b);
+                            decode_envelope(arrival, &raw)
+                        }
+                    };
+                    match done {
+                        (env, 0) => q.push_back(env),
+                        still_short => *partial = Some(still_short),
+                    }
+                });
+                if popped.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Flusher loop: retire spilled outbox frames into their mailbox rings as
+/// receivers free ring space. `try_push`-only, FIFO per pair; a pair's
+/// `spilling` flag clears (returning it to the direct deposit path) only
+/// once its queue drains, so frame order is preserved. When no frame fits
+/// yet, polls with a short timed wait — simpler than parking one thread
+/// on n² per-ring space futexes, and the deposit-side `notify_one` still
+/// wakes it immediately for fresh spills.
+fn run_flusher(seg: &Arc<Segment>, outbox: &Outbox) {
+    let n = seg.n_ranks();
+    let mut st = outbox.state.lock();
+    loop {
+        while st.live == 0 && !st.shutdown {
+            outbox.cv.wait(&mut st);
+        }
+        if st.shutdown {
+            return;
+        }
+        let mut progressed = false;
+        for idx in 0..n * n {
+            if st.pending[idx].is_empty() {
+                continue;
+            }
+            let ring = ShmChanRaw::new(Arc::clone(seg), seg.mailbox_ring_off(idx / n, idx % n));
+            while let Some(f) = st.pending[idx].front() {
+                if !ring.try_push(f.arrival, &[&f.bytes]) {
+                    break;
+                }
+                st.pending[idx].pop_front();
+                st.live -= 1;
+                progressed = true;
+                Segment::bump_and_wake(seg.mb_seq(idx % n));
+            }
+            if st.pending[idx].is_empty() {
+                st.spilling[idx] = false;
+            }
+        }
+        if !progressed && st.live > 0 {
+            let _ = outbox
+                .cv
+                .wait_for(&mut st, std::time::Duration::from_micros(500));
+        }
+    }
+}
+
+/// Parse an envelope's FIRST frame; returns the envelope (payload possibly
+/// incomplete) and the byte count still to arrive as continuation frames.
+fn decode_envelope(arrival: f64, raw: &[u8]) -> (Envelope, usize) {
+    let u64_at = |o: usize| u64::from_le_bytes(raw[o..o + 8].try_into().unwrap());
+    let u32_at = |o: usize| u32::from_le_bytes(raw[o..o + 4].try_into().unwrap()) as usize;
+    let (name_len, payload_len) = (u32_at(24), u32_at(28));
+    let got = raw.len() - ENV_HDR - name_len;
+    debug_assert!(got <= payload_len);
+    let mut data = Vec::with_capacity(payload_len);
+    data.extend_from_slice(&raw[ENV_HDR + name_len..]);
+    let env = Envelope {
+        ctx_id: u64_at(0),
+        src: u64_at(8) as usize,
+        tag: u64_at(16),
+        arrival,
+        payload: Payload::Bytes {
+            type_name: String::from_utf8_lossy(&raw[ENV_HDR..ENV_HDR + name_len]).into_owned(),
+            data,
+        },
+    };
+    (env, payload_len - got)
+}
+
+impl Transport for ShmTransport {
+    fn mode(&self) -> PayloadMode {
+        PayloadMode::Bytes
+    }
+
+    fn deposit(&self, src_world: usize, dst_world: usize, env: Envelope) {
+        let Payload::Bytes { data, type_name } = &env.payload else {
+            unreachable!("shm deposit requires byte payloads (PayloadMode::Bytes)");
+        };
+        let mut hdr = [0u8; ENV_HDR];
+        hdr[0..8].copy_from_slice(&env.ctx_id.to_le_bytes());
+        hdr[8..16].copy_from_slice(&(env.src as u64).to_le_bytes());
+        hdr[16..24].copy_from_slice(&env.tag.to_le_bytes());
+        hdr[24..28].copy_from_slice(&(type_name.len() as u32).to_le_bytes());
+        hdr[28..32].copy_from_slice(&(data.len() as u32).to_le_bytes());
+        // Payloads larger than a fraction of the ring stream through it in
+        // chunks (the receiver reassembles; see `RecvState::partial`), so a
+        // single plain send is never bounded by the ring capacity. Each
+        // frame gets its own wake so an already-parked receiver starts
+        // draining mid-message. Deposit itself NEVER blocks — frames that
+        // don't fit spill to the outbox (see `Outbox`) — matching the
+        // thread transport's unbounded buffered-send semantics: protocols
+        // where every rank sends before any rank receives must not
+        // deadlock on full rings.
+        let max_chunk = (self.seg.mailbox_cap() / 2) as usize;
+        assert!(
+            ENV_HDR + type_name.len() < max_chunk,
+            "mailbox ring too small for an envelope header (raise MPISIM_SHM_MAILBOX_CAP)"
+        );
+        let first = data.len().min(max_chunk - ENV_HDR - type_name.len());
+        let mut st = self.outbox.state.lock();
+        self.send_frame(
+            &mut st,
+            src_world,
+            dst_world,
+            env.arrival,
+            &[&hdr, type_name.as_bytes(), &data[..first]],
+        );
+        let mut off = first;
+        while off < data.len() {
+            let end = (off + max_chunk).min(data.len());
+            self.send_frame(&mut st, src_world, dst_world, 0.0, &[&data[off..end]]);
+            off = end;
+        }
+    }
+
+    fn match_recv(
+        &self,
+        global_dst: usize,
+        ctx_id: u64,
+        src: usize,
+        tag: u64,
+        stall: &dyn Fn(),
+    ) -> (Envelope, usize) {
+        let seq = self.seg.mb_seq(global_dst);
+        let mut st = self.local_mb[global_dst].lock();
+        loop {
+            let seen = seq.load(std::sync::atomic::Ordering::SeqCst);
+            self.pump(global_dst, &mut st);
+            let searched = st.q.len();
+            if let Some(pos) =
+                st.q.iter()
+                    .position(|e| e.ctx_id == ctx_id && e.src == src && e.tag == tag)
+            {
+                let env = st.q.remove(pos).expect("position valid");
+                return (env, searched);
+            }
+            futex::wait(seq, seen, futex::STALL_MS);
+            let moved = seq.load(std::sync::atomic::Ordering::SeqCst) != seen;
+            if !moved {
+                stall();
+            }
+        }
+    }
+
+    fn probe(&self, global_dst: usize, ctx_id: u64, src: usize, tag: u64) -> bool {
+        let mut st = self.local_mb[global_dst].lock();
+        self.pump(global_dst, &mut st);
+        st.q.iter()
+            .any(|e| e.ctx_id == ctx_id && e.src == src && e.tag == tag)
+    }
+
+    fn wait_any(
+        &self,
+        global_rank: usize,
+        chans: &[ChanId],
+        start: usize,
+        stall: &dyn Fn(),
+    ) -> usize {
+        for _ in 0..24 {
+            if let Some(i) = WorldState::poll_any_from(chans, start) {
+                return i;
+            }
+            std::thread::yield_now();
+        }
+        let seq = self.seg.ws_seq(global_rank);
+        // watcher-store (SeqCst) THEN scan pairs with the producer's
+        // count-bump THEN watcher-load: at least one side sees the other,
+        // so a deposit racing the park either gets scanned or gets woken
+        for c in chans {
+            c.watch(global_rank);
+        }
+        let found = loop {
+            let seen = seq.load(std::sync::atomic::Ordering::SeqCst);
+            if let Some(i) = WorldState::poll_any_from(chans, start) {
+                break i;
+            }
+            futex::wait(seq, seen, futex::STALL_MS);
+            if seq.load(std::sync::atomic::Ordering::SeqCst) == seen {
+                stall();
+            }
+        };
+        for c in chans {
+            c.unwatch(global_rank);
+        }
+        found
+    }
+
+    fn make_channel(
+        &self,
+        key: ChanKey,
+        elem_bytes: usize,
+        type_name: &'static str,
+        len_hint: usize,
+    ) -> Option<ShmChanRaw> {
+        let depth = std::env::var("MPISIM_SHM_RING_DEPTH")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(8u64);
+        let msg = 16 + (elem_bytes * len_hint.max(1)) as u64;
+        let ring_bytes = (depth * msg).next_power_of_two().max(64 << 10);
+        let off = self
+            .seg
+            .register_channel(key, elem_bytes, type_name, ring_bytes);
+        Some(ShmChanRaw::new(Arc::clone(&self.seg), off))
+    }
+
+    fn drain_in_flight(&self) {
+        {
+            let mut st = self.outbox.state.lock();
+            st.pending.iter_mut().for_each(VecDeque::clear);
+            st.spilling.iter_mut().for_each(|s| *s = false);
+            st.live = 0;
+        }
+        let n = self.seg.n_ranks();
+        for dst in 0..n {
+            for src in 0..n {
+                self.mailbox_ring(src, dst).drain();
+            }
+            let mut st = self.local_mb[dst].lock();
+            st.q.clear();
+            st.partial.iter_mut().for_each(|p| *p = None);
+        }
+        // persistent-channel rings are drained by the registry's typed
+        // drain hooks (WorldState::drain_in_flight runs both passes)
+    }
+
+    fn note_rank_panic(&self) {
+        self.seg.note_rank_panic();
+    }
+
+    fn clear_rank_panic(&self) {
+        self.seg.clear_rank_panic();
+    }
+
+    fn check_peer_alive(&self) {
+        self.seg.check_alive();
+    }
+}
+
+impl Drop for ShmTransport {
+    fn drop(&mut self) {
+        {
+            let mut st = self.outbox.state.lock();
+            st.shutdown = true;
+            self.outbox.cv.notify_all();
+        }
+        if let Some(h) = self.flusher.lock().take() {
+            let _ = h.join();
+        }
+    }
+}

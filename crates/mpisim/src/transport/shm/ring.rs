@@ -1,0 +1,422 @@
+//! SPSC byte rings inside the shared segment, and the typed channel view
+//! over them.
+//!
+//! One ring has exactly one producer (the sending rank) and one consumer
+//! (the receiving rank) — the fabric guarantees this by construction:
+//! mailbox rings are per (src, dst) pair, persistent-channel rings carry
+//! one pre-matched signature. head/tail are monotonic byte counters; the
+//! data area is a power-of-two so positions wrap by masking, and every
+//! copy handles the wrap by splitting into two `memcpy`s.
+//!
+//! Message frame: `[payload_len: u32][pad: u32][arrival: f64][payload]`,
+//! padded to 8 bytes. The frame is written and read as raw bytes (via the
+//! wrapped copy), so nothing in the ring ever needs alignment beyond the
+//! header word atomics.
+
+use super::futex;
+use super::segment::Segment;
+use crate::transport::{assert_pod, vec_extend_bytes};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[repr(C)]
+struct RingHdr {
+    /// Bytes consumed (monotonic; consumer-written).
+    head: AtomicU64,
+    /// Bytes produced (monotonic; producer-written).
+    tail: AtomicU64,
+    /// Data-area capacity in bytes (power of two).
+    cap: AtomicU64,
+    /// Delivered, unconsumed messages — the cross-process `ready` probe.
+    msg_count: AtomicU64,
+    /// Futex word bumped on every push.
+    data_seq: AtomicU32,
+    /// Futex word bumped on every pop (senders blocked on a full ring).
+    space_seq: AtomicU32,
+    /// World rank + 1 of a receiver whose parked `wait_any` set contains
+    /// this channel; 0 when nobody watches. Deposits route a wake to that
+    /// rank's `ws_seq` word.
+    watcher: AtomicU32,
+    _pad: u32,
+}
+
+/// Byte offset from a ring's base to its data area.
+pub(crate) const RING_HDR: u64 = 64;
+const MSG_HDR: usize = 16;
+
+pub(crate) fn init_ring(seg: &Segment, off: u64, cap_bytes: u64) {
+    assert!(cap_bytes.is_power_of_two(), "ring capacity must be 2^k");
+    let hdr = unsafe { &*(seg.at(off) as *const RingHdr) };
+    hdr.head.store(0, Ordering::SeqCst);
+    hdr.tail.store(0, Ordering::SeqCst);
+    hdr.msg_count.store(0, Ordering::SeqCst);
+    hdr.data_seq.store(0, Ordering::SeqCst);
+    hdr.space_seq.store(0, Ordering::SeqCst);
+    hdr.watcher.store(0, Ordering::SeqCst);
+    hdr.cap.store(cap_bytes, Ordering::SeqCst);
+}
+
+/// Untyped handle to one ring: a segment reference plus the ring's offset.
+/// Cloneable and process-local (the offset is the cross-process part).
+#[derive(Clone)]
+pub(crate) struct ShmChanRaw {
+    seg: Arc<Segment>,
+    off: u64,
+}
+
+impl ShmChanRaw {
+    pub fn new(seg: Arc<Segment>, off: u64) -> Self {
+        Self { seg, off }
+    }
+
+    pub fn seg(&self) -> &Arc<Segment> {
+        &self.seg
+    }
+
+    fn hdr(&self) -> &RingHdr {
+        unsafe { &*(self.seg.at(self.off) as *const RingHdr) }
+    }
+
+    fn data(&self) -> *mut u8 {
+        self.seg.at(self.off + RING_HDR)
+    }
+
+    fn cap(&self) -> u64 {
+        self.hdr().cap.load(Ordering::Relaxed)
+    }
+
+    pub fn msg_count(&self) -> usize {
+        self.hdr().msg_count.load(Ordering::SeqCst) as usize
+    }
+
+    pub fn ready(&self) -> bool {
+        self.msg_count() > 0
+    }
+
+    /// Copy `src` into the data area at monotonic position `pos`.
+    fn write_wrapped(&self, pos: u64, src: &[u8]) {
+        let cap = self.cap();
+        let start = (pos & (cap - 1)) as usize;
+        let first = src.len().min(cap as usize - start);
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), self.data().add(start), first);
+            if first < src.len() {
+                std::ptr::copy_nonoverlapping(
+                    src.as_ptr().add(first),
+                    self.data(),
+                    src.len() - first,
+                );
+            }
+        }
+    }
+
+    /// The two byte slices covering `len` bytes at monotonic position
+    /// `pos` (second is empty unless the range wraps).
+    fn slices(&self, pos: u64, len: usize) -> (&[u8], &[u8]) {
+        let cap = self.cap();
+        let start = (pos & (cap - 1)) as usize;
+        let first = len.min(cap as usize - start);
+        unsafe {
+            (
+                std::slice::from_raw_parts(self.data().add(start), first),
+                std::slice::from_raw_parts(self.data(), len - first),
+            )
+        }
+    }
+
+    /// Deposit one message without blocking: returns `false` (writing
+    /// nothing) when the ring lacks space for the whole frame. A single
+    /// message larger than the whole ring is a loud panic — resize via
+    /// `MPISIM_SHM_RING_DEPTH` / `MPISIM_SHM_MAILBOX_CAP`.
+    pub fn try_push(&self, arrival: f64, parts: &[&[u8]]) -> bool {
+        let payload: usize = parts.iter().map(|p| p.len()).sum();
+        let need = (MSG_HDR + payload).next_multiple_of(8) as u64;
+        let hdr = self.hdr();
+        let cap = self.cap();
+        assert!(
+            need <= cap,
+            "shm ring message of {payload} bytes exceeds the ring capacity of \
+             {cap} bytes (raise MPISIM_SHM_RING_DEPTH or MPISIM_SHM_MAILBOX_CAP)"
+        );
+        let tail = hdr.tail.load(Ordering::Relaxed); // single producer
+        if cap - (tail - hdr.head.load(Ordering::Acquire)) < need {
+            return false;
+        }
+        let mut frame = [0u8; MSG_HDR];
+        frame[0..4].copy_from_slice(&(payload as u32).to_le_bytes());
+        frame[8..16].copy_from_slice(&arrival.to_le_bytes());
+        self.write_wrapped(tail, &frame);
+        let mut pos = tail + MSG_HDR as u64;
+        for p in parts {
+            self.write_wrapped(pos, p);
+            pos += p.len() as u64;
+        }
+        hdr.tail.store(tail + need, Ordering::Release);
+        hdr.msg_count.fetch_add(1, Ordering::SeqCst);
+        Segment::bump_and_wake(&hdr.data_seq);
+        // route a wake to a receiver parked on a channel SET containing
+        // this one (see `ShmTransport::wait_any`); SeqCst on both the
+        // count bump above and this load pairs with the receiver's
+        // store-watcher-then-scan, so one side always observes the other
+        let w = hdr.watcher.load(Ordering::SeqCst);
+        if w != 0 {
+            Segment::bump_and_wake(self.seg.ws_seq(w as usize - 1));
+        }
+        true
+    }
+
+    /// Deposit one message, given as the concatenation of `parts`.
+    /// Blocks while the ring is full (the channel's buffered-send depth
+    /// is the ring capacity), invoking `stall` each stall period.
+    pub fn push(&self, arrival: f64, parts: &[&[u8]], stall: &dyn Fn()) {
+        loop {
+            if self.try_push(arrival, parts) {
+                return;
+            }
+            let hdr = self.hdr();
+            let seen = hdr.space_seq.load(Ordering::SeqCst);
+            if self.try_push(arrival, parts) {
+                return;
+            }
+            futex::wait(&hdr.space_seq, seen, futex::STALL_MS);
+            stall();
+        }
+    }
+
+    /// Consume the next message if one is delivered: `f` sees the arrival
+    /// stamp and the (possibly wrapped) payload as two byte slices, which
+    /// are only valid during the call. Single consumer.
+    pub fn try_pop_with<R>(&self, f: impl FnOnce(f64, &[u8], &[u8]) -> R) -> Option<R> {
+        let hdr = self.hdr();
+        if hdr.msg_count.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let head = hdr.head.load(Ordering::Relaxed); // single consumer
+        let mut frame = [0u8; MSG_HDR];
+        let (a, b) = self.slices(head, MSG_HDR);
+        frame[..a.len()].copy_from_slice(a);
+        frame[a.len()..].copy_from_slice(b);
+        let payload = u32::from_le_bytes(frame[0..4].try_into().unwrap()) as usize;
+        let arrival = f64::from_le_bytes(frame[8..16].try_into().unwrap());
+        let (pa, pb) = self.slices(head + MSG_HDR as u64, payload);
+        let r = f(arrival, pa, pb);
+        let need = (MSG_HDR + payload).next_multiple_of(8) as u64;
+        hdr.head.store(head + need, Ordering::Release);
+        hdr.msg_count.fetch_sub(1, Ordering::SeqCst);
+        Segment::bump_and_wake(&hdr.space_seq);
+        Some(r)
+    }
+
+    /// Block until the ring is non-empty, invoking `stall` each stall
+    /// period (same contract as the thread channel's `wait_nonempty`).
+    pub fn wait_nonempty(&self, stall: &dyn Fn()) {
+        for _ in 0..24 {
+            if self.ready() {
+                return;
+            }
+            std::thread::yield_now();
+        }
+        let hdr = self.hdr();
+        loop {
+            let seen = hdr.data_seq.load(Ordering::SeqCst);
+            if self.ready() {
+                return;
+            }
+            futex::wait(&hdr.data_seq, seen, futex::STALL_MS);
+            if self.ready() {
+                return;
+            }
+            stall();
+        }
+    }
+
+    /// Register/unregister this channel in a parked receiver's wait set.
+    pub fn set_watcher(&self, rank: usize) {
+        self.hdr().watcher.store(rank as u32 + 1, Ordering::SeqCst);
+    }
+
+    pub fn clear_watcher(&self, rank: usize) {
+        let _ = self.hdr().watcher.compare_exchange(
+            rank as u32 + 1,
+            0,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+    }
+
+    /// Consume and discard everything delivered. Quiescent use only (the
+    /// failed-epoch drain): no concurrent producer or consumer.
+    pub fn drain(&self) {
+        while self.try_pop_with(|_, _, _| ()).is_some() {}
+    }
+}
+
+/// Typed view over one shm ring: the shared-memory counterpart of the
+/// in-process `Channel<T>` body. Payload buffers are recycled through a
+/// process-local spare pool, mirroring `push_with`/`recycle` — the ring
+/// slots are the wire buffers, the spare `Vec<T>`s are the gather/scatter
+/// staging surfaces, and the steady state allocates nothing.
+pub(crate) struct ShmChan<T> {
+    raw: ShmChanRaw,
+    spare: Mutex<Vec<Vec<T>>>,
+}
+
+impl<T: Clone + Send + 'static> ShmChan<T> {
+    pub fn new(raw: ShmChanRaw) -> Self {
+        assert_pod::<T>("persistent channel over the shm transport");
+        Self {
+            raw,
+            spare: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn raw(&self) -> &ShmChanRaw {
+        &self.raw
+    }
+
+    pub fn push_with(&self, arrival: f64, fill: impl FnOnce(&mut Vec<T>)) {
+        let mut buf = self.spare.lock().pop().unwrap_or_default();
+        buf.clear();
+        fill(&mut buf);
+        self.raw
+            .push(arrival, &[crate::transport::bytes_of(&buf)], &|| {
+                self.raw.seg().check_alive()
+            });
+        self.spare.lock().push(buf);
+    }
+
+    pub fn try_pop(&self) -> Option<(Vec<T>, f64)> {
+        if !self.raw.ready() {
+            return None;
+        }
+        let mut buf = self.spare.lock().pop().unwrap_or_default();
+        buf.clear();
+        let arrival = self.raw.try_pop_with(|arrival, a, b| {
+            vec_extend_bytes(&mut buf, a, b);
+            arrival
+        });
+        match arrival {
+            Some(t) => Some((buf, t)),
+            None => {
+                self.spare.lock().push(buf);
+                None
+            }
+        }
+    }
+
+    pub fn pop_with(&self, stall_probe: impl Fn()) -> (Vec<T>, f64) {
+        loop {
+            if let Some(msg) = self.try_pop() {
+                return msg;
+            }
+            self.raw.wait_nonempty(&stall_probe);
+        }
+    }
+
+    pub fn wait_nonempty(&self, stall_probe: impl Fn()) {
+        self.raw.wait_nonempty(&stall_probe);
+    }
+
+    pub fn recycle(&self, buf: Vec<T>) {
+        self.spare.lock().push(buf);
+    }
+
+    pub fn drain_pending(&self) {
+        self.raw.drain();
+    }
+
+    pub fn ready(&self) -> bool {
+        self.raw.ready()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(cap: u64) -> ShmChanRaw {
+        let seg = Segment::create(2);
+        seg.unlink();
+        let off = seg.alloc(RING_HDR + cap);
+        init_ring(&seg, off, cap);
+        ShmChanRaw::new(seg, off)
+    }
+
+    #[test]
+    fn fifo_roundtrip_with_wraparound() {
+        let r = ring(256);
+        // frames are 16 + pad8(24) = 40 bytes; push/pop enough of them to
+        // wrap the 256-byte ring several times
+        for i in 0..32u64 {
+            let payload: Vec<u8> = (0..24).map(|j| (i as u8).wrapping_add(j)).collect();
+            r.push(i as f64, &[&payload], &|| {});
+            if i % 2 == 1 {
+                for k in [i - 1, i] {
+                    let got = r
+                        .try_pop_with(|arr, a, b| {
+                            let mut v = a.to_vec();
+                            v.extend_from_slice(b);
+                            (arr, v)
+                        })
+                        .expect("message delivered");
+                    assert_eq!(got.0, k as f64);
+                    assert_eq!(got.1[0], k as u8);
+                    assert_eq!(got.1.len(), 24);
+                }
+            }
+        }
+        assert!(!r.ready());
+    }
+
+    #[test]
+    fn full_ring_blocks_until_consumed() {
+        let r = ring(128);
+        let r2 = r.clone();
+        // capacity 128 holds exactly two 40-byte frames plus change
+        r.push(0.0, &[&[1u8; 24]], &|| {});
+        r.push(0.0, &[&[2u8; 24]], &|| {});
+        let t = std::thread::spawn(move || {
+            r2.push(0.0, &[&[3u8; 24]], &|| {});
+            r2.push(0.0, &[&[4u8; 24]], &|| {}); // blocks: 160 > 128
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            loop {
+                if let Some(b) = r.try_pop_with(|_, a, _| a[0]) {
+                    seen.push(b);
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+        t.join().unwrap();
+        assert_eq!(seen, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the ring capacity")]
+    fn oversized_message_panics() {
+        let r = ring(64);
+        r.push(0.0, &[&[0u8; 4096]], &|| {});
+    }
+
+    #[test]
+    fn typed_channel_recycles_buffers() {
+        let seg = Segment::create(2);
+        seg.unlink();
+        let off = seg.alloc(RING_HDR + 4096);
+        init_ring(&seg, off, 4096);
+        let c = ShmChan::<f64>::new(ShmChanRaw::new(seg, off));
+        c.push_with(0.5, |b| b.extend_from_slice(&[1.0, 2.0, 3.0]));
+        let (buf, arrival) = c.pop_with(|| {});
+        assert_eq!((buf.as_slice(), arrival), ([1.0, 2.0, 3.0].as_slice(), 0.5));
+        let cap_before = buf.capacity();
+        c.recycle(buf);
+        c.push_with(1.5, |b| b.extend_from_slice(&[4.0]));
+        let (buf, _) = c.pop_with(|| {});
+        assert_eq!(buf.as_slice(), [4.0].as_slice());
+        assert!(buf.capacity() >= 1 && cap_before >= 3);
+    }
+}

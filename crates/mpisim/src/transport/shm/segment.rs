@@ -1,0 +1,560 @@
+//! The shared segment: one `/dev/shm` file mapped by every process of the
+//! fabric, holding all cross-process state.
+//!
+//! Layout (all offsets 8-aligned, pointers never cross the boundary —
+//! every cross-process reference is a byte offset from the mapping base):
+//!
+//! ```text
+//! [SegHeader]                    magic, alloc bump, panic flag,
+//!                                epoch command word, barrier words
+//! [pids;    n_ranks  × u32]      attached process of each rank (liveness)
+//! [ws_seq;  n_ranks  × u32]      per-rank wait_any futex word
+//! [mb_seq;  n_ranks  × u32]      per-rank mailbox futex word
+//! [table;   TABLE_CAP × slot]    persistent-channel registration table
+//! [mailbox rings; n² × ring]     plain-send SPSC byte rings (src → dst)
+//! [bump area]                    persistent-channel rings, allocated on
+//!                                registration
+//! ```
+//!
+//! The creator initializes everything before publishing `magic`; workers
+//! attach read-write and verify `magic` + the rank count. `/dev/shm` is a
+//! tmpfs, so the generous default size only commits pages actually
+//! touched.
+
+use super::futex;
+use crate::state::ChanKey;
+use std::fs::OpenOptions;
+use std::os::unix::io::AsRawFd;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+const MAGIC: u64 = 0x6d70_6973_696d_0007; // "mpisim", layout v7
+const ALIGN: u64 = 64;
+
+/// Fixed capacity of the channel registration table. A world registers one
+/// slot per persistent signature (partitioned sends add one per
+/// partition); exceeding this is a loud panic, not silent corruption.
+pub(crate) const TABLE_CAP: usize = 4096;
+
+/// The epoch command word meaning "shut down" (see `transport::proc`).
+pub(crate) const CMD_STOP: u64 = u64::MAX;
+
+extern "C" {
+    fn mmap(addr: *mut u8, len: usize, prot: i32, flags: i32, fd: i32, off: i64) -> *mut u8;
+    fn munmap(addr: *mut u8, len: usize) -> i32;
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+
+const PROT_READ: i32 = 1;
+const PROT_WRITE: i32 = 2;
+const MAP_SHARED: i32 = 1;
+const ESRCH: i32 = 3;
+
+#[repr(C)]
+struct SegHeader {
+    magic: AtomicU64,
+    n_ranks: AtomicU64,
+    seg_len: AtomicU64,
+    /// Bump allocator head for the free area at the end of the segment.
+    alloc_next: AtomicU64,
+    /// Set when a rank of the current epoch panicked or its process died.
+    rank_panicked: AtomicU32,
+    /// Futex word bumped whenever `epoch_cmd` changes.
+    epoch_seq: AtomicU32,
+    /// Epoch command word (see `transport::proc`): `(job << 48) | epoch`,
+    /// or [`CMD_STOP`].
+    epoch_cmd: AtomicU64,
+    /// Sense-reversing barrier: generation (futex word) + arrival count.
+    barrier_gen: AtomicU32,
+    barrier_count: AtomicU32,
+    /// Spinlock guarding the registration table.
+    table_lock: AtomicU32,
+    _pad: u32,
+    /// Offset of the first mailbox ring and per-ring data capacity.
+    mailbox_base: AtomicU64,
+    mailbox_cap: AtomicU64,
+}
+
+const HDR_SIZE: u64 = 128; // > size_of::<SegHeader>(), room to grow
+
+#[repr(C)]
+struct TableSlot {
+    /// 0 = empty, 1 = ready. Written last, under the table lock.
+    used: AtomicU32,
+    _pad: u32,
+    key: [AtomicU64; 4],
+    elem_bytes: AtomicU64,
+    name_hash: AtomicU64,
+    ring_off: AtomicU64,
+}
+
+const SLOT_SIZE: u64 = 64;
+
+/// One process's mapping of the fabric's shared segment.
+pub(crate) struct Segment {
+    base: *mut u8,
+    len: usize,
+    path: PathBuf,
+    /// Only the creating process unlinks the backing file.
+    created: bool,
+    unlinked: AtomicBool,
+}
+
+// The mapping is plain shared memory accessed through atomics and
+// explicitly-synchronized byte copies.
+unsafe impl Send for Segment {}
+unsafe impl Sync for Segment {}
+
+fn env_size(var: &str, default: u64) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl Segment {
+    fn offsets(n: u64) -> (u64, u64, u64, u64, u64) {
+        let pids = HDR_SIZE;
+        let ws_seq = align(pids + 4 * n);
+        let mb_seq = align(ws_seq + 4 * n);
+        let table = align(mb_seq + 4 * n);
+        let bump = align(table + SLOT_SIZE * TABLE_CAP as u64);
+        (pids, ws_seq, mb_seq, table, bump)
+    }
+
+    /// Create and initialize the fabric segment for `n_ranks` ranks.
+    pub fn create(n_ranks: usize) -> Arc<Segment> {
+        let n = n_ranks as u64;
+        let mailbox_cap = env_size("MPISIM_SHM_MAILBOX_CAP", 256 << 10).next_power_of_two();
+        let mailbox_total = n * n * (super::ring::RING_HDR + mailbox_cap);
+        let default_len = (mailbox_total + (192 << 20)).max(256 << 20);
+        let len = env_size("MPISIM_SHM_BYTES", default_len).max(mailbox_total + (16 << 20));
+
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = PathBuf::from(format!(
+            "/dev/shm/mpisim-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("create shm segment {}: {e}", path.display()));
+        file.set_len(len).expect("size shm segment");
+        let seg = Segment::map(file, path, len as usize, true);
+
+        let (_, _, _, _, bump) = Self::offsets(n);
+        let h = seg.header();
+        h.n_ranks.store(n, Ordering::Relaxed);
+        h.seg_len.store(len, Ordering::Relaxed);
+        h.alloc_next.store(bump, Ordering::Relaxed);
+        h.mailbox_cap.store(mailbox_cap, Ordering::Relaxed);
+        // the attach barrier reuses the epoch barrier words, all zero
+        let mailbox_base = seg.alloc(n * n * (super::ring::RING_HDR + mailbox_cap));
+        h.mailbox_base.store(mailbox_base, Ordering::Relaxed);
+        for i in 0..(n * n) {
+            super::ring::init_ring(
+                &seg,
+                mailbox_base + i * (super::ring::RING_HDR + mailbox_cap),
+                mailbox_cap,
+            );
+        }
+        // publish: attachers spin on magic before touching anything else
+        h.magic.store(MAGIC, Ordering::SeqCst);
+        Arc::new(seg)
+    }
+
+    /// Map an existing fabric segment (worker processes).
+    pub fn attach(path: &str) -> Arc<Segment> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .unwrap_or_else(|e| panic!("attach shm segment {path}: {e}"));
+        let len = file.metadata().expect("stat shm segment").len() as usize;
+        let seg = Segment::map(file, PathBuf::from(path), len, false);
+        assert_eq!(
+            seg.header().magic.load(Ordering::SeqCst),
+            MAGIC,
+            "shm segment {path} has no initialized fabric (version mismatch?)"
+        );
+        Arc::new(seg)
+    }
+
+    fn map(file: std::fs::File, path: PathBuf, len: usize, created: bool) -> Segment {
+        let base = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        assert!(
+            !base.is_null() && base as isize != -1,
+            "mmap of shm segment failed ({})",
+            std::io::Error::last_os_error()
+        );
+        // the fd is only needed for the mapping; the mapping keeps the
+        // file's pages alive even after close + unlink
+        drop(file);
+        Segment {
+            base,
+            len,
+            path,
+            created,
+            unlinked: AtomicBool::new(false),
+        }
+    }
+
+    /// Remove the backing file (idempotent; creator only). The mapping —
+    /// and therefore the fabric — stays fully usable: tmpfs pages live
+    /// until the last process unmaps.
+    pub fn unlink(&self) {
+        if self.created && !self.unlinked.swap(true, Ordering::SeqCst) {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    fn header(&self) -> &SegHeader {
+        unsafe { &*(self.base as *const SegHeader) }
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.header().n_ranks.load(Ordering::Relaxed) as usize
+    }
+
+    /// Raw pointer at a byte offset. The caller is responsible for staying
+    /// inside regions it owns under the fabric's protocols.
+    pub(crate) fn at(&self, off: u64) -> *mut u8 {
+        debug_assert!((off as usize) < self.len);
+        unsafe { self.base.add(off as usize) }
+    }
+
+    pub(crate) fn atomic_u32(&self, off: u64) -> &AtomicU32 {
+        debug_assert_eq!(off % 4, 0);
+        unsafe { &*(self.at(off) as *const AtomicU32) }
+    }
+
+    /// Bump-allocate `bytes` from the free area; 64-aligned.
+    pub fn alloc(&self, bytes: u64) -> u64 {
+        let need = align(bytes);
+        let off = self.header().alloc_next.fetch_add(need, Ordering::SeqCst);
+        assert!(
+            off + need <= self.len as u64,
+            "shm segment exhausted allocating {bytes} bytes (len {}; raise MPISIM_SHM_BYTES)",
+            self.len
+        );
+        off
+    }
+
+    // ---- per-rank words ---------------------------------------------------
+
+    pub fn pid_slot(&self, rank: usize) -> &AtomicU32 {
+        let (pids, ..) = Self::offsets(self.n_ranks() as u64);
+        self.atomic_u32(pids + 4 * rank as u64)
+    }
+
+    /// Futex word waking rank `rank`'s parked `wait_any`.
+    pub fn ws_seq(&self, rank: usize) -> &AtomicU32 {
+        let (_, ws, ..) = Self::offsets(self.n_ranks() as u64);
+        self.atomic_u32(ws + 4 * rank as u64)
+    }
+
+    /// Futex word waking rank `rank`'s blocked mailbox receive.
+    pub fn mb_seq(&self, rank: usize) -> &AtomicU32 {
+        let (_, _, mb, ..) = Self::offsets(self.n_ranks() as u64);
+        self.atomic_u32(mb + 4 * rank as u64)
+    }
+
+    pub fn bump_and_wake(word: &AtomicU32) {
+        word.fetch_add(1, Ordering::SeqCst);
+        futex::wake_all(word);
+    }
+
+    // ---- death containment ------------------------------------------------
+
+    pub fn note_rank_panic(&self) {
+        self.header().rank_panicked.store(1, Ordering::SeqCst);
+        // latency only — every park also times out and re-probes
+        futex::wake_all(&self.header().epoch_seq);
+        futex::wake_all(&self.header().barrier_gen);
+        for r in 0..self.n_ranks() {
+            futex::wake_all(self.ws_seq(r));
+            futex::wake_all(self.mb_seq(r));
+        }
+    }
+
+    pub fn clear_rank_panic(&self) {
+        self.header().rank_panicked.store(0, Ordering::SeqCst);
+    }
+
+    pub fn rank_panicked(&self) -> bool {
+        self.header().rank_panicked.load(Ordering::SeqCst) != 0
+    }
+
+    /// Stall probe of every blocking wait in the fabric: panic if a peer
+    /// rank panicked, or if an attached peer *process* no longer exists
+    /// (SIGKILL leaves no flag behind — the pid sweep catches it). Clean
+    /// worker exits after a [`CMD_STOP`] are not deaths.
+    pub fn check_alive(&self) {
+        assert!(
+            !self.rank_panicked(),
+            "a peer rank panicked this epoch; abandoning blocked receive"
+        );
+        let stopping = self.read_cmd() == CMD_STOP;
+        for r in 0..self.n_ranks() {
+            let pid = self.pid_slot(r).load(Ordering::SeqCst);
+            if pid == 0 || (stopping && r != 0) {
+                continue; // not attached yet, or shutting down cleanly
+            }
+            if !pid_alive(pid) {
+                self.note_rank_panic();
+                panic!(
+                    "rank {r} process (pid {pid}) died; abandoning blocked \
+                     operation on the shm fabric"
+                );
+            }
+        }
+    }
+
+    // ---- epoch protocol ---------------------------------------------------
+
+    pub fn post_cmd(&self, cmd: u64) {
+        self.header().epoch_cmd.store(cmd, Ordering::SeqCst);
+        Self::bump_and_wake(&self.header().epoch_seq);
+    }
+
+    pub fn read_cmd(&self) -> u64 {
+        self.header().epoch_cmd.load(Ordering::SeqCst)
+    }
+
+    /// Park until `epoch_cmd` changes (bounded by the stall period);
+    /// callers loop re-reading the command word.
+    pub fn park_cmd(&self) {
+        let h = self.header();
+        let seen = h.epoch_seq.load(Ordering::SeqCst);
+        futex::wait(&h.epoch_seq, seen, futex::STALL_MS);
+    }
+
+    /// All-ranks sense-reversing barrier. `stall` runs each stall period
+    /// while blocked (after re-checking the barrier condition, so clean
+    /// peer exits never race the probe into a false death).
+    pub fn barrier(&self, stall: &dyn Fn()) {
+        let n = self.n_ranks() as u32;
+        let h = self.header();
+        let gen = h.barrier_gen.load(Ordering::SeqCst);
+        if h.barrier_count.fetch_add(1, Ordering::SeqCst) + 1 == n {
+            h.barrier_count.store(0, Ordering::SeqCst);
+            h.barrier_gen.fetch_add(1, Ordering::SeqCst);
+            futex::wake_all(&h.barrier_gen);
+        } else {
+            loop {
+                if h.barrier_gen.load(Ordering::SeqCst) != gen {
+                    return;
+                }
+                futex::wait(&h.barrier_gen, gen, futex::STALL_MS);
+                if h.barrier_gen.load(Ordering::SeqCst) != gen {
+                    return;
+                }
+                stall();
+            }
+        }
+    }
+
+    // ---- registration table -----------------------------------------------
+
+    fn table_slot(&self, i: usize) -> &TableSlot {
+        let (_, _, _, table, _) = Self::offsets(self.n_ranks() as u64);
+        unsafe { &*(self.at(table + SLOT_SIZE * i as u64) as *const TableSlot) }
+    }
+
+    /// The pre-matched registration handshake: whichever process registers
+    /// `key` first allocates its ring; the other side attaches to the same
+    /// slot by key lookup, completing the match at init time (mirroring the
+    /// in-process channel registry). Returns the ring's segment offset.
+    pub fn register_channel(
+        &self,
+        key: ChanKey,
+        elem_bytes: usize,
+        type_name: &str,
+        ring_bytes: u64,
+    ) -> u64 {
+        let k = [key.0, key.1 as u64, key.2 as u64, key.3];
+        let hash = fnv1a(type_name.as_bytes());
+        let _guard = TableLock::acquire(self);
+        for i in 0..TABLE_CAP {
+            let slot = self.table_slot(i);
+            if slot.used.load(Ordering::SeqCst) == 0 {
+                let off = self.alloc(super::ring::RING_HDR + ring_bytes);
+                super::ring::init_ring(self, off, ring_bytes);
+                for (dst, v) in slot.key.iter().zip(k) {
+                    dst.store(v, Ordering::SeqCst);
+                }
+                slot.elem_bytes.store(elem_bytes as u64, Ordering::SeqCst);
+                slot.name_hash.store(hash, Ordering::SeqCst);
+                slot.ring_off.store(off, Ordering::SeqCst);
+                slot.used.store(1, Ordering::SeqCst);
+                return off;
+            }
+            if slot
+                .key
+                .iter()
+                .zip(k)
+                .all(|(s, v)| s.load(Ordering::SeqCst) == v)
+            {
+                assert!(
+                    slot.elem_bytes.load(Ordering::SeqCst) == elem_bytes as u64
+                        && slot.name_hash.load(Ordering::SeqCst) == hash,
+                    "persistent channel {key:?} datatype mismatch across the shm \
+                     fabric: peer registered elements of {} bytes, this rank \
+                     requested {type_name} ({elem_bytes} bytes)",
+                    slot.elem_bytes.load(Ordering::SeqCst),
+                );
+                return slot.ring_off.load(Ordering::SeqCst);
+            }
+        }
+        panic!("shm channel table full ({TABLE_CAP} signatures registered)");
+    }
+
+    /// Per-mailbox-ring data capacity in bytes (chunked deposits split
+    /// oversized plain sends against this).
+    pub fn mailbox_cap(&self) -> u64 {
+        self.header().mailbox_cap.load(Ordering::Relaxed)
+    }
+
+    /// Mailbox ring (src → dst) offset.
+    pub fn mailbox_ring_off(&self, src: usize, dst: usize) -> u64 {
+        let n = self.n_ranks() as u64;
+        let h = self.header();
+        let stride = super::ring::RING_HDR + h.mailbox_cap.load(Ordering::Relaxed);
+        h.mailbox_base.load(Ordering::Relaxed) + (src as u64 * n + dst as u64) * stride
+    }
+}
+
+impl Drop for Segment {
+    fn drop(&mut self) {
+        self.unlink();
+        unsafe {
+            munmap(self.base, self.len);
+        }
+    }
+}
+
+/// RAII spinlock over the registration table: released on drop, so a
+/// panic inside `register_channel` (table full, datatype mismatch) cannot
+/// wedge the other processes' registrations.
+struct TableLock<'a> {
+    seg: &'a Segment,
+}
+
+impl<'a> TableLock<'a> {
+    fn acquire(seg: &'a Segment) -> Self {
+        let lock = &seg.header().table_lock;
+        let mut spins = 0u32;
+        while lock
+            .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            spins += 1;
+            if spins.is_multiple_of(1024) {
+                seg.check_alive(); // holder's process may have died
+            }
+            std::thread::yield_now();
+        }
+        Self { seg }
+    }
+}
+
+impl Drop for TableLock<'_> {
+    fn drop(&mut self) {
+        self.seg.header().table_lock.store(0, Ordering::SeqCst);
+    }
+}
+
+/// Liveness probe by pid: true while the process exists.
+pub(crate) fn pid_alive(pid: u32) -> bool {
+    !(unsafe { kill(pid as i32, 0) } == -1
+        && std::io::Error::last_os_error().raw_os_error() == Some(ESRCH))
+}
+
+fn align(off: u64) -> u64 {
+    off.div_ceil(ALIGN) * ALIGN
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_attach_roundtrip() {
+        let seg = Segment::create(3);
+        assert_eq!(seg.n_ranks(), 3);
+        let seg2 = Segment::attach(seg.path().to_str().unwrap());
+        assert_eq!(seg2.n_ranks(), 3);
+        // both mappings see the same memory
+        seg.pid_slot(1).store(4242, Ordering::SeqCst);
+        assert_eq!(seg2.pid_slot(1).load(Ordering::SeqCst), 4242);
+        seg.unlink();
+    }
+
+    #[test]
+    fn registration_is_get_or_create_by_key() {
+        let seg = Segment::create(2);
+        let a = seg.register_channel((1, 0, 1, 9), 8, "f64", 1 << 12);
+        let b = seg.register_channel((1, 0, 1, 9), 8, "f64", 1 << 12);
+        let c = seg.register_channel((1, 1, 0, 9), 8, "f64", 1 << 12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        seg.unlink();
+    }
+
+    #[test]
+    #[should_panic(expected = "datatype mismatch")]
+    fn registration_datatype_mismatch_panics() {
+        let seg = Segment::create(2);
+        seg.register_channel((1, 0, 1, 9), 8, "f64", 1 << 12);
+        seg.register_channel((1, 0, 1, 9), 4, "u32", 1 << 12);
+    }
+
+    #[test]
+    fn barrier_releases_all_ranks() {
+        let seg = Segment::create(4);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        seg.barrier(&|| {});
+                    }
+                });
+            }
+        });
+        seg.unlink();
+    }
+
+    #[test]
+    #[should_panic(expected = "peer rank panicked")]
+    fn check_alive_sees_the_panic_flag() {
+        let seg = Segment::create(2);
+        seg.note_rank_panic();
+        seg.check_alive();
+    }
+}

@@ -1,0 +1,145 @@
+//! The in-process fabric: one mutexed mailbox per rank, typed payloads,
+//! condvar wakeups. This is the transport every thread-backed world
+//! ([`crate::World::run`], [`crate::WorldPool`]) uses by default — the
+//! behavior `mpisim` always had, now behind the [`Transport`] seam.
+
+use super::{PayloadMode, ShmChanRaw, Transport};
+use crate::state::{ChanId, ChanKey, Envelope, Mailbox, WaitSet, WorldState};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+pub(crate) struct ThreadTransport {
+    /// Unexpected-message queue of each rank.
+    mailboxes: Vec<Mailbox>,
+    /// One park point per world rank for completion-driven receives over
+    /// channel sets. Lives with the transport (like the channel registry)
+    /// so pooled epochs reuse it warm.
+    wait_sets: Vec<Arc<WaitSet>>,
+    /// Set when a rank of the current pool epoch panicked: blocked
+    /// receives check it from their stall probes and abort loudly instead
+    /// of waiting forever for a message the dead rank will never send.
+    rank_panicked: AtomicBool,
+}
+
+impl ThreadTransport {
+    pub fn new(n_ranks: usize) -> Self {
+        Self {
+            mailboxes: (0..n_ranks).map(|_| Mailbox::default()).collect(),
+            wait_sets: (0..n_ranks).map(|_| Arc::new(WaitSet::new())).collect(),
+            rank_panicked: AtomicBool::new(false),
+        }
+    }
+}
+
+impl Transport for ThreadTransport {
+    fn mode(&self) -> PayloadMode {
+        PayloadMode::Typed
+    }
+
+    fn deposit(&self, _src_world: usize, dst_world: usize, env: Envelope) {
+        let mb = &self.mailboxes[dst_world];
+        let mut q = mb.queue.lock();
+        q.push_back(env);
+        mb.cv.notify_all();
+    }
+
+    fn match_recv(
+        &self,
+        global_dst: usize,
+        ctx_id: u64,
+        src: usize,
+        tag: u64,
+        stall: &dyn Fn(),
+    ) -> (Envelope, usize) {
+        let mb = &self.mailboxes[global_dst];
+        let mut q = mb.queue.lock();
+        loop {
+            let searched = q.len();
+            if let Some(pos) = q
+                .iter()
+                .position(|e| e.ctx_id == ctx_id && e.src == src && e.tag == tag)
+            {
+                let env = q.remove(pos).expect("position valid");
+                return (env, searched);
+            }
+            if mb
+                .cv
+                .wait_for(&mut q, std::time::Duration::from_millis(50))
+                .timed_out()
+            {
+                stall();
+            }
+        }
+    }
+
+    fn probe(&self, global_dst: usize, ctx_id: u64, src: usize, tag: u64) -> bool {
+        let q = self.mailboxes[global_dst].queue.lock();
+        q.iter()
+            .any(|e| e.ctx_id == ctx_id && e.src == src && e.tag == tag)
+    }
+
+    fn wait_any(
+        &self,
+        global_rank: usize,
+        chans: &[ChanId],
+        start: usize,
+        stall: &dyn Fn(),
+    ) -> usize {
+        // Yield-spin before parking: same rationale as `Channel::pop_with`.
+        for _ in 0..24 {
+            if let Some(i) = WorldState::poll_any_from(chans, start) {
+                return i;
+            }
+            std::thread::yield_now();
+        }
+        let ws = &self.wait_sets[global_rank];
+        for c in chans {
+            c.attach(ws);
+        }
+        let found = loop {
+            // generation BEFORE the scan: a deposit racing with the scan
+            // bumps it, so the park below returns without sleeping
+            let seen = ws.generation();
+            if let Some(i) = WorldState::poll_any_from(chans, start) {
+                break i;
+            }
+            ws.park_past(seen, stall);
+        };
+        // stop routing deposit wakes to this rank once it is running again
+        for c in chans {
+            c.detach(ws);
+        }
+        found
+    }
+
+    fn make_channel(
+        &self,
+        _key: ChanKey,
+        _elem_bytes: usize,
+        _type_name: &'static str,
+        _len_hint: usize,
+    ) -> Option<ShmChanRaw> {
+        None // in-process channels stay typed; no shared ring needed
+    }
+
+    fn drain_in_flight(&self) {
+        for mb in &self.mailboxes {
+            mb.queue.lock().clear();
+        }
+    }
+
+    fn note_rank_panic(&self) {
+        self.rank_panicked.store(true, Ordering::Release);
+    }
+
+    fn clear_rank_panic(&self) {
+        self.rank_panicked.store(false, Ordering::Release);
+    }
+
+    fn check_peer_alive(&self) {
+        assert!(
+            !self.rank_panicked.load(Ordering::Acquire),
+            "a peer rank panicked this epoch; abandoning blocked receive"
+        );
+    }
+}

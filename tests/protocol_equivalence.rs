@@ -2,14 +2,18 @@
 //! topologies, every backend of the unified `NeighborAlltoallv` API — the
 //! four paper protocols, the §5 partitioned combination, and model-driven
 //! auto-selection — must deliver byte-identical ghost values to a direct
-//! exchange computed straight from the pattern. Each backend runs both in
-//! a one-shot spawned world and inside a shared warm [`WorldPool`], so the
-//! zero-copy pooled path is pinned byte-for-byte to the same reference.
+//! exchange computed straight from the pattern. Each backend runs in a
+//! one-shot spawned world, inside a shared warm [`WorldPool`], and over
+//! the cross-process shared-memory fabric ([`World::run_shm`] — the same
+//! `ShmTransport` that backs ranks-as-OS-processes, exercised here with
+//! rank threads), so the zero-copy pooled path and the shm wire path are
+//! both pinned byte-for-byte to the same reference.
 //!
 //! A second property pins the [`NeighborBatch`] session API to the same
 //! reference: a batch of N random (pattern, backend) entries — planned,
-//! tagged, and staged together, spawned and pooled — must deliver
-//! byte-identical outputs to N independent `NeighborAlltoallv` inits,
+//! tagged, and staged together; spawned, pooled, and over the shm fabric
+//! — must deliver byte-identical outputs to N independent
+//! `NeighborAlltoallv` inits,
 //! **whichever lifecycle drives it**: the completion-driven
 //! `start_all`/`wait_any` retire loop (entries complete in delivery
 //! order) and `start_all`/`wait_all` are both pinned against the
@@ -117,6 +121,17 @@ fn run_backend_pooled(
     })
 }
 
+/// Run `backend` in a fresh world over the shared-memory fabric: the
+/// byte-payload `ShmTransport` wire path (mailbox rings, chunking,
+/// pre-matched ring channels) under the thread deployment shape.
+fn run_backend_shm(pattern: &CommPattern, topo: &Topology, backend: Backend) -> Vec<Vec<Vec<u64>>> {
+    let coll = NeighborAlltoallv::new(pattern, topo).backend(backend);
+    World::run_shm(pattern.n_ranks, |ctx| {
+        let comm = ctx.comm_world();
+        backend_body(&coll, ctx, &comm)
+    })
+}
+
 /// Every backend, for the batch property's per-entry draws.
 const ALL_BACKENDS: [Backend; 7] = [
     Backend::Protocol(Protocol::StandardHypre),
@@ -215,6 +230,7 @@ proptest! {
         for backend in backends {
             let got = run_backend(&pattern, &topo, backend);
             let pooled = run_backend_pooled(&pool, &pattern, &topo, backend);
+            let shm = run_backend_shm(&pattern, &topo, backend);
             for (rank, iters) in got.iter().enumerate() {
                 for (it, bits) in iters.iter().enumerate() {
                     prop_assert_eq!(
@@ -229,6 +245,14 @@ proptest! {
                         &pooled[rank][it],
                         bits,
                         "{:?} pooled world diverged from spawned world at rank {} iteration {}",
+                        backend,
+                        rank,
+                        it
+                    );
+                    prop_assert_eq!(
+                        &shm[rank][it],
+                        bits,
+                        "{:?} shm world diverged from thread world at rank {} iteration {}",
                         backend,
                         rank,
                         it
@@ -278,6 +302,10 @@ proptest! {
                 let comm = ctx.comm_world();
                 batch_body(&batch, lifecycle, ctx, &comm)
             });
+            let shm = World::run_shm(8, |ctx| {
+                let comm = ctx.comm_world();
+                batch_body(&batch, lifecycle, ctx, &comm)
+            });
 
             for (rank, per_entry) in batched.iter().enumerate() {
                 prop_assert_eq!(per_entry.len(), entries.len());
@@ -298,6 +326,16 @@ proptest! {
                             &pooled[rank][e][it],
                             bits,
                             "{:?} pooled batch diverged from spawned batch at entry {} \
+                             rank {} iteration {}",
+                            lifecycle,
+                            e,
+                            rank,
+                            it
+                        );
+                        prop_assert_eq!(
+                            &shm[rank][e][it],
+                            bits,
+                            "{:?} shm batch diverged from thread batch at entry {} \
                              rank {} iteration {}",
                             lifecycle,
                             e,

@@ -1,0 +1,265 @@
+//! Acceptance tests for the cross-process shared-memory fabric: ranks as
+//! real OS processes over `ProcWorld`.
+//!
+//! `harness = false`: the binary dispatches on its first argument. With no
+//! recognized scenario it is the orchestrator — it re-runs itself once per
+//! scenario as a subprocess (each scenario process becomes rank 0 of its
+//! own process world and re-execs the remaining ranks, which land back in
+//! `main` with the same argument). This keeps `ProcWorld::launch`'s
+//! one-launch-per-process rule intact while letting one `cargo test`
+//! invocation cover all scenarios.
+//!
+//! Scenarios:
+//! - `equivalence`: mixed plain/persistent/collective traffic on 4 process
+//!   ranks, byte-identical to the same closure on the thread transport.
+//! - `amg`: the paper pipeline — every AMG level's halo exchange through
+//!   one `NeighborBatch` session on 8 process ranks, byte-identical to the
+//!   thread-transport run (the PR's acceptance criterion).
+//! - `death`: a worker process exits mid-epoch without raising any flag
+//!   (the `SIGKILL` shape); every surviving rank must abort loudly instead
+//!   of deadlocking, and the scenario process must exit nonzero.
+
+use amg::{DistributedHierarchy, Hierarchy, HierarchyOptions};
+use locality::Topology;
+use mpi_advance::{Backend, CommPattern, NeighborBatch, Protocol};
+use mpisim::{RankCtx, World};
+use sparse::gen::diffusion::paper_problem;
+use sparse::vector::random_vec;
+use sparse::ParCsr;
+
+fn main() {
+    match std::env::args().nth(1).as_deref() {
+        Some("equivalence") => scenario_equivalence(),
+        Some("amg") => scenario_amg(),
+        Some("death") => scenario_death(),
+        // debug helper, not part of the orchestrated suite: the amg
+        // scenario's thread-transport reference on its own
+        Some("amgthread") => {
+            let setup = AmgSetup::build();
+            let batch = setup.batch();
+            let r = World::run(AMG_RANKS, |ctx| setup.run(&batch, ctx));
+            println!("amgthread ok: {} ranks", r.len());
+        }
+        // no (or an unrecognized, e.g. a test filter) argument: orchestrate
+        _ => orchestrate(),
+    }
+}
+
+// ---- orchestrator ---------------------------------------------------------
+
+fn orchestrate() {
+    run_scenario("equivalence", true);
+    run_scenario("amg", true);
+    // death containment: the world must end LOUDLY (nonzero exit), and
+    // within the deadline (a deadlock would hang here forever)
+    run_scenario("death", false);
+    println!("shm_process: all scenarios passed");
+}
+
+fn run_scenario(name: &str, expect_success: bool) {
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut child = std::process::Command::new(&exe)
+        .arg(name)
+        .spawn()
+        .expect("spawn scenario process");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(300);
+    let status = loop {
+        match child.try_wait().expect("poll scenario process") {
+            Some(status) => break status,
+            None if std::time::Instant::now() >= deadline => {
+                let _ = child.kill();
+                let _ = child.wait();
+                panic!("scenario {name} deadlocked (no exit before the deadline)");
+            }
+            None => std::thread::sleep(std::time::Duration::from_millis(50)),
+        }
+    };
+    assert_eq!(
+        status.success(),
+        expect_success,
+        "scenario {name}: unexpected exit {status}"
+    );
+    println!("shm_process: scenario {name} ok ({status})");
+}
+
+// ---- equivalence ----------------------------------------------------------
+
+/// Mixed traffic exercising every fabric seam: plain mailbox sends (small
+/// and ring-overflowing large), persistent channels, and a collective.
+fn traffic(ctx: &mut RankCtx) -> Vec<u64> {
+    let comm = ctx.comm_world();
+    let n = ctx.size();
+    let r = ctx.rank();
+    let right = (r + 1) % n;
+    let left = (r + n - 1) % n;
+    let mut out = Vec::new();
+
+    // plain ring
+    ctx.send(&comm, right, 1, &[(r as u64) * 3 + 1]);
+    out.extend(ctx.recv::<u64>(&comm, left, 1));
+
+    // oversized plain payload: streams through the bounded mailbox ring
+    // in chunks (reassembled receiver-side)
+    let big: Vec<u64> = (0..80_000).map(|i| (r as u64) << 32 | i).collect();
+    ctx.send(&comm, right, 2, &big);
+    let got: Vec<u64> = ctx.recv(&comm, left, 2);
+    out.push(got.len() as u64);
+    out.push(got[79_999]);
+
+    // persistent channels, two iterations on one registration
+    let send = ctx.send_chan_init::<u64>(&comm, right, 3, 1);
+    let mut recv = ctx.recv_chan_init::<u64>(&comm, left, 3, 1);
+    for it in 0..2u64 {
+        send.start_with(ctx, |b| b.push(r as u64 * 100 + it));
+        recv.start();
+        out.push(recv.wait_with(ctx, |d| d[0]));
+    }
+
+    // collective
+    out.extend(ctx.allgather(&comm, &[r as u64 * 7 + 5]));
+    out
+}
+
+fn scenario_equivalence() {
+    const N: usize = 4;
+    let world = World::spawn_processes(N);
+    let mine = world.run(traffic);
+    // every process derives the thread-transport reference independently
+    // (deterministic), then asserts its own rank INSIDE an epoch, so a
+    // mismatch in any process aborts the whole world loudly
+    let reference = World::run(N, traffic);
+    let rank = world.rank();
+    world.run(move |_ctx| {
+        assert_eq!(
+            mine, reference[rank],
+            "rank {rank}: process-world traffic diverged from the thread world"
+        );
+    });
+}
+
+// ---- amg ------------------------------------------------------------------
+
+const AMG_RANKS: usize = 8;
+
+/// The amg_solve example's core at test scale: hierarchy, per-level
+/// patterns, one batch holding every level's collective, and the input /
+/// operator data. Built ONCE per process and shared across rank closures
+/// — a `NeighborBatch` leases its entries' tag namespaces from the
+/// process-global `TagSpace`, so thread-world ranks must share one batch
+/// (per-rank batches would lease disjoint tag ranges and never match).
+/// Each process builds its own identical copy: the leased bases are
+/// deterministic in a fresh process, so process ranks agree with each
+/// other and with the thread-world reference.
+struct AmgSetup {
+    h: Hierarchy,
+    dist: DistributedHierarchy,
+    topo: Topology,
+    patterns: Vec<CommPattern>,
+    xs: Vec<Vec<f64>>,
+}
+
+impl AmgSetup {
+    fn build() -> Self {
+        let h = Hierarchy::setup(paper_problem(64, 32), HierarchyOptions::default());
+        let dist = DistributedHierarchy::build(&h, AMG_RANKS);
+        let topo = Topology::block_nodes(AMG_RANKS, 4);
+        let patterns = dist.patterns();
+        let xs: Vec<Vec<f64>> = dist
+            .levels
+            .iter()
+            .map(|dlvl| random_vec(dlvl.n_rows, dlvl.level as u64))
+            .collect();
+        Self {
+            h,
+            dist,
+            topo,
+            patterns,
+            xs,
+        }
+    }
+
+    /// The one batch holding every level's collective, borrowing `self`
+    /// (a `NeighborBatch` borrows its topology and patterns, so it lives
+    /// in the caller's frame).
+    fn batch(&self) -> NeighborBatch<'_> {
+        let mut batch = NeighborBatch::new(&self.topo);
+        for pattern in &self.patterns {
+            batch = batch.entry(pattern, Backend::Protocol(Protocol::FullNeighbor));
+        }
+        batch
+    }
+
+    /// Every AMG level's halo exchange through one batch session, returning
+    /// this rank's per-level SpMV output bits.
+    fn run(&self, batch: &NeighborBatch<'_>, ctx: &mut RankCtx) -> Vec<Vec<u64>> {
+        let me = ctx.rank();
+        let pars: Vec<ParCsr> = self
+            .dist
+            .levels
+            .iter()
+            .map(|dlvl| ParCsr::split_all(&self.h.levels[dlvl.level].a, &dlvl.part).swap_remove(me))
+            .collect();
+        let comm = ctx.comm_world();
+        let mut session = batch.init_all(ctx, &comm);
+        let inputs: Vec<Vec<f64>> = session
+            .requests()
+            .iter()
+            .enumerate()
+            .map(|(lvl, req)| req.input_index().iter().map(|&i| self.xs[lvl][i]).collect())
+            .collect();
+        let mut ghosts: Vec<Vec<f64>> = session
+            .requests()
+            .iter()
+            .map(|req| vec![0.0; req.output_index().len()])
+            .collect();
+        session.start_all(ctx, &inputs);
+        let mut ys: Vec<Vec<u64>> = vec![Vec::new(); session.len()];
+        while session.in_flight() > 0 {
+            let lvl = session.wait_any(ctx, &mut ghosts);
+            let range = self.dist.levels[lvl].part.range(me);
+            ys[lvl] = pars[lvl]
+                .spmv(&self.xs[lvl][range], &ghosts[lvl])
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+        }
+        ys
+    }
+}
+
+fn scenario_amg() {
+    let setup = AmgSetup::build();
+    let batch = setup.batch();
+    let world = World::spawn_processes(AMG_RANKS);
+    let mine = world.run(|ctx| setup.run(&batch, ctx));
+    let reference = World::run(AMG_RANKS, |ctx| setup.run(&batch, ctx));
+    let rank = world.rank();
+    world.run(move |_ctx| {
+        for (lvl, (got, want)) in mine.iter().zip(&reference[rank]).enumerate() {
+            assert_eq!(
+                got, want,
+                "rank {rank} level {lvl}: process-world SpMV diverged from the thread world"
+            );
+        }
+    });
+}
+
+// ---- death ----------------------------------------------------------------
+
+fn scenario_death() {
+    const N: usize = 4;
+    let world = World::spawn_processes(N);
+    world.run(|ctx| {
+        let comm = ctx.comm_world();
+        if ctx.rank() == 2 {
+            // die WITHOUT unwinding: no panic hook, no fabric flag — the
+            // shape a SIGKILL leaves behind. Rank 0's watchdog and the
+            // peers' pid sweeps must turn this into loud aborts.
+            std::process::exit(7);
+        }
+        // everyone else blocks on traffic rank 2 will never send
+        let _: Vec<u64> = ctx.recv(&comm, 2, 9);
+        unreachable!("rank {} completed a recv from a dead rank", ctx.rank());
+    });
+    unreachable!("the epoch with a dead rank reported success");
+}
