@@ -1,6 +1,6 @@
 # Developer entry points. `make tier1` mirrors the CI verify exactly.
 
-.PHONY: tier1 build test test-all fmt clippy lint bench bench-steady bench-smoke bench-baseline bench-check bench-transport
+.PHONY: tier1 build test test-all test-chaos fmt clippy lint bench bench-steady bench-smoke bench-baseline bench-check bench-transport
 
 tier1: ## the repository's tier-1 verify
 	cargo build --release && cargo test -q
@@ -13,6 +13,12 @@ test:
 
 test-all:
 	cargo test --workspace -q
+
+# the fault-injection suite (DESIGN.md §9): seeded chaos schedules
+# byte-identical to fault-free runs, kill matrices over both fabrics and
+# lifecycles, deadline aborts with stall forensics
+test-chaos:
+	cargo test --test chaos -q
 
 fmt:
 	cargo fmt --all

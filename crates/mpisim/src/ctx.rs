@@ -90,13 +90,6 @@ impl RankCtx {
         self.clock = self.clock.max(arrival);
     }
 
-    /// Abort if a peer rank panicked this epoch (see
-    /// [`crate::state::WorldState::check_peer_alive`]); used by blocked
-    /// receives' stall probes.
-    pub(crate) fn check_peer_alive(&self) {
-        self.world.check_peer_alive();
-    }
-
     /// Open the world's persistent-channel registry for a bulk
     /// registration pass: every signature resolved through the returned
     /// [`crate::ChanRegistrar`] shares one lock acquisition, so a whole

@@ -47,6 +47,7 @@ pub mod nonblocking;
 pub mod partitioned;
 pub mod persistent;
 pub mod runtime;
+pub mod stall;
 pub mod state;
 pub mod topology;
 pub mod transport;
@@ -58,7 +59,9 @@ pub use comm::Comm;
 pub use ctx::RankCtx;
 pub use elem::Elem;
 pub use persistent::{RecvChan, RecvReq, Request, SendChan, SendReq, SharedBuf};
-pub use runtime::{World, WorldPool};
+pub use runtime::{EpochError, World, WorldPool};
+pub use stall::{PeerStatus, RankWait, StallReport};
 pub use state::{ChanId, ChanRegistrar};
 pub use topology::{DistGraphComm, GraphCreateStrategy};
+pub use transport::fault::FaultPlan;
 pub use transport::proc::ProcWorld;

@@ -22,7 +22,7 @@ use crate::comm::{Comm, USER_TAG_LIMIT};
 use crate::ctx::RankCtx;
 use crate::elem::{elem_bytes, Elem};
 use crate::persistent::SharedBuf;
-use crate::state::{ChanRegistrar, Channel};
+use crate::state::{ChanRegistrar, Channel, WaitChans};
 use std::sync::Arc;
 
 /// Reserved tag stride so each partition gets a distinct sub-tag.
@@ -73,6 +73,9 @@ impl<T: Elem> PsendReq<T> {
             "partition {partition} marked ready twice"
         );
         self.ready[partition] = true;
+        // program-ordered fault-injection point: one op per shipped partition
+        ctx.world
+            .inject(ctx.rank, crate::transport::FaultOp::ChanPush);
         let guard = self.buf.read();
         let arrival = ctx.charge_send(self.dst_world, range.len() * elem_bytes::<T>());
         self.chans[partition].push(&guard[range], arrival);
@@ -140,8 +143,11 @@ impl<T: Elem> PrecvReq<T> {
         // block on the channel BEFORE taking the buffer lock, probing the
         // mailbox for mixed plain traffic while stalled (see
         // `RecvReq::wait`)
+        let world = Arc::clone(&ctx.world);
+        let keys = [self.chans[partition].key()];
+        let guard = world.begin_wait(ctx.rank, "partitioned recv", WaitChans::Keys(&keys));
         let (data, arrival) = self.chans[partition].pop_with(|| {
-            ctx.check_peer_alive();
+            guard.tick();
             assert!(
                 !ctx.iprobe(&self.comm, self.src, part_tag(self.tag, partition)),
                 "partitioned recv from {} tag {} partition {partition}: matching \
@@ -207,8 +213,11 @@ impl<T: Elem> PrecvReq<T> {
         let Some(p) = self.arrived.iter().position(|&a| !a) else {
             return;
         };
+        let world = Arc::clone(&ctx.world);
+        let keys = [self.chans[p].key()];
+        let guard = world.begin_wait(ctx.rank, "partitioned recv", WaitChans::Keys(&keys));
         self.chans[p].wait_nonempty(|| {
-            ctx.check_peer_alive();
+            guard.tick();
             assert!(
                 !ctx.iprobe(&self.comm, self.src, part_tag(self.tag, p)),
                 "partitioned recv from {} tag {} partition {p}: matching \

@@ -37,7 +37,7 @@
 use crate::comm::{Comm, USER_TAG_LIMIT};
 use crate::ctx::RankCtx;
 use crate::elem::{elem_bytes, Elem};
-use crate::state::{ChanRegistrar, Channel};
+use crate::state::{ChanRegistrar, Channel, WaitChans};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -68,6 +68,10 @@ impl<T: Elem> SendChan<T> {
     /// once, straight into the wire buffer, with no intermediate staging
     /// window.
     pub fn start_with(&self, ctx: &mut RankCtx, fill: impl FnOnce(&mut Vec<T>)) {
+        // program-ordered fault-injection point: one op per started send
+        // (see `transport::fault` — poll paths are deliberately uncounted)
+        ctx.world
+            .inject(ctx.rank, crate::transport::FaultOp::ChanPush);
         let arrival = ctx.charge_send(self.dst_world, self.len * elem_bytes::<T>());
         let len = self.len;
         self.chan.push_with(arrival, |buf| {
@@ -169,12 +173,17 @@ impl<T: Elem> RecvChan<T> {
     pub fn wait_take(&mut self, ctx: &mut RankCtx) -> Vec<T> {
         assert!(self.started, "wait on a receive that was not started");
         self.started = false;
+        ctx.world
+            .inject(ctx.rank, crate::transport::FaultOp::ChanPop);
         // While blocked, probe the mailbox so a plain send aimed at this
         // persistent receive fails loudly instead of hanging both ranks —
-        // and bail out if a peer rank died this epoch (nothing left to
-        // send us).
+        // and bail out (with stall forensics) if a peer rank died this
+        // epoch or the wait deadline expired.
+        let world = Arc::clone(&ctx.world);
+        let keys = [self.chan.key()];
+        let guard = world.begin_wait(ctx.rank, "persistent recv", WaitChans::Keys(&keys));
         let (data, arrival) = self.chan.pop_with(|| {
-            ctx.check_peer_alive();
+            guard.tick();
             assert!(
                 !ctx.iprobe(&self.comm, self.src, self.tag),
                 "persistent recv from {} tag {}: matching message sits in the plain \
@@ -232,8 +241,11 @@ impl<T: Elem> RecvChan<T> {
     /// persistent-traffic misuse loud (see [`RecvChan::wait_take`]).
     pub fn wait_ready(&self, ctx: &RankCtx) {
         assert!(self.started, "wait_ready on a receive that was not started");
+        let world = Arc::clone(&ctx.world);
+        let keys = [self.chan.key()];
+        let guard = world.begin_wait(ctx.rank, "persistent recv", WaitChans::Keys(&keys));
         self.chan.wait_nonempty(|| {
-            ctx.check_peer_alive();
+            guard.tick();
             assert!(
                 !ctx.iprobe(&self.comm, self.src, self.tag),
                 "persistent recv from {} tag {}: matching message sits in the plain \

@@ -4,7 +4,9 @@
 
 use crate::ctx::RankCtx;
 use crate::state::{ModelCtx, WorldState};
+use crate::transport::fault::{FaultPlan, FaultTransport};
 use crate::transport::shm::ShmTransport;
+use crate::transport::thread::ThreadTransport;
 use crate::transport::Transport;
 use locality::Topology;
 use parking_lot::{Condvar, Mutex};
@@ -12,6 +14,85 @@ use perfmodel::CostModel;
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+
+/// Structured failure of one pooled epoch (see [`WorldPool::try_run`]):
+/// which rank failed first (by rank order), with what panic payload, plus
+/// every other rank that failed the same epoch. A stalled epoch surfaces
+/// here too — the deadline abort is a panic whose message carries the
+/// [`crate::StallReport`].
+#[derive(Debug)]
+pub struct EpochError {
+    /// Lowest-ranked failure of the epoch.
+    pub rank: usize,
+    /// Its panic payload, rendered (`String`/`&str` payloads verbatim).
+    pub message: String,
+    /// All failures of the epoch, in rank order (`(rank, message)`).
+    pub failures: Vec<(usize, String)>,
+}
+
+impl std::fmt::Display for EpochError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "epoch failed on rank {}: {}", self.rank, self.message)?;
+        if self.failures.len() > 1 {
+            write!(f, " (and {} more rank failures)", self.failures.len() - 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for EpochError {}
+
+fn panic_message(p: &(dyn Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Build a world state over `inner`, wrapped by a fault plan when one is
+/// given (or found in `MPISIM_FAULTS`). The wait deadline resolves as:
+/// plan's `deadline_ms` override, else `MPISIM_DEADLINE_MS`.
+fn faulted_state(
+    n_ranks: usize,
+    model: Option<ModelCtx>,
+    inner: Arc<dyn Transport>,
+    plan: Option<FaultPlan>,
+) -> Arc<WorldState> {
+    let plan = plan.or_else(FaultPlan::from_env);
+    let deadline = plan
+        .as_ref()
+        .and_then(|p| p.deadline())
+        .or_else(crate::stall::env_deadline_ms);
+    let transport = match plan {
+        Some(p) => FaultTransport::wrap(n_ranks, p, inner),
+        None => inner,
+    };
+    WorldState::with_transport_deadline(n_ranks, model, transport, deadline)
+}
+
+fn thread_state(
+    n_ranks: usize,
+    model: Option<ModelCtx>,
+    plan: Option<FaultPlan>,
+) -> Arc<WorldState> {
+    faulted_state(
+        n_ranks,
+        model,
+        Arc::new(ThreadTransport::new(n_ranks)),
+        plan,
+    )
+}
+
+fn shm_state(n_ranks: usize, plan: Option<FaultPlan>) -> Arc<WorldState> {
+    let t = ShmTransport::create(n_ranks);
+    // all ranks are threads of this process: nobody will attach by
+    // path, so drop the name immediately (the mapping lives on)
+    t.segment().unlink();
+    faulted_state(n_ranks, None, t as Arc<dyn Transport>, plan)
+}
 
 /// Entry point: spawn `n` ranks, each running the same closure.
 pub struct World;
@@ -28,7 +109,30 @@ impl World {
         if std::env::var("MPISIM_TRANSPORT").as_deref() == Ok("shm") {
             return Self::run_shm(n_ranks, f);
         }
-        Self::launch(WorldState::new(n_ranks, None), f)
+        Self::launch(thread_state(n_ranks, None, None), f)
+    }
+
+    /// [`World::run`] under a deterministic [`FaultPlan`] (thread
+    /// transport): delivery delays, legal reorders, spurious wakeups, and
+    /// rank kills replay identically for one seed. A plan's
+    /// `deadline_ms` bounds every blocked wait without touching the
+    /// process environment.
+    pub fn with_faults<F, R>(n_ranks: usize, plan: FaultPlan, f: F) -> Vec<R>
+    where
+        F: Fn(&mut RankCtx) -> R + Send + Sync,
+        R: Send,
+    {
+        Self::launch(thread_state(n_ranks, None, Some(plan)), f)
+    }
+
+    /// [`World::with_faults`] over the shared-memory fabric (ranks as
+    /// threads of this process; see [`World::run_shm`]).
+    pub fn with_faults_shm<F, R>(n_ranks: usize, plan: FaultPlan, f: F) -> Vec<R>
+    where
+        F: Fn(&mut RankCtx) -> R + Send + Sync,
+        R: Send,
+    {
+        Self::launch(shm_state(n_ranks, Some(plan)), f)
     }
 
     /// [`World::run`] over the cross-process shared-memory fabric, with the
@@ -42,12 +146,7 @@ impl World {
         F: Fn(&mut RankCtx) -> R + Send + Sync,
         R: Send,
     {
-        let t = ShmTransport::create(n_ranks);
-        // all ranks are threads of this process: nobody will attach by
-        // path, so drop the name immediately (the mapping lives on)
-        t.segment().unlink();
-        let t: Arc<dyn Transport> = t;
-        Self::launch(WorldState::with_transport(n_ranks, None, t), f)
+        Self::launch(shm_state(n_ranks, None), f)
     }
 
     /// Launch `n_ranks` as separate OS processes over the shared-memory
@@ -68,7 +167,7 @@ impl World {
         R: Send,
     {
         let n = topo.n_ranks();
-        Self::launch(WorldState::new(n, Some(ModelCtx { model, topo })), f)
+        Self::launch(thread_state(n, Some(ModelCtx { model, topo }), None), f)
     }
 
     /// Create a persistent pooled world of `n_ranks` ranks: the threads
@@ -79,23 +178,33 @@ impl World {
         if std::env::var("MPISIM_TRANSPORT").as_deref() == Ok("shm") {
             return Self::pool_shm(n_ranks);
         }
-        WorldPool::launch(WorldState::new(n_ranks, None))
+        WorldPool::launch(thread_state(n_ranks, None, None))
     }
 
     /// [`World::pool`] over the shared-memory fabric (ranks as threads of
     /// this process; see [`World::run_shm`]).
     pub fn pool_shm(n_ranks: usize) -> WorldPool {
-        let t = ShmTransport::create(n_ranks);
-        t.segment().unlink();
-        let t: Arc<dyn Transport> = t;
-        WorldPool::launch(WorldState::with_transport(n_ranks, None, t))
+        WorldPool::launch(shm_state(n_ranks, None))
+    }
+
+    /// Pooled counterpart of [`World::with_faults`]: every epoch of the
+    /// pool runs under the same deterministic fault plan (op counters keep
+    /// advancing across epochs, so a kill index lands in whichever epoch
+    /// reaches it).
+    pub fn pool_with_faults(n_ranks: usize, plan: FaultPlan) -> WorldPool {
+        WorldPool::launch(thread_state(n_ranks, None, Some(plan)))
+    }
+
+    /// [`World::pool_with_faults`] over the shared-memory fabric.
+    pub fn pool_with_faults_shm(n_ranks: usize, plan: FaultPlan) -> WorldPool {
+        WorldPool::launch(shm_state(n_ranks, Some(plan)))
     }
 
     /// Pooled counterpart of [`World::run_modeled`]; each epoch's virtual
     /// clocks start from zero.
     pub fn pool_modeled(topo: Topology, model: Arc<dyn CostModel>) -> WorldPool {
         let n = topo.n_ranks();
-        WorldPool::launch(WorldState::new(n, Some(ModelCtx { model, topo })))
+        WorldPool::launch(thread_state(n, Some(ModelCtx { model, topo }), None))
     }
 
     fn launch<F, R>(state: Arc<WorldState>, f: F) -> Vec<R>
@@ -116,7 +225,7 @@ impl World {
                             Err(p) => {
                                 // let peers blocked on this rank's messages
                                 // abort instead of waiting forever
-                                state.note_rank_panic();
+                                state.note_rank_panic(Some(rank));
                                 resume_unwind(p);
                             }
                         }
@@ -243,7 +352,7 @@ impl WorldPool {
             if result.is_err() {
                 // peers blocked on this rank's messages must not wait
                 // forever: their stall probes see the flag and abort
-                shared.state.note_rank_panic();
+                shared.state.note_rank_panic(Some(rank));
             }
             // drop this worker's job handle BEFORE reporting completion:
             // `run` may only return once no worker can still hold (and
@@ -272,37 +381,8 @@ impl WorldPool {
         F: Fn(&mut RankCtx) -> R + Send + Sync + 'env,
         R: Send + 'static,
     {
-        let n = self.n_ranks();
-        let job: JobFor<'env> = Arc::new(move |ctx| Box::new(f(ctx)) as Box<dyn Any + Send>);
-        // SAFETY: extend the job's lifetime to 'static for storage in the
-        // long-lived pool. The borrow cannot escape this call: `run` blocks
-        // until every worker has finished the epoch AND dropped its clone
-        // of the job (workers drop before reporting completion), and the
-        // control slot's clone is cleared below before returning.
-        let job: Job = unsafe { std::mem::transmute::<JobFor<'env>, Job>(job) };
-        // one driver at a time: held until results are collected, so a
-        // concurrent `run` can neither interleave its epoch with ours nor
-        // steal our results
-        let _epoch = self.shared.epoch_lock.lock();
-        let results: Vec<_> = {
-            let mut ctrl = self.shared.ctrl.lock();
-            debug_assert_eq!(ctrl.remaining, 0, "epoch_lock held with ranks in flight");
-            self.shared.state.clear_rank_panic();
-            ctrl.job = Some(job);
-            ctrl.epoch += 1;
-            ctrl.remaining = n;
-            ctrl.results.iter_mut().for_each(|r| *r = None);
-            self.shared.work_cv.notify_all();
-            while ctrl.remaining > 0 {
-                self.shared.done_cv.wait(&mut ctrl);
-            }
-            ctrl.job = None;
-            ctrl.results
-                .iter_mut()
-                .map(|r| r.take().expect("every rank reported"))
-                .collect()
-        };
-        let mut out = Vec::with_capacity(n);
+        let results = self.epoch_results(Arc::new(move |ctx| Box::new(f(ctx)) as _));
+        let mut out = Vec::with_capacity(results.len());
         let mut panic: Option<Box<dyn Any + Send>> = None;
         for r in results {
             match r {
@@ -317,6 +397,75 @@ impl WorldPool {
             resume_unwind(p);
         }
         out
+    }
+
+    /// [`WorldPool::run`] with graceful degradation: a failed epoch comes
+    /// back as a structured [`EpochError`] — which rank failed first and
+    /// with what payload (a fault-plan kill, a deadline abort carrying its
+    /// [`crate::StallReport`], or an application panic) — instead of
+    /// re-panicking the caller. The failed epoch's in-flight traffic is
+    /// drained either way, so the pool stays usable for the next epoch.
+    pub fn try_run<'env, F, R>(&self, f: F) -> Result<Vec<R>, EpochError>
+    where
+        F: Fn(&mut RankCtx) -> R + Send + Sync + 'env,
+        R: Send + 'static,
+    {
+        let results = self.epoch_results(Arc::new(move |ctx| Box::new(f(ctx)) as _));
+        let mut out = Vec::with_capacity(results.len());
+        let mut failures: Vec<(usize, String)> = Vec::new();
+        for (rank, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(b) => out.push(*b.downcast::<R>().expect("epoch result type")),
+                Err(p) => failures.push((rank, panic_message(p.as_ref()))),
+            }
+        }
+        if failures.is_empty() {
+            return Ok(out);
+        }
+        self.shared.state.drain_in_flight();
+        let (rank, message) = failures[0].clone();
+        Err(EpochError {
+            rank,
+            message,
+            failures,
+        })
+    }
+
+    /// Post one epoch and collect every rank's raw result. The common body
+    /// of [`WorldPool::run`] and [`WorldPool::try_run`].
+    fn epoch_results<'env>(
+        &self,
+        job: JobFor<'env>,
+    ) -> Vec<std::thread::Result<Box<dyn Any + Send>>> {
+        let n = self.n_ranks();
+        // SAFETY: extend the job's lifetime to 'static for storage in the
+        // long-lived pool. The borrow cannot escape this call: it blocks
+        // until every worker has finished the epoch AND dropped its clone
+        // of the job (workers drop before reporting completion), and the
+        // control slot's clone is cleared below before returning.
+        let job: Job = unsafe { std::mem::transmute::<JobFor<'env>, Job>(job) };
+        // one driver at a time: held until results are collected, so a
+        // concurrent `run` can neither interleave its epoch with ours nor
+        // steal our results
+        let _epoch = self.shared.epoch_lock.lock();
+        let mut ctrl = self.shared.ctrl.lock();
+        debug_assert_eq!(ctrl.remaining, 0, "epoch_lock held with ranks in flight");
+        self.shared.state.clear_rank_panic();
+        ctrl.job = Some(job);
+        ctrl.epoch += 1;
+        // mirror the epoch id into the world so stall reports can name it
+        self.shared.state.set_epoch(ctrl.epoch);
+        ctrl.remaining = n;
+        ctrl.results.iter_mut().for_each(|r| *r = None);
+        self.shared.work_cv.notify_all();
+        while ctrl.remaining > 0 {
+            self.shared.done_cv.wait(&mut ctrl);
+        }
+        ctrl.job = None;
+        ctrl.results
+            .iter_mut()
+            .map(|r| r.take().expect("every rank reported"))
+            .collect()
     }
 }
 

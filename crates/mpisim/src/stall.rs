@@ -1,0 +1,194 @@
+//! Stall-probe cadence, wait deadlines, and stall forensics.
+//!
+//! Every blocking primitive in the runtime wakes on a short timer (the
+//! *stall probe*) to re-check peer liveness instead of parking forever.
+//! This module owns the two knobs that govern that machinery:
+//!
+//! * `MPISIM_STALL_MS` — the probe period (default 50 ms). Lower values
+//!   tighten failure-detection latency at the cost of more wakeups.
+//! * `MPISIM_DEADLINE_MS` — an optional hard bound on any single blocked
+//!   wait. When it expires the world assembles a [`StallReport`] and
+//!   aborts with the dump instead of hanging, turning the stall probe
+//!   into a deadlock detector.
+//!
+//! A deadline can also be attached programmatically to one world via
+//! [`FaultPlan::deadline_ms`](crate::FaultPlan::deadline_ms), which takes
+//! precedence over the environment for that world only.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Stall-probe period in milliseconds (`MPISIM_STALL_MS`, default 50,
+/// clamped to at least 1). Read once per process.
+pub(crate) fn stall_ms() -> u64 {
+    static STALL: OnceLock<u64> = OnceLock::new();
+    *STALL.get_or_init(|| {
+        std::env::var("MPISIM_STALL_MS")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .map(|ms| ms.max(1))
+            .unwrap_or(50)
+    })
+}
+
+/// Process-wide default wait deadline from `MPISIM_DEADLINE_MS`.
+/// `None` (unset or unparsable) means waits may block indefinitely.
+pub(crate) fn env_deadline_ms() -> Option<u64> {
+    static DEADLINE: OnceLock<Option<u64>> = OnceLock::new();
+    *DEADLINE.get_or_init(|| {
+        std::env::var("MPISIM_DEADLINE_MS")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+    })
+}
+
+/// What one rank was blocked on when a stall report was assembled.
+#[derive(Debug, Clone)]
+pub struct RankWait {
+    /// World rank of the blocked party.
+    pub rank: usize,
+    /// Which primitive it was parked in (`"plain recv"`, `"wait_any"`, …).
+    pub kind: &'static str,
+    /// The channel signatures it was waiting on, as `(ctx, src, dst, tag)`.
+    pub chans: Vec<(u64, usize, usize, u64)>,
+    /// How long it had been blocked when the report was taken.
+    pub waited_ms: u64,
+}
+
+/// Liveness of one attached peer process (shm fabric only).
+#[derive(Debug, Clone, Copy)]
+pub struct PeerStatus {
+    pub rank: usize,
+    pub pid: u32,
+    pub alive: bool,
+}
+
+/// A forensic dump of the world at the moment a wait deadline expired
+/// (or a peer death was observed inside a guarded wait).
+///
+/// Assembled by the runtime and carried in the abort panic message; all
+/// fields are best-effort snapshots — a depth of `None` means the owning
+/// lock was held by a blocked rank and could not be sampled.
+#[derive(Debug, Clone)]
+pub struct StallReport {
+    /// Epoch counter of the world (0 for one-shot worlds).
+    pub epoch: u64,
+    /// Rank known to have died/panicked, when the transport recorded one.
+    pub dead_rank: Option<usize>,
+    /// Every locally-observable parked wait. Under `ProcWorld` this
+    /// covers only the reporting process's rank; under thread worlds it
+    /// covers all ranks.
+    pub waits: Vec<RankWait>,
+    /// Unexpected-message queue depth per destination rank mailbox.
+    pub mailbox_depths: Vec<Option<usize>>,
+    /// Frames still queued in the shm outbox (0 for the thread fabric).
+    pub outbox_depth: usize,
+    /// Attached peer pids and their liveness (empty for the thread fabric).
+    pub peers: Vec<PeerStatus>,
+}
+
+impl fmt::Display for StallReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "StallReport (epoch {}):", self.epoch)?;
+        match self.dead_rank {
+            Some(r) => writeln!(f, "  dead rank: {r}")?,
+            None => writeln!(f, "  dead rank: none recorded")?,
+        }
+        if self.waits.is_empty() {
+            writeln!(f, "  parked waits: none observed")?;
+        } else {
+            for w in &self.waits {
+                write!(
+                    f,
+                    "  rank {} blocked {} ms in {} on ",
+                    w.rank, w.waited_ms, w.kind
+                )?;
+                if w.chans.is_empty() {
+                    writeln!(f, "(no channel signature)")?;
+                } else {
+                    let sigs: Vec<String> = w
+                        .chans
+                        .iter()
+                        .map(|(ctx, src, dst, tag)| {
+                            format!("(ctx {ctx}, src {src}, dst {dst}, tag {tag})")
+                        })
+                        .collect();
+                    writeln!(f, "{}", sigs.join(", "))?;
+                }
+            }
+        }
+        let depths: Vec<String> = self
+            .mailbox_depths
+            .iter()
+            .map(|d| match d {
+                Some(n) => n.to_string(),
+                None => "?".into(),
+            })
+            .collect();
+        writeln!(
+            f,
+            "  mailbox unexpected-queue depths: [{}]",
+            depths.join(", ")
+        )?;
+        writeln!(f, "  shm outbox depth: {}", self.outbox_depth)?;
+        if self.peers.is_empty() {
+            write!(f, "  peers: in-process (thread fabric)")?;
+        } else {
+            let peers: Vec<String> = self
+                .peers
+                .iter()
+                .map(|p| {
+                    format!(
+                        "rank {} pid {} {}",
+                        p.rank,
+                        p.pid,
+                        if p.alive { "alive" } else { "DEAD" }
+                    )
+                })
+                .collect();
+            write!(f, "  peers: {}", peers.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_report_display_mentions_every_section() {
+        let report = StallReport {
+            epoch: 3,
+            dead_rank: Some(2),
+            waits: vec![RankWait {
+                rank: 1,
+                kind: "plain recv",
+                chans: vec![(0, 2, 1, 9)],
+                waited_ms: 5001,
+            }],
+            mailbox_depths: vec![Some(0), None, Some(4)],
+            outbox_depth: 7,
+            peers: vec![PeerStatus {
+                rank: 2,
+                pid: 4242,
+                alive: false,
+            }],
+        };
+        let text = report.to_string();
+        assert!(text.contains("StallReport (epoch 3)"));
+        assert!(text.contains("dead rank: 2"));
+        assert!(text.contains("rank 1 blocked 5001 ms in plain recv"));
+        assert!(text.contains("(ctx 0, src 2, dst 1, tag 9)"));
+        assert!(text.contains("[0, ?, 4]"));
+        assert!(text.contains("outbox depth: 7"));
+        assert!(text.contains("pid 4242 DEAD"));
+    }
+
+    #[test]
+    fn stall_period_has_a_sane_default() {
+        // The test binary does not set MPISIM_STALL_MS; the default holds.
+        assert!(stall_ms() >= 1);
+    }
+}

@@ -9,16 +9,18 @@
 //! the cross-process shm fabric ([`crate::transport::shm::ShmTransport`]).
 
 use crate::elem::elem_bytes;
+use crate::stall::{RankWait, StallReport};
 use crate::transport::shm::ring::ShmChan;
-use crate::transport::thread::ThreadTransport;
-use crate::transport::{assert_pod, bytes_of, vec_extend_bytes, ShmChanRaw, Transport};
+use crate::transport::{assert_pod, bytes_of, vec_extend_bytes, FaultOp, ShmChanRaw, Transport};
 use locality::Topology;
 use parking_lot::{Condvar, Mutex};
 use perfmodel::CostModel;
 use std::any::Any;
+use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A plain-send payload, packaged the way the world's transport requires
 /// (see [`crate::transport::PayloadMode`]).
@@ -165,7 +167,10 @@ impl WaitSet {
         while *seq == seen {
             if self
                 .cv
-                .wait_for(&mut seq, std::time::Duration::from_millis(50))
+                .wait_for(
+                    &mut seq,
+                    std::time::Duration::from_millis(crate::stall::stall_ms()),
+                )
                 .timed_out()
             {
                 stall_probe();
@@ -343,7 +348,10 @@ impl<T: Clone + Send + 'static> ThreadChan<T> {
         while st.pending.is_empty() {
             if self
                 .cv
-                .wait_for(&mut st, std::time::Duration::from_millis(50))
+                .wait_for(
+                    &mut st,
+                    std::time::Duration::from_millis(crate::stall::stall_ms()),
+                )
                 .timed_out()
             {
                 stall_probe();
@@ -385,7 +393,10 @@ impl<T: Clone + Send + 'static> ThreadChan<T> {
         while st.pending.is_empty() {
             if self
                 .cv
-                .wait_for(&mut st, std::time::Duration::from_millis(50))
+                .wait_for(
+                    &mut st,
+                    std::time::Duration::from_millis(crate::stall::stall_ms()),
+                )
                 .timed_out()
             {
                 stall_probe();
@@ -590,19 +601,111 @@ pub(crate) struct WorldState {
     /// position further, so a permanently-hot low-index channel cannot
     /// starve the rest of the set.
     rotors: Vec<AtomicUsize>,
+    /// What each locally-hosted rank is currently blocked on, registered
+    /// lazily by [`WaitGuard`] once a wait survives its first stall probe.
+    /// The raw material of [`WorldState::stall_report`].
+    parked: Vec<Mutex<Option<ParkInfo>>>,
+    /// Epoch counter mirrored from the pool / proc-world driver, so stall
+    /// reports can say *which* epoch wedged (0 for one-shot worlds).
+    epoch: AtomicU64,
+    /// Hard bound on any single blocked wait, in milliseconds
+    /// (`MPISIM_DEADLINE_MS`, or a [`crate::FaultPlan::deadline_ms`]
+    /// override). `None` = block indefinitely.
+    deadline_ms: Option<u64>,
+}
+
+/// One registered blocked wait (see [`WorldState::parked`]).
+struct ParkInfo {
+    kind: &'static str,
+    chans: Vec<ChanKey>,
+    since: Instant,
+}
+
+/// What a [`WaitGuard`] is parked on — borrowed from the caller so guard
+/// creation allocates nothing; signatures are materialized only if the
+/// wait actually stalls.
+pub(crate) enum WaitChans<'a> {
+    Keys(&'a [ChanKey]),
+    Ids(&'a [ChanId]),
+}
+
+/// Deadline + forensics guard around one blocked wait. Created at wait
+/// entry, ticked from the transport's stall probe, cleared on drop.
+///
+/// `tick` upgrades the stall probe from a liveness hack into a deadlock
+/// detector: on peer death it aborts with the failure message *plus* a
+/// [`StallReport`]; past the world's deadline it aborts with the report
+/// instead of blocking forever.
+pub(crate) struct WaitGuard<'a> {
+    world: &'a WorldState,
+    rank: usize,
+    kind: &'static str,
+    chans: WaitChans<'a>,
+    start: Instant,
+    registered: Cell<bool>,
+}
+
+impl WaitGuard<'_> {
+    /// Stall-probe body: register the parked wait (first tick only), then
+    /// abort loudly on peer death or deadline expiry.
+    pub(crate) fn tick(&self) {
+        if !self.registered.get() {
+            let chans = match &self.chans {
+                WaitChans::Keys(keys) => keys.to_vec(),
+                WaitChans::Ids(ids) => ids.iter().map(|c| c.key).collect(),
+            };
+            *self.world.parked[self.rank].lock() = Some(ParkInfo {
+                kind: self.kind,
+                chans,
+                since: self.start,
+            });
+            self.registered.set(true);
+        }
+        if let Some(msg) = self.world.transport.peer_failure() {
+            panic!("{msg}\n{}", self.world.stall_report());
+        }
+        if let Some(ms) = self.world.deadline_ms {
+            let waited = self.start.elapsed().as_millis() as u64;
+            if waited >= ms {
+                panic!(
+                    "wait deadline of {ms} ms (MPISIM_DEADLINE_MS) expired after \
+                     {waited} ms blocked in {} on rank {}\n{}",
+                    self.kind,
+                    self.rank,
+                    self.world.stall_report()
+                );
+            }
+        }
+    }
+}
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        if self.registered.get() {
+            *self.world.parked[self.rank].lock() = None;
+        }
+    }
 }
 
 impl WorldState {
+    /// Test-only convenience: a thread-fabric world with no wait deadline.
+    #[cfg(test)]
     pub fn new(n_ranks: usize, model: Option<ModelCtx>) -> Arc<Self> {
-        let transport: Arc<dyn Transport> = Arc::new(ThreadTransport::new(n_ranks));
-        Self::with_transport(n_ranks, model, transport)
+        let transport: Arc<dyn Transport> =
+            Arc::new(crate::transport::thread::ThreadTransport::new(n_ranks));
+        Self::with_transport_deadline(n_ranks, model, transport, None)
     }
 
-    /// Build a world over an explicit fabric (the shm worlds' entry point).
-    pub fn with_transport(
+    /// Build a world over an explicit fabric with an explicit wait
+    /// deadline (`None` = never). Callers resolve the deadline themselves
+    /// (plan override, then `MPISIM_DEADLINE_MS`) — the programmatic
+    /// fault-injection entry point ([`crate::World::with_faults`]) must
+    /// not mutate the process environment.
+    pub fn with_transport_deadline(
         n_ranks: usize,
         model: Option<ModelCtx>,
         transport: Arc<dyn Transport>,
+        deadline_ms: Option<u64>,
     ) -> Arc<Self> {
         assert!(n_ranks > 0);
         if let Some(m) = &model {
@@ -618,7 +721,74 @@ impl WorldState {
             transport,
             channels: Mutex::new(HashMap::new()),
             rotors: (0..n_ranks).map(|_| AtomicUsize::new(0)).collect(),
+            parked: (0..n_ranks).map(|_| Mutex::new(None)).collect(),
+            epoch: AtomicU64::new(0),
+            deadline_ms,
         })
+    }
+
+    /// Open a deadline/forensics guard around one blocked wait. The stall
+    /// closure passed to the transport must call [`WaitGuard::tick`].
+    pub(crate) fn begin_wait<'a>(
+        &'a self,
+        rank: usize,
+        kind: &'static str,
+        chans: WaitChans<'a>,
+    ) -> WaitGuard<'a> {
+        WaitGuard {
+            world: self,
+            rank,
+            kind,
+            chans,
+            start: Instant::now(),
+            registered: Cell::new(false),
+        }
+    }
+
+    /// Assemble the forensic dump of the current (apparent) stall: every
+    /// locally-registered parked wait, transport queue depths, peer pid
+    /// liveness, the epoch id, and the recorded dead rank (if any).
+    pub fn stall_report(&self) -> StallReport {
+        let f = self.transport.forensics();
+        let waits = self
+            .parked
+            .iter()
+            .enumerate()
+            .filter_map(|(rank, slot)| {
+                slot.try_lock().and_then(|info| {
+                    info.as_ref().map(|p| RankWait {
+                        rank,
+                        kind: p.kind,
+                        chans: p.chans.clone(),
+                        waited_ms: p.since.elapsed().as_millis() as u64,
+                    })
+                })
+            })
+            .collect();
+        StallReport {
+            epoch: self.epoch.load(Ordering::Relaxed),
+            dead_rank: self.transport.dead_rank(),
+            waits,
+            mailbox_depths: f.mailbox_depths,
+            outbox_depth: f.outbox_depth,
+            peers: f.peers,
+        }
+    }
+
+    /// Mirror the driver's epoch counter into stall forensics.
+    pub(crate) fn set_epoch(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::Relaxed);
+    }
+
+    /// The world's wait deadline, if one is configured.
+    pub(crate) fn deadline_ms(&self) -> Option<u64> {
+        self.deadline_ms
+    }
+
+    /// Fault-injection hook for ops that bypass the transport trait
+    /// (persistent-channel push/pop) — a no-op on bare fabrics.
+    pub(crate) fn inject(&self, rank: usize, op: FaultOp) {
+        self.transport.inject(rank, op);
     }
 
     /// Payload packaging the world's transport requires from senders.
@@ -657,8 +827,9 @@ impl WorldState {
     pub(crate) fn wait_any(&self, global_rank: usize, chans: &[ChanId]) -> usize {
         assert!(!chans.is_empty(), "wait_any on an empty channel set");
         let start = self.rotors[global_rank].fetch_add(1, Ordering::Relaxed) % chans.len();
+        let guard = self.begin_wait(global_rank, "wait_any", WaitChans::Ids(chans));
         let stall = || {
-            self.transport.check_peer_alive();
+            guard.tick();
             // keep the mixed plain/persistent misuse loud here too: a
             // plain send aimed at a watched persistent signature lands
             // in the mailbox this set bypasses, and would otherwise
@@ -679,20 +850,14 @@ impl WorldState {
     }
 
     /// Record that a rank of the current epoch panicked (pool worker).
-    pub(crate) fn note_rank_panic(&self) {
-        self.transport.note_rank_panic();
+    /// `Some(rank)` names the victim for stall forensics.
+    pub(crate) fn note_rank_panic(&self, rank: Option<usize>) {
+        self.transport.note_rank_panic(rank);
     }
 
     /// Clear the panic marker at the start of a fresh epoch.
     pub(crate) fn clear_rank_panic(&self) {
         self.transport.clear_rank_panic();
-    }
-
-    /// Abort a blocked receive if a peer rank already died this epoch —
-    /// called from stall probes so a partial-rank panic ends the epoch
-    /// loudly instead of deadlocking the world.
-    pub(crate) fn check_peer_alive(&self) {
-        self.transport.check_peer_alive();
     }
 
     /// Get-or-create the persistent channel for `key` — whichever side
@@ -807,8 +972,10 @@ impl WorldState {
         tag: u64,
     ) -> (Envelope, usize) {
         let chan_key: ChanKey = (ctx_id, src, dst_comm_rank, tag);
+        let keys = [chan_key];
+        let guard = self.begin_wait(global_dst, "plain recv", WaitChans::Keys(&keys));
         let stall = || {
-            self.transport.check_peer_alive();
+            guard.tick();
             assert!(
                 !self.channel_pending(&chan_key),
                 "plain recv from {src} tag {tag}: matching message sits on a \

@@ -22,10 +22,12 @@
 //! shm fabric with the same closure-per-epoch protocol as
 //! [`crate::WorldPool`].
 
+pub mod fault;
 pub mod proc;
 pub mod shm;
 pub(crate) mod thread;
 
+use crate::stall::PeerStatus;
 use crate::state::{ChanId, ChanKey, Envelope};
 pub(crate) use shm::ring::ShmChanRaw;
 
@@ -39,13 +41,37 @@ pub(crate) enum PayloadMode {
     Bytes,
 }
 
+/// The transport operations a [`fault::FaultTransport`] counts and may
+/// perturb. `Deposit`/`MatchRecv`/`WaitAny` are intercepted directly by
+/// the wrapper; `ChanPush`/`ChanPop` cover persistent-channel traffic,
+/// which bypasses the trait (channels are used directly once created) and
+/// therefore reports through [`Transport::inject`] from the call sites.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum FaultOp {
+    Deposit,
+    MatchRecv,
+    WaitAny,
+    ChanPush,
+    ChanPop,
+}
+
+/// Best-effort transport snapshot folded into a
+/// [`crate::StallReport`]. Depths are `None` where the owning lock was
+/// held by a blocked rank (sampling must never deadlock the reporter).
+pub(crate) struct TransportForensics {
+    pub mailbox_depths: Vec<Option<usize>>,
+    pub outbox_depth: usize,
+    pub peers: Vec<PeerStatus>,
+}
+
 /// The fabric a [`crate::state::WorldState`] moves bytes over.
 ///
 /// Object-safe: the world holds an `Arc<dyn Transport>`. Diagnostic
 /// context (peer-death checks, the mixed plain/persistent-traffic probes)
 /// stays in `WorldState`, which passes it down as the `stall` closure —
 /// transports only decide *when* a blocked operation should re-probe
-/// (their 50 ms park timeout), not *what* the probe asserts.
+/// (the `MPISIM_STALL_MS` park timeout, default 50 ms), not *what* the
+/// probe asserts.
 pub(crate) trait Transport: Send + Sync {
     /// Payload packaging this transport requires from senders.
     fn mode(&self) -> PayloadMode;
@@ -102,14 +128,33 @@ pub(crate) trait Transport: Send + Sync {
     fn drain_in_flight(&self);
 
     /// Record that a rank of the current epoch panicked (or died).
-    fn note_rank_panic(&self);
+    /// `Some(rank)` names the victim (first writer wins) so stall
+    /// forensics and peer-death aborts can report *who* died; `None`
+    /// raises the flag without attribution.
+    fn note_rank_panic(&self, rank: Option<usize>);
 
-    /// Clear the panic marker at the start of a fresh epoch.
+    /// Clear the panic marker (and any recorded dead rank) at the start
+    /// of a fresh epoch.
     fn clear_rank_panic(&self);
 
-    /// Abort (panic) if a peer rank died this epoch — called from stall
-    /// probes so a blocked operation ends loudly instead of deadlocking.
-    fn check_peer_alive(&self);
+    /// The rank recorded via [`Transport::note_rank_panic`], if any.
+    fn dead_rank(&self) -> Option<usize>;
+
+    /// If a peer rank died this epoch, the abort message describing the
+    /// failure; `None` while all peers are healthy. May have side
+    /// effects (the shm fabric records a newly-observed pid death).
+    fn peer_failure(&self) -> Option<String>;
+
+    /// Fault-injection hook for operations that bypass the trait
+    /// (persistent-channel push/pop). A bare fabric ignores it; a
+    /// [`fault::FaultTransport`] counts the op against `rank`'s schedule
+    /// and may delay or kill here.
+    fn inject(&self, _rank: usize, _op: FaultOp) {}
+
+    /// Snapshot queue depths and peer liveness for a stall report.
+    /// Must not block: sample with `try_lock` and report `None` where a
+    /// lock is contended.
+    fn forensics(&self) -> TransportForensics;
 }
 
 /// The shm fabric moves payloads as raw bytes: element types must be

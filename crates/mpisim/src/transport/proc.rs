@@ -35,6 +35,29 @@ use std::sync::Arc;
 pub const ENV_WORKER_RANK: &str = "MPISIM_WORKER_RANK";
 pub const ENV_WORKER_SEG: &str = "MPISIM_WORKER_SEG";
 
+/// Test hook: `MPISIM_ATTACH_FAIL_ONCE="<rank>:<marker_path>"` makes that
+/// worker rank exit before attaching, exactly once (the marker file records
+/// the first death), exercising the driver's pre-attach respawn policy.
+const ENV_ATTACH_FAIL_ONCE: &str = "MPISIM_ATTACH_FAIL_ONCE";
+
+/// `MPISIM_RESPAWN_MAX`: per-rank cap on pre-attach worker respawns.
+const DEFAULT_RESPAWN_MAX: u32 = 2;
+
+fn respawn_max() -> u32 {
+    std::env::var("MPISIM_RESPAWN_MAX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_RESPAWN_MAX)
+}
+
+/// The world's wait deadline: a `deadline=` clause in `MPISIM_FAULTS`
+/// overrides `MPISIM_DEADLINE_MS`.
+fn env_deadline() -> Option<u64> {
+    crate::transport::fault::FaultPlan::from_env()
+        .and_then(|p| p.deadline())
+        .or_else(crate::stall::env_deadline_ms)
+}
+
 /// Epoch command word: `(job << JOB_SHIFT) | epoch`, or [`CMD_STOP`].
 const JOB_SHIFT: u32 = 48;
 const EPOCH_MASK: u64 = (1 << JOB_SHIFT) - 1;
@@ -96,6 +119,20 @@ impl ProcWorld {
     }
 
     fn launch_worker(n_ranks: usize, rank: usize) -> ProcWorld {
+        if let Ok(spec) = std::env::var(ENV_ATTACH_FAIL_ONCE) {
+            if let Some((r, marker)) = spec.split_once(':') {
+                if r.parse() == Ok(rank)
+                    && std::fs::OpenOptions::new()
+                        .write(true)
+                        .create_new(true)
+                        .open(marker)
+                        .is_ok()
+                {
+                    // deterministic pre-attach death for the respawn tests
+                    std::process::exit(17);
+                }
+            }
+        }
         let seg_path = std::env::var(ENV_WORKER_SEG).expect("worker mode without segment path");
         let transport = ShmTransport::attach(&seg_path);
         let seg = Arc::clone(transport.segment());
@@ -105,7 +142,11 @@ impl ProcWorld {
             "worker launched for a {n_ranks}-rank world but the segment has {}",
             seg.n_ranks()
         );
-        let state = WorldState::with_transport(n_ranks, None, transport as Arc<dyn Transport>);
+        let transport = crate::transport::fault::FaultTransport::wrap_env(
+            n_ranks,
+            transport as Arc<dyn Transport>,
+        );
+        let state = WorldState::with_transport_deadline(n_ranks, None, transport, env_deadline());
         seg.pid_slot(rank)
             .store(std::process::id(), Ordering::SeqCst);
         seg.barrier(&|| seg.check_alive()); // attach barrier
@@ -122,20 +163,63 @@ impl ProcWorld {
     fn launch_driver(n_ranks: usize) -> ProcWorld {
         let transport = ShmTransport::create(n_ranks);
         let seg = Arc::clone(transport.segment());
-        let state = WorldState::with_transport(n_ranks, None, transport as Arc<dyn Transport>);
+        let transport = crate::transport::fault::FaultTransport::wrap_env(
+            n_ranks,
+            transport as Arc<dyn Transport>,
+        );
+        let state = WorldState::with_transport_deadline(n_ranks, None, transport, env_deadline());
         seg.pid_slot(0).store(std::process::id(), Ordering::SeqCst);
 
         let exe = std::env::current_exe().expect("current_exe for worker re-exec");
-        let children: Vec<std::process::Child> = (1..n_ranks)
-            .map(|rank| {
-                std::process::Command::new(&exe)
-                    .args(std::env::args_os().skip(1))
-                    .env(ENV_WORKER_RANK, rank.to_string())
-                    .env(ENV_WORKER_SEG, seg.path())
-                    .spawn()
-                    .unwrap_or_else(|e| panic!("spawn worker rank {rank}: {e}"))
-            })
-            .collect();
+        let spawn_worker = |rank: usize| -> std::process::Child {
+            std::process::Command::new(&exe)
+                .args(std::env::args_os().skip(1))
+                .env(ENV_WORKER_RANK, rank.to_string())
+                .env(ENV_WORKER_SEG, seg.path())
+                .spawn()
+                .unwrap_or_else(|e| panic!("spawn worker rank {rank}: {e}"))
+        };
+        let children = std::cell::RefCell::new((1..n_ranks).map(spawn_worker).collect::<Vec<_>>());
+        let respawns = std::cell::RefCell::new(vec![0u32; n_ranks.saturating_sub(1)]);
+
+        // Attach barrier with a self-healing stall probe. A worker that
+        // dies BEFORE storing its pid slot is invisible to the fabric's
+        // death detection (zero pid slots are skipped, and the watchdog is
+        // not running yet), so the barrier would hang forever; respawn such
+        // workers with a capped per-rank budget, aborting loudly past it.
+        // Workers that died AFTER attaching are caught by `check_alive`'s
+        // pid sweep as usual.
+        seg.barrier(&|| {
+            seg.check_alive();
+            let mut kids = children.borrow_mut();
+            let mut used = respawns.borrow_mut();
+            for (i, child) in kids.iter_mut().enumerate() {
+                let rank = i + 1;
+                if seg.pid_slot(rank).load(Ordering::SeqCst) != 0 {
+                    continue; // attached; no longer this loop's problem
+                }
+                if let Ok(Some(status)) = child.try_wait() {
+                    assert!(
+                        used[i] < respawn_max(),
+                        "worker rank {rank} died before attaching ({status}) and \
+                         exhausted its respawn budget of {} (MPISIM_RESPAWN_MAX)",
+                        respawn_max()
+                    );
+                    used[i] += 1;
+                    eprintln!(
+                        "mpisim: worker rank {rank} exited before attaching \
+                         ({status}); respawning (attempt {}/{})",
+                        used[i],
+                        respawn_max()
+                    );
+                    std::thread::sleep(std::time::Duration::from_millis(20 * used[i] as u64));
+                    *child = spawn_worker(rank);
+                }
+            }
+        });
+        // every process holds a mapping now; drop the /dev/shm name so the
+        // segment cannot outlive the world
+        seg.unlink();
 
         let shutting_down = Arc::new(AtomicBool::new(false));
         let watchdog = std::thread::Builder::new()
@@ -143,14 +227,10 @@ impl ProcWorld {
             .spawn({
                 let seg = Arc::clone(&seg);
                 let shutting_down = Arc::clone(&shutting_down);
+                let children = children.into_inner();
                 move || Self::watchdog(seg, shutting_down, children)
             })
             .expect("spawn watchdog thread");
-
-        seg.barrier(&|| seg.check_alive()); // attach barrier
-                                            // every process holds a mapping now; drop the /dev/shm name so the
-                                            // segment cannot outlive the world
-        seg.unlink();
         ProcWorld {
             state,
             seg,
@@ -187,7 +267,7 @@ impl ProcWorld {
                             i + 1,
                             child.id()
                         );
-                        seg.note_rank_panic();
+                        seg.note_rank_death(i + 1);
                     }
                 }
             }
@@ -295,6 +375,7 @@ impl ProcWorld {
     /// does, `None` on the stop command. Parks with the fabric stall
     /// period, probing for peer death when nothing moves.
     fn await_cmd(&self, epoch: u64) -> Option<usize> {
+        let start = std::time::Instant::now();
         loop {
             let cmd = self.seg.read_cmd();
             if cmd == CMD_STOP {
@@ -311,6 +392,23 @@ impl ProcWorld {
             self.seg.park_cmd();
             if self.seg.read_cmd() == cmd {
                 self.seg.check_alive(); // nothing moved: probe for death
+                self.check_deadline(&start, "epoch-command wait");
+            }
+        }
+    }
+
+    /// Abort with a [`crate::StallReport`] when a blocked epoch-protocol
+    /// wait outlives the world's deadline (see `MPISIM_DEADLINE_MS`).
+    fn check_deadline(&self, start: &std::time::Instant, kind: &str) {
+        if let Some(ms) = self.state.deadline_ms() {
+            let waited = start.elapsed().as_millis() as u64;
+            if waited >= ms {
+                panic!(
+                    "wait deadline of {ms} ms (MPISIM_DEADLINE_MS) expired after \
+                     {waited} ms blocked in {kind} on rank {}\n{}",
+                    self.rank,
+                    self.state.stall_report()
+                );
             }
         }
     }
@@ -318,13 +416,18 @@ impl ProcWorld {
     fn finish_epoch<R>(&self, result: std::thread::Result<R>) -> R {
         match result {
             Ok(r) => {
-                self.seg.barrier(&|| self.seg.check_alive());
+                let start = std::time::Instant::now();
+                self.seg.barrier(&|| {
+                    self.seg.check_alive();
+                    self.check_deadline(&start, "epoch barrier");
+                });
                 r
             }
             Err(p) => {
-                // raise the flag BEFORE dying so peers blocked on this
-                // rank's messages abort instead of waiting forever
-                self.seg.note_rank_panic();
+                // raise the flag (attributed to this rank) BEFORE dying so
+                // peers blocked on this rank's messages abort instead of
+                // waiting forever
+                self.seg.note_rank_death(self.rank);
                 if self.rank != 0 {
                     eprintln!(
                         "mpisim: rank {} panicked; aborting the epoch across the world",

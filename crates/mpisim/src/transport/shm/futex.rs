@@ -6,10 +6,11 @@
 //! vendored; the two calls we need are declared against the C library the
 //! std binary already links.
 //!
-//! Every wait carries a bounded timeout (the fabric-wide 50 ms stall
-//! period): wakes are a latency optimization, timeouts are the progress
-//! and death-detection guarantee. Spurious returns are fine — all callers
-//! re-check their condition in a loop.
+//! Every wait carries a bounded timeout (the fabric-wide stall period,
+//! `MPISIM_STALL_MS` — see [`crate::stall::stall_ms`]): wakes are a
+//! latency optimization, timeouts are the progress and death-detection
+//! guarantee. Spurious returns are fine — all callers re-check their
+//! condition in a loop.
 
 use std::ffi::{c_int, c_long};
 use std::sync::atomic::AtomicU32;
@@ -31,12 +32,6 @@ struct Timespec {
 extern "C" {
     fn syscall(num: c_long, ...) -> c_long;
 }
-
-/// Default stall period of every blocking wait in the fabric, in
-/// milliseconds — the cadence at which blocked operations re-probe for
-/// peer death and protocol misuse (matches the thread transport's condvar
-/// timeout).
-pub(crate) const STALL_MS: u64 = 50;
 
 /// Sleep until `word` is observed different from `expected`, a wake
 /// arrives, or `timeout_ms` elapses — whichever is first.

@@ -5,8 +5,9 @@
 //! receiver-local unexpected queue; persistent channels are byte rings
 //! allocated through the segment's registration table (the pre-matched
 //! handshake); parking is process-shared futexes with the fabric-wide
-//! 50 ms stall period, so every blocked operation re-probes for peer
-//! death (flag + pid sweep) and aborts loudly instead of deadlocking.
+//! stall period (`MPISIM_STALL_MS`, see [`crate::stall::stall_ms`]), so
+//! every blocked operation re-probes for peer death (flag + pid sweep)
+//! and aborts loudly instead of deadlocking.
 //!
 //! The same transport serves both deployment shapes: rank threads of one
 //! process ([`crate::World::run_shm`], [`crate::World::pool_shm`] — the
@@ -17,7 +18,7 @@ pub(crate) mod futex;
 pub(crate) mod ring;
 pub(crate) mod segment;
 
-use super::{PayloadMode, Transport};
+use super::{PayloadMode, Transport, TransportForensics};
 use crate::state::{ChanId, ChanKey, Envelope, Payload, WorldState};
 use parking_lot::{Condvar, Mutex};
 use ring::ShmChanRaw;
@@ -339,7 +340,7 @@ impl Transport for ShmTransport {
                 let env = st.q.remove(pos).expect("position valid");
                 return (env, searched);
             }
-            futex::wait(seq, seen, futex::STALL_MS);
+            futex::wait(seq, seen, crate::stall::stall_ms());
             let moved = seq.load(std::sync::atomic::Ordering::SeqCst) != seen;
             if !moved {
                 stall();
@@ -379,7 +380,7 @@ impl Transport for ShmTransport {
             if let Some(i) = WorldState::poll_any_from(chans, start) {
                 break i;
             }
-            futex::wait(seq, seen, futex::STALL_MS);
+            futex::wait(seq, seen, crate::stall::stall_ms());
             if seq.load(std::sync::atomic::Ordering::SeqCst) == seen {
                 stall();
             }
@@ -429,16 +430,59 @@ impl Transport for ShmTransport {
         // drain hooks (WorldState::drain_in_flight runs both passes)
     }
 
-    fn note_rank_panic(&self) {
-        self.seg.note_rank_panic();
+    fn note_rank_panic(&self, rank: Option<usize>) {
+        match rank {
+            Some(r) => self.seg.note_rank_death(r),
+            None => self.seg.note_rank_panic(),
+        }
     }
 
     fn clear_rank_panic(&self) {
         self.seg.clear_rank_panic();
     }
 
-    fn check_peer_alive(&self) {
-        self.seg.check_alive();
+    fn dead_rank(&self) -> Option<usize> {
+        self.seg.dead_rank()
+    }
+
+    fn peer_failure(&self) -> Option<String> {
+        self.seg.peer_failure()
+    }
+
+    fn forensics(&self) -> TransportForensics {
+        let n = self.seg.n_ranks();
+        // try_lock only: forensics run from stall closures that may already
+        // hold a mailbox lock; a contended depth reports as unknown rather
+        // than deadlocking the dump.
+        let mailbox_depths = (0..n)
+            .map(|dst| {
+                self.local_mb[dst].try_lock().map(|st| {
+                    let in_rings: usize = (0..n)
+                        .map(|src| self.mailbox_ring(src, dst).msg_count())
+                        .sum();
+                    st.q.len() + in_rings
+                })
+            })
+            .collect();
+        let outbox_depth = self.outbox.state.try_lock().map_or(0, |st| st.live);
+        let peers = (0..n)
+            .filter_map(|r| {
+                let pid = self
+                    .seg
+                    .pid_slot(r)
+                    .load(std::sync::atomic::Ordering::SeqCst);
+                (pid != 0).then(|| crate::stall::PeerStatus {
+                    rank: r,
+                    pid,
+                    alive: segment::pid_alive(pid),
+                })
+            })
+            .collect();
+        TransportForensics {
+            mailbox_depths,
+            outbox_depth,
+            peers,
+        }
     }
 }
 

@@ -179,7 +179,7 @@ impl ShmChanRaw {
             if self.try_push(arrival, parts) {
                 return;
             }
-            futex::wait(&hdr.space_seq, seen, futex::STALL_MS);
+            futex::wait(&hdr.space_seq, seen, crate::stall::stall_ms());
             stall();
         }
     }
@@ -223,7 +223,7 @@ impl ShmChanRaw {
             if self.ready() {
                 return;
             }
-            futex::wait(&hdr.data_seq, seen, futex::STALL_MS);
+            futex::wait(&hdr.data_seq, seen, crate::stall::stall_ms());
             if self.ready() {
                 return;
             }

@@ -29,7 +29,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-const MAGIC: u64 = 0x6d70_6973_696d_0007; // "mpisim", layout v7
+const MAGIC: u64 = 0x6d70_6973_696d_0008; // "mpisim", layout v8
 const ALIGN: u64 = 64;
 
 /// Fixed capacity of the channel registration table. A world registers one
@@ -70,7 +70,9 @@ struct SegHeader {
     barrier_count: AtomicU32,
     /// Spinlock guarding the registration table.
     table_lock: AtomicU32,
-    _pad: u32,
+    /// Which rank raised `rank_panicked`, as rank+1 (0 = unattributed).
+    /// First writer wins; read by stall forensics to name the dead rank.
+    dead_rank: AtomicU32,
     /// Offset of the first mailbox ring and per-ring data capacity.
     mailbox_base: AtomicU64,
     mailbox_cap: AtomicU64,
@@ -132,17 +134,33 @@ impl Segment {
         let len = env_size("MPISIM_SHM_BYTES", default_len).max(mailbox_total + (16 << 20));
 
         static SEQ: AtomicU64 = AtomicU64::new(0);
-        let path = PathBuf::from(format!(
-            "/dev/shm/mpisim-{}-{}",
-            std::process::id(),
-            SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create_new(true)
-            .open(&path)
-            .unwrap_or_else(|e| panic!("create shm segment {}: {e}", path.display()));
+        // Name collision (a stale file from a dead process that recycled
+        // our pid, or a crashed earlier run): sweep dead-owner leftovers
+        // and retry with backoff on the next sequence number instead of
+        // aborting the world on the first EEXIST.
+        let (file, path) = (0..100)
+            .find_map(|attempt| {
+                let path = PathBuf::from(format!(
+                    "/dev/shm/mpisim-{}-{}",
+                    std::process::id(),
+                    SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                match OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .create_new(true)
+                    .open(&path)
+                {
+                    Ok(f) => Some((f, path)),
+                    Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                        sweep_stale_segments();
+                        std::thread::sleep(std::time::Duration::from_millis(1 + attempt));
+                        None
+                    }
+                    Err(e) => panic!("create shm segment {}: {e}", path.display()),
+                }
+            })
+            .expect("create shm segment: 100 consecutive name collisions");
         file.set_len(len).expect("size shm segment");
         let seg = Segment::map(file, path, len as usize, true);
 
@@ -167,21 +185,33 @@ impl Segment {
         Arc::new(seg)
     }
 
-    /// Map an existing fabric segment (worker processes).
+    /// Map an existing fabric segment (worker processes). Transient
+    /// failures — the file not yet visible, or `magic` not yet published
+    /// by the creator — are retried with backoff for roughly two seconds
+    /// before giving up; the driver's respawn policy (see
+    /// `transport::proc`) covers a worker that still loses the race.
     pub fn attach(path: &str) -> Arc<Segment> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .open(path)
-            .unwrap_or_else(|e| panic!("attach shm segment {path}: {e}"));
-        let len = file.metadata().expect("stat shm segment").len() as usize;
-        let seg = Segment::map(file, PathBuf::from(path), len, false);
-        assert_eq!(
-            seg.header().magic.load(Ordering::SeqCst),
-            MAGIC,
-            "shm segment {path} has no initialized fabric (version mismatch?)"
-        );
-        Arc::new(seg)
+        const ATTEMPTS: u32 = 20;
+        let mut last_err = String::new();
+        for attempt in 0..ATTEMPTS {
+            if attempt > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(10 * attempt as u64));
+            }
+            let file = match OpenOptions::new().read(true).write(true).open(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    last_err = format!("attach shm segment {path}: {e}");
+                    continue;
+                }
+            };
+            let len = file.metadata().expect("stat shm segment").len() as usize;
+            let seg = Segment::map(file, PathBuf::from(path), len, false);
+            if seg.header().magic.load(Ordering::SeqCst) == MAGIC {
+                return Arc::new(seg);
+            }
+            last_err = format!("shm segment {path} has no initialized fabric (version mismatch?)");
+        }
+        panic!("{last_err} ({ATTEMPTS} attempts)");
     }
 
     fn map(file: std::fs::File, path: PathBuf, len: usize, created: bool) -> Segment {
@@ -294,23 +324,51 @@ impl Segment {
         }
     }
 
+    /// [`Segment::note_rank_panic`] with attribution: record *which* rank
+    /// died (first writer wins) before raising the flag, so stall
+    /// forensics can name it.
+    pub fn note_rank_death(&self, rank: usize) {
+        let _ = self.header().dead_rank.compare_exchange(
+            0,
+            rank as u32 + 1,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        self.note_rank_panic();
+    }
+
+    /// The rank recorded by [`Segment::note_rank_death`], if any.
+    pub fn dead_rank(&self) -> Option<usize> {
+        match self.header().dead_rank.load(Ordering::SeqCst) {
+            0 => None,
+            r => Some(r as usize - 1),
+        }
+    }
+
     pub fn clear_rank_panic(&self) {
         self.header().rank_panicked.store(0, Ordering::SeqCst);
+        self.header().dead_rank.store(0, Ordering::SeqCst);
     }
 
     pub fn rank_panicked(&self) -> bool {
         self.header().rank_panicked.load(Ordering::SeqCst) != 0
     }
 
-    /// Stall probe of every blocking wait in the fabric: panic if a peer
-    /// rank panicked, or if an attached peer *process* no longer exists
-    /// (SIGKILL leaves no flag behind — the pid sweep catches it). Clean
-    /// worker exits after a [`CMD_STOP`] are not deaths.
-    pub fn check_alive(&self) {
-        assert!(
-            !self.rank_panicked(),
-            "a peer rank panicked this epoch; abandoning blocked receive"
-        );
+    /// Non-panicking body of [`Segment::check_alive`]: the abort message
+    /// if a peer rank panicked or an attached peer *process* no longer
+    /// exists (SIGKILL leaves no flag behind — the pid sweep catches it),
+    /// else `None`. Clean worker exits after a [`CMD_STOP`] are not
+    /// deaths. Records a newly-observed pid death as a side effect.
+    pub fn peer_failure(&self) -> Option<String> {
+        if self.rank_panicked() {
+            let who = match self.dead_rank() {
+                Some(r) => format!(" (rank {r} died)"),
+                None => String::new(),
+            };
+            return Some(format!(
+                "a peer rank panicked this epoch; abandoning blocked receive{who}"
+            ));
+        }
         let stopping = self.read_cmd() == CMD_STOP;
         for r in 0..self.n_ranks() {
             let pid = self.pid_slot(r).load(Ordering::SeqCst);
@@ -318,12 +376,21 @@ impl Segment {
                 continue; // not attached yet, or shutting down cleanly
             }
             if !pid_alive(pid) {
-                self.note_rank_panic();
-                panic!(
+                self.note_rank_death(r);
+                return Some(format!(
                     "rank {r} process (pid {pid}) died; abandoning blocked \
                      operation on the shm fabric"
-                );
+                ));
             }
+        }
+        None
+    }
+
+    /// Stall probe of every blocking wait in the fabric: panic if a peer
+    /// rank panicked or its process died (see [`Segment::peer_failure`]).
+    pub fn check_alive(&self) {
+        if let Some(msg) = self.peer_failure() {
+            panic!("{msg}");
         }
     }
 
@@ -343,7 +410,7 @@ impl Segment {
     pub fn park_cmd(&self) {
         let h = self.header();
         let seen = h.epoch_seq.load(Ordering::SeqCst);
-        futex::wait(&h.epoch_seq, seen, futex::STALL_MS);
+        futex::wait(&h.epoch_seq, seen, crate::stall::stall_ms());
     }
 
     /// All-ranks sense-reversing barrier. `stall` runs each stall period
@@ -362,7 +429,7 @@ impl Segment {
                 if h.barrier_gen.load(Ordering::SeqCst) != gen {
                     return;
                 }
-                futex::wait(&h.barrier_gen, gen, futex::STALL_MS);
+                futex::wait(&h.barrier_gen, gen, crate::stall::stall_ms());
                 if h.barrier_gen.load(Ordering::SeqCst) != gen {
                     return;
                 }
@@ -487,6 +554,31 @@ pub(crate) fn pid_alive(pid: u32) -> bool {
         && std::io::Error::last_os_error().raw_os_error() == Some(ESRCH))
 }
 
+/// Remove `/dev/shm/mpisim-<pid>-<seq>` files whose creating process no
+/// longer exists — leftovers of SIGKILLed runs, which never reach their
+/// `Drop`/unlink guard. Called on a name collision in [`Segment::create`],
+/// so one crashed run cannot strand tmpfs pages forever.
+pub(crate) fn sweep_stale_segments() {
+    let Ok(entries) = std::fs::read_dir("/dev/shm") else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(rest) = name.to_str().and_then(|n| n.strip_prefix("mpisim-")) else {
+            continue;
+        };
+        let Some(pid) = rest
+            .split_once('-')
+            .and_then(|(pid, _seq)| pid.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        if !pid_alive(pid) {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
 fn align(off: u64) -> u64 {
     off.div_ceil(ALIGN) * ALIGN
 }
@@ -556,5 +648,83 @@ mod tests {
         let seg = Segment::create(2);
         seg.note_rank_panic();
         seg.check_alive();
+    }
+
+    #[test]
+    fn rank_death_is_attributed_first_writer_wins() {
+        let seg = Segment::create(4);
+        assert_eq!(seg.dead_rank(), None);
+        seg.note_rank_death(2);
+        seg.note_rank_death(3); // later report must not overwrite
+        assert_eq!(seg.dead_rank(), Some(2));
+        assert!(seg
+            .peer_failure()
+            .expect("flag raised")
+            .contains("rank 2 died"));
+        seg.clear_rank_panic();
+        assert_eq!(seg.dead_rank(), None);
+        assert!(seg.peer_failure().is_none());
+        seg.unlink();
+    }
+
+    #[test]
+    fn create_retries_past_a_name_collision() {
+        // Plant live-owner files at the next few sequence numbers:
+        // create() must skip over them (the owner — us — is alive, so the
+        // sweep may not remove them) and still produce a working segment.
+        // `create_new` planting never clobbers a concurrent test's real
+        // segment; a lost race just plants fewer blockers.
+        let seq: u64 = {
+            let probe = Segment::create(1);
+            let name = probe
+                .path()
+                .file_name()
+                .unwrap()
+                .to_str()
+                .unwrap()
+                .to_owned();
+            probe.unlink();
+            name.rsplit('-').next().unwrap().parse().unwrap()
+        };
+        let blockers: Vec<PathBuf> = (1..=4)
+            .map(|d| {
+                PathBuf::from(format!(
+                    "/dev/shm/mpisim-{}-{}",
+                    std::process::id(),
+                    seq + d
+                ))
+            })
+            .filter(|p| {
+                OpenOptions::new()
+                    .write(true)
+                    .create_new(true)
+                    .open(p)
+                    .is_ok()
+            })
+            .collect();
+        let seg = Segment::create(2);
+        assert!(
+            blockers.iter().all(|b| b.as_path() != seg.path()),
+            "create must not reuse a colliding name"
+        );
+        assert_eq!(seg.n_ranks(), 2);
+        seg.unlink();
+        for b in blockers {
+            let _ = std::fs::remove_file(b);
+        }
+    }
+
+    #[test]
+    fn sweep_removes_only_dead_owner_segments() {
+        // a file named for a pid that cannot exist (> pid_max) is stale
+        let stale = PathBuf::from("/dev/shm/mpisim-4194399-0");
+        std::fs::write(&stale, b"stale").expect("plant stale file");
+        // one owned by this (live) process must survive the sweep
+        let live = PathBuf::from(format!("/dev/shm/mpisim-{}-999999", std::process::id()));
+        std::fs::write(&live, b"live").expect("plant live file");
+        sweep_stale_segments();
+        assert!(!stale.exists(), "dead-owner segment must be swept");
+        assert!(live.exists(), "live-owner segment must survive");
+        let _ = std::fs::remove_file(&live);
     }
 }

@@ -3,10 +3,13 @@
 //! ([`crate::World::run`], [`crate::WorldPool`]) uses by default — the
 //! behavior `mpisim` always had, now behind the [`Transport`] seam.
 
-use super::{PayloadMode, ShmChanRaw, Transport};
+use super::{PayloadMode, ShmChanRaw, Transport, TransportForensics};
 use crate::state::{ChanId, ChanKey, Envelope, Mailbox, WaitSet, WorldState};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Sentinel for "no rank recorded" in `dead_rank`.
+const NO_RANK: usize = usize::MAX;
 
 pub(crate) struct ThreadTransport {
     /// Unexpected-message queue of each rank.
@@ -19,6 +22,8 @@ pub(crate) struct ThreadTransport {
     /// receives check it from their stall probes and abort loudly instead
     /// of waiting forever for a message the dead rank will never send.
     rank_panicked: AtomicBool,
+    /// Which rank raised the flag (first writer wins), for forensics.
+    dead_rank: AtomicUsize,
 }
 
 impl ThreadTransport {
@@ -27,6 +32,7 @@ impl ThreadTransport {
             mailboxes: (0..n_ranks).map(|_| Mailbox::default()).collect(),
             wait_sets: (0..n_ranks).map(|_| Arc::new(WaitSet::new())).collect(),
             rank_panicked: AtomicBool::new(false),
+            dead_rank: AtomicUsize::new(NO_RANK),
         }
     }
 }
@@ -64,7 +70,10 @@ impl Transport for ThreadTransport {
             }
             if mb
                 .cv
-                .wait_for(&mut q, std::time::Duration::from_millis(50))
+                .wait_for(
+                    &mut q,
+                    std::time::Duration::from_millis(crate::stall::stall_ms()),
+                )
                 .timed_out()
             {
                 stall();
@@ -128,18 +137,49 @@ impl Transport for ThreadTransport {
         }
     }
 
-    fn note_rank_panic(&self) {
+    fn note_rank_panic(&self, rank: Option<usize>) {
+        if let Some(r) = rank {
+            let _ =
+                self.dead_rank
+                    .compare_exchange(NO_RANK, r, Ordering::AcqRel, Ordering::Relaxed);
+        }
         self.rank_panicked.store(true, Ordering::Release);
     }
 
     fn clear_rank_panic(&self) {
         self.rank_panicked.store(false, Ordering::Release);
+        self.dead_rank.store(NO_RANK, Ordering::Release);
     }
 
-    fn check_peer_alive(&self) {
-        assert!(
-            !self.rank_panicked.load(Ordering::Acquire),
-            "a peer rank panicked this epoch; abandoning blocked receive"
-        );
+    fn dead_rank(&self) -> Option<usize> {
+        match self.dead_rank.load(Ordering::Acquire) {
+            NO_RANK => None,
+            r => Some(r),
+        }
+    }
+
+    fn peer_failure(&self) -> Option<String> {
+        if !self.rank_panicked.load(Ordering::Acquire) {
+            return None;
+        }
+        let who = match self.dead_rank() {
+            Some(r) => format!(" (rank {r} died)"),
+            None => String::new(),
+        };
+        Some(format!(
+            "a peer rank panicked this epoch; abandoning blocked receive{who}"
+        ))
+    }
+
+    fn forensics(&self) -> TransportForensics {
+        TransportForensics {
+            mailbox_depths: self
+                .mailboxes
+                .iter()
+                .map(|mb| mb.queue.try_lock().map(|q| q.len()))
+                .collect(),
+            outbox_depth: 0,
+            peers: Vec::new(),
+        }
     }
 }

@@ -1,0 +1,278 @@
+//! Chaos tests: deterministic fault injection over both fabrics.
+//!
+//! The fault layer's contract is that every perturbation it injects is
+//! *semantically invisible* — delays, tag-legal reorders, and spurious
+//! wakeups may shake the schedule, but a faulted world must deliver
+//! byte-identical results to a fault-free one. Kills and deadlocks, by
+//! contrast, must end loudly and quickly: a killed rank aborts its world
+//! within the wait deadline, the abort names the dead rank in a
+//! [`mpisim::StallReport`], and a pooled world degrades gracefully into a
+//! structured [`EpochError`] and stays usable for the next epoch.
+
+use locality::Topology;
+use mpi_advance::{Backend, CommPattern, NeighborAlltoallv, Protocol};
+use mpisim::collectives::op_sum_u64;
+use mpisim::{FaultPlan, RankCtx, World};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// The value rank-owned index `i` carries in iteration `it`.
+fn value(i: usize, it: u64) -> f64 {
+    (i as f64) * 16.0 + (it as f64) * 0.25
+}
+
+/// Render a caught panic payload for substring assertions.
+fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".into()
+    }
+}
+
+/// One rank's SPMD body: a mixed workload touching every op class the
+/// fault layer counts — a persistent neighbor collective (channel
+/// push/pop + wait_any), a partitioned one, plain ring sends/recvs
+/// (deposit + match_recv), and a collective — returning raw result bits.
+fn chaos_body(full: &NeighborAlltoallv, part: &NeighborAlltoallv, ctx: &mut RankCtx) -> Vec<u64> {
+    let comm = ctx.comm_world();
+    let mut bits = Vec::new();
+    let mut req_full = full.init(ctx, &comm);
+    let mut req_part = part.init(ctx, &comm);
+    for it in 0..2u64 {
+        for req in [&mut req_full, &mut req_part] {
+            let input: Vec<f64> = req.input_index().iter().map(|&i| value(i, it)).collect();
+            let mut output = vec![f64::NAN; req.output_index().len()];
+            req.start_wait(ctx, &input, &mut output);
+            bits.extend(output.iter().map(|v| v.to_bits()));
+        }
+        let right = (ctx.rank() + 1) % ctx.size();
+        let left = (ctx.rank() + ctx.size() - 1) % ctx.size();
+        ctx.send(&comm, right, 40 + it, &[ctx.rank() as u64 * 7 + it]);
+        let got: Vec<u64> = ctx.recv(&comm, left, 40 + it);
+        bits.extend(got);
+        bits.extend(ctx.allreduce(&comm, &[ctx.rank() as u64 + it], op_sum_u64));
+    }
+    bits
+}
+
+/// Run the mixed workload in a world built by `launch`.
+fn run_chaos_world(
+    launch: impl FnOnce(&(dyn Fn(&mut RankCtx) -> Vec<u64> + Sync)) -> Vec<Vec<u64>>,
+) -> Vec<Vec<u64>> {
+    let pattern = CommPattern::example_2_1();
+    let topo = Topology::block_nodes(pattern.n_ranks, 4);
+    let full =
+        NeighborAlltoallv::new(&pattern, &topo).backend(Backend::Protocol(Protocol::FullNeighbor));
+    let part = NeighborAlltoallv::new(&pattern, &topo)
+        .backend(Backend::Partitioned(Protocol::PartialNeighbor))
+        .tag_base(1 << 13); // two live collectives: disjoint tag namespaces
+    launch(&move |ctx| chaos_body(&full, &part, ctx))
+}
+
+/// A timing-perturbation plan (no kills): delays on a quarter of counted
+/// ops, held/reordered deposits, spurious wakeups. The deadline is a
+/// safety net so a chaos-induced hang fails the test instead of wedging
+/// the suite.
+fn perturb_plan(seed: u64) -> FaultPlan {
+    FaultPlan::seeded(seed)
+        .delays(250, 150)
+        .reorder(200)
+        .spurious(150)
+        .deadline_ms(30_000)
+}
+
+/// A fault-free plan (deadline only) must not change results — and must
+/// not even wrap the transport (pinned by a unit test; end-to-end here).
+#[test]
+fn fault_free_plan_is_byte_identical() {
+    let reference = run_chaos_world(|f| World::run(8, f));
+    let idle =
+        run_chaos_world(|f| World::with_faults(8, FaultPlan::seeded(11).deadline_ms(30_000), f));
+    assert_eq!(reference, idle, "a no-fault plan changed results");
+    // delay-only: every counted op sleeps, nothing else is perturbed
+    let delayed = run_chaos_world(|f| {
+        World::with_faults(
+            8,
+            FaultPlan::seeded(12).delays(1000, 60).deadline_ms(30_000),
+            f,
+        )
+    });
+    assert_eq!(reference, delayed, "a delay-only plan changed results");
+}
+
+/// ≥20 seeded schedules (10 thread + 10 shm), each mixing delays,
+/// reorders, and spurious wakeups, all byte-identical to the fault-free
+/// run on the same fabric.
+#[test]
+fn seeded_schedules_are_byte_identical_thread() {
+    let reference = run_chaos_world(|f| World::run(8, f));
+    for seed in 0..10u64 {
+        let faulted = run_chaos_world(|f| World::with_faults(8, perturb_plan(seed), f));
+        assert_eq!(faulted, reference, "thread schedule seed {seed} diverged");
+    }
+}
+
+#[test]
+fn seeded_schedules_are_byte_identical_shm() {
+    let reference = run_chaos_world(|f| World::run_shm(8, f));
+    for seed in 100..110u64 {
+        let faulted = run_chaos_world(|f| World::with_faults_shm(8, perturb_plan(seed), f));
+        assert_eq!(faulted, reference, "shm schedule seed {seed} diverged");
+    }
+}
+
+/// Ring traffic that keeps every rank's op counter advancing long enough
+/// for any kill index used below to land mid-workload.
+fn ring_body(ctx: &mut RankCtx) -> u64 {
+    let comm = ctx.comm_world();
+    let mut acc = 0u64;
+    for it in 0..16u64 {
+        let right = (ctx.rank() + 1) % ctx.size();
+        let left = (ctx.rank() + ctx.size() - 1) % ctx.size();
+        ctx.send(&comm, right, it, &[ctx.rank() as u64 + it]);
+        let got: Vec<u64> = ctx.recv(&comm, left, it);
+        acc += got[0];
+    }
+    acc
+}
+
+/// Kill matrix, one-shot worlds: both fabrics × several op indices. The
+/// world must abort well inside the deadline, and the propagated panic
+/// must either be the victim's own kill message or a peer abort whose
+/// stall report names the dead rank.
+#[test]
+fn kill_schedules_abort_one_shot_worlds() {
+    for shm in [false, true] {
+        for (victim, nth) in [(1usize, 5u64), (2, 17)] {
+            let plan = FaultPlan::seeded(9).kill(victim, nth).deadline_ms(10_000);
+            let start = Instant::now();
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                if shm {
+                    World::with_faults_shm(4, plan.clone(), ring_body)
+                } else {
+                    World::with_faults(4, plan.clone(), ring_body)
+                }
+            }))
+            .expect_err("a killed rank must fail the world");
+            let elapsed = start.elapsed();
+            assert!(
+                elapsed < Duration::from_secs(15),
+                "kill (shm={shm}, rank {victim} @ op {nth}) took {elapsed:?} to abort"
+            );
+            let msg = panic_text(err);
+            assert!(
+                msg.contains("killed by fault plan")
+                    || msg.contains(&format!("dead rank: {victim}")),
+                "kill (shm={shm}, rank {victim} @ op {nth}): abort names neither the \
+                 kill nor the dead rank:\n{msg}"
+            );
+        }
+    }
+}
+
+/// Kill matrix, pooled worlds: a kill schedule surfaces as a structured
+/// [`mpisim::EpochError`] naming the victim, and the pool stays usable
+/// for the next (fault-free, counters past the kill index) epoch.
+#[test]
+fn kill_schedules_degrade_gracefully_in_pools() {
+    for shm in [false, true] {
+        for (victim, nth) in [(1usize, 5u64), (3, 17)] {
+            let plan = FaultPlan::seeded(21).kill(victim, nth).deadline_ms(10_000);
+            let pool = if shm {
+                World::pool_with_faults_shm(4, plan)
+            } else {
+                World::pool_with_faults(4, plan)
+            };
+            let start = Instant::now();
+            let err = pool
+                .try_run(ring_body)
+                .expect_err("a killed rank must fail the epoch");
+            let elapsed = start.elapsed();
+            assert!(
+                elapsed < Duration::from_secs(15),
+                "pooled kill (shm={shm}, rank {victim} @ op {nth}) took {elapsed:?}"
+            );
+            assert!(
+                err.failures
+                    .iter()
+                    .any(|(r, m)| *r == victim && m.contains("killed by fault plan")),
+                "pooled kill (shm={shm}, rank {victim} @ op {nth}): EpochError does \
+                 not attribute the kill: {err}"
+            );
+            assert!(err.to_string().contains("epoch failed on rank"));
+            // graceful degradation: the pool survives the killed epoch
+            // (the victim's op counter is already past the kill index)
+            let out = pool.run(|ctx| ctx.rank() * 10);
+            assert_eq!(
+                out,
+                vec![0, 10, 20, 30],
+                "pool unusable after kill (shm={shm})"
+            );
+        }
+    }
+}
+
+/// An application panic (not a fault-plan kill) also comes back as a
+/// structured `EpochError` attributing the right rank.
+#[test]
+fn application_panic_becomes_epoch_error() {
+    let pool = World::pool(3);
+    let err = pool
+        .try_run(|ctx| {
+            if ctx.rank() == 2 {
+                panic!("deliberate chaos-test failure");
+            }
+            ctx.rank()
+        })
+        .expect_err("rank 2 panicked");
+    assert_eq!(err.rank, 2);
+    assert!(err.message.contains("deliberate chaos-test failure"));
+    assert_eq!(pool.run(|ctx| ctx.rank()), vec![0, 1, 2]);
+}
+
+/// A mutual-recv deadlock hits the plan's deadline and aborts with a
+/// stall-forensics dump instead of hanging — on both fabrics.
+#[test]
+fn deadline_expiry_dumps_a_stall_report() {
+    let deadlock = |ctx: &mut RankCtx| {
+        let comm = ctx.comm_world();
+        let peer = 1 - ctx.rank();
+        let _: Vec<u64> = ctx.recv(&comm, peer, 9); // nobody ever sends
+    };
+    for shm in [false, true] {
+        let plan = FaultPlan::seeded(3).deadline_ms(400);
+        let start = Instant::now();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            if shm {
+                World::with_faults_shm(2, plan.clone(), deadlock)
+            } else {
+                World::with_faults(2, plan.clone(), deadlock)
+            }
+        }))
+        .expect_err("the deadlocked world must abort");
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "deadline abort (shm={shm}) took {elapsed:?}"
+        );
+        let msg = panic_text(err);
+        // the joined payload is either a rank's own deadline abort, or —
+        // when one rank's deadline fires first — its peer's death abort
+        // (also carrying the stall report, which then names the victim)
+        assert!(
+            msg.contains("wait deadline of 400 ms") || msg.contains("peer rank panicked"),
+            "deadline abort (shm={shm}) names neither the deadline nor a dead peer:\n{msg}"
+        );
+        assert!(
+            msg.contains("StallReport"),
+            "deadline abort (shm={shm}) carries no stall report:\n{msg}"
+        );
+        assert!(
+            msg.contains("blocked"),
+            "stall report (shm={shm}) shows no parked wait:\n{msg}"
+        );
+    }
+}

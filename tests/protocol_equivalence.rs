@@ -22,11 +22,29 @@
 //! A final deterministic test pins `wait_any`'s ordering contract itself:
 //! entries retire in **delivery** order, not init order, under a skewed
 //! modeled topology whose send order is forced by out-of-band handshakes.
+//!
+//! Both properties additionally re-run sampled configurations under
+//! seeded [`FaultPlan`] schedules (delivery delays, tag-legal reorders,
+//! spurious wakeups) on both fabrics: injected faults perturb timing and
+//! interleaving but must never change a single output byte.
 
 use locality::Topology;
 use mpi_advance::{Backend, CommPattern, NeighborAlltoallv, NeighborBatch, Protocol};
-use mpisim::{World, WorldPool};
+use mpisim::{FaultPlan, World, WorldPool};
 use proptest::prelude::*;
+
+/// A seeded timing-perturbation schedule (delays + tag-legal reorders +
+/// spurious wakeups — no kills): the fault layer must be semantically
+/// invisible, so every faulted run below is held to the same byte-exact
+/// reference as the fault-free ones. The deadline is a safety net that
+/// turns a chaos-induced hang into a loud failure.
+fn perturb_plan(seed: u64) -> FaultPlan {
+    FaultPlan::seeded(seed)
+        .delays(200, 120)
+        .reorder(150)
+        .spurious(100)
+        .deadline_ms(30_000)
+}
 
 /// Random pattern over `n` ranks: each rank sends a few indices drawn from
 /// its own index space (rank r owns [r·K, (r+1)·K), so origins are unique
@@ -260,6 +278,47 @@ proptest! {
                 }
             }
         }
+
+        // the same exchange under seeded delay/reorder fault schedules —
+        // one representative backend per execution engine — must stay
+        // byte-identical on both fabrics
+        for (seed, backend) in [
+            (40u64, Backend::Protocol(Protocol::StandardHypre)),
+            (41, Backend::Partitioned(Protocol::FullNeighbor)),
+            (42, Backend::Auto),
+        ] {
+            let coll = NeighborAlltoallv::new(&pattern, &topo).backend(backend);
+            let faulted = World::with_faults(8, perturb_plan(seed), |ctx| {
+                let comm = ctx.comm_world();
+                backend_body(&coll, ctx, &comm)
+            });
+            let faulted_shm = World::with_faults_shm(8, perturb_plan(seed ^ 0xa5), |ctx| {
+                let comm = ctx.comm_world();
+                backend_body(&coll, ctx, &comm)
+            });
+            for rank in 0..8 {
+                for it in 0..2 {
+                    prop_assert_eq!(
+                        &faulted[rank][it],
+                        &expected[it][rank],
+                        "{:?} under fault seed {} diverged at rank {} iteration {}",
+                        backend,
+                        seed,
+                        rank,
+                        it
+                    );
+                    prop_assert_eq!(
+                        &faulted_shm[rank][it],
+                        &expected[it][rank],
+                        "{:?} under shm fault seed {} diverged at rank {} iteration {}",
+                        backend,
+                        seed ^ 0xa5,
+                        rank,
+                        it
+                    );
+                }
+            }
+        }
     }
 
     /// A `NeighborBatch` of random (pattern, backend) entries delivers
@@ -343,6 +402,40 @@ proptest! {
                             it
                         );
                     }
+                }
+            }
+        }
+
+        // the completion-driven session under a seeded delay/reorder
+        // fault schedule: wait_any retires entries in (perturbed)
+        // delivery order, yet every output must stay byte-identical
+        let faulted = World::with_faults(8, perturb_plan(77), |ctx| {
+            let comm = ctx.comm_world();
+            batch_body(&batch, Lifecycle::WaitAny, ctx, &comm)
+        });
+        let faulted_shm = World::with_faults_shm(8, perturb_plan(78), |ctx| {
+            let comm = ctx.comm_world();
+            batch_body(&batch, Lifecycle::WaitAny, ctx, &comm)
+        });
+        for rank in 0..8 {
+            for e in 0..entries.len() {
+                for it in 0..2 {
+                    prop_assert_eq!(
+                        &faulted[rank][e][it],
+                        &independent[e][rank][it],
+                        "faulted batch diverged at entry {} rank {} iteration {}",
+                        e,
+                        rank,
+                        it
+                    );
+                    prop_assert_eq!(
+                        &faulted_shm[rank][e][it],
+                        &independent[e][rank][it],
+                        "faulted shm batch diverged at entry {} rank {} iteration {}",
+                        e,
+                        rank,
+                        it
+                    );
                 }
             }
         }

@@ -18,6 +18,16 @@
 //! - `death`: a worker process exits mid-epoch without raising any flag
 //!   (the `SIGKILL` shape); every surviving rank must abort loudly instead
 //!   of deadlocking, and the scenario process must exit nonzero.
+//! - `respawn`: a worker dies *before* attaching to the segment
+//!   (`MPISIM_ATTACH_FAIL_ONCE`); the driver's attach-barrier supervision
+//!   must respawn it within its `MPISIM_RESPAWN_MAX` budget and the world
+//!   must complete normally.
+//! - `faultkill`: `MPISIM_FAULTS` kills a non-driver rank at a chosen
+//!   transport op; the watchdog and pid sweeps must end the world loudly
+//!   within the fault plan's deadline.
+//!
+//! The orchestrator also snapshots `/dev/shm` around the whole suite and
+//! fails if any `mpisim-*` segment leaks past its world's lifetime.
 
 use amg::{DistributedHierarchy, Hierarchy, HierarchyOptions};
 use locality::Topology;
@@ -32,6 +42,8 @@ fn main() {
         Some("equivalence") => scenario_equivalence(),
         Some("amg") => scenario_amg(),
         Some("death") => scenario_death(),
+        Some("respawn") => scenario_respawn(),
+        Some("faultkill") => scenario_faultkill(),
         // debug helper, not part of the orchestrated suite: the amg
         // scenario's thread-transport reference on its own
         Some("amgthread") => {
@@ -48,12 +60,35 @@ fn main() {
 // ---- orchestrator ---------------------------------------------------------
 
 fn orchestrate() {
+    let shm_before = shm_segments();
     run_scenario("equivalence", true);
     run_scenario("amg", true);
     // death containment: the world must end LOUDLY (nonzero exit), and
     // within the deadline (a deadlock would hang here forever)
     run_scenario("death", false);
+    // pre-attach worker death is healed by respawn, not an abort
+    run_scenario("respawn", true);
+    // a fault-plan kill of a non-driver rank also ends the world loudly
+    run_scenario("faultkill", false);
+    // no world may leak its /dev/shm segment — not even the aborted ones
+    // (driver-side unlink after the attach barrier + Drop cover them)
+    let leaked: Vec<String> = shm_segments()
+        .into_iter()
+        .filter(|s| !shm_before.contains(s))
+        .collect();
+    assert!(leaked.is_empty(), "leaked /dev/shm segments: {leaked:?}");
     println!("shm_process: all scenarios passed");
+}
+
+/// Current `mpisim-*` entries under `/dev/shm`.
+fn shm_segments() -> Vec<String> {
+    match std::fs::read_dir("/dev/shm") {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok()?.file_name().into_string().ok())
+            .filter(|n| n.starts_with("mpisim-"))
+            .collect(),
+        Err(_) => Vec::new(),
+    }
 }
 
 fn run_scenario(name: &str, expect_success: bool) {
@@ -262,4 +297,67 @@ fn scenario_death() {
         unreachable!("rank {} completed a recv from a dead rank", ctx.rank());
     });
     unreachable!("the epoch with a dead rank reported success");
+}
+
+// ---- respawn --------------------------------------------------------------
+
+/// Worker rank 2 exits before storing its pid slot (invisible to the
+/// fabric's death detection); the driver's attach-barrier supervision must
+/// respawn it and the healed world must then run real traffic correctly.
+fn scenario_respawn() {
+    const N: usize = 4;
+    // the marker must be stable across the driver AND every (re-exec'd)
+    // worker, so only the first process of the scenario may choose it —
+    // workers inherit the driver's value through their environment
+    if std::env::var("MPISIM_ATTACH_FAIL_ONCE").is_err() {
+        let marker =
+            std::env::temp_dir().join(format!("mpisim-attach-fail-{}", std::process::id()));
+        let _ = std::fs::remove_file(&marker);
+        std::env::set_var("MPISIM_ATTACH_FAIL_ONCE", format!("2:{}", marker.display()));
+    }
+    let world = World::spawn_processes(N);
+    let mine = world.run(traffic);
+    let reference = World::run(N, traffic);
+    let rank = world.rank();
+    world.run(move |_ctx| {
+        assert_eq!(
+            mine, reference[rank],
+            "rank {rank}: traffic diverged after a worker respawn"
+        );
+    });
+    if world.rank() == 0 {
+        let spec = std::env::var("MPISIM_ATTACH_FAIL_ONCE").expect("hook spec");
+        let marker = spec.split_once(':').expect("rank:path spec").1.to_string();
+        assert!(
+            std::fs::metadata(&marker).is_ok(),
+            "the pre-attach failure never fired (marker {marker} missing)"
+        );
+        let _ = std::fs::remove_file(marker);
+    }
+}
+
+// ---- faultkill ------------------------------------------------------------
+
+/// `MPISIM_FAULTS` kills worker rank 2 at its 5th counted transport op.
+/// Every process of the world (driver and workers alike) parses the same
+/// spec from the environment, so the kill replays identically; the
+/// watchdog and peer pid sweeps must end the epoch loudly well inside the
+/// plan's deadline.
+fn scenario_faultkill() {
+    const N: usize = 4;
+    if std::env::var("MPISIM_FAULTS").is_err() {
+        std::env::set_var("MPISIM_FAULTS", "5:kill=2@5,deadline=20000");
+    }
+    let world = World::spawn_processes(N);
+    world.run(|ctx| {
+        let comm = ctx.comm_world();
+        for it in 0..16u64 {
+            let right = (ctx.rank() + 1) % ctx.size();
+            let left = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            ctx.send(&comm, right, it, &[ctx.rank() as u64 + it]);
+            let _: Vec<u64> = ctx.recv(&comm, left, it);
+        }
+        unreachable!("rank {} outlived the fault plan's kill", ctx.rank());
+    });
+    unreachable!("the epoch with a killed rank reported success");
 }
