@@ -1,6 +1,6 @@
 # Developer entry points. `make tier1` mirrors the CI verify exactly.
 
-.PHONY: tier1 build test test-all test-chaos fmt clippy lint bench bench-steady bench-smoke bench-baseline bench-check bench-transport
+.PHONY: tier1 build test test-all test-chaos test-sock fmt clippy lint bench bench-steady bench-smoke bench-baseline bench-check bench-transport
 
 tier1: ## the repository's tier-1 verify
 	cargo build --release && cargo test -q
@@ -19,6 +19,13 @@ test-all:
 # lifecycles, deadline aborts with stall forensics
 test-chaos:
 	cargo test --test chaos -q
+
+# the socket fabric's acceptance suite (DESIGN.md §10): multi-process
+# worlds over UDS and TCP byte-identical to the thread transport, link
+# severs healed by reconnect-with-resume, worker death and fault-plan
+# kills contained loudly, no leaked UDS listener paths
+test-sock:
+	cargo test --test sock_process -q
 
 fmt:
 	cargo fmt --all

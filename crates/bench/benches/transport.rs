@@ -12,12 +12,17 @@
 //! * `thread_<backend>`: the identical body on one warm in-process pool
 //!   ([`World::pool`]), the same shape as the protocols bench's
 //!   `steady_state_32ranks` group.
+//! * `sock_<backend>`: the identical body on a warm pool over the socket
+//!   fabric's loopback mesh ([`World::pool_sock`]) — ranks stay threads,
+//!   but every message crosses a real stream socket with framing,
+//!   sequencing, acks, and heartbeats. The delta against `thread_` prices
+//!   the wire protocol itself, with no process-management noise.
 //!
-//! `scripts/bench_compare` pairs the two sides and REPORTS the
-//! process/thread ratio without gating it — crossing real address spaces
-//! over /dev/shm rings is allowed to cost more than in-process handoff;
-//! the ratio is tracked, not enforced. Run `make bench-transport` for the
-//! paired report.
+//! `scripts/bench_compare` pairs the sides and REPORTS the
+//! process/thread and sock/thread ratios without gating them — crossing
+//! real address spaces or a socket is allowed to cost more than
+//! in-process handoff; the ratios are tracked, not enforced. Run
+//! `make bench-transport` for the paired report.
 //!
 //! SPMD determinism: every process (driver and re-execed workers) builds
 //! the same collectives and forces their resolution — including the tag
@@ -94,6 +99,14 @@ fn bench_transport(c: &mut Criterion, world: &ProcWorld, colls: &[(String, Neigh
             BenchmarkId::from_parameter(format!("thread_{label}")),
             |b| b.iter(|| pool.run(|ctx| steady_body(coll, ctx))),
         );
+    }
+    drop(pool);
+
+    let sock_pool = World::pool_sock(RANKS);
+    for (label, coll) in colls {
+        group.bench_function(BenchmarkId::from_parameter(format!("sock_{label}")), |b| {
+            b.iter(|| sock_pool.run(|ctx| steady_body(coll, ctx)))
+        });
     }
     group.finish();
 }

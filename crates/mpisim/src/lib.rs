@@ -60,8 +60,9 @@ pub use ctx::RankCtx;
 pub use elem::Elem;
 pub use persistent::{RecvChan, RecvReq, Request, SendChan, SendReq, SharedBuf};
 pub use runtime::{EpochError, World, WorldPool};
-pub use stall::{PeerStatus, RankWait, StallReport};
+pub use stall::{LinkStatus, PeerStatus, RankWait, StallReport};
 pub use state::{ChanId, ChanRegistrar};
 pub use topology::{DistGraphComm, GraphCreateStrategy};
 pub use transport::fault::FaultPlan;
 pub use transport::proc::ProcWorld;
+pub use transport::sock::world::SockWorld;

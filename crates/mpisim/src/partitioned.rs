@@ -277,6 +277,7 @@ impl ChanRegistrar<'_> {
             .map(|p| {
                 self.channel_sized(
                     (comm.ctx_id, comm.rank(), dst, part_tag(tag, p)),
+                    comm.world_rank(dst),
                     bounds[p + 1] - bounds[p],
                 )
             })
@@ -309,6 +310,7 @@ impl ChanRegistrar<'_> {
             .map(|p| {
                 self.channel_sized(
                     (comm.ctx_id, src, comm.rank(), part_tag(tag, p)),
+                    comm.world_rank(comm.rank()),
                     bounds[p + 1] - bounds[p],
                 )
             })

@@ -377,7 +377,11 @@ impl ChanRegistrar<'_> {
         SendChan {
             dst,
             dst_world: comm.world_rank(dst),
-            chan: self.channel_sized((comm.ctx_id, comm.rank(), dst, tag), len),
+            chan: self.channel_sized(
+                (comm.ctx_id, comm.rank(), dst, tag),
+                comm.world_rank(dst),
+                len,
+            ),
             len,
         }
     }
@@ -399,7 +403,11 @@ impl ChanRegistrar<'_> {
             comm: comm.clone(),
             src,
             tag,
-            chan: self.channel_sized((comm.ctx_id, src, comm.rank(), tag), len),
+            chan: self.channel_sized(
+                (comm.ctx_id, src, comm.rank(), tag),
+                comm.world_rank(comm.rank()),
+                len,
+            ),
             len,
             started: false,
         }

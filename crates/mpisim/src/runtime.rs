@@ -6,6 +6,7 @@ use crate::ctx::RankCtx;
 use crate::state::{ModelCtx, WorldState};
 use crate::transport::fault::{FaultPlan, FaultTransport};
 use crate::transport::shm::ShmTransport;
+use crate::transport::sock::SockTransport;
 use crate::transport::thread::ThreadTransport;
 use crate::transport::Transport;
 use locality::Topology;
@@ -94,6 +95,11 @@ fn shm_state(n_ranks: usize, plan: Option<FaultPlan>) -> Arc<WorldState> {
     faulted_state(n_ranks, None, t as Arc<dyn Transport>, plan)
 }
 
+fn sock_state(n_ranks: usize, plan: Option<FaultPlan>) -> Arc<WorldState> {
+    let t = SockTransport::loopback(n_ranks);
+    faulted_state(n_ranks, None, t as Arc<dyn Transport>, plan)
+}
+
 /// Entry point: spawn `n` ranks, each running the same closure.
 pub struct World;
 
@@ -106,8 +112,10 @@ impl World {
         F: Fn(&mut RankCtx) -> R + Send + Sync,
         R: Send,
     {
-        if std::env::var("MPISIM_TRANSPORT").as_deref() == Ok("shm") {
-            return Self::run_shm(n_ranks, f);
+        match std::env::var("MPISIM_TRANSPORT").as_deref() {
+            Ok("shm") => return Self::run_shm(n_ranks, f),
+            Ok("sock") => return Self::run_sock(n_ranks, f),
+            _ => {}
         }
         Self::launch(thread_state(n_ranks, None, None), f)
     }
@@ -135,6 +143,16 @@ impl World {
         Self::launch(shm_state(n_ranks, Some(plan)), f)
     }
 
+    /// [`World::with_faults`] over the socket fabric (ranks as threads of
+    /// this process; see [`World::run_sock`]).
+    pub fn with_faults_sock<F, R>(n_ranks: usize, plan: FaultPlan, f: F) -> Vec<R>
+    where
+        F: Fn(&mut RankCtx) -> R + Send + Sync,
+        R: Send,
+    {
+        Self::launch(sock_state(n_ranks, Some(plan)), f)
+    }
+
     /// [`World::run`] over the cross-process shared-memory fabric, with the
     /// ranks still living as threads of this process — the shm transport
     /// (rings, futex parking, byte payloads) under test without process
@@ -147,6 +165,30 @@ impl World {
         R: Send,
     {
         Self::launch(shm_state(n_ranks, None), f)
+    }
+
+    /// [`World::run`] over the socket fabric's loopback mesh, with the
+    /// ranks still living as threads of this process — the sock transport
+    /// (framing, sequencing, acks, heartbeats, reconnect) under test
+    /// without process management. Also reachable from [`World::run`] via
+    /// `MPISIM_TRANSPORT=sock`. For ranks as real OS processes over
+    /// sockets, use [`World::spawn_sock`].
+    pub fn run_sock<F, R>(n_ranks: usize, f: F) -> Vec<R>
+    where
+        F: Fn(&mut RankCtx) -> R + Send + Sync,
+        R: Send,
+    {
+        Self::launch(sock_state(n_ranks, None), f)
+    }
+
+    /// Launch `n_ranks` as separate OS processes over the socket fabric
+    /// and return this process's [`crate::SockWorld`] handle. Rank 0 (the
+    /// caller) re-execs itself `n_ranks - 1` times in a hidden worker
+    /// mode; workers rendezvous over the driver's listening socket, mesh
+    /// up, and never return from this call's epoch loop. See
+    /// [`crate::SockWorld`] for the epoch protocol.
+    pub fn spawn_sock(n_ranks: usize) -> crate::SockWorld {
+        crate::SockWorld::launch(n_ranks)
     }
 
     /// Launch `n_ranks` as separate OS processes over the shared-memory
@@ -175,8 +217,10 @@ impl World {
     /// [`WorldPool::run`] calls, so repeated closures measure transport,
     /// not thread startup.
     pub fn pool(n_ranks: usize) -> WorldPool {
-        if std::env::var("MPISIM_TRANSPORT").as_deref() == Ok("shm") {
-            return Self::pool_shm(n_ranks);
+        match std::env::var("MPISIM_TRANSPORT").as_deref() {
+            Ok("shm") => return Self::pool_shm(n_ranks),
+            Ok("sock") => return Self::pool_sock(n_ranks),
+            _ => {}
         }
         WorldPool::launch(thread_state(n_ranks, None, None))
     }
@@ -185,6 +229,12 @@ impl World {
     /// this process; see [`World::run_shm`]).
     pub fn pool_shm(n_ranks: usize) -> WorldPool {
         WorldPool::launch(shm_state(n_ranks, None))
+    }
+
+    /// [`World::pool`] over the socket fabric (ranks as threads of this
+    /// process; see [`World::run_sock`]).
+    pub fn pool_sock(n_ranks: usize) -> WorldPool {
+        WorldPool::launch(sock_state(n_ranks, None))
     }
 
     /// Pooled counterpart of [`World::with_faults`]: every epoch of the
@@ -198,6 +248,11 @@ impl World {
     /// [`World::pool_with_faults`] over the shared-memory fabric.
     pub fn pool_with_faults_shm(n_ranks: usize, plan: FaultPlan) -> WorldPool {
         WorldPool::launch(shm_state(n_ranks, Some(plan)))
+    }
+
+    /// [`World::pool_with_faults`] over the socket fabric.
+    pub fn pool_with_faults_sock(n_ranks: usize, plan: FaultPlan) -> WorldPool {
+        WorldPool::launch(sock_state(n_ranks, Some(plan)))
     }
 
     /// Pooled counterpart of [`World::run_modeled`]; each epoch's virtual

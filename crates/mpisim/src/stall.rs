@@ -18,28 +18,67 @@
 use std::fmt;
 use std::sync::OnceLock;
 
-/// Stall-probe period in milliseconds (`MPISIM_STALL_MS`, default 50,
-/// clamped to at least 1). Read once per process.
-pub(crate) fn stall_ms() -> u64 {
-    static STALL: OnceLock<u64> = OnceLock::new();
-    *STALL.get_or_init(|| {
-        std::env::var("MPISIM_STALL_MS")
-            .ok()
-            .and_then(|s| s.parse::<u64>().ok())
-            .map(|ms| ms.max(1))
-            .unwrap_or(50)
+/// Parse the value of a positive-integer env knob. Pure so unit tests can
+/// exercise the grammar without mutating process environment; `example`
+/// is substituted into the error to show a well-formed setting.
+pub(crate) fn parse_positive_ms(var: &str, value: &str, example: u64) -> Result<u64, String> {
+    let trimmed = value.trim();
+    match trimmed.parse::<u64>() {
+        Ok(ms) if ms > 0 => Ok(ms),
+        Ok(_) => Err(format!(
+            "{var}={value:?}: must be a positive integer of milliseconds \
+             (0 is not a valid period; unset the variable instead, e.g. {var}={example})"
+        )),
+        Err(_) => Err(format!(
+            "{var}={value:?}: expected a positive integer of milliseconds \
+             (e.g. {var}={example})"
+        )),
+    }
+}
+
+/// Parse the value of a non-negative-integer env knob (0 allowed).
+pub(crate) fn parse_count(var: &str, value: &str, example: u64) -> Result<u64, String> {
+    value.trim().parse::<u64>().map_err(|_| {
+        format!("{var}={value:?}: expected a non-negative integer (e.g. {var}={example})")
     })
 }
 
+/// Read + parse a positive-ms env knob, aborting loudly on malformed
+/// values instead of silently falling back to the default.
+pub(crate) fn env_positive_ms(var: &str, default: u64, example: u64) -> u64 {
+    match std::env::var(var) {
+        Ok(v) => parse_positive_ms(var, &v, example).unwrap_or_else(|e| panic!("{e}")),
+        Err(_) => default,
+    }
+}
+
+/// Read + parse a non-negative count env knob, aborting loudly on
+/// malformed values.
+pub(crate) fn env_count(var: &str, default: u64, example: u64) -> u64 {
+    match std::env::var(var) {
+        Ok(v) => parse_count(var, &v, example).unwrap_or_else(|e| panic!("{e}")),
+        Err(_) => default,
+    }
+}
+
+/// Stall-probe period in milliseconds (`MPISIM_STALL_MS`, default 50).
+/// Read once per process; malformed values abort with the offending
+/// token and the accepted grammar.
+pub(crate) fn stall_ms() -> u64 {
+    static STALL: OnceLock<u64> = OnceLock::new();
+    *STALL.get_or_init(|| env_positive_ms("MPISIM_STALL_MS", 50, 50))
+}
+
 /// Process-wide default wait deadline from `MPISIM_DEADLINE_MS`.
-/// `None` (unset or unparsable) means waits may block indefinitely.
+/// `None` (unset) means waits may block indefinitely; malformed or zero
+/// values abort loudly instead of silently disabling the deadline.
 pub(crate) fn env_deadline_ms() -> Option<u64> {
     static DEADLINE: OnceLock<Option<u64>> = OnceLock::new();
-    *DEADLINE.get_or_init(|| {
-        std::env::var("MPISIM_DEADLINE_MS")
-            .ok()
-            .and_then(|s| s.parse::<u64>().ok())
-            .filter(|&ms| ms > 0)
+    *DEADLINE.get_or_init(|| match std::env::var("MPISIM_DEADLINE_MS") {
+        Ok(v) => Some(
+            parse_positive_ms("MPISIM_DEADLINE_MS", &v, 30000).unwrap_or_else(|e| panic!("{e}")),
+        ),
+        Err(_) => None,
     })
 }
 
@@ -64,6 +103,24 @@ pub struct PeerStatus {
     pub alive: bool,
 }
 
+/// Health of one socket link (sock fabric only): connection state,
+/// queued-but-unsent frames, sent-but-unacknowledged frames, and how
+/// long ago the peer was last heard from.
+#[derive(Debug, Clone)]
+pub struct LinkStatus {
+    /// Peer process index the link reaches.
+    pub peer: usize,
+    /// `"connected"`, `"reconnecting"`, `"dead"`, or `"busy"` when the
+    /// link lock was contended at sampling time.
+    pub state: &'static str,
+    /// Frames queued for the writer thread but not yet written.
+    pub outbox: usize,
+    /// Sequenced frames written but not yet acknowledged (replay buffer).
+    pub unacked: usize,
+    /// Milliseconds since any frame (heartbeats included) arrived.
+    pub heartbeat_age_ms: u64,
+}
+
 /// A forensic dump of the world at the moment a wait deadline expired
 /// (or a peer death was observed inside a guarded wait).
 ///
@@ -82,10 +139,15 @@ pub struct StallReport {
     pub waits: Vec<RankWait>,
     /// Unexpected-message queue depth per destination rank mailbox.
     pub mailbox_depths: Vec<Option<usize>>,
-    /// Frames still queued in the shm outbox (0 for the thread fabric).
+    /// Which fabric the world runs over (`"thread"` / `"shm"` / `"sock"`).
+    pub fabric: &'static str,
+    /// Frames still queued in the shm outbox (or summed across all socket
+    /// link outboxes; 0 for the thread fabric).
     pub outbox_depth: usize,
     /// Attached peer pids and their liveness (empty for the thread fabric).
     pub peers: Vec<PeerStatus>,
+    /// Per-peer socket link state (empty off the sock fabric).
+    pub links: Vec<LinkStatus>,
 }
 
 impl fmt::Display for StallReport {
@@ -131,7 +193,8 @@ impl fmt::Display for StallReport {
             "  mailbox unexpected-queue depths: [{}]",
             depths.join(", ")
         )?;
-        writeln!(f, "  shm outbox depth: {}", self.outbox_depth)?;
+        writeln!(f, "  transport fabric: {}", self.fabric)?;
+        writeln!(f, "  outbox depth: {}", self.outbox_depth)?;
         if self.peers.is_empty() {
             write!(f, "  peers: in-process (thread fabric)")?;
         } else {
@@ -148,6 +211,13 @@ impl fmt::Display for StallReport {
                 })
                 .collect();
             write!(f, "  peers: {}", peers.join(", "))?;
+        }
+        for l in &self.links {
+            write!(
+                f,
+                "\n  link to proc {}: {} (outbox {}, unacked {}, last heard {} ms ago)",
+                l.peer, l.state, l.outbox, l.unacked, l.heartbeat_age_ms
+            )?;
         }
         Ok(())
     }
@@ -169,11 +239,19 @@ mod tests {
                 waited_ms: 5001,
             }],
             mailbox_depths: vec![Some(0), None, Some(4)],
+            fabric: "sock",
             outbox_depth: 7,
             peers: vec![PeerStatus {
                 rank: 2,
                 pid: 4242,
                 alive: false,
+            }],
+            links: vec![LinkStatus {
+                peer: 2,
+                state: "reconnecting",
+                outbox: 3,
+                unacked: 11,
+                heartbeat_age_ms: 812,
             }],
         };
         let text = report.to_string();
@@ -182,13 +260,64 @@ mod tests {
         assert!(text.contains("rank 1 blocked 5001 ms in plain recv"));
         assert!(text.contains("(ctx 0, src 2, dst 1, tag 9)"));
         assert!(text.contains("[0, ?, 4]"));
+        assert!(text.contains("transport fabric: sock"));
         assert!(text.contains("outbox depth: 7"));
         assert!(text.contains("pid 4242 DEAD"));
+        assert!(text.contains(
+            "link to proc 2: reconnecting (outbox 3, unacked 11, last heard 812 ms ago)"
+        ));
     }
 
     #[test]
     fn stall_period_has_a_sane_default() {
         // The test binary does not set MPISIM_STALL_MS; the default holds.
         assert!(stall_ms() >= 1);
+    }
+
+    #[test]
+    fn stall_ms_rejects_non_numeric_values_with_grammar() {
+        let err = parse_positive_ms("MPISIM_STALL_MS", "abc", 50).unwrap_err();
+        assert!(
+            err.contains("MPISIM_STALL_MS=\"abc\""),
+            "offending token: {err}"
+        );
+        assert!(
+            err.contains("positive integer of milliseconds"),
+            "grammar: {err}"
+        );
+        assert!(err.contains("MPISIM_STALL_MS=50"), "example: {err}");
+    }
+
+    #[test]
+    fn stall_ms_rejects_zero() {
+        let err = parse_positive_ms("MPISIM_STALL_MS", "0", 50).unwrap_err();
+        assert!(err.contains("MPISIM_STALL_MS=\"0\""), "{err}");
+        assert!(err.contains("0 is not a valid period"), "{err}");
+    }
+
+    #[test]
+    fn deadline_ms_rejects_negative_and_zero() {
+        let err = parse_positive_ms("MPISIM_DEADLINE_MS", "-5", 30000).unwrap_err();
+        assert!(err.contains("MPISIM_DEADLINE_MS=\"-5\""), "{err}");
+        assert!(err.contains("MPISIM_DEADLINE_MS=30000"), "{err}");
+        assert!(parse_positive_ms("MPISIM_DEADLINE_MS", "0", 30000).is_err());
+        assert_eq!(
+            parse_positive_ms("MPISIM_DEADLINE_MS", "250", 30000),
+            Ok(250)
+        );
+    }
+
+    #[test]
+    fn positive_ms_accepts_surrounding_whitespace() {
+        assert_eq!(parse_positive_ms("MPISIM_STALL_MS", " 75 ", 50), Ok(75));
+    }
+
+    #[test]
+    fn count_knobs_allow_zero_but_reject_garbage() {
+        assert_eq!(parse_count("MPISIM_CONNECT_RETRIES", "0", 8), Ok(0));
+        assert_eq!(parse_count("MPISIM_CONNECT_RETRIES", "12", 8), Ok(12));
+        let err = parse_count("MPISIM_CONNECT_RETRIES", "many", 8).unwrap_err();
+        assert!(err.contains("MPISIM_CONNECT_RETRIES=\"many\""), "{err}");
+        assert!(err.contains("non-negative integer"), "{err}");
     }
 }

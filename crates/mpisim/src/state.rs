@@ -11,7 +11,11 @@
 use crate::elem::elem_bytes;
 use crate::stall::{RankWait, StallReport};
 use crate::transport::shm::ring::ShmChan;
-use crate::transport::{assert_pod, bytes_of, vec_extend_bytes, FaultOp, ShmChanRaw, Transport};
+use crate::transport::sock::link::{Link, K_CHAN};
+use crate::transport::{
+    assert_pod, bytes_of, vec_extend_bytes, ChanFabric, FaultOp, ShmChanRaw, SockChanWire,
+    Transport,
+};
 use locality::Topology;
 use parking_lot::{Condvar, Mutex};
 use perfmodel::CostModel;
@@ -285,6 +289,68 @@ pub(crate) struct Channel<T> {
 enum ChanImp<T> {
     Thread(ThreadChan<T>),
     Shm(ShmChan<T>),
+    Sock(SockChan<T>),
+}
+
+/// Socket-fabric channel body. The receive side is an ordinary in-process
+/// [`ThreadChan`] fed by the link reader thread (via the transport's
+/// deliver hook); the send side serializes each payload into a `K_CHAN`
+/// frame and hands it to the peer's [`Link`], which owns sequencing,
+/// acknowledgement, and replay-on-reconnect. A channel whose two endpoints
+/// live in the same process (`route: None`) skips the wire entirely and
+/// pushes straight into the local queue — byte-identical semantics, no
+/// serialization round trip.
+pub(crate) struct SockChan<T> {
+    local: Arc<ThreadChan<T>>,
+    key: ChanKey,
+    route: Option<Arc<Link>>,
+    /// Recycled send-side staging buffers (typed payload + frame image),
+    /// mirroring the receive side's spare pool so steady-state sends
+    /// allocate nothing.
+    scratch: Mutex<SockScratch<T>>,
+}
+
+/// Spare typed-payload and wire-frame buffers of a [`SockChan`].
+type SockScratch<T> = (Vec<Vec<T>>, Vec<Vec<u8>>);
+
+impl<T: Clone + Send + 'static> SockChan<T> {
+    fn new(key: ChanKey, route: Option<Arc<Link>>) -> Self {
+        Self {
+            local: Arc::new(ThreadChan::new()),
+            key,
+            route,
+            scratch: Mutex::new((Vec::new(), Vec::new())),
+        }
+    }
+
+    fn push_with(&self, arrival: f64, fill: impl FnOnce(&mut Vec<T>)) {
+        let Some(link) = &self.route else {
+            return self.local.push_with(arrival, fill);
+        };
+        // Stage the payload, then serialize it into a K_CHAN frame body:
+        // [ctx u64][src u64][dst u64][tag u64][arrival f64-bits u64] + data.
+        let (mut vals, mut body) = {
+            let mut sc = self.scratch.lock();
+            (
+                sc.0.pop().unwrap_or_default(),
+                sc.1.pop().unwrap_or_default(),
+            )
+        };
+        vals.clear();
+        fill(&mut vals);
+        body.clear();
+        let (ctx_id, src, dst, tag) = self.key;
+        body.extend_from_slice(&ctx_id.to_le_bytes());
+        body.extend_from_slice(&(src as u64).to_le_bytes());
+        body.extend_from_slice(&(dst as u64).to_le_bytes());
+        body.extend_from_slice(&tag.to_le_bytes());
+        body.extend_from_slice(&arrival.to_bits().to_le_bytes());
+        body.extend_from_slice(bytes_of(&vals));
+        link.send_frame(K_CHAN, &body);
+        let mut sc = self.scratch.lock();
+        sc.0.push(vals);
+        sc.1.push(body);
+    }
 }
 
 /// The in-process channel body: a flag (non-empty `pending`) plus a
@@ -439,6 +505,28 @@ impl<T: Clone + Send + 'static> Channel<T> {
         }
     }
 
+    /// Socket-fabric channel: a local [`ThreadChan`] receive queue plus an
+    /// optional wire route. If this process hosts the receiving rank, hook
+    /// the transport's deliver table so the link reader thread deserializes
+    /// arriving `K_CHAN` frames straight into the local queue.
+    fn sock(key: ChanKey, wire: SockChanWire) -> Self {
+        assert_pod::<T>("persistent channel over the sock transport");
+        let chan = SockChan::<T>::new(key, wire.route);
+        if let Some(t) = wire.register {
+            let local = Arc::clone(&chan.local);
+            t.register_deliver(
+                key,
+                Arc::new(move |arrival, bytes| {
+                    local.push_with(arrival, |buf| vec_extend_bytes(buf, bytes, &[]));
+                }),
+            );
+        }
+        Self {
+            key,
+            imp: ChanImp::Sock(chan),
+        }
+    }
+
     /// Type-erased handle for set-polling this channel (see [`ChanId`]).
     pub fn id(&self) -> ChanId {
         let imp = match &self.imp {
@@ -447,6 +535,12 @@ impl<T: Clone + Send + 'static> Channel<T> {
                 watcher: Arc::clone(&c.watcher),
             },
             ChanImp::Shm(c) => ChanIdImp::Shm(c.raw().clone()),
+            // the sock receive queue is an in-process ThreadChan, so the
+            // thread fabric's poll/park machinery applies verbatim
+            ChanImp::Sock(c) => ChanIdImp::Thread {
+                pending: Arc::clone(&c.local.pending_count),
+                watcher: Arc::clone(&c.local.watcher),
+            },
         };
         ChanId { key: self.key, imp }
     }
@@ -466,6 +560,7 @@ impl<T: Clone + Send + 'static> Channel<T> {
         match &self.imp {
             ChanImp::Thread(c) => c.push_with(arrival, fill),
             ChanImp::Shm(c) => c.push_with(arrival, fill),
+            ChanImp::Sock(c) => c.push_with(arrival, fill),
         }
     }
 
@@ -479,6 +574,7 @@ impl<T: Clone + Send + 'static> Channel<T> {
         match &self.imp {
             ChanImp::Thread(c) => c.wait_nonempty(stall_probe),
             ChanImp::Shm(c) => c.wait_nonempty(stall_probe),
+            ChanImp::Sock(c) => c.local.wait_nonempty(stall_probe),
         }
     }
 
@@ -489,6 +585,7 @@ impl<T: Clone + Send + 'static> Channel<T> {
         match &self.imp {
             ChanImp::Thread(c) => c.try_pop(),
             ChanImp::Shm(c) => c.try_pop(),
+            ChanImp::Sock(c) => c.local.try_pop(),
         }
     }
 
@@ -507,6 +604,7 @@ impl<T: Clone + Send + 'static> Channel<T> {
         match &self.imp {
             ChanImp::Thread(c) => c.pop_with(stall_probe),
             ChanImp::Shm(c) => c.pop_with(stall_probe),
+            ChanImp::Sock(c) => c.local.pop_with(stall_probe),
         }
     }
 
@@ -515,6 +613,7 @@ impl<T: Clone + Send + 'static> Channel<T> {
         match &self.imp {
             ChanImp::Thread(c) => c.recycle(buf),
             ChanImp::Shm(c) => c.recycle(buf),
+            ChanImp::Sock(c) => c.local.recycle(buf),
         }
     }
 
@@ -524,6 +623,7 @@ impl<T: Clone + Send + 'static> Channel<T> {
         match &self.imp {
             ChanImp::Thread(c) => c.drain_pending(),
             ChanImp::Shm(c) => c.drain_pending(),
+            ChanImp::Sock(c) => c.local.drain_pending(),
         }
     }
 
@@ -532,6 +632,7 @@ impl<T: Clone + Send + 'static> Channel<T> {
         match &self.imp {
             ChanImp::Thread(c) => c.ready(),
             ChanImp::Shm(c) => c.ready(),
+            ChanImp::Sock(c) => c.local.ready(),
         }
     }
 
@@ -541,6 +642,7 @@ impl<T: Clone + Send + 'static> Channel<T> {
         match &self.imp {
             ChanImp::Thread(c) => c.pending_count.load(Ordering::Relaxed),
             ChanImp::Shm(c) => c.raw().msg_count(),
+            ChanImp::Sock(c) => c.local.pending_count.load(Ordering::Relaxed),
         }
     }
 
@@ -572,12 +674,15 @@ impl ChanRegistrar<'_> {
     /// `len_hint` is the registered per-message element count, which sizes
     /// the channel's wire buffers on fabrics that must allocate them up
     /// front (the shm rings); 0 falls back to the fabric minimum.
+    /// `dst_world` is the receiving rank's world rank — the routing
+    /// coordinate fabrics with per-peer wires (the sock links) key on.
     pub(crate) fn channel_sized<T: Clone + Send + 'static>(
         &mut self,
         key: ChanKey,
+        dst_world: usize,
         len_hint: usize,
     ) -> Arc<Channel<T>> {
-        WorldState::channel_in(&mut self.guard, self.transport, key, len_hint)
+        WorldState::channel_in(&mut self.guard, self.transport, key, dst_world, len_hint)
     }
 }
 
@@ -769,9 +874,11 @@ impl WorldState {
             epoch: self.epoch.load(Ordering::Relaxed),
             dead_rank: self.transport.dead_rank(),
             waits,
+            fabric: f.fabric,
             mailbox_depths: f.mailbox_depths,
             outbox_depth: f.outbox_depth,
             peers: f.peers,
+            links: f.links,
         }
     }
 
@@ -865,7 +972,7 @@ impl WorldState {
     /// slot, completing the match once at init time.
     #[cfg(test)]
     pub fn channel<T: Clone + Send + 'static>(&self, key: ChanKey) -> Arc<Channel<T>> {
-        Self::channel_in(&mut self.channels.lock(), &self.transport, key, 0)
+        Self::channel_in(&mut self.channels.lock(), &self.transport, key, key.2, 0)
     }
 
     /// Get-or-create against an already-held registry lock — the
@@ -876,6 +983,7 @@ impl WorldState {
         map: &mut HashMap<ChanKey, ChanSlot>,
         transport: &Arc<dyn Transport>,
         key: ChanKey,
+        dst_world: usize,
         len_hint: usize,
     ) -> Arc<Channel<T>> {
         let slot = map
@@ -884,12 +992,14 @@ impl WorldState {
                 let chan = Arc::new(
                     match transport.make_channel(
                         key,
+                        dst_world,
                         elem_bytes::<T>(),
                         std::any::type_name::<T>(),
                         len_hint,
                     ) {
-                        Some(raw) => Channel::<T>::shm(key, raw),
-                        None => Channel::<T>::thread(key),
+                        ChanFabric::Local => Channel::<T>::thread(key),
+                        ChanFabric::Shm(raw) => Channel::<T>::shm(key, raw),
+                        ChanFabric::Sock(wire) => Channel::<T>::sock(key, wire),
                     },
                 );
                 let pending = {

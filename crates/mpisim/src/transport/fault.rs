@@ -26,7 +26,7 @@
 //! [`FaultPlan::parse`]) or programmatically via
 //! [`crate::World::with_faults`].
 
-use super::{FaultOp, PayloadMode, ShmChanRaw, Transport, TransportForensics};
+use super::{ChanFabric, FaultOp, PayloadMode, Transport, TransportForensics};
 use crate::state::{ChanId, ChanKey, Envelope, WorldState};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -36,6 +36,7 @@ use std::time::Duration;
 const SALT_DELAY: u64 = 0x64656c61;
 const SALT_REORDER: u64 = 0x72656f72;
 const SALT_SPURIOUS: u64 = 0x73707572;
+const SALT_DROP: u64 = 0x64726f70;
 
 /// splitmix64-style hash of one (seed, salt, rank, op) coordinate — the
 /// source of every fault decision.
@@ -65,6 +66,7 @@ pub struct FaultPlan {
     delay_max_us: u32,
     reorder_permille: u16,
     spurious_permille: u16,
+    drop_permille: u16,
     kills: Vec<(usize, u64)>,
     deadline_ms: Option<u64>,
 }
@@ -106,6 +108,15 @@ impl FaultPlan {
         self
     }
 
+    /// Sever the destination's socket link on roughly `permille`/1000 of
+    /// deposits, exercising reconnect-with-resume deterministically. The
+    /// deposit itself still happens — replay after reconnect must make the
+    /// drop semantically invisible. No-op off the sock fabric.
+    pub fn drops(mut self, permille: u16) -> Self {
+        self.drop_permille = permille.min(1000);
+        self
+    }
+
     /// Attach a wait deadline to worlds running this plan, overriding
     /// `MPISIM_DEADLINE_MS` (see [`crate::StallReport`]).
     pub fn deadline_ms(mut self, ms: u64) -> Self {
@@ -127,6 +138,7 @@ impl FaultPlan {
         self.delay_permille == 0
             && self.reorder_permille == 0
             && self.spurious_permille == 0
+            && self.drop_permille == 0
             && self.kills.is_empty()
     }
 
@@ -137,6 +149,7 @@ impl FaultPlan {
     /// op := delay=<permille>[/<max_us>us]
     ///     | reorder=<permille>
     ///     | spurious=<permille>
+    ///     | drop=<permille>
     ///     | kill=<rank>@<nth>
     ///     | deadline=<ms>
     /// ```
@@ -173,6 +186,7 @@ impl FaultPlan {
                 }
                 "reorder" => plan = plan.reorder(parse_u(val, "permille")?.min(1000) as u16),
                 "spurious" => plan = plan.spurious(parse_u(val, "permille")?.min(1000) as u16),
+                "drop" => plan = plan.drops(parse_u(val, "permille")?.min(1000) as u16),
                 "kill" => {
                     let (rank, nth) = val
                         .split_once('@')
@@ -183,7 +197,7 @@ impl FaultPlan {
                 other => {
                     return Err(format!(
                         "fault op {op:?}: unknown fault kind {other:?} \
-                         (expected delay/reorder/spurious/kill/deadline)"
+                         (expected delay/reorder/spurious/drop/kill/deadline)"
                     ))
                 }
             }
@@ -323,6 +337,14 @@ impl Transport for FaultTransport {
 
     fn deposit(&self, src_world: usize, dst_world: usize, env: Envelope) {
         let n = self.tick(src_world, FaultOp::Deposit);
+        if self
+            .chance(SALT_DROP, src_world, n, self.plan.drop_permille)
+            .is_some()
+        {
+            // sever BEFORE the deposit: the frame rides the reconnected
+            // link's replay, so the drop must be semantically invisible
+            self.inner.sever_link(dst_world);
+        }
         if self.plan.reorder_permille == 0 {
             return self.inner.deposit(src_world, dst_world, env);
         }
@@ -410,12 +432,13 @@ impl Transport for FaultTransport {
     fn make_channel(
         &self,
         key: ChanKey,
+        dst_world: usize,
         elem_bytes: usize,
         type_name: &'static str,
         len_hint: usize,
-    ) -> Option<ShmChanRaw> {
+    ) -> ChanFabric {
         self.inner
-            .make_channel(key, elem_bytes, type_name, len_hint)
+            .make_channel(key, dst_world, elem_bytes, type_name, len_hint)
     }
 
     fn drain_in_flight(&self) {
@@ -441,6 +464,10 @@ impl Transport for FaultTransport {
 
     fn inject(&self, rank: usize, op: FaultOp) {
         self.tick(rank, op);
+    }
+
+    fn sever_link(&self, peer_world: usize) {
+        self.inner.sever_link(peer_world);
     }
 
     fn forensics(&self) -> TransportForensics {
@@ -483,6 +510,15 @@ mod tests {
         assert_eq!(p.spurious_permille, 50);
         assert_eq!(p.kills, vec![(2, 40)]);
         assert_eq!(p.deadline_ms, Some(9000));
+    }
+
+    #[test]
+    fn parse_drop_spec() {
+        let p = FaultPlan::parse("11:drop=40").expect("valid spec");
+        assert_eq!(p.seed, 11);
+        assert_eq!(p.drop_permille, 40);
+        assert!(!p.is_noop(), "a drop-only plan must wrap the transport");
+        assert!(FaultPlan::parse("11:drop=lots").is_err());
     }
 
     #[test]

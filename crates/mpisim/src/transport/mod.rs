@@ -25,11 +25,14 @@
 pub mod fault;
 pub mod proc;
 pub mod shm;
+pub mod sock;
 pub(crate) mod thread;
+pub(crate) mod wire;
 
-use crate::stall::PeerStatus;
+use crate::stall::{LinkStatus, PeerStatus};
 use crate::state::{ChanId, ChanKey, Envelope};
 pub(crate) use shm::ring::ShmChanRaw;
+pub(crate) use sock::SockChanWire;
 
 /// How [`crate::RankCtx`] must package plain-send payloads for a transport.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -59,9 +62,26 @@ pub(crate) enum FaultOp {
 /// [`crate::StallReport`]. Depths are `None` where the owning lock was
 /// held by a blocked rank (sampling must never deadlock the reporter).
 pub(crate) struct TransportForensics {
+    /// Which fabric produced the snapshot (`"thread"` / `"shm"` / `"sock"`).
+    pub fabric: &'static str,
     pub mailbox_depths: Vec<Option<usize>>,
     pub outbox_depth: usize,
     pub peers: Vec<PeerStatus>,
+    /// Per-peer link state (socket fabric only; empty elsewhere).
+    pub links: Vec<LinkStatus>,
+}
+
+/// Where a persistent channel's wire buffers live, decided by the fabric
+/// at registration time ([`Transport::make_channel`]).
+pub(crate) enum ChanFabric {
+    /// In-process typed channel; no wire buffers at all.
+    Local,
+    /// SPSC byte ring inside the shared segment.
+    Shm(ShmChanRaw),
+    /// Socket fabric: a local typed queue on the receiving side plus a
+    /// framed-stream route on the sending side (either may be absent,
+    /// depending on which side of the channel this process hosts).
+    Sock(SockChanWire),
 }
 
 /// The fabric a [`crate::state::WorldState`] moves bytes over.
@@ -108,17 +128,19 @@ pub(crate) trait Transport: Send + Sync {
         stall: &dyn Fn(),
     ) -> usize;
 
-    /// Fabric hook for persistent-channel creation: `Some(ring)` when the
-    /// channel's wire buffers must live inside the shared segment, `None`
-    /// for an in-process typed channel. `len_hint` is the registered
-    /// per-message element count (0 when unknown) and sizes the ring.
+    /// Fabric hook for persistent-channel creation: where the channel's
+    /// wire buffers live. `dst_world` is the receiving side's world rank
+    /// (byte fabrics route the channel over the right peer link);
+    /// `len_hint` is the registered per-message element count (0 when
+    /// unknown) and sizes preallocated buffers.
     fn make_channel(
         &self,
         key: ChanKey,
+        dst_world: usize,
         elem_bytes: usize,
         type_name: &'static str,
         len_hint: usize,
-    ) -> Option<ShmChanRaw>;
+    ) -> ChanFabric;
 
     /// Discard transport-held in-flight traffic (mailbox envelopes / shm
     /// ring contents). Registry-held channel payloads are drained by the
@@ -150,6 +172,12 @@ pub(crate) trait Transport: Send + Sync {
     /// [`fault::FaultTransport`] counts the op against `rank`'s schedule
     /// and may delay or kill here.
     fn inject(&self, _rank: usize, _op: FaultOp) {}
+
+    /// Sever the connection to `peer_world`'s host mid-epoch (the
+    /// `drop=<permille>` fault). Only the socket fabric has connections to
+    /// sever; everywhere else this is a no-op. The severed link must heal
+    /// itself (reconnect-with-resume) or degrade to a loud peer-death.
+    fn sever_link(&self, _peer_world: usize) {}
 
     /// Snapshot queue depths and peer liveness for a stall report.
     /// Must not block: sample with `try_lock` and report `None` where a

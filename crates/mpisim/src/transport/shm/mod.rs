@@ -18,19 +18,14 @@ pub(crate) mod futex;
 pub(crate) mod ring;
 pub(crate) mod segment;
 
-use super::{PayloadMode, Transport, TransportForensics};
+use super::wire::{decode_envelope, encode_env_hdr, ENV_HDR};
+use super::{ChanFabric, PayloadMode, Transport, TransportForensics};
 use crate::state::{ChanId, ChanKey, Envelope, Payload, WorldState};
 use parking_lot::{Condvar, Mutex};
 use ring::ShmChanRaw;
 use segment::Segment;
 use std::collections::VecDeque;
 use std::sync::Arc;
-
-/// Wire frame of one plain-send envelope inside a mailbox ring:
-/// `[ctx_id: u64][src: u64][tag: u64][name_len: u32][payload_len: u32]`
-/// followed by the element type name and the payload bytes. The arrival
-/// stamp rides in the ring's own message header.
-const ENV_HDR: usize = 32;
 
 /// Receiver-local unexpected-message state of one rank.
 struct RecvState {
@@ -250,29 +245,6 @@ fn run_flusher(seg: &Arc<Segment>, outbox: &Outbox) {
     }
 }
 
-/// Parse an envelope's FIRST frame; returns the envelope (payload possibly
-/// incomplete) and the byte count still to arrive as continuation frames.
-fn decode_envelope(arrival: f64, raw: &[u8]) -> (Envelope, usize) {
-    let u64_at = |o: usize| u64::from_le_bytes(raw[o..o + 8].try_into().unwrap());
-    let u32_at = |o: usize| u32::from_le_bytes(raw[o..o + 4].try_into().unwrap()) as usize;
-    let (name_len, payload_len) = (u32_at(24), u32_at(28));
-    let got = raw.len() - ENV_HDR - name_len;
-    debug_assert!(got <= payload_len);
-    let mut data = Vec::with_capacity(payload_len);
-    data.extend_from_slice(&raw[ENV_HDR + name_len..]);
-    let env = Envelope {
-        ctx_id: u64_at(0),
-        src: u64_at(8) as usize,
-        tag: u64_at(16),
-        arrival,
-        payload: Payload::Bytes {
-            type_name: String::from_utf8_lossy(&raw[ENV_HDR..ENV_HDR + name_len]).into_owned(),
-            data,
-        },
-    };
-    (env, payload_len - got)
-}
-
 impl Transport for ShmTransport {
     fn mode(&self) -> PayloadMode {
         PayloadMode::Bytes
@@ -282,12 +254,7 @@ impl Transport for ShmTransport {
         let Payload::Bytes { data, type_name } = &env.payload else {
             unreachable!("shm deposit requires byte payloads (PayloadMode::Bytes)");
         };
-        let mut hdr = [0u8; ENV_HDR];
-        hdr[0..8].copy_from_slice(&env.ctx_id.to_le_bytes());
-        hdr[8..16].copy_from_slice(&(env.src as u64).to_le_bytes());
-        hdr[16..24].copy_from_slice(&env.tag.to_le_bytes());
-        hdr[24..28].copy_from_slice(&(type_name.len() as u32).to_le_bytes());
-        hdr[28..32].copy_from_slice(&(data.len() as u32).to_le_bytes());
+        let hdr = encode_env_hdr(env.ctx_id, env.src, env.tag, type_name.len(), data.len());
         // Payloads larger than a fraction of the ring stream through it in
         // chunks (the receiver reassembles; see `RecvState::partial`), so a
         // single plain send is never bounded by the ring capacity. Each
@@ -394,10 +361,11 @@ impl Transport for ShmTransport {
     fn make_channel(
         &self,
         key: ChanKey,
+        _dst_world: usize,
         elem_bytes: usize,
         type_name: &'static str,
         len_hint: usize,
-    ) -> Option<ShmChanRaw> {
+    ) -> ChanFabric {
         let depth = std::env::var("MPISIM_SHM_RING_DEPTH")
             .ok()
             .and_then(|v| v.parse().ok())
@@ -407,7 +375,7 @@ impl Transport for ShmTransport {
         let off = self
             .seg
             .register_channel(key, elem_bytes, type_name, ring_bytes);
-        Some(ShmChanRaw::new(Arc::clone(&self.seg), off))
+        ChanFabric::Shm(ShmChanRaw::new(Arc::clone(&self.seg), off))
     }
 
     fn drain_in_flight(&self) {
@@ -479,9 +447,11 @@ impl Transport for ShmTransport {
             })
             .collect();
         TransportForensics {
+            fabric: "shm",
             mailbox_depths,
             outbox_depth,
             peers,
+            links: Vec::new(),
         }
     }
 }

@@ -1,0 +1,733 @@
+//! Socket-fabric link layer: stream/listener abstraction over TCP and
+//! Unix-domain sockets, the length-prefixed frame codec, capped
+//! exponential-backoff connect, and the per-peer [`Link`] state machine
+//! (outbox, replay buffer, sequence numbers, liveness clock).
+//!
+//! One [`Link`] carries ALL traffic between two processes over a single
+//! full-duplex connection: plain-send envelopes, persistent-channel
+//! payloads, control words, and heartbeats. Sequenced frames get a
+//! per-link monotonic sequence number and stay in the replay buffer until
+//! cumulatively acknowledged, so a severed connection resumes exactly
+//! where it left off (exactly-once: the receiver drops seqs it has
+//! already seen and panics on gaps).
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Frame kinds. `HELLO` and `ACK` are unsequenced (seq 0); everything
+/// else is sequenced and replayed across reconnects.
+pub(crate) const K_DATA: u8 = 1; // plain-send envelope
+pub(crate) const K_CHAN: u8 = 2; // persistent-channel payload
+pub(crate) const K_HELLO: u8 = 3; // handshake: [proc u32][last_rx u64]
+pub(crate) const K_ACK: u8 = 4; // cumulative ack / heartbeat: [cum_rx u64]
+pub(crate) const K_CMD: u8 = 5; // epoch command word: [word u64]
+pub(crate) const K_DONE: u8 = 6; // epoch completion: [rank u32][epoch u64]
+pub(crate) const K_DEATH: u8 = 7; // rank death notice: [rank u32]
+pub(crate) const K_FLUSH: u8 = 8; // drain round-trip token: [token u64]
+pub(crate) const K_JOIN: u8 = 9; // bootstrap: [rank u32][addr_len u32][addr]
+pub(crate) const K_TABLE: u8 = 10; // bootstrap: [n u32]([len u32][addr])*n
+
+/// Bytes of frame header after the 4-byte length prefix:
+/// `[kind u8][pad 3][seq u64]`.
+const FRAME_HDR: usize = 12;
+
+/// Hard cap on unacknowledged sequenced frames. A healthy peer acks every
+/// few frames and on every heartbeat, so hitting this means the peer has
+/// stopped consuming for far longer than any reconnect window — degrade
+/// loudly instead of buffering without bound.
+const REPLAY_CAP: usize = 1 << 16;
+
+/// Encode one frame: `[len u32][kind u8][pad 3][seq u64][body]` where
+/// `len` counts everything after the length prefix.
+pub(crate) fn encode_frame(kind: u8, seq: u64, body: &[u8]) -> Vec<u8> {
+    let mut f = Vec::with_capacity(4 + FRAME_HDR + body.len());
+    f.extend_from_slice(&((FRAME_HDR + body.len()) as u32).to_le_bytes());
+    f.push(kind);
+    f.extend_from_slice(&[0u8; 3]);
+    f.extend_from_slice(&seq.to_le_bytes());
+    f.extend_from_slice(body);
+    f
+}
+
+/// Read one frame off a blocking stream.
+pub(crate) fn read_frame(s: &mut Stream) -> std::io::Result<(u8, u64, Vec<u8>)> {
+    let mut len = [0u8; 4];
+    s.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len < FRAME_HDR {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("sock frame of {len} bytes is shorter than its header"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    s.read_exact(&mut buf)?;
+    let kind = buf[0];
+    let seq = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+    buf.drain(..FRAME_HDR);
+    Ok((kind, seq, buf))
+}
+
+/// `true` if `spec` names a Unix-domain socket path rather than a TCP
+/// `host:port` endpoint.
+pub(crate) fn is_uds(spec: &str) -> bool {
+    spec.starts_with('/') || !spec.contains(':')
+}
+
+/// One bidirectional byte stream, TCP or Unix-domain.
+#[derive(Debug)]
+pub(crate) enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Stream {
+    pub fn try_clone(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+        })
+    }
+
+    /// Shut down both directions; a reader blocked in `read` on any clone
+    /// of this socket wakes with EOF (the lever behind `sever_link` and
+    /// half-open detection).
+    pub fn shutdown_both(&self) {
+        let _ = match self {
+            Stream::Tcp(s) => s.shutdown(Shutdown::Both),
+            Stream::Unix(s) => s.shutdown(Shutdown::Both),
+        };
+    }
+
+    pub fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(d),
+            Stream::Unix(s) => s.set_read_timeout(d),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound rendezvous endpoint, TCP or Unix-domain.
+pub(crate) enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+static AUTO_ADDR: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh auto-assigned Unix-domain socket path under the temp dir.
+pub(crate) fn auto_addr() -> String {
+    let n = AUTO_ADDR.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir()
+        .join(format!("mpisim-sock-{}-{n}", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+impl Listener {
+    /// Bind `spec` (UDS path or TCP `host:port`; port 0 allocates).
+    /// Returns the listener and the concrete address peers should dial.
+    pub fn bind(spec: &str) -> std::io::Result<(Listener, String)> {
+        if is_uds(spec) {
+            let l = UnixListener::bind(spec)?;
+            l.set_nonblocking(true)?;
+            Ok((Listener::Unix(l), spec.to_string()))
+        } else {
+            let l = TcpListener::bind(spec)?;
+            l.set_nonblocking(true)?;
+            let actual = l.local_addr()?.to_string();
+            Ok((Listener::Tcp(l), actual))
+        }
+    }
+
+    /// Non-blocking accept (listeners are bound non-blocking so the
+    /// accept thread can observe shutdown between polls). Accepted
+    /// streams are blocking.
+    pub fn try_accept(&self) -> std::io::Result<Option<Stream>> {
+        let got = match self {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false)?;
+                    s.set_nodelay(true)?;
+                    Some(Stream::Tcp(s))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                Err(e) => return Err(e),
+            },
+            Listener::Unix(l) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false)?;
+                    Some(Stream::Unix(s))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                Err(e) => return Err(e),
+            },
+        };
+        Ok(got)
+    }
+}
+
+/// Retry/backoff policy for dialing a peer (`MPISIM_CONNECT_RETRIES`,
+/// default 8 further attempts after the first; `MPISIM_CONNECT_BACKOFF_MS`,
+/// default 10 — doubled per attempt, capped at 1 s, plus deterministic
+/// jitter).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RetryCfg {
+    pub retries: u64,
+    pub backoff_ms: u64,
+}
+
+impl RetryCfg {
+    pub fn from_env() -> Self {
+        Self {
+            retries: crate::stall::env_count("MPISIM_CONNECT_RETRIES", 8, 8),
+            backoff_ms: crate::stall::env_positive_ms("MPISIM_CONNECT_BACKOFF_MS", 10, 10),
+        }
+    }
+
+    fn delay(&self, attempt: u64) -> Duration {
+        let base = (self.backoff_ms << attempt.min(16)).min(1000);
+        // deterministic jitter: spread simultaneous dials without a RNG
+        let jitter = (std::process::id() as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(attempt)
+            % (base / 2 + 1);
+        Duration::from_millis(base + jitter)
+    }
+
+    /// Upper bound on how long a full retry schedule can take — the
+    /// passive side uses it as its disconnected-too-long window.
+    pub fn window_ms(&self) -> u64 {
+        (0..=self.retries)
+            .map(|a| (self.backoff_ms << a.min(16)).min(1000) * 3 / 2)
+            .sum::<u64>()
+            .max(500)
+    }
+}
+
+/// Dial `addr` once.
+pub(crate) fn connect_once(addr: &str) -> std::io::Result<Stream> {
+    if is_uds(addr) {
+        Ok(Stream::Unix(UnixStream::connect(addr)?))
+    } else {
+        let s = TcpStream::connect(addr)?;
+        s.set_nodelay(true)?;
+        Ok(Stream::Tcp(s))
+    }
+}
+
+/// Dial `addr` with capped exponential backoff + jitter. `1 + retries`
+/// total attempts.
+pub(crate) fn connect_retry(addr: &str, cfg: RetryCfg) -> std::io::Result<Stream> {
+    let mut last = None;
+    for attempt in 0..=cfg.retries {
+        match connect_once(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = Some(e),
+        }
+        if attempt < cfg.retries {
+            std::thread::sleep(cfg.delay(attempt));
+        }
+    }
+    Err(last.unwrap_or_else(|| std::io::Error::other("no connect attempts made")))
+}
+
+/// Mutable half of a [`Link`].
+pub(crate) struct LinkState {
+    /// Socket the writer thread writes to (`None` while disconnected).
+    pub writer_sock: Option<Stream>,
+    /// Clone of the socket the current reader reads from, kept so
+    /// `disconnect` can shut it down and wake a blocked `read`.
+    pub reader_sock: Option<Stream>,
+    /// Bumped on every install; a reader whose generation is stale exits
+    /// instead of reconnecting (it was already replaced).
+    pub reader_gen: u64,
+    /// Every unacknowledged sequenced frame, in seq order. Doubles as the
+    /// outbox: entries with seq > `sent` have not been written yet.
+    pub replay: VecDeque<(u64, Vec<u8>)>,
+    /// Last sequence number assigned to an outgoing frame.
+    pub tx_seq: u64,
+    /// Last seq physically written on the CURRENT connection (reset to
+    /// the peer's cumulative rx on reconnect, which is what makes resume
+    /// work: the writer re-sends everything the peer missed).
+    pub sent: u64,
+    /// Last in-order seq received from the peer.
+    pub rx_seq: u64,
+    /// Peer's cumulative ack of our frames.
+    pub acked: u64,
+    /// Frames received since we last acked; ≥ [`ACK_EVERY`] requests one.
+    pub rx_since_ack: u64,
+    /// The reader asked the writer to emit an ack now.
+    pub ack_requested: bool,
+    /// Completed reconnects (forensics).
+    pub reconnects: u64,
+    /// When the link lost its connection; `None` while connected (or
+    /// never yet connected — bootstrap dials don't start the clock).
+    pub disconnected_since: Option<Instant>,
+    /// Permanent failure: set once, never cleared. Senders drop, blocked
+    /// waits surface it through `peer_failure`.
+    pub dead: bool,
+    /// Why the link died.
+    pub dead_note: Option<String>,
+    /// Orderly transport teardown (distinct from `dead`: not an error).
+    pub shutdown: bool,
+}
+
+/// Receiver acks at least every this many sequenced frames (heartbeats
+/// ack anyway on idle links).
+pub(crate) const ACK_EVERY: u64 = 64;
+
+/// One peer-process connection: all state shared between the writer
+/// thread, the reader thread, depositing ranks, and forensics.
+pub(crate) struct Link {
+    /// Peer process index this link reaches.
+    pub peer_proc: usize,
+    /// World rank to blame when the link dies (the peer's rank under
+    /// one-rank-per-process worlds; rank 0 of a loopback self-link).
+    pub blame: usize,
+    /// Loopback self-link: writer holds the client end, reader the
+    /// accepted end, acks short-circuit locally.
+    pub self_loop: bool,
+    /// Address to (re)dial, for the connector side; `None` on the
+    /// passive side (the peer reconnects to us).
+    pub dial_addr: Mutex<Option<String>>,
+    pub st: Mutex<LinkState>,
+    /// Wakes the writer thread (new frames, installs, teardown).
+    pub cv: Condvar,
+    /// Liveness clock: ms since `base` when the peer was last heard from.
+    pub last_rx_ms: AtomicU64,
+    base: Instant,
+}
+
+impl Link {
+    pub fn new(peer_proc: usize, blame: usize, self_loop: bool) -> Arc<Link> {
+        Arc::new(Link {
+            peer_proc,
+            blame,
+            self_loop,
+            dial_addr: Mutex::new(None),
+            st: Mutex::new(LinkState {
+                writer_sock: None,
+                reader_sock: None,
+                reader_gen: 0,
+                replay: VecDeque::new(),
+                tx_seq: 0,
+                sent: 0,
+                rx_seq: 0,
+                acked: 0,
+                rx_since_ack: 0,
+                ack_requested: false,
+                reconnects: 0,
+                disconnected_since: None,
+                dead: false,
+                dead_note: None,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            last_rx_ms: AtomicU64::new(0),
+            base: Instant::now(),
+        })
+    }
+
+    /// Record that the peer was heard from just now.
+    pub fn touch(&self) {
+        self.last_rx_ms
+            .store(self.base.elapsed().as_millis() as u64, Ordering::Release);
+    }
+
+    /// Milliseconds since the peer was last heard from.
+    pub fn silence_ms(&self) -> u64 {
+        (self.base.elapsed().as_millis() as u64)
+            .saturating_sub(self.last_rx_ms.load(Ordering::Acquire))
+    }
+
+    /// Queue one sequenced frame. Never blocks; frames queued while the
+    /// link is down ride the replay buffer through the next reconnect.
+    pub fn send_frame(&self, kind: u8, body: &[u8]) {
+        let mut st = self.st.lock();
+        if st.dead || st.shutdown {
+            return; // peer_failure() reports the death; don't pile on
+        }
+        assert!(
+            st.replay.len() < REPLAY_CAP,
+            "sock link to proc {}: replay buffer overflow ({} unacknowledged frames) — \
+             peer stopped consuming",
+            self.peer_proc,
+            st.replay.len(),
+        );
+        st.tx_seq += 1;
+        let seq = st.tx_seq;
+        st.replay.push_back((seq, encode_frame(kind, seq, body)));
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Sever the current connection (write error, heartbeat timeout, or
+    /// an injected `drop=` fault). The connector-side reader wakes with a
+    /// read error and runs the reconnect loop; the passive side starts
+    /// its disconnected-too-long clock.
+    pub fn disconnect(&self) {
+        let mut st = self.st.lock();
+        if let Some(s) = st.writer_sock.take() {
+            s.shutdown_both();
+        }
+        if let Some(s) = st.reader_sock.take() {
+            s.shutdown_both();
+        }
+        if st.disconnected_since.is_none() {
+            st.disconnected_since = Some(Instant::now());
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Permanent failure: record the reason and tear the link down.
+    pub fn fail(&self, note: String) {
+        let mut st = self.st.lock();
+        if st.dead || st.shutdown {
+            return;
+        }
+        st.dead = true;
+        st.dead_note = Some(note);
+        if let Some(s) = st.writer_sock.take() {
+            s.shutdown_both();
+        }
+        if let Some(s) = st.reader_sock.take() {
+            s.shutdown_both();
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Orderly teardown at transport drop.
+    pub fn close(&self) {
+        let mut st = self.st.lock();
+        st.shutdown = true;
+        if let Some(s) = st.writer_sock.take() {
+            s.shutdown_both();
+        }
+        if let Some(s) = st.reader_sock.take() {
+            s.shutdown_both();
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Install a fresh connection carrying both directions (remote
+    /// links). `peer_rx` is the peer's cumulative receive seq from its
+    /// HELLO: everything after it gets re-sent. Returns the reader
+    /// generation for the reader thread to carry.
+    pub fn install(&self, stream: Stream, peer_rx: u64) -> std::io::Result<(Stream, u64)> {
+        let reader_end = stream.try_clone()?;
+        let mut st = self.st.lock();
+        if let Some(s) = st.writer_sock.take() {
+            s.shutdown_both();
+        }
+        if let Some(s) = st.reader_sock.take() {
+            s.shutdown_both();
+        }
+        Self::resume(&mut st, peer_rx);
+        st.writer_sock = Some(stream);
+        st.reader_sock = Some(reader_end.try_clone()?);
+        st.reader_gen += 1;
+        let gen = st.reader_gen;
+        if st.disconnected_since.take().is_some() {
+            st.reconnects += 1;
+        }
+        drop(st);
+        self.touch();
+        self.cv.notify_all();
+        Ok((reader_end, gen))
+    }
+
+    /// Self-link: install only the writing end (the client side of the
+    /// loopback connection). The accepted end arrives separately through
+    /// the accept loop ([`Link::install_reader`]).
+    pub fn install_writer(&self, stream: Stream, peer_rx: u64) {
+        let mut st = self.st.lock();
+        if let Some(s) = st.writer_sock.take() {
+            s.shutdown_both();
+        }
+        Self::resume(&mut st, peer_rx);
+        st.writer_sock = Some(stream);
+        if st.disconnected_since.take().is_some() {
+            st.reconnects += 1;
+        }
+        drop(st);
+        self.touch();
+        self.cv.notify_all();
+    }
+
+    /// Self-link: install only the reading end. Returns the generation
+    /// for the reader thread.
+    pub fn install_reader(&self, stream: &Stream) -> std::io::Result<u64> {
+        let mut st = self.st.lock();
+        if let Some(s) = st.reader_sock.take() {
+            s.shutdown_both();
+        }
+        st.reader_sock = Some(stream.try_clone()?);
+        st.reader_gen += 1;
+        let gen = st.reader_gen;
+        drop(st);
+        self.touch();
+        Ok(gen)
+    }
+
+    /// Rewind the send cursor to what the peer actually has, dropping
+    /// acknowledged frames from replay.
+    fn resume(st: &mut LinkState, peer_rx: u64) {
+        while st.replay.front().is_some_and(|(s, _)| *s <= peer_rx) {
+            st.replay.pop_front();
+        }
+        if peer_rx > st.acked {
+            st.acked = peer_rx;
+        }
+        st.sent = st.acked;
+    }
+
+    /// Apply a cumulative ack from the peer.
+    pub fn apply_ack(&self, cum_rx: u64) {
+        let mut st = self.st.lock();
+        if cum_rx > st.acked {
+            st.acked = cum_rx;
+            while st.replay.front().is_some_and(|(s, _)| *s <= cum_rx) {
+                st.replay.pop_front();
+            }
+        }
+    }
+
+    /// Forensic snapshot; `"busy"` when the state lock is contended.
+    pub fn status(&self) -> crate::stall::LinkStatus {
+        let (state, outbox, unacked) = match self.st.try_lock() {
+            Some(st) => {
+                let state = if st.dead {
+                    "dead"
+                } else if st.writer_sock.is_some() {
+                    "connected"
+                } else if st.disconnected_since.is_some() {
+                    "reconnecting"
+                } else {
+                    "connecting"
+                };
+                let outbox = st.replay.iter().filter(|(s, _)| *s > st.sent).count();
+                (state, outbox, st.replay.len())
+            }
+            None => ("busy", 0, 0),
+        };
+        crate::stall::LinkStatus {
+            peer: self.peer_proc,
+            state,
+            outbox,
+            unacked,
+            heartbeat_age_ms: self.silence_ms(),
+        }
+    }
+}
+
+/// Per-link writer thread: drains the outbox, emits acks/heartbeats on
+/// idle links, detects half-open connections (peer silent too long) and
+/// passive-side permanent loss (disconnected longer than the reconnect
+/// window).
+pub(crate) fn run_writer(link: Arc<Link>, cfg: RetryCfg) {
+    let hb = Duration::from_millis(crate::stall::stall_ms());
+    let silence_limit = cfg.window_ms().max(4 * crate::stall::stall_ms()) * 4;
+    let mut last_hb = Instant::now();
+    loop {
+        enum Act {
+            Write(Stream, Vec<Vec<u8>>),
+            Die(String),
+            Wait,
+        }
+        let act = {
+            let mut st = link.st.lock();
+            if st.shutdown || st.dead {
+                return;
+            }
+            match st.writer_sock.as_ref().map(Stream::try_clone) {
+                Some(Err(_)) => Act::Die("writer socket clone failed".into()),
+                Some(Ok(sock)) => {
+                    let pending: Vec<Vec<u8>> = st
+                        .replay
+                        .iter()
+                        .filter(|(s, _)| *s > st.sent)
+                        .take(32)
+                        .map(|(_, f)| f.clone())
+                        .collect();
+                    if !pending.is_empty() {
+                        st.sent += pending.len() as u64;
+                        Act::Write(sock, pending)
+                    } else if st.ack_requested || last_hb.elapsed() >= hb {
+                        st.ack_requested = false;
+                        st.rx_since_ack = 0;
+                        last_hb = Instant::now();
+                        if link.self_loop {
+                            Act::Wait // self-links ack locally; no wire heartbeat needed
+                        } else if !st.dead && link.silence_ms() > silence_limit {
+                            // half-open link: we can write but the peer has
+                            // gone silent — force a reconnect cycle
+                            drop(st);
+                            link.disconnect();
+                            continue;
+                        } else {
+                            let ack = encode_frame(K_ACK, 0, &st.rx_seq.to_le_bytes());
+                            Act::Write(sock, vec![ack])
+                        }
+                    } else {
+                        Act::Wait
+                    }
+                }
+                None => {
+                    let passive = link.dial_addr.lock().is_none();
+                    match st.disconnected_since {
+                        Some(t)
+                            if passive && t.elapsed() > Duration::from_millis(cfg.window_ms()) =>
+                        {
+                            Act::Die(format!(
+                                "peer proc {} did not reconnect within {} ms",
+                                link.peer_proc,
+                                cfg.window_ms()
+                            ))
+                        }
+                        _ => Act::Wait,
+                    }
+                }
+            }
+        };
+        match act {
+            Act::Write(mut sock, frames) => {
+                for f in &frames {
+                    if sock.write_all(f).is_err() {
+                        link.disconnect();
+                        break;
+                    }
+                }
+            }
+            Act::Die(reason) => {
+                link.fail(reason);
+                return;
+            }
+            Act::Wait => {
+                let mut st = link.st.lock();
+                if st.shutdown || st.dead {
+                    return;
+                }
+                link.cv.wait_for(&mut st, hb);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrips_over_a_loopback_stream() {
+        let (l, addr) = Listener::bind(&auto_addr()).expect("bind uds");
+        let mut client = connect_once(&addr).expect("connect");
+        client
+            .write_all(&encode_frame(K_DATA, 7, b"payload"))
+            .expect("write");
+        let mut server = loop {
+            if let Some(s) = l.try_accept().expect("accept") {
+                break s;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        let (kind, seq, body) = read_frame(&mut server).expect("read frame");
+        assert_eq!((kind, seq), (K_DATA, 7));
+        assert_eq!(body, b"payload");
+        let _ = std::fs::remove_file(&addr);
+    }
+
+    #[test]
+    fn addr_classification() {
+        assert!(is_uds("/tmp/mpisim-sock-1"));
+        assert!(is_uds("plain-name"));
+        assert!(!is_uds("127.0.0.1:4000"));
+        assert!(!is_uds("host.example:9"));
+    }
+
+    #[test]
+    fn connect_retry_reports_the_last_error_after_exhaustion() {
+        let cfg = RetryCfg {
+            retries: 2,
+            backoff_ms: 1,
+        };
+        let err = connect_retry("/nonexistent-dir/mpisim-no-such-socket", cfg)
+            .expect_err("must exhaust retries");
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn replay_resumes_from_the_peers_cumulative_ack() {
+        let link = Link::new(1, 1, false);
+        link.send_frame(K_DATA, b"a"); // seq 1
+        link.send_frame(K_DATA, b"b"); // seq 2
+        link.send_frame(K_DATA, b"c"); // seq 3
+        {
+            let mut st = link.st.lock();
+            st.sent = 3; // pretend all were written on a now-dead conn
+        }
+        // peer says it saw up to 1: frames 2 and 3 must become pending again
+        let (l, addr) = Listener::bind(&auto_addr()).expect("bind");
+        let client = connect_once(&addr).expect("connect");
+        link.install(client, 1).expect("install");
+        let st = link.st.lock();
+        assert_eq!(st.sent, 1);
+        assert_eq!(st.acked, 1);
+        let pending: Vec<u64> = st
+            .replay
+            .iter()
+            .filter(|(s, _)| *s > st.sent)
+            .map(|(s, _)| *s)
+            .collect();
+        assert_eq!(pending, vec![2, 3]);
+        drop(st);
+        drop(l);
+        let _ = std::fs::remove_file(&addr);
+    }
+
+    #[test]
+    fn acks_trim_the_replay_buffer() {
+        let link = Link::new(0, 0, false);
+        for _ in 0..5 {
+            link.send_frame(K_CMD, &7u64.to_le_bytes());
+        }
+        link.apply_ack(3);
+        let st = link.st.lock();
+        assert_eq!(st.acked, 3);
+        assert_eq!(st.replay.len(), 2);
+        assert_eq!(st.replay.front().map(|(s, _)| *s), Some(4));
+    }
+}

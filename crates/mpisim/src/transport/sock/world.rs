@@ -1,0 +1,629 @@
+//! Ranks as separate OS processes over the socket fabric.
+//!
+//! [`SockWorld::launch`] mirrors [`crate::ProcWorld`]'s SPMD entry point
+//! with a rendezvous bootstrap instead of a shared segment: rank 0 binds
+//! a listener (`MPISIM_SOCK_ADDR`, or an auto-assigned UDS path) and
+//! re-execs the current binary once per peer rank; each worker binds its
+//! own listener, dials rank 0 with retry/backoff, announces itself with a
+//! JOIN frame carrying its address, receives the full address TABLE back,
+//! and mesh-connects to every lower-ranked worker. Deposits to a peer
+//! whose dial has not landed yet simply queue in the link's replay buffer
+//! — no completion barrier is needed.
+//!
+//! The epoch/command protocol is ProcWorld's, carried as frames: rank 0
+//! broadcasts a start word, runs its own share, collects a DONE per
+//! worker, and broadcasts a release word (the two-phase epoch barrier).
+//! Death containment: a panicking rank raises the fabric flag and
+//! broadcasts DEATH before exiting; rank 0's watchdog reaps children and
+//! broadcasts on silent exits; a vanished host is caught by the link
+//! heartbeat/reconnect machinery itself.
+
+use super::link::{is_uds, K_CMD, K_DEATH, K_DONE, K_JOIN, K_TABLE};
+use super::SockTransport;
+use crate::ctx::RankCtx;
+use crate::state::WorldState;
+use crate::transport::Transport;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Environment keys of the hidden worker mode (distinct from ProcWorld's
+/// so the two launch protocols cannot cross wires).
+pub const ENV_SOCK_RANK: &str = "MPISIM_SOCK_WORKER_RANK";
+/// Rendezvous address: the driver's listener, passed to workers (and
+/// honored as the bind spec when set on the driver itself).
+pub const ENV_SOCK_ADDR: &str = "MPISIM_SOCK_ADDR";
+
+/// Epoch command word: `(job << JOB_SHIFT) | (epoch << 1) | release_bit`.
+const JOB_SHIFT: u32 = 48;
+const EPOCH_MASK: u64 = (1 << JOB_SHIFT) - 1;
+const CMD_STOP: u64 = u64::MAX;
+
+fn cmd_word(job: usize, epoch: u64, release: bool) -> u64 {
+    ((job as u64) << JOB_SHIFT) | (epoch << 1) | release as u64
+}
+
+/// The world's wait deadline: a `deadline=` clause in `MPISIM_FAULTS`
+/// overrides `MPISIM_DEADLINE_MS`.
+fn env_deadline() -> Option<u64> {
+    crate::transport::fault::FaultPlan::from_env()
+        .and_then(|p| p.deadline())
+        .or_else(crate::stall::env_deadline_ms)
+}
+
+/// An SPMD world whose ranks are separate OS processes connected by the
+/// socket fabric (TCP or Unix-domain, per the rendezvous address).
+///
+/// Usage is identical to [`crate::ProcWorld`]: every process constructs
+/// it through [`SockWorld::launch`] and runs the same sequence of
+/// [`SockWorld::run`] epochs. Dropping it shuts the world down (rank 0
+/// posts the stop command and reaps children; workers exit).
+pub struct SockWorld {
+    state: Arc<WorldState>,
+    sock: Arc<SockTransport>,
+    rank: usize,
+    n_ranks: usize,
+    epoch: Cell<u64>,
+    shutting_down: Arc<AtomicBool>,
+    watchdog: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SockWorld {
+    /// World rank of this process.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// True in worker processes (rank != 0).
+    pub fn is_worker(&self) -> bool {
+        self.rank != 0
+    }
+
+    /// Launch (or join) a socket world of `n_ranks` ranks. One launch per
+    /// process execution; the re-exec protocol cannot nest.
+    pub fn launch(n_ranks: usize) -> SockWorld {
+        static LAUNCHED: AtomicBool = AtomicBool::new(false);
+        assert!(
+            !LAUNCHED.swap(true, Ordering::SeqCst),
+            "SockWorld::launch called twice in one process execution"
+        );
+        assert!(n_ranks >= 1, "socket world needs at least one rank");
+        match std::env::var(ENV_SOCK_RANK) {
+            Ok(r) => Self::launch_worker(n_ranks, r.parse().expect("worker rank")),
+            Err(_) => Self::launch_driver(n_ranks),
+        }
+    }
+
+    fn launch_worker(n_ranks: usize, rank: usize) -> SockWorld {
+        let driver_addr = std::env::var(ENV_SOCK_ADDR).expect("worker mode without driver address");
+        // match the driver's address family so a TCP rendezvous yields a
+        // TCP mesh (cross-host shape), a UDS one stays on-disk
+        let listen_spec = if is_uds(&driver_addr) {
+            super::link::auto_addr()
+        } else {
+            "127.0.0.1:0".to_string()
+        };
+        let sock = SockTransport::bind(rank, n_ranks, &listen_spec);
+        sock.connect_to(0, &driver_addr)
+            .unwrap_or_else(|e| panic!("rank {rank} cannot join the world: {e}"));
+        let mut join = Vec::with_capacity(8 + sock.listener_addr.len());
+        join.extend_from_slice(&(rank as u32).to_le_bytes());
+        join.extend_from_slice(&(sock.listener_addr.len() as u32).to_le_bytes());
+        join.extend_from_slice(sock.listener_addr.as_bytes());
+        sock.links[0]
+            .as_ref()
+            .expect("driver link")
+            .send_frame(K_JOIN, &join);
+
+        // await the address table, then mesh-connect to lower ranks
+        let start = Instant::now();
+        let table = loop {
+            {
+                let mut st = sock.ctrl.st.lock();
+                if let Some(t) = st.table.take() {
+                    break t;
+                }
+                sock.ctrl
+                    .cv
+                    .wait_for(&mut st, Duration::from_millis(crate::stall::stall_ms()));
+            }
+            if let Some(msg) = sock.peer_failure() {
+                panic!("rank {rank} lost the driver during bootstrap: {msg}");
+            }
+            if let Some(ms) = env_deadline() {
+                assert!(
+                    (start.elapsed().as_millis() as u64) < ms,
+                    "rank {rank}: no address table within the {ms} ms deadline"
+                );
+            }
+        };
+        assert_eq!(
+            table.len(),
+            n_ranks,
+            "rank {rank}: address table covers {} ranks, world has {n_ranks}",
+            table.len()
+        );
+        for (peer, addr) in table.iter().enumerate().take(rank).skip(1) {
+            sock.connect_to(peer, addr)
+                .unwrap_or_else(|e| panic!("rank {rank} cannot mesh with rank {peer}: {e}"));
+        }
+
+        let transport = crate::transport::fault::FaultTransport::wrap_env(
+            n_ranks,
+            Arc::clone(&sock) as Arc<dyn Transport>,
+        );
+        let state = WorldState::with_transport_deadline(n_ranks, None, transport, env_deadline());
+        SockWorld {
+            state,
+            sock,
+            rank,
+            n_ranks,
+            epoch: Cell::new(0),
+            shutting_down: Arc::new(AtomicBool::new(false)),
+            watchdog: None,
+        }
+    }
+
+    fn launch_driver(n_ranks: usize) -> SockWorld {
+        let listen_spec = std::env::var(ENV_SOCK_ADDR).unwrap_or_else(|_| super::link::auto_addr());
+        let sock = if n_ranks == 1 {
+            SockTransport::loopback(1) // no peers: plain loopback fabric
+        } else {
+            SockTransport::bind(0, n_ranks, &listen_spec)
+        };
+        let shutting_down = Arc::new(AtomicBool::new(false));
+        let mut watchdog = None;
+        if n_ranks > 1 {
+            let exe = std::env::current_exe().expect("current_exe for worker re-exec");
+            let children: Vec<std::process::Child> = (1..n_ranks)
+                .map(|rank| {
+                    std::process::Command::new(&exe)
+                        .args(std::env::args_os().skip(1))
+                        .env(ENV_SOCK_RANK, rank.to_string())
+                        .env(ENV_SOCK_ADDR, &sock.listener_addr)
+                        .spawn()
+                        .unwrap_or_else(|e| panic!("spawn worker rank {rank}: {e}"))
+                })
+                .collect();
+            watchdog = Some(
+                std::thread::Builder::new()
+                    .name("mpisim-sock-watchdog".into())
+                    .spawn({
+                        let sock = Arc::clone(&sock);
+                        let shutting_down = Arc::clone(&shutting_down);
+                        move || Self::watchdog(sock, shutting_down, children)
+                    })
+                    .expect("spawn watchdog thread"),
+            );
+
+            // collect one JOIN per worker, then broadcast the table
+            let start = Instant::now();
+            let mut addrs = vec![String::new(); n_ranks];
+            addrs[0] = sock.listener_addr.clone();
+            let mut joined = 1;
+            while joined < n_ranks {
+                {
+                    let mut st = sock.ctrl.st.lock();
+                    for (rank, addr) in st.joins.drain(..) {
+                        assert!(
+                            rank < n_ranks && addrs[rank].is_empty(),
+                            "bogus or duplicate JOIN from rank {rank}"
+                        );
+                        addrs[rank] = addr;
+                        joined += 1;
+                    }
+                    if joined < n_ranks {
+                        sock.ctrl
+                            .cv
+                            .wait_for(&mut st, Duration::from_millis(crate::stall::stall_ms()));
+                    }
+                }
+                if let Some(msg) = sock.peer_failure() {
+                    panic!("bootstrap failed: {msg}");
+                }
+                if let Some(ms) = env_deadline() {
+                    assert!(
+                        (start.elapsed().as_millis() as u64) < ms,
+                        "bootstrap incomplete within the {ms} ms deadline \
+                         ({joined}/{n_ranks} ranks joined)"
+                    );
+                }
+            }
+            let mut table = Vec::new();
+            table.extend_from_slice(&(n_ranks as u32).to_le_bytes());
+            for a in &addrs {
+                table.extend_from_slice(&(a.len() as u32).to_le_bytes());
+                table.extend_from_slice(a.as_bytes());
+            }
+            for link in sock.links.iter().flatten() {
+                link.send_frame(K_TABLE, &table);
+            }
+            // keep the driver's own copy: the watchdog scrubs a reaped
+            // worker's UDS listener path by its table entry
+            sock.ctrl.st.lock().table = Some(addrs);
+        }
+
+        let transport = crate::transport::fault::FaultTransport::wrap_env(
+            n_ranks,
+            Arc::clone(&sock) as Arc<dyn Transport>,
+        );
+        let state = WorldState::with_transport_deadline(n_ranks, None, transport, env_deadline());
+        SockWorld {
+            state,
+            sock,
+            rank: 0,
+            n_ranks,
+            epoch: Cell::new(0),
+            shutting_down,
+            watchdog,
+        }
+    }
+
+    /// Rank 0's child reaper: a worker that exits mid-world is a death
+    /// (broadcast so the whole mesh aborts); after the stop command,
+    /// exits are expected — grace period, then kill stragglers.
+    fn watchdog(
+        sock: Arc<SockTransport>,
+        shutting_down: Arc<AtomicBool>,
+        mut children: Vec<std::process::Child>,
+    ) {
+        let mut live = vec![true; children.len()];
+        while !shutting_down.load(Ordering::SeqCst) {
+            for (i, child) in children.iter_mut().enumerate() {
+                if !live[i] {
+                    continue;
+                }
+                if let Ok(Some(status)) = child.try_wait() {
+                    live[i] = false;
+                    let rank = i + 1;
+                    eprintln!(
+                        "mpisim: worker rank {rank} (pid {}) exited mid-world ({status}); \
+                         aborting the epoch",
+                        child.id()
+                    );
+                    sock.note_rank_panic(Some(rank));
+                    sock.ctrl.st.lock().deaths.push(rank);
+                    sock.ctrl.cv.notify_all();
+                    for link in sock.links.iter().flatten() {
+                        link.send_frame(K_DEATH, &(rank as u32).to_le_bytes());
+                    }
+                    Self::scrub_worker_listener(&sock, rank);
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        for (i, child) in children.iter_mut().enumerate() {
+            if !live[i] {
+                continue;
+            }
+            loop {
+                if matches!(child.try_wait(), Ok(Some(_))) {
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    eprintln!(
+                        "mpisim: worker rank {} ignored the stop command; killing it",
+                        i + 1
+                    );
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Self::scrub_worker_listener(&sock, i + 1);
+        }
+    }
+
+    /// Remove a reaped worker's UDS listener path. A worker that dies
+    /// without unwinding (the `SIGKILL` shape, or a fault-plan kill) never
+    /// runs its own `cleanup_listener`, and the stale name would litter
+    /// the temp directory; removing it again after a clean exit is a
+    /// harmless no-op.
+    fn scrub_worker_listener(sock: &SockTransport, rank: usize) {
+        let addr = sock
+            .ctrl
+            .st
+            .lock()
+            .table
+            .as_ref()
+            .and_then(|t| t.get(rank).cloned());
+        if let Some(addr) = addr {
+            if is_uds(&addr) {
+                let _ = std::fs::remove_file(&addr);
+            }
+        }
+    }
+
+    /// Run one SPMD epoch: every rank calls `run` with the same closure
+    /// and gets its own rank's result.
+    pub fn run<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&mut RankCtx) -> R,
+    {
+        let epoch = self.epoch.get() + 1;
+        self.epoch.set(epoch);
+        if self.rank == 0 {
+            self.broadcast_cmd(cmd_word(0, epoch, false));
+        } else {
+            let job = self.await_cmd(epoch, false);
+            assert!(job.is_some(), "driver stopped before epoch {epoch}");
+        }
+        self.finish_epoch(
+            epoch,
+            catch_unwind(AssertUnwindSafe(|| {
+                let mut ctx = RankCtx::new(Arc::clone(&self.state), self.rank);
+                f(&mut ctx)
+            })),
+        )
+    }
+
+    /// Driver side of the benchmark protocol (rank 0 only): run job `job`
+    /// of the server's table as one epoch.
+    pub fn epoch_job<F, R>(&self, job: usize, f: F) -> R
+    where
+        F: FnOnce(&mut RankCtx) -> R,
+    {
+        assert_eq!(
+            self.rank, 0,
+            "epoch_job is the driver side; workers serve()"
+        );
+        assert!(
+            (job as u64) < (1 << 15),
+            "job index overflows the command word"
+        );
+        let epoch = self.epoch.get() + 1;
+        self.epoch.set(epoch);
+        self.broadcast_cmd(cmd_word(job, epoch, false));
+        self.finish_epoch(
+            epoch,
+            catch_unwind(AssertUnwindSafe(|| {
+                let mut ctx = RankCtx::new(Arc::clone(&self.state), self.rank);
+                f(&mut ctx)
+            })),
+        )
+    }
+
+    /// Server side of the benchmark protocol (workers only): loop epochs
+    /// until the stop command arrives.
+    pub fn serve(&self, jobs: &[&dyn Fn(&mut RankCtx)]) {
+        assert!(
+            self.rank != 0,
+            "serve is the worker side; rank 0 drives epoch_job"
+        );
+        loop {
+            let epoch = self.epoch.get() + 1;
+            let Some(job) = self.await_cmd(epoch, false) else {
+                return; // stop command: world is shutting down
+            };
+            self.epoch.set(epoch);
+            let job_fn = jobs
+                .get(job)
+                .unwrap_or_else(|| panic!("driver posted job {job}, table has {}", jobs.len()));
+            self.finish_epoch(
+                epoch,
+                catch_unwind(AssertUnwindSafe(|| {
+                    let mut ctx = RankCtx::new(Arc::clone(&self.state), self.rank);
+                    job_fn(&mut ctx);
+                })),
+            );
+        }
+    }
+
+    fn broadcast_cmd(&self, word: u64) {
+        for link in self.sock.links.iter().flatten() {
+            link.send_frame(K_CMD, &word.to_le_bytes());
+        }
+    }
+
+    /// Wait for the next command word; `Some(job)` when it matches this
+    /// epoch (+ phase), `None` on the stop command.
+    fn await_cmd(&self, epoch: u64, release: bool) -> Option<usize> {
+        let start = Instant::now();
+        let word = {
+            let mut st = self.sock.ctrl.st.lock();
+            loop {
+                if let Some(w) = st.cmds.pop_front() {
+                    break w;
+                }
+                if self
+                    .sock
+                    .ctrl
+                    .cv
+                    .wait_for(&mut st, Duration::from_millis(crate::stall::stall_ms()))
+                    .timed_out()
+                {
+                    drop(st);
+                    self.check_failure("epoch-command wait");
+                    self.check_deadline(&start, "epoch-command wait");
+                    st = self.sock.ctrl.st.lock();
+                }
+            }
+        };
+        if word == CMD_STOP {
+            return None;
+        }
+        let (job, ep, rel) = (
+            (word >> JOB_SHIFT) as usize,
+            (word & EPOCH_MASK) >> 1,
+            word & 1 == 1,
+        );
+        assert_eq!(
+            (ep, rel),
+            (epoch, release),
+            "epoch protocol desync on rank {}: got epoch {ep} (release {rel}), \
+             expected {epoch} (release {release})",
+            self.rank
+        );
+        Some(job)
+    }
+
+    /// Abort loudly if a peer died while we were blocked in the epoch
+    /// protocol (the fabric's own waits run the same check via stall
+    /// probes; this covers the command/DONE waits, which bypass it).
+    fn check_failure(&self, kind: &str) {
+        if let Some(msg) = self.sock.peer_failure() {
+            panic!(
+                "rank {} blocked in {kind}: {msg}\n{}",
+                self.rank,
+                self.state.stall_report()
+            );
+        }
+    }
+
+    /// Abort with a [`crate::StallReport`] when a blocked epoch-protocol
+    /// wait outlives the world's deadline.
+    fn check_deadline(&self, start: &Instant, kind: &str) {
+        if let Some(ms) = self.state.deadline_ms() {
+            let waited = start.elapsed().as_millis() as u64;
+            if waited >= ms {
+                panic!(
+                    "wait deadline of {ms} ms (MPISIM_DEADLINE_MS) expired after \
+                     {waited} ms blocked in {kind} on rank {}\n{}",
+                    self.rank,
+                    self.state.stall_report()
+                );
+            }
+        }
+    }
+
+    fn finish_epoch<R>(&self, epoch: u64, result: std::thread::Result<R>) -> R {
+        match result {
+            Ok(r) => {
+                if self.rank == 0 {
+                    if self.n_ranks > 1 {
+                        // collect a DONE per worker, then release everyone
+                        let start = Instant::now();
+                        let mut st = self.sock.ctrl.st.lock();
+                        loop {
+                            let done = st.dones.iter().filter(|(_, e)| *e == epoch).count();
+                            if done == self.n_ranks - 1 {
+                                st.dones.retain(|(_, e)| *e != epoch);
+                                break;
+                            }
+                            if self
+                                .sock
+                                .ctrl
+                                .cv
+                                .wait_for(&mut st, Duration::from_millis(crate::stall::stall_ms()))
+                                .timed_out()
+                            {
+                                drop(st);
+                                self.check_failure("epoch-completion wait");
+                                self.check_deadline(&start, "epoch-completion wait");
+                                st = self.sock.ctrl.st.lock();
+                            }
+                        }
+                        drop(st);
+                        self.broadcast_cmd(cmd_word(0, epoch, true));
+                    }
+                } else {
+                    let mut done = Vec::with_capacity(12);
+                    done.extend_from_slice(&(self.rank as u32).to_le_bytes());
+                    done.extend_from_slice(&epoch.to_le_bytes());
+                    self.sock.links[0]
+                        .as_ref()
+                        .expect("driver link")
+                        .send_frame(K_DONE, &done);
+                    assert!(
+                        self.await_cmd(epoch, true).is_some(),
+                        "driver stopped inside epoch {epoch}"
+                    );
+                }
+                r
+            }
+            Err(p) => {
+                // raise the flag and tell every peer BEFORE dying so
+                // blocked receives across the mesh abort loudly
+                self.sock.note_rank_panic(Some(self.rank));
+                for link in self.sock.links.iter().flatten() {
+                    link.send_frame(K_DEATH, &(self.rank as u32).to_le_bytes());
+                }
+                self.flush_links(Duration::from_secs(2));
+                if self.rank != 0 {
+                    eprintln!(
+                        "mpisim: rank {} panicked; aborting the epoch across the world",
+                        self.rank
+                    );
+                    self.cleanup_listener();
+                    std::process::exit(101);
+                }
+                resume_unwind(p);
+            }
+        }
+    }
+
+    /// Best-effort wait until every queued frame has reached the kernel's
+    /// socket buffers (they survive process exit; the writer thread does
+    /// not).
+    fn flush_links(&self, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        for link in self.sock.links.iter().flatten() {
+            loop {
+                {
+                    let st = link.st.lock();
+                    if st.dead || st.shutdown || st.writer_sock.is_none() || st.sent >= st.tx_seq {
+                        break;
+                    }
+                }
+                if Instant::now() >= deadline {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+
+    /// Unlink this process's UDS listener path on paths that exit without
+    /// dropping the transport.
+    fn cleanup_listener(&self) {
+        if is_uds(&self.sock.listener_addr) {
+            let _ = std::fs::remove_file(&self.sock.listener_addr);
+        }
+    }
+}
+
+impl Drop for SockWorld {
+    fn drop(&mut self) {
+        if self.rank == 0 {
+            self.broadcast_cmd(CMD_STOP);
+            self.flush_links(Duration::from_secs(2));
+            self.shutting_down.store(true, Ordering::SeqCst);
+            if let Some(w) = self.watchdog.take() {
+                let _ = w.join();
+            }
+        } else {
+            // hold the process alive until the stop command; a dead
+            // driver link exits nonzero so the failure stays visible
+            let stopped = loop {
+                {
+                    let mut st = self.sock.ctrl.st.lock();
+                    match st.cmds.pop_front() {
+                        Some(CMD_STOP) => break true,
+                        Some(w) => unreachable!("stray command word {w:#x} at shutdown"),
+                        None => {
+                            self.sock
+                                .ctrl
+                                .cv
+                                .wait_for(&mut st, Duration::from_millis(crate::stall::stall_ms()));
+                        }
+                    }
+                }
+                if self.sock.peer_failure().is_some() {
+                    break false;
+                }
+            };
+            self.cleanup_listener();
+            // workers never run the program past the world
+            std::process::exit(if stopped { 0 } else { 102 });
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! ([`crate::World::run`], [`crate::WorldPool`]) uses by default — the
 //! behavior `mpisim` always had, now behind the [`Transport`] seam.
 
-use super::{PayloadMode, ShmChanRaw, Transport, TransportForensics};
+use super::{ChanFabric, PayloadMode, Transport, TransportForensics};
 use crate::state::{ChanId, ChanKey, Envelope, Mailbox, WaitSet, WorldState};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -124,11 +124,12 @@ impl Transport for ThreadTransport {
     fn make_channel(
         &self,
         _key: ChanKey,
+        _dst_world: usize,
         _elem_bytes: usize,
         _type_name: &'static str,
         _len_hint: usize,
-    ) -> Option<ShmChanRaw> {
-        None // in-process channels stay typed; no shared ring needed
+    ) -> ChanFabric {
+        ChanFabric::Local // in-process channels stay typed; no wire buffers
     }
 
     fn drain_in_flight(&self) {
@@ -173,6 +174,7 @@ impl Transport for ThreadTransport {
 
     fn forensics(&self) -> TransportForensics {
         TransportForensics {
+            fabric: "thread",
             mailbox_depths: self
                 .mailboxes
                 .iter()
@@ -180,6 +182,7 @@ impl Transport for ThreadTransport {
                 .collect(),
             outbox_depth: 0,
             peers: Vec::new(),
+            links: Vec::new(),
         }
     }
 }

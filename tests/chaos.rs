@@ -1,4 +1,5 @@
-//! Chaos tests: deterministic fault injection over both fabrics.
+//! Chaos tests: deterministic fault injection over every fabric (thread,
+//! shm, sock).
 //!
 //! The fault layer's contract is that every perturbation it injects is
 //! *semantically invisible* — delays, tag-legal reorders, and spurious
@@ -124,6 +125,42 @@ fn seeded_schedules_are_byte_identical_shm() {
     }
 }
 
+#[test]
+fn seeded_schedules_are_byte_identical_sock() {
+    let reference = run_chaos_world(|f| World::run_sock(8, f));
+    for seed in 200..206u64 {
+        let faulted = run_chaos_world(|f| World::with_faults_sock(8, perturb_plan(seed), f));
+        assert_eq!(faulted, reference, "sock schedule seed {seed} diverged");
+    }
+}
+
+/// Transient disconnects on the socket fabric: `drops` severs the link
+/// mid-epoch *before* chosen deposits, so the frame rides the reconnected
+/// link's replay. Reconnect-with-resume must make every drop semantically
+/// invisible — byte-identical results, exactly-once delivery — across
+/// several seeds and drop rates.
+#[test]
+fn sock_link_drops_resume_byte_identically() {
+    let reference = run_chaos_world(|f| World::run_sock(8, f));
+    for (seed, permille) in [(300u64, 40u16), (301, 120), (302, 250)] {
+        let plan = FaultPlan::seeded(seed).drops(permille).deadline_ms(30_000);
+        let faulted = run_chaos_world(|f| World::with_faults_sock(8, plan.clone(), f));
+        assert_eq!(
+            faulted, reference,
+            "sock drop schedule seed {seed} ({permille}permille) diverged"
+        );
+    }
+    // drops composed with the full perturbation mix: still invisible
+    for seed in 310..313u64 {
+        let plan = perturb_plan(seed).drops(80);
+        let faulted = run_chaos_world(|f| World::with_faults_sock(8, plan, f));
+        assert_eq!(
+            faulted, reference,
+            "sock drop+perturb schedule seed {seed} diverged"
+        );
+    }
+}
+
 /// Ring traffic that keeps every rank's op counter advancing long enough
 /// for any kill index used below to land mid-workload.
 fn ring_body(ctx: &mut RankCtx) -> u64 {
@@ -145,28 +182,26 @@ fn ring_body(ctx: &mut RankCtx) -> u64 {
 /// stall report names the dead rank.
 #[test]
 fn kill_schedules_abort_one_shot_worlds() {
-    for shm in [false, true] {
+    for fabric in ["thread", "shm", "sock"] {
         for (victim, nth) in [(1usize, 5u64), (2, 17)] {
             let plan = FaultPlan::seeded(9).kill(victim, nth).deadline_ms(10_000);
             let start = Instant::now();
-            let err = catch_unwind(AssertUnwindSafe(|| {
-                if shm {
-                    World::with_faults_shm(4, plan.clone(), ring_body)
-                } else {
-                    World::with_faults(4, plan.clone(), ring_body)
-                }
+            let err = catch_unwind(AssertUnwindSafe(|| match fabric {
+                "shm" => World::with_faults_shm(4, plan.clone(), ring_body),
+                "sock" => World::with_faults_sock(4, plan.clone(), ring_body),
+                _ => World::with_faults(4, plan.clone(), ring_body),
             }))
             .expect_err("a killed rank must fail the world");
             let elapsed = start.elapsed();
             assert!(
                 elapsed < Duration::from_secs(15),
-                "kill (shm={shm}, rank {victim} @ op {nth}) took {elapsed:?} to abort"
+                "kill ({fabric}, rank {victim} @ op {nth}) took {elapsed:?} to abort"
             );
             let msg = panic_text(err);
             assert!(
                 msg.contains("killed by fault plan")
                     || msg.contains(&format!("dead rank: {victim}")),
-                "kill (shm={shm}, rank {victim} @ op {nth}): abort names neither the \
+                "kill ({fabric}, rank {victim} @ op {nth}): abort names neither the \
                  kill nor the dead rank:\n{msg}"
             );
         }
@@ -178,13 +213,13 @@ fn kill_schedules_abort_one_shot_worlds() {
 /// for the next (fault-free, counters past the kill index) epoch.
 #[test]
 fn kill_schedules_degrade_gracefully_in_pools() {
-    for shm in [false, true] {
+    for fabric in ["thread", "shm", "sock"] {
         for (victim, nth) in [(1usize, 5u64), (3, 17)] {
             let plan = FaultPlan::seeded(21).kill(victim, nth).deadline_ms(10_000);
-            let pool = if shm {
-                World::pool_with_faults_shm(4, plan)
-            } else {
-                World::pool_with_faults(4, plan)
+            let pool = match fabric {
+                "shm" => World::pool_with_faults_shm(4, plan),
+                "sock" => World::pool_with_faults_sock(4, plan),
+                _ => World::pool_with_faults(4, plan),
             };
             let start = Instant::now();
             let err = pool
@@ -193,13 +228,13 @@ fn kill_schedules_degrade_gracefully_in_pools() {
             let elapsed = start.elapsed();
             assert!(
                 elapsed < Duration::from_secs(15),
-                "pooled kill (shm={shm}, rank {victim} @ op {nth}) took {elapsed:?}"
+                "pooled kill ({fabric}, rank {victim} @ op {nth}) took {elapsed:?}"
             );
             assert!(
                 err.failures
                     .iter()
                     .any(|(r, m)| *r == victim && m.contains("killed by fault plan")),
-                "pooled kill (shm={shm}, rank {victim} @ op {nth}): EpochError does \
+                "pooled kill ({fabric}, rank {victim} @ op {nth}): EpochError does \
                  not attribute the kill: {err}"
             );
             assert!(err.to_string().contains("epoch failed on rank"));
@@ -209,7 +244,7 @@ fn kill_schedules_degrade_gracefully_in_pools() {
             assert_eq!(
                 out,
                 vec![0, 10, 20, 30],
-                "pool unusable after kill (shm={shm})"
+                "pool unusable after kill ({fabric})"
             );
         }
     }
@@ -242,21 +277,19 @@ fn deadline_expiry_dumps_a_stall_report() {
         let peer = 1 - ctx.rank();
         let _: Vec<u64> = ctx.recv(&comm, peer, 9); // nobody ever sends
     };
-    for shm in [false, true] {
+    for fabric in ["thread", "shm", "sock"] {
         let plan = FaultPlan::seeded(3).deadline_ms(400);
         let start = Instant::now();
-        let err = catch_unwind(AssertUnwindSafe(|| {
-            if shm {
-                World::with_faults_shm(2, plan.clone(), deadlock)
-            } else {
-                World::with_faults(2, plan.clone(), deadlock)
-            }
+        let err = catch_unwind(AssertUnwindSafe(|| match fabric {
+            "shm" => World::with_faults_shm(2, plan.clone(), deadlock),
+            "sock" => World::with_faults_sock(2, plan.clone(), deadlock),
+            _ => World::with_faults(2, plan.clone(), deadlock),
         }))
         .expect_err("the deadlocked world must abort");
         let elapsed = start.elapsed();
         assert!(
             elapsed < Duration::from_secs(10),
-            "deadline abort (shm={shm}) took {elapsed:?}"
+            "deadline abort ({fabric}) took {elapsed:?}"
         );
         let msg = panic_text(err);
         // the joined payload is either a rank's own deadline abort, or —
@@ -264,15 +297,26 @@ fn deadline_expiry_dumps_a_stall_report() {
         // (also carrying the stall report, which then names the victim)
         assert!(
             msg.contains("wait deadline of 400 ms") || msg.contains("peer rank panicked"),
-            "deadline abort (shm={shm}) names neither the deadline nor a dead peer:\n{msg}"
+            "deadline abort ({fabric}) names neither the deadline nor a dead peer:\n{msg}"
         );
         assert!(
             msg.contains("StallReport"),
-            "deadline abort (shm={shm}) carries no stall report:\n{msg}"
+            "deadline abort ({fabric}) carries no stall report:\n{msg}"
         );
         assert!(
             msg.contains("blocked"),
-            "stall report (shm={shm}) shows no parked wait:\n{msg}"
+            "stall report ({fabric}) shows no parked wait:\n{msg}"
         );
+        assert!(
+            msg.contains(&format!("transport fabric: {fabric}")),
+            "stall report ({fabric}) does not name its transport fabric:\n{msg}"
+        );
+        if fabric == "sock" {
+            // the sock report's transport section carries per-link state
+            assert!(
+                msg.contains("link to proc"),
+                "sock stall report carries no link forensics:\n{msg}"
+            );
+        }
     }
 }

@@ -3,11 +3,13 @@
 //! four paper protocols, the §5 partitioned combination, and model-driven
 //! auto-selection — must deliver byte-identical ghost values to a direct
 //! exchange computed straight from the pattern. Each backend runs in a
-//! one-shot spawned world, inside a shared warm [`WorldPool`], and over
+//! one-shot spawned world, inside a shared warm [`WorldPool`], over
 //! the cross-process shared-memory fabric ([`World::run_shm`] — the same
 //! `ShmTransport` that backs ranks-as-OS-processes, exercised here with
-//! rank threads), so the zero-copy pooled path and the shm wire path are
-//! both pinned byte-for-byte to the same reference.
+//! rank threads), and over the socket fabric ([`World::run_sock`] — every
+//! message framed, sequenced, and pushed through a real socket), so the
+//! zero-copy pooled path and both wire paths are pinned byte-for-byte to
+//! the same reference.
 //!
 //! A second property pins the [`NeighborBatch`] session API to the same
 //! reference: a batch of N random (pattern, backend) entries — planned,
@@ -150,6 +152,21 @@ fn run_backend_shm(pattern: &CommPattern, topo: &Topology, backend: Backend) -> 
     })
 }
 
+/// Run `backend` in a fresh world over the socket fabric's loopback mesh:
+/// every plain envelope and persistent payload framed, sequenced, and
+/// acknowledged through a real socket.
+fn run_backend_sock(
+    pattern: &CommPattern,
+    topo: &Topology,
+    backend: Backend,
+) -> Vec<Vec<Vec<u64>>> {
+    let coll = NeighborAlltoallv::new(pattern, topo).backend(backend);
+    World::run_sock(pattern.n_ranks, |ctx| {
+        let comm = ctx.comm_world();
+        backend_body(&coll, ctx, &comm)
+    })
+}
+
 /// Every backend, for the batch property's per-entry draws.
 const ALL_BACKENDS: [Backend; 7] = [
     Backend::Protocol(Protocol::StandardHypre),
@@ -249,6 +266,7 @@ proptest! {
             let got = run_backend(&pattern, &topo, backend);
             let pooled = run_backend_pooled(&pool, &pattern, &topo, backend);
             let shm = run_backend_shm(&pattern, &topo, backend);
+            let sock = run_backend_sock(&pattern, &topo, backend);
             for (rank, iters) in got.iter().enumerate() {
                 for (it, bits) in iters.iter().enumerate() {
                     prop_assert_eq!(
@@ -275,6 +293,14 @@ proptest! {
                         rank,
                         it
                     );
+                    prop_assert_eq!(
+                        &sock[rank][it],
+                        bits,
+                        "{:?} sock world diverged from thread world at rank {} iteration {}",
+                        backend,
+                        rank,
+                        it
+                    );
                 }
             }
         }
@@ -296,6 +322,10 @@ proptest! {
                 let comm = ctx.comm_world();
                 backend_body(&coll, ctx, &comm)
             });
+            let faulted_sock = World::with_faults_sock(8, perturb_plan(seed ^ 0x5a), |ctx| {
+                let comm = ctx.comm_world();
+                backend_body(&coll, ctx, &comm)
+            });
             for rank in 0..8 {
                 for it in 0..2 {
                     prop_assert_eq!(
@@ -313,6 +343,15 @@ proptest! {
                         "{:?} under shm fault seed {} diverged at rank {} iteration {}",
                         backend,
                         seed ^ 0xa5,
+                        rank,
+                        it
+                    );
+                    prop_assert_eq!(
+                        &faulted_sock[rank][it],
+                        &expected[it][rank],
+                        "{:?} under sock fault seed {} diverged at rank {} iteration {}",
+                        backend,
+                        seed ^ 0x5a,
                         rank,
                         it
                     );
@@ -365,6 +404,10 @@ proptest! {
                 let comm = ctx.comm_world();
                 batch_body(&batch, lifecycle, ctx, &comm)
             });
+            let sock = World::run_sock(8, |ctx| {
+                let comm = ctx.comm_world();
+                batch_body(&batch, lifecycle, ctx, &comm)
+            });
 
             for (rank, per_entry) in batched.iter().enumerate() {
                 prop_assert_eq!(per_entry.len(), entries.len());
@@ -401,6 +444,16 @@ proptest! {
                             rank,
                             it
                         );
+                        prop_assert_eq!(
+                            &sock[rank][e][it],
+                            bits,
+                            "{:?} sock batch diverged from thread batch at entry {} \
+                             rank {} iteration {}",
+                            lifecycle,
+                            e,
+                            rank,
+                            it
+                        );
                     }
                 }
             }
@@ -414,6 +467,10 @@ proptest! {
             batch_body(&batch, Lifecycle::WaitAny, ctx, &comm)
         });
         let faulted_shm = World::with_faults_shm(8, perturb_plan(78), |ctx| {
+            let comm = ctx.comm_world();
+            batch_body(&batch, Lifecycle::WaitAny, ctx, &comm)
+        });
+        let faulted_sock = World::with_faults_sock(8, perturb_plan(79), |ctx| {
             let comm = ctx.comm_world();
             batch_body(&batch, Lifecycle::WaitAny, ctx, &comm)
         });
@@ -432,6 +489,14 @@ proptest! {
                         &faulted_shm[rank][e][it],
                         &independent[e][rank][it],
                         "faulted shm batch diverged at entry {} rank {} iteration {}",
+                        e,
+                        rank,
+                        it
+                    );
+                    prop_assert_eq!(
+                        &faulted_sock[rank][e][it],
+                        &independent[e][rank][it],
+                        "faulted sock batch diverged at entry {} rank {} iteration {}",
                         e,
                         rank,
                         it
