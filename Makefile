@@ -1,6 +1,6 @@
 # Developer entry points. `make tier1` mirrors the CI verify exactly.
 
-.PHONY: tier1 build test test-all test-chaos test-sock fmt clippy lint bench bench-steady bench-smoke bench-baseline bench-check bench-transport
+.PHONY: tier1 build test test-all test-chaos test-sock test-tuner fmt clippy lint bench bench-steady bench-smoke bench-baseline bench-check bench-transport
 
 tier1: ## the repository's tier-1 verify
 	cargo build --release && cargo test -q
@@ -26,6 +26,13 @@ test-chaos:
 # kills contained loudly, no leaked UDS listener paths
 test-sock:
 	cargo test --test sock_process -q
+
+# the online autotuner's acceptance suite (DESIGN.md §11): Backend::Tuned
+# converging to the measured-fastest protocol where a mis-parameterized
+# model fools Auto, profile-cache warm starts skipping the probe phase,
+# and probe/decide/steady-state byte identity on all three fabrics
+test-tuner:
+	cargo test --test tuner -q
 
 fmt:
 	cargo fmt --all

@@ -5,7 +5,7 @@ use amg::Hierarchy;
 use locality::Topology;
 use mpi_advance::analytic::{graph_creation_time, init_time, iteration_time};
 use mpi_advance::collective::select::choose_among;
-use mpi_advance::{CommPattern, PlanStats, Protocol};
+use mpi_advance::{AssignStrategy, CommPattern, PlanStats, Protocol};
 use perfmodel::LocalityModel;
 
 /// The model every figure uses (Lassen-like, see `perfmodel::params`).
@@ -72,6 +72,7 @@ pub fn best_of_total(
                 &lp.pattern,
                 topo,
                 model,
+                AssignStrategy::LoadBalanced,
             )
             .1
         })

@@ -76,20 +76,23 @@
 //! retire entries in **delivery order**.
 
 use crate::agg::AssignStrategy;
-use crate::collective::select::choose_with;
+use crate::collective::select::{candidates_within, choose_with};
 use crate::collective::Protocol;
 use crate::exec::PersistentNeighbor;
 use crate::exec_partitioned::PartitionedNeighbor;
 use crate::neighbor::{Backend, NeighborRequest};
 use crate::pattern::CommPattern;
 use crate::routing::{BatchEntryPlan, BatchRankRouting, RankRouting};
+use crate::stats::{PlanStats, VALUE_BYTES};
 use crate::tagspace::{TagLease, TagSpace, SPAN};
+use crate::tune::{topology_signature, PublishSpec, TunedCandidate, TunedNeighbor};
 use crate::Plan;
 use locality::Topology;
 use mpisim::persistent::shared_buf;
 use mpisim::{ChanId, Comm, RankCtx};
 use perfmodel::{CostModel, LocalityModel};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
+use tuner::{size_bucket, ProfileCache, ProfileKey, TunePolicy};
 
 pub(crate) struct PlainRequest {
     pub(crate) inner: PersistentNeighbor,
@@ -168,6 +171,14 @@ struct EntrySpec<'a> {
 
 /// The resolved half of a batch: plans, carved tags, and every rank's
 /// routing, computed once and shared by all ranks' `init_all`.
+///
+/// A [`Backend::Tuned`] entry **expands**: one routing (and tag span)
+/// per shortlisted candidate, all laid out in the same fused sweep, so
+/// the probe phase hot-swaps between fully-initialized executors. The
+/// `routings` / arena windows are therefore in *expanded* order;
+/// [`ExpandedEntry`] maps each batch entry to its slots. `plans` and
+/// `tag_bases` stay per-entry (a tuned entry reports its model-best
+/// candidate until measurement says otherwise).
 struct ResolvedBatch {
     plans: Vec<(Protocol, Plan)>,
     tag_bases: Vec<u64>,
@@ -176,6 +187,36 @@ struct ResolvedBatch {
     /// the span frees (and its base becomes re-usable) only when the
     /// batch and all of its live requests are gone.
     lease: Option<Arc<TagLease>>,
+    expanded: Vec<ExpandedEntry>,
+}
+
+/// One entry's slice of the expanded candidate order.
+struct ExpandedEntry {
+    /// First expanded slot (single-candidate entries own exactly this
+    /// one; tuned entries own `candidates.len()` consecutive slots).
+    start: usize,
+    tuned: Option<TunedResolution>,
+}
+
+/// The resolution-time half of one tuned entry's machinery.
+struct TunedResolution {
+    /// `(protocol, max msgs/iter, max inter-region bytes/iter)` per
+    /// candidate, model-ranked cheapest first — probe order and
+    /// tie-break order.
+    candidates: Vec<(Protocol, f64, f64)>,
+    /// Tag-span base of the decision reduction's control messages.
+    ctl_base: u64,
+    policy: TunePolicy,
+    pattern_sig: u64,
+    topo_sig: u64,
+    size_bucket: u32,
+    /// One profile-cache consult per process **per fabric** (measured
+    /// winners are fabric-specific, and one batch may be reused across
+    /// fabrics): every in-process rank reads the same memoized answer,
+    /// so all ranks register the same channels. (Cross-process worlds
+    /// must share `MPISIM_PROFILE_DIR` state *or* all miss — a mixed
+    /// consult would diverge registrations; see DESIGN.md §11.)
+    consult: Mutex<Vec<(String, Option<usize>)>>,
 }
 
 /// A session of persistent neighborhood collectives planned, tagged, and
@@ -186,6 +227,7 @@ pub struct NeighborBatch<'a> {
     topo: &'a Topology,
     entries: Vec<EntrySpec<'a>>,
     model: Option<&'a dyn CostModel>,
+    tune_policy: Option<TunePolicy>,
     pinned_tag_base: Option<u64>,
     resolved: OnceLock<ResolvedBatch>,
 }
@@ -198,6 +240,7 @@ impl<'a> NeighborBatch<'a> {
             topo,
             entries: Vec::new(),
             model: None,
+            tune_policy: None,
             pinned_tag_base: None,
             resolved: OnceLock::new(),
         }
@@ -238,6 +281,16 @@ impl<'a> NeighborBatch<'a> {
         self
     }
 
+    /// Tuning policy for every [`Backend::Tuned`] entry (default: the
+    /// process-wide `MPISIM_TUNE_*` / `MPISIM_PROFILE_DIR` environment,
+    /// read once per process). Tests needing an isolated cache directory
+    /// or probe budget set it here instead of mutating the environment.
+    pub fn tune_policy(mut self, policy: TunePolicy) -> Self {
+        self.tune_policy = Some(policy);
+        self.resolved = OnceLock::new();
+        self
+    }
+
     /// Pin the batch's tag namespace explicitly instead of leasing one:
     /// entry `i` uses `base + i · SPAN`. The pinned range is registered
     /// with the process-wide [`TagSpace`], so leases taken afterwards
@@ -260,7 +313,9 @@ impl<'a> NeighborBatch<'a> {
 
     /// Every entry's resolved `(protocol, plan)`, in batch order — the
     /// planning half of init, exposed for statistics and tests.
-    /// Deterministic and computed once per batch.
+    /// Deterministic and computed once per batch. A [`Backend::Tuned`]
+    /// entry reports its model-best candidate here; the measured winner
+    /// is a runtime property (ask the live request's `protocol()`).
     pub fn plans(&self) -> &[(Protocol, Plan)] {
         &self.resolved().plans
     }
@@ -289,33 +344,139 @@ impl<'a> NeighborBatch<'a> {
             // clone this rank's routings (the bulk of the per-init
             // allocation work) BEFORE taking the registry lock: only
             // channel resolution itself runs inside the world-wide
-            // critical section
-            let routings: Vec<RankRouting> = br.entries.clone();
+            // critical section. Expanded order; each slot inits at most
+            // once per init_all (a cached tuned winner leaves its losing
+            // candidates' slots untouched).
+            let mut routings: Vec<Option<RankRouting>> =
+                br.entries.iter().cloned().map(Some).collect();
             let mut reg = ctx.chan_registrar();
             self.entries
                 .iter()
-                .zip(routings)
+                .zip(&resolved.expanded)
                 .enumerate()
-                .map(|(i, (spec, routing))| {
+                .map(|(i, (spec, ex))| {
                     let protocol = resolved.plans[i].0;
-                    match spec.backend {
-                        Backend::Partitioned(_) => Box::new(PartitionedRequest {
-                            inner: PartitionedNeighbor::from_routing_in(routing, &mut reg, comm),
+                    match (&spec.backend, &ex.tuned) {
+                        (Backend::Partitioned(_), _) => Box::new(PartitionedRequest {
+                            inner: PartitionedNeighbor::from_routing_in(
+                                routings[ex.start].take().expect("expanded slot inits once"),
+                                &mut reg,
+                                comm,
+                            ),
                             protocol,
                             _lease: resolved.lease.clone(),
                         })
                             as Box<dyn NeighborRequest>,
-                        _ => Box::new(PlainRequest {
+                        (_, None) => Box::new(PlainRequest {
                             inner: PersistentNeighbor::from_routing_in(
-                                routing,
+                                routings[ex.start].take().expect("expanded slot inits once"),
                                 &mut reg,
                                 comm,
                                 arena.clone(),
-                                br.arena_off[i].expect("plain entry has an arena window"),
+                                br.arena_off[ex.start].expect("plain entry has an arena window"),
                             ),
                             protocol,
                             _lease: resolved.lease.clone(),
                         }),
+                        (_, Some(tr)) => {
+                            // one cache consult per process per fabric,
+                            // memoized: every rank — and every later
+                            // epoch on a pooled world — sees the same
+                            // answer, so channel registration never
+                            // diverges mid-process
+                            let fabric = ctx.fabric();
+                            let winner = {
+                                let mut consults =
+                                    tr.consult.lock().expect("consult lock unpoisoned");
+                                match consults.iter().find(|(f, _)| f == fabric) {
+                                    Some(&(_, w)) => w,
+                                    None => {
+                                        let w = tr.policy.profile_dir.as_ref().and_then(|dir| {
+                                            let key = ProfileKey {
+                                                pattern_sig: tr.pattern_sig,
+                                                topo_sig: tr.topo_sig,
+                                                size_bucket: tr.size_bucket,
+                                                fabric: fabric.to_string(),
+                                            };
+                                            // unreadable/corrupt/missing
+                                            // cache, or a winner outside
+                                            // today's shortlist (admission
+                                            // factor changed) → probe
+                                            ProfileCache::new(dir).lookup(&key).and_then(|e| {
+                                                tr.candidates
+                                                    .iter()
+                                                    .position(|(p, _, _)| p.name() == e.winner)
+                                            })
+                                        });
+                                        consults.push((fabric.to_string(), w));
+                                        w
+                                    }
+                                }
+                            };
+                            match winner {
+                                // warm start: the cache already knows the
+                                // winner — register only its channels and
+                                // skip the probe phase entirely
+                                Some(w) => Box::new(PlainRequest {
+                                    inner: PersistentNeighbor::from_routing_in(
+                                        routings[ex.start + w]
+                                            .take()
+                                            .expect("expanded slot inits once"),
+                                        &mut reg,
+                                        comm,
+                                        arena.clone(),
+                                        br.arena_off[ex.start + w]
+                                            .expect("plain entry has an arena window"),
+                                    ),
+                                    protocol: tr.candidates[w].0,
+                                    _lease: resolved.lease.clone(),
+                                })
+                                    as Box<dyn NeighborRequest>,
+                                None => {
+                                    let candidates: Vec<TunedCandidate> = tr
+                                        .candidates
+                                        .iter()
+                                        .enumerate()
+                                        .map(|(c, &(protocol, msgs, bytes))| {
+                                            let slot = ex.start + c;
+                                            TunedCandidate {
+                                                inner: Some(PersistentNeighbor::from_routing_in(
+                                                    routings[slot]
+                                                        .take()
+                                                        .expect("expanded slot inits once"),
+                                                    &mut reg,
+                                                    comm,
+                                                    arena.clone(),
+                                                    br.arena_off[slot]
+                                                        .expect("plain entry has an arena window"),
+                                                )),
+                                                protocol,
+                                                msgs,
+                                                bytes,
+                                            }
+                                        })
+                                        .collect();
+                                    let publish =
+                                        tr.policy.profile_dir.as_ref().map(|dir| PublishSpec {
+                                            cache: ProfileCache::new(dir),
+                                            key: ProfileKey {
+                                                pattern_sig: tr.pattern_sig,
+                                                topo_sig: tr.topo_sig,
+                                                size_bucket: tr.size_bucket,
+                                                fabric: fabric.to_string(),
+                                            },
+                                        });
+                                    Box::new(TunedNeighbor::new(
+                                        candidates,
+                                        tr.policy.probe_iters,
+                                        tr.ctl_base,
+                                        comm.clone(),
+                                        publish,
+                                        resolved.lease.clone(),
+                                    ))
+                                }
+                            }
+                        }
                     }
                 })
                 .collect()
@@ -342,66 +503,148 @@ impl<'a> NeighborBatch<'a> {
                 &default_model
             }
         };
-        let plans: Vec<(Protocol, Plan)> = self
+        // the policy is only materialized when a tuned entry exists, so
+        // batches without one never read the MPISIM_TUNE_* environment
+        let policy: Option<TunePolicy> = self
+            .entries
+            .iter()
+            .any(|e| matches!(e.backend, Backend::Tuned))
+            .then(|| {
+                self.tune_policy
+                    .clone()
+                    .unwrap_or_else(TunePolicy::from_env)
+            });
+
+        // each entry's candidate list: exactly one plan for explicit /
+        // Partitioned / Auto backends, the model's shortlist for Tuned
+        // (a one-candidate shortlist needs no measurement and collapses
+        // back to a plain entry)
+        let per_entry: Vec<(Vec<(Protocol, Plan)>, bool)> = self
             .entries
             .iter()
             .map(|e| match e.backend {
-                Backend::Protocol(p) => (p, p.plan_with(e.pattern, self.topo, e.strategy)),
+                Backend::Protocol(p) => (
+                    vec![(p, p.plan_with(e.pattern, self.topo, e.strategy))],
+                    false,
+                ),
                 Backend::Partitioned(p) => {
                     let plan = p.plan_with(e.pattern, self.topo, e.strategy);
                     assert!(
                         plan.aggregated,
                         "Backend::Partitioned needs an aggregating protocol, got {p}"
                     );
-                    (p, plan)
+                    (vec![(p, plan)], false)
                 }
                 Backend::Auto => {
                     let (p, plan, _) =
                         choose_with(&Protocol::ALL, e.pattern, self.topo, model, e.strategy);
-                    (p, plan)
+                    (vec![(p, plan)], false)
+                }
+                Backend::Tuned => {
+                    let pol = policy.as_ref().expect("policy exists for tuned entries");
+                    let cands: Vec<(Protocol, Plan)> = candidates_within(
+                        &Protocol::ALL,
+                        e.pattern,
+                        self.topo,
+                        model,
+                        e.strategy,
+                        pol.factor,
+                    )
+                    .into_iter()
+                    .map(|(p, plan, _)| (p, plan))
+                    .collect();
+                    let tuned = cands.len() > 1;
+                    (cands, tuned)
                 }
             })
             .collect();
 
-        // one lease (or registered pin), carved into a private namespace
-        // per entry
-        let n = self.entries.len() as u64;
-        let (tag_bases, lease) = match self.pinned_tag_base {
-            _ if n == 0 => (Vec::new(), None),
+        // one lease (or registered pin): a private namespace per expanded
+        // candidate, plus one control span per tuned entry for the
+        // decision reduction
+        let expanded_total: usize = per_entry.iter().map(|(c, _)| c.len()).sum();
+        let tuned_count = per_entry.iter().filter(|(_, t)| *t).count();
+        let total_spans = (expanded_total + tuned_count) as u64;
+        let (span_bases, lease): (Vec<u64>, Option<Arc<TagLease>>) = match self.pinned_tag_base {
+            _ if total_spans == 0 => (Vec::new(), None),
             Some(base) => (
-                (0..n).map(|i| base + i * SPAN).collect(),
-                Some(Arc::new(TagSpace::global().pin(base, n))),
+                (0..total_spans).map(|i| base + i * SPAN).collect(),
+                Some(Arc::new(TagSpace::global().pin(base, total_spans))),
             ),
             None => {
-                let lease = TagSpace::global().lease_for(n, &format!("NeighborBatch[{n} entries]"));
+                let lease = TagSpace::global().lease_for(
+                    total_spans,
+                    &format!("NeighborBatch[{} entries]", self.entries.len()),
+                );
                 (
-                    (0..n as usize).map(|i| lease.entry_base(i)).collect(),
+                    (0..total_spans as usize)
+                        .map(|i| lease.entry_base(i))
+                        .collect(),
                     Some(Arc::new(lease)),
                 )
             }
         };
 
-        // one fused sweep derives all ranks × all entries' routings and
-        // lays out the per-rank shared staging arena
-        let entry_plans: Vec<BatchEntryPlan> = self
-            .entries
-            .iter()
-            .zip(&plans)
-            .zip(&tag_bases)
-            .map(|((e, (_, plan)), &tag_base)| BatchEntryPlan {
-                pattern: e.pattern,
-                plan,
-                tag_base,
-                shared_arena: !matches!(e.backend, Backend::Partitioned(_)),
-            })
-            .collect();
+        // one fused sweep derives all ranks × all expanded candidates'
+        // routings and lays out the per-rank shared staging arena
+        let mut entry_plans: Vec<BatchEntryPlan> = Vec::with_capacity(expanded_total);
+        let mut expanded: Vec<ExpandedEntry> = Vec::with_capacity(self.entries.len());
+        let mut next = 0usize;
+        let mut next_ctl = expanded_total; // ctl spans follow the expanded spans
+        for (e, (cands, is_tuned)) in self.entries.iter().zip(&per_entry) {
+            let start = next;
+            for (_, plan) in cands {
+                entry_plans.push(BatchEntryPlan {
+                    pattern: e.pattern,
+                    plan,
+                    tag_base: span_bases[next],
+                    shared_arena: !matches!(e.backend, Backend::Partitioned(_)),
+                });
+                next += 1;
+            }
+            let tuned = is_tuned.then(|| {
+                let mean_bytes = ((e.pattern.total_slots() * VALUE_BYTES) as u64)
+                    .checked_div(e.pattern.total_msgs() as u64)
+                    .unwrap_or(0);
+                let ctl_base = span_bases[next_ctl];
+                next_ctl += 1;
+                TunedResolution {
+                    candidates: cands
+                        .iter()
+                        .map(|(p, plan)| {
+                            let st = PlanStats::of(plan);
+                            (
+                                *p,
+                                (st.max_local_msgs + st.max_global_msgs) as f64,
+                                st.max_global_bytes as f64,
+                            )
+                        })
+                        .collect(),
+                    ctl_base,
+                    policy: policy.clone().expect("policy exists for tuned entries"),
+                    pattern_sig: e.pattern.pattern_signature(),
+                    topo_sig: topology_signature(self.topo),
+                    size_bucket: size_bucket(mean_bytes),
+                    consult: Mutex::new(Vec::new()),
+                }
+            });
+            expanded.push(ExpandedEntry { start, tuned });
+        }
         let routings = RankRouting::build_all_batch(&entry_plans);
+        drop(entry_plans); // release the borrows on per_entry's plans
+
+        let tag_bases: Vec<u64> = expanded.iter().map(|ex| span_bases[ex.start]).collect();
+        let plans: Vec<(Protocol, Plan)> = per_entry
+            .into_iter()
+            .map(|(mut cands, _)| cands.swap_remove(0))
+            .collect();
 
         ResolvedBatch {
             plans,
             tag_bases,
             routings,
             lease,
+            expanded,
         }
     }
 }

@@ -33,6 +33,24 @@ impl Protocol {
         Protocol::FullNeighbor,
     ];
 
+    /// Stable identifier: the variant name, used as the protocol key in
+    /// persistent profile-cache entries (the label has spaces and can
+    /// drift with figure wording; this cannot).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::StandardHypre => "StandardHypre",
+            Protocol::StandardNeighbor => "StandardNeighbor",
+            Protocol::PartialNeighbor => "PartialNeighbor",
+            Protocol::FullNeighbor => "FullNeighbor",
+        }
+    }
+
+    /// Inverse of [`Protocol::name`]; `None` for anything else (e.g. a
+    /// cache entry written by a build with different protocols).
+    pub fn from_name(name: &str) -> Option<Protocol> {
+        Protocol::ALL.into_iter().find(|p| p.name() == name)
+    }
+
     /// The label used in the paper's figures.
     pub fn label(&self) -> &'static str {
         match self {

@@ -38,30 +38,36 @@ pub fn choose_with(
 }
 
 /// Pick the protocol with the lowest modeled per-iteration time for
-/// `pattern`, among `candidates`. Returns the winner and its modeled time.
+/// `pattern`, among `candidates`, planning with `strategy`. Returns the
+/// winner and its modeled time. The strategy matters: aggregation plans
+/// differ under `Balanced` vs `LoadBalanced` assignment, so candidates
+/// must be evaluated under the strategy the caller will actually init
+/// with — evaluating one and running another compares the wrong plans.
 pub fn choose_among(
     candidates: &[Protocol],
     pattern: &CommPattern,
     topo: &Topology,
     model: &dyn CostModel,
+    strategy: AssignStrategy,
 ) -> (Protocol, f64) {
-    let (p, _, t) = choose_with(
-        candidates,
-        pattern,
-        topo,
-        model,
-        AssignStrategy::LoadBalanced,
-    );
+    let (p, _, t) = choose_with(candidates, pattern, topo, model, strategy);
     (p, t)
 }
 
-/// Pick among all four protocols.
+/// Pick among all four protocols (load-balanced assignment, the default
+/// strategy of the request builders).
 pub fn choose_protocol(
     pattern: &CommPattern,
     topo: &Topology,
     model: &dyn CostModel,
 ) -> (Protocol, f64) {
-    choose_among(&Protocol::ALL, pattern, topo, model)
+    choose_among(
+        &Protocol::ALL,
+        pattern,
+        topo,
+        model,
+        AssignStrategy::LoadBalanced,
+    )
 }
 
 /// Per-level best-of time used by the paper's scaling studies: the minimum
@@ -71,8 +77,47 @@ pub fn best_of_with_standard(
     pattern: &CommPattern,
     topo: &Topology,
     model: &dyn CostModel,
+    strategy: AssignStrategy,
 ) -> f64 {
-    choose_among(&[Protocol::StandardHypre, optimized], pattern, topo, model).1
+    choose_among(
+        &[Protocol::StandardHypre, optimized],
+        pattern,
+        topo,
+        model,
+        strategy,
+    )
+    .1
+}
+
+/// Model-ranked probe candidates for `Backend::Tuned`: every protocol in
+/// `candidates` whose modeled per-iteration time is within `factor` of
+/// the best, cheapest first, each with its (reusable) plan and modeled
+/// time. `factor` ≥ 1.0; 1.0 admits only the model's best (ties
+/// included), `INFINITY` admits everything. The returned order is the
+/// probe order *and* the tie-break order — an unmeasured or tied
+/// candidate falls back to the model's preference.
+pub fn candidates_within(
+    candidates: &[Protocol],
+    pattern: &CommPattern,
+    topo: &Topology,
+    model: &dyn CostModel,
+    strategy: AssignStrategy,
+    factor: f64,
+) -> Vec<(Protocol, Plan, f64)> {
+    assert!(!candidates.is_empty());
+    assert!(factor >= 1.0, "admission factor must be >= 1.0");
+    let mut ranked: Vec<(Protocol, Plan, f64)> = candidates
+        .iter()
+        .map(|&p| {
+            let plan = p.plan_with(pattern, topo, strategy);
+            let t = iteration_time(&plan, topo, model, p.is_wrapped()).total;
+            (p, plan, t)
+        })
+        .collect();
+    ranked.sort_by(|a, b| a.2.total_cmp(&b.2));
+    let cutoff = ranked[0].2 * factor;
+    ranked.retain(|&(_, _, t)| t <= cutoff);
+    ranked
 }
 
 #[cfg(test)]
@@ -132,7 +177,46 @@ mod tests {
             false,
         )
         .total;
-        let best = best_of_with_standard(Protocol::FullNeighbor, &pattern, &topo, &model);
+        let best = best_of_with_standard(
+            Protocol::FullNeighbor,
+            &pattern,
+            &topo,
+            &model,
+            AssignStrategy::LoadBalanced,
+        );
         assert!(best <= std_t + 1e-15);
+    }
+
+    #[test]
+    fn candidates_within_ranks_cheapest_first_and_filters() {
+        let topo = Topology::block_nodes(32, 4);
+        let pattern = CommPattern::all_to_all_regions(&topo);
+        let model = LocalityModel::lassen();
+        let all = candidates_within(
+            &Protocol::ALL,
+            &pattern,
+            &topo,
+            &model,
+            AssignStrategy::LoadBalanced,
+            f64::INFINITY,
+        );
+        assert_eq!(all.len(), 4, "INFINITY admits every candidate");
+        assert!(all.windows(2).all(|w| w[0].2 <= w[1].2), "cheapest first");
+        // the head of the ranking is exactly choose_protocol's winner
+        let (winner, t) = choose_protocol(&pattern, &topo, &model);
+        assert_eq!(all[0].0, winner);
+        assert!((all[0].2 - t).abs() < 1e-15);
+        // factor 1.0 admits only the best (ties impossible here: standard
+        // vs aggregated costs differ by construction on this pattern)
+        let best_only = candidates_within(
+            &Protocol::ALL,
+            &pattern,
+            &topo,
+            &model,
+            AssignStrategy::LoadBalanced,
+            1.0,
+        );
+        assert!(!best_only.is_empty() && best_only.len() < 4);
+        assert_eq!(best_only[0].0, winner);
     }
 }

@@ -48,6 +48,7 @@ pub mod pattern;
 pub mod routing;
 pub mod stats;
 pub mod tagspace;
+pub mod tune;
 
 pub use agg::{AssignStrategy, Plan, PlanMsg, SlotArena, SlotRef};
 pub use analytic::{init_time, iteration_time, IterationCost};
@@ -59,6 +60,8 @@ pub use neighbor::{Backend, NeighborAlltoallv, NeighborRequest};
 pub use pattern::CommPattern;
 pub use routing::RankRouting;
 pub use stats::PlanStats;
+pub use tune::topology_signature;
+pub use tuner::TunePolicy;
 
 #[cfg(test)]
 mod proptests;

@@ -59,6 +59,15 @@ pub enum Backend {
     /// plan under the cost model and run the cheapest.
     #[default]
     Auto,
+    /// Measured selection (DESIGN.md §11): probe the model's shortlist of
+    /// candidates for the first `probe_iters` iterations, timing each on
+    /// the actual fabric, then hot-swap to the measured winner — same
+    /// request object, byte-identical delivery throughout. A persistent
+    /// profile cache ([`tuner::ProfileCache`], `MPISIM_PROFILE_DIR`) lets
+    /// warmed processes skip the probe phase entirely. Tuning knobs come
+    /// from [`tuner::TunePolicy`] (the `MPISIM_TUNE_*` environment, or
+    /// the batch's `tune_policy` setter).
+    Tuned,
 }
 
 /// A started-or-startable persistent neighborhood collective of one rank —
@@ -125,11 +134,21 @@ pub trait NeighborRequest: Send {
     }
 
     /// The protocol whose plan this request executes (the selection result
-    /// under [`Backend::Auto`]).
+    /// under [`Backend::Auto`]; under [`Backend::Tuned`], the candidate
+    /// the *current* iteration runs — the measured winner once probing
+    /// ends).
     fn protocol(&self) -> Protocol;
 
     /// Whether inter-region messages run as partitioned sends.
     fn is_partitioned(&self) -> bool;
+
+    /// Whether the request is still measuring candidates — `true` only
+    /// for a [`Backend::Tuned`] request before its winner locks in (a
+    /// profile-cache hit skips the probe phase, so this reports `false`
+    /// from the first iteration).
+    fn is_probing(&self) -> bool {
+        false
+    }
 }
 
 /// Builder for one persistent neighborhood collective.
@@ -152,6 +171,7 @@ pub struct NeighborAlltoallv<'a> {
     backend: Backend,
     strategy: AssignStrategy,
     model: Option<&'a dyn CostModel>,
+    tune: Option<tuner::TunePolicy>,
     tag_base: Option<u64>,
     /// The single-entry batch realizing this builder, constructed on first
     /// use and shared by every rank's `init` (SPMD closures capture the
@@ -173,6 +193,7 @@ impl<'a> NeighborAlltoallv<'a> {
             backend: Backend::Auto,
             strategy: AssignStrategy::LoadBalanced,
             model: None,
+            tune: None,
             tag_base: None,
             batch: OnceLock::new(),
         }
@@ -205,6 +226,14 @@ impl<'a> NeighborAlltoallv<'a> {
         self
     }
 
+    /// Tuning policy for [`Backend::Tuned`] (default: the process-wide
+    /// `MPISIM_TUNE_*` / `MPISIM_PROFILE_DIR` environment).
+    pub fn tune_policy(mut self, policy: tuner::TunePolicy) -> Self {
+        self.tune = Some(policy);
+        self.batch = OnceLock::new();
+        self
+    }
+
     /// Tag namespace base, isolating concurrent collectives on the same
     /// communicator. Pinning replaces the leased base; the caller owns
     /// collision avoidance.
@@ -220,6 +249,9 @@ impl<'a> NeighborAlltoallv<'a> {
                 NeighborBatch::new(self.topo).entry_with(self.pattern, self.backend, self.strategy);
             if let Some(m) = self.model {
                 b = b.cost_model(m);
+            }
+            if let Some(t) = &self.tune {
+                b = b.tune_policy(t.clone());
             }
             if let Some(t) = self.tag_base {
                 b = b.tag_base(t);

@@ -180,6 +180,42 @@ impl CommPattern {
         Self::new(n, sends)
     }
 
+    /// Stable signature of the pattern's communication shape — the
+    /// profile-cache key foundation (DESIGN.md §11).
+    ///
+    /// Hashes the multiset of `(src, dst, len)` message triples plus the
+    /// rank count: two patterns moving the same message sizes between
+    /// the same pairs collide deliberately (their measured winner is the
+    /// same), while the *indices* sent do not participate (they change
+    /// staging positions, not protocol ranking). Triples combine by
+    /// wrapping addition, so the signature is independent of iteration
+    /// order by construction, and the mixing is explicit arithmetic —
+    /// not `DefaultHasher`, whose keys the standard library does not
+    /// promise to keep stable across releases. The value is pinned by a
+    /// literal in the unit tests: changing this function invalidates
+    /// every on-disk profile cache and must bump `tuner`'s
+    /// `PROFILE_VERSION`.
+    pub fn pattern_signature(&self) -> u64 {
+        // splitmix64 finalizer: full-avalanche mixing per triple
+        fn mix(mut x: u64) -> u64 {
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+            x ^= x >> 27;
+            x = x.wrapping_mul(0x94d049bb133111eb);
+            x ^ (x >> 31)
+        }
+        let mut acc = mix(0x9e3779b97f4a7c15 ^ self.n_ranks as u64);
+        for (src, list) in self.sends.iter().enumerate() {
+            for (dst, idx) in list {
+                let triple = mix(src as u64)
+                    .wrapping_add(mix((*dst as u64) ^ 0xd6e8feb86659fd93))
+                    .wrapping_add(mix((idx.len() as u64) ^ 0xa5a5a5a5a5a5a5a5));
+                acc = acc.wrapping_add(mix(triple));
+            }
+        }
+        acc
+    }
+
     /// The paper's Example 2.1 (Figure 2): 8 processes in two regions of
     /// four; each process in region 0 holds two values (circle = index
     /// `2·rank`, square = `2·rank + 1`) shaded with the destination
@@ -390,6 +426,47 @@ mod tests {
     fn multi_origin_index_rejected() {
         // ranks 0 and 1 both claim to own index 7
         CommPattern::new(3, vec![vec![(2, vec![7])], vec![(2, vec![7])], vec![]]);
+    }
+
+    #[test]
+    fn signature_is_order_independent() {
+        let p = CommPattern::example_2_1();
+        // same triples, hand-scrambled list order (bypassing new()'s
+        // normalization): the commutative combine must not care
+        let mut scrambled = p.clone();
+        for list in &mut scrambled.sends {
+            list.reverse();
+        }
+        assert_eq!(p.pattern_signature(), scrambled.pattern_signature());
+    }
+
+    #[test]
+    fn signature_pinned_across_process_runs() {
+        // Literal pin: this value is what lands in on-disk profile
+        // caches. If this test fails, the signature function changed —
+        // bump tuner::PROFILE_VERSION alongside the new literal.
+        assert_eq!(CommPattern::example_2_1().pattern_signature(), SIG_2_1);
+        // stable against re-derivation in the same process too
+        assert_eq!(CommPattern::example_2_1().pattern_signature(), SIG_2_1);
+    }
+    const SIG_2_1: u64 = 0x04ee3095b8f6f7aa;
+
+    #[test]
+    fn signature_separates_shapes() {
+        let base = CommPattern::example_2_1();
+        // one message's payload grows by one value → different signature
+        let mut bigger = base.clone();
+        bigger.sends[0][0].1.push(999);
+        assert_ne!(base.pattern_signature(), bigger.pattern_signature());
+        // same sends, more (idle) ranks → different signature
+        let mut wider = base.clone();
+        wider.n_ranks = 9;
+        wider.sends.push(Vec::new());
+        assert_ne!(base.pattern_signature(), wider.pattern_signature());
+        // indices don't matter, only counts: swap a value for another
+        let mut renumbered = base.clone();
+        renumbered.sends[0][0].1[0] = 12345;
+        assert_eq!(base.pattern_signature(), renumbered.pattern_signature());
     }
 
     #[test]

@@ -55,6 +55,14 @@ impl RankCtx {
         self.world.model.is_some()
     }
 
+    /// Which fabric this world moves bytes over (`"thread"`, `"shm"`, or
+    /// `"sock"`) — the same string stall forensics report. Protocol
+    /// autotuning keys its persistent profile cache by this, since a
+    /// winner measured on one fabric says nothing about another.
+    pub fn fabric(&self) -> &'static str {
+        self.world.fabric()
+    }
+
     // ---- internal helpers -------------------------------------------------
 
     /// Modeled transfer time of a message to world rank `dst`, or 0.

@@ -903,6 +903,13 @@ impl WorldState {
         self.transport.mode()
     }
 
+    /// Which fabric this world moves bytes over (`"thread"` / `"shm"` /
+    /// `"sock"`). Stable across the world's lifetime — cache keys built
+    /// from it stay valid for every epoch of a pooled world.
+    pub(crate) fn fabric(&self) -> &'static str {
+        self.transport.fabric()
+    }
+
     /// Readiness scan over a channel set starting at `start` (wrapping):
     /// index of the first channel holding a delivered, unconsumed message,
     /// else `None`. The rotated entry point transports poll with.

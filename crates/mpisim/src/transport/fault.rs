@@ -335,6 +335,10 @@ impl Transport for FaultTransport {
         self.inner.mode()
     }
 
+    fn fabric(&self) -> &'static str {
+        self.inner.fabric()
+    }
+
     fn deposit(&self, src_world: usize, dst_world: usize, env: Envelope) {
         let n = self.tick(src_world, FaultOp::Deposit);
         if self

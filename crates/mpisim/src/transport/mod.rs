@@ -96,6 +96,12 @@ pub(crate) trait Transport: Send + Sync {
     /// Payload packaging this transport requires from senders.
     fn mode(&self) -> PayloadMode;
 
+    /// Which fabric this is (`"thread"` / `"shm"` / `"sock"`), matching
+    /// the [`TransportForensics::fabric`] string. Exposed through
+    /// [`crate::RankCtx::fabric`] so protocol-selection caches can key
+    /// measured timings by the fabric that produced them.
+    fn fabric(&self) -> &'static str;
+
     /// Deposit an envelope in `dst_world`'s mailbox and wake any waiter.
     /// `src_world` identifies the producing rank — the shm fabric routes
     /// each (src, dst) pair over its own single-producer ring.

@@ -250,6 +250,10 @@ impl Transport for ShmTransport {
         PayloadMode::Bytes
     }
 
+    fn fabric(&self) -> &'static str {
+        "shm"
+    }
+
     fn deposit(&self, src_world: usize, dst_world: usize, env: Envelope) {
         let Payload::Bytes { data, type_name } = &env.payload else {
             unreachable!("shm deposit requires byte payloads (PayloadMode::Bytes)");

@@ -469,6 +469,10 @@ impl Transport for SockTransport {
         PayloadMode::Bytes
     }
 
+    fn fabric(&self) -> &'static str {
+        "sock"
+    }
+
     fn deposit(&self, src_world: usize, dst_world: usize, env: Envelope) {
         match &self.links[self.proc_of(dst_world)] {
             Some(link) => {

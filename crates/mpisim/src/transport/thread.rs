@@ -42,6 +42,10 @@ impl Transport for ThreadTransport {
         PayloadMode::Typed
     }
 
+    fn fabric(&self) -> &'static str {
+        "thread"
+    }
+
     fn deposit(&self, _src_world: usize, dst_world: usize, env: Envelope) {
         let mb = &self.mailboxes[dst_world];
         let mut q = mb.queue.lock();

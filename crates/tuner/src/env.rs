@@ -1,0 +1,190 @@
+//! Tuning policy + the `MPISIM_TUNE_*` / `MPISIM_PROFILE_DIR` knobs.
+//!
+//! Parsing follows the contract the stall/deadline knobs established:
+//! pure parse functions unit-testable without touching process
+//! environment, and env readers that abort naming the offending token
+//! and the accepted grammar instead of silently falling back.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// How `Backend::Tuned` spends its measurement phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunePolicy {
+    /// Total probe iterations before the winner locks in
+    /// (`MPISIM_TUNE_PROBE_ITERS`, default 12). Clamped up so every
+    /// candidate is measured at least once.
+    pub probe_iters: usize,
+    /// A candidate is probed only if the model ranks its cost within
+    /// this factor of the model's best (`MPISIM_TUNE_FACTOR`, default
+    /// 2.0, must be ≥ 1.0). 1.0 degenerates to trusting the model.
+    pub factor: f64,
+    /// Directory of the persistent profile cache
+    /// (`MPISIM_PROFILE_DIR`); `None` disables persistence.
+    pub profile_dir: Option<PathBuf>,
+}
+
+impl Default for TunePolicy {
+    fn default() -> Self {
+        Self {
+            probe_iters: 12,
+            factor: 2.0,
+            profile_dir: None,
+        }
+    }
+}
+
+impl TunePolicy {
+    /// The process-wide policy from the environment, read once. Tests
+    /// needing a specific policy should build one programmatically (the
+    /// builder methods below) — process environment is shared state.
+    pub fn from_env() -> Self {
+        static POLICY: OnceLock<TunePolicy> = OnceLock::new();
+        POLICY
+            .get_or_init(|| {
+                let mut p = TunePolicy::default();
+                if let Ok(v) = std::env::var("MPISIM_TUNE_PROBE_ITERS") {
+                    p.probe_iters = parse_probe_iters("MPISIM_TUNE_PROBE_ITERS", &v)
+                        .unwrap_or_else(|e| panic!("{e}"));
+                }
+                if let Ok(v) = std::env::var("MPISIM_TUNE_FACTOR") {
+                    p.factor =
+                        parse_factor("MPISIM_TUNE_FACTOR", &v).unwrap_or_else(|e| panic!("{e}"));
+                }
+                if let Ok(v) = std::env::var("MPISIM_PROFILE_DIR") {
+                    p.profile_dir = Some(
+                        parse_profile_dir("MPISIM_PROFILE_DIR", &v)
+                            .unwrap_or_else(|e| panic!("{e}")),
+                    );
+                }
+                p
+            })
+            .clone()
+    }
+
+    /// Builder: replace the probe-iteration budget.
+    pub fn with_probe_iters(mut self, iters: usize) -> Self {
+        self.probe_iters = iters;
+        self
+    }
+
+    /// Builder: replace the candidate-admission factor.
+    pub fn with_factor(mut self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "tune factor must be a finite value >= 1.0, got {factor}"
+        );
+        self.factor = factor;
+        self
+    }
+
+    /// Builder: attach a profile-cache directory.
+    pub fn with_profile_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.profile_dir = Some(dir.into());
+        self
+    }
+}
+
+/// Parse `MPISIM_TUNE_PROBE_ITERS`: a positive iteration count.
+pub fn parse_probe_iters(var: &str, value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        Ok(_) => Err(format!(
+            "{var}={value:?}: must be a positive number of probe iterations \
+             (0 would never measure anything; unset the variable to use the \
+             default, e.g. {var}=12)"
+        )),
+        Err(_) => Err(format!(
+            "{var}={value:?}: expected a positive number of probe iterations \
+             (e.g. {var}=12)"
+        )),
+    }
+}
+
+/// Parse `MPISIM_TUNE_FACTOR`: a finite float ≥ 1.0.
+pub fn parse_factor(var: &str, value: &str) -> Result<f64, String> {
+    match value.trim().parse::<f64>() {
+        Ok(f) if f.is_finite() && f >= 1.0 => Ok(f),
+        Ok(_) => Err(format!(
+            "{var}={value:?}: must be a finite factor >= 1.0 (candidates \
+             within this multiple of the model's best cost are probed, \
+             e.g. {var}=2.0)"
+        )),
+        Err(_) => Err(format!(
+            "{var}={value:?}: expected a decimal factor >= 1.0 (e.g. {var}=2.0)"
+        )),
+    }
+}
+
+/// Parse `MPISIM_PROFILE_DIR`: a non-empty directory path. Existence is
+/// not checked here — the cache creates the directory on first write and
+/// degrades to "no cached answer" when it cannot.
+pub fn parse_profile_dir(var: &str, value: &str) -> Result<PathBuf, String> {
+    let trimmed = value.trim();
+    if trimmed.is_empty() {
+        return Err(format!(
+            "{var}={value:?}: expected a directory path for the persistent \
+             profile cache (e.g. {var}=/tmp/mpisim-profiles); unset the \
+             variable to disable persistence"
+        ));
+    }
+    Ok(PathBuf::from(trimmed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_iters_grammar() {
+        assert_eq!(parse_probe_iters("V", "8"), Ok(8));
+        assert_eq!(parse_probe_iters("V", " 3 "), Ok(3));
+        let zero = parse_probe_iters("V", "0").unwrap_err();
+        assert!(zero.contains("V=\"0\""), "{zero}");
+        assert!(zero.contains("V=12"), "{zero}");
+        let junk = parse_probe_iters("V", "many").unwrap_err();
+        assert!(junk.contains("V=\"many\""), "{junk}");
+    }
+
+    #[test]
+    fn factor_grammar() {
+        assert_eq!(parse_factor("V", "1.5"), Ok(1.5));
+        assert_eq!(parse_factor("V", "1"), Ok(1.0));
+        for bad in ["0.5", "-2", "nan", "inf", "fast"] {
+            let err = parse_factor("V", bad).unwrap_err();
+            assert!(err.contains(&format!("V={bad:?}")), "{err}");
+            assert!(err.contains(">= 1.0"), "{err}");
+        }
+    }
+
+    #[test]
+    fn profile_dir_grammar() {
+        assert_eq!(
+            parse_profile_dir("V", "/tmp/x"),
+            Ok(PathBuf::from("/tmp/x"))
+        );
+        let err = parse_profile_dir("V", "   ").unwrap_err();
+        assert!(err.contains("directory path"), "{err}");
+        assert!(err.contains("V=\"   \""), "{err}");
+    }
+
+    #[test]
+    fn builder_clamps_nothing_but_validates_factor() {
+        let p = TunePolicy::default()
+            .with_probe_iters(4)
+            .with_factor(3.0)
+            .with_profile_dir("/tmp/cache");
+        assert_eq!(p.probe_iters, 4);
+        assert_eq!(p.factor, 3.0);
+        assert_eq!(
+            p.profile_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/cache"))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1.0")]
+    fn builder_rejects_sub_unit_factor() {
+        let _ = TunePolicy::default().with_factor(0.5);
+    }
+}

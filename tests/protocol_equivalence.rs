@@ -1,7 +1,9 @@
 //! Cross-protocol equivalence: for random communication patterns on block
 //! topologies, every backend of the unified `NeighborAlltoallv` API — the
-//! four paper protocols, the §5 partitioned combination, and model-driven
-//! auto-selection — must deliver byte-identical ghost values to a direct
+//! four paper protocols, the §5 partitioned combination, model-driven
+//! auto-selection, and measured tuned selection (exercised mid-probe:
+//! candidates hot-swap under the caller) — must deliver byte-identical
+//! ghost values to a direct
 //! exchange computed straight from the pattern. Each backend runs in a
 //! one-shot spawned world, inside a shared warm [`WorldPool`], over
 //! the cross-process shared-memory fabric ([`World::run_shm`] — the same
@@ -167,8 +169,11 @@ fn run_backend_sock(
     })
 }
 
-/// Every backend, for the batch property's per-entry draws.
-const ALL_BACKENDS: [Backend; 7] = [
+/// Every backend, for the batch property's per-entry draws. `Tuned`
+/// rides with the default probe budget (12 ≫ the 2 iterations driven
+/// here), so these cases pin the **mid-probe** behavior: candidates
+/// hot-swap under the caller's feet and every byte must still match.
+const ALL_BACKENDS: [Backend; 8] = [
     Backend::Protocol(Protocol::StandardHypre),
     Backend::Protocol(Protocol::StandardNeighbor),
     Backend::Protocol(Protocol::PartialNeighbor),
@@ -176,6 +181,7 @@ const ALL_BACKENDS: [Backend; 7] = [
     Backend::Partitioned(Protocol::PartialNeighbor),
     Backend::Partitioned(Protocol::FullNeighbor),
     Backend::Auto,
+    Backend::Tuned,
 ];
 
 /// Which session lifecycle drives a batch's iterations.
@@ -248,6 +254,7 @@ proptest! {
         backends.push(Backend::Partitioned(Protocol::PartialNeighbor));
         backends.push(Backend::Partitioned(Protocol::FullNeighbor));
         backends.push(Backend::Auto);
+        backends.push(Backend::Tuned);
 
         let expected: Vec<Vec<Vec<u64>>> = (0..2u64)
             .map(|it| {
@@ -312,6 +319,7 @@ proptest! {
             (40u64, Backend::Protocol(Protocol::StandardHypre)),
             (41, Backend::Partitioned(Protocol::FullNeighbor)),
             (42, Backend::Auto),
+            (43, Backend::Tuned),
         ] {
             let coll = NeighborAlltoallv::new(&pattern, &topo).backend(backend);
             let faulted = World::with_faults(8, perturb_plan(seed), |ctx| {
