@@ -1,6 +1,6 @@
 # Developer entry points. `make tier1` mirrors the CI verify exactly.
 
-.PHONY: tier1 build test test-all test-chaos test-sock test-tuner fmt clippy lint bench bench-steady bench-smoke bench-baseline bench-check bench-transport
+.PHONY: tier1 build test test-all test-chaos test-sock test-tuner test-serve fmt clippy lint bench bench-steady bench-smoke bench-baseline bench-check bench-transport bench-service
 
 tier1: ## the repository's tier-1 verify
 	cargo build --release && cargo test -q
@@ -34,6 +34,15 @@ test-sock:
 test-tuner:
 	cargo test --test tuner -q
 
+# the solve service's acceptance suite (DESIGN.md §12): concurrent
+# multi-tenant epochs byte-identical to serialized runs and to the
+# reference replay on all three fabrics, a warm pool surviving
+# successive rounds, a seeded kill failing exactly one tenant (with
+# rank attribution) while the others stay byte-identical to solo runs,
+# and deadline dumps naming every job they take down
+test-serve:
+	cargo test --test serve -q
+
 fmt:
 	cargo fmt --all
 
@@ -59,6 +68,14 @@ bench-steady:
 bench-transport:
 	BENCH_JSON=/tmp/BENCH_transport.json cargo bench -p bench_suite --bench transport
 	scripts/bench_compare /tmp/BENCH_transport.json
+
+# the multi-tenant throughput pair: twenty-four jobs batched into one
+# epoch vs the same jobs run epoch-per-job on the same warm pool, then
+# the jobs/sec gate (scripts/bench_compare --service: concurrent must
+# clear 1.2x sequential)
+bench-service:
+	BENCH_JSON=/tmp/BENCH_service.json cargo bench -p bench_suite --bench service
+	scripts/bench_compare /tmp/BENCH_service.json
 
 # compile and execute every bench binary once (criterion --test smoke
 # mode) — including the pooled steady-state group, the

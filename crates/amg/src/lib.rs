@@ -16,6 +16,7 @@ pub mod hierarchy;
 pub mod interp;
 pub mod pcg;
 pub mod smoother;
+pub mod solve_job;
 pub mod strength;
 
 pub use pcg::{pcg, PcgResult};
@@ -28,4 +29,5 @@ pub use cycle::{solve, SolveOptions, SolveResult};
 pub use distributed::{DistLevel, DistributedHierarchy};
 pub use hierarchy::{Hierarchy, HierarchyOptions, Level};
 pub use interp::{classical_interpolation, direct_interpolation};
+pub use solve_job::{JacobiJob, JacobiRankState};
 pub use strength::strength_matrix;

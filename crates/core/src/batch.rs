@@ -399,14 +399,21 @@ impl<'a> NeighborBatch<'a> {
                                                 fabric: fabric.to_string(),
                                             };
                                             // unreadable/corrupt/missing
-                                            // cache, or a winner outside
+                                            // cache, a winner outside
                                             // today's shortlist (admission
-                                            // factor changed) → probe
-                                            ProfileCache::new(dir).lookup(&key).and_then(|e| {
-                                                tr.candidates
-                                                    .iter()
-                                                    .position(|(p, _, _)| p.name() == e.winner)
-                                            })
+                                            // factor changed), or an entry
+                                            // measured under an older
+                                            // model-refit generation
+                                            // (policy.fit_version moved on)
+                                            // → probe
+                                            ProfileCache::new(dir)
+                                                .lookup(&key)
+                                                .filter(|e| e.fit_ver >= tr.policy.fit_version)
+                                                .and_then(|e| {
+                                                    tr.candidates
+                                                        .iter()
+                                                        .position(|(p, _, _)| p.name() == e.winner)
+                                                })
                                         });
                                         consults.push((fabric.to_string(), w));
                                         w
@@ -417,7 +424,7 @@ impl<'a> NeighborBatch<'a> {
                                 // warm start: the cache already knows the
                                 // winner — register only its channels and
                                 // skip the probe phase entirely
-                                Some(w) => Box::new(PlainRequest {
+                                Some(w) if tr.policy.recheck_iters == 0 => Box::new(PlainRequest {
                                     inner: PersistentNeighbor::from_routing_in(
                                         routings[ex.start + w]
                                             .take()
@@ -432,7 +439,14 @@ impl<'a> NeighborBatch<'a> {
                                     _lease: resolved.lease.clone(),
                                 })
                                     as Box<dyn NeighborRequest>,
-                                None => {
+                                // no usable cached winner → full probe; a
+                                // cached winner under a positive spot-check
+                                // budget (`recheck_iters`) → warm-start the
+                                // tuned request: run the winner for the
+                                // warm-up window, then re-probe and
+                                // re-publish, so a stale winner is evicted
+                                // instead of trusted forever
+                                warm => {
                                     let candidates: Vec<TunedCandidate> = tr
                                         .candidates
                                         .iter()
@@ -465,15 +479,20 @@ impl<'a> NeighborBatch<'a> {
                                                 size_bucket: tr.size_bucket,
                                                 fabric: fabric.to_string(),
                                             },
+                                            fit_ver: tr.policy.fit_version,
                                         });
-                                    Box::new(TunedNeighbor::new(
+                                    let tuned = TunedNeighbor::new(
                                         candidates,
                                         tr.policy.probe_iters,
                                         tr.ctl_base,
                                         comm.clone(),
                                         publish,
                                         resolved.lease.clone(),
-                                    ))
+                                    );
+                                    Box::new(match warm {
+                                        Some(w) => tuned.warm_start(w, tr.policy.recheck_iters),
+                                        None => tuned,
+                                    })
                                 }
                             }
                         }
@@ -765,6 +784,18 @@ impl BatchRequest {
             }
         }
         self.ready.pop_front()
+    }
+
+    /// Append every in-flight entry's pending channels to `out`: the
+    /// union wake set [`BatchRequest::wait_any`] parks on, exposed so an
+    /// external executor (`mpi_advance::future::ProgressDriver`) can park
+    /// once across several sessions and wake the right one.
+    pub fn pending_chans(&self, out: &mut Vec<ChanId>) {
+        for (e, req) in self.requests.iter().enumerate() {
+            if self.in_flight[e] {
+                req.pending_chans(out);
+            }
+        }
     }
 
     /// `MPI_Waitany`: block until **some** in-flight entry completes and

@@ -1,0 +1,595 @@
+//! Hand-rolled futures over the fabric: `Future`-shaped neighbor
+//! exchanges and the per-rank progress driver that parks them.
+//!
+//! PR 5 made every request a resumable poll (`NeighborRequest::test`) and
+//! exposed its wake set (`pending_chans`), so a future-returning lifecycle
+//! is a thin wrapper: **poll = `test`**, **waker = the per-rank
+//! `WaitSet`**. This module supplies that wrapper with no executor crate
+//! (no tokio — the vendored-deps constraint):
+//!
+//! * [`NeighborFuture`] / [`BatchFuture`] / [`EntryFuture`] implement
+//!   [`std::future::Future`] over a request or a whole batch session;
+//! * [`ProgressDriver`] is a single-threaded per-rank executor: it polls
+//!   runnable tasks, collects each pending task's watched channels, parks
+//!   **once** on the union via [`RankCtx::wait_any`] (whose generation
+//!   check closes the scan-then-park race, so a delivery between a
+//!   future's poll and the park is never lost), and wakes **exactly the
+//!   tasks whose watched channels delivered**;
+//! * [`block_on`] drives one future to completion on the calling rank;
+//! * [`CatchPanic`] contains a panic inside one task's poll so a
+//!   multi-tenant scheduler can fail that task alone (see
+//!   `crates/service`).
+//!
+//! Rank context plumbing: `Future::poll` only receives a
+//! [`std::task::Context`], but every transport verb needs `&mut RankCtx`.
+//! The driver therefore installs the rank context (and the polled task's
+//! watch list) in thread-local storage for the duration of each poll;
+//! futures and job bodies reach it through [`with_ctx`]. The slot is
+//! *taken* while borrowed, so a reentrant `with_ctx` — which would alias
+//! `&mut RankCtx` — fails loudly instead of compiling to UB.
+
+use std::cell::Cell;
+use std::future::Future;
+use std::panic::AssertUnwindSafe;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use mpisim::{ChanId, RankCtx};
+
+use crate::batch::{BatchRequest, EntryId};
+use crate::neighbor::NeighborRequest;
+
+// ---------------------------------------------------------------------------
+// The per-poll thread-local scope
+// ---------------------------------------------------------------------------
+
+/// Raw pointers valid exactly for the duration of one task poll, installed
+/// by [`ProgressDriver`] on the polling thread.
+struct ActiveScope {
+    ctx: *mut RankCtx,
+    watches: *mut Vec<ChanId>,
+}
+
+thread_local! {
+    static ACTIVE: Cell<Option<ActiveScope>> = const { Cell::new(None) };
+}
+
+/// Restores the taken scope when the borrow ends (including by panic).
+struct ScopeRestore(Option<ActiveScope>);
+
+impl Drop for ScopeRestore {
+    fn drop(&mut self) {
+        ACTIVE.with(|s| s.set(self.0.take()));
+    }
+}
+
+fn take_scope(who: &str) -> ScopeRestore {
+    let scope = ACTIVE.with(|s| s.take()).unwrap_or_else(|| {
+        panic!(
+            "{who} called outside a progress-driver poll (drive the future \
+             with mpi_advance::future::block_on or a ProgressDriver), or \
+             reentrantly while the rank context is already borrowed"
+        )
+    });
+    ScopeRestore(Some(scope))
+}
+
+/// Borrow the driving rank's [`RankCtx`] from inside a polled future.
+///
+/// Only callable while a [`ProgressDriver`] (or [`block_on`]) is polling
+/// the current task; panics otherwise, and panics on reentrant use (the
+/// context is a unique borrow).
+pub fn with_ctx<R>(f: impl FnOnce(&mut RankCtx) -> R) -> R {
+    let guard = take_scope("with_ctx");
+    // Safety: the driver installed this pointer for the duration of the
+    // poll on this same thread, and the take-while-borrowed protocol above
+    // guarantees no second mutable borrow can be created.
+    let ctx = unsafe { &mut *guard.0.as_ref().unwrap().ctx };
+    f(ctx)
+}
+
+/// Append channels to the current task's watch list: the driver will wake
+/// this task when any of them delivers. Leaf futures call this before
+/// returning `Poll::Pending`.
+pub fn watch_chans(f: impl FnOnce(&mut Vec<ChanId>)) {
+    let guard = take_scope("watch_chans");
+    // Safety: same protocol as `with_ctx`.
+    let watches = unsafe { &mut *guard.0.as_ref().unwrap().watches };
+    f(watches)
+}
+
+// ---------------------------------------------------------------------------
+// Leaf futures
+// ---------------------------------------------------------------------------
+
+/// The current iteration of one started [`NeighborRequest`], as a future.
+/// Resolves when the iteration completes; the ghost values are then in
+/// `output`. Poll is exactly `NeighborRequest::test`; while pending, the
+/// request's `pending_chans` are registered with the driving executor. A
+/// poll that finds no pending channels self-wakes (phase turnover needs
+/// another `test`, not another delivery — same as the `wait` loop).
+pub struct NeighborFuture<'a> {
+    req: &'a mut dyn NeighborRequest,
+    output: &'a mut [f64],
+}
+
+impl<'a> NeighborFuture<'a> {
+    /// Wrap one started request. `output` must be aligned with the
+    /// request's `output_index()`.
+    pub fn new(req: &'a mut dyn NeighborRequest, output: &'a mut [f64]) -> Self {
+        Self { req, output }
+    }
+}
+
+impl Future for NeighborFuture<'_> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        if with_ctx(|ctx| this.req.test(ctx, this.output)) {
+            return Poll::Ready(());
+        }
+        let mut any = false;
+        watch_chans(|out| {
+            let before = out.len();
+            this.req.pending_chans(out);
+            any = out.len() > before;
+        });
+        if !any {
+            cx.waker().wake_by_ref();
+        }
+        Poll::Pending
+    }
+}
+
+/// Start one iteration of `req` with `input` and resolve when it
+/// completes (ghost values in `output`) — `start_wait` as a future.
+pub async fn exchange(req: &mut dyn NeighborRequest, input: &[f64], output: &mut [f64]) {
+    with_ctx(|ctx| req.start(ctx, input));
+    NeighborFuture::new(req, output).await;
+}
+
+/// Every in-flight entry of a [`BatchRequest`] session, as one future.
+/// Resolves when the session's in-flight count reaches zero (each entry's
+/// ghost values land in `outputs[e]` as it retires). Poll drains via
+/// `test_any`, so the whole session makes maximal progress per wake.
+pub struct BatchFuture<'a> {
+    session: &'a mut BatchRequest,
+    outputs: &'a mut [Vec<f64>],
+}
+
+impl<'a> BatchFuture<'a> {
+    pub fn new(session: &'a mut BatchRequest, outputs: &'a mut [Vec<f64>]) -> Self {
+        Self { session, outputs }
+    }
+}
+
+impl Future for BatchFuture<'_> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        loop {
+            if this.session.in_flight() == 0 {
+                return Poll::Ready(());
+            }
+            if with_ctx(|ctx| this.session.test_any(ctx, this.outputs)).is_none() {
+                break;
+            }
+        }
+        watch_chans(|out| this.session.pending_chans(out));
+        Poll::Pending
+    }
+}
+
+/// The **next** entry of a [`BatchRequest`] session to complete, as a
+/// future: `wait_any` without the blocking — resolves to the retired
+/// entry's id (its ghost values are in `outputs[e]`), letting a task
+/// interleave per-entry compute with other tenants' traffic.
+pub struct EntryFuture<'a> {
+    session: &'a mut BatchRequest,
+    outputs: &'a mut [Vec<f64>],
+}
+
+impl<'a> EntryFuture<'a> {
+    /// The session must have at least one entry in flight (there must be
+    /// something to wait for), checked at poll time.
+    pub fn new(session: &'a mut BatchRequest, outputs: &'a mut [Vec<f64>]) -> Self {
+        Self { session, outputs }
+    }
+}
+
+impl Future for EntryFuture<'_> {
+    type Output = EntryId;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<EntryId> {
+        let this = self.get_mut();
+        assert!(
+            this.session.in_flight() > 0,
+            "EntryFuture polled with no entry in flight"
+        );
+        if let Some(e) = with_ctx(|ctx| this.session.test_any(ctx, this.outputs)) {
+            return Poll::Ready(e);
+        }
+        watch_chans(|out| this.session.pending_chans(out));
+        Poll::Pending
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Panic containment
+// ---------------------------------------------------------------------------
+
+/// Contain a panic inside the wrapped future's poll, resolving to
+/// `Err(message)` instead of unwinding through the driver. This is the
+/// tenant-isolation seam: a scheduler wraps each job's task so one
+/// tenant's seeded `kill=` fault (or plain bug) fails that task alone. A
+/// task that has resolved to `Err` is never polled again, so the broken
+/// inner future is never observed post-panic.
+pub struct CatchPanic<F>(F);
+
+impl<F> CatchPanic<F> {
+    pub fn new(fut: F) -> Self {
+        Self(fut)
+    }
+}
+
+impl<F: Future> Future for CatchPanic<F> {
+    type Output = Result<F::Output, String>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // Safety: structural pin projection to the only field; we never
+        // move out of it.
+        let inner = unsafe { self.map_unchecked_mut(|s| &mut s.0) };
+        match std::panic::catch_unwind(AssertUnwindSafe(|| inner.poll(cx))) {
+            Ok(p) => p.map(Ok),
+            Err(payload) => Poll::Ready(Err(panic_text(payload))),
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The per-rank progress driver
+// ---------------------------------------------------------------------------
+
+struct FlagWaker(AtomicBool);
+
+impl Wake for FlagWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+}
+
+struct Task<'env, T> {
+    /// `None` once the task resolved (or was cancelled).
+    fut: Option<Pin<Box<dyn Future<Output = T> + 'env>>>,
+    flag: Arc<FlagWaker>,
+    waker: Waker,
+    /// Channels whose delivery should wake this task, registered during
+    /// its latest pending poll.
+    watches: Vec<ChanId>,
+    result: Option<T>,
+}
+
+/// Single-threaded executor for one rank: the **progress driver**.
+///
+/// Tasks are spawned as boxed futures; [`ProgressDriver::run`] loops
+/// `poll_runnable` / `park` until every task resolves. The park point is
+/// one [`RankCtx::wait_any`] over the union of all pending tasks' watched
+/// channels (plus any caller-supplied extras, e.g. a scheduler's control
+/// channels), after which exactly the tasks whose watched channels hold a
+/// delivered message are marked runnable. One park for N tenants: the
+/// overlap the service subsystem is built on.
+pub struct ProgressDriver<'env, T> {
+    tasks: Vec<Task<'env, T>>,
+    union_scratch: Vec<ChanId>,
+}
+
+impl<'env, T> Default for ProgressDriver<'env, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'env, T> ProgressDriver<'env, T> {
+    pub fn new() -> Self {
+        Self {
+            tasks: Vec::new(),
+            union_scratch: Vec::new(),
+        }
+    }
+
+    /// Add a task; it will be polled at the next `poll_runnable`. Returns
+    /// its id (dense, in spawn order).
+    pub fn spawn(&mut self, fut: impl Future<Output = T> + 'env) -> usize {
+        let flag = Arc::new(FlagWaker(AtomicBool::new(true)));
+        let waker = Waker::from(Arc::clone(&flag));
+        self.tasks.push(Task {
+            fut: Some(Box::pin(fut)),
+            flag,
+            waker,
+            watches: Vec::new(),
+            result: None,
+        });
+        self.tasks.len() - 1
+    }
+
+    /// Number of unresolved tasks.
+    pub fn pending(&self) -> usize {
+        self.tasks.iter().filter(|t| t.fut.is_some()).count()
+    }
+
+    /// Is task `id` still unresolved?
+    pub fn is_pending(&self, id: usize) -> bool {
+        self.tasks[id].fut.is_some()
+    }
+
+    /// Drop task `id` without resolving it (no result will appear). Its
+    /// watches are forgotten, so it can no longer hold the park open.
+    pub fn cancel(&mut self, id: usize) {
+        let t = &mut self.tasks[id];
+        t.fut = None;
+        t.watches.clear();
+    }
+
+    /// Take task `id`'s result, if it resolved.
+    pub fn take_result(&mut self, id: usize) -> Option<T> {
+        self.tasks[id].result.take()
+    }
+
+    /// Poll every runnable (woken) task once; tasks woken *during* the
+    /// pass (self-wakes) are polled again before it returns. Appends the
+    /// ids of tasks that resolved, in completion order, to `completed`.
+    pub fn poll_runnable(&mut self, ctx: &mut RankCtx, completed: &mut Vec<usize>) {
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for id in 0..self.tasks.len() {
+                let t = &mut self.tasks[id];
+                if t.fut.is_none() || !t.flag.0.swap(false, Ordering::SeqCst) {
+                    continue;
+                }
+                progressed = true;
+                t.watches.clear();
+                let scope = ActiveScope {
+                    ctx: ctx as *mut _,
+                    watches: &mut t.watches as *mut _,
+                };
+                ACTIVE.with(|s| s.set(Some(scope)));
+                // Clear the slot however the poll exits — a panic must not
+                // leave dangling pointers installed.
+                let _clear = ScopeClear;
+                let mut cx = Context::from_waker(&t.waker);
+                if let Poll::Ready(v) = t.fut.as_mut().unwrap().as_mut().poll(&mut cx) {
+                    t.fut = None;
+                    t.watches.clear();
+                    t.result = Some(v);
+                    completed.push(id);
+                }
+            }
+        }
+    }
+
+    /// Would `park` return immediately because some task is already woken?
+    pub fn has_runnable(&self) -> bool {
+        self.tasks
+            .iter()
+            .any(|t| t.fut.is_some() && t.flag.0.load(Ordering::SeqCst))
+    }
+
+    /// Park the rank until some watched channel (of any pending task, or
+    /// of `extra`) delivers, then mark exactly the tasks whose watched
+    /// channels hold a delivered message as runnable. Returns immediately
+    /// if a task is already woken. Panics — loudly, before blocking
+    /// forever — if nothing is woken and nothing is watched.
+    pub fn park(&mut self, ctx: &mut RankCtx, extra: &[ChanId]) {
+        if self.has_runnable() {
+            return;
+        }
+        let mut union = std::mem::take(&mut self.union_scratch);
+        union.clear();
+        union.extend(extra.iter().cloned());
+        for t in &self.tasks {
+            if t.fut.is_some() {
+                union.extend(t.watches.iter().cloned());
+            }
+        }
+        assert!(
+            !union.is_empty(),
+            "progress driver stalled: {} pending task(s), none runnable and \
+             no watched channels — a future returned Pending without \
+             registering its wake set",
+            self.pending()
+        );
+        ctx.wait_any(&union);
+        self.union_scratch = union;
+        self.wake_delivered();
+    }
+
+    /// Mark every pending task with a delivered watched channel runnable.
+    pub fn wake_delivered(&mut self) {
+        for t in &mut self.tasks {
+            if t.fut.is_some() && t.watches.iter().any(|c| c.ready()) {
+                t.flag.0.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Drive every task to resolution.
+    pub fn run(&mut self, ctx: &mut RankCtx) {
+        let mut completed = Vec::new();
+        while self.pending() > 0 {
+            self.poll_runnable(ctx, &mut completed);
+            if self.pending() > 0 {
+                self.park(ctx, &[]);
+            }
+        }
+    }
+}
+
+/// Clears the thread-local scope on drop (normal return or panic).
+struct ScopeClear;
+
+impl Drop for ScopeClear {
+    fn drop(&mut self) {
+        ACTIVE.with(|s| s.set(None));
+    }
+}
+
+/// Drive one future to completion on the calling rank.
+pub fn block_on<T>(ctx: &mut RankCtx, fut: impl Future<Output = T>) -> T {
+    let mut driver = ProgressDriver::new();
+    let id = driver.spawn(fut);
+    driver.run(ctx);
+    driver
+        .take_result(id)
+        .expect("block_on: task resolved without a result")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collective::Protocol;
+    use crate::neighbor::NeighborAlltoallv;
+    use crate::pattern::CommPattern;
+    use locality::Topology;
+    use mpisim::World;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    /// Each rank owns value id `r` and sends it to rank `r + 1` (mod n).
+    fn ring_pattern(n: usize) -> CommPattern {
+        CommPattern::new(n, (0..n).map(|r| vec![((r + 1) % n, vec![r])]).collect())
+    }
+
+    /// Counts how many times the inner future is polled.
+    struct CountPolls<F> {
+        inner: F,
+        polls: Arc<AtomicUsize>,
+    }
+
+    impl<F: Future + Unpin> Future for CountPolls<F> {
+        type Output = F::Output;
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<F::Output> {
+            let this = self.get_mut();
+            this.polls.fetch_add(1, Ordering::SeqCst);
+            Pin::new(&mut this.inner).poll(cx)
+        }
+    }
+
+    /// The waker contract: a future polled before its traffic lands
+    /// registers its wake set and pends; the delivery wakes it exactly
+    /// once (one pending poll + one completing poll, no spurious wakes).
+    #[test]
+    fn pending_poll_registers_and_delivery_wakes_exactly_once() {
+        let topo = Topology::block_nodes(2, 1);
+        let pat = ring_pattern(2);
+        // one shared builder: resolution (and the tag lease) happens once,
+        // so every rank registers matching tags
+        let coll = NeighborAlltoallv::new(&pat, &topo).protocol(Protocol::StandardNeighbor);
+        let polls = World::pool(2).run(|ctx| {
+            let comm = ctx.comm_world();
+            let mut req = coll.init(ctx, &comm);
+            let input = [ctx.rank() as f64 * 10.0];
+            let mut output = [f64::NAN];
+            if ctx.rank() == 0 {
+                // hold rank 0 back so rank 1's first poll strictly
+                // precedes the delivery it is waiting for
+                std::thread::sleep(Duration::from_millis(200));
+                req.start(ctx, &input);
+                req.wait(ctx, &mut output);
+                assert_eq!(output, [10.0]);
+                return 0;
+            }
+            req.start(ctx, &input);
+            let polls = Arc::new(AtomicUsize::new(0));
+            let mut driver: ProgressDriver<'_, ()> = ProgressDriver::new();
+            let id = driver.spawn(CountPolls {
+                inner: NeighborFuture::new(&mut *req, &mut output),
+                polls: Arc::clone(&polls),
+            });
+            let mut done = Vec::new();
+            driver.poll_runnable(ctx, &mut done);
+            assert!(done.is_empty(), "nothing delivered yet: must pend");
+            assert_eq!(polls.load(Ordering::SeqCst), 1);
+            assert!(
+                !driver.has_runnable(),
+                "a pending poll must not leave the task woken"
+            );
+            driver.park(ctx, &[]);
+            driver.poll_runnable(ctx, &mut done);
+            assert_eq!(done, vec![id], "the delivery must wake the task");
+            assert!(driver.take_result(id).is_some());
+            drop(driver);
+            assert_eq!(output, [0.0]);
+            polls.load(Ordering::SeqCst)
+        })[1];
+        assert_eq!(
+            polls, 2,
+            "exactly one wake per delivery: a pending poll and the \
+             completing poll, nothing spurious"
+        );
+    }
+
+    /// No lost wakeups under racing deliveries: many back-to-back
+    /// iterations driven through the futures layer terminate with the
+    /// right values even when the peer's deposit lands between a poll
+    /// and the park (the `wait_any` generation check closes that race).
+    #[test]
+    fn no_lost_wakeup_over_many_racing_iterations() {
+        const N: usize = 4;
+        const ITERS: usize = 200;
+        let topo = Topology::block_nodes(N, 2);
+        let pat = ring_pattern(N);
+        let coll = NeighborAlltoallv::new(&pat, &topo).protocol(Protocol::StandardNeighbor);
+        World::pool(N).run(|ctx| {
+            let comm = ctx.comm_world();
+            let mut req = coll.init(ctx, &comm);
+            let me = ctx.rank();
+            let left = (me + N - 1) % N;
+            let mut output = [f64::NAN];
+            for i in 0..ITERS {
+                let input = [(me * ITERS + i) as f64];
+                block_on(ctx, exchange(&mut *req, &input, &mut output));
+                assert_eq!(output, [(left * ITERS + i) as f64]);
+            }
+        });
+    }
+
+    /// A panic inside one task resolves that task alone; sibling tasks
+    /// on the same driver still run to completion.
+    #[test]
+    fn catch_panic_contains_one_task() {
+        World::pool(1).run(|ctx| {
+            let mut driver: ProgressDriver<'_, Result<u64, String>> = ProgressDriver::new();
+            let bad = driver.spawn(CatchPanic::new(async { panic!("tenant boom") }));
+            let good = driver.spawn(CatchPanic::new(async { 42 }));
+            driver.run(ctx);
+            let err = driver.take_result(bad).unwrap().unwrap_err();
+            assert!(err.contains("tenant boom"), "{err}");
+            assert_eq!(driver.take_result(good).unwrap(), Ok(42));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "outside a progress-driver poll")]
+    fn with_ctx_outside_a_poll_fails_loudly() {
+        with_ctx(|_| ());
+    }
+}

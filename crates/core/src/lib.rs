@@ -43,6 +43,7 @@ pub mod collective;
 pub mod exec;
 mod exec_common;
 pub mod exec_partitioned;
+pub mod future;
 pub mod neighbor;
 pub mod pattern;
 pub mod routing;
@@ -56,11 +57,12 @@ pub use batch::{BatchRequest, EntryId, NeighborBatch};
 pub use collective::{choose_protocol, Protocol};
 pub use exec::PersistentNeighbor;
 pub use exec_partitioned::PartitionedNeighbor;
+pub use future::{block_on, BatchFuture, EntryFuture, NeighborFuture, ProgressDriver};
 pub use neighbor::{Backend, NeighborAlltoallv, NeighborRequest};
 pub use pattern::CommPattern;
 pub use routing::RankRouting;
 pub use stats::PlanStats;
-pub use tune::topology_signature;
+pub use tune::{fitted_auto_model, topology_signature};
 pub use tuner::TunePolicy;
 
 #[cfg(test)]

@@ -66,6 +66,24 @@ pub fn topology_signature(topo: &Topology) -> u64 {
     acc
 }
 
+/// Opt-in fitted selection model: the tuner's pooled probe observations
+/// ([`tuner::fitted_params`]) packaged as a [`perfmodel::PostalModel`]
+/// ready for [`crate::batch::NeighborBatch::cost_model`] with
+/// [`crate::Backend::Auto`]. `None` until enough observations accumulate
+/// to fit. The default model is **never** silently replaced — a caller
+/// that wants measured parameters constructs this model and passes it
+/// explicitly:
+///
+/// ```ignore
+/// let fitted = mpi_advance::fitted_auto_model();
+/// let batch = NeighborBatch::new(&topo)
+///     .entry(&pattern, Backend::Auto)
+///     .cost_model(fitted.as_ref().expect("observations recorded"));
+/// ```
+pub fn fitted_auto_model() -> Option<perfmodel::PostalModel> {
+    tuner::fitted_params().map(|f| perfmodel::PostalModel::new(f.alpha, f.beta))
+}
+
 /// A monotonic timestamp on whichever clock the world runs on.
 enum Stamp {
     Wall(Instant),
@@ -104,6 +122,9 @@ pub(crate) struct TunedCandidate {
 pub(crate) struct PublishSpec {
     pub(crate) cache: ProfileCache,
     pub(crate) key: ProfileKey,
+    /// Refit generation stamped onto the published entry
+    /// (`TunePolicy::fit_version`).
+    pub(crate) fit_ver: u64,
 }
 
 /// The measured-selection request behind [`crate::Backend::Tuned`]. See
@@ -123,6 +144,13 @@ pub(crate) struct TunedNeighbor {
     ctl_base: u64,
     comm: Comm,
     publish: Option<PublishSpec>,
+    /// Remaining spot-check warm-up iterations: the cached winner runs
+    /// untimed for this many iterations before the probe schedule
+    /// re-measures every candidate (see `TunePolicy::recheck_iters`).
+    warm_left: usize,
+    /// A warm-up iteration is in flight (its completing `test` must
+    /// decrement `warm_left`, not close a probe timing).
+    warm_iter: bool,
     _lease: Option<Arc<TagLease>>,
 }
 
@@ -156,8 +184,23 @@ impl TunedNeighbor {
             ctl_base,
             comm,
             publish,
+            warm_left: 0,
+            warm_iter: false,
             _lease: lease,
         }
+    }
+
+    /// Spot-check mode for a profile-cache hit: run cached `winner` for
+    /// `iters` warm-up iterations (untimed — the early iterations of the
+    /// solve see the cached answer, not a probe), then fall into the
+    /// normal probe schedule, re-decide, and re-publish. The re-published
+    /// entry carries at least as many probes as the original, so the
+    /// cache's merge rule lets it replace a stale winner.
+    pub(crate) fn warm_start(mut self, winner: usize, iters: usize) -> Self {
+        assert!(winner < self.candidates.len(), "warm winner out of range");
+        self.active = winner;
+        self.warm_left = iters;
+        self
     }
 
     fn active_req(&self) -> &PersistentNeighbor {
@@ -205,6 +248,7 @@ impl TunedNeighbor {
                         .zip(&medians)
                         .map(|(c, &m)| (c.protocol.name().to_string(), m))
                         .collect(),
+                    fit_ver: p.fit_ver,
                 };
                 // best-effort by design: a read-only cache directory must
                 // cost a repeat probe elsewhere, never abort a solve
@@ -225,12 +269,17 @@ impl NeighborRequest for TunedNeighbor {
 
     fn start(&mut self, ctx: &mut RankCtx, input: &[f64]) {
         if !self.decided {
-            match self.schedule.candidate_for(self.iter) {
-                Some(c) => {
-                    self.active = c;
-                    self.probe = Some((c, Stamp::now(ctx)));
+            if self.warm_left > 0 {
+                // spot-check warm-up: the cached winner runs untimed
+                self.warm_iter = true;
+            } else {
+                match self.schedule.candidate_for(self.iter) {
+                    Some(c) => {
+                        self.active = c;
+                        self.probe = Some((c, Stamp::now(ctx)));
+                    }
+                    None => self.decide(ctx),
                 }
-                None => self.decide(ctx),
             }
         }
         self.active_req_mut().start(ctx, input);
@@ -239,8 +288,11 @@ impl NeighborRequest for TunedNeighbor {
     fn test(&mut self, ctx: &mut RankCtx, output: &mut [f64]) -> bool {
         let done = self.active_req_mut().test(ctx, output);
         if done {
-            // first completing test of a probed iteration: close the timing
-            if let Some((c, t0)) = self.probe.take() {
+            if self.warm_iter {
+                self.warm_iter = false;
+                self.warm_left -= 1;
+            } else if let Some((c, t0)) = self.probe.take() {
+                // first completing test of a probed iteration: close the timing
                 let secs = t0.elapsed(ctx);
                 self.schedule.record(c, secs);
                 let cand = &self.candidates[c];

@@ -219,7 +219,27 @@ impl RankCtx {
             my_rank,
             coll_seq: std::cell::Cell::new(0),
             split_seq: std::cell::Cell::new(0),
+            dup_seq: std::cell::Cell::new(0),
         }
+    }
+
+    /// Absorb the recorded rank-death marker **for this rank**, if one
+    /// is set.
+    ///
+    /// This is the service-layer recovery hook: a scheduler that contains a
+    /// tenant's panic (e.g. a seeded `kill=` fault) inside one task calls
+    /// this to absorb the peer-death flag the fault path raised, so *this
+    /// rank's* blocked waits stop aborting. The flag itself stays raised
+    /// for the rest of the epoch — peers that are still blocked on the
+    /// dead tenant's traffic (possibly deep inside a synchronous protocol
+    /// step) need the abort it drives to escape; each absorbs it for
+    /// itself when its own recovery runs. Returns the failure message the
+    /// first time this rank absorbs it, `None` thereafter (so a caller
+    /// can tell a fresh death from one it has already handled). Outside
+    /// such a scheduler the flag should be left alone — it is what makes
+    /// deadlocks-after-death loud.
+    pub fn absorb_rank_failure(&self) -> Option<String> {
+        self.world.absorb_rank_failure(self.rank())
     }
 }
 

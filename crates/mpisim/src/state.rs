@@ -22,7 +22,7 @@ use perfmodel::CostModel;
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -717,6 +717,13 @@ pub(crate) struct WorldState {
     /// (`MPISIM_DEADLINE_MS`, or a [`crate::FaultPlan::deadline_ms`]
     /// override). `None` = block indefinitely.
     deadline_ms: Option<u64>,
+    /// Which locally-hosted ranks have absorbed the current epoch's
+    /// rank-death marker ([`crate::RankCtx::absorb_rank_failure`]).
+    /// Absorption is **per rank**: the transport flag itself stays
+    /// raised until the next epoch, so a rank that absorbs a tenant's
+    /// death cannot steal the abort from a peer still blocked inside a
+    /// synchronous wait on the dead tenant's traffic.
+    absorbed_failure: Vec<AtomicBool>,
 }
 
 /// One registered blocked wait (see [`WorldState::parked`]).
@@ -766,8 +773,13 @@ impl WaitGuard<'_> {
             });
             self.registered.set(true);
         }
-        if let Some(msg) = self.world.transport.peer_failure() {
-            panic!("{msg}\n{}", self.world.stall_report());
+        // a rank that absorbed the epoch's death marker (service-layer
+        // tenant recovery) keeps waiting — its scheduler already knows;
+        // everyone else aborts loudly
+        if !self.world.absorbed_failure[self.rank].load(Ordering::Acquire) {
+            if let Some(msg) = self.world.transport.peer_failure() {
+                panic!("{msg}\n{}", self.world.stall_report());
+            }
         }
         if let Some(ms) = self.world.deadline_ms {
             let waited = self.start.elapsed().as_millis() as u64;
@@ -829,6 +841,7 @@ impl WorldState {
             parked: (0..n_ranks).map(|_| Mutex::new(None)).collect(),
             epoch: AtomicU64::new(0),
             deadline_ms,
+            absorbed_failure: (0..n_ranks).map(|_| AtomicBool::new(false)).collect(),
         })
     }
 
@@ -969,9 +982,27 @@ impl WorldState {
         self.transport.note_rank_panic(rank);
     }
 
-    /// Clear the panic marker at the start of a fresh epoch.
+    /// Clear the panic marker (and every rank's absorbed-it marker) at
+    /// the start of a fresh epoch.
     pub(crate) fn clear_rank_panic(&self) {
         self.transport.clear_rank_panic();
+        for a in &self.absorbed_failure {
+            a.store(false, Ordering::Release);
+        }
+    }
+
+    /// Absorb the current rank-death marker **for `rank` only**,
+    /// returning the failure message the first time this rank absorbs
+    /// it (see [`crate::RankCtx::absorb_rank_failure`]). The transport
+    /// flag is left raised — clearing it here would race peers still
+    /// blocked in synchronous waits on the dead tenant's traffic, whose
+    /// only way out is the abort that flag drives.
+    pub(crate) fn absorb_rank_failure(&self, rank: usize) -> Option<String> {
+        let msg = self.transport.peer_failure()?;
+        if self.absorbed_failure[rank].swap(true, Ordering::AcqRel) {
+            return None; // this rank already absorbed the epoch's failure
+        }
+        Some(msg)
     }
 
     /// Get-or-create the persistent channel for `key` — whichever side

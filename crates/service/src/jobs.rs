@@ -1,0 +1,44 @@
+//! Built-in job shapes: the AMG solve phase as a tenant.
+//!
+//! `amg` keeps its job struct framework-free; this adapter wires
+//! [`amg::JacobiJob`] (all-levels damped-Jacobi relaxation, one batch
+//! entry per hierarchy level) into the service's [`JobLogic`] trait, so
+//! an AMG solve submits directly:
+//!
+//! ```ignore
+//! let job = JacobiJob::relaxation(&hierarchy, n_ranks, &rhs, 0.8, 10);
+//! service.submit(JobSpec::new("tenant-a", topo, Arc::new(job)));
+//! ```
+
+use amg::{JacobiJob, JacobiRankState};
+use mpi_advance::{CommPattern, EntryId, NeighborRequest};
+
+use crate::{JobLogic, RankState};
+
+impl JobLogic for JacobiJob {
+    fn patterns(&self) -> Vec<CommPattern> {
+        JacobiJob::patterns(self)
+    }
+
+    fn iters(&self) -> usize {
+        self.sweeps()
+    }
+
+    fn rank_state(&self, rank: usize) -> Box<dyn RankState> {
+        Box::new(JacobiJob::rank_state(self, rank))
+    }
+}
+
+impl RankState for JacobiRankState {
+    fn input(&mut self, _iter: usize, e: EntryId, req: &dyn NeighborRequest) -> Vec<f64> {
+        JacobiRankState::input(self, e, req)
+    }
+
+    fn absorb(&mut self, _iter: usize, e: EntryId, req: &dyn NeighborRequest, output: &[f64]) {
+        JacobiRankState::absorb(self, e, req, output)
+    }
+
+    fn finish(self: Box<Self>) -> Vec<f64> {
+        JacobiRankState::finish(*self)
+    }
+}

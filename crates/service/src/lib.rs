@@ -1,0 +1,298 @@
+//! The **solve service**: a multi-tenant job scheduler on one warm
+//! [`WorldPool`] (DESIGN.md §12).
+//!
+//! The paper's collectives amortize setup across many iterations of one
+//! solver; this crate amortizes the *world* across many solvers. A
+//! [`SolveService`] owns a warm pool and accepts a stream of independent
+//! jobs — each its own right-hand side and/or hierarchy, packaged as a
+//! [`JobLogic`]. `run_pending` schedules every queued job onto the pool
+//! in **one epoch**: per-rank, each admitted job becomes a task on the
+//! futures layer's [`ProgressDriver`], so K tenants' halo exchanges are
+//! in flight at once and the rank parks exactly once — on the union of
+//! every tenant's wake set — instead of serializing job after job.
+//!
+//! Isolation is per job, on three axes:
+//!
+//! * **channels** — every job drives a [`Comm::dup_for`] duplicate of the
+//!   world communicator keyed by its globally-unique job id, so its
+//!   channel keys (and tag leases) can never alias another tenant's, or
+//!   a failed tenant's stale traffic from an earlier epoch;
+//! * **panics** — each task is wrapped in
+//!   [`CatchPanic`](mpi_advance::future::CatchPanic): a seeded `kill=`
+//!   fault (or plain bug) inside one tenant resolves that task to `Err`,
+//!   the scheduler absorbs the transport-level death flag
+//!   ([`RankCtx::absorb_rank_failure`]) and broadcasts a cancel token on
+//!   the job's control channels, and every *other* tenant's result stays
+//!   byte-identical to a solo run;
+//! * **stalls** — a wait-deadline abort while parked degrades to failing
+//!   the rank's still-running jobs *with job attribution* (the deadline
+//!   dump names every tenant it takes down), not to a hung world.
+//!
+//! Admission control bounds how many jobs a rank *drives* concurrently
+//! ([`SolveService::max_concurrent`]); registration is never bounded —
+//! every queued job's channels are registered (and barrier-synchronized)
+//! at epoch start, so a fast rank can deposit into job k's channels while
+//! a slow rank is still driving job 0.
+
+mod jobs;
+mod scheduler;
+
+use std::sync::Arc;
+
+use locality::Topology;
+use mpi_advance::tagspace::{TagLease, TagSpace};
+use mpi_advance::{Backend, CommPattern, EntryId, NeighborBatch, NeighborRequest};
+use mpisim::{RankCtx, World, WorldPool};
+
+/// Globally-unique job identifier, assigned at submit time and never
+/// reused — it keys the job's [`mpisim::Comm::dup_for`] communicator
+/// stream, so channels of distinct jobs (across all epochs of the
+/// service) can never alias.
+pub type JobId = u64;
+
+/// What a job computes: its communication shape plus a per-rank state
+/// machine. One batch entry per pattern; each of the [`JobLogic::iters`]
+/// iterations posts every entry and folds each entry's arrived ghost
+/// values into the rank state the moment they land.
+pub trait JobLogic: Send + Sync {
+    /// One halo pattern per batch entry.
+    fn patterns(&self) -> Vec<CommPattern>;
+    /// Whole-batch iterations the job runs.
+    fn iters(&self) -> usize;
+    /// Build rank `rank`'s worker state (called on the rank thread).
+    fn rank_state(&self, rank: usize) -> Box<dyn RankState>;
+}
+
+/// A job's rank-local worker. `absorb` must be independent of the order
+/// entries retire within one iteration (entries may complete in delivery
+/// order) for the job's result to be deterministic under multi-tenancy.
+pub trait RankState {
+    /// Entry `e`'s send values for iteration `iter`, aligned with
+    /// `req.input_index()`.
+    fn input(&mut self, iter: usize, e: EntryId, req: &dyn NeighborRequest) -> Vec<f64>;
+    /// Entry `e`'s ghost values for iteration `iter` arrived, aligned
+    /// with `req.output_index()`.
+    fn absorb(&mut self, iter: usize, e: EntryId, req: &dyn NeighborRequest, output: &[f64]);
+    /// The rank's result, after the last iteration.
+    fn finish(self: Box<Self>) -> Vec<f64>;
+}
+
+/// One tenant's submission: a name (for failure attribution), the
+/// topology its batch plans against, the backend every entry runs on,
+/// and the logic itself.
+pub struct JobSpec {
+    pub name: String,
+    pub topo: Topology,
+    pub backend: Backend,
+    pub logic: Arc<dyn JobLogic>,
+}
+
+impl JobSpec {
+    /// A job with the default model-driven backend ([`Backend::Auto`]).
+    pub fn new(name: impl Into<String>, topo: Topology, logic: Arc<dyn JobLogic>) -> Self {
+        Self {
+            name: name.into(),
+            topo,
+            backend: Backend::Auto,
+            logic,
+        }
+    }
+
+    /// Override the backend every entry of the job runs on.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+}
+
+/// Why a job failed: which ranks reported it and the first message.
+#[derive(Debug, Clone)]
+pub struct JobError {
+    /// Ranks that reported the failure, ascending.
+    pub ranks: Vec<usize>,
+    /// The lowest-ranked failure's message.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed on ranks {:?}: {}", self.ranks, self.message)
+    }
+}
+
+/// One job's outcome: per-rank results (indexed by rank) or the failure.
+/// A failure is *this job's alone* — the reports of the other jobs in the
+/// same epoch are unaffected.
+pub struct JobReport {
+    pub id: JobId,
+    pub name: String,
+    pub outcome: Result<Vec<Vec<f64>>, JobError>,
+}
+
+pub(crate) struct QueuedJob {
+    pub(crate) id: JobId,
+    pub(crate) name: String,
+    pub(crate) topo: Topology,
+    pub(crate) backend: Backend,
+    pub(crate) logic: Arc<dyn JobLogic>,
+}
+
+/// The multi-tenant scheduler: a warm [`WorldPool`], a job queue, and an
+/// admission window. See the crate docs for the isolation contract.
+pub struct SolveService {
+    pool: WorldPool,
+    max_concurrent: usize,
+    /// Monotone job-id source; ids are never reused across epochs.
+    next_id: JobId,
+    queue: Vec<QueuedJob>,
+    /// One leased tag span for the epoch's per-peer cancel-token
+    /// channels (they live on a dedicated dup'd communicator, so one
+    /// channel per peer serves every job).
+    ctl_lease: TagLease,
+}
+
+impl SolveService {
+    /// A service on a fresh warm pool of `n_ranks` thread-fabric ranks.
+    pub fn new(n_ranks: usize) -> Self {
+        Self::with_pool(World::pool(n_ranks))
+    }
+
+    /// A service on an existing warm pool (any fabric, any fault plan).
+    pub fn with_pool(pool: WorldPool) -> Self {
+        Self {
+            pool,
+            max_concurrent: usize::MAX,
+            next_id: 1,
+            queue: Vec::new(),
+            ctl_lease: TagSpace::global().lease_for(1, "service-ctl"),
+        }
+    }
+
+    /// Bound how many jobs each rank drives concurrently (default:
+    /// unbounded). `1` serializes tenants — the bench baseline.
+    pub fn max_concurrent(mut self, k: usize) -> Self {
+        assert!(k >= 1, "the admission window must admit at least one job");
+        self.max_concurrent = k;
+        self
+    }
+
+    /// The warm pool (e.g. to check its size).
+    pub fn pool(&self) -> &WorldPool {
+        &self.pool
+    }
+
+    /// Queue a job for the next `run_pending` epoch.
+    pub fn submit(&mut self, spec: JobSpec) -> JobId {
+        assert_eq!(
+            spec.topo.n_ranks(),
+            self.pool.n_ranks(),
+            "job topology must match the pool's world size"
+        );
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push(QueuedJob {
+            id,
+            name: spec.name,
+            topo: spec.topo,
+            backend: spec.backend,
+            logic: spec.logic,
+        });
+        id
+    }
+
+    /// Run every queued job in one epoch on the warm pool and report each
+    /// job's outcome, in submission order. Tenant failures are isolated
+    /// per job; only a failure the scheduler itself cannot attribute (a
+    /// rank dying outside any task) fails the epoch, and then *every*
+    /// queued job reports that epoch error.
+    pub fn run_pending(&mut self) -> Vec<JobReport> {
+        let queued = std::mem::take(&mut self.queue);
+        if queued.is_empty() {
+            return Vec::new();
+        }
+        let n_ranks = self.pool.n_ranks();
+        let patterns: Vec<Vec<CommPattern>> = queued.iter().map(|q| q.logic.patterns()).collect();
+        let batches: Vec<NeighborBatch<'_>> = queued
+            .iter()
+            .zip(&patterns)
+            .map(|(q, pats)| {
+                let mut b = NeighborBatch::new(&q.topo);
+                for p in pats {
+                    b = b.entry(p, q.backend);
+                }
+                b
+            })
+            .collect();
+        // Resolve every batch's plan and tag leases HERE, on the
+        // submitting thread, before any rank observes it: resolution
+        // leases spans from the process-global TagSpace, and per-rank
+        // resolution order would not be deterministic.
+        for b in &batches {
+            let _ = b.tag_bases();
+        }
+        let ctl_base = self.ctl_lease.entry_base(0);
+        // the control communicator needs its own never-reused stream id;
+        // it shares the job-id namespace
+        let ctl_stream = self.next_id;
+        self.next_id += 1;
+        let max_concurrent = self.max_concurrent;
+        let outcome = self.pool.try_run(|ctx: &mut RankCtx| {
+            scheduler::drive_rank(ctx, &queued, &batches, ctl_stream, ctl_base, max_concurrent)
+        });
+        match outcome {
+            Ok(per_rank) => {
+                type RankRows = Vec<(usize, Result<Vec<f64>, String>)>;
+                let mut per_job: Vec<RankRows> = (0..queued.len()).map(|_| Vec::new()).collect();
+                for (r, rr) in per_rank.into_iter().enumerate() {
+                    assert_eq!(rr.len(), queued.len());
+                    for (j, res) in rr.into_iter().enumerate() {
+                        per_job[j].push((r, res));
+                    }
+                }
+                queued
+                    .iter()
+                    .zip(per_job)
+                    .map(|(q, rows)| {
+                        let mut oks = Vec::with_capacity(n_ranks);
+                        let mut errs: Vec<(usize, String)> = Vec::new();
+                        for (r, res) in rows {
+                            match res {
+                                Ok(x) => oks.push(x),
+                                Err(m) => errs.push((r, m)),
+                            }
+                        }
+                        let outcome = if errs.is_empty() {
+                            Ok(oks)
+                        } else {
+                            Err(JobError {
+                                ranks: errs.iter().map(|(r, _)| *r).collect(),
+                                message: errs[0].1.clone(),
+                            })
+                        };
+                        JobReport {
+                            id: q.id,
+                            name: q.name.clone(),
+                            outcome,
+                        }
+                    })
+                    .collect()
+            }
+            Err(e) => {
+                // Unattributable epoch failure: every job of the epoch
+                // reports it (and the pool stays warm for the next one).
+                let err = JobError {
+                    ranks: e.failures.iter().map(|(r, _)| *r).collect(),
+                    message: format!("epoch failed: {e}"),
+                };
+                queued
+                    .iter()
+                    .map(|q| JobReport {
+                        id: q.id,
+                        name: q.name.clone(),
+                        outcome: Err(err.clone()),
+                    })
+                    .collect()
+            }
+        }
+    }
+}

@@ -22,6 +22,20 @@ pub struct TunePolicy {
     /// Directory of the persistent profile cache
     /// (`MPISIM_PROFILE_DIR`); `None` disables persistence.
     pub profile_dir: Option<PathBuf>,
+    /// Spot-check budget for cached winners (`MPISIM_TUNE_RECHECK`,
+    /// default 0 = trust a cached winner forever). When positive, a
+    /// profile-cache hit does not lock the winner in: the request runs
+    /// the cached winner for this many warm-up iterations, then re-runs
+    /// the normal probe schedule and re-publishes — so a winner the
+    /// fabric has drifted away from is evicted instead of trusted
+    /// forever.
+    pub recheck_iters: usize,
+    /// The consumer's model-refit generation (`MPISIM_TUNE_FIT_VERSION`,
+    /// default 0). Cached entries measured under an older generation are
+    /// treated as misses (re-probe, re-publish at this generation):
+    /// bumping the version after a model refit evicts winners the old
+    /// model crowned.
+    pub fit_version: u64,
 }
 
 impl Default for TunePolicy {
@@ -30,6 +44,8 @@ impl Default for TunePolicy {
             probe_iters: 12,
             factor: 2.0,
             profile_dir: None,
+            recheck_iters: 0,
+            fit_version: 0,
         }
     }
 }
@@ -57,6 +73,14 @@ impl TunePolicy {
                             .unwrap_or_else(|e| panic!("{e}")),
                     );
                 }
+                if let Ok(v) = std::env::var("MPISIM_TUNE_RECHECK") {
+                    p.recheck_iters = parse_recheck_iters("MPISIM_TUNE_RECHECK", &v)
+                        .unwrap_or_else(|e| panic!("{e}"));
+                }
+                if let Ok(v) = std::env::var("MPISIM_TUNE_FIT_VERSION") {
+                    p.fit_version = parse_fit_version("MPISIM_TUNE_FIT_VERSION", &v)
+                        .unwrap_or_else(|e| panic!("{e}"));
+                }
                 p
             })
             .clone()
@@ -81,6 +105,20 @@ impl TunePolicy {
     /// Builder: attach a profile-cache directory.
     pub fn with_profile_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.profile_dir = Some(dir.into());
+        self
+    }
+
+    /// Builder: replace the cached-winner spot-check budget (0 = trust
+    /// a cached winner forever).
+    pub fn with_recheck_iters(mut self, iters: usize) -> Self {
+        self.recheck_iters = iters;
+        self
+    }
+
+    /// Builder: replace the model-refit generation consulted entries
+    /// must match.
+    pub fn with_fit_version(mut self, version: u64) -> Self {
+        self.fit_version = version;
         self
     }
 }
@@ -114,6 +152,29 @@ pub fn parse_factor(var: &str, value: &str) -> Result<f64, String> {
             "{var}={value:?}: expected a decimal factor >= 1.0 (e.g. {var}=2.0)"
         )),
     }
+}
+
+/// Parse `MPISIM_TUNE_RECHECK`: a non-negative warm-up iteration count
+/// (0 disables spot-checking — the default).
+pub fn parse_recheck_iters(var: &str, value: &str) -> Result<usize, String> {
+    value.trim().parse::<usize>().map_err(|_| {
+        format!(
+            "{var}={value:?}: expected a non-negative number of spot-check \
+             warm-up iterations (0 trusts cached winners forever, \
+             e.g. {var}=8)"
+        )
+    })
+}
+
+/// Parse `MPISIM_TUNE_FIT_VERSION`: a non-negative refit generation.
+pub fn parse_fit_version(var: &str, value: &str) -> Result<u64, String> {
+    value.trim().parse::<u64>().map_err(|_| {
+        format!(
+            "{var}={value:?}: expected a non-negative model-refit \
+             generation number (cached winners measured under an older \
+             generation are re-probed, e.g. {var}=1)"
+        )
+    })
 }
 
 /// Parse `MPISIM_PROFILE_DIR`: a non-empty directory path. Existence is
@@ -169,17 +230,43 @@ mod tests {
     }
 
     #[test]
+    fn recheck_grammar() {
+        assert_eq!(parse_recheck_iters("V", "0"), Ok(0));
+        assert_eq!(parse_recheck_iters("V", " 8 "), Ok(8));
+        let err = parse_recheck_iters("V", "forever").unwrap_err();
+        assert!(err.contains("V=\"forever\""), "{err}");
+        assert!(err.contains("V=8"), "{err}");
+    }
+
+    #[test]
+    fn fit_version_grammar() {
+        assert_eq!(parse_fit_version("V", "0"), Ok(0));
+        assert_eq!(parse_fit_version("V", "3"), Ok(3));
+        let err = parse_fit_version("V", "-1").unwrap_err();
+        assert!(err.contains("V=\"-1\""), "{err}");
+        assert!(err.contains("generation"), "{err}");
+    }
+
+    #[test]
     fn builder_clamps_nothing_but_validates_factor() {
         let p = TunePolicy::default()
             .with_probe_iters(4)
             .with_factor(3.0)
-            .with_profile_dir("/tmp/cache");
+            .with_profile_dir("/tmp/cache")
+            .with_recheck_iters(6)
+            .with_fit_version(2);
         assert_eq!(p.probe_iters, 4);
         assert_eq!(p.factor, 3.0);
         assert_eq!(
             p.profile_dir.as_deref(),
             Some(std::path::Path::new("/tmp/cache"))
         );
+        assert_eq!(p.recheck_iters, 6);
+        assert_eq!(p.fit_version, 2);
+        // the untouched defaults: no spot-checking, generation 0
+        let d = TunePolicy::default();
+        assert_eq!(d.recheck_iters, 0);
+        assert_eq!(d.fit_version, 0);
     }
 
     #[test]

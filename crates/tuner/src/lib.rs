@@ -32,7 +32,10 @@ mod profile;
 mod refit;
 mod schedule;
 
-pub use env::{parse_factor, parse_probe_iters, parse_profile_dir, TunePolicy};
+pub use env::{
+    parse_factor, parse_fit_version, parse_probe_iters, parse_profile_dir, parse_recheck_iters,
+    TunePolicy,
+};
 pub use profile::{size_bucket, ProfileCache, ProfileEntry, ProfileKey, PROFILE_VERSION};
 pub use refit::{
     clear_observations, fitted_params, observation_count, record_observation, refit_report,

@@ -10,7 +10,9 @@
 //! * [`locality`] / [`perfmodel`] — machine model and communication cost
 //!   models;
 //! * [`sparse`] / [`amg`] — the sparse linear algebra and BoomerAMG
-//!   substrate generating the evaluation workloads.
+//!   substrate generating the evaluation workloads;
+//! * [`service`] — the async solve service: a multi-tenant job
+//!   scheduler driving futures-based solves on one warm world pool.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
 //! the full system inventory.
@@ -20,6 +22,7 @@ pub use locality;
 pub use mpi_advance;
 pub use mpisim;
 pub use perfmodel;
+pub use service;
 pub use sparse;
 
 // The paper's single-call contract, surfaced at the crate root.
